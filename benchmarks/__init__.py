@@ -1,0 +1,1 @@
+"""Experiment benchmarks regenerating every paper result (DESIGN.md §4)."""

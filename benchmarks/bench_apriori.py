@@ -1,0 +1,64 @@
+"""E10 — §6.4: a priori knowledge breaks instantiation but saves messages.
+
+Paper claims regenerated:
+
+1. with ``x_0`` known a priori the standard protocol is still correct but
+   **no longer an instantiation** of the knowledge-based protocol;
+2. a KBP-consistent protocol "would have the receiver deliver the value
+   immediately ... thus saving one message" — quantified by the randomized
+   executor (for the bounded L = 1 instance the saving is the entire
+   send/ack exchange).
+"""
+
+from repro.seqtrans import (
+    RELIABLE,
+    SeqTransParams,
+    check_instantiation,
+    compare_with_apriori,
+)
+
+from .conftest import once, record
+
+
+def test_apriori_breaks_instantiation(benchmark):
+    params = SeqTransParams(length=1, apriori={0: "a"})
+    report = once(benchmark, check_instantiation, params, RELIABLE)
+    assert report.sufficient  # still correct
+    assert not report.instantiates  # no longer the KBP
+    mismatched = [t.label for t in report.terms if not t.exact]
+    record(
+        benchmark,
+        sufficient=report.sufficient,
+        instantiates=report.instantiates,
+        mismatched_terms=", ".join(mismatched),
+    )
+
+
+def test_apriori_message_savings(benchmark):
+    params = SeqTransParams(length=1, apriori={0: "a"})
+    comparison = once(
+        benchmark, compare_with_apriori, params, RELIABLE, 20, 1991
+    )
+    assert comparison.standard_correct and comparison.kbp_correct
+    assert comparison.savings > 0
+    assert comparison.kbp_messages == 0.0
+    record(
+        benchmark,
+        standard_messages=round(comparison.standard_messages, 2),
+        kbp_messages=round(comparison.kbp_messages, 2),
+        savings=round(comparison.savings, 2),
+    )
+
+
+def test_no_apriori_no_savings(benchmark):
+    """Control: without a priori information the two protocols coincide."""
+    params = SeqTransParams(length=1)
+    comparison = once(
+        benchmark, compare_with_apriori, params, RELIABLE, 20, 1991
+    )
+    assert abs(comparison.savings) < 1e-9
+    record(
+        benchmark,
+        standard_messages=round(comparison.standard_messages, 2),
+        kbp_messages=round(comparison.kbp_messages, 2),
+    )

@@ -1,0 +1,82 @@
+"""E13 — §4/§6: channel assumptions decide liveness.
+
+The paper assumes channels that "eventually correctly deliver any message
+that is sent repeatedly" ((Kbp-1)/(Kbp-2), (St-3)/(St-4)).  Regenerated as
+a 3×1 matrix: the same Figure-4 protocol over reliable / bounded-loss /
+unrestricted-lossy channels — safety always holds; liveness holds exactly
+when the assumption does.
+"""
+
+from repro.seqtrans import (
+    LOSSY,
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    build_standard_protocol,
+    check_spec,
+)
+
+from .conftest import once, record
+
+PARAMS = SeqTransParams(length=1)
+
+CHANNELS = {
+    "reliable": RELIABLE,
+    "bounded_loss": bounded_loss(1),
+    "lossy": LOSSY,
+}
+
+
+def test_channel_liveness_matrix(benchmark):
+    def run():
+        matrix = {}
+        for name, channel in CHANNELS.items():
+            program = build_standard_protocol(PARAMS, channel)
+            report = check_spec(program, PARAMS)
+            matrix[name] = (report.safety_holds, report.liveness_all)
+        return matrix
+
+    matrix = once(benchmark, run)
+    assert matrix["reliable"] == (True, True)
+    assert matrix["bounded_loss"] == (True, True)
+    assert matrix["lossy"] == (True, False)
+    record(
+        benchmark,
+        **{
+            f"{name}": f"safety={s} liveness={l}"
+            for name, (s, l) in matrix.items()
+        },
+    )
+
+
+def test_loss_budget_sweep(benchmark):
+    """Liveness is budget-independent once the bound exists (1, 2, 3)."""
+
+    def run():
+        verdicts = {}
+        for budget in (1, 2, 3):
+            program = build_standard_protocol(PARAMS, bounded_loss(budget))
+            verdicts[budget] = check_spec(program, PARAMS).liveness_all
+        return verdicts
+
+    verdicts = once(benchmark, run)
+    assert all(verdicts.values())
+    record(benchmark, **{f"budget_{b}": v for b, v in verdicts.items()})
+
+
+def test_lossy_refutation_witness(benchmark):
+    """The fair-cycle refuter exhibits an actual starving schedule."""
+    from repro.proofs import refute_leads_to
+    from repro.seqtrans.spec import w_length_eq, w_length_gt
+
+    program = build_standard_protocol(PARAMS, LOSSY)
+    space = program.space
+
+    def run():
+        return refute_leads_to(
+            program, w_length_eq(space, 0), w_length_gt(space, 0)
+        )
+
+    refutation = once(benchmark, run)
+    assert refutation is not None
+    record(benchmark, trap_states=len(refutation.trap), start=refutation.start)

@@ -1,0 +1,75 @@
+"""E16 — the coordinated-attack phenomenon inside the framework.
+
+The paper's knowledge operator extends to common knowledge (its §3 remark,
+via [HM90]); [HM90]'s central impossibility then becomes measurable here:
+over the sequence transmission protocols, every finite level of the
+``E^n``-hierarchy for the fact ``x_0 = a`` is attained and the levels
+strictly shrink, but common knowledge is attained in **zero** reachable
+states — on every channel model, including the reliable one (asynchronous
+delivery suffices for the impossibility).
+"""
+
+from repro.seqtrans import (
+    LOSSY,
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    build_standard_protocol,
+)
+from repro.seqtrans.common_knowledge import knowledge_hierarchy
+
+from .conftest import once, record
+
+PARAMS = SeqTransParams(length=1)
+
+
+def test_hierarchy_per_channel(benchmark):
+    def run():
+        out = {}
+        for name, channel in (
+            ("reliable", RELIABLE),
+            ("bounded_loss", bounded_loss(1)),
+            ("lossy", LOSSY),
+        ):
+            program = build_standard_protocol(PARAMS, channel)
+            out[name] = knowledge_hierarchy(program, PARAMS)
+        return out
+
+    hierarchies = once(benchmark, run)
+    for name, hierarchy in hierarchies.items():
+        assert hierarchy.individual[1] > 0, name  # the Receiver does learn x_0
+        assert hierarchy.e_levels[0] > 0, name  # E is attained
+        assert hierarchy.strictly_descending, name
+        assert not hierarchy.common_knowledge_attained, name  # C never is
+    record(
+        benchmark,
+        **{
+            name: f"K_R={h.individual[1]} E-levels={list(h.e_levels)} C={h.common}"
+            for name, h in hierarchies.items()
+        },
+    )
+
+
+def test_common_knowledge_only_of_invariants(benchmark):
+    """What *is* common knowledge: invariant facts (eq. 23's flavour).
+
+    ``w ⊑ x`` holds in every reachable state, so by necessitation it is
+    common knowledge everywhere on SI — the contrast that makes the
+    x_0-impossibility meaningful.
+    """
+    from repro.core import KnowledgeOperator
+    from repro.seqtrans import safety_predicate
+    from repro.transformers import strongest_invariant
+
+    program = build_standard_protocol(PARAMS, bounded_loss(1))
+
+    def run():
+        si = strongest_invariant(program)
+        operator = KnowledgeOperator.of_program(program, si)
+        safety = safety_predicate(program.space)
+        common = operator.common_knowledge(["Sender", "Receiver"], safety)
+        return (common & si).count(), si.count()
+
+    attained, si_states = once(benchmark, run)
+    assert attained == si_states
+    record(benchmark, common_of_invariant=attained, si_states=si_states)

@@ -1,0 +1,48 @@
+"""E1 — Figure 1: the knowledge-based protocol with **no solution**.
+
+Paper claim (section 4): "There is no possible choice for SI for which the
+resulting K_0 ¬x will result in a standard protocol which actually yields
+this strongest invariant."
+
+Regenerated here three ways: exhaustive refutation of every candidate SI,
+the cycling Φ-iteration, and the non-monotonicity of ŜP.
+"""
+
+from repro.core import solve_si, solve_si_iterative, sp_hat
+from repro.figures import fig1_program
+from repro.transformers import check_monotonic
+
+from .conftest import record
+
+
+def test_fig1_exhaustive_refutation(benchmark):
+    program = fig1_program()
+    report = benchmark(solve_si, program)
+    assert not report.well_posed
+    record(
+        benchmark,
+        solutions=len(report.solutions),
+        candidates_checked=report.candidates_checked,
+        well_posed=report.well_posed,
+    )
+
+
+def test_fig1_iteration_cycles(benchmark):
+    program = fig1_program()
+    report = benchmark(solve_si_iterative, program)
+    assert not report.converged
+    assert len(report.cycle) == 2
+    record(benchmark, converged=report.converged, cycle_length=len(report.cycle))
+
+
+def test_fig1_sp_hat_nonmonotone(benchmark):
+    program = fig1_program()
+    counterexample = benchmark(check_monotonic, sp_hat(program), program.space)
+    assert counterexample is not None
+    p, q = counterexample.witnesses
+    record(
+        benchmark,
+        monotone=False,
+        witness_p_states=p.count(),
+        witness_q_states=q.count(),
+    )

@@ -1,0 +1,72 @@
+"""E2 — Figure 2: SI is **not monotonic** in the initial condition.
+
+Paper claim: with init = ¬y the strongest invariant is ¬y and true ↦ z
+holds; with the *stronger* init = ¬y ∧ x the strongest invariant is x and
+true ↦ z fails — "neither safety nor liveness properties ... are
+necessarily preserved when the initial conditions are strengthened".
+"""
+
+from repro.core import compare_inits, resolve_at, solve_si
+from repro.figures import fig2_program, fig2_strong_init, fig2_weak_init
+from repro.predicates import Predicate, var_true
+from repro.proofs import check_leads_to_both
+
+from .conftest import record
+
+
+def test_fig2_si_comparison(benchmark):
+    program = fig2_program()
+    weak = fig2_weak_init(program)
+    strong = fig2_strong_init(program)
+    report = benchmark(compare_inits, program, weak, strong)
+    space = program.space
+    assert report.si_weak == ~var_true(space, "y")
+    assert report.si_strong == var_true(space, "x")
+    assert not report.monotonic
+    record(
+        benchmark,
+        si_weak="¬y",
+        si_strong="x",
+        monotonic=report.monotonic,
+    )
+
+
+def test_fig2_liveness_flip(benchmark):
+    program = fig2_program()
+    space = program.space
+    z = var_true(space, "z")
+
+    def verdicts():
+        out = {}
+        for label, init in (
+            ("weak", fig2_weak_init(program)),
+            ("strong", fig2_strong_init(program)),
+        ):
+            variant = program.with_init(init)
+            si = solve_si(variant).strongest()
+            resolved = resolve_at(variant, si)
+            out[label] = check_leads_to_both(resolved, Predicate.true(space), z, si)
+        return out
+
+    result = benchmark(verdicts)
+    assert result == {"weak": True, "strong": False}
+    record(
+        benchmark,
+        liveness_weak_init=result["weak"],
+        liveness_strong_init=result["strong"],
+    )
+
+
+def test_fig2_safety_flip(benchmark):
+    program = fig2_program()
+    space = program.space
+    not_y = ~var_true(space, "y")
+
+    def verdicts():
+        weak_si = solve_si(program.with_init(fig2_weak_init(program))).strongest()
+        strong_si = solve_si(program.with_init(fig2_strong_init(program))).strongest()
+        return weak_si.entails(not_y), strong_si.entails(not_y)
+
+    weak_ok, strong_ok = benchmark(verdicts)
+    assert weak_ok and not strong_ok
+    record(benchmark, invariant_noty_weak=weak_ok, invariant_noty_strong=strong_ok)

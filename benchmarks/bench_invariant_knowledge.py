@@ -1,0 +1,55 @@
+"""E5 — eqs. (23)–(24): the knowledge/invariant correspondence.
+
+(23): invariant p ≡ invariant K_i p.
+(24): for local q: invariant (q ⇒ p) ≡ invariant (q ⇒ K_i p) — the result
+"apparently not as obvious as it seems" (an expert reviewer claimed it was
+incorrect); here it is checked exhaustively over all p and all local q.
+"""
+
+import random
+
+from repro.core import (
+    KnowledgeOperator,
+    check_invariant_equivalence,
+    check_local_invariant_equivalence,
+)
+from repro.predicates import Predicate
+from repro.statespace import BoolDomain, space_of
+
+from .conftest import once, record
+
+
+def _operators(count: int, seed: int = 7):
+    space = space_of(a=BoolDomain(), b=BoolDomain())
+    rng = random.Random(seed)
+    for _ in range(count):
+        si = Predicate(space, rng.getrandbits(space.size) | 1)
+        yield KnowledgeOperator(space, si, {"P": ["a"], "Q": ["b"]})
+
+
+def test_eq23_invariant_equivalence(benchmark):
+    def run():
+        for operator in _operators(25):
+            for process in ("P", "Q"):
+                violation = check_invariant_equivalence(operator, process)
+                if violation is not None:
+                    return violation
+        return None
+
+    violation = once(benchmark, run)
+    assert violation is None
+    record(benchmark, eq23_violations=0, operators=25)
+
+
+def test_eq24_local_invariant_equivalence(benchmark):
+    def run():
+        for operator in _operators(25, seed=13):
+            for process in ("P", "Q"):
+                violation = check_local_invariant_equivalence(operator, process)
+                if violation is not None:
+                    return violation
+        return None
+
+    violation = once(benchmark, run)
+    assert violation is None
+    record(benchmark, eq24_violations=0, operators=25)

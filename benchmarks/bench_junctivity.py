@@ -1,0 +1,81 @@
+"""E4 — eqs. (11)–(12), (19), (21)–(22): junctivity of wcyl and K_i.
+
+Includes the paper's explicit (12) counterexample (two integer variables).
+"""
+
+from repro.core import KnowledgeOperator, find_disjunctivity_counterexample
+from repro.predicates import Predicate, var_cmp, wcyl
+from repro.statespace import BoolDomain, IntRangeDomain, space_of
+from repro.transformers import (
+    check_finitely_disjunctive,
+    check_monotonic,
+    check_universally_conjunctive,
+)
+
+from .conftest import once, record
+
+
+def test_wcyl_junctivity_profile(benchmark):
+    """(8)+(11)+(12): wcyl is monotone and universally conjunctive, not disjunctive."""
+    space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+    transform = lambda p: wcyl(["a", "b"], p)
+
+    def run():
+        return (
+            check_monotonic(transform, space),
+            check_universally_conjunctive(transform, space),
+            check_finitely_disjunctive(transform, space),
+        )
+
+    monotone, conjunctive, disjunctive = once(benchmark, run)
+    assert monotone is None
+    assert conjunctive is None
+    assert disjunctive is not None
+    record(
+        benchmark,
+        monotone=True,
+        universally_conjunctive=True,
+        finitely_disjunctive=False,
+    )
+
+
+def test_eq12_papers_counterexample(benchmark):
+    """The section-3 example: wcyl.x over integer x, y."""
+    space = space_of(x=IntRangeDomain(-2, 2), y=IntRangeDomain(-2, 2))
+    x_pos = var_cmp(space, "x", ">", 0)
+    y_pos = var_cmp(space, "y", ">", 0)
+
+    def run():
+        left = wcyl(["x"], x_pos & y_pos)
+        right = wcyl(["x"], x_pos & ~y_pos)
+        union = wcyl(["x"], (x_pos & y_pos) | (x_pos & ~y_pos))
+        return left, right, union
+
+    left, right, union = benchmark(run)
+    assert left.is_false() and right.is_false()
+    assert union == x_pos
+    record(
+        benchmark,
+        wcyl_x_of_conj1="false",
+        wcyl_x_of_conj2="false",
+        wcyl_x_of_union="x>0",
+    )
+
+
+def test_k_universal_conjunctivity_and_nondisjunctivity(benchmark):
+    """(21) + (22) for a program-derived operator, exhaustively."""
+    space = space_of(a=BoolDomain(), b=BoolDomain())
+    si = Predicate.from_callable(space, lambda s: s["a"] or not s["b"])
+    operator = KnowledgeOperator(space, si, {"P": ["a"]})
+
+    def run():
+        conjunctive = check_universally_conjunctive(
+            lambda p: operator.knows("P", p), space
+        )
+        witness = find_disjunctivity_counterexample(operator, "P")
+        return conjunctive, witness
+
+    conjunctive, witness = benchmark(run)
+    assert conjunctive is None  # (21)
+    assert witness is not None  # (22)
+    record(benchmark, universally_conjunctive=True, disjunctive=False)

@@ -1,0 +1,84 @@
+"""E7 — eq. (25): SI-solver ablation on random knowledge-based protocols.
+
+Exhaustive search (complete) vs Φ-iteration (sound, incomplete): how often
+random KBPs have 0 / 1 / many solutions, and how often the cheap iteration
+finds one.  This quantifies section 4's qualitative message: ill-posedness
+is not an exotic corner case.
+"""
+
+import random
+
+from repro.core import solve_si, solve_si_iterative
+from repro.predicates import Predicate
+from repro.statespace import BoolDomain, space_of
+from repro.unity import Program, Statement, Unary, Var, const, knows, lnot, var
+
+from .conftest import once, record
+
+
+def _random_kbp(rng: random.Random) -> Program:
+    """A random 2–3 statement KBP over three Booleans with K-guards."""
+    space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+    names = list(space.names)
+    views = {"P": ["a"], "Q": ["b", "c"]}
+    statements = []
+    for k in range(rng.randint(2, 3)):
+        target = rng.choice(names)
+        rhs = const(rng.random() < 0.5)
+        process = rng.choice(list(views))
+        fact_var = rng.choice(names)
+        fact = Var(fact_var) if rng.random() < 0.5 else Unary("not", Var(fact_var))
+        guard = knows(process, fact)
+        if rng.random() < 0.3:
+            guard = lnot(guard)
+        statements.append(
+            Statement(name=f"s{k}", targets=(target,), exprs=(rhs,), guard=guard)
+        )
+    init = Predicate(space, 1 << rng.randrange(space.size))
+    return Program(space, init, statements, processes=views, name="random-kbp")
+
+
+def test_solver_ablation(benchmark):
+    rng = random.Random(1991)
+    programs = [_random_kbp(rng) for _ in range(40)]
+
+    def run():
+        outcome = {"none": 0, "unique": 0, "multiple": 0, "iterative_found": 0,
+                   "iterative_cycled": 0, "iterative_sound": True}
+        for program in programs:
+            report = solve_si(program)
+            if not report.well_posed:
+                outcome["none"] += 1
+            elif report.unique:
+                outcome["unique"] += 1
+            else:
+                outcome["multiple"] += 1
+            iterative = solve_si_iterative(program)
+            if iterative.converged:
+                outcome["iterative_found"] += 1
+                # Soundness: anything the iteration returns is a real solution.
+                if not any(iterative.solution == s for s in report.solutions):
+                    outcome["iterative_sound"] = False
+            else:
+                outcome["iterative_cycled"] += 1
+        return outcome
+
+    outcome = once(benchmark, run)
+    assert outcome["iterative_sound"]
+    assert outcome["none"] > 0, "ill-posed KBPs should occur in a random batch"
+    assert outcome["iterative_found"] + outcome["iterative_cycled"] == 40
+    record(benchmark, **{k: v for k, v in outcome.items()})
+
+
+def test_exhaustive_solver_cost_vs_free_states(benchmark):
+    """Candidate count doubles per non-initial state — the completeness price."""
+    from repro.figures import fig1_program
+
+    program = fig1_program()
+
+    def run():
+        return solve_si(program).candidates_checked
+
+    checked = benchmark(run)
+    assert checked == 2 ** (program.space.size - program.init.count())
+    record(benchmark, candidates=checked)

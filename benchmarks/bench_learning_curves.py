@@ -1,0 +1,92 @@
+"""E17 — "how processes learn" ([CM86], cited in the paper's Conclusion).
+
+The temporal profile of knowledge acquisition in the transmission
+protocol: the BFS knowledge frontier for the Receiver's knowledge of
+``x_0``, the epistemic-depth ordering (the Receiver learns the value
+strictly before the Sender learns that it has), and the effect of a
+priori information (onset shifts to depth 0).
+"""
+
+from repro.core import KnowledgeOperator
+from repro.predicates import disjunction
+from repro.runs import knowledge_onset_by_depth
+from repro.seqtrans import SeqTransParams, bounded_loss, build_standard_protocol
+from repro.seqtrans.standard import fact_x_k
+from repro.transformers import strongest_invariant
+
+from .conftest import once, record
+
+PARAMS = SeqTransParams(length=1)
+
+
+def _instance(apriori=None):
+    params = SeqTransParams(length=1, apriori=apriori)
+    program = build_standard_protocol(params, bounded_loss(1))
+    operator = KnowledgeOperator.of_program(program, strongest_invariant(program))
+    return program, operator
+
+
+def test_onset_frontier(benchmark):
+    program, operator = _instance()
+    fact = fact_x_k(program.space, 0, "a")
+    profile = once(
+        benchmark, knowledge_onset_by_depth, program, "Receiver", fact, operator
+    )
+    assert profile.knowing[0] == 0
+    assert profile.earliest_onset() >= 2
+    record(
+        benchmark,
+        new_states_by_depth=list(profile.new_states),
+        knowing_by_depth=list(profile.knowing),
+        earliest_onset=profile.earliest_onset(),
+    )
+
+
+def test_apriori_onset_shift(benchmark):
+    def run():
+        out = {}
+        for label, apriori in (("none", None), ("x0_known", {0: "a"})):
+            program, operator = _instance(apriori)
+            fact = fact_x_k(program.space, 0, "a")
+            profile = knowledge_onset_by_depth(program, "Receiver", fact, operator)
+            out[label] = profile.earliest_onset()
+        return out
+
+    onsets = once(benchmark, run)
+    assert onsets["x0_known"] == 0
+    assert onsets["none"] >= 2
+    record(benchmark, **{f"onset_{k}": v for k, v in onsets.items()})
+
+
+def test_epistemic_depth_ordering(benchmark):
+    """time(K_R value) < time(K_S K_R value) on matched seeds."""
+    program, operator = _instance()
+    space = program.space
+    knows_value = disjunction(
+        space,
+        [
+            operator.knows("Receiver", fact_x_k(space, 0, alpha))
+            for alpha in ("a", "b")
+        ],
+    )
+
+    def run():
+        # Matched seeds: the same schedule measured against both goals.
+        from repro.sim import Executor
+
+        k_s = operator.knows("Sender", knows_value)
+        firsts, seconds = [], []
+        for seed in range(15):
+            run1 = Executor(program, seed=seed).run(knows_value, max_steps=30_000)
+            run2 = Executor(program, seed=seed).run(k_s, max_steps=30_000)
+            firsts.append(run1.steps)
+            seconds.append(run2.steps)
+        return sum(firsts) / len(firsts), sum(seconds) / len(seconds)
+
+    first_mean, second_mean = once(benchmark, run)
+    assert second_mean > first_mean
+    record(
+        benchmark,
+        receiver_learns_value=round(first_mean, 1),
+        sender_learns_receiver_knows=round(second_mean, 1),
+    )

@@ -1,0 +1,68 @@
+"""E15 — ablation: the two independent leads-to algorithms.
+
+DESIGN.md §5 calls out the decision to implement fair progress checking
+twice — the ``wlt`` least-fixpoint (mirrors how UNITY proofs compose) and
+the SCC fair-cycle refuter (a graph algorithm).  This bench measures both
+on the same obligations and re-asserts their agreement; the refuter's
+reachable-set locality is why it is the default inside ``check_spec``.
+"""
+
+import random
+
+from repro.predicates import Predicate
+from repro.proofs import holds_leads_to, refute_leads_to, wlt
+from repro.seqtrans import SeqTransParams, bounded_loss, build_standard_protocol
+from repro.seqtrans.spec import w_length_eq, w_length_gt
+from repro.transformers import strongest_invariant
+
+from .conftest import once, record
+
+PARAMS = SeqTransParams(length=1)
+
+
+def _instance():
+    program = build_standard_protocol(PARAMS, bounded_loss(1))
+    si = strongest_invariant(program)
+    space = program.space
+    return program, si, w_length_eq(space, 0), w_length_gt(space, 0)
+
+
+def test_wlt_fixpoint(benchmark):
+    program, si, p, q = _instance()
+    verdict = benchmark(lambda: p.entails(wlt(program, q, si)))
+    assert verdict
+    record(benchmark, algorithm="wlt least fixpoint", verdict=verdict)
+
+
+def test_scc_refuter(benchmark):
+    program, si, p, q = _instance()
+    refutation = benchmark(refute_leads_to, program, p, q, si)
+    assert refutation is None
+    record(benchmark, algorithm="SCC fair-cycle refuter", verdict=True)
+
+
+def test_agreement_under_randomized_obligations(benchmark):
+    """Both algorithms agree on 60 random (p, q) pairs over the protocol SI."""
+    program, si, _, _ = _instance()
+    space = program.space
+    rng = random.Random(2024)
+    reachable = list(si.indices())
+
+    def run():
+        checked = 0
+        for _ in range(60):
+            p = Predicate.from_indices(
+                space, rng.sample(reachable, k=rng.randint(1, 8))
+            )
+            q = Predicate.from_indices(
+                space, rng.sample(reachable, k=rng.randint(1, 8))
+            )
+            by_wlt = p.entails(wlt(program, q, si))
+            by_refuter = refute_leads_to(program, p, q, si) is None
+            assert by_wlt == by_refuter
+            checked += 1
+        return checked
+
+    checked = once(benchmark, run)
+    assert checked == 60
+    record(benchmark, obligations=checked, disagreements=0)

@@ -1,0 +1,55 @@
+"""E14 — eq. (25) with **multiple** solutions: knowledge-based mutex.
+
+Completes the solution-count trichotomy the paper's theory allows
+(Figure 1: none; Figure 2 & the sequence protocol: one; here: two) and
+quantifies the paper's "results are valid for any solution" caveat:
+mutual exclusion is guaranteed, progress is not.
+"""
+
+from repro.core import solve_si
+from repro.puzzles import analyze_mutex, naive_mutex, token_mutex
+
+from .conftest import once, record
+
+
+def test_naive_mutex_two_solutions(benchmark):
+    analysis = once(benchmark, analyze_mutex, naive_mutex())
+    assert analysis.solutions == 2
+    assert analysis.mutex_in_all
+    assert analysis.liveness_guaranteed == (False, False)
+    record(
+        benchmark,
+        solutions=analysis.solutions,
+        mutex_in_all=analysis.mutex_in_all,
+        liveness_guaranteed=str(analysis.liveness_guaranteed),
+        per_solution_liveness=str(analysis.liveness),
+    )
+
+
+def test_token_mutex_unique_and_fair(benchmark):
+    analysis = once(benchmark, analyze_mutex, token_mutex())
+    assert analysis.solutions == 1
+    assert analysis.mutex_in_all
+    assert analysis.liveness_guaranteed == (True, True)
+    record(
+        benchmark,
+        solutions=analysis.solutions,
+        mutex_in_all=analysis.mutex_in_all,
+        liveness_guaranteed=str(analysis.liveness_guaranteed),
+    )
+
+
+def test_solution_trichotomy(benchmark):
+    """None / one / many — all three regimes of eq. (25), side by side."""
+    from repro.figures import fig1_program, fig2_program
+
+    def run():
+        return {
+            "fig1": len(solve_si(fig1_program()).solutions),
+            "fig2": len(solve_si(fig2_program()).solutions),
+            "naive_mutex": len(solve_si(naive_mutex()).solutions),
+        }
+
+    counts = once(benchmark, run)
+    assert counts == {"fig1": 0, "fig2": 1, "naive_mutex": 2}
+    record(benchmark, **counts)

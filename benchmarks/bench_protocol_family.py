@@ -1,0 +1,112 @@
+"""E11 — the protocol family: Figure 4, alternating bit, Stenning.
+
+The paper (after [HZar]) presents these as refinements of one
+knowledge-based protocol.  Regenerated here: all three satisfy the
+specification over the channels that meet the liveness assumption, and the
+randomized executor compares their message costs across loss rates — the
+*shape* to reproduce is that message counts grow with the loss rate and
+that all three protocols track each other (they implement the same
+knowledge strategy).
+"""
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.seqtrans import (
+    LOSSY,
+    SeqTransParams,
+    bounded_loss,
+    build_alternating_bit,
+    build_standard_protocol,
+    build_stenning,
+    check_spec,
+    delivered_all,
+)
+from repro.sim import average_messages
+
+from .conftest import once, record
+
+PARAMS = SeqTransParams(length=1)
+
+BUILDERS = {
+    "figure4": (build_standard_protocol, ("snd_data", "rcv_ack")),
+    "alternating_bit": (build_alternating_bit, ("ab_snd_data", "ab_rcv_ack")),
+    "stenning": (build_stenning, ("st_snd_data", "st_rcv_ack")),
+}
+
+
+def test_family_correctness(benchmark):
+    """Every member satisfies (34)+(35) over the bounded-loss channel."""
+
+    def run():
+        verdicts = {}
+        for name, (builder, _) in BUILDERS.items():
+            program = builder(PARAMS, bounded_loss(1))
+            verdicts[name] = check_spec(program, PARAMS).satisfied
+        return verdicts
+
+    verdicts = once(benchmark, run)
+    assert all(verdicts.values())
+    record(benchmark, **verdicts)
+
+
+@pytest.mark.parametrize("loss_weight", [0.0, 1.0, 3.0])
+def test_family_message_cost_vs_loss(benchmark, loss_weight):
+    """Message counts per full delivery, as channel loss pressure grows.
+
+    ``loss_weight`` is the scheduling weight of each ``lose_*`` statement
+    relative to protocol statements (0 = reliable-like behaviour of the
+    lossy channel; larger = messages dropped more often before receipt).
+    """
+
+    def run():
+        costs = {}
+        for name, (builder, transmit) in BUILDERS.items():
+            program = builder(PARAMS, LOSSY)
+            weights = {"lose_data": loss_weight, "lose_ack": loss_weight}
+            goal = delivered_all(program.space, PARAMS)
+            stats = average_messages(
+                program,
+                goal,
+                transmit,
+                runs=15,
+                seed=1991,
+                weights=weights,
+                max_steps=50_000,
+            )
+            costs[name] = round(stats["messages"], 1)
+        return costs
+
+    costs = once(benchmark, run)
+    record(benchmark, loss_weight=loss_weight, **costs)
+    assert all(v >= 1.0 for v in costs.values())
+
+
+def test_cost_grows_with_loss(benchmark):
+    """Sanity shape: for each protocol, more loss ⇒ no fewer messages."""
+
+    def run():
+        series = {name: [] for name in BUILDERS}
+        for loss_weight in (0.0, 2.0, 6.0):
+            for name, (builder, transmit) in BUILDERS.items():
+                program = builder(PARAMS, LOSSY)
+                goal = delivered_all(program.space, PARAMS)
+                stats = average_messages(
+                    program,
+                    goal,
+                    transmit,
+                    runs=15,
+                    seed=7,
+                    weights={"lose_data": loss_weight, "lose_ack": loss_weight},
+                    max_steps=50_000,
+                )
+                series[name].append(stats["messages"])
+        return series
+
+    series = once(benchmark, run)
+    for name, values in series.items():
+        assert values[0] <= values[-1] * 1.25, (name, values)
+    record(
+        benchmark,
+        **{name: [round(v, 1) for v in values] for name, values in series.items()},
+    )

@@ -1,0 +1,100 @@
+"""E12 — §3: predicate-transformer knowledge ≡ [HM90] view-based knowledge.
+
+On reachable states, eq. (13)'s K_i agrees with "true at every
+indistinguishable reachable point".  Regenerated over the paper's programs
+and a random batch; the history-view comparison quantifies what the
+paper's explicit-history-variable remark buys.
+"""
+
+import random
+
+from repro.core import solve_si
+from repro.figures import fig2_program, fig2_weak_init
+from repro.core import resolve_at
+from repro.predicates import Predicate
+from repro.runs import agreement_with_transformer, history_strictly_stronger
+from repro.statespace import BoolDomain, space_of
+from repro.unity import Program, Statement, const, var
+
+from .conftest import once, record
+
+
+def test_agreement_on_fig2(benchmark):
+    program = fig2_program()
+    si = solve_si(program.with_init(fig2_weak_init(program))).strongest()
+    resolved = resolve_at(program, si)
+
+    def run():
+        checks = 0
+        for process in resolved.processes:
+            for mask in range(1 << resolved.space.size):
+                p = Predicate(resolved.space, mask)
+                assert agreement_with_transformer(resolved, process, p)
+                checks += 1
+        return checks
+
+    checks = once(benchmark, run)
+    record(benchmark, facts_checked=checks, disagreements=0)
+
+
+def test_agreement_on_random_programs(benchmark):
+    rng = random.Random(23)
+    space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+
+    def build(k):
+        statements = []
+        for s in range(2):
+            statements.append(
+                Statement(
+                    name=f"s{s}",
+                    targets=(rng.choice(space.names),),
+                    exprs=(const(rng.random() < 0.5),),
+                    guard=var(rng.choice(space.names)),
+                )
+            )
+        return Program(
+            space,
+            Predicate(space, rng.getrandbits(space.size) | 1),
+            statements,
+            processes={"P": ("a",), "Q": ("b", "c")},
+            name=f"rnd{k}",
+        )
+
+    def run():
+        checks = 0
+        for k in range(15):
+            program = build(k)
+            for _ in range(8):
+                p = Predicate(space, rng.getrandbits(space.size))
+                for process in ("P", "Q"):
+                    assert agreement_with_transformer(program, process, p)
+                    checks += 1
+        return checks
+
+    checks = once(benchmark, run)
+    record(benchmark, facts_checked=checks, disagreements=0)
+
+
+def test_history_views_strictly_stronger_somewhere(benchmark):
+    """[HM90]'s richer views: history can create knowledge the state view
+    lacks — exactly what adding history variables recovers."""
+    space = space_of(a=BoolDomain(), b=BoolDomain())
+    program = Program(
+        space,
+        Predicate.from_callable(space, lambda s: not s["a"] and not s["b"]),
+        [
+            Statement(name="set_a", targets=("a",), exprs=(const(True),)),
+            Statement(
+                name="clear_a",
+                targets=("a", "b"),
+                exprs=(const(False), const(True)),
+                guard=var("a"),
+            ),
+        ],
+        processes={"Watcher": ("a",)},
+        name="two-phase",
+    )
+    b = Predicate.from_callable(space, lambda s: s["b"])
+    gains = once(benchmark, history_strictly_stronger, program, "Watcher", b, 2)
+    assert gains
+    record(benchmark, points_with_history_gain=len(gains))

@@ -1,0 +1,66 @@
+"""E3 — eqs. (14)–(18): the knowledge transformer satisfies S5.
+
+Verified exhaustively (all predicates) on the paper's Figure-2 program and
+on a batch of random programs, plus the anti-monotonicity property (20).
+"""
+
+import random
+
+from repro.core import (
+    KnowledgeOperator,
+    check_antimonotonicity_in_si,
+    verify_all,
+)
+from repro.figures import fig2_program, fig2_weak_init
+from repro.core import solve_si
+from repro.predicates import Predicate, var_true
+from repro.statespace import BoolDomain, space_of
+
+from .conftest import once, record
+
+
+def test_s5_on_fig2_operator(benchmark):
+    """All S5 laws for the solved Figure-2 protocol, both processes."""
+    program = fig2_program()
+    si = solve_si(program.with_init(fig2_weak_init(program))).strongest()
+    operator = KnowledgeOperator(
+        program.space, si, {p.name: p.variables for p in program.processes.values()}
+    )
+
+    def run():
+        return [verify_all(operator, process) for process in ("P0", "P1")]
+
+    violations = once(benchmark, run)
+    assert all(v == [] for v in violations)
+    record(benchmark, laws_checked="14-19,21,23,24", processes=2, violations=0)
+
+
+def test_s5_on_random_operators(benchmark):
+    """S5 across 20 random SIs / views on a 3-Boolean space (exhaustive in p)."""
+    space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+    rng = random.Random(1991)
+
+    def run():
+        total_violations = 0
+        for _ in range(20):
+            si = Predicate(space, rng.getrandbits(space.size) | 1)
+            views = {"P": ["a"], "Q": ["a", "b"]}
+            operator = KnowledgeOperator(space, si, views)
+            for process in views:
+                total_violations += len(verify_all(operator, process, samples=64))
+        return total_violations
+
+    violations = once(benchmark, run)
+    assert violations == 0
+    record(benchmark, operators=20, violations=violations)
+
+
+def test_eq20_antimonotonicity(benchmark):
+    """(20): K_i p is anti-monotonic with respect to SI (exhaustive)."""
+    space = space_of(a=BoolDomain(), b=BoolDomain())
+    strong_si = var_true(space, "a") | var_true(space, "b")
+    weak = KnowledgeOperator(space, Predicate.true(space), {"P": ["a"]})
+    strong = KnowledgeOperator(space, strong_si, {"P": ["a"]})
+    violation = benchmark(check_antimonotonicity_in_si, weak, strong, "P")
+    assert violation is None
+    record(benchmark, antimonotone_in_si=True)

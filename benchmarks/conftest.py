@@ -1,0 +1,24 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one paper result (DESIGN.md §4).  Besides the
+timing, every bench *asserts* the reproduced claim and records the
+reproduced numbers in ``benchmark.extra_info`` so they land in the
+pytest-benchmark JSON/console output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def record(benchmark, **facts: Any) -> None:
+    """Attach reproduced facts to the benchmark record and echo them."""
+    for key, value in facts.items():
+        benchmark.extra_info[key] = value
+    summary = ", ".join(f"{k}={v}" for k, v in facts.items())
+    print(f"\n  [reproduced] {summary}")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's two counterexamples: knowledge-based protocols misbehave.
+
+Figure 1 — a KBP whose SI equation (25) has **no solution**: the program
+cannot be consistently implemented at all.
+
+Figure 2 — a KBP whose SI is **non-monotonic in the initial condition**:
+telling the processes *more* (strengthening init) destroys both a safety
+and a liveness property.
+
+Run:  python examples/kbp_pitfalls.py
+"""
+
+from repro import Predicate, var_true
+from repro.core import compare_inits, resolve_at, solve_si, solve_si_iterative, sp_hat
+from repro.figures import (
+    fig1_program,
+    fig2_program,
+    fig2_strong_init,
+    fig2_weak_init,
+)
+from repro.proofs import holds_leads_to
+from repro.transformers import check_monotonic
+
+
+def figure1() -> None:
+    print("=" * 64)
+    print("Figure 1: a knowledge-based protocol with no solution")
+    print("=" * 64)
+    program = fig1_program()
+    print(program)
+
+    report = solve_si(program)
+    print(f"\nExhaustive search over {report.candidates_checked} candidate SIs "
+          f"(all supersets of init): {len(report.solutions)} solutions.")
+
+    iterative = solve_si_iterative(program)
+    print(f"Φ-iteration from init: converged={iterative.converged}, "
+          f"cycle length={len(iterative.cycle)}")
+    for step, predicate in enumerate(iterative.cycle):
+        states = [dict(s) for s in predicate.states()]
+        print(f"   cycle[{step}]: {states}")
+
+    culprit = check_monotonic(sp_hat(program), program.space)
+    print(f"\nWhy: ŜP is not monotone — witness predicates of sizes "
+          f"{culprit.witnesses[0].count()} ⊆ {culprit.witnesses[1].count()} "
+          f"whose images are not ordered.")
+
+
+def figure2() -> None:
+    print("\n" + "=" * 64)
+    print("Figure 2: strengthening init weakens what the protocol does")
+    print("=" * 64)
+    program = fig2_program()
+    weak = fig2_weak_init(program)
+    strong = fig2_strong_init(program)
+    comparison = compare_inits(program, weak, strong)
+    space = program.space
+
+    print(f"init = ¬y      → SI = ¬y   ({comparison.si_weak.count()} states)")
+    print(f"init = ¬y ∧ x  → SI = x    ({comparison.si_strong.count()} states)")
+    print(f"SI monotone in init? {comparison.monotonic}")
+
+    z = var_true(space, "z")
+    for label, init in (("¬y", weak), ("¬y ∧ x", strong)):
+        variant = program.with_init(init)
+        si = solve_si(variant).strongest()
+        resolved = resolve_at(variant, si)
+        live = holds_leads_to(resolved, Predicate.true(space), z, si)
+        safe = si.entails(~var_true(space, "y"))
+        print(f"\n   init = {label}:")
+        print(f"      invariant ¬y : {safe}")
+        print(f"      true ↦ z     : {live}")
+    print("\nMore initial knowledge ⇒ process 0 acts 'too soon' ⇒ process 1")
+    print("never learns ¬y ⇒ the liveness property is lost.")
+
+
+if __name__ == "__main__":
+    figure1()
+    figure2()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Knowledge-based mutual exclusion: when eq. (25) has several solutions.
+
+The paper notes that its results for knowledge-based protocols "are valid
+for any solution" of the SI equation.  This example shows why that caveat
+bites: a natural knowledge-guarded mutex has *two* solutions, each of
+which silently starves one process — so the protocol, as a specification,
+guarantees mutual exclusion but no progress for anybody.  One shared bit
+fixes it.
+
+Run:  python examples/knowledge_mutex.py
+"""
+
+from repro.puzzles import analyze_mutex, naive_mutex, token_mutex
+from repro.core import solve_si
+
+
+def show(title: str, program) -> None:
+    print("=" * 64)
+    print(title)
+    print("=" * 64)
+    report = solve_si(program)
+    print(f"solutions of the SI equation (25): {len(report.solutions)}")
+    for index, solution in enumerate(report.solutions):
+        worlds = [dict(s) for s in solution.states()]
+        print(f"   solution {index}: reachable = {worlds}")
+    analysis = analyze_mutex(program)
+    print(f"mutual exclusion in every solution: {analysis.mutex_in_all}")
+    for index, (p0, p1) in enumerate(analysis.liveness):
+        print(f"   solution {index}: P0 eventually enters: {p0},  "
+              f"P1 eventually enters: {p1}")
+    guaranteed = analysis.liveness_guaranteed
+    print(f"liveness GUARANTEED by the protocol (true in all solutions): "
+          f"P0: {guaranteed[0]}, P1: {guaranteed[1]}\n")
+
+
+def main() -> None:
+    print(
+        "Each process wants:  enter_i : cs_i := true if K_i(¬cs_j)\n"
+        "— enter when you *know* the other is out.\n"
+    )
+    show("Shared-nothing version: two self-consistent asymmetric worlds",
+         naive_mutex())
+    print(
+        "Each solution is self-fulfilling: if process 0 never enters, ¬cs0\n"
+        "is invariant, so process 1 always knows it and monopolizes the CS\n"
+        "(and vice versa).  The knowledge-based protocol under-determines\n"
+        "the system: mutual exclusion holds, progress is nobody's.\n"
+    )
+    show("Token version: one shared `turn` bit restores a unique solution",
+         token_mutex())
+    print("With the token in each view, knowledge of the other's state is\n"
+          "grounded in communication, the solution is unique, and both\n"
+          "processes' liveness holds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Muddy children: public announcements as SI strengthening.
+
+Each silence ("no child knows whether it is muddy") is a public
+announcement; announcing a fact strengthens the possibility predicate,
+and by the paper's eq. (20) — K is anti-monotonic in SI — every
+announcement can only *create* knowledge.  The classical theorem falls out:
+with m muddy children, the muddy ones know exactly after m − 1 silences.
+
+Run:  python examples/muddy_children.py
+"""
+
+from repro.predicates import var_true
+from repro.puzzles import analyze_muddy_children, build_muddy_children
+from repro.puzzles.muddy_children import child, muddy_var, questions
+
+
+def walkthrough(muddy) -> None:
+    n = len(muddy)
+    label = ", ".join(f"child{i}={'muddy' if m else 'clean'}" for i, m in enumerate(muddy))
+    print(f"\nConfiguration: {label}")
+    system = build_muddy_children(n)
+    world = system.space.index_of({muddy_var(i): muddy[i] for i in range(n)})
+    qs = questions(system.space, n)
+
+    print(f"   after the father speaks: {system.worlds()} possible worlds")
+    result = analyze_muddy_children(muddy)
+    for r, row in enumerate(result.knows_at_round):
+        verdicts = " ".join(
+            f"child{i}:{'KNOWS' if row[i] else '—'}" for i in range(n)
+        )
+        print(f"   round {r}: {verdicts}")
+    m = result.muddy_count
+    for i in range(n):
+        if muddy[i]:
+            assert result.first_round_known(i) == m - 1
+    print(f"   ⇒ the {m} muddy children first know after {m - 1} silence(s) ✓")
+
+    # Epistemic detail: before anyone knows, "someone is muddy" is common
+    # knowledge while individual muddiness is not.
+    someone = system.possible
+    ck = system.common_knowledge([child(i) for i in range(n)], someone)
+    print(f"   'someone is muddy' common knowledge at the real world: "
+          f"{ck.holds_at(world)}")
+    own = system.knows(child(0), var_true(system.space, muddy_var(0)))
+    print(f"   child0 knows own muddiness initially: {own.holds_at(world)}")
+
+
+def main() -> None:
+    print("The muddy children puzzle, via the knowledge predicate transformer")
+    walkthrough((True, False, False))
+    walkthrough((True, True, False))
+    walkthrough((True, True, True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The sequence transmission problem (paper §6), end to end.
+
+Builds the bounded Figure-4 standard protocol over three channel models,
+model-checks the specification (34)–(35), verifies that the protocol
+*instantiates* the Figure-3 knowledge-based protocol, runs it under a
+randomized fair scheduler, and shows the §6.4 a-priori-knowledge effect.
+
+Run:  python examples/sequence_transmission.py
+"""
+
+from repro.seqtrans import (
+    LOSSY,
+    RELIABLE,
+    SeqTransParams,
+    TRANSMIT_STATEMENTS,
+    bounded_loss,
+    build_standard_protocol,
+    check_instantiation,
+    check_spec,
+    compare_with_apriori,
+    delivered_all,
+)
+from repro.sim import Executor
+
+
+def channel_matrix(params: SeqTransParams) -> None:
+    print("1. Specification vs channel model")
+    print(f"   (L={params.length}, A={params.alphabet})")
+    for name, channel in (
+        ("reliable     ", RELIABLE),
+        ("bounded-loss ", bounded_loss(1)),
+        ("lossy        ", LOSSY),
+    ):
+        program = build_standard_protocol(params, channel)
+        report = check_spec(program, params)
+        print(
+            f"   {name}: safety={report.safety_holds}  "
+            f"liveness={report.liveness_all}  (SI: {report.si_states} states)"
+        )
+    print("   → liveness needs the paper's channel assumption (St-3)/(St-4);")
+    print("     the unrestricted lossy channel violates it.\n")
+
+
+def instantiation(params: SeqTransParams) -> None:
+    print("2. Does Figure 4 instantiate the knowledge-based protocol (Fig. 3)?")
+    report = check_instantiation(params, bounded_loss(1))
+    print(f"   proposed (50)/(51) ⇒ true knowledge:  {report.sufficient}")
+    print(f"   proposed (50)/(51) ≡ true knowledge:  {all(t.exact for t in report.terms)}")
+    print(f"   transitions coincide on SI:           {report.transitions_match}")
+    print(f"   ⇒ instantiates: {report.instantiates}\n")
+
+
+def simulate(params: SeqTransParams) -> None:
+    print("3. A randomized fair execution (bounded-loss channel)")
+    program = build_standard_protocol(params, bounded_loss(1))
+    goal = delivered_all(program.space, params)
+    result = Executor(program, seed=2024).run(goal, max_steps=100_000)
+    print(f"   delivered in {result.steps} scheduler steps")
+    print(f"   data transmissions: {result.fired['snd_data']}, "
+          f"acks: {result.fired['rcv_ack']}, "
+          f"losses: {result.fired['lose_data'] + result.fired['lose_ack']}")
+    final = result.final_state
+    print(f"   final: x={final['x']}  w={final['w']}  (w == x: {tuple(final['w']) == tuple(final['x'])})\n")
+
+
+def apriori(params: SeqTransParams) -> None:
+    print("4. §6.4 — a priori knowledge: x_0 is known to be 'a' in advance")
+    with_info = SeqTransParams(
+        length=params.length, alphabet=params.alphabet, apriori={0: "a"}
+    )
+    report = check_instantiation(with_info, RELIABLE)
+    print(f"   standard protocol still correct (sufficient): {report.sufficient}")
+    print(f"   still an instantiation of the KBP:            {report.instantiates}")
+    comparison = compare_with_apriori(with_info, RELIABLE, runs=10)
+    print(f"   avg messages — standard: {comparison.standard_messages:.1f}, "
+          f"KBP-consistent: {comparison.kbp_messages:.1f} "
+          f"(saving {comparison.savings:.1f})")
+    print("   → the KBP-consistent protocol delivers known values immediately,")
+    print("     but is no longer implemented by Figure 4.")
+
+
+def main() -> None:
+    params = SeqTransParams(length=1)
+    channel_matrix(params)
+    instantiation(params)
+    simulate(params)
+    apriori(params)
+
+
+if __name__ == "__main__":
+    main()

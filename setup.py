@@ -1,0 +1,4 @@
+"""Legacy shim: lets `pip install -e .` work on toolchains without PEP 660 support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,185 @@
+"""repro — knowledge as a predicate transformer, and knowledge-based protocols.
+
+A complete, executable reproduction of Beverly Sanders' *"A Predicate
+Transformer Approach to Knowledge and Knowledge-Based Protocols"*
+(PODC 1991 extended abstract / ETH technical report, 1992).
+
+The library provides, bottom-up:
+
+* :mod:`repro.statespace` — finite domains, variables, state enumeration;
+* :mod:`repro.predicates` — exact semantic predicates (bitsets), the
+  weakest/strongest cylinders ``wcyl``/``scyl`` (eq. 6), fixpoints;
+* :mod:`repro.transformers` — ``sp``/``wp``, the program-level ``SP``
+  (eq. 26), the strongest stable predicate ``sst`` and strongest invariant
+  ``SI`` (eqs. 1–5), junctivity analyzers;
+* :mod:`repro.unity` — UNITY programs (expressions, guarded multiple
+  assignments, processes) plus a text DSL with ``K[i](...)`` guards;
+* :mod:`repro.core` — **the paper's contribution**: the knowledge operator
+  ``K_i`` (eq. 13), S5 and junctivity verification (eqs. 14–24), and the
+  knowledge-based-protocol solver for the self-referential SI equation
+  (eq. 25) with its well-posedness and monotonicity diagnostics;
+* :mod:`repro.proofs` — the UNITY proof theory (eqs. 27–33), the appendix
+  metatheorems as a machine-checked kernel, and fair model checking of
+  leads-to;
+* :mod:`repro.runs` — runs/points/views semantics ([HM90]) for
+  cross-validation;
+* :mod:`repro.figures` — the paper's Figure 1/2 counterexamples;
+* :mod:`repro.seqtrans` — the section-6 sequence transmission case study
+  (knowledge-based protocol, standard protocol, channels, classical
+  protocol family);
+* :mod:`repro.sim` — fair random execution and message-count harnesses;
+* :mod:`repro.puzzles` — muddy children / cheating husbands as
+  knowledge-analysis workloads.
+
+Quickstart::
+
+    from repro import parse_program, KnowledgeOperator, var_true
+
+    prog = parse_program('''
+        program demo
+        var a, b : bool
+        process P reads a
+        init !a && !b
+        assign  s0 : a := true if b
+             [] s1 : b := true
+        end
+    ''')
+    K = KnowledgeOperator.of_program(prog)
+    p = var_true(prog.space, "b")
+    print(K.knows("P", p))          # where P knows b
+"""
+
+from .core import (
+    KnowledgeOperator,
+    SolveReport,
+    compare_inits,
+    instantiates,
+    is_solution,
+    solve_si,
+    solve_si_iterative,
+    sp_hat,
+)
+from .predicates import (
+    Predicate,
+    depends_only_on,
+    everywhere,
+    pred,
+    scyl,
+    support,
+    var_cmp,
+    var_eq,
+    var_in,
+    var_true,
+    vars_cmp,
+    wcyl,
+)
+from .proofs import (
+    Ensures,
+    Invariant,
+    LeadsTo,
+    Proof,
+    ProofContext,
+    ProofError,
+    Stable,
+    Unless,
+    holds_ensures,
+    holds_invariant,
+    holds_leads_to,
+    holds_stable,
+    holds_unless,
+)
+from .statespace import (
+    BOT,
+    BoolDomain,
+    Domain,
+    EnumDomain,
+    IntRangeDomain,
+    OptionDomain,
+    SeqDomain,
+    State,
+    StateSpace,
+    TupleDomain,
+    Variable,
+    space_of,
+)
+from .transformers import (
+    sp_program,
+    sp_statement,
+    sst,
+    strongest_invariant,
+    wp_statement,
+)
+from .unity import (
+    Program,
+    Statement,
+    assign,
+    knows,
+    parse_expression,
+    parse_program,
+    quantified,
+    var,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KnowledgeOperator",
+    "SolveReport",
+    "compare_inits",
+    "instantiates",
+    "is_solution",
+    "solve_si",
+    "solve_si_iterative",
+    "sp_hat",
+    "Predicate",
+    "depends_only_on",
+    "everywhere",
+    "pred",
+    "scyl",
+    "support",
+    "var_cmp",
+    "var_eq",
+    "var_in",
+    "var_true",
+    "vars_cmp",
+    "wcyl",
+    "Ensures",
+    "Invariant",
+    "LeadsTo",
+    "Proof",
+    "ProofContext",
+    "ProofError",
+    "Stable",
+    "Unless",
+    "holds_ensures",
+    "holds_invariant",
+    "holds_leads_to",
+    "holds_stable",
+    "holds_unless",
+    "BOT",
+    "BoolDomain",
+    "Domain",
+    "EnumDomain",
+    "IntRangeDomain",
+    "OptionDomain",
+    "SeqDomain",
+    "State",
+    "StateSpace",
+    "TupleDomain",
+    "Variable",
+    "space_of",
+    "sp_program",
+    "sp_statement",
+    "sst",
+    "strongest_invariant",
+    "wp_statement",
+    "Program",
+    "Statement",
+    "assign",
+    "knows",
+    "parse_expression",
+    "parse_program",
+    "quantified",
+    "var",
+    "__version__",
+]

@@ -1,0 +1,284 @@
+"""Knowledge-based protocols and the fixed-point equation for their SI.
+
+Section 4 of the paper: when knowledge predicates appear in guards, the
+program's strongest postcondition depends on the knowledge predicates,
+which depend on ``SI``, which depends on ``SP`` — so ``SI`` is defined by
+the *self-referential* equation (25)::
+
+    SI ≡ strongest x : [ŜP.x ⇒ x] ∧ [init ⇒ x]
+
+where ``ŜP.x`` is ``SP`` of the standard program obtained by resolving the
+knowledge predicates against the candidate invariant ``x``.  Unlike the
+standard case, ``ŜP`` is **not monotonic**, so
+
+* a solution need not exist (the paper's Figure 1), and
+* even when solutions exist, ``SI`` need not be monotonic in the initial
+  condition (Figure 2) — strengthening ``init`` can destroy both safety and
+  liveness properties.
+
+A candidate ``x`` is a **solution** when the standard program ``P_x``
+(knowledge resolved at ``x``) has strongest invariant exactly ``x``::
+
+    Φ(x) = sst_{P_x}(init)      —  x solves (25)  iff  Φ(x) = x.
+
+Solvers: :func:`solve_si` enumerates all candidates ``⊇ init`` exhaustively
+(complete on small spaces), and :func:`solve_si_iterative` runs the Kleene
+chain ``init, Φ(init), Φ²(init), …``, which may converge, cycle, or reach a
+non-solution — all three outcomes are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..predicates import Predicate, iterate_to_fixpoint
+from ..transformers import sp_program, sst
+from ..unity import Knowledge, Program
+from .knowledge import KnowledgeOperator
+
+#: Exhaustive SI search enumerates supersets of init; refuse huge spaces.
+MAX_EXHAUSTIVE_STATES = 22
+
+
+def resolve_at(program: Program, candidate_si: Predicate) -> Program:
+    """The standard program ``P_x``: knowledge terms resolved at ``x``.
+
+    Each knowledge term ``K_i φ`` becomes the concrete predicate of
+    eq. (13) computed with ``SI = x`` (nested terms innermost-first).
+    """
+    operator = KnowledgeOperator(
+        program.space,
+        candidate_si,
+        {p.name: p.variables for p in program.processes.values()},
+    )
+    resolution = operator.resolve_terms(program.knowledge_terms())
+    return program.resolve(resolution)
+
+
+def resolution_at(
+    program: Program, candidate_si: Predicate
+) -> Dict[Knowledge, Predicate]:
+    """The knowledge-term resolution induced by a candidate SI."""
+    operator = KnowledgeOperator(
+        program.space,
+        candidate_si,
+        {p.name: p.variables for p in program.processes.values()},
+    )
+    return operator.resolve_terms(program.knowledge_terms())
+
+
+def phi(program: Program, candidate_si: Predicate) -> Predicate:
+    """``Φ(x) = sst_{P_x}(init)`` — the induced strongest invariant."""
+    resolved = resolve_at(program, candidate_si)
+    return sst(resolved, resolved.init).predicate
+
+
+def sp_hat(program: Program) -> Callable[[Predicate], Predicate]:
+    """The transformer ``ŜP``: ``x ↦ SP_{P_x}.x`` (eq. 25's body).
+
+    This is the object whose **lack of monotonicity** the paper identifies
+    as "the culprit" behind ill-posed knowledge-based protocols; feed it to
+    :func:`repro.transformers.check_monotonic` to exhibit that.
+    """
+
+    def transform(x: Predicate) -> Predicate:
+        return sp_program(resolve_at(program, x), x)
+
+    return transform
+
+
+def is_solution(program: Program, candidate_si: Predicate) -> bool:
+    """Whether ``candidate_si`` solves eq. (25) (i.e. ``Φ(x) = x``)."""
+    if not program.init.entails(candidate_si):
+        return False
+    return phi(program, candidate_si) == candidate_si
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """Result of the exhaustive SI search.
+
+    ``solutions`` are all fixed points of ``Φ`` above ``init``;
+    ``candidates_checked`` counts the supersets of ``init`` examined.
+    An empty ``solutions`` list certifies (on these finite spaces) that the
+    knowledge-based protocol has **no** consistent standard protocol —
+    Figure 1's situation.
+    """
+
+    solutions: Tuple[Predicate, ...]
+    candidates_checked: int
+
+    @property
+    def well_posed(self) -> bool:
+        """At least one solution exists."""
+        return bool(self.solutions)
+
+    @property
+    def unique(self) -> bool:
+        """Exactly one solution exists."""
+        return len(self.solutions) == 1
+
+    def strongest(self) -> Predicate:
+        """The strongest solution (smallest state set); raises if none."""
+        if not self.solutions:
+            raise ValueError("knowledge-based protocol has no solution")
+        # Prefer an actual ⊑-minimum when one exists; otherwise fall back to
+        # the solution with fewest states (solutions are pre-sorted by count).
+        for candidate in self.solutions:
+            if all(candidate.entails(other) for other in self.solutions):
+                return candidate
+        return self.solutions[0]
+
+
+def _supersets_of(base_mask: int, full_mask: int) -> Iterator[int]:
+    """All masks ``m`` with ``base ⊆ m ⊆ full``, via submask enumeration."""
+    free = full_mask & ~base_mask
+    sub = free
+    while True:
+        yield base_mask | sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & free
+
+
+def solve_si(program: Program) -> SolveReport:
+    """Exhaustively solve eq. (25): every candidate ``x ⊇ init`` is tested.
+
+    Complete (finds *all* solutions) but exponential in the number of
+    non-initial states; intended for the paper-scale counterexample models.
+    """
+    space = program.space
+    if space.size > MAX_EXHAUSTIVE_STATES:
+        raise ValueError(
+            f"state space of {space.size} states is too large for exhaustive "
+            f"SI search (limit {MAX_EXHAUSTIVE_STATES}); use solve_si_iterative"
+        )
+    if not program.is_knowledge_based():
+        # Standard program: eq. (25) degenerates to eq. (1); unique solution.
+        solution = sst(program, program.init).predicate
+        return SolveReport(solutions=(solution,), candidates_checked=1)
+    solutions: List[Predicate] = []
+    checked = 0
+    for mask in _supersets_of(program.init.mask, space.full_mask):
+        checked += 1
+        candidate = Predicate(space, mask)
+        if phi(program, candidate) == candidate:
+            solutions.append(candidate)
+    solutions.sort(key=lambda p: (p.count(), p.mask))
+    return SolveReport(solutions=tuple(solutions), candidates_checked=checked)
+
+
+@dataclass(frozen=True)
+class IterativeReport:
+    """Outcome of the Kleene iteration ``init, Φ(init), Φ²(init), …``.
+
+    ``converged`` means a fixed point of ``Φ`` was reached — i.e. an actual
+    solution of (25).  ``cycle`` holds the repeating segment otherwise
+    (possible because ``Φ`` inherits ``ŜP``'s non-monotonicity).
+    """
+
+    converged: bool
+    solution: Optional[Predicate]
+    iterations: int
+    cycle: Tuple[Predicate, ...] = ()
+
+
+def solve_si_iterative(
+    program: Program, max_iterations: Optional[int] = None
+) -> IterativeReport:
+    """Iterate ``Φ`` from ``init``; report fixed point or cycle.
+
+    Sound (a reported solution really solves (25)) but incomplete: when
+    ``Φ`` cycles, solutions may still exist elsewhere in the lattice —
+    the exhaustive solver decides that on small spaces.
+    """
+    result = iterate_to_fixpoint(
+        lambda x: phi(program, x), program.init, max_iterations
+    )
+    if result.converged:
+        return IterativeReport(
+            converged=True, solution=result.value, iterations=result.iterations
+        )
+    return IterativeReport(
+        converged=False,
+        solution=None,
+        iterations=result.iterations,
+        cycle=tuple(result.cycle),
+    )
+
+
+@dataclass(frozen=True)
+class InitMonotonicityReport:
+    """Comparison of SIs under a weaker and a stronger initial condition.
+
+    The paper's Figure 2 phenomenon: ``init_strong ⇒ init_weak`` but
+    ``si_strong ⇏ si_weak`` — reachability *grows* when fewer states may
+    start, so safety/liveness properties are not preserved.
+    """
+
+    init_weak: Predicate
+    init_strong: Predicate
+    si_weak: Predicate
+    si_strong: Predicate
+
+    @property
+    def monotonic(self) -> bool:
+        """Whether ``si_strong ⇒ si_weak`` (what standard programs guarantee)."""
+        return self.si_strong.entails(self.si_weak)
+
+
+def compare_inits(
+    program: Program, init_weak: Predicate, init_strong: Predicate
+) -> InitMonotonicityReport:
+    """Solve the protocol under both initial conditions and compare SIs.
+
+    Requires ``[init_strong ⇒ init_weak]`` and a unique solution for each
+    variant (which holds for Figure 2); raises otherwise.
+    """
+    if not init_strong.entails(init_weak):
+        raise ValueError("init_strong must imply init_weak")
+
+    def solved_si(init: Predicate) -> Predicate:
+        report = solve_si(program.with_init(init))
+        if not report.well_posed:
+            raise ValueError("protocol variant has no SI solution")
+        return report.strongest()
+
+    si_weak = solved_si(init_weak)
+    si_strong = solved_si(init_strong)
+    return InitMonotonicityReport(
+        init_weak=init_weak,
+        init_strong=init_strong,
+        si_weak=si_weak,
+        si_strong=si_strong,
+    )
+
+
+def instantiates(
+    kb_program: Program,
+    standard_program: Program,
+    proposed: Dict[Knowledge, Predicate],
+) -> bool:
+    """Whether a standard protocol *instantiates* the knowledge-based one.
+
+    Checks §6.3's criterion: the proposed predicates must coincide with the
+    true knowledge predicates computed from the standard protocol's own
+    strongest invariant, on the reachable states.  (Off ``SI`` the value is
+    immaterial — no execution visits those states.)
+    """
+    from ..transformers import strongest_invariant
+
+    si = strongest_invariant(standard_program)
+    operator = KnowledgeOperator(
+        kb_program.space,
+        si,
+        {p.name: p.variables for p in kb_program.processes.values()},
+    )
+    actual = operator.resolve_terms(kb_program.knowledge_terms())
+    for term, proposed_pred in proposed.items():
+        if term not in actual:
+            raise KeyError(f"term {term!r} not in the protocol's knowledge terms")
+        if not (proposed_pred & si) == (actual[term] & si):
+            return False
+    return True

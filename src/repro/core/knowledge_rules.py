@@ -1,0 +1,91 @@
+"""Proof rules bridging the knowledge operator and the UNITY proof kernel.
+
+The paper's metatheorems (14), (23), (24) let knowledge facts enter UNITY
+derivations.  Each rule validates its side conditions against the concrete
+:class:`~repro.core.KnowledgeOperator` (whose SI must agree with the proof
+context's) and returns a checked :class:`~repro.proofs.Proof`.
+"""
+
+from __future__ import annotations
+
+from ..predicates import Predicate, depends_only_on
+from ..proofs import Invariant, Proof, ProofContext, ProofError
+from .knowledge import KnowledgeOperator
+
+
+def _check_alignment(ctx: ProofContext, operator: KnowledgeOperator) -> None:
+    if operator.space != ctx.space:
+        raise ProofError("knowledge operator over a different state space")
+    if not operator.si == ctx.si:
+        raise ProofError(
+            "knowledge operator's SI differs from the proof context's — "
+            "knowledge facts would not be sound in this context"
+        )
+
+
+def k_truth(
+    ctx: ProofContext,
+    operator: KnowledgeOperator,
+    process: str,
+    p: Predicate,
+    note: str = "",
+) -> Proof:
+    """Eq. (14) as an invariant: ``invariant (K_i p ⇒ p)``.
+
+    Holds unconditionally (everywhere, in fact) by the definition (13).
+    """
+    _check_alignment(ctx, operator)
+    kp = operator.knows(process, p)
+    if not kp.entails(p):
+        raise ProofError("internal error: truth axiom (14) violated")
+    return Proof(Invariant(kp.implies(p)), "K-truth(14)", (), note)
+
+
+def k_invariant_intro(
+    ctx: ProofContext,
+    operator: KnowledgeOperator,
+    process: str,
+    premise: Proof,
+    note: str = "",
+) -> Proof:
+    """Eq. (23), ⇒ direction: ``invariant p ⊢ invariant K_i p``."""
+    _check_alignment(ctx, operator)
+    if not isinstance(premise.conclusion, Invariant):
+        raise ProofError("premise must be an invariant proof")
+    p = premise.conclusion.p
+    kp = operator.knows(process, p)
+    if not ctx.si.entails(kp):
+        raise ProofError("internal error: (23) violated")
+    return Proof(Invariant(kp), "K-invariant-intro(23)", (premise,), note)
+
+
+def k_localization(
+    ctx: ProofContext,
+    operator: KnowledgeOperator,
+    process: str,
+    q: Predicate,
+    p: Predicate,
+    premise: Proof,
+    note: str = "",
+) -> Proof:
+    """Eq. (24), ⇒ direction: local facts promote to knowledge.
+
+    From ``invariant (q ⇒ p)`` with ``q`` depending only on the process's
+    variables, conclude ``invariant (q ⇒ K_i p)``.  This is the paper's
+    route to (52): from ``invariant (z ≥ k ⇒ j ≥ k)`` (54), with ``z``
+    Sender-local, to ``invariant (z ≥ k ⇒ K_S(j ≥ k))``.
+    """
+    _check_alignment(ctx, operator)
+    if not isinstance(premise.conclusion, Invariant):
+        raise ProofError("premise must be an invariant proof")
+    if not ctx.si.entails(premise.conclusion.p.iff(q.implies(p))):
+        raise ProofError("premise is not `invariant (q ⇒ p)` for the given q, p")
+    if not depends_only_on(q, operator.vars_of(process)):
+        raise ProofError(
+            f"(24) needs q to depend only on {process}'s variables"
+        )
+    kp = operator.knows(process, p)
+    conclusion = q.implies(kp)
+    if not ctx.si.entails(conclusion):
+        raise ProofError("internal error: (24) violated")
+    return Proof(Invariant(conclusion), "K-localization(24)", (premise,), note)

@@ -1,0 +1,271 @@
+"""Verification of the modal-logic properties of ``K_i`` (paper eqs. 14–24).
+
+Equations (14)–(18) are the S5 axioms (knowledge axiom T, distribution K,
+positive and negative introspection 4 and 5, and necessitation); (19)–(22)
+are junctivity properties; (23)–(24) relate knowledge to invariants.
+
+Every check here is *exhaustive over predicates* on small spaces (a proof,
+not a test) and returns ``None`` on success or a counterexample witness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..predicates import Predicate, depends_only_on
+from ..statespace import StateSpace
+from ..transformers import all_predicates, random_predicate
+from .knowledge import KnowledgeOperator
+
+
+@dataclass(frozen=True)
+class S5Violation:
+    """A failed S5/knowledge law, with the offending predicates."""
+
+    law: str
+    witnesses: Tuple[Predicate, ...]
+
+    def __repr__(self) -> str:
+        return f"S5Violation({self.law})"
+
+
+def _predicates(
+    space: StateSpace, samples: Optional[int], rng: Optional[random.Random]
+) -> Iterator[Predicate]:
+    if samples is None:
+        yield from all_predicates(space)
+    else:
+        rng = rng or random.Random(0)
+        for _ in range(samples):
+            yield random_predicate(space, rng)
+
+
+def check_truth_axiom(
+    op: KnowledgeOperator,
+    process: str,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[S5Violation]:
+    """Eq. (14): ``[K_i p ⇒ p]`` — knowledge is true."""
+    for p in _predicates(op.space, samples, rng):
+        if not op.knows(process, p).entails(p):
+            return S5Violation("(14) [K_i p => p]", (p,))
+    return None
+
+
+def check_distribution(
+    op: KnowledgeOperator,
+    process: str,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[S5Violation]:
+    """Eq. (15): ``[(K_i p ∧ K_i(p ⇒ q)) ⇒ K_i q]`` — axiom K."""
+    space = op.space
+    if samples is None:
+        pairs = ((p, q) for p in all_predicates(space) for q in all_predicates(space))
+    else:
+        rng = rng or random.Random(0)
+        pairs = (
+            (random_predicate(space, rng), random_predicate(space, rng))
+            for _ in range(samples)
+        )
+    for p, q in pairs:
+        lhs = op.knows(process, p) & op.knows(process, p.implies(q))
+        if not lhs.entails(op.knows(process, q)):
+            return S5Violation("(15) distribution", (p, q))
+    return None
+
+
+def check_positive_introspection(
+    op: KnowledgeOperator,
+    process: str,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[S5Violation]:
+    """Eq. (16): ``[K_i p ≡ K_i K_i p]`` — axiom 4 (as an equivalence)."""
+    for p in _predicates(op.space, samples, rng):
+        kp = op.knows(process, p)
+        if not kp == op.knows(process, kp):
+            return S5Violation("(16) positive introspection", (p,))
+    return None
+
+
+def check_negative_introspection(
+    op: KnowledgeOperator,
+    process: str,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[S5Violation]:
+    """Eq. (17): ``[¬K_i p ≡ K_i ¬K_i p]`` — axiom 5 (as an equivalence).
+
+    Note: with the eq.-(13) definition this equivalence is guaranteed on the
+    *reachable* states (within SI); on unreachable states ``K_i q`` takes the
+    value of ``q``, which keeps (17) an exact equivalence there too.
+    """
+    for p in _predicates(op.space, samples, rng):
+        not_kp = ~op.knows(process, p)
+        if not not_kp == op.knows(process, not_kp):
+            return S5Violation("(17) negative introspection", (p,))
+    return None
+
+
+def check_necessitation(
+    op: KnowledgeOperator,
+    process: str,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[S5Violation]:
+    """Eq. (18): ``[p] ⇒ [K_i p]`` — valid facts are known."""
+    for p in _predicates(op.space, samples, rng):
+        if p.is_everywhere() and not op.knows(process, p).is_everywhere():
+            return S5Violation("(18) necessitation", (p,))
+    return None
+
+
+def check_monotonicity_in_p(
+    op: KnowledgeOperator,
+    process: str,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[S5Violation]:
+    """Eq. (19): ``K_i`` is monotonic with respect to ``p``."""
+    space = op.space
+    if samples is None:
+        pairs = ((p, q) for p in all_predicates(space) for q in all_predicates(space))
+    else:
+        rng = rng or random.Random(0)
+        pairs = (
+            (random_predicate(space, rng), random_predicate(space, rng))
+            for _ in range(samples)
+        )
+    for p, q in pairs:
+        q = p | q if samples is not None else q
+        if p.entails(q) and not op.knows(process, p).entails(op.knows(process, q)):
+            return S5Violation("(19) monotone in p", (p, q))
+    return None
+
+
+def check_antimonotonicity_in_si(
+    op_weak: KnowledgeOperator,
+    op_strong: KnowledgeOperator,
+    process: str,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[S5Violation]:
+    """Eq. (20): ``K_i p`` is anti-monotonic with respect to ``SI``.
+
+    Fewer possible states ⇒ more knowledge: if ``SI' ⇒ SI`` then
+    ``K_i^{SI} p ⇒ K_i^{SI'} p`` **on the states where both are defined the
+    same way** — per eq. (13) the operators also differ on unreachable
+    states, so the comparison is made under the stronger SI (where both
+    SIs hold the classical reading applies).
+    """
+    if not op_strong.si.entails(op_weak.si):
+        raise ValueError("op_strong must have the stronger (smaller) SI")
+    for p in _predicates(op_weak.space, samples, rng):
+        weak_k = op_weak.knows(process, p) & op_strong.si
+        strong_k = op_strong.knows(process, p) & op_strong.si
+        if not weak_k.entails(strong_k):
+            return S5Violation("(20) anti-monotone in SI", (p,))
+    return None
+
+
+def check_universal_conjunctivity(
+    op: KnowledgeOperator, process: str
+) -> Optional[S5Violation]:
+    """Eq. (21): ``K_i`` is universally conjunctive (exhaustive, small spaces)."""
+    from ..transformers import check_universally_conjunctive
+
+    ce = check_universally_conjunctive(lambda p: op.knows(process, p), op.space)
+    if ce is not None:
+        return S5Violation("(21) universally conjunctive", ce.witnesses)
+    return None
+
+
+def find_disjunctivity_counterexample(
+    op: KnowledgeOperator, process: str
+) -> Optional[Tuple[Predicate, Predicate]]:
+    """Eq. (22): search for ``p, q`` with ``K_i p ∨ K_i q ≠ K_i(p ∨ q)``.
+
+    Returns a witness pair when the operator is **not** disjunctive (the
+    generic situation, per the paper), or ``None`` when it happens to be.
+    """
+    for p in all_predicates(op.space):
+        for q in all_predicates(op.space):
+            if not (op.knows(process, p) | op.knows(process, q)) == op.knows(
+                process, p | q
+            ):
+                return (p, q)
+    return None
+
+
+def check_invariant_equivalence(
+    op: KnowledgeOperator,
+    process: str,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[S5Violation]:
+    """Eq. (23): ``invariant p ≡ invariant K_i p`` (both read as ``[SI ⇒ ·]``)."""
+    for p in _predicates(op.space, samples, rng):
+        inv_p = op.si.entails(p)
+        inv_kp = op.si.entails(op.knows(process, p))
+        if inv_p != inv_kp:
+            return S5Violation("(23) invariant p ≡ invariant K_i p", (p,))
+    return None
+
+
+def check_local_invariant_equivalence(
+    op: KnowledgeOperator,
+    process: str,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Optional[S5Violation]:
+    """Eq. (24): for ``q`` over ``vars_i``: ``inv (q ⇒ p) ≡ inv (q ⇒ K_i p)``.
+
+    The result the expert reviewer of the paper thought was wrong; here it
+    is checked exhaustively (all local ``q``, all ``p``).
+    """
+    variables = op.vars_of(process)
+    space = op.space
+    local_qs: List[Predicate] = [
+        q for q in all_predicates(space) if depends_only_on(q, variables)
+    ]
+    for p in _predicates(space, samples, rng):
+        kp = op.knows(process, p)
+        for q in local_qs:
+            lhs = op.si.entails(q.implies(p))
+            rhs = op.si.entails(q.implies(kp))
+            if lhs != rhs:
+                return S5Violation("(24) local invariant equivalence", (p, q))
+    return None
+
+
+def verify_all(
+    op: KnowledgeOperator, process: str, samples: Optional[int] = None
+) -> List[S5Violation]:
+    """Run every check (14)–(19), (21)–(24); returns all violations found.
+
+    (20) needs a second operator and is exercised separately.
+    """
+    rng = random.Random(1991)
+    checks: List[Callable[[], Optional[S5Violation]]] = [
+        lambda: check_truth_axiom(op, process, samples, rng),
+        lambda: check_distribution(op, process, samples, rng),
+        lambda: check_positive_introspection(op, process, samples, rng),
+        lambda: check_negative_introspection(op, process, samples, rng),
+        lambda: check_necessitation(op, process, samples, rng),
+        lambda: check_monotonicity_in_p(op, process, samples, rng),
+        lambda: (
+            check_universal_conjunctivity(op, process) if samples is None else None
+        ),
+        lambda: check_invariant_equivalence(op, process, samples, rng),
+        lambda: check_local_invariant_equivalence(op, process, samples, rng),
+    ]
+    violations: List[S5Violation] = []
+    for check in checks:
+        violation = check()
+        if violation is not None:
+            violations.append(violation)
+    return violations

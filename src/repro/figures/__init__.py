@@ -1,0 +1,13 @@
+"""The paper's counterexample programs (Figures 1 and 2) as library objects."""
+
+from .fig1 import FIG1_TEXT, fig1_program
+from .fig2 import FIG2_TEXT, fig2_program, fig2_strong_init, fig2_weak_init
+
+__all__ = [
+    "FIG1_TEXT",
+    "fig1_program",
+    "FIG2_TEXT",
+    "fig2_program",
+    "fig2_strong_init",
+    "fig2_weak_init",
+]

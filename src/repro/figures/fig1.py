@@ -1,0 +1,45 @@
+"""Figure 1: a knowledge-based protocol with **no solution**.
+
+The paper's program::
+
+    var shared, x : boolean
+    processes V_0 = {shared}, V_1 = {shared, x}
+    init ¬shared ∧ ¬x
+    assign
+        shared := true           if K_0 ¬x
+      ▯ x, shared := true, false if shared
+
+"There is no possible choice for SI for which the resulting ``K_0 ¬x``
+will result in a standard protocol which actually yields this strongest
+invariant" — i.e. the fixed-point equation (25) has no solution; the
+exhaustive solver in :mod:`repro.core.kbp` certifies this by checking all
+eight candidates above ``init``.
+
+Intuition: if ``SI`` says the ``shared ∧ x`` states are unreachable, then
+``K_0 ¬x`` reduces to something that lets process 0 set ``shared``, after
+which process 1 can set ``x`` — making those states reachable after all;
+if ``SI`` admits them, ``K_0 ¬x`` is false everywhere process 0 could act,
+nothing ever happens, and the admitted states are *not* reachable.  Either
+way the candidate contradicts itself: ``ŜP`` is not monotone (section 4).
+"""
+
+from __future__ import annotations
+
+from ..unity import Program, parse_program
+
+FIG1_TEXT = """
+program fig1
+var shared, x : bool
+process P0 reads shared
+process P1 reads shared, x
+init !shared && !x
+assign
+  grant : shared := true if K[P0](!x)
+  [] consume : x, shared := true, false if shared
+end
+"""
+
+
+def fig1_program() -> Program:
+    """The Figure 1 knowledge-based protocol (4 states, 2 statements)."""
+    return parse_program(FIG1_TEXT)

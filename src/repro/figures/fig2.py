@@ -1,0 +1,55 @@
+"""Figure 2: SI of a knowledge-based protocol is **not monotonic in init**.
+
+The paper's program::
+
+    var x, y, z : boolean
+    processes V_0 = {y}, V_1 = {z}
+    assign
+        y := true if K_0 x
+      ▯ z := true if K_1 ¬y
+
+* With ``init = ¬y`` the strongest invariant is ``¬y``: process 0 never
+  learns ``x`` (its view ``{y}`` cannot distinguish ``x``), so ``y`` stays
+  false, so ``K_1 ¬y`` is everywhere true on SI and ``z`` is eventually set
+  — the liveness property ``true ↦ z`` **holds**.
+* With the *stronger* ``init = ¬y ∧ x``, the strongest invariant is ``x``:
+  now ``x`` holds in every possible state, so process 0 knows it
+  trivially and may set ``y``; consequently process 1 never knows ``¬y``,
+  ``z`` is never set, and ``true ↦ z`` **fails**.
+
+Strengthening the initial condition destroyed both the safety property
+``invariant ¬y`` and the liveness property — "violating one of the most
+intuitive and fundamental properties of standard programs".
+"""
+
+from __future__ import annotations
+
+from ..predicates import Predicate, var_true
+from ..unity import Program, parse_program
+
+FIG2_TEXT = """
+program fig2
+var x, y, z : bool
+process P0 reads y
+process P1 reads z
+init !y
+assign
+  set_y : y := true if K[P0](x)
+  [] set_z : z := true if K[P1](!y)
+end
+"""
+
+
+def fig2_program() -> Program:
+    """The Figure 2 knowledge-based protocol with the *weak* init ``¬y``."""
+    return parse_program(FIG2_TEXT)
+
+
+def fig2_weak_init(program: Program) -> Predicate:
+    """``init = ¬y``."""
+    return ~var_true(program.space, "y")
+
+
+def fig2_strong_init(program: Program) -> Predicate:
+    """``init = ¬y ∧ x`` — stronger, yet with a weaker (larger) SI."""
+    return ~var_true(program.space, "y") & var_true(program.space, "x")

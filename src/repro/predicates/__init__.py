@@ -1,0 +1,38 @@
+"""Exact semantic predicates over finite state spaces, with cylinders and fixpoints."""
+
+from .builders import pred, var_cmp, var_eq, var_in, var_true, vars_cmp
+from .cylinders import (
+    depends_only_on,
+    independent_of,
+    quantify_exists,
+    quantify_forall,
+    scyl,
+    support,
+    wcyl,
+)
+from .lattice import FixpointResult, gfp, iterate_to_fixpoint, lfp
+from .predicate import Predicate, conjunction, disjunction, everywhere
+
+__all__ = [
+    "Predicate",
+    "conjunction",
+    "disjunction",
+    "everywhere",
+    "pred",
+    "var_cmp",
+    "var_eq",
+    "var_in",
+    "var_true",
+    "vars_cmp",
+    "wcyl",
+    "scyl",
+    "depends_only_on",
+    "independent_of",
+    "support",
+    "quantify_forall",
+    "quantify_exists",
+    "FixpointResult",
+    "lfp",
+    "gfp",
+    "iterate_to_fixpoint",
+]

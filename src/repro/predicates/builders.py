@@ -1,0 +1,84 @@
+"""Convenience constructors for predicates over named variables.
+
+These build the "ground facts" of the paper — arbitrary predicates on the
+state space — from variable comparisons without writing explicit callables.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterable
+
+from ..statespace import State, StateSpace
+from .predicate import Predicate
+
+_OPS: dict = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def pred(space: StateSpace, fn: Callable[[State], Any]) -> Predicate:
+    """Lift a function on states to a predicate (alias of ``Predicate.from_callable``)."""
+    return Predicate.from_callable(space, fn)
+
+
+def var_eq(space: StateSpace, name: str, value: Any) -> Predicate:
+    """The predicate ``name == value``.
+
+    Computed arithmetically from the mixed-radix layout (no per-state
+    callable), so it is fast even on large spaces.
+    """
+    k = space.position(name)
+    var = space.variables[k]
+    digit = var.domain.index(value)
+    stride = space._strides[k]
+    radix = space._radix[k]
+    # Bit pattern: blocks of `stride` ones at offset digit*stride, repeating
+    # every radix*stride bits.
+    block = (1 << stride) - 1
+    period = radix * stride
+    mask = 0
+    offset = digit * stride
+    while offset < space.size:
+        mask |= block << offset
+        offset += period
+    return Predicate(space, mask)
+
+
+def var_in(space: StateSpace, name: str, values: Iterable[Any]) -> Predicate:
+    """The predicate ``name ∈ values``."""
+    result = Predicate.false(space)
+    for value in values:
+        result = result | var_eq(space, name, value)
+    return result
+
+
+def var_cmp(space: StateSpace, name: str, op: str, value: Any) -> Predicate:
+    """The predicate ``name <op> value`` for ``op`` in ``== != < <= > >=``."""
+    if op == "==":
+        return var_eq(space, name, value)
+    try:
+        fn = _OPS[op]
+    except KeyError:
+        raise ValueError(f"unknown comparison operator {op!r}") from None
+    domain = space.var(name).domain
+    return var_in(space, name, (v for v in domain.values if fn(v, value)))
+
+
+def var_true(space: StateSpace, name: str) -> Predicate:
+    """The predicate ``name`` for a Boolean variable."""
+    return var_eq(space, name, True)
+
+
+def vars_cmp(space: StateSpace, left: str, op: str, right: str) -> Predicate:
+    """The predicate ``left <op> right`` comparing two variables."""
+    try:
+        fn = _OPS[op]
+    except KeyError:
+        raise ValueError(f"unknown comparison operator {op!r}") from None
+    return Predicate.from_callable(space, lambda s: fn(s[left], s[right]))

@@ -1,0 +1,128 @@
+"""Cylinders: predicates that depend only on a subset of the variables.
+
+The paper's eq. (6) defines the *weakest cylinder*
+
+    wcyl.V.p  ≡  (∀ V̄ :: p)
+
+— the weakest predicate **stronger than** ``p`` which depends only on the
+variables in ``V`` (``V̄`` is the complement of ``V``).  Its dual, the
+*strongest cylinder* ``scyl.V.p ≡ (∃ V̄ :: p)``, is the strongest predicate
+weaker than ``p`` depending only on ``V``; it is the existential projection.
+
+Properties (7)–(12) of the paper hold by construction and are exercised in
+the test suite, including the non-disjunctivity counterexample (12).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List
+
+from .predicate import Predicate
+
+
+def wcyl(names: Iterable[str], p: Predicate) -> Predicate:
+    """Weakest cylinder ``wcyl.V.p = (∀ V̄ :: p)`` (paper eq. 6).
+
+    Holds at a state iff ``p`` holds at *every* state agreeing with it on
+    the variables in ``names``.
+    """
+    space = p.space
+    group_of, n_groups = space.cylinder_partition(names)
+    # A group survives iff p holds at every member.
+    all_true: List[bool] = [True] * n_groups
+    mask = p.mask
+    for i in range(space.size):
+        if not mask >> i & 1:
+            all_true[group_of[i]] = False
+    out = 0
+    for i in range(space.size):
+        if all_true[group_of[i]]:
+            out |= 1 << i
+    return Predicate(space, out)
+
+
+def scyl(names: Iterable[str], p: Predicate) -> Predicate:
+    """Strongest cylinder ``scyl.V.p = (∃ V̄ :: p)`` — existential projection.
+
+    Holds at a state iff ``p`` holds at *some* state agreeing with it on
+    the variables in ``names``.  Dual to :func:`wcyl`:
+    ``scyl.V.p ≡ ¬ wcyl.V.(¬p)``.
+    """
+    space = p.space
+    group_of, n_groups = space.cylinder_partition(names)
+    any_true: List[bool] = [False] * n_groups
+    mask = p.mask
+    for i in range(space.size):
+        if mask >> i & 1:
+            any_true[group_of[i]] = True
+    out = 0
+    for i in range(space.size):
+        if any_true[group_of[i]]:
+            out |= 1 << i
+    return Predicate(space, out)
+
+
+def depends_only_on(p: Predicate, names: Iterable[str]) -> bool:
+    """Whether ``p`` is independent of every variable outside ``names``.
+
+    This is the paper's notion "p depends only on variables in V": ``p`` has
+    the same value in any two states that differ only outside ``V``.
+    Equivalent to ``p ≡ wcyl.V.p`` (paper eq. 9).
+    """
+    space = p.space
+    group_of, n_groups = space.cylinder_partition(names)
+    # p must be constant on every group.
+    seen: List[int] = [-1] * n_groups  # -1 unseen, else 0/1
+    mask = p.mask
+    for i in range(space.size):
+        bit = mask >> i & 1
+        g = group_of[i]
+        if seen[g] == -1:
+            seen[g] = bit
+        elif seen[g] != bit:
+            return False
+    return True
+
+
+def independent_of(p: Predicate, name: str) -> bool:
+    """Whether ``p`` is independent of the single variable ``name``."""
+    space = p.space
+    others = [n for n in space.names if n != name]
+    if not others:
+        # p must be constant on the whole space.
+        return p.is_everywhere() or p.is_false()
+    return depends_only_on(p, others)
+
+
+def support(p: Predicate) -> FrozenSet[str]:
+    """The minimal set of variables ``p`` depends on.
+
+    For predicates over product spaces the dependency relation is
+    componentwise, so the minimal support is exactly the set of variables
+    ``p`` is *not* independent of.
+    """
+    return frozenset(
+        name for name in p.space.names if not independent_of(p, name)
+    )
+
+
+def quantify_forall(names: Iterable[str], p: Predicate) -> Predicate:
+    """``(∀ names :: p)`` — universally quantify *out* the given variables.
+
+    Note the complementary convention to :func:`wcyl`: here ``names`` are the
+    variables being eliminated.  ``quantify_forall(V̄, p) == wcyl(V, p)``.
+    """
+    space = p.space
+    keep = [n for n in space.names if n not in set(names)]
+    if not keep:
+        return Predicate.true(space) if p.is_everywhere() else Predicate.false(space)
+    return wcyl(keep, p)
+
+
+def quantify_exists(names: Iterable[str], p: Predicate) -> Predicate:
+    """``(∃ names :: p)`` — existentially quantify out the given variables."""
+    space = p.space
+    keep = [n for n in space.names if n not in set(names)]
+    if not keep:
+        return Predicate.false(space) if p.is_false() else Predicate.true(space)
+    return scyl(keep, p)

@@ -1,0 +1,103 @@
+"""Fixpoint machinery on the (finite, complete) lattice of predicates.
+
+The paper's central construction — the strongest stable predicate ``sst``
+(eq. 1, computed via eq. 3) — is a least fixed point.  On a finite space,
+Kleene iteration terminates for *any* total function, monotone or not, as
+long as the chain it produces stabilizes; for monotone functions the chain
+``false ⊑ f.false ⊑ f².false ⊑ …`` is ascending and hits the least fixed
+point in at most ``space.size`` steps.
+
+Knowledge-based protocols break exactly this (section 4 of the paper):
+their ``ŜP`` transformer is not monotone, so the Kleene chain may cycle
+without converging.  :class:`FixpointResult` records both outcomes so
+callers can distinguish them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .predicate import Predicate
+
+
+@dataclass(frozen=True)
+class FixpointResult:
+    """Outcome of a Kleene iteration.
+
+    ``value`` is the fixed point when ``converged`` is true.  When the chain
+    enters a nontrivial cycle instead (possible only for non-monotone
+    functions), ``converged`` is false, ``value`` is None, and ``cycle``
+    holds the repeating segment.
+    """
+
+    converged: bool
+    value: Optional[Predicate]
+    iterations: int
+    cycle: List[Predicate] = field(default_factory=list)
+
+    def require(self) -> Predicate:
+        """The fixed point, raising if the iteration did not converge."""
+        if not self.converged or self.value is None:
+            raise ValueError(
+                f"fixpoint iteration did not converge (cycle of length {len(self.cycle)})"
+            )
+        return self.value
+
+
+def iterate_to_fixpoint(
+    f: Callable[[Predicate], Predicate],
+    start: Predicate,
+    max_iterations: Optional[int] = None,
+) -> FixpointResult:
+    """Iterate ``x := f(x)`` from ``start`` until ``f(x) == x`` or a cycle recurs.
+
+    Cycle detection keeps the full history (chains over a space of ``n``
+    states have at most ``2^n`` distinct values but stabilize in ``≤ n+1``
+    steps when monotone, so the history stays short in practice).
+    """
+    limit = max_iterations if max_iterations is not None else 2 ** start.space.size + 1
+    seen = {start.mask: 0}
+    history = [start]
+    x = start
+    for step in range(1, limit + 1):
+        nxt = f(x)
+        if nxt == x:
+            return FixpointResult(converged=True, value=x, iterations=step - 1)
+        if nxt.mask in seen:
+            cycle = history[seen[nxt.mask]:]
+            return FixpointResult(
+                converged=False, value=None, iterations=step, cycle=cycle
+            )
+        seen[nxt.mask] = step
+        history.append(nxt)
+        x = nxt
+    raise RuntimeError(f"fixpoint iteration exceeded {limit} steps without a verdict")
+
+
+def lfp(f: Callable[[Predicate], Predicate], space_false: Predicate) -> FixpointResult:
+    """Least fixed point of a monotone ``f`` by Kleene iteration from ``false``.
+
+    ``space_false`` should be ``Predicate.false(space)``; passing a different
+    start computes the limit of that chain instead.
+    """
+    return iterate_to_fixpoint(f, space_false)
+
+
+def gfp(f: Callable[[Predicate], Predicate], space_true: Predicate) -> FixpointResult:
+    """Greatest fixed point of a monotone ``f`` by iteration from ``true``."""
+    return iterate_to_fixpoint(f, space_true)
+
+
+def is_monotone_on_chain(
+    f: Callable[[Predicate], Predicate], chain: List[Predicate]
+) -> bool:
+    """Check ``[p ⇒ q] ⇒ [f.p ⇒ f.q]`` along consecutive elements of a chain.
+
+    A cheap necessary condition used in diagnostics; full monotonicity
+    checking lives in :mod:`repro.transformers.junctivity`.
+    """
+    for p, q in zip(chain, chain[1:]):
+        if p.entails(q) and not f(p).entails(f(q)):
+            return False
+    return True

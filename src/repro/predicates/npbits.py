@@ -1,0 +1,26 @@
+"""Bitmask ↔ numpy bridges for the performance-critical inner loops.
+
+Predicates are canonically Python-int bitmasks (exact, hashable, cheap
+Boolean algebra).  The model checker and the from-text proof rules,
+however, need *per-state* operations composed with successor arrays —
+pure-Python loops over hundreds of thousands of states.  These helpers
+convert masks to/from numpy bool arrays so those loops vectorize; they are
+internal (results are always converted back to exact masks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mask_to_array(mask: int, size: int) -> "np.ndarray":
+    """The bitmask as a bool array of length ``size`` (bit i → index i)."""
+    raw = mask.to_bytes((size + 7) // 8, "little")
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+    return bits[:size].astype(bool)
+
+
+def array_to_mask(array: "np.ndarray") -> int:
+    """Inverse of :func:`mask_to_array`."""
+    packed = np.packbits(array.astype(np.uint8), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")

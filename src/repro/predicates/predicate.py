@@ -1,0 +1,233 @@
+"""Semantic predicates as exact bitsets over a finite state space.
+
+A predicate is a Boolean valued total function on the state space (paper
+section 2).  Over a finite space this is exactly a subset of states, which we
+represent as a Python integer bitmask: bit ``i`` is set iff the predicate
+holds in the state with index ``i``.  All the pointwise operators of the
+paper's predicate calculus — ``∧ ∨ ¬ ⇒ ⇐ ≡`` — become single integer
+operations, and the *everywhere* operator ``[p]`` is a comparison against the
+full mask.
+
+Note the paper's (and Dijkstra–Scholten's) convention: ``p ⇒ q`` applied
+pointwise is itself a predicate; universal validity is written ``[p ⇒ q]``.
+We mirror this: :meth:`Predicate.implies` is pointwise, and
+:meth:`Predicate.entails` / :func:`everywhere` close it under ``[·]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Union
+
+from ..statespace import State, StateSpace
+
+
+class Predicate:
+    """A subset of a state space, closed under the predicate calculus.
+
+    Instances are immutable.  Operators::
+
+        p & q    pointwise conjunction          p | q    pointwise disjunction
+        ~p       pointwise negation             p ^ q    pointwise xor
+        p - q    p ∧ ¬q
+        p.implies(q)   pointwise ⇒ (a Predicate)
+        p.iff(q)       pointwise ≡ (a Predicate)
+        p.entails(q)   the Boolean [p ⇒ q]
+        p == q         the Boolean [p ≡ q]
+    """
+
+    __slots__ = ("space", "mask")
+
+    def __init__(self, space: StateSpace, mask: int):
+        if mask < 0 or mask > space.full_mask:
+            raise ValueError(
+                f"mask {mask:#x} out of range for a space of {space.size} states"
+            )
+        self.space = space
+        self.mask = mask
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def true(cls, space: StateSpace) -> "Predicate":
+        """The predicate holding everywhere."""
+        return cls(space, space.full_mask)
+
+    @classmethod
+    def false(cls, space: StateSpace) -> "Predicate":
+        """The predicate holding nowhere."""
+        return cls(space, 0)
+
+    @classmethod
+    def from_callable(
+        cls, space: StateSpace, fn: Callable[[State], Any]
+    ) -> "Predicate":
+        """Lift a Python function on states to a predicate (evaluated once per state)."""
+        mask = 0
+        for i in range(space.size):
+            if fn(State(space, i)):
+                mask |= 1 << i
+        return cls(space, mask)
+
+    @classmethod
+    def from_indices(cls, space: StateSpace, indices: Iterable[int]) -> "Predicate":
+        """The predicate holding exactly at the given state indices."""
+        mask = 0
+        for i in indices:
+            if not 0 <= i < space.size:
+                raise IndexError(f"state index {i} out of range")
+            mask |= 1 << i
+        return cls(space, mask)
+
+    # ------------------------------------------------------------------
+    # the predicate calculus (pointwise operators)
+    # ------------------------------------------------------------------
+
+    def _check(self, other: "Predicate") -> None:
+        if not isinstance(other, Predicate):
+            raise TypeError(f"expected a Predicate, got {type(other).__name__}")
+        if other.space is not self.space and other.space != self.space:
+            raise ValueError("predicates over different state spaces")
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        self._check(other)
+        return Predicate(self.space, self.mask & other.mask)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        self._check(other)
+        return Predicate(self.space, self.mask | other.mask)
+
+    def __xor__(self, other: "Predicate") -> "Predicate":
+        self._check(other)
+        return Predicate(self.space, self.mask ^ other.mask)
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(self.space, self.space.full_mask & ~self.mask)
+
+    def __sub__(self, other: "Predicate") -> "Predicate":
+        self._check(other)
+        return Predicate(self.space, self.mask & ~other.mask)
+
+    def implies(self, other: "Predicate") -> "Predicate":
+        """Pointwise ``self ⇒ other`` (a predicate, per the paper's convention)."""
+        self._check(other)
+        return Predicate(
+            self.space, (self.space.full_mask & ~self.mask) | other.mask
+        )
+
+    def iff(self, other: "Predicate") -> "Predicate":
+        """Pointwise ``self ≡ other``."""
+        self._check(other)
+        return Predicate(self.space, self.space.full_mask & ~(self.mask ^ other.mask))
+
+    # ------------------------------------------------------------------
+    # the everywhere operator [·]
+    # ------------------------------------------------------------------
+
+    def is_everywhere(self) -> bool:
+        """The Boolean ``[self]`` — true iff the predicate holds in every state."""
+        return self.mask == self.space.full_mask
+
+    def is_false(self) -> bool:
+        """True iff the predicate holds in no state."""
+        return self.mask == 0
+
+    def entails(self, other: "Predicate") -> bool:
+        """The Boolean ``[self ⇒ other]`` ("self is stronger than other")."""
+        self._check(other)
+        return self.mask & ~other.mask == 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Predicate):
+            self._check(other)
+            return self.mask == other.mask
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(self.space), self.mask))
+
+    # ------------------------------------------------------------------
+    # extension queries
+    # ------------------------------------------------------------------
+
+    def holds_at(self, state: Union[State, int]) -> bool:
+        """Whether the predicate holds in a given state (or state index)."""
+        index = state.index if isinstance(state, State) else state
+        if not 0 <= index < self.space.size:
+            raise IndexError(f"state index {index} out of range")
+        return bool(self.mask >> index & 1)
+
+    def count(self) -> int:
+        """Number of states satisfying the predicate."""
+        return self.mask.bit_count()
+
+    def indices(self) -> Iterator[int]:
+        """Indices of satisfying states, ascending."""
+        mask = self.mask
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def states(self) -> Iterator[State]:
+        """Satisfying states, in index order."""
+        return (State(self.space, i) for i in self.indices())
+
+    def example(self) -> State:
+        """Some satisfying state (the least-index one).
+
+        Raises :class:`ValueError` when the predicate is everywhere false.
+        """
+        if self.mask == 0:
+            raise ValueError("predicate is everywhere false; no example state")
+        return State(self.space, (self.mask & -self.mask).bit_length() - 1)
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "a Predicate has no implicit truth value; use [p] via is_everywhere(), "
+            "satisfiability via not is_false(), or [p ⇒ q] via entails()"
+        )
+
+    def __repr__(self) -> str:
+        n = self.count()
+        if n == 0:
+            return "Predicate(false)"
+        if n == self.space.size:
+            return "Predicate(true)"
+        if n <= 4:
+            shown = ", ".join(repr(s.as_dict()) for s in self.states())
+            return f"Predicate({{{shown}}})"
+        return f"Predicate({n}/{self.space.size} states)"
+
+
+def everywhere(p: Predicate) -> bool:
+    """The everywhere operator ``[p]`` as a free function."""
+    return p.is_everywhere()
+
+
+def conjunction(space: StateSpace, predicates: Iterable[Predicate]) -> Predicate:
+    """``(∀ v : v ∈ W : v)`` — conjunction over a (possibly empty) bag.
+
+    The empty conjunction is ``true``, matching universal quantification
+    over an empty range.
+    """
+    mask = space.full_mask
+    for p in predicates:
+        if p.space is not space and p.space != space:
+            raise ValueError("predicates over different state spaces")
+        mask &= p.mask
+    return Predicate(space, mask)
+
+
+def disjunction(space: StateSpace, predicates: Iterable[Predicate]) -> Predicate:
+    """``(∃ v : v ∈ W : v)`` — disjunction over a (possibly empty) bag.
+
+    The empty disjunction is ``false``.
+    """
+    mask = 0
+    for p in predicates:
+        if p.space is not space and p.space != space:
+            raise ValueError("predicates over different state spaces")
+        mask |= p.mask
+    return Predicate(space, mask)

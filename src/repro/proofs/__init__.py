@@ -1,0 +1,42 @@
+"""UNITY proof theory: properties, from-text checks, fair model checking, kernel."""
+
+from .checking import (
+    helpful_statements,
+    holds_ensures,
+    holds_invariant,
+    holds_invariant_by_induction,
+    holds_stable,
+    holds_unless,
+)
+from .kernel import Proof, ProofContext, ProofError
+from .modelcheck import (
+    LeadsToRefutation,
+    check_leads_to_both,
+    holds_leads_to,
+    refute_leads_to,
+    wlt,
+)
+from .properties import Ensures, Invariant, LeadsTo, Property, Stable, Unless
+
+__all__ = [
+    "helpful_statements",
+    "holds_ensures",
+    "holds_invariant",
+    "holds_invariant_by_induction",
+    "holds_stable",
+    "holds_unless",
+    "Proof",
+    "ProofContext",
+    "ProofError",
+    "LeadsToRefutation",
+    "check_leads_to_both",
+    "holds_leads_to",
+    "refute_leads_to",
+    "wlt",
+    "Ensures",
+    "Invariant",
+    "LeadsTo",
+    "Property",
+    "Stable",
+    "Unless",
+]

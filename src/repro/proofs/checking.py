@@ -1,0 +1,120 @@
+"""Direct "from the program text" checks of UNITY properties (eqs. 27–33).
+
+These implement the paper's basic proof rules literally, using the semantic
+``wp`` of each statement:
+
+* eq. (27)  ``p unless q  ≡  (∀s :: [SI ⇒ ((p ∧ ¬q) ⇒ wp.s.(p ∨ q))])``
+* eq. (28)  ``p ensures q ≡  p unless q ∧ (∃s :: [SI ⇒ ((p ∧ ¬q) ⇒ wp.s.q)])``
+* eq. (32)  the invariant rule with an auxiliary invariant ``I``
+* eq. (33)  ``stable p ≡ p unless false``
+
+All rules are relative to an invariant: Sanders' reformulation of UNITY
+[San91] replaces Chandy–Misra's substitution axiom by making ``unless`` and
+``ensures`` explicitly SI-relative.  Pass ``si`` yourself (e.g. ``true`` for
+the conservative check, or a proven invariant) or leave it ``None`` to use
+the program's computed strongest invariant.
+
+The per-state quantifications are vectorized over numpy (the obligations
+range over the whole space, not just the reachable set, whenever the
+auxiliary invariant is weaker than SI).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..predicates import Predicate
+from ..predicates.npbits import mask_to_array
+from ..transformers import strongest_invariant
+from ..unity import Program, Statement
+
+
+def _resolve_si(program: Program, si: Optional[Predicate]) -> Predicate:
+    if si is not None:
+        if si.space != program.space:
+            raise ValueError("si predicate over a different state space")
+        return si
+    return strongest_invariant(program)
+
+
+def holds_unless(
+    program: Program, p: Predicate, q: Predicate, si: Optional[Predicate] = None
+) -> bool:
+    """Eq. (27): ``p unless q`` directly from the text."""
+    si = _resolve_si(program, si)
+    size = program.space.size
+    danger = np.flatnonzero(mask_to_array((si & p & ~q).mask, size))
+    if danger.size == 0:
+        return True
+    target = mask_to_array((p | q).mask, size)
+    for stmt in program.statements:
+        successors = program.successor_np(stmt)
+        if not target[successors[danger]].all():
+            return False
+    return True
+
+
+def holds_ensures(
+    program: Program, p: Predicate, q: Predicate, si: Optional[Predicate] = None
+) -> bool:
+    """Eq. (28): ``p ensures q`` — ``unless`` plus a single helpful statement."""
+    if not holds_unless(program, p, q, si):
+        return False
+    return bool(helpful_statements(program, p, q, si))
+
+
+def helpful_statements(
+    program: Program, p: Predicate, q: Predicate, si: Optional[Predicate] = None
+) -> List[Statement]:
+    """The statements witnessing the existential in eq. (28)."""
+    si = _resolve_si(program, si)
+    size = program.space.size
+    danger = np.flatnonzero(mask_to_array((si & p & ~q).mask, size))
+    target = mask_to_array(q.mask, size)
+    out: List[Statement] = []
+    for stmt in program.statements:
+        successors = program.successor_np(stmt)
+        if danger.size == 0 or target[successors[danger]].all():
+            out.append(stmt)
+    return out
+
+
+def holds_stable(
+    program: Program, p: Predicate, si: Optional[Predicate] = None
+) -> bool:
+    """Eq. (33): ``stable p ≡ p unless false``."""
+    return holds_unless(program, p, Predicate.false(program.space), si)
+
+
+def holds_invariant_by_induction(
+    program: Program,
+    p: Predicate,
+    auxiliary: Optional[Predicate] = None,
+) -> bool:
+    """Eq. (32): ``invariant I ∧ (∀s :: [(p ∧ I) ⇒ wp.s.p]) ⇒ invariant p``.
+
+    ``auxiliary`` is the already-proven invariant ``I`` (``true`` when
+    omitted — always an invariant).  Also requires ``[init ⇒ p]``, which the
+    paper's statement of the rule leaves implicit in the definition of
+    **invariant** ("p holds initially...").
+    """
+    if not program.init.entails(p):
+        return False
+    size = program.space.size
+    inductive = p if auxiliary is None else p & auxiliary
+    sources = np.flatnonzero(mask_to_array(inductive.mask, size))
+    if sources.size == 0:
+        return True
+    target = mask_to_array(p.mask, size)
+    for stmt in program.statements:
+        successors = program.successor_np(stmt)
+        if not target[successors[sources]].all():
+            return False
+    return True
+
+
+def holds_invariant(program: Program, p: Predicate) -> bool:
+    """Eq. (5): ``invariant p ≡ [SI ⇒ p]`` — the definition, via computed SI."""
+    return strongest_invariant(program).entails(p)

@@ -1,0 +1,521 @@
+"""A machine-checked proof kernel for the UNITY logic of the paper.
+
+The paper's correctness arguments (section 6) are *derivations*: chains of
+basic proof-rule applications (eqs. 27–33) and metatheorems (appendix 8 —
+consequence weakening, conjunction, cancellation, generalized disjunction,
+PSP, plus transitivity (30), disjunction (31) and induction).  This module
+replays such derivations mechanically: every rule application validates its
+side conditions semantically on the finite space and returns a
+:class:`Proof` object; invalid steps raise :class:`ProofError`.
+
+Assumed properties — the paper's mixed-specification assumptions such as
+the channel liveness properties (St-1)–(St-4) and the stable-knowledge
+assumptions (Kbp-3)/(Kbp-4) — enter derivations through
+:meth:`ProofContext.assume`, and are recorded in the proof tree so the
+final theorem explicitly carries its assumption set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..predicates import Predicate
+from ..transformers import strongest_invariant
+from ..unity import Program
+from . import checking
+from .properties import Ensures, Invariant, LeadsTo, Property, Stable, Unless
+
+
+class ProofError(Exception):
+    """A proof rule was applied with unsatisfied side conditions."""
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A checked derivation of a UNITY property.
+
+    ``rule`` names the applied rule; ``premises`` are sub-proofs.  A proof
+    whose transitive premises contain rule ``"assumption"`` is valid only
+    relative to those assumptions (exactly the paper's usage).
+    """
+
+    conclusion: Property
+    rule: str
+    premises: Tuple["Proof", ...] = ()
+    note: str = ""
+
+    def assumptions(self) -> List[Property]:
+        """All assumption leaves in the derivation."""
+        if self.rule == "assumption":
+            return [self.conclusion]
+        out: List[Property] = []
+        for premise in self.premises:
+            out.extend(premise.assumptions())
+        return out
+
+    def size(self) -> int:
+        """Number of rule applications in the tree."""
+        return 1 + sum(premise.size() for premise in self.premises)
+
+    def pretty(self, indent: int = 0) -> str:
+        """Render the proof tree, one rule per line."""
+        pad = "  " * indent
+        note = f"   # {self.note}" if self.note else ""
+        lines = [f"{pad}{self.conclusion}   ⟨{self.rule}⟩{note}"]
+        for premise in self.premises:
+            lines.append(premise.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class ProofContext:
+    """A program, an invariant baseline, and a set of admitted assumptions.
+
+    ``si`` defaults to the program's computed strongest invariant; pass
+    ``Predicate.true(space)`` to reason without it (strictly harder
+    obligations, as the paper notes about choosing ``I = true`` in (32)).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        si: Optional[Predicate] = None,
+        assumptions: Iterable[Property] = (),
+    ):
+        self.program = program
+        self.space = program.space
+        self.si = si if si is not None else strongest_invariant(program)
+        self.assumptions: Tuple[Property, ...] = tuple(assumptions)
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+
+    def _require(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise ProofError(message)
+
+    def _valid(self, p: Predicate) -> bool:
+        """``[SI ⇒ p]`` — validity relative to the invariant baseline."""
+        return self.si.entails(p)
+
+    def false(self) -> Predicate:
+        return Predicate.false(self.space)
+
+    def true(self) -> Predicate:
+        return Predicate.true(self.space)
+
+    # ------------------------------------------------------------------
+    # leaves
+    # ------------------------------------------------------------------
+
+    def assume(self, prop: Property) -> Proof:
+        """Use an admitted assumption (must be registered in the context)."""
+        self._require(
+            prop in self.assumptions,
+            f"{prop} is not among the context's admitted assumptions",
+        )
+        return Proof(prop, "assumption")
+
+    def unless_from_text(self, p: Predicate, q: Predicate, note: str = "") -> Proof:
+        """Eq. (27) checked against every statement."""
+        self._require(
+            checking.holds_unless(self.program, p, q, self.si),
+            f"unless does not follow from the text: {Unless(p, q)}",
+        )
+        return Proof(Unless(p, q), "unless-from-text", note=note)
+
+    def ensures_from_text(self, p: Predicate, q: Predicate, note: str = "") -> Proof:
+        """Eq. (28) checked against every statement."""
+        self._require(
+            checking.holds_ensures(self.program, p, q, self.si),
+            f"ensures does not follow from the text: {Ensures(p, q)}",
+        )
+        return Proof(Ensures(p, q), "ensures-from-text", note=note)
+
+    def ensures_from_unless(self, unless_proof: Proof, note: str = "") -> Proof:
+        """``p unless q`` + a helpful statement from the text ⊢ ``p ensures q``.
+
+        The paper's route in the proof of (40): the ``unless`` part comes
+        from metatheorems (keeping the derivation abstract), and only the
+        single-statement existential of eq. (28) is read off the text.
+        """
+        p, q = self._as_unless(unless_proof)
+        self._require(
+            bool(checking.helpful_statements(self.program, p, q, self.si)),
+            f"no single statement establishes q from p ∧ ¬q for {Ensures(p, q)}",
+        )
+        return Proof(Ensures(p, q), "ensures-from-unless(28)", (unless_proof,), note)
+
+    def stable_from_text(self, p: Predicate, note: str = "") -> Proof:
+        """Eq. (33) via (27) with ``q = false``."""
+        self._require(
+            checking.holds_stable(self.program, p, self.si),
+            f"stable does not follow from the text: {Stable(p)}",
+        )
+        return Proof(Stable(p), "stable-from-text", note=note)
+
+    def invariant_by_induction(
+        self,
+        p: Predicate,
+        auxiliary: Optional[Proof] = None,
+        note: str = "",
+    ) -> Proof:
+        """Eq. (32): inductive invariance relative to a proven invariant ``I``."""
+        aux_pred = self.true()
+        premises: Tuple[Proof, ...] = ()
+        if auxiliary is not None:
+            self._require(
+                isinstance(auxiliary.conclusion, Invariant),
+                "auxiliary premise must be an invariant proof",
+            )
+            aux_pred = auxiliary.conclusion.p
+            premises = (auxiliary,)
+        self._require(
+            checking.holds_invariant_by_induction(self.program, p, aux_pred),
+            f"induction fails for {Invariant(p)}",
+        )
+        return Proof(Invariant(p), "invariant-induction(32)", premises, note)
+
+    def invariant_by_si(self, p: Predicate, note: str = "") -> Proof:
+        """Eq. (5): ``[SI ⇒ p]`` with the context's SI."""
+        self._require(self._valid(p), f"[SI ⇒ p] fails for {Invariant(p)}")
+        return Proof(Invariant(p), "invariant-by-SI(5)", note=note)
+
+    def invariant_init(self, note: str = "") -> Proof:
+        """``invariant true`` — available in every program."""
+        return Proof(Invariant(self.true()), "invariant-true", note=note)
+
+    def invariant_by_strengthening(self, p: Predicate, note: str = "") -> Proof:
+        """Prove ``invariant p`` by *automatic* auxiliary-invariant search.
+
+        Rule (32) needs an auxiliary invariant ``I`` making ``p ∧ I``
+        inductive; this rule computes the canonical choice — the largest
+        inductive subset of ``p`` — proves it by induction, and weakens.
+        Mechanizes what the paper's proofs do by hand when they chain
+        auxiliary invariants.
+        """
+        from ..transformers import largest_inductive_subset
+
+        strengthened = largest_inductive_subset(self.program, p)
+        self._require(
+            self.program.init.entails(strengthened),
+            f"no inductive strengthening of {Invariant(p)} contains init",
+        )
+        inductive = self.invariant_by_induction(
+            strengthened, note="largest inductive subset"
+        )
+        return Proof(
+            Invariant(p),
+            "invariant-auto-strengthening",
+            (inductive,),
+            note,
+        )
+
+    def invariant_weakening(self, proof: Proof, q: Predicate, note: str = "") -> Proof:
+        """``invariant p, [p ⇒ q] ⊢ invariant q`` (monotonicity of [SI ⇒ ·])."""
+        self._require(
+            isinstance(proof.conclusion, Invariant), "premise must be an invariant"
+        )
+        p = proof.conclusion.p
+        self._require(p.entails(q), "side condition [p ⇒ q] fails")
+        return Proof(Invariant(q), "invariant-weakening", (proof,), note)
+
+    def invariant_conjunction(self, left: Proof, right: Proof, note: str = "") -> Proof:
+        """``invariant p, invariant q ⊢ invariant (p ∧ q)``."""
+        for proof in (left, right):
+            self._require(
+                isinstance(proof.conclusion, Invariant), "premises must be invariants"
+            )
+        return Proof(
+            Invariant(left.conclusion.p & right.conclusion.p),
+            "invariant-conjunction",
+            (left, right),
+            note,
+        )
+
+    # ------------------------------------------------------------------
+    # structural rules on unless/stable
+    # ------------------------------------------------------------------
+
+    def _as_unless(self, proof: Proof) -> Tuple[Predicate, Predicate]:
+        conclusion = proof.conclusion
+        if isinstance(conclusion, Unless):
+            return conclusion.p, conclusion.q
+        if isinstance(conclusion, Stable):
+            return conclusion.p, self.false()
+        if isinstance(conclusion, Ensures):
+            # ensures includes its unless part by definition (28).
+            return conclusion.p, conclusion.q
+        raise ProofError(f"expected an unless/stable premise, got {conclusion}")
+
+    def consequence_weakening_unless(
+        self, proof: Proof, r: Predicate, note: str = ""
+    ) -> Proof:
+        """``p unless q, [q ⇒ r] ⊢ p unless r`` (appendix 8.2)."""
+        p, q = self._as_unless(proof)
+        self._require(self._valid(q.implies(r)), "side condition [q ⇒ r] fails")
+        return Proof(Unless(p, r), "unless-consequence-weakening", (proof,), note)
+
+    def antecedent_strengthening_unless(
+        self, proof: Proof, p_new: Predicate, note: str = ""
+    ) -> Proof:
+        """``p unless q, [p' ⇒ p] ⊢ p' unless q ∨ (p ∧ ¬p')`` — a sound corollary.
+
+        Any step from ``p' ∧ ¬q ⊆ p ∧ ¬q`` lands in ``p ∨ q``, and
+        ``p ∨ q ⊆ p' ∨ (q ∨ (p ∧ ¬p'))`` — so the conclusion follows with
+        no recheck of the text.
+        """
+        p, q = self._as_unless(proof)
+        self._require(self._valid(p_new.implies(p)), "side condition [p' ⇒ p] fails")
+        return Proof(
+            Unless(p_new, q | (p & ~p_new)),
+            "unless-antecedent-strengthening",
+            (proof,),
+            note,
+        )
+
+    def conjunction_unless(self, left: Proof, right: Proof, note: str = "") -> Proof:
+        """Simple conjunction (8.3): ``(p∧p') unless (q∨q')``."""
+        p1, q1 = self._as_unless(left)
+        p2, q2 = self._as_unless(right)
+        return Proof(Unless(p1 & p2, q1 | q2), "unless-conjunction", (left, right), note)
+
+    def general_conjunction_unless(
+        self, left: Proof, right: Proof, note: str = ""
+    ) -> Proof:
+        """General conjunction (8.3): ``(p∧p') unless (p∧q')∨(p'∧q)∨(q∧q')``."""
+        p1, q1 = self._as_unless(left)
+        p2, q2 = self._as_unless(right)
+        q = (p1 & q2) | (p2 & q1) | (q1 & q2)
+        return Proof(
+            Unless(p1 & p2, q), "unless-general-conjunction", (left, right), note
+        )
+
+    def cancellation_unless(self, left: Proof, right: Proof, note: str = "") -> Proof:
+        """Cancellation (8.4): ``p unless q, q unless r ⊢ (p∨q) unless r``."""
+        p1, q1 = self._as_unless(left)
+        p2, q2 = self._as_unless(right)
+        self._require(
+            self._valid(q1.iff(p2)),
+            "cancellation needs the middle predicates to match (q ≡ q')",
+        )
+        return Proof(Unless(p1 | p2, q2), "unless-cancellation", (left, right), note)
+
+    def general_disjunction_unless(
+        self, proofs: Sequence[Proof], note: str = ""
+    ) -> Proof:
+        """Generalized disjunction (8.5) over a finite family.
+
+        ``(∀i :: p.i unless q.i) ⊢
+        (∃i :: p.i) unless (∀i :: ¬p.i ∨ q.i) ∧ (∃i :: q.i)``.
+        """
+        self._require(bool(proofs), "generalized disjunction needs premises")
+        ps: List[Predicate] = []
+        qs: List[Predicate] = []
+        for proof in proofs:
+            p, q = self._as_unless(proof)
+            ps.append(p)
+            qs.append(q)
+        exists_p = self.false()
+        for p in ps:
+            exists_p = exists_p | p
+        all_done = self.true()
+        for p, q in zip(ps, qs):
+            all_done = all_done & (~p | q)
+        exists_q = self.false()
+        for q in qs:
+            exists_q = exists_q | q
+        return Proof(
+            Unless(exists_p, all_done & exists_q),
+            "unless-general-disjunction",
+            tuple(proofs),
+            note,
+        )
+
+    def stable_from_unless(self, proof: Proof, note: str = "") -> Proof:
+        """``p unless false ⊢ stable p`` (eq. 33, packaging direction)."""
+        p, q = self._as_unless(proof)
+        self._require(self._valid(~q), "unless consequent must be false (mod SI)")
+        return Proof(Stable(p), "stable-from-unless", (proof,), note)
+
+    def stable_conjunction(self, left: Proof, right: Proof, note: str = "") -> Proof:
+        """``stable p, stable q ⊢ stable (p ∧ q)`` (conjunction with q=q'=false)."""
+        for proof in (left, right):
+            self._require(
+                isinstance(proof.conclusion, Stable), "premises must be stable"
+            )
+        p1 = left.conclusion.p
+        p2 = right.conclusion.p
+        return Proof(Stable(p1 & p2), "stable-conjunction", (left, right), note)
+
+    # ------------------------------------------------------------------
+    # progress rules
+    # ------------------------------------------------------------------
+
+    def _as_leads_to(self, proof: Proof) -> Tuple[Predicate, Predicate]:
+        conclusion = proof.conclusion
+        if isinstance(conclusion, LeadsTo):
+            return conclusion.p, conclusion.q
+        raise ProofError(f"expected a leads-to premise, got {conclusion}")
+
+    def promote_ensures(self, proof: Proof, note: str = "") -> Proof:
+        """Eq. (29): ``p ensures q ⊢ p ↦ q``."""
+        conclusion = proof.conclusion
+        self._require(isinstance(conclusion, Ensures), "premise must be ensures")
+        return Proof(LeadsTo(conclusion.p, conclusion.q), "leadsto-promotion(29)", (proof,), note)
+
+    def transitivity(self, left: Proof, right: Proof, note: str = "") -> Proof:
+        """Eq. (30): ``p ↦ r, r ↦ q ⊢ p ↦ q``."""
+        p1, q1 = self._as_leads_to(left)
+        p2, q2 = self._as_leads_to(right)
+        self._require(
+            self._valid(q1.implies(p2)),
+            "transitivity needs [r ⇒ r'] between the premises",
+        )
+        return Proof(LeadsTo(p1, q2), "leadsto-transitivity(30)", (left, right), note)
+
+    def disjunction(self, proofs: Sequence[Proof], note: str = "") -> Proof:
+        """Eq. (31): ``(∀m ∈ W : p.m ↦ q) ⊢ (∃m ∈ W : p.m) ↦ q``."""
+        self._require(bool(proofs), "disjunction needs at least one premise")
+        q_common: Optional[Predicate] = None
+        union_p = self.false()
+        for proof in proofs:
+            p, q = self._as_leads_to(proof)
+            union_p = union_p | p
+            if q_common is None:
+                q_common = q
+            else:
+                self._require(
+                    q_common == q, "disjunction premises must share the target q"
+                )
+        assert q_common is not None
+        return Proof(LeadsTo(union_p, q_common), "leadsto-disjunction(31)", tuple(proofs), note)
+
+    def leads_to_checked(self, p: Predicate, q: Predicate, note: str = "") -> Proof:
+        """A leads-to leaf established by the fair model checker.
+
+        Used the way the paper uses its channel liveness assumptions
+        (St-3)/(St-4): facts about the environment that the derivation
+        builds on.  Here they are *verified* against the concrete channel
+        (by fair-cycle search) rather than assumed.
+        """
+        from .modelcheck import refute_leads_to
+
+        refutation = refute_leads_to(self.program, p, q, self.si)
+        self._require(
+            refutation is None,
+            f"model checker refutes {LeadsTo(p, q)} (from state {getattr(refutation, 'start', '?')})",
+        )
+        return Proof(LeadsTo(p, q), "leadsto-model-checked", (), note)
+
+    def implication(self, p: Predicate, q: Predicate, note: str = "") -> Proof:
+        """Leads-to implication: ``[SI ⇒ (p ⇒ q)] ⊢ p ↦ q``.
+
+        (Immediate from promotion of the trivial ensures; relied on
+        throughout the paper's liveness proofs.)
+        """
+        self._require(self._valid(p.implies(q)), "side condition [p ⇒ q] fails")
+        return Proof(LeadsTo(p, q), "leadsto-implication", (), note)
+
+    def consequence_weakening_leads_to(
+        self, proof: Proof, r: Predicate, note: str = ""
+    ) -> Proof:
+        """``p ↦ q, [q ⇒ r] ⊢ p ↦ r`` (appendix 8.2)."""
+        p, q = self._as_leads_to(proof)
+        self._require(self._valid(q.implies(r)), "side condition [q ⇒ r] fails")
+        return Proof(LeadsTo(p, r), "leadsto-consequence-weakening", (proof,), note)
+
+    def antecedent_strengthening_leads_to(
+        self, proof: Proof, p_new: Predicate, note: str = ""
+    ) -> Proof:
+        """``p ↦ q, [p' ⇒ p] ⊢ p' ↦ q`` (from implication + transitivity)."""
+        p, q = self._as_leads_to(proof)
+        self._require(self._valid(p_new.implies(p)), "side condition [p' ⇒ p] fails")
+        return Proof(
+            LeadsTo(p_new, q), "leadsto-antecedent-strengthening", (proof,), note
+        )
+
+    def psp(self, progress: Proof, safety: Proof, note: str = "") -> Proof:
+        """PSP (8.6): ``p ↦ q, r unless b ⊢ (p∧r) ↦ (q∧r) ∨ b``."""
+        p, q = self._as_leads_to(progress)
+        r, b = self._as_unless(safety)
+        return Proof(
+            LeadsTo(p & r, (q & r) | b), "leadsto-PSP", (progress, safety), note
+        )
+
+    def induction(
+        self,
+        metric: Callable[[int], int],
+        family: Callable[[int], Proof],
+        values: Sequence[int],
+        p: Predicate,
+        q: Predicate,
+        note: str = "",
+    ) -> Proof:
+        """Well-founded induction over a finite metric.
+
+        Premises: for every metric value ``m`` in ``values``,
+        ``p ∧ (M = m) ↦ (p ∧ M < m) ∨ q``.  Conclusion: ``p ↦ q``.
+        Also checks ``values`` covers the metric on ``p ∧ SI``.
+        """
+        covered = {metric(i) for i in (p & self.si).indices()}
+        missing = covered - set(values)
+        self._require(
+            not missing, f"induction values do not cover metric values {sorted(missing)}"
+        )
+        premises: List[Proof] = []
+        for m in values:
+            proof = family(m)
+            lhs, rhs = self._as_leads_to(proof)
+            level = Predicate.from_callable(
+                self.space, lambda s, m=m: metric(s.index) == m
+            )
+            below = Predicate.from_callable(
+                self.space, lambda s, m=m: metric(s.index) < m
+            )
+            self._require(
+                self._valid((p & level).implies(lhs)),
+                f"induction premise for m={m} has the wrong antecedent",
+            )
+            self._require(
+                self._valid(rhs.implies((p & below) | q)),
+                f"induction premise for m={m} has the wrong consequent",
+            )
+            premises.append(proof)
+        return Proof(LeadsTo(p, q), "leadsto-induction", tuple(premises), note)
+
+    # ------------------------------------------------------------------
+    # the substitution metatheorem (appendix 8.1)
+    # ------------------------------------------------------------------
+
+    def substitution(
+        self, proof: Proof, new_property: Property, note: str = ""
+    ) -> Proof:
+        """Rewrite a property modulo the context's invariant baseline.
+
+        Appendix 8.1: any invariant may be replaced by ``true`` and vice
+        versa — semantically, two predicates equal under ``SI`` are
+        interchangeable.  Valid when each predicate of the new property is
+        SI-equivalent to its counterpart.
+        """
+        old = proof.conclusion
+        pairs = _predicate_pairs(old, new_property)
+        if pairs is None:
+            raise ProofError(
+                f"substitution cannot turn {old} into {new_property} (shape mismatch)"
+            )
+        for old_p, new_p in pairs:
+            self._require(
+                self._valid(old_p.iff(new_p)),
+                "substitution predicates differ under SI",
+            )
+        return Proof(new_property, "substitution(8.1)", (proof,), note)
+
+
+def _predicate_pairs(old: Property, new: Property):
+    if type(old) is not type(new):
+        return None
+    if isinstance(old, (Invariant, Stable)):
+        return [(old.p, new.p)]
+    return [(old.p, new.p), (old.q, new.q)]

@@ -1,0 +1,256 @@
+"""Semantic model checking of UNITY properties under statement fairness.
+
+UNITY's execution model: at each step a statement is chosen
+nondeterministically, subject to the fairness constraint that *every*
+statement is attempted infinitely often (paper section 5).  On a finite
+space this makes progress properties decidable.  Two independent
+algorithms are provided and cross-validated in the test suite:
+
+1. :func:`wlt` — the **weakest leads-to** least fixpoint.  ``wlt.q`` grows
+   from ``q`` by repeatedly adjoining, for some *helpful* statement ``a``,
+   the largest set ``X`` with::
+
+       X ⊆ wp.a.Z          (a carries X into the target)
+       X ⊆ ∧_b wp.b.(X∨Z)  (meanwhile no statement escapes X∨Z)
+
+   — a greatest fixpoint per candidate helper.  Fairness guarantees ``a``
+   eventually runs, so ``X ↦ Z``.  This mirrors exactly how UNITY proofs
+   compose ``ensures`` steps, and is complete on finite spaces.
+
+2. :func:`refute_leads_to` — an explicit **fair-cycle search**: ``p ↦ q``
+   fails iff some reachable ``p``-state can reach, inside ``¬q``, a
+   strongly connected component in which *every* statement has some edge
+   staying inside (such an SCC supports an infinite fair run avoiding
+   ``q``; an SCC that some statement always exits cannot).
+
+Safety properties (``unless``, ``invariant``, ``stable``) are checked by
+:mod:`repro.proofs.checking` directly from the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..predicates import Predicate
+from ..transformers import strongest_invariant
+from ..unity import Program
+
+
+def _reachable(program: Program, si: Optional[Predicate]) -> Predicate:
+    if si is not None:
+        if si.space != program.space:
+            raise ValueError("si predicate over a different state space")
+        return si
+    return strongest_invariant(program)
+
+
+def wlt(program: Program, q: Predicate, si: Optional[Predicate] = None) -> Predicate:
+    """The weakest predicate ``w`` with ``w ↦ q`` (relative to ``si``).
+
+    States outside ``si`` are included vacuously (no execution visits
+    them), so ``p ↦ q`` holds iff ``[p ⇒ wlt.q]``.
+
+    All fixpoint computation is restricted to the reachable set — sound
+    because reachability is closed under every statement, and essential
+    for performance (the reachable set is typically orders of magnitude
+    smaller than the full space).
+    """
+    space = program.space
+    reach = _reachable(program, si)
+    nodes = list(reach.indices())
+    arrays = [program.successor_array(s) for s in program.statements]
+    n_statements = len(arrays)
+    z_mask = q.mask & reach.mask
+    changed = True
+    while changed:
+        changed = False
+        for helper_index in range(n_statements):
+            helper = arrays[helper_index]
+            # Greatest fixpoint over the reachable set:
+            #   X := wp.helper.Z ∧ ∧_b wp.b.(X ∨ Z),  iterated down.
+            wp_helper = 0
+            for i in nodes:
+                if z_mask >> helper[i] & 1:
+                    wp_helper |= 1 << i
+            x_mask = wp_helper
+            while True:
+                x_or_z = x_mask | z_mask
+                new_mask = x_mask
+                for array in arrays:
+                    kept = 0
+                    probe = new_mask
+                    while probe:
+                        low = probe & -probe
+                        i = low.bit_length() - 1
+                        if x_or_z >> array[i] & 1:
+                            kept |= low
+                        probe ^= low
+                    new_mask = kept
+                    if new_mask == 0:
+                        break
+                if new_mask == x_mask:
+                    break
+                x_mask = new_mask
+            if x_mask & ~z_mask:
+                z_mask |= x_mask
+                changed = True
+    return Predicate(space, z_mask | (space.full_mask & ~reach.mask))
+
+
+def holds_leads_to(
+    program: Program, p: Predicate, q: Predicate, si: Optional[Predicate] = None
+) -> bool:
+    """Whether ``p ↦ q`` is valid under UNITY fairness (via :func:`wlt`)."""
+    return p.entails(wlt(program, q, si))
+
+
+# ----------------------------------------------------------------------
+# independent refutation by fair-cycle search
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LeadsToRefutation:
+    """A witness that ``p ↦ q`` fails.
+
+    ``start`` is a reachable ``p``-state from which an infinite fair run
+    avoids ``q`` forever; ``trap`` is the fair-stayable SCC it ends in.
+    """
+
+    start: int
+    trap: Tuple[int, ...]
+
+
+def _tarjan_sccs(nodes: Sequence[int], successors) -> List[List[int]]:
+    """Iterative Tarjan SCC over an explicit node list."""
+    index_of = {}
+    lowlink = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 0
+    for root in nodes:
+        if root in index_of:
+            continue
+        work = [(root, iter(successors(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index_of:
+                    index_of[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(successors(nxt))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def refute_leads_to(
+    program: Program, p: Predicate, q: Predicate, si: Optional[Predicate] = None
+) -> Optional[LeadsToRefutation]:
+    """Search for a fair run refuting ``p ↦ q``; ``None`` when the property holds.
+
+    Independent of :func:`wlt` — used to cross-validate it.
+    """
+    space = program.space
+    reach = _reachable(program, si)
+    arrays = [program.successor_array(s) for s in program.statements]
+    avoid_mask = reach.mask & ~q.mask  # candidate states: reachable, ¬q
+
+    def inside(i: int) -> bool:
+        return bool(avoid_mask >> i & 1)
+
+    nodes = [i for i in range(space.size) if inside(i)]
+
+    def successors(i: int):
+        for array in arrays:
+            j = array[i]
+            if inside(j):
+                yield j
+
+    sccs = _tarjan_sccs(nodes, successors)
+    # Fair-stayable: every statement has at least one edge staying inside.
+    # (An infinite fair run's infinitely-visited set is strongly connected
+    # and must absorb one firing of every statement.)
+    trap_mask = 0
+    for component in sccs:
+        members = set(component)
+        if len(component) == 1:
+            # A trivial SCC supports an infinite run only as a fixed point
+            # of *every* statement (each firing must stay on the state).
+            only = component[0]
+            if all(array[only] == only for array in arrays):
+                trap_mask |= 1 << only
+            continue
+        stayable = all(
+            any(array[i] in members for i in component) for array in arrays
+        )
+        if stayable:
+            for i in component:
+                trap_mask |= 1 << i
+    if trap_mask == 0:
+        return None
+    # Backward reachability inside ¬q to the traps.
+    can_trap = trap_mask
+    changed = True
+    while changed:
+        changed = False
+        for i in nodes:
+            if can_trap >> i & 1:
+                continue
+            for array in arrays:
+                j = array[i]
+                if inside(j) and can_trap >> j & 1:
+                    can_trap |= 1 << i
+                    changed = True
+                    break
+    bad_starts = p.mask & can_trap
+    if bad_starts == 0:
+        return None
+    start = (bad_starts & -bad_starts).bit_length() - 1
+    trap_states = tuple(
+        i for i in range(space.size) if trap_mask >> i & 1
+    )
+    return LeadsToRefutation(start=start, trap=trap_states)
+
+
+def check_leads_to_both(
+    program: Program, p: Predicate, q: Predicate, si: Optional[Predicate] = None
+) -> bool:
+    """Run both algorithms and assert they agree; returns the verdict.
+
+    Used by tests and benches as a self-checking oracle.
+    """
+    by_wlt = holds_leads_to(program, p, q, si)
+    by_refuter = refute_leads_to(program, p, q, si) is None
+    if by_wlt != by_refuter:
+        raise AssertionError(
+            f"leads-to algorithms disagree on {p!r} ↦ {q!r}: "
+            f"wlt={by_wlt} refuter={by_refuter}"
+        )
+    return by_wlt

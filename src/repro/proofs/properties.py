@@ -1,0 +1,100 @@
+"""UNITY specification properties (paper section 5).
+
+The basic specification language has four properties — ``invariant``,
+``unless``, ``ensures`` and leads-to (``↦``) — plus ``stable`` as the
+special case ``p unless false`` (eq. 33).  Property objects are immutable
+value types; whether a property *holds* of a program is decided by
+:mod:`repro.proofs.checking` (directly from the text, eqs. 27–28/32) or
+:mod:`repro.proofs.modelcheck` (semantically, under UNITY's fairness), and
+*derivations* are built by :mod:`repro.proofs.kernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..predicates import Predicate
+
+
+@dataclass(frozen=True)
+class Unless:
+    """``p unless q``: once ``p ∧ ¬q`` holds, it persists until ``q`` holds.
+
+    Proof-rule reading (eq. 27): every statement started in ``p ∧ ¬q``
+    (within SI) ends in ``p ∨ q``.
+    """
+
+    p: Predicate
+    q: Predicate
+
+    def __str__(self) -> str:
+        return f"{_short(self.p)} unless {_short(self.q)}"
+
+
+@dataclass(frozen=True)
+class Ensures:
+    """``p ensures q``: ``p unless q`` plus one statement that establishes ``q``.
+
+    Eq. (28) — the single-statement requirement is what injects fairness
+    into progress proofs.
+    """
+
+    p: Predicate
+    q: Predicate
+
+    def __str__(self) -> str:
+        return f"{_short(self.p)} ensures {_short(self.q)}"
+
+
+@dataclass(frozen=True)
+class LeadsTo:
+    """``p ↦ q``: whenever ``p`` holds, eventually ``q`` will hold.
+
+    The transitive, disjunctive closure of ``ensures`` (eqs. 29–31).
+    """
+
+    p: Predicate
+    q: Predicate
+
+    def __str__(self) -> str:
+        return f"{_short(self.p)} ↦ {_short(self.q)}"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """``invariant p``: ``p`` holds initially and in every reachable state.
+
+    Definitionally ``[SI ⇒ p]`` (eq. 5).
+    """
+
+    p: Predicate
+
+    def __str__(self) -> str:
+        return f"invariant {_short(self.p)}"
+
+
+@dataclass(frozen=True)
+class Stable:
+    """``stable p``: once ``p`` holds it holds forever (``p unless false``)."""
+
+    p: Predicate
+
+    def __str__(self) -> str:
+        return f"stable {_short(self.p)}"
+
+    def as_unless(self) -> Unless:
+        """The defining ``unless`` form (eq. 33)."""
+        return Unless(self.p, Predicate.false(self.p.space))
+
+
+Property = Union[Unless, Ensures, LeadsTo, Invariant, Stable]
+
+
+def _short(p: Predicate) -> str:
+    count = p.count()
+    if count == 0:
+        return "false"
+    if count == p.space.size:
+        return "true"
+    return f"⟨{count} states⟩"

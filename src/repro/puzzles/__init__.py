@@ -1,0 +1,41 @@
+"""Epistemic puzzle workloads: public announcements as SI strengthening."""
+
+from .announcements import AnnouncementSystem, nobody_knows_whether, run_rounds
+from .cheating_husbands import (
+    ShootingSchedule,
+    build_system as build_cheating_husbands,
+)
+from .cheating_husbands import analyze as analyze_cheating_husbands
+from .cheating_husbands import theorem_holds as cheating_husbands_theorem
+from .mutex import (
+    MutexAnalysis,
+    analyze as analyze_mutex,
+    mutual_exclusion,
+    naive_mutex,
+    token_mutex,
+)
+from .muddy_children import (
+    MuddyChildrenResult,
+    build_system as build_muddy_children,
+)
+from .muddy_children import analyze as analyze_muddy_children
+from .muddy_children import theorem_holds as muddy_children_theorem
+
+__all__ = [
+    "MutexAnalysis",
+    "analyze_mutex",
+    "mutual_exclusion",
+    "naive_mutex",
+    "token_mutex",
+    "AnnouncementSystem",
+    "nobody_knows_whether",
+    "run_rounds",
+    "ShootingSchedule",
+    "build_cheating_husbands",
+    "analyze_cheating_husbands",
+    "cheating_husbands_theorem",
+    "MuddyChildrenResult",
+    "build_muddy_children",
+    "analyze_muddy_children",
+    "muddy_children_theorem",
+]

@@ -1,0 +1,117 @@
+"""Public-announcement dynamics on top of the knowledge operator.
+
+The classic epistemic puzzles (muddy children, cheating husbands [MDH86])
+are driven by *public announcements*: a fact becomes common knowledge, the
+set of possible worlds shrinks, and knowledge is re-evaluated.  In the
+paper's framework this is precisely **strengthening SI**: the knowledge
+transformer is anti-monotonic in SI (eq. 20), so each announcement can only
+create knowledge, never destroy it.
+
+:class:`AnnouncementSystem` wraps a state space, the per-process views and
+a current possibility predicate; :meth:`announce` conjoins a predicate to
+it and returns the updated system (immutably).  The puzzles build their
+round structure on top: each round publicly announces *who knew and who
+did not* — also known as iterated "no one steps forward" announcements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Tuple
+
+from ..core import KnowledgeOperator
+from ..predicates import Predicate
+from ..statespace import StateSpace
+
+
+@dataclass(frozen=True)
+class AnnouncementSystem:
+    """An epistemic situation: views plus the current set of possible worlds."""
+
+    space: StateSpace
+    views: Mapping[str, frozenset]
+    possible: Predicate
+
+    @classmethod
+    def create(
+        cls,
+        space: StateSpace,
+        views: Mapping[str, Iterable[str]],
+        initial: Predicate,
+    ) -> "AnnouncementSystem":
+        """A fresh system; ``initial`` is what is common knowledge at the start."""
+        frozen = {name: space.check_vars(vs) for name, vs in views.items()}
+        return cls(space=space, views=frozen, possible=initial)
+
+    def operator(self) -> KnowledgeOperator:
+        """The knowledge operator for the current possibility set."""
+        return KnowledgeOperator(self.space, self.possible, dict(self.views))
+
+    def knows(self, agent: str, fact: Predicate) -> Predicate:
+        """Where ``agent`` knows ``fact``, given everything announced so far."""
+        return self.operator().knows(agent, fact)
+
+    def knows_whether(self, agent: str, fact: Predicate) -> Predicate:
+        """Where the agent knows *whether* ``fact`` (it or its negation)."""
+        operator = self.operator()
+        return operator.knows(agent, fact) | operator.knows(agent, ~fact)
+
+    def common_knowledge(self, group: Iterable[str], fact: Predicate) -> Predicate:
+        """Where ``fact`` is common knowledge in ``group``."""
+        return self.operator().common_knowledge(group, fact)
+
+    def announce(self, fact: Predicate) -> "AnnouncementSystem":
+        """Publicly announce a (true) fact: possible worlds shrink to it.
+
+        The announcement must be *about* the current situation — callers
+        pass predicates such as "no agent knows its own state", evaluated
+        against the current system.
+        """
+        return AnnouncementSystem(
+            space=self.space,
+            views=self.views,
+            possible=self.possible & fact,
+        )
+
+    def worlds(self) -> int:
+        """Number of currently possible worlds."""
+        return self.possible.count()
+
+
+def nobody_knows_whether(
+    system: AnnouncementSystem, questions: Mapping[str, Predicate]
+) -> Predicate:
+    """The predicate "no agent knows the answer to its own question".
+
+    ``questions[agent]`` is the fact agent must determine (e.g. "I am
+    muddy").  Announcing this is one puzzle round where nobody steps
+    forward.
+    """
+    out = Predicate.true(system.space)
+    for agent, fact in questions.items():
+        out = out & ~system.knows_whether(agent, fact)
+    return out
+
+
+def run_rounds(
+    system: AnnouncementSystem,
+    questions: Mapping[str, Predicate],
+    max_rounds: int,
+) -> Tuple[List[Predicate], AnnouncementSystem]:
+    """Iterate "nobody knows" announcements until someone would know.
+
+    Returns per-round predicates ``who_knows[r]`` — the set of worlds where
+    *some* agent knows its answer after ``r`` full rounds of silence — and
+    the final system.  The process stops early once further announcements
+    would be false in every world (everyone's knowledge is settled).
+    """
+    history: List[Predicate] = []
+    current = system
+    for _ in range(max_rounds):
+        silence = nobody_knows_whether(current, questions)
+        someone_knows = current.possible & ~silence
+        history.append(someone_knows)
+        if (current.possible & silence).is_false():
+            break
+        current = current.announce(silence)
+    return history, current

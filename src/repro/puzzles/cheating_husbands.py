@@ -1,0 +1,109 @@
+"""The cheating husbands puzzle [MDH86], via the knowledge transformer.
+
+The dual folklore formulation the paper cites ("Cheating husbands and
+other stories"): every wife knows which *other* husbands are unfaithful,
+but not her own.  The queen announces that at least one husband cheats and
+decrees that a wife who *knows* her husband cheats must shoot him on that
+midnight.  With ``m`` cheating husbands, all are shot on night ``m``.
+
+Structurally identical to muddy children with one epistemic twist: a wife
+acts on ``K_i(cheat_i)`` — knowing the *positive* fact — rather than on
+knowing-whether.  Each silent night is the public announcement "no wife
+knew her husband cheats".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..predicates import Predicate, var_true
+from ..statespace import BoolDomain, StateSpace, Variable
+from .announcements import AnnouncementSystem
+
+
+def wife(i: int) -> str:
+    """Agent name of wife ``i``."""
+    return f"wife{i}"
+
+
+def cheat_var(i: int) -> str:
+    """Variable for husband ``i``'s fidelity."""
+    return f"cheats{i}"
+
+
+def build_system(n: int) -> AnnouncementSystem:
+    """The situation right after the queen's proclamation."""
+    if n < 1:
+        raise ValueError("need at least one couple")
+    space = StateSpace([Variable(cheat_var(i), BoolDomain()) for i in range(n)])
+    views = {
+        wife(i): [cheat_var(j) for j in range(n) if j != i] for i in range(n)
+    }
+    someone_cheats = Predicate.false(space)
+    for i in range(n):
+        someone_cheats = someone_cheats | var_true(space, cheat_var(i))
+    return AnnouncementSystem.create(space, views, someone_cheats)
+
+
+@dataclass(frozen=True)
+class ShootingSchedule:
+    """Which husbands are shot on which night (1-based nights)."""
+
+    n: int
+    cheats: Tuple[bool, ...]
+    shot_on_night: Tuple[int, ...]  # -1 when never shot
+
+    @property
+    def cheat_count(self) -> int:
+        return sum(self.cheats)
+
+
+def analyze(cheats: Tuple[bool, ...], max_nights: int = None) -> ShootingSchedule:
+    """Run the nights for one configuration.
+
+    The [MDH86] theorem: every cheating husband is shot on night ``m``
+    (``m`` = number of cheaters), and no faithful husband is ever shot.
+    """
+    n = len(cheats)
+    if not any(cheats):
+        raise ValueError("the queen's proclamation must be true")
+    system = build_system(n)
+    space = system.space
+    world = space.index_of({cheat_var(i): cheats[i] for i in range(n)})
+    nights = max_nights if max_nights is not None else n + 1
+    shot = [-1] * n
+    current = system
+    for night in range(1, nights + 1):
+        knowers = [
+            i
+            for i in range(n)
+            if shot[i] == -1
+            and current.knows(wife(i), var_true(space, cheat_var(i))).holds_at(world)
+        ]
+        if knowers:
+            for i in knowers:
+                shot[i] = night
+            break
+        # A silent night: publicly, no wife knew her husband cheats.
+        silence = Predicate.true(space)
+        for i in range(n):
+            silence = silence & ~current.knows(wife(i), var_true(space, cheat_var(i)))
+        current = current.announce(silence)
+    return ShootingSchedule(n=n, cheats=tuple(cheats), shot_on_night=tuple(shot))
+
+
+def theorem_holds(n: int) -> bool:
+    """Check the [MDH86] theorem over all configurations with ``m ≥ 1``."""
+    import itertools
+
+    for bits in itertools.product([False, True], repeat=n):
+        if not any(bits):
+            continue
+        schedule = analyze(bits)
+        m = schedule.cheat_count
+        for i in range(n):
+            expected = m if bits[i] else -1
+            if schedule.shot_on_night[i] != expected:
+                return False
+    return True

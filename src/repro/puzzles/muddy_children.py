@@ -1,0 +1,141 @@
+"""The muddy children puzzle, analyzed with the knowledge transformer.
+
+``n`` children, ``m ≥ 1`` of them with mud on their foreheads.  Every child
+sees the others but not itself.  The father announces that at least one
+child is muddy, then repeatedly asks "does anyone know whether they are
+muddy?".  The classical theorem: after ``m − 1`` rounds of silence, exactly
+the muddy children know (round indices here: the muddy children first know
+at round ``m``, counting the father's announcement as the start of round 1).
+
+In the paper's terms: each silence is a public announcement strengthening
+``SI``; knowledge grows by anti-monotonicity (eq. 20); and the theorem is a
+statement about *which* worlds enter ``K_i(muddy_i)`` after each
+strengthening.  The analysis below is exact (all ``2^n`` worlds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..predicates import Predicate, var_true
+from ..statespace import BoolDomain, StateSpace, Variable
+from .announcements import AnnouncementSystem
+
+
+def child(i: int) -> str:
+    """Agent name of child ``i``."""
+    return f"child{i}"
+
+
+def muddy_var(i: int) -> str:
+    """Variable name for child ``i``'s state."""
+    return f"muddy{i}"
+
+
+def build_space(n: int) -> StateSpace:
+    """All ``2^n`` mud configurations."""
+    if n < 1:
+        raise ValueError("need at least one child")
+    return StateSpace([Variable(muddy_var(i), BoolDomain()) for i in range(n)])
+
+
+def build_system(n: int) -> AnnouncementSystem:
+    """The situation right after the father's announcement.
+
+    Child ``i`` sees every forehead but its own; the initial common
+    knowledge is "at least one child is muddy".
+    """
+    space = build_space(n)
+    views = {
+        child(i): [muddy_var(j) for j in range(n) if j != i] for i in range(n)
+    }
+    at_least_one = Predicate.false(space)
+    for i in range(n):
+        at_least_one = at_least_one | var_true(space, muddy_var(i))
+    return AnnouncementSystem.create(space, views, at_least_one)
+
+
+def questions(space: StateSpace, n: int) -> Dict[str, Predicate]:
+    """Each child's question: "am I muddy?"."""
+    return {child(i): var_true(space, muddy_var(i)) for i in range(n)}
+
+
+@dataclass(frozen=True)
+class MuddyChildrenResult:
+    """Round-by-round verdicts for a concrete mud configuration."""
+
+    n: int
+    muddy: Tuple[bool, ...]
+    #: knows_at_round[r][i] — does child i know its state after r rounds of
+    #: silence (r = 0 is right after the father speaks)?
+    knows_at_round: Tuple[Tuple[bool, ...], ...]
+
+    @property
+    def muddy_count(self) -> int:
+        return sum(self.muddy)
+
+    def first_round_known(self, i: int) -> int:
+        """First round (0-based silences) at which child ``i`` knows; -1 if never."""
+        for r, row in enumerate(self.knows_at_round):
+            if row[i]:
+                return r
+        return -1
+
+
+def analyze(muddy: Tuple[bool, ...], max_rounds: int = None) -> MuddyChildrenResult:
+    """Run the puzzle for one configuration and report who knows when.
+
+    The classical theorem corresponds to
+    ``first_round_known(i) == muddy_count - 1`` for every muddy child ``i``
+    (they know after ``m − 1`` silences).
+    """
+    n = len(muddy)
+    if not any(muddy):
+        raise ValueError("the father's announcement must be true: someone is muddy")
+    system = build_system(n)
+    space = system.space
+    world = space.index_of({muddy_var(i): muddy[i] for i in range(n)})
+    qs = questions(space, n)
+    rounds = max_rounds if max_rounds is not None else n + 1
+    knows_rows: List[Tuple[bool, ...]] = []
+    current = system
+    for _ in range(rounds):
+        row = tuple(
+            current.knows_whether(child(i), qs[child(i)]).holds_at(world)
+            for i in range(n)
+        )
+        knows_rows.append(row)
+        if all(row):
+            break
+        from .announcements import nobody_knows_whether
+
+        silence = nobody_knows_whether(current, qs)
+        if not silence.holds_at(world):
+            # Someone steps forward; in the classical protocol this is the
+            # final announcement, after which everyone can infer their state.
+            current = current.announce(current.possible & ~silence)
+        else:
+            current = current.announce(silence)
+    return MuddyChildrenResult(n=n, muddy=tuple(muddy), knows_at_round=tuple(knows_rows))
+
+
+def theorem_holds(n: int) -> bool:
+    """Check the classical theorem for every configuration with ``m ≥ 1``.
+
+    Every muddy child first knows exactly after ``m − 1`` rounds of
+    silence, and no earlier.
+    """
+    import itertools
+
+    for bits in itertools.product([False, True], repeat=n):
+        if not any(bits):
+            continue
+        result = analyze(bits)
+        m = result.muddy_count
+        for i in range(n):
+            if bits[i] and result.first_round_known(i) != m - 1:
+                return False
+            if bits[i] and any(result.knows_at_round[r][i] for r in range(m - 1)):
+                return False
+    return True

@@ -1,0 +1,124 @@
+"""Knowledge-based mutual exclusion — solution *multiplicity* in action.
+
+Section 4's theory allows eq. (25) to have no solution (Figure 1), exactly
+one, or **several**; the paper notes "Results are valid for any solution".
+This module exhibits the several-solutions case with a natural protocol:
+
+* :func:`naive_mutex` — each process enters its critical section when it
+  *knows* the other is out::
+
+      enter_i :  cs_i := true   if  K_i(¬cs_j)
+
+  With no shared state, each process's view is only its own flag, so
+  ``K_i(¬cs_j)`` can hold only if ``¬cs_j`` is *invariant*.  The equation
+  (25) therefore has exactly **two** solutions, each self-consistently
+  asymmetric: in one, process 0 never enters (so process 1 always knows
+  ``¬cs_0`` and enters freely) — in the other, the roles swap.  Mutual
+  exclusion holds in both; *neither process's liveness holds in both*, so
+  the knowledge-based protocol guarantees no progress for anyone.
+
+* :func:`token_mutex` — adding one shared ``turn`` bit makes the equation
+  uniquely solvable, with mutual exclusion *and* both processes' liveness.
+
+A compact instance of the paper's broader point: the knowledge-based
+description under-determines the system, and its "process-by-process
+optimality ... may or may not translate into global optimality".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core import resolve_at, solve_si
+from ..predicates import Predicate, pred, var_true
+from ..proofs import holds_leads_to
+from ..unity import Program, parse_program
+
+NAIVE_MUTEX_TEXT = """
+program naive_mutex
+var cs0, cs1 : bool
+process P0 reads cs0
+process P1 reads cs1
+init !cs0 && !cs1
+assign
+  enter0 : cs0 := true  if K[P0](!cs1)
+  [] exit0  : cs0 := false if cs0
+  [] enter1 : cs1 := true  if K[P1](!cs0)
+  [] exit1  : cs1 := false if cs1
+end
+"""
+
+TOKEN_MUTEX_TEXT = """
+program token_mutex
+var cs0, cs1, turn : bool
+process P0 reads cs0, turn
+process P1 reads cs1, turn
+init !cs0 && !cs1 && !turn
+assign
+  enter0 : cs0 := true        if !turn && K[P0](!cs1)
+  [] exit0  : cs0, turn := false, true  if cs0
+  [] enter1 : cs1 := true        if turn && K[P1](!cs0)
+  [] exit1  : cs1, turn := false, false if cs1
+end
+"""
+
+
+def naive_mutex() -> Program:
+    """The shared-nothing knowledge-based mutex (two solutions)."""
+    return parse_program(NAIVE_MUTEX_TEXT)
+
+
+def token_mutex() -> Program:
+    """The token-passing knowledge-based mutex (unique solution)."""
+    return parse_program(TOKEN_MUTEX_TEXT)
+
+
+def mutual_exclusion(program: Program) -> Predicate:
+    """``¬(cs0 ∧ cs1)``."""
+    return pred(program.space, lambda s: not (s["cs0"] and s["cs1"]))
+
+
+@dataclass(frozen=True)
+class MutexAnalysis:
+    """Per-solution verdicts for a knowledge-based mutex."""
+
+    solutions: int
+    mutex_in_all: bool
+    #: per solution: (process-0 eventually enters, process-1 eventually enters)
+    liveness: Tuple[Tuple[bool, bool], ...]
+
+    @property
+    def liveness_guaranteed(self) -> Tuple[bool, bool]:
+        """What the KBP guarantees: true only if true in *every* solution."""
+        if not self.liveness:
+            return (False, False)
+        return (
+            all(row[0] for row in self.liveness),
+            all(row[1] for row in self.liveness),
+        )
+
+
+def analyze(program: Program) -> MutexAnalysis:
+    """Solve eq. (25) exhaustively and check mutex + liveness per solution."""
+    report = solve_si(program)
+    space = program.space
+    mutex = mutual_exclusion(program)
+    liveness: List[Tuple[bool, bool]] = []
+    for solution in report.solutions:
+        resolved = resolve_at(program, solution)
+        liveness.append(
+            (
+                holds_leads_to(
+                    resolved, Predicate.true(space), var_true(space, "cs0"), solution
+                ),
+                holds_leads_to(
+                    resolved, Predicate.true(space), var_true(space, "cs1"), solution
+                ),
+            )
+        )
+    return MutexAnalysis(
+        solutions=len(report.solutions),
+        mutex_in_all=all(s.entails(mutex) for s in report.solutions),
+        liveness=tuple(liveness),
+    )

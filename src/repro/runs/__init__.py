@@ -1,0 +1,45 @@
+"""Runs, points, views, and Halpern–Moses knowledge (for cross-validation)."""
+
+from .learning import (
+    OnsetProfile,
+    TimeToKnowledge,
+    knowledge_onset_by_depth,
+    time_to_knowledge,
+)
+from .hm_knowledge import (
+    agreement_with_transformer,
+    history_strictly_stronger,
+    history_view_of,
+    hm_knows,
+    hm_knows_with_history,
+    view_of,
+)
+from .runs import (
+    Point,
+    Run,
+    bfs_reachable,
+    diameter,
+    generate_runs,
+    reachable_points,
+    states_in_runs,
+)
+
+__all__ = [
+    "OnsetProfile",
+    "TimeToKnowledge",
+    "knowledge_onset_by_depth",
+    "time_to_knowledge",
+    "agreement_with_transformer",
+    "history_strictly_stronger",
+    "history_view_of",
+    "hm_knows",
+    "hm_knows_with_history",
+    "view_of",
+    "Point",
+    "Run",
+    "bfs_reachable",
+    "diameter",
+    "generate_runs",
+    "reachable_points",
+    "states_in_runs",
+]

@@ -1,0 +1,128 @@
+"""View-based knowledge à la Halpern–Moses, over explicit runs.
+
+Under a view-based interpretation, a process *knows* a fact at a point if
+the fact holds at every point it cannot distinguish — every point where it
+has the same *view*.  The paper fixes the view to be the projection of the
+current global state onto the process's variables; [HM90] also allows
+views built from the whole local history, which the paper recovers by
+"explicitly including appropriate history variables".  Both variants are
+implemented here:
+
+* :func:`hm_knows` — state-projection views.  Provably equivalent to the
+  predicate-transformer ``K_i`` on reachable states (checked exhaustively
+  in the test suite and in benchmark E12).
+* :func:`hm_knows_with_history` — full-history views (sequence of
+  projections seen so far).  At least as strong; strictly stronger on
+  programs where history disambiguates states, demonstrating what the
+  explicit-history-variable encoding buys.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from ..predicates import Predicate
+from ..unity import Program
+from .runs import Point, bfs_reachable, generate_runs
+
+
+def view_of(program: Program, process: str, state_index: int) -> Tuple:
+    """The process's view at a state: projection onto its variables."""
+    variables = program.process(process).variables
+    return program.space.projection(state_index, variables)
+
+
+def hm_knows(program: Program, process: str, p: Predicate) -> Predicate:
+    """The set of *reachable* states where the process knows ``p`` ([HM90]).
+
+    A process knows ``p`` at reachable state ``s`` iff ``p`` holds at every
+    reachable state with the same view.  Off the reachable set the result
+    is false (there are no points there at all) — compare against
+    ``K_i p ∧ SI`` of eq. (13).
+    """
+    space = program.space
+    reach = bfs_reachable(program)
+    holds_everywhere: Dict[Tuple, bool] = defaultdict(lambda: True)
+    for i in reach.indices():
+        view = view_of(program, process, i)
+        if not p.holds_at(i):
+            holds_everywhere[view] = False
+    mask = 0
+    for i in reach.indices():
+        if holds_everywhere[view_of(program, process, i)]:
+            mask |= 1 << i
+    return Predicate(space, mask)
+
+
+def history_view_of(
+    program: Program, process: str, point: Point
+) -> Tuple[Tuple, ...]:
+    """The full-history view: the sequence of projections observed so far."""
+    return tuple(
+        view_of(program, process, state) for state in point.history()
+    )
+
+
+def hm_knows_with_history(
+    program: Program,
+    process: str,
+    p: Predicate,
+    depth: int,
+    max_runs: int = 100_000,
+) -> Dict[Point, bool]:
+    """History-view knowledge of ``p`` at every point up to ``depth``.
+
+    Two points are indistinguishable iff the process has observed the same
+    *sequence* of projections.  (In [HM90]'s taxonomy: a view function that
+    uses the entire local history, with a perfect clock.)
+    """
+    runs = generate_runs(program, depth, max_runs)
+    points: List[Point] = [run.point(t) for run in runs for t in range(len(run.states))]
+    # Group points by (time, history view): with synchronous views the
+    # process can also count steps, so only same-length histories collide —
+    # this matches comparing the raw view tuples, which include length.
+    fact_ok: Dict[Tuple, bool] = defaultdict(lambda: True)
+    for point in points:
+        view = history_view_of(program, process, point)
+        if not p.holds_at(point.state):
+            fact_ok[view] = False
+    return {
+        point: fact_ok[history_view_of(program, process, point)] for point in points
+    }
+
+
+def history_strictly_stronger(
+    program: Program,
+    process: str,
+    p: Predicate,
+    depth: int,
+    max_runs: int = 100_000,
+) -> List[Point]:
+    """Points where history-view knowledge of ``p`` exceeds state-view knowledge.
+
+    Non-empty exactly when remembering the past pays; empty for programs
+    whose current state already encodes all relevant history (e.g. after
+    adding explicit history variables, as the paper prescribes).
+    """
+    state_k = hm_knows(program, process, p)
+    by_history = hm_knows_with_history(program, process, p, depth, max_runs)
+    return [
+        point
+        for point, knows in by_history.items()
+        if knows and not state_k.holds_at(point.state)
+    ]
+
+
+def agreement_with_transformer(
+    program: Program, process: str, p: Predicate
+) -> bool:
+    """Whether [HM90] knowledge equals eq. (13)'s ``K_i p`` on reachable states.
+
+    The paper's section-3 claim, checked operationally.
+    """
+    from ..core import KnowledgeOperator
+
+    operator = KnowledgeOperator.of_program(program)
+    reach = bfs_reachable(program)
+    return (operator.knows(process, p) & reach) == hm_knows(program, process, p)

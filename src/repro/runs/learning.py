@@ -1,0 +1,129 @@
+"""How processes learn: knowledge acquisition over time.
+
+The paper's Conclusion credits knowledge analysis with clarifying "how
+processes learn" [CM86].  This module measures exactly that for our
+programs, two ways:
+
+* :func:`knowledge_onset_by_depth` — exhaustive: for each BFS depth ``t``,
+  among the states first reached at depth ``t``, how many satisfy
+  ``K_i p``?  The "knowledge frontier" of the protocol.
+* :func:`time_to_knowledge` — statistical: over randomized fair
+  executions, the distribution of the first step at which the process
+  knows the fact.
+
+Because knowledge is state-based (the paper's fixed view), both reduce to
+membership in the ``K_i p`` predicate; the value added is the *temporal
+profile*, which is what protocol designers reason about informally
+("when the ack arrives, the sender knows …").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core import KnowledgeOperator
+from ..predicates import Predicate
+from ..sim import Executor
+from ..unity import Program
+
+
+@dataclass(frozen=True)
+class OnsetProfile:
+    """Knowledge frontier by BFS depth.
+
+    ``new_states[t]`` — states first reached at depth ``t``;
+    ``knowing[t]`` — how many of those satisfy ``K_i p``.
+    """
+
+    new_states: Tuple[int, ...]
+    knowing: Tuple[int, ...]
+
+    def earliest_onset(self) -> Optional[int]:
+        """The first depth at which some state carries the knowledge."""
+        for depth, count in enumerate(self.knowing):
+            if count:
+                return depth
+        return None
+
+    def fraction_by_depth(self) -> List[float]:
+        """Per-depth fraction of newly reached states that know."""
+        return [
+            k / n if n else 0.0 for k, n in zip(self.knowing, self.new_states)
+        ]
+
+
+def knowledge_onset_by_depth(
+    program: Program,
+    process: str,
+    fact: Predicate,
+    operator: Optional[KnowledgeOperator] = None,
+) -> OnsetProfile:
+    """BFS the reachable states, recording the knowledge frontier."""
+    if operator is None:
+        operator = KnowledgeOperator.of_program(program)
+    knows = operator.knows(process, fact)
+    arrays = [program.successor_array(s) for s in program.statements]
+    seen = program.init.mask
+    frontier = list(program.init.indices())
+    new_counts: List[int] = [len(frontier)]
+    know_counts: List[int] = [sum(1 for i in frontier if knows.holds_at(i))]
+    while frontier:
+        next_frontier: List[int] = []
+        for i in frontier:
+            for array in arrays:
+                j = array[i]
+                if not seen >> j & 1:
+                    seen |= 1 << j
+                    next_frontier.append(j)
+        if not next_frontier:
+            break
+        new_counts.append(len(next_frontier))
+        know_counts.append(sum(1 for i in next_frontier if knows.holds_at(i)))
+        frontier = next_frontier
+    return OnsetProfile(new_states=tuple(new_counts), knowing=tuple(know_counts))
+
+
+@dataclass(frozen=True)
+class TimeToKnowledge:
+    """Distribution of the first step at which the process knows the fact."""
+
+    samples: Tuple[int, ...]  # -1 per run that never attained it
+
+    @property
+    def attained(self) -> int:
+        return sum(1 for s in self.samples if s >= 0)
+
+    @property
+    def mean(self) -> float:
+        hits = [s for s in self.samples if s >= 0]
+        return sum(hits) / len(hits) if hits else float("nan")
+
+    def quantile(self, q: float) -> int:
+        hits = sorted(s for s in self.samples if s >= 0)
+        if not hits:
+            return -1
+        index = min(len(hits) - 1, int(q * len(hits)))
+        return hits[index]
+
+
+def time_to_knowledge(
+    program: Program,
+    process: str,
+    fact: Predicate,
+    runs: int = 30,
+    seed: int = 0,
+    max_steps: int = 10_000,
+    weights=None,
+    operator: Optional[KnowledgeOperator] = None,
+) -> TimeToKnowledge:
+    """Sample, over randomized fair runs, when ``K_i fact`` first holds."""
+    if operator is None:
+        operator = KnowledgeOperator.of_program(program)
+    knows = operator.knows(process, fact)
+    samples: List[int] = []
+    for r in range(runs):
+        executor = Executor(program, weights=weights, seed=seed + r)
+        result = executor.run(knows, max_steps=max_steps)
+        samples.append(result.steps if result.reached else -1)
+    return TimeToKnowledge(samples=tuple(samples))

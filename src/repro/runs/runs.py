@@ -1,0 +1,163 @@
+"""Runs-based operational semantics (the [HM90] view of the same programs).
+
+The paper compares its predicate-transformer definition of knowledge with
+the runs-and-points semantics of Halpern and Moses: a *run* is a sequence
+of global states, a *point* is a run plus a time, and a process's *view*
+at a point is the projection of the current global state onto its
+variables.  This module constructs those objects explicitly (bounded
+enumeration), which lets the test suite validate, point by point, that
+
+* the states occurring in runs are exactly ``SI`` (eq. 1–5's reachable
+  set), and
+* view-based knowledge à la [HM90] coincides with the ``K_i`` of eq. (13)
+  on reachable states (:mod:`repro.runs.hm_knowledge`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from ..predicates import Predicate
+from ..unity import Program
+
+
+@dataclass(frozen=True)
+class Run:
+    """A finite prefix of an execution: states visited and statements taken.
+
+    ``states`` has one more element than ``statements`` (the initial state).
+    """
+
+    states: Tuple[int, ...]
+    statements: Tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.states) != len(self.statements) + 1:
+            raise ValueError("a run has exactly one more state than statements")
+
+    def point(self, time: int) -> "Point":
+        """The point of this run at ``time``."""
+        return Point(self, time)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+@dataclass(frozen=True)
+class Point:
+    """A (run, time) pair — the unit knowledge is evaluated at in [HM90]."""
+
+    run: Run
+    time: int
+
+    def __post_init__(self):
+        if not 0 <= self.time < len(self.run.states):
+            raise ValueError(f"time {self.time} outside run of {len(self.run.states)} states")
+
+    @property
+    def state(self) -> int:
+        """Index of the current global state."""
+        return self.run.states[self.time]
+
+    def history(self) -> Tuple[int, ...]:
+        """States visited up to (and including) this time."""
+        return self.run.states[: self.time + 1]
+
+
+def bfs_reachable(program: Program) -> Predicate:
+    """The reachable states by explicit breadth-first search.
+
+    Operationally independent of the ``sst`` fixpoint — the test suite
+    asserts ``bfs_reachable == strongest_invariant`` on standard programs.
+    """
+    space = program.space
+    arrays = [program.successor_array(s) for s in program.statements]
+    seen = program.init.mask
+    frontier = list(program.init.indices())
+    while frontier:
+        new_frontier: List[int] = []
+        for i in frontier:
+            for array in arrays:
+                j = array[i]
+                if not seen >> j & 1:
+                    seen |= 1 << j
+                    new_frontier.append(j)
+        frontier = new_frontier
+    return Predicate(space, seen)
+
+
+def generate_runs(
+    program: Program, max_depth: int, max_runs: int = 100_000
+) -> List[Run]:
+    """All runs of length exactly ``max_depth`` (bounded enumeration).
+
+    Every statement choice is explored at each step; ``max_runs`` caps the
+    (exponential) enumeration and raises when exceeded, so callers choose
+    depths consciously.
+    """
+    arrays = [(s.name, program.successor_array(s)) for s in program.statements]
+    runs: List[Run] = []
+
+    def extend(states: List[int], statements: List[str]) -> None:
+        if len(runs) > max_runs:
+            raise ValueError(
+                f"more than {max_runs} runs at depth {max_depth}; lower the depth"
+            )
+        if len(statements) == max_depth:
+            runs.append(Run(tuple(states), tuple(statements)))
+            return
+        current = states[-1]
+        for name, array in arrays:
+            states.append(array[current])
+            statements.append(name)
+            extend(states, statements)
+            states.pop()
+            statements.pop()
+
+    for start in program.init.indices():
+        extend([start], [])
+    return runs
+
+
+def reachable_points(
+    program: Program, max_depth: int, max_runs: int = 100_000
+) -> List[Point]:
+    """Every point of every run up to ``max_depth``."""
+    points: List[Point] = []
+    for run in generate_runs(program, max_depth, max_runs):
+        for time in range(len(run.states)):
+            points.append(run.point(time))
+    return points
+
+
+def states_in_runs(runs: Sequence[Run]) -> Set[int]:
+    """All state indices occurring in the given runs."""
+    out: Set[int] = set()
+    for run in runs:
+        out.update(run.states)
+    return out
+
+
+def diameter(program: Program) -> int:
+    """Number of BFS levels needed to exhaust the reachable set.
+
+    Runs of this depth visit every reachable state; useful to pick
+    ``max_depth`` for exact comparisons.
+    """
+    arrays = [program.successor_array(s) for s in program.statements]
+    seen = program.init.mask
+    frontier = list(program.init.indices())
+    levels = 0
+    while frontier:
+        new_frontier: List[int] = []
+        for i in frontier:
+            for array in arrays:
+                j = array[i]
+                if not seen >> j & 1:
+                    seen |= 1 << j
+                    new_frontier.append(j)
+        if new_frontier:
+            levels += 1
+        frontier = new_frontier
+    return levels

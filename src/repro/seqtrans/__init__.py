@@ -1,0 +1,76 @@
+"""The sequence transmission case study (paper section 6), end to end.
+
+Builders for the bounded Figure-3 knowledge-based protocol, the Figure-4
+standard protocol, the classical refinement family (alternating bit,
+Stenning), the channel models, the specification checkers, and the
+machine-checked replays of the paper's safety and liveness derivations.
+"""
+
+from .alternating_bit import build_alternating_bit
+from .apriori import (
+    TRANSMIT_STATEMENTS,
+    AprioriComparison,
+    KbpSolution,
+    compare_with_apriori,
+    solve_kbp,
+)
+from .channels import LOSSY, RELIABLE, ChannelKind, ChannelSpec, bounded_loss
+from .instantiation import (
+    InstantiationReport,
+    TermComparison,
+    check_instantiation,
+    proposed_resolution,
+)
+from .kbp_protocol import build_kbp_protocol, k_r_any, k_r_value, k_s_k_r
+from .params import SeqTransParams
+from .proofs_kbp import LivenessProofs, channel_liveness_assumptions, prove_liveness
+from .proofs_standard import StandardProofs, prove_all_standard
+from .spec import SpecReport, check_spec, delivered_all, safety_predicate
+from .standard import (
+    RECEIVER,
+    SENDER,
+    build_standard_protocol,
+    proposed_k_r_any,
+    proposed_k_r_value,
+    proposed_k_s_k_r,
+)
+from .stenning import build_stenning
+
+__all__ = [
+    "build_alternating_bit",
+    "TRANSMIT_STATEMENTS",
+    "AprioriComparison",
+    "KbpSolution",
+    "compare_with_apriori",
+    "solve_kbp",
+    "LOSSY",
+    "RELIABLE",
+    "ChannelKind",
+    "ChannelSpec",
+    "bounded_loss",
+    "InstantiationReport",
+    "TermComparison",
+    "check_instantiation",
+    "proposed_resolution",
+    "build_kbp_protocol",
+    "k_r_any",
+    "k_r_value",
+    "k_s_k_r",
+    "SeqTransParams",
+    "LivenessProofs",
+    "channel_liveness_assumptions",
+    "prove_liveness",
+    "StandardProofs",
+    "prove_all_standard",
+    "SpecReport",
+    "check_spec",
+    "delivered_all",
+    "safety_predicate",
+    "RECEIVER",
+    "SENDER",
+    "build_standard_protocol",
+    "proposed_k_r_any",
+    "proposed_k_r_value",
+    "proposed_k_s_k_r",
+    "build_stenning",
+]

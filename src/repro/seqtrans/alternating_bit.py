@@ -1,0 +1,163 @@
+"""The alternating bit protocol [BSW69] as a bounded UNITY program.
+
+One of the classical finite-state protocols that [HZar] obtains by
+refining the infinite-state standard protocol (our Figure 4): instead of
+unbounded sequence numbers, messages carry a single *alternation bit*.
+The sender retransmits ``(sbit, x_i)`` until the ack echoes ``sbit``, then
+flips the bit and advances; the receiver delivers a message whose bit
+matches the expected ``rbit``, flips ``rbit``, and (whenever it has
+nothing deliverable) acks the complement of ``rbit`` — i.e. the bit of the
+last delivered message.
+
+The channel may lose and duplicate but not reorder — exactly what the
+single-slot channels of :mod:`repro.seqtrans.channels` provide, and
+exactly the fault model under which the alternating bit protocol is
+famously correct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..predicates import Predicate
+from ..statespace import (
+    BOT,
+    BoolDomain,
+    EnumDomain,
+    IntRangeDomain,
+    SeqDomain,
+    StateSpace,
+    TupleDomain,
+    Variable,
+)
+from ..unity import Length, Program, Statement, const, lnot, lor, tup, var
+from .channels import ChannelSpec, bounded_loss
+from .params import SeqTransParams
+
+
+def build_ab_space(params: SeqTransParams, channel: ChannelSpec) -> StateSpace:
+    """State space of the alternating bit protocol."""
+    alpha_domain = EnumDomain("A", params.alphabet)
+    length = params.length
+    bit = BoolDomain()
+    message_domain = TupleDomain(bit, alpha_domain)
+    variables = [
+        Variable("x", TupleDomain(*([alpha_domain] * length))),
+        Variable("i", IntRangeDomain(0, length - 1)),
+        Variable("sbit", bit),
+        Variable("w", SeqDomain(alpha_domain, length)),
+        Variable("rbit", bit),
+    ]
+    # Received-message mailboxes, then channel slots (za: acks, zb: data).
+    from ..statespace import OptionDomain
+
+    variables.append(Variable("zb", OptionDomain(message_domain)))
+    variables.append(Variable("za", OptionDomain(bit)))
+    variables.extend(channel.slot_variables(message_domain, bit))
+    return StateSpace(variables)
+
+
+def build_alternating_bit(
+    params: SeqTransParams = SeqTransParams(),
+    channel: ChannelSpec = bounded_loss(1),
+) -> Program:
+    """The alternating bit protocol over the given channel."""
+    space = build_ab_space(params, channel)
+    length = params.length
+    receive_ack = channel.receive_ack_updates(target="za")
+    receive_data = channel.receive_data_updates(target="zb")
+    statements: List[Statement] = []
+
+    # Sender: retransmit (sbit, x_i) until the ack echoes sbit.
+    send_updates: Dict[str, Any] = {"cs": tup(var("sbit"), var("x")[var("i")])}
+    send_updates.update(receive_ack)
+    statements.append(
+        Statement(
+            name="ab_snd_data",
+            targets=tuple(send_updates),
+            exprs=tuple(send_updates.values()),
+            guard=lnot(var("za").eq(var("sbit"))),
+        )
+    )
+    advance_updates: Dict[str, Any] = {
+        "i": var("i") + const(1),
+        "sbit": lnot(var("sbit")),
+    }
+    advance_updates.update(receive_ack)
+    statements.append(
+        Statement(
+            name="ab_snd_next",
+            targets=tuple(advance_updates),
+            exprs=tuple(advance_updates.values()),
+            guard=(var("za").eq(var("sbit"))) & (var("i") < const(length - 1)),
+        )
+    )
+
+    # Receiver: deliver on a matching bit, flip rbit.
+    for alpha in params.alphabet:
+        deliver_updates: Dict[str, Any] = {
+            "w": _append(alpha),
+            "rbit": lnot(var("rbit")),
+        }
+        deliver_updates.update(receive_data)
+        statements.append(
+            Statement(
+                name=f"ab_rcv_deliver_{alpha}",
+                targets=tuple(deliver_updates),
+                exprs=tuple(deliver_updates.values()),
+                guard=(Length(var("w")) < const(length))
+                & (var("zb").eq(tup(var("rbit"), const(alpha)))),
+            )
+        )
+    # Receiver: when nothing deliverable, ack the last delivered bit (¬rbit).
+    matching = lor(
+        *[var("zb").eq(tup(var("rbit"), const(alpha))) for alpha in params.alphabet]
+    )
+    ack_updates: Dict[str, Any] = {"cr": lnot(var("rbit"))}
+    ack_updates.update(receive_data)
+    statements.append(
+        Statement(
+            name="ab_rcv_ack",
+            targets=tuple(ack_updates),
+            exprs=tuple(ack_updates.values()),
+            guard=lnot(matching),
+        )
+    )
+
+    statements.extend(channel.environment_statements())
+    init = _initial(params, channel, space)
+    return Program(
+        space=space,
+        init=init,
+        statements=statements,
+        processes={
+            "Sender": ("x", "i", "sbit", "za"),
+            "Receiver": ("w", "rbit", "zb"),
+        },
+        name=f"alternating-bit[L={params.length},{channel.kind.value}]",
+    )
+
+
+def _append(alpha):
+    from ..unity import Append
+
+    return Append(var("w"), const(alpha))
+
+
+def _initial(params: SeqTransParams, channel: ChannelSpec, space: StateSpace) -> Predicate:
+    channel_init = channel.initial_assignment()
+    fixed = params.apriori or {}
+
+    def is_initial(state) -> bool:
+        if state["i"] != 0 or state["w"] != ():
+            return False
+        if state["sbit"] is not False or state["rbit"] is not False:
+            return False
+        if state["zb"] is not BOT or state["za"] is not BOT:
+            return False
+        for name, value in channel_init.items():
+            if state[name] != value:
+                return False
+        return all(state["x"][k] == v for k, v in fixed.items())
+
+    return Predicate.from_callable(space, is_initial)

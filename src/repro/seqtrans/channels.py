@@ -1,0 +1,166 @@
+"""Channel models for the sequence transmission protocols.
+
+The paper leaves the communication channel abstract and only *assumes*
+liveness properties ((Kbp-1)/(Kbp-2) at the knowledge level, (St-3)/(St-4)
+at the standard level): a message transmitted repeatedly is eventually
+received, "guaranteed by a communication channel that will eventually
+correctly deliver any message that is sent repeatedly".  The safety side
+((St-1)/(St-2)) says a received legal value was actually sent.
+
+This module provides concrete single-slot channels over two shared slot
+variables (data: Sender→Receiver, acks: Receiver→Sender):
+
+* ``transmit(v)``  =  write ``v`` into the slot (overwriting what was
+  there — an un-received older message is thereby lost);
+* ``receive(var)`` =  copy the slot into ``var`` (without clearing — the
+  same message can be received repeatedly, modelling *duplication*);
+* an environment ``lose`` statement sets a slot to ``⊥`` (modelling both
+  *loss* and *detectable corruption*, which are indistinguishable to the
+  receiver since corrupted messages read as ``⊥``).
+
+Three disciplines for the ``lose`` statements:
+
+* ``RELIABLE``      — no ``lose`` statements at all;
+* ``LOSSY``         — unrestricted ``lose``: statement fairness alone does
+  **not** give (St-3)/(St-4) (the adversary can lose every message while
+  still scheduling fairly), so the protocol's liveness *fails* — this is
+  experiment E13's negative arm;
+* ``BOUNDED_LOSS``  — each slot carries a loss *budget* decremented per
+  loss and replenished whenever the destination process performs a
+  successful (non-⊥) receive; at most ``budget`` consecutive losses can
+  separate successful receives, which realizes the paper's channel
+  assumption and makes (St-3)/(St-4) theorems of the model.
+
+Because received values are only ever copies of transmitted slot values,
+the history-variable invariants (St-1)/(St-2) hold *by construction* here;
+the history variables ``ch_S``/``ch_R`` of Figure 4 are therefore not part
+of the state (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..statespace import BOT, Domain, IntRangeDomain, OptionDomain, Variable
+from ..unity import Statement, const, ite, var
+
+
+class ChannelKind(enum.Enum):
+    """Fault discipline of the single-slot channels."""
+
+    RELIABLE = "reliable"
+    LOSSY = "lossy"
+    BOUNDED_LOSS = "bounded_loss"
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A channel discipline plus its loss budget (bounded-loss only)."""
+
+    kind: ChannelKind = ChannelKind.BOUNDED_LOSS
+    budget: int = 1
+
+    def __post_init__(self):
+        if self.kind is ChannelKind.BOUNDED_LOSS and self.budget < 1:
+            raise ValueError("bounded-loss channel needs budget >= 1")
+
+    # ------------------------------------------------------------------
+    # state-space contribution
+    # ------------------------------------------------------------------
+
+    def slot_variables(
+        self, data_domain: Domain, ack_domain: Domain
+    ) -> List[Variable]:
+        """The channel's variables: two slots, plus budgets when bounded."""
+        variables = [
+            Variable("cs", OptionDomain(data_domain)),  # data slot S→R
+            Variable("cr", OptionDomain(ack_domain)),  # ack slot R→S
+        ]
+        if self.kind is ChannelKind.BOUNDED_LOSS:
+            budget_domain = IntRangeDomain(0, self.budget)
+            variables.append(Variable("bs", budget_domain))
+            variables.append(Variable("br", budget_domain))
+        return variables
+
+    def initial_assignment(self) -> dict:
+        """Initial values of the channel variables (slots empty, budgets full)."""
+        init = {"cs": BOT, "cr": BOT}
+        if self.kind is ChannelKind.BOUNDED_LOSS:
+            init["bs"] = self.budget
+            init["br"] = self.budget
+        return init
+
+    # ------------------------------------------------------------------
+    # statement fragments used by the protocol builders
+    # ------------------------------------------------------------------
+
+    def receive_data_updates(self, target: str = "zp") -> dict:
+        """Assignments a Receiver statement adds to perform ``receive(z')``.
+
+        Copies the data slot; on a bounded-loss channel a successful
+        (non-⊥) receive also replenishes that slot's loss budget.
+        """
+        updates = {target: var("cs")}
+        if self.kind is ChannelKind.BOUNDED_LOSS:
+            updates["bs"] = ite(var("cs").ne(const(BOT)), const(self.budget), var("bs"))
+        return updates
+
+    def receive_ack_updates(self, target: str = "z") -> dict:
+        """Assignments a Sender statement adds to perform ``receive(z)``."""
+        updates = {target: var("cr")}
+        if self.kind is ChannelKind.BOUNDED_LOSS:
+            updates["br"] = ite(var("cr").ne(const(BOT)), const(self.budget), var("br"))
+        return updates
+
+    def environment_statements(self) -> List[Statement]:
+        """The channel's own (environment) statements — the ``lose`` family."""
+        statements: List[Statement] = []
+        if self.kind is ChannelKind.RELIABLE:
+            return statements
+        if self.kind is ChannelKind.LOSSY:
+            statements.append(
+                Statement(
+                    name="lose_data",
+                    targets=("cs",),
+                    exprs=(const(BOT),),
+                    guard=var("cs").ne(const(BOT)),
+                )
+            )
+            statements.append(
+                Statement(
+                    name="lose_ack",
+                    targets=("cr",),
+                    exprs=(const(BOT),),
+                    guard=var("cr").ne(const(BOT)),
+                )
+            )
+            return statements
+        # BOUNDED_LOSS: losses gated and metered by the budgets.
+        statements.append(
+            Statement(
+                name="lose_data",
+                targets=("cs", "bs"),
+                exprs=(const(BOT), var("bs") - const(1)),
+                guard=(var("cs").ne(const(BOT))) & (var("bs") > const(0)),
+            )
+        )
+        statements.append(
+            Statement(
+                name="lose_ack",
+                targets=("cr", "br"),
+                exprs=(const(BOT), var("br") - const(1)),
+                guard=(var("cr").ne(const(BOT))) & (var("br") > const(0)),
+            )
+        )
+        return statements
+
+
+RELIABLE = ChannelSpec(ChannelKind.RELIABLE)
+LOSSY = ChannelSpec(ChannelKind.LOSSY)
+
+
+def bounded_loss(budget: int = 1) -> ChannelSpec:
+    """A bounded-consecutive-loss channel (satisfies the paper's assumption)."""
+    return ChannelSpec(ChannelKind.BOUNDED_LOSS, budget)

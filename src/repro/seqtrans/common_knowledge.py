@@ -1,0 +1,88 @@
+"""The common-knowledge hierarchy over the transmission channels.
+
+The paper notes its approach "can easily be extended to include other
+variants of knowledge, such as common knowledge [HM90]" — and [HM90] is
+the *coordinated attack* paper: over a communication medium that does not
+deliver synchronously, common knowledge of a new fact can never be
+attained.  This module measures the hierarchy
+
+    K_R x_k  ⊒  E x_k  ⊒  E² x_k  ⊒ … ⊒  C x_k
+
+on the sequence transmission protocols: every finite level is eventually
+attained, the levels strictly shrink, and the limit ``C`` is empty on the
+reachable states of **every** channel model — including the reliable one,
+whose single-slot delivery is still asynchronous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from ..core import KnowledgeOperator
+from ..transformers import strongest_invariant
+from ..unity import Program
+from .params import SeqTransParams
+from .standard import RECEIVER, SENDER, fact_x_k
+
+
+@dataclass(frozen=True)
+class KnowledgeHierarchy:
+    """Reachable-state counts of each knowledge level for one ground fact."""
+
+    fact_states: int
+    individual: Tuple[int, int]  # (K_Sender, K_Receiver)
+    e_levels: Tuple[int, ...]  # E, E², E³, …
+    common: int
+    si_states: int
+
+    @property
+    def strictly_descending(self) -> bool:
+        """Whether each measured E-level loses states until stabilizing."""
+        levels = [lvl for lvl in self.e_levels]
+        return all(a >= b for a, b in zip(levels, levels[1:]))
+
+    @property
+    def common_knowledge_attained(self) -> bool:
+        return self.common > 0
+
+
+def knowledge_hierarchy(
+    program: Program,
+    params: SeqTransParams,
+    k: int = 0,
+    alpha: Any = None,
+    depth: int = 4,
+) -> KnowledgeHierarchy:
+    """Measure ``K``, ``E^n`` and ``C`` of the fact ``x_k = α`` on SI.
+
+    ``alpha`` defaults to the first alphabet symbol.  ``depth`` is how many
+    ``E`` iterations to record (``C`` itself is the exact fixpoint,
+    independent of ``depth``).
+    """
+    if alpha is None:
+        alpha = params.alphabet[0]
+    space = program.space
+    si = strongest_invariant(program)
+    operator = KnowledgeOperator.of_program(program, si)
+    group = [SENDER, RECEIVER]
+    fact = fact_x_k(space, k, alpha)
+
+    individual = (
+        (operator.knows(SENDER, fact) & si).count(),
+        (operator.knows(RECEIVER, fact) & si).count(),
+    )
+    e_levels: List[int] = []
+    level = operator.everyone_knows(group, fact)
+    e_levels.append((level & si).count())
+    for _ in range(depth - 1):
+        level = operator.everyone_knows(group, fact & level)
+        e_levels.append((level & si).count())
+    common = (operator.common_knowledge(group, fact) & si).count()
+    return KnowledgeHierarchy(
+        fact_states=(fact & si).count(),
+        individual=individual,
+        e_levels=tuple(e_levels),
+        common=common,
+        si_states=si.count(),
+    )

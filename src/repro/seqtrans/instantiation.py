@@ -1,0 +1,157 @@
+"""Does the standard protocol instantiate the knowledge-based protocol? (§6.3)
+
+Two checks, mirroring the paper:
+
+* **Sufficiency** (what correctness needs): the proposed predicates
+  (50)/(51) *imply* the true knowledge predicates on the reachable states —
+  i.e. invariants (61)/(62) hold.  The paper proves these from the text; we
+  both verify them directly and compute the true ``K`` predicates from the
+  standard protocol's SI and compare.
+
+* **Exactness** (the [HZar] Proposition 4.5 analogue): the proposed
+  predicates *equal* the true knowledge predicates on SI.  This is what
+  "the standard protocol instantiates the knowledge-based protocol" means,
+  and — the paper's §6.4 point — it **fails under a priori information**
+  even though the protocol remains correct.
+
+The comparison also covers the transitions themselves: resolving the
+Figure-3 KBP at the standard protocol's SI must reproduce the standard
+protocol's successor relation on reachable states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core import KnowledgeOperator
+from ..predicates import Predicate
+from ..transformers import strongest_invariant
+from ..unity import Knowledge, Program
+from .channels import ChannelSpec, bounded_loss
+from .kbp_protocol import build_kbp_protocol, k_r_value, k_s_k_r
+from .params import SeqTransParams
+from .standard import (
+    build_standard_protocol,
+    proposed_k_r_value,
+    proposed_k_s_k_r,
+)
+
+
+@dataclass(frozen=True)
+class TermComparison:
+    """Proposed vs true value of one knowledge predicate, on SI."""
+
+    label: str
+    sufficient: bool  # [SI ⇒ (proposed ⇒ K)] — enough for correctness
+    exact: bool  # [SI ⇒ (proposed ≡ K)] — the instantiation condition
+    proposed_states: int
+    actual_states: int
+
+
+@dataclass(frozen=True)
+class InstantiationReport:
+    """Outcome of the §6.3 instantiation check."""
+
+    terms: Tuple[TermComparison, ...]
+    transitions_match: bool
+    si_states: int
+
+    @property
+    def sufficient(self) -> bool:
+        """All proposed predicates imply true knowledge (invariants 61–62)."""
+        return all(t.sufficient for t in self.terms)
+
+    @property
+    def instantiates(self) -> bool:
+        """The full §6.3 condition: exact predicates and matching transitions."""
+        return self.transitions_match and all(t.exact for t in self.terms)
+
+
+def proposed_resolution(
+    params: SeqTransParams, kbp: Program
+) -> Dict[Knowledge, Predicate]:
+    """The (50)/(51) predicates keyed by the KBP's knowledge terms."""
+    space = kbp.space
+    resolution: Dict[Knowledge, Predicate] = {}
+    for k in range(params.length):
+        for alpha in params.alphabet:
+            resolution[k_r_value(k, alpha)] = proposed_k_r_value(space, k, alpha)
+        resolution[k_s_k_r(params, k)] = proposed_k_s_k_r(space, k)
+    return resolution
+
+
+def check_instantiation(
+    params: SeqTransParams = SeqTransParams(),
+    channel: ChannelSpec = bounded_loss(1),
+) -> InstantiationReport:
+    """Run the full §6.3 check for the given instance.
+
+    With ``params.apriori=None`` (and ``|A| ≥ 2``) this reproduces the
+    paper's positive claim; with a priori information it reproduces the
+    §6.4 failure: correctness persists but the instantiation breaks.
+    """
+    standard = build_standard_protocol(params, channel)
+    kbp = build_kbp_protocol(params, channel)
+    si = strongest_invariant(standard)
+    operator = KnowledgeOperator(
+        standard.space,
+        si,
+        {p.name: p.variables for p in standard.processes.values()},
+    )
+    actual = operator.resolve_terms(kbp.knowledge_terms())
+    proposed = proposed_resolution(params, kbp)
+
+    comparisons: List[TermComparison] = []
+    for k in range(params.length):
+        for alpha in params.alphabet:
+            term = k_r_value(k, alpha)
+            comparisons.append(
+                _compare(f"K_R(x_{k} = {alpha!r})", proposed[term], actual[term], si)
+            )
+        term = k_s_k_r(params, k)
+        comparisons.append(
+            _compare(f"K_S K_R x_{k}", proposed[term], actual[term], si)
+        )
+
+    resolved = kbp.resolve(actual)
+    transitions_match = _same_transitions_on(standard, resolved, si)
+    return InstantiationReport(
+        terms=tuple(comparisons),
+        transitions_match=transitions_match,
+        si_states=si.count(),
+    )
+
+
+def _compare(
+    label: str, proposed: Predicate, actual: Predicate, si: Predicate
+) -> TermComparison:
+    proposed_si = proposed & si
+    actual_si = actual & si
+    return TermComparison(
+        label=label,
+        sufficient=proposed_si.entails(actual_si),
+        exact=proposed_si == actual_si,
+        proposed_states=proposed_si.count(),
+        actual_states=actual_si.count(),
+    )
+
+
+def _same_transitions_on(a: Program, b: Program, si: Predicate) -> bool:
+    """Whether two programs over one space agree, statement by statement, on SI.
+
+    Statements are matched by name (the builders use identical names).
+    """
+    names_a = {s.name for s in a.statements}
+    names_b = {s.name for s in b.statements}
+    if names_a != names_b:
+        return False
+    indices = list(si.indices())
+    for stmt_a in a.statements:
+        stmt_b = b.statement(stmt_a.name)
+        array_a = a.successor_array(stmt_a)
+        array_b = b.successor_array(stmt_b)
+        for i in indices:
+            if array_a[i] != array_b[i]:
+                return False
+    return True

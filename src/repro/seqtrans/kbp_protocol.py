@@ -1,0 +1,153 @@
+"""The knowledge-based sequence transmission protocol (paper Figure 3, bounded).
+
+At each step the Sender transmits ``(i, x_i)`` while it does **not** know
+that the Receiver knows ``x_i`` (``¬(K_S K_R x_k)@k=i``), and advances once
+it does.  The Receiver delivers ``x_j`` when it knows its value
+(``(K_R(x_k = α))@k=j``) and transmits the request ``j`` while it does not
+(``¬K_R x_j``).
+
+The paper's ``@k=i`` notation — a free index ``k`` evaluated at the current
+value of ``i`` — is realized as a finite disjunction over the constant
+indices ``k < L``::
+
+    (K_S K_R x_k)@k=i   ≝   ∨_k ( i = k  ∧  K_S(∃α : K_R(x_k = α)) )
+
+with every ``K`` term carrying a *constant* ``k``, exactly as the paper's
+per-index proof obligations require.  Nested knowledge (``K_S K_R``) nests
+:class:`~repro.unity.Knowledge` nodes; resolution is innermost-first.
+
+The channel-liveness assumptions (Kbp-1)/(Kbp-2) and the stability
+assumptions (Kbp-3)/(Kbp-4) are *not* built into the program — following
+the paper they are separate properties, checked on each instantiation
+(:mod:`repro.seqtrans.proofs_kbp`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..unity import (
+    Append,
+    Expr,
+    Knowledge,
+    Length,
+    Program,
+    Statement,
+    const,
+    knows,
+    lnot,
+    lor,
+    tup,
+    var,
+)
+from .channels import ChannelSpec, bounded_loss
+from .params import SeqTransParams
+from .standard import RECEIVER, SENDER, build_space, initial_predicate
+
+
+def k_r_value(k: int, alpha: Any) -> Knowledge:
+    """``K_R(x_k = α)`` with constant index ``k``."""
+    return knows(RECEIVER, var("x")[const(k)].eq(const(alpha)))
+
+
+def k_r_any(params: SeqTransParams, k: int) -> Expr:
+    """``K_R x_k ≡ (∃α : K_R(x_k = α))`` (the paper's abbreviation)."""
+    return lor(*[k_r_value(k, alpha) for alpha in params.alphabet])
+
+
+def k_s_k_r(params: SeqTransParams, k: int) -> Knowledge:
+    """``K_S K_R x_k`` — the Sender knows the Receiver knows ``x_k``."""
+    return knows(SENDER, k_r_any(params, k))
+
+
+def _at_current(index_var: str, params: SeqTransParams, body) -> Expr:
+    """``(φ_k)@k=index_var`` as ``∨_k (index_var = k ∧ φ_k)``."""
+    return lor(
+        *[
+            (var(index_var).eq(const(k))) & body(k)
+            for k in range(params.length)
+        ]
+    )
+
+
+def build_kbp_protocol(
+    params: SeqTransParams = SeqTransParams(),
+    channel: ChannelSpec = bounded_loss(1),
+) -> Program:
+    """The bounded Figure-3 knowledge-based protocol over the given channel."""
+    space = build_space(params, channel)
+    length = params.length
+    receive_ack = channel.receive_ack_updates()
+    receive_data = channel.receive_data_updates()
+
+    statements: List[Statement] = []
+
+    # Sender: transmit (i, x_i) while ¬(K_S K_R x_k)@k=i.
+    transmit_updates: Dict[str, Any] = {"cs": tup(var("i"), var("x")[var("i")])}
+    transmit_updates.update(receive_ack)
+    statements.append(
+        Statement(
+            name="snd_data",
+            targets=tuple(transmit_updates),
+            exprs=tuple(transmit_updates.values()),
+            guard=_at_current("i", params, lambda k: lnot(k_s_k_r(params, k))),
+        )
+    )
+
+    # Sender: advance once (K_S K_R x_k)@k=i (bounded: only while i+1 < L).
+    advance_updates: Dict[str, Any] = {"i": var("i") + const(1)}
+    advance_updates.update(receive_ack)
+    statements.append(
+        Statement(
+            name="snd_next",
+            targets=tuple(advance_updates),
+            exprs=tuple(advance_updates.values()),
+            guard=_at_current("i", params, lambda k: k_s_k_r(params, k))
+            & (var("i") < const(length - 1)),
+        )
+    )
+
+    # Receiver: deliver α when (K_R(x_k = α))@k=j.
+    for alpha in params.alphabet:
+        deliver_updates: Dict[str, Any] = {
+            "w": Append(var("w"), const(alpha)),
+            "j": var("j") + const(1),
+        }
+        deliver_updates.update(receive_data)
+        statements.append(
+            Statement(
+                name=f"rcv_deliver_{alpha}",
+                targets=tuple(deliver_updates),
+                exprs=tuple(deliver_updates.values()),
+                # |w| < L keeps the append total off SI (cf. standard.py).
+                guard=(var("j") < const(length))
+                & (Length(var("w")) < const(length))
+                & _at_current("j", params, lambda k, a=alpha: k_r_value(k, a)),
+            )
+        )
+
+    # Receiver: request j while ¬K_R x_j (and keep acking at j = L so the
+    # Sender can learn the transmission is complete — the bounded endgame).
+    ack_updates: Dict[str, Any] = {"cr": var("j")}
+    ack_updates.update(receive_data)
+    statements.append(
+        Statement(
+            name="rcv_ack",
+            targets=tuple(ack_updates),
+            exprs=tuple(ack_updates.values()),
+            guard=(var("j").eq(const(length)))
+            | _at_current("j", params, lambda k: lnot(k_r_any(params, k))),
+        )
+    )
+
+    statements.extend(channel.environment_statements())
+    return Program(
+        space=space,
+        init=initial_predicate(params, channel, space),
+        statements=statements,
+        processes={
+            SENDER: ("x", "i", "z"),
+            RECEIVER: ("w", "j", "zp"),
+        },
+        name=f"seqtrans-kbp[L={params.length},|A|={len(params.alphabet)},{channel.kind.value}]",
+    )

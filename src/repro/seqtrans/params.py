@@ -1,0 +1,68 @@
+"""Parameters of the bounded sequence-transmission models (paper section 6).
+
+The paper's protocol transmits an *infinite* sequence ``x`` over a finite
+alphabet ``A`` with unbounded counters.  The bounded instantiation fixes a
+transmission length ``L``; ``x`` ranges over ``A^L`` (it is a genuine
+*variable*, constant during execution — this is what makes the knowledge
+predicates non-trivial: with no a priori information every value of ``x``
+is initially possible), counters range over ``0..L``, and the delivered
+prefix ``w`` over sequences of length ≤ ``L``.
+
+See DESIGN.md §2 for why this preserves the paper's proof obligations:
+every numbered result (36)–(62) is universally quantified over the index
+``k``, and the bounded model exercises each instance with ``k < L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SeqTransParams:
+    """Configuration of a bounded sequence-transmission instance.
+
+    Parameters
+    ----------
+    alphabet:
+        The finite alphabet ``A`` (at least two symbols for the protocol to
+        be non-degenerate, as the paper notes in §6.3).
+    length:
+        ``L`` — number of elements to transmit.
+    apriori:
+        Optional a priori information: a mapping ``index → value`` fixing
+        some elements of ``x`` in the initial condition (the §6.4
+        experiments).  ``None`` means no a priori information.
+    """
+
+    alphabet: Tuple[Any, ...] = ("a", "b")
+    length: int = 2
+    apriori: Optional[Dict[int, Any]] = None
+
+    def __post_init__(self):
+        if len(set(self.alphabet)) != len(self.alphabet) or not self.alphabet:
+            raise ValueError("alphabet must be non-empty and duplicate-free")
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+        if self.apriori:
+            for index, value in self.apriori.items():
+                if not 0 <= index < self.length:
+                    raise ValueError(f"a priori index {index} out of range")
+                if value not in self.alphabet:
+                    raise ValueError(f"a priori value {value!r} not in alphabet")
+            # Freeze for hashability.
+            object.__setattr__(self, "apriori", dict(self.apriori))
+
+    def __hash__(self):
+        apriori = tuple(sorted(self.apriori.items())) if self.apriori else ()
+        return hash((self.alphabet, self.length, apriori))
+
+    def x_values(self):
+        """All values of ``x`` consistent with the a priori information."""
+        import itertools
+
+        fixed = self.apriori or {}
+        for combo in itertools.product(self.alphabet, repeat=self.length):
+            if all(combo[k] == v for k, v in fixed.items()):
+                yield combo

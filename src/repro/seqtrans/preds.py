@@ -1,0 +1,123 @@
+"""Named predicates of the sequence transmission proofs (paper §6).
+
+Every predicate the paper's derivations mention, as exact bitsets over the
+protocol state space.  The knowledge predicates come in two flavours:
+
+* the *proposed* values (50)/(51) from :mod:`repro.seqtrans.standard`, and
+* the *actual* values computed by the knowledge operator from the standard
+  protocol's strongest invariant —
+
+which §6.3 shows to coincide on SI when there is no a priori information.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..predicates import Predicate, conjunction
+from ..statespace import StateSpace
+from .params import SeqTransParams
+from .standard import proposed_k_r_any, proposed_k_s_k_r
+
+
+def _memo(space: StateSpace, key, build):
+    """Per-space predicate cache (protocol predicates are queried repeatedly)."""
+    cache = getattr(space, "_seqtrans_pred_cache", None)
+    if cache is None:
+        cache = {}
+        space._seqtrans_pred_cache = cache
+    if key not in cache:
+        cache[key] = build()
+    return cache[key]
+
+
+def i_eq(space: StateSpace, k: int) -> Predicate:
+    """``i = k``."""
+    return _memo(space, ("i_eq", k), lambda: Predicate.from_callable(space, lambda s: s["i"] == k))
+
+
+def i_ge(space: StateSpace, k: int) -> Predicate:
+    """``i ≥ k``."""
+    return _memo(space, ("i_ge", k), lambda: Predicate.from_callable(space, lambda s: s["i"] >= k))
+
+
+def i_gt(space: StateSpace, k: int) -> Predicate:
+    """``i > k``."""
+    return _memo(space, ("i_gt", k), lambda: Predicate.from_callable(space, lambda s: s["i"] > k))
+
+
+def z_eq(space: StateSpace, k: int) -> Predicate:
+    """``z = k`` (false at ``z = ⊥``)."""
+    return _memo(space, ("z_eq", k), lambda: Predicate.from_callable(space, lambda s: s["z"] == k))
+
+
+def z_ge(space: StateSpace, k: int) -> Predicate:
+    """``z ≥ k`` (false at ``z = ⊥``)."""
+    return _memo(space, ("z_ge", k), lambda: Predicate.from_callable(
+        space, lambda s: isinstance(s["z"], int) and s["z"] >= k
+    ))
+
+
+def cr_ge(space: StateSpace, k: int) -> Predicate:
+    """``cr ≥ k`` — the in-flight ack is at least ``k``."""
+    return _memo(space, ("cr_ge", k), lambda: Predicate.from_callable(
+        space, lambda s: isinstance(s["cr"], int) and s["cr"] >= k
+    ))
+
+
+def cs_eq(space: StateSpace, k: int, alpha: Any) -> Predicate:
+    """``cs = (k, α)`` — the in-flight data message."""
+    return _memo(space, ("cs_eq", k, alpha), lambda: Predicate.from_callable(space, lambda s: s["cs"] == (k, alpha)))
+
+
+def zp_eq(space: StateSpace, k: int, alpha: Any) -> Predicate:
+    """``z' = (k, α)``."""
+    return _memo(space, ("zp_eq", k, alpha), lambda: Predicate.from_callable(space, lambda s: s["zp"] == (k, alpha)))
+
+
+def w_at(space: StateSpace, k: int, alpha: Any) -> Predicate:
+    """``|w| > k ∧ w_k = α``."""
+    return _memo(space, ("w_at", k, alpha), lambda: Predicate.from_callable(
+        space, lambda s: len(s["w"]) > k and s["w"][k] == alpha
+    ))
+
+
+def x_at(space: StateSpace, k: int, alpha: Any) -> Predicate:
+    """The ground fact ``x_k = α``."""
+    return _memo(space, ("x_at", k, alpha), lambda: Predicate.from_callable(space, lambda s: s["x"][k] == alpha))
+
+
+def w_len_eq_j(space: StateSpace) -> Predicate:
+    """Invariant (36)'s predicate: ``|w| = j``."""
+    return _memo(space, ("w_len_eq_j",), lambda: Predicate.from_callable(space, lambda s: len(s["w"]) == s["j"]))
+
+
+def w_prefix_x(space: StateSpace) -> Predicate:
+    """Safety (34)'s predicate: ``w ⊑ x``."""
+    return _memo(space, ("w_prefix_x",), lambda: Predicate.from_callable(
+        space, lambda s: tuple(s["x"][: len(s["w"])]) == tuple(s["w"])
+    ))
+
+
+def all_known_below_j(space: StateSpace, params: SeqTransParams) -> Predicate:
+    """Invariant (37)'s predicate: ``(∀l : 0 ≤ l < j : K_R x_l)`` (proposed K)."""
+    terms = []
+    for l in range(params.length):
+        j_le = Predicate.from_callable(space, lambda s, l=l: s["j"] <= l)
+        terms.append(j_le | proposed_k_r_any(space, params, l))
+    return conjunction(space, terms)
+
+
+def all_acked_below_i(space: StateSpace, params: SeqTransParams) -> Predicate:
+    """Invariant (38)'s predicate: ``(∀l : 0 ≤ l < i : K_S K_R x_l)`` (proposed K)."""
+    terms = []
+    for l in range(params.length):
+        i_le = Predicate.from_callable(space, lambda s, l=l: s["i"] <= l)
+        terms.append(i_le | proposed_k_s_k_r(space, l))
+    return conjunction(space, terms)
+
+
+def all_acked_below(space: StateSpace, k: int) -> Predicate:
+    """``(∀l : 0 ≤ l < k : K_S K_R x_l)`` with a constant bound ``k`` (proposed K)."""
+    terms = [proposed_k_s_k_r(space, l) for l in range(k)]
+    return conjunction(space, terms)

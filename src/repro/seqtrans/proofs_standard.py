@@ -1,0 +1,304 @@
+"""Machine-checked replay of the paper's standard-protocol proofs (§6.3).
+
+Each function reconstructs one of the paper's derivations in the proof
+kernel.  The kernel validates every step semantically, so a successful run
+*is* a proof of the property for the bounded instance — and a wrong step
+(e.g. dropping an auxiliary invariant) raises :class:`ProofError`.
+
+Covered results:
+
+* (36)  ``invariant |w| = j``
+* (34)  ``invariant w ⊑ x``  (via ``invariant (|w| = j ∧ w ⊑ x)``)
+* (54)  ``invariant z ≥ k ⇒ j ≥ k``   — the paper proves it through the
+        history variable ``ch_R``; our channel makes (St-1) structural, so
+        the replay routes through the in-flight ack (``cr ≥ k ⇒ j ≥ k``)
+* (61)  ``invariant (50) ⇒ x_k = α``  — proposed ``K_R`` predicates are true
+* (62)  ``invariant (51) ⇒ (∃α :: (50))`` — proposed ``K_S K_R`` implies
+        proposed ``K_R``
+* (55)/(56) — the stability of the proposed knowledge predicates (the
+        standard-protocol forms of assumptions (Kbp-4)/(Kbp-3))
+* (52)  ``invariant z ≥ k ⇒ K_S(j ≥ k)`` via metatheorem (24) from (54),
+        with the *actual* knowledge operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core import KnowledgeOperator, k_localization
+from ..predicates import Predicate
+from ..proofs import Proof, ProofContext
+from ..unity import Program
+from . import preds
+from .params import SeqTransParams
+from .standard import proposed_k_r_any, proposed_k_r_value, proposed_k_s_k_r
+
+
+def prove_36(ctx: ProofContext) -> Proof:
+    """(36): ``invariant |w| = j`` — direct induction from the text."""
+    return ctx.invariant_by_induction(
+        preds.w_len_eq_j(ctx.space), note="deliver adds one element and increments j"
+    )
+
+
+def prove_truthful_messages(ctx: ProofContext, params: SeqTransParams) -> Proof:
+    """``invariant (∀k,α : z' = (k,α) ⇒ x_k = α)`` — received data is truthful.
+
+    Two-stage induction: in-flight data is truthful (the sender only ever
+    transmits ``(i, x_i)``), hence so is the received copy.  This is the
+    operational content of (St-2); the paper gets it from the ``ch_S``
+    history variable instead.
+    """
+    space = ctx.space
+
+    def conj_over(fn) -> Predicate:
+        out = Predicate.true(space)
+        for k in range(params.length):
+            for alpha in params.alphabet:
+                out = out & fn(k, alpha)
+        return out
+
+    flight_all = ctx.invariant_by_induction(
+        conj_over(
+            lambda k, alpha: preds.cs_eq(space, k, alpha).implies(
+                preds.x_at(space, k, alpha)
+            )
+        ),
+        note="snd_data transmits (i, x_i)",
+    )
+    return ctx.invariant_by_induction(
+        conj_over(
+            lambda k, alpha: preds.zp_eq(space, k, alpha).implies(
+                preds.x_at(space, k, alpha)
+            )
+        ),
+        auxiliary=flight_all,
+        note="receive copies the (truthful) in-flight message",
+    )
+
+
+def prove_safety(ctx: ProofContext, params: SeqTransParams) -> Proof:
+    """(34): ``invariant w ⊑ x`` via ``invariant (|w| = j ∧ w ⊑ x)``.
+
+    The paper's §6.2 argument, adapted: for the KBP the delivery guard
+    ``K_R(x_j = α)`` gives ``x_j = α`` by the truth axiom (14); for the
+    standard protocol that step is exactly the truthfulness invariant of
+    the received message, which enters as the auxiliary of the induction.
+    """
+    space = ctx.space
+    truthful = prove_truthful_messages(ctx, params)
+    conj = preds.w_len_eq_j(space) & preds.w_prefix_x(space)
+    inductive = ctx.invariant_by_induction(
+        conj,
+        auxiliary=truthful,
+        note="deliver appends x_j (truthful); |w;α| = j+1 and w;α ⊑ x",
+    )
+    return ctx.invariant_weakening(
+        inductive, preds.w_prefix_x(space), note="drop the |w| = j conjunct"
+    )
+
+
+def prove_54(ctx: ProofContext, k: int) -> Proof:
+    """(54): ``invariant z ≥ k ⇒ j ≥ k``.
+
+    Two-stage induction replacing the paper's history-variable argument:
+    first the in-flight ack respects ``j`` (``cr ≥ k ⇒ j ≥ k`` — the
+    operational residue of (St-1)), then the received ack does.
+    """
+    space = ctx.space
+    j_ge_k = Predicate.from_callable(space, lambda s, k=k: s["j"] >= k)
+    ack_inv = ctx.invariant_by_induction(
+        preds.cr_ge(space, k).implies(j_ge_k),
+        note="rcv_ack writes cr := j; j never decreases",
+    )
+    return ctx.invariant_by_induction(
+        preds.z_ge(space, k).implies(j_ge_k),
+        auxiliary=ack_inv,
+        note="sender receives z := cr; apply the ack invariant",
+    )
+
+
+def prove_61(ctx: ProofContext, k: int, alpha, inv36: Proof = None) -> Proof:
+    """(61): the proposed ``K_R(x_k = α)`` really implies ``x_k = α``.
+
+    Chain of inductive invariants replacing the paper's ``ch_S`` history
+    argument: in-flight data is truthful → received data is truthful →
+    delivered data is truthful; then combine.
+    """
+    space = ctx.space
+    x_fact = preds.x_at(space, k, alpha)
+    flight = ctx.invariant_by_induction(
+        preds.cs_eq(space, k, alpha).implies(x_fact),
+        note="snd_data transmits (i, x_i): in-flight data is truthful",
+    )
+    received = ctx.invariant_by_induction(
+        preds.zp_eq(space, k, alpha).implies(x_fact),
+        auxiliary=flight,
+        note="receive copies cs — (St-2) made structural",
+    )
+    if inv36 is None:
+        inv36 = prove_36(ctx)
+    delivered = ctx.invariant_by_induction(
+        preds.w_at(space, k, alpha).implies(x_fact),
+        auxiliary=ctx.invariant_conjunction(received, inv36),
+        note="delivery appends the received (truthful) value",
+    )
+    proposed = proposed_k_r_value(space, k, alpha)
+    combined = ctx.invariant_conjunction(received, delivered)
+    return ctx.invariant_weakening(
+        combined,
+        proposed.implies(x_fact),
+        note="(50) = received-or-delivered; both truthful",
+    )
+
+
+def prove_62(
+    ctx: ProofContext,
+    params: SeqTransParams,
+    k: int,
+    p54: Proof = None,
+    inv36: Proof = None,
+    safety: Proof = None,
+) -> Proof:
+    """(62): the proposed ``K_S K_R x_k`` implies the proposed ``K_R x_k``.
+
+    Following the paper: ``i > k ⇒ j > k`` (induction with (54) at
+    ``k+1``), ``z = k+1 ⇒ j > k`` (weakening of (54) at ``k+1``), and
+    ``j > k`` pins a delivered value via (36) + safety.
+    """
+    space = ctx.space
+    if p54 is None:
+        p54 = prove_54(ctx, k + 1)
+    j_gt_k = Predicate.from_callable(space, lambda s, k=k: s["j"] > k)
+    advanced = ctx.invariant_by_induction(
+        preds.i_gt(space, k).implies(j_gt_k),
+        auxiliary=p54,
+        note="i passes k only on ack z = k+1, which needs j ≥ k+1",
+    )
+    acked = ctx.invariant_weakening(
+        p54,
+        (preds.i_eq(space, k) & preds.z_eq(space, k + 1)).implies(j_gt_k),
+        note="z = k+1 ⇒ z ≥ k+1 ⇒ j ≥ k+1",
+    )
+    if inv36 is None:
+        inv36 = prove_36(ctx)
+    if safety is None:
+        safety = prove_safety(ctx, params)
+    body = ctx.invariant_conjunction(
+        ctx.invariant_conjunction(advanced, acked),
+        ctx.invariant_conjunction(inv36, safety),
+    )
+    target = proposed_k_s_k_r(space, k).implies(
+        proposed_k_r_any(space, params, k)
+    )
+    return ctx.invariant_weakening(
+        body,
+        target,
+        note="(51) forces j > k; with |w| = j and w ⊑ x the value w_k is known",
+    )
+
+
+def prove_55(ctx: ProofContext, k: int) -> Proof:
+    """(55): ``stable (i = k ∧ z = k+1) ∨ i > k`` — proposed ``K_S K_R`` persists."""
+    return ctx.stable_from_text(
+        proposed_k_s_k_r(ctx.space, k),
+        note="snd_data skips once z = i+1; snd_next only advances i",
+    )
+
+
+def prove_56(ctx: ProofContext, k: int, alpha) -> Proof:
+    """(56): ``stable z' = (k,α) ∨ (j > k ∧ w_k = α)`` — proposed ``K_R`` persists.
+
+    SI-relative (eq. 27): off the reachable states delivery could overwrite
+    ``z'`` without having written ``w_k``, but no execution visits those.
+    """
+    return ctx.stable_from_text(
+        proposed_k_r_value(ctx.space, k, alpha),
+        note="delivery converts the first disjunct into the second",
+    )
+
+
+def prove_52(
+    ctx: ProofContext, operator: KnowledgeOperator, k: int, p54: Proof = None
+) -> Proof:
+    """(52): ``invariant z ≥ k ⇒ K_S(j ≥ k)`` via metatheorem (24) from (54).
+
+    The paper's exact route: ``z`` is Sender-local, so the invariant
+    ``z ≥ k ⇒ j ≥ k`` *promotes* to Sender-knowledge of ``j ≥ k``.
+    """
+    space = ctx.space
+    if p54 is None:
+        p54 = prove_54(ctx, k)
+    j_ge_k = Predicate.from_callable(space, lambda s, k=k: s["j"] >= k)
+    return k_localization(
+        ctx,
+        operator,
+        "Sender",
+        preds.z_ge(space, k),
+        j_ge_k,
+        p54,
+        note="z is in the Sender's view; apply (24)",
+    )
+
+
+@dataclass(frozen=True)
+class StandardProofs:
+    """The full bundle of checked standard-protocol proofs for one instance."""
+
+    inv36: Proof
+    safety: Proof
+    inv54: Dict[int, Proof]
+    inv61: Dict[Tuple[int, object], Proof]
+    inv62: Dict[int, Proof]
+    stable55: Dict[int, Proof]
+    stable56: Dict[Tuple[int, object], Proof]
+    inv52: Dict[int, Proof]
+
+    def total_steps(self) -> int:
+        """Total rule applications across all proofs."""
+        proofs = [self.inv36, self.safety]
+        proofs += list(self.inv54.values()) + list(self.inv61.values())
+        proofs += list(self.inv62.values()) + list(self.stable55.values())
+        proofs += list(self.stable56.values()) + list(self.inv52.values())
+        return sum(p.size() for p in proofs)
+
+
+def prove_all_standard(
+    program: Program, params: SeqTransParams
+) -> StandardProofs:
+    """Replay every §6.3 safety/stability derivation for the given instance."""
+    ctx = ProofContext(program)
+    operator = KnowledgeOperator.of_program(program, si=ctx.si)
+    inv36 = prove_36(ctx)
+    safety = prove_safety(ctx, params)
+    inv54 = {k: prove_54(ctx, k) for k in range(params.length + 1)}
+    inv61 = {
+        (k, alpha): prove_61(ctx, k, alpha, inv36=inv36)
+        for k in range(params.length)
+        for alpha in params.alphabet
+    }
+    inv62 = {
+        k: prove_62(ctx, params, k, p54=inv54[k + 1], inv36=inv36, safety=safety)
+        for k in range(params.length)
+    }
+    stable55 = {k: prove_55(ctx, k) for k in range(params.length)}
+    stable56 = {
+        (k, alpha): prove_56(ctx, k, alpha)
+        for k in range(params.length)
+        for alpha in params.alphabet
+    }
+    inv52 = {
+        k: prove_52(ctx, operator, k, p54=inv54[k])
+        for k in range(params.length + 1)
+    }
+    return StandardProofs(
+        inv36=inv36,
+        safety=safety,
+        inv54=inv54,
+        inv61=inv61,
+        inv62=inv62,
+        stable55=stable55,
+        stable56=stable56,
+        inv52=inv52,
+    )

@@ -1,0 +1,103 @@
+"""The sequence transmission specification (paper eqs. 34–35, 39).
+
+Safety:    ``invariant w ⊑ x``                      (34)
+Liveness:  ``|w| = k ↦ |w| > k`` for every ``k``    (35)
+
+By invariant (36) (``|w| = j``) the liveness property is equivalent to
+``j = k ↦ j > k`` (39).  In the bounded model liveness is required for
+``k < L`` (there is no element past the end to deliver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..predicates import Predicate
+from ..proofs import refute_leads_to
+from ..statespace import StateSpace
+from ..transformers import strongest_invariant
+from ..unity import Program
+from .params import SeqTransParams
+
+
+def safety_predicate(space: StateSpace) -> Predicate:
+    """``w ⊑ x`` — the delivered sequence is a prefix of the sent one."""
+
+    def holds(state) -> bool:
+        w = state["w"]
+        x = state["x"]
+        return len(w) <= len(x) and tuple(x[: len(w)]) == tuple(w)
+
+    return Predicate.from_callable(space, holds)
+
+
+def w_length_eq(space: StateSpace, k: int) -> Predicate:
+    """``|w| = k``."""
+    return Predicate.from_callable(space, lambda state: len(state["w"]) == k)
+
+
+def w_length_gt(space: StateSpace, k: int) -> Predicate:
+    """``|w| > k``."""
+    return Predicate.from_callable(space, lambda state: len(state["w"]) > k)
+
+
+def j_eq(space: StateSpace, k: int) -> Predicate:
+    """``j = k``."""
+    return Predicate.from_callable(space, lambda state: state["j"] == k)
+
+
+def j_gt(space: StateSpace, k: int) -> Predicate:
+    """``j > k``."""
+    return Predicate.from_callable(space, lambda state: state["j"] > k)
+
+
+def delivered_all(space: StateSpace, params: SeqTransParams) -> Predicate:
+    """``w = x`` — full delivery."""
+    return Predicate.from_callable(
+        space, lambda state: tuple(state["w"]) == tuple(state["x"])
+    )
+
+
+@dataclass(frozen=True)
+class SpecReport:
+    """Verdict of checking (34) and (35) on a protocol instance."""
+
+    safety_holds: bool
+    liveness_holds: Tuple[bool, ...]  # one verdict per k < L
+    si_states: int
+
+    @property
+    def liveness_all(self) -> bool:
+        return all(self.liveness_holds)
+
+    @property
+    def satisfied(self) -> bool:
+        return self.safety_holds and self.liveness_all
+
+
+def check_spec(
+    program: Program,
+    params: SeqTransParams,
+    si: Optional[Predicate] = None,
+) -> SpecReport:
+    """Model-check the full specification of a (standard) protocol instance.
+
+    Safety via ``[SI ⇒ (w ⊑ x)]`` (eq. 5); liveness via the fair
+    leads-to checker for each ``k < L`` (eq. 39's form).
+    """
+    space = program.space
+    if si is None:
+        si = strongest_invariant(program)
+    safety = si.entails(safety_predicate(space))
+    liveness: List[bool] = []
+    for k in range(params.length):
+        refutation = refute_leads_to(
+            program, w_length_eq(space, k), w_length_gt(space, k), si
+        )
+        liveness.append(refutation is None)
+    return SpecReport(
+        safety_holds=safety,
+        liveness_holds=tuple(liveness),
+        si_states=si.count(),
+    )

@@ -1,0 +1,158 @@
+"""Stenning's data transfer protocol [Ste82] as a bounded UNITY program.
+
+The other classical member of the [HZar] protocol family: full sequence
+numbers (window size 1 here), with the receiver acknowledging the sequence
+number of *every* message it receives — in contrast to Figure 4's receiver,
+which transmits the index it *wants* next.  The sender advances when the
+ack equals its current index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..predicates import Predicate
+from ..statespace import (
+    BOT,
+    EnumDomain,
+    IntRangeDomain,
+    OptionDomain,
+    SeqDomain,
+    StateSpace,
+    TupleDomain,
+    Variable,
+)
+from ..unity import (
+    Append,
+    Length,
+    Program,
+    Proj,
+    Statement,
+    const,
+    lnot,
+    tup,
+    var,
+)
+from .channels import ChannelSpec, bounded_loss
+from .params import SeqTransParams
+
+
+def build_stenning_space(params: SeqTransParams, channel: ChannelSpec) -> StateSpace:
+    """State space of Stenning's protocol (window 1)."""
+    alpha_domain = EnumDomain("A", params.alphabet)
+    length = params.length
+    index_domain = IntRangeDomain(0, length - 1)
+    message_domain = TupleDomain(index_domain, alpha_domain)
+    variables = [
+        Variable("x", TupleDomain(*([alpha_domain] * length))),
+        Variable("i", index_domain),
+        Variable("w", SeqDomain(alpha_domain, length)),
+        Variable("zb", OptionDomain(message_domain)),
+        Variable("za", OptionDomain(index_domain)),
+    ]
+    variables.extend(channel.slot_variables(message_domain, index_domain))
+    return StateSpace(variables)
+
+
+def build_stenning(
+    params: SeqTransParams = SeqTransParams(),
+    channel: ChannelSpec = bounded_loss(1),
+) -> Program:
+    """Stenning's protocol over the given channel."""
+    space = build_stenning_space(params, channel)
+    length = params.length
+    receive_ack = channel.receive_ack_updates(target="za")
+    receive_data = channel.receive_data_updates(target="zb")
+    statements: List[Statement] = []
+
+    # Sender: retransmit (i, x_i) until acked, then advance.
+    send_updates: Dict[str, Any] = {"cs": tup(var("i"), var("x")[var("i")])}
+    send_updates.update(receive_ack)
+    statements.append(
+        Statement(
+            name="st_snd_data",
+            targets=tuple(send_updates),
+            exprs=tuple(send_updates.values()),
+            guard=lnot(var("za").eq(var("i"))),
+        )
+    )
+    advance_updates: Dict[str, Any] = {"i": var("i") + const(1)}
+    advance_updates.update(receive_ack)
+    statements.append(
+        Statement(
+            name="st_snd_next",
+            targets=tuple(advance_updates),
+            exprs=tuple(advance_updates.values()),
+            guard=(var("za").eq(var("i"))) & (var("i") < const(length - 1)),
+        )
+    )
+
+    # Receiver: deliver the message with the expected sequence number |w|.
+    for alpha in params.alphabet:
+        statements.append(
+            Statement(
+                name=f"st_rcv_deliver_{alpha}",
+                targets=("w",),
+                exprs=(Append(var("w"), const(alpha)),),
+                guard=(Length(var("w")) < const(length))
+                & (var("zb").eq(tup(Length(var("w")), const(alpha)))),
+            )
+        )
+    # Receiver: acknowledge the sequence number of a message it has already
+    # delivered (seq < |w|).  Acking on mere *receipt* would let the ack
+    # overtake delivery: the mailbox could be overwritten before the value
+    # is written to w, the sender would advance, and the element would be
+    # stranded — a genuine protocol bug the model checker catches.
+    delivered = Proj(var("zb"), 0) < Length(var("w"))
+    ack_updates: Dict[str, Any] = {"cr": Proj(var("zb"), 0)}
+    ack_updates.update(receive_data)
+    statements.append(
+        Statement(
+            name="st_rcv_ack",
+            targets=tuple(ack_updates),
+            exprs=tuple(ack_updates.values()),
+            guard=(var("zb").ne(const(BOT))) & delivered,
+        )
+    )
+    # Receiver: plain receive only while the mailbox is empty — a held
+    # *undelivered* message must survive until rcv_deliver consumes it
+    # (the same discipline Figure 4's receiver uses), or a fair scheduler
+    # could overwrite it forever and starve delivery.
+    idle_updates: Dict[str, Any] = dict(receive_data)
+    statements.append(
+        Statement(
+            name="st_rcv_idle",
+            targets=tuple(idle_updates),
+            exprs=tuple(idle_updates.values()),
+            guard=var("zb").eq(const(BOT)),
+        )
+    )
+
+    statements.extend(channel.environment_statements())
+    return Program(
+        space=space,
+        init=_initial(params, channel, space),
+        statements=statements,
+        processes={
+            "Sender": ("x", "i", "za"),
+            "Receiver": ("w", "zb"),
+        },
+        name=f"stenning[L={params.length},{channel.kind.value}]",
+    )
+
+
+def _initial(params: SeqTransParams, channel: ChannelSpec, space: StateSpace) -> Predicate:
+    channel_init = channel.initial_assignment()
+    fixed = params.apriori or {}
+
+    def is_initial(state) -> bool:
+        if state["i"] != 0 or state["w"] != ():
+            return False
+        if state["zb"] is not BOT or state["za"] is not BOT:
+            return False
+        for name, value in channel_init.items():
+            if state[name] != value:
+                return False
+        return all(state["x"][k] == v for k, v in fixed.items())
+
+    return Predicate.from_callable(space, is_initial)

@@ -1,0 +1,5 @@
+"""Randomized fair execution and message-count measurement harnesses."""
+
+from .executor import Executor, RunResult, average_messages
+
+__all__ = ["Executor", "RunResult", "average_messages"]

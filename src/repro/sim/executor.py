@@ -1,0 +1,158 @@
+"""Randomized fair execution of UNITY programs.
+
+The UNITY execution model picks statements nondeterministically with the
+fairness constraint that every statement is attempted infinitely often.  A
+uniformly (or weighted-) random scheduler realizes this with probability
+one, which is what the simulation benches use: model checking establishes
+the *possibility* results exactly; simulation measures *quantities* (how
+many messages a protocol sends at a given loss rate).
+
+Statement weights are the loss-rate knob: giving the channel's ``lose_*``
+statements weight ``r/(1-r)`` relative to each protocol statement makes a
+transmitted message face roughly probability ``r`` of being dropped before
+the next receive.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..predicates import Predicate
+from ..statespace import State
+from ..unity import Program
+
+
+@dataclass
+class RunResult:
+    """Outcome of one randomized execution."""
+
+    reached: bool
+    steps: int
+    final_state: State
+    #: per-statement count of *effective* firings (guard held when chosen)
+    fired: Counter = field(default_factory=Counter)
+    #: per-statement count of attempts (chosen by the scheduler at all)
+    attempted: Counter = field(default_factory=Counter)
+
+    def messages(self, transmit_statements: Sequence[str]) -> int:
+        """Total effective firings of the named transmit statements."""
+        return sum(self.fired[name] for name in transmit_statements)
+
+
+class Executor:
+    """A weighted random scheduler over a (standard) program's statements."""
+
+    def __init__(
+        self,
+        program: Program,
+        weights: Optional[Mapping[str, float]] = None,
+        seed: int = 0,
+    ):
+        if program.is_knowledge_based():
+            raise ValueError(
+                f"program {program.name!r} is knowledge-based; resolve it before executing"
+            )
+        self.program = program
+        self.rng = random.Random(seed)
+        self._names: List[str] = [s.name for s in program.statements]
+        self._weights: List[float] = [
+            float((weights or {}).get(name, 1.0)) for name in self._names
+        ]
+        if min(self._weights) < 0:
+            raise ValueError("statement weights must be non-negative")
+        if max(self._weights) == 0:
+            raise ValueError("at least one statement needs positive weight")
+        self._arrays = [program.successor_array(s) for s in program.statements]
+        self._guards: List[Predicate] = [
+            program.enabled(s) for s in program.statements
+        ]
+
+    def initial_state(self) -> State:
+        """A uniformly random initial state."""
+        choices = list(self.program.init.indices())
+        if not choices:
+            raise ValueError("program has no initial states")
+        return State(self.program.space, self.rng.choice(choices))
+
+    def run(
+        self,
+        until: Union[Predicate, Callable[[State], bool]],
+        start: Optional[State] = None,
+        max_steps: int = 100_000,
+    ) -> RunResult:
+        """Execute until the goal holds or ``max_steps`` statements fired.
+
+        ``until`` may be a predicate or any state → bool function.
+        """
+        if isinstance(until, Predicate):
+            goal = until.holds_at
+            current = start.index if start is not None else self.initial_state().index
+            return self._run_indexed(goal, current, max_steps)
+        current_state = start if start is not None else self.initial_state()
+        return self._run_indexed(
+            lambda i: until(State(self.program.space, i)),
+            current_state.index,
+            max_steps,
+        )
+
+    def _run_indexed(self, goal, current: int, max_steps: int) -> RunResult:
+        fired: Counter = Counter()
+        attempted: Counter = Counter()
+        names = self._names
+        weights = self._weights
+        arrays = self._arrays
+        guards = self._guards
+        rng = self.rng
+        for step in range(max_steps):
+            if goal(current):
+                return RunResult(
+                    reached=True,
+                    steps=step,
+                    final_state=State(self.program.space, current),
+                    fired=fired,
+                    attempted=attempted,
+                )
+            k = rng.choices(range(len(names)), weights=weights)[0]
+            attempted[names[k]] += 1
+            if guards[k].holds_at(current):
+                fired[names[k]] += 1
+                current = arrays[k][current]
+        return RunResult(
+            reached=goal(current),
+            steps=max_steps,
+            final_state=State(self.program.space, current),
+            fired=fired,
+            attempted=attempted,
+        )
+
+
+def average_messages(
+    program: Program,
+    goal: Predicate,
+    transmit_statements: Sequence[str],
+    runs: int = 20,
+    seed: int = 0,
+    weights: Optional[Mapping[str, float]] = None,
+    max_steps: int = 100_000,
+) -> Dict[str, float]:
+    """Mean message count and steps to reach ``goal`` over several seeded runs.
+
+    Returns ``{"messages": …, "steps": …, "completed": fraction}``.
+    """
+    totals = {"messages": 0.0, "steps": 0.0, "completed": 0.0}
+    for r in range(runs):
+        executor = Executor(program, weights=weights, seed=seed + r)
+        result = executor.run(goal, max_steps=max_steps)
+        if result.reached:
+            totals["completed"] += 1
+            totals["messages"] += result.messages(transmit_statements)
+            totals["steps"] += result.steps
+    done = max(totals["completed"], 1.0)
+    return {
+        "messages": totals["messages"] / done,
+        "steps": totals["steps"] / done,
+        "completed": totals["completed"] / runs,
+    }

@@ -1,0 +1,32 @@
+"""Finite state spaces: domains, variables, and mixed-radix state enumeration."""
+
+from .domains import (
+    BOT,
+    BoolDomain,
+    Bottom,
+    Domain,
+    EnumDomain,
+    IntRangeDomain,
+    OptionDomain,
+    SeqDomain,
+    TupleDomain,
+    bool_domain,
+)
+from .space import State, StateSpace, Variable, space_of
+
+__all__ = [
+    "BOT",
+    "BoolDomain",
+    "Bottom",
+    "Domain",
+    "EnumDomain",
+    "IntRangeDomain",
+    "OptionDomain",
+    "SeqDomain",
+    "TupleDomain",
+    "bool_domain",
+    "State",
+    "StateSpace",
+    "Variable",
+    "space_of",
+]

@@ -1,0 +1,180 @@
+"""Finite value domains for program variables.
+
+The paper treats predicates as *semantic* objects — Boolean-valued total
+functions on the state space — and never relies on a particular syntax.  To
+compute with them exactly, every variable in this library ranges over an
+explicit finite, ordered domain.  Unbounded types from the paper (naturals,
+infinite sequences) are instantiated with bounded counterparts; see
+DESIGN.md section 2 for the substitution argument.
+
+Domains are immutable and hashable.  The order of ``values`` is significant:
+it fixes the mixed-radix encoding used by :class:`repro.statespace.StateSpace`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Sequence, Tuple
+
+
+class Bottom:
+    """The distinguished "no value" element, written ``⊥`` in the paper.
+
+    The sequence transmission protocol uses ``z : nat ∪ ⊥`` for "no message
+    received or the message was corrupted".  ``BOT`` is the unique instance.
+    """
+
+    _instance: "Bottom" = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __reduce__(self):
+        return (Bottom, ())
+
+
+#: The unique bottom element, usable as a domain value via :class:`OptionDomain`.
+BOT = Bottom()
+
+
+class Domain:
+    """An ordered finite set of hashable values.
+
+    Subclasses populate :attr:`values` (a tuple) and :attr:`name`.  The
+    class provides indexing, membership and iteration; equality is by
+    value tuple so structurally identical domains compare equal.
+    """
+
+    __slots__ = ("name", "values", "_index")
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        if len(values) == 0:
+            raise ValueError(f"domain {name!r} must be non-empty")
+        self.name = name
+        self.values: Tuple[Any, ...] = tuple(values)
+        self._index = {v: i for i, v in enumerate(self.values)}
+        if len(self._index) != len(self.values):
+            raise ValueError(f"domain {name!r} has duplicate values")
+
+    def index(self, value: Any) -> int:
+        """Return the position of ``value`` in the domain order."""
+        try:
+            return self._index[value]
+        except KeyError:
+            raise ValueError(f"{value!r} is not in domain {self.name}") from None
+
+    def __contains__(self, value: Any) -> bool:
+        try:
+            return value in self._index
+        except TypeError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Domain) and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:
+        if len(self.values) <= 8:
+            return f"Domain({self.name}: {list(self.values)!r})"
+        return f"Domain({self.name}: {len(self.values)} values)"
+
+
+class BoolDomain(Domain):
+    """The Boolean domain ``{False, True}`` (False first)."""
+
+    def __init__(self) -> None:
+        super().__init__("bool", (False, True))
+
+
+class IntRangeDomain(Domain):
+    """Integers ``lo..hi`` inclusive, in increasing order.
+
+    Used for the bounded counters that replace the paper's naturals
+    (``i, j : nat`` in Figures 3 and 4).
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int):
+        if hi < lo:
+            raise ValueError(f"empty integer range {lo}..{hi}")
+        self.lo = lo
+        self.hi = hi
+        super().__init__(f"{lo}..{hi}", tuple(range(lo, hi + 1)))
+
+
+class EnumDomain(Domain):
+    """An explicitly enumerated domain, e.g. a finite message alphabet ``A``."""
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        super().__init__(name, values)
+
+
+class TupleDomain(Domain):
+    """Cartesian product of component domains; values are tuples.
+
+    The standard protocol's ``z' : (nat, A) ∪ ⊥`` uses
+    ``OptionDomain(TupleDomain(IntRangeDomain(...), EnumDomain(...)))``.
+    """
+
+    __slots__ = ("components",)
+
+    def __init__(self, *components: Domain):
+        if not components:
+            raise ValueError("TupleDomain needs at least one component")
+        self.components = tuple(components)
+        values = tuple(itertools.product(*(c.values for c in components)))
+        name = "(" + ", ".join(c.name for c in components) + ")"
+        super().__init__(name, values)
+
+
+class SeqDomain(Domain):
+    """All sequences over ``elem`` of length at most ``max_len``, as tuples.
+
+    Ordered by length, then lexicographically by element order.  This is the
+    bounded stand-in for the paper's ``seq of A`` variables (``w``, and the
+    history variables ``ch_S``, ``ch_R``).
+    """
+
+    __slots__ = ("elem", "max_len")
+
+    def __init__(self, elem: Domain, max_len: int):
+        if max_len < 0:
+            raise ValueError("max_len must be >= 0")
+        self.elem = elem
+        self.max_len = max_len
+        values = []
+        for length in range(max_len + 1):
+            values.extend(itertools.product(elem.values, repeat=length))
+        super().__init__(f"seq[{elem.name}]<= {max_len}", tuple(values))
+
+
+class OptionDomain(Domain):
+    """``inner ∪ {⊥}``, with ``BOT`` ordered first."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Domain):
+        self.inner = inner
+        super().__init__(f"{inner.name} ∪ ⊥", (BOT,) + inner.values)
+
+
+def bool_domain() -> BoolDomain:
+    """Shared Boolean domain instance (domains are immutable, sharing is safe)."""
+    return _BOOL
+
+
+_BOOL = BoolDomain()

@@ -1,0 +1,115 @@
+"""Semantic predicate transformers of statements and programs.
+
+For a single deterministic, total statement ``s`` with successor function
+``succ`` the transformers are exact set operations:
+
+* ``sp.s.p``  — strongest postcondition: the image of ``p`` under ``succ``;
+* ``wp.s.q``  — weakest precondition: the preimage of ``q`` under ``succ``.
+
+Because UNITY statements always terminate, ``wp = wlp`` (paper section 5).
+At program level, eq. (26) defines
+
+    SP.p ≡ (∃ s : s a statement of the program : sp.s.p)
+
+— the strongest predicate guaranteed after *one* transition from a
+``p``-state.  ``SP`` for standard programs is total, monotonic and
+or-continuous, the properties section 2 assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..predicates import Predicate
+from ..unity import Program, Statement
+
+#: Below this many states the pure-int bit loops beat the numpy round-trip.
+_VECTORIZE_THRESHOLD = 4096
+
+
+def sp_statement(program: Program, stmt: Statement, p: Predicate) -> Predicate:
+    """Strongest postcondition of one statement: image of ``p``."""
+    _check_space(program, p)
+    size = program.space.size
+    if size >= _VECTORIZE_THRESHOLD:
+        import numpy as np
+
+        from ..predicates.npbits import array_to_mask, mask_to_array
+
+        successors = program.successor_np(stmt)
+        sources = np.flatnonzero(mask_to_array(p.mask, size))
+        out = np.zeros(size, dtype=bool)
+        out[successors[sources]] = True
+        return Predicate(program.space, array_to_mask(out))
+    succ = program.successor_array(stmt)
+    out = 0
+    mask = p.mask
+    while mask:
+        low = mask & -mask
+        i = low.bit_length() - 1
+        out |= 1 << succ[i]
+        mask ^= low
+    return Predicate(program.space, out)
+
+
+def wp_statement(program: Program, stmt: Statement, q: Predicate) -> Predicate:
+    """Weakest precondition of one statement: preimage of ``q``.
+
+    Deterministic total statements make ``wp`` universally conjunctive *and*
+    universally disjunctive — both verified in the test suite.
+    """
+    _check_space(program, q)
+    size = program.space.size
+    if size >= _VECTORIZE_THRESHOLD:
+        from ..predicates.npbits import array_to_mask, mask_to_array
+
+        successors = program.successor_np(stmt)
+        target = mask_to_array(q.mask, size)
+        return Predicate(program.space, array_to_mask(target[successors]))
+    succ = program.successor_array(stmt)
+    out = 0
+    qmask = q.mask
+    for i in range(program.space.size):
+        if qmask >> succ[i] & 1:
+            out |= 1 << i
+    return Predicate(program.space, out)
+
+
+def wlp_statement(program: Program, stmt: Statement, q: Predicate) -> Predicate:
+    """Weakest liberal precondition; equals ``wp`` for terminating statements."""
+    return wp_statement(program, stmt, q)
+
+
+def sp_program(program: Program, p: Predicate) -> Predicate:
+    """Program-level ``SP.p`` per eq. (26): disjunction of per-statement ``sp``."""
+    _check_space(program, p)
+    out = 0
+    for stmt in program.statements:
+        out |= sp_statement(program, stmt, p).mask
+    return Predicate(program.space, out)
+
+
+def wp_all_statements(program: Program, q: Predicate) -> Predicate:
+    """``(∀ s :: wp.s.q)`` — states from which *every* statement reaches ``q``."""
+    _check_space(program, q)
+    out = program.space.full_mask
+    for stmt in program.statements:
+        out &= wp_statement(program, stmt, q).mask
+    return Predicate(program.space, out)
+
+
+def sp_transformer(program: Program) -> Callable[[Predicate], Predicate]:
+    """The program's ``SP`` as a unary function, for the fixpoint machinery."""
+    return lambda p: sp_program(program, p)
+
+
+def transition_masks(program: Program) -> List[List[int]]:
+    """Per-statement successor arrays (convenience for graph algorithms)."""
+    return [program.successor_array(s) for s in program.statements]
+
+
+def _check_space(program: Program, p: Predicate) -> None:
+    if p.space != program.space:
+        raise ValueError(
+            f"predicate over a different state space than program {program.name!r}"
+        )

@@ -1,0 +1,114 @@
+"""The strongest stable predicate ``sst`` and the strongest invariant ``SI``.
+
+Paper eq. (1) defines, for a program with strongest postcondition ``SP``::
+
+    sst.p  ≡  strongest x : [SP.x ⇒ x] ∧ [p ⇒ x]
+
+i.e. the strongest *stable* predicate weaker than ``p``.  Eq. (3) computes it
+as the limit of the ascending Kleene chain of ``f.x = SP.x ∨ p`` — for
+monotone, or-continuous ``SP`` (every standard program) this exists, is
+unique (eq. 2), and ``sst`` itself is monotone (eq. 4).
+
+The *strongest invariant* is ``SI = sst.init`` — exactly the predicate
+characterizing the reachable states — and invariance of ``p`` is
+``[SI ⇒ p]`` (eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..predicates import Predicate, iterate_to_fixpoint
+from ..unity import Program
+from .semantics import sp_program
+
+
+@dataclass(frozen=True)
+class SstResult:
+    """``sst.p`` together with the Kleene iteration count (ablation data)."""
+
+    predicate: Predicate
+    iterations: int
+
+
+def sst(program: Program, p: Predicate) -> SstResult:
+    """Strongest stable predicate weaker than ``p`` (eqs. 1–3).
+
+    Runs the chain ``false, f.false, f².false, …`` with ``f.x = SP.x ∨ p``.
+    For a standard program ``f`` is monotone, so convergence is guaranteed
+    in at most ``space.size`` steps.
+    """
+    space = program.space
+
+    def f(x: Predicate) -> Predicate:
+        return sp_program(program, x) | p
+
+    result = iterate_to_fixpoint(f, Predicate.false(space))
+    value = result.require()
+    return SstResult(predicate=value, iterations=result.iterations)
+
+
+def strongest_invariant(program: Program) -> Predicate:
+    """``SI = sst.init`` — the reachable-state predicate (eq. 5 context).
+
+    For knowledge-based programs this raises: their SI is defined by the
+    *non-monotone* fixed-point equation (25) and needs
+    :mod:`repro.core.kbp` instead.
+    """
+    if program.is_knowledge_based():
+        raise ValueError(
+            f"program {program.name!r} is knowledge-based; its SI is defined by "
+            "eq. (25) — use repro.core.kbp.solve_si"
+        )
+    return sst(program, program.init).predicate
+
+
+def is_stable(program: Program, p: Predicate) -> bool:
+    """Whether ``p`` is stable: ``[SP.p ⇒ p]`` (once true, stays true)."""
+    return sp_program(program, p).entails(p)
+
+
+def is_invariant(program: Program, p: Predicate) -> bool:
+    """Whether ``invariant p`` holds, via the definition ``[SI ⇒ p]`` (eq. 5)."""
+    return strongest_invariant(program).entails(p)
+
+
+def reachable(program: Program) -> Predicate:
+    """Alias for :func:`strongest_invariant`, named operationally."""
+    return strongest_invariant(program)
+
+
+def largest_inductive_subset(program: Program, p: Predicate) -> Predicate:
+    """The weakest *inductive* predicate stronger than ``p``.
+
+    Computed as the greatest fixpoint of ``X ↦ p ∧ (∀s :: wp.s.X)``,
+    descending from ``p``.  This is the dual of :func:`sst`:
+
+    * ``sst.p``  — strongest **stable** predicate *weaker* than ``p``;
+    * this      — weakest **stable** predicate *stronger* than ``p``.
+
+    ``invariant p`` holds iff ``init`` implies this subset — the basis of
+    the automatic invariant-strengthening rule in the proof kernel, which
+    mechanizes the hunt for the auxiliary ``I`` of rule (32).
+    """
+    from .semantics import wp_statement
+
+    x = p
+    while True:
+        nxt = p
+        for stmt in program.statements:
+            nxt = nxt & wp_statement(program, stmt, x)
+            if nxt.is_false():
+                break
+        if nxt == x:
+            return x
+        x = nxt
+
+
+def auto_invariant(program: Program, p: Predicate) -> bool:
+    """Decide ``invariant p`` by automatic strengthening (no SI needed).
+
+    Sound and complete: equivalent to ``[SI ⇒ p]`` but computed from the
+    ``p`` side.
+    """
+    return program.init.entails(largest_inductive_subset(program, p))

@@ -1,0 +1,656 @@
+"""Expression AST for UNITY programs.
+
+Expressions appear in guards and on the right-hand side of assignments.
+They evaluate against a state (any mapping from variable name to value) and
+support simultaneous substitution, which gives the textbook *symbolic*
+weakest precondition ``wp.(x := E if b).q = (b ∧ q[E/x]) ∨ (¬b ∧ q)`` —
+cross-checked in the test suite against the semantic ``wp`` computed from
+successor arrays.
+
+The :class:`Knowledge` node makes the AST expressive enough for
+*knowledge-based protocols* (paper section 4): ``K[i](p)`` in a guard.  A
+knowledge term has no standalone value — it denotes a predicate that depends
+on the program's strongest invariant — so evaluating one requires a
+*resolution* (a mapping from each knowledge term to a concrete
+:class:`~repro.predicates.Predicate`), supplied by the machinery in
+:mod:`repro.core.kbp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Tuple
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Unary",
+    "Binary",
+    "Ite",
+    "TupleExpr",
+    "Proj",
+    "Index",
+    "Length",
+    "Append",
+    "IsPrefix",
+    "Contains",
+    "Knowledge",
+    "EvalError",
+    "UnresolvedKnowledgeError",
+    "tup",
+    "var",
+    "const",
+    "land",
+    "lor",
+    "lnot",
+    "implies",
+    "iff",
+    "ite",
+    "knows",
+]
+
+
+class EvalError(Exception):
+    """An expression could not be evaluated in the given state."""
+
+
+class UnresolvedKnowledgeError(EvalError):
+    """A knowledge term was evaluated without a resolution for it.
+
+    Knowledge terms denote predicates defined in terms of the strongest
+    invariant (paper eq. 13); they only acquire a value once a candidate SI
+    has been fixed and the term resolved (paper eq. 25).
+    """
+
+
+Resolution = Mapping["Knowledge", Any]  # Knowledge -> Predicate
+
+
+class Expr:
+    """Base class for expression nodes.  Nodes are immutable and hashable."""
+
+    __slots__ = ()
+
+    def eval(self, state: Mapping[str, Any], resolution: Optional[Resolution] = None) -> Any:
+        """Value of the expression in ``state``.
+
+        ``resolution`` maps :class:`Knowledge` subterms to concrete
+        predicates; it is required iff the expression contains any.
+        """
+        raise NotImplementedError
+
+    def subst(self, bindings: Mapping[str, "Expr"]) -> "Expr":
+        """Simultaneous substitution of expressions for variables."""
+        raise NotImplementedError
+
+    def free_vars(self) -> FrozenSet[str]:
+        """Variables occurring in the expression (including under ``K``)."""
+        raise NotImplementedError
+
+    def knowledge_terms(self) -> FrozenSet["Knowledge"]:
+        """All :class:`Knowledge` subterms (deduplicated structurally)."""
+        raise NotImplementedError
+
+    # -- operator sugar -------------------------------------------------
+
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return Binary("+", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return Binary("+", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return Binary("-", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return Binary("-", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return Binary("*", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "Expr":
+        return Binary("*", as_expr(other), self)
+
+    def __mod__(self, other: "ExprLike") -> "Expr":
+        return Binary("%", self, as_expr(other))
+
+    def eq(self, other: "ExprLike") -> "Expr":
+        return Binary("==", self, as_expr(other))
+
+    def ne(self, other: "ExprLike") -> "Expr":
+        return Binary("!=", self, as_expr(other))
+
+    def __lt__(self, other: "ExprLike") -> "Expr":
+        return Binary("<", self, as_expr(other))
+
+    def __le__(self, other: "ExprLike") -> "Expr":
+        return Binary("<=", self, as_expr(other))
+
+    def __gt__(self, other: "ExprLike") -> "Expr":
+        return Binary(">", self, as_expr(other))
+
+    def __ge__(self, other: "ExprLike") -> "Expr":
+        return Binary(">=", self, as_expr(other))
+
+    def __and__(self, other: "ExprLike") -> "Expr":
+        return Binary("and", self, as_expr(other))
+
+    def __or__(self, other: "ExprLike") -> "Expr":
+        return Binary("or", self, as_expr(other))
+
+    def __invert__(self) -> "Expr":
+        return Unary("not", self)
+
+    def __getitem__(self, key: "ExprLike") -> "Expr":
+        return Index(self, as_expr(key))
+
+
+ExprLike = Any  # Expr | constant value
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python constant to :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value."""
+
+    value: Any
+
+    def eval(self, state, resolution=None):
+        return self.value
+
+    def subst(self, bindings):
+        return self
+
+    def free_vars(self):
+        return frozenset()
+
+    def knowledge_terms(self):
+        return frozenset()
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable reference."""
+
+    name: str
+
+    def eval(self, state, resolution=None):
+        try:
+            return state[self.name]
+        except KeyError:
+            raise EvalError(f"variable {self.name!r} not in state") from None
+
+    def subst(self, bindings):
+        return bindings.get(self.name, self)
+
+    def free_vars(self):
+        return frozenset((self.name,))
+
+    def knowledge_terms(self):
+        return frozenset()
+
+    def __repr__(self):
+        return self.name
+
+
+_UNARY_FNS: Dict[str, Callable[[Any], Any]] = {
+    "not": lambda v: not v,
+    "-": lambda v: -v,
+}
+
+_BINARY_FNS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "min": min,
+    "max": max,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+    "=>": lambda a, b: (not a) or bool(b),
+    "<=>": lambda a, b: bool(a) == bool(b),
+}
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary operator application: ``not`` or arithmetic negation."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op not in _UNARY_FNS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def eval(self, state, resolution=None):
+        return _UNARY_FNS[self.op](self.operand.eval(state, resolution))
+
+    def subst(self, bindings):
+        return Unary(self.op, self.operand.subst(bindings))
+
+    def free_vars(self):
+        return self.operand.free_vars()
+
+    def knowledge_terms(self):
+        return self.operand.knowledge_terms()
+
+    def __repr__(self):
+        if self.op == "not":
+            return f"¬({self.operand!r})"
+        return f"{self.op}({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operator application (arithmetic, comparison, Boolean)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _BINARY_FNS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def eval(self, state, resolution=None):
+        fn = _BINARY_FNS[self.op]
+        # Short-circuit the Boolean connectives so guards like
+        # ``j < n and x[j] == a`` stay total on bounded domains.
+        if self.op == "and":
+            return bool(self.left.eval(state, resolution)) and bool(
+                self.right.eval(state, resolution)
+            )
+        if self.op == "or":
+            return bool(self.left.eval(state, resolution)) or bool(
+                self.right.eval(state, resolution)
+            )
+        if self.op == "=>":
+            return (not self.left.eval(state, resolution)) or bool(
+                self.right.eval(state, resolution)
+            )
+        try:
+            return fn(self.left.eval(state, resolution), self.right.eval(state, resolution))
+        except TypeError as exc:
+            raise EvalError(f"cannot evaluate {self!r}: {exc}") from None
+
+    def subst(self, bindings):
+        return Binary(self.op, self.left.subst(bindings), self.right.subst(bindings))
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def knowledge_terms(self):
+        return self.left.knowledge_terms() | self.right.knowledge_terms()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """Conditional expression ``if cond then a else b``."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+    def eval(self, state, resolution=None):
+        if self.cond.eval(state, resolution):
+            return self.then.eval(state, resolution)
+        return self.orelse.eval(state, resolution)
+
+    def subst(self, bindings):
+        return Ite(
+            self.cond.subst(bindings),
+            self.then.subst(bindings),
+            self.orelse.subst(bindings),
+        )
+
+    def free_vars(self):
+        return self.cond.free_vars() | self.then.free_vars() | self.orelse.free_vars()
+
+    def knowledge_terms(self):
+        return (
+            self.cond.knowledge_terms()
+            | self.then.knowledge_terms()
+            | self.orelse.knowledge_terms()
+        )
+
+    def __repr__(self):
+        return f"(if {self.cond!r} then {self.then!r} else {self.orelse!r})"
+
+
+@dataclass(frozen=True)
+class TupleExpr(Expr):
+    """Tuple construction, e.g. the message ``(i, y)`` of Figure 3.
+
+    Construct via :func:`tup` for automatic constant coercion.
+    """
+
+    items: Tuple[Expr, ...]
+
+    def eval(self, state, resolution=None):
+        return tuple(e.eval(state, resolution) for e in self.items)
+
+    def subst(self, bindings):
+        return TupleExpr(tuple(e.subst(bindings) for e in self.items))
+
+    def free_vars(self):
+        out: FrozenSet[str] = frozenset()
+        for e in self.items:
+            out |= e.free_vars()
+        return out
+
+    def knowledge_terms(self):
+        out: FrozenSet[Knowledge] = frozenset()
+        for e in self.items:
+            out |= e.knowledge_terms()
+        return out
+
+    def __repr__(self):
+        return "(" + ", ".join(map(repr, self.items)) + ")"
+
+
+@dataclass(frozen=True)
+class Proj(Expr):
+    """Tuple projection ``proj_k`` (0-based), e.g. ``proj_1(z')`` in [HZar]."""
+
+    operand: Expr
+    k: int
+
+    def eval(self, state, resolution=None):
+        value = self.operand.eval(state, resolution)
+        try:
+            return value[self.k]
+        except (TypeError, IndexError):
+            raise EvalError(f"cannot project component {self.k} of {value!r}") from None
+
+    def subst(self, bindings):
+        return Proj(self.operand.subst(bindings), self.k)
+
+    def free_vars(self):
+        return self.operand.free_vars()
+
+    def knowledge_terms(self):
+        return self.operand.knowledge_terms()
+
+    def __repr__(self):
+        return f"{self.operand!r}.{self.k}"
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Sequence indexing ``seq[k]`` (0-based, as the paper's ``x_k``)."""
+
+    seq: Expr
+    at: Expr
+
+    def eval(self, state, resolution=None):
+        sequence = self.seq.eval(state, resolution)
+        k = self.at.eval(state, resolution)
+        try:
+            if k < 0 or k >= len(sequence):
+                raise EvalError(f"index {k} out of range for {sequence!r}")
+            return sequence[k]
+        except TypeError:
+            raise EvalError(f"cannot index {sequence!r} with {k!r}") from None
+
+    def subst(self, bindings):
+        return Index(self.seq.subst(bindings), self.at.subst(bindings))
+
+    def free_vars(self):
+        return self.seq.free_vars() | self.at.free_vars()
+
+    def knowledge_terms(self):
+        return self.seq.knowledge_terms() | self.at.knowledge_terms()
+
+    def __repr__(self):
+        return f"{self.seq!r}[{self.at!r}]"
+
+
+@dataclass(frozen=True)
+class Length(Expr):
+    """Sequence length ``|seq|``."""
+
+    seq: Expr
+
+    def eval(self, state, resolution=None):
+        value = self.seq.eval(state, resolution)
+        try:
+            return len(value)
+        except TypeError:
+            raise EvalError(f"cannot take length of {value!r}") from None
+
+    def subst(self, bindings):
+        return Length(self.seq.subst(bindings))
+
+    def free_vars(self):
+        return self.seq.free_vars()
+
+    def knowledge_terms(self):
+        return self.seq.knowledge_terms()
+
+    def __repr__(self):
+        return f"|{self.seq!r}|"
+
+
+@dataclass(frozen=True)
+class Append(Expr):
+    """Sequence append ``seq ; elem`` (the paper writes ``w := w; α``)."""
+
+    seq: Expr
+    elem: Expr
+
+    def eval(self, state, resolution=None):
+        sequence = self.seq.eval(state, resolution)
+        element = self.elem.eval(state, resolution)
+        if not isinstance(sequence, tuple):
+            raise EvalError(f"append target {sequence!r} is not a sequence")
+        return sequence + (element,)
+
+    def subst(self, bindings):
+        return Append(self.seq.subst(bindings), self.elem.subst(bindings))
+
+    def free_vars(self):
+        return self.seq.free_vars() | self.elem.free_vars()
+
+    def knowledge_terms(self):
+        return self.seq.knowledge_terms() | self.elem.knowledge_terms()
+
+    def __repr__(self):
+        return f"({self.seq!r} ; {self.elem!r})"
+
+
+@dataclass(frozen=True)
+class IsPrefix(Expr):
+    """The prefix relation ``left ⊑ right`` on sequences (paper eq. 34)."""
+
+    left: Expr
+    right: Expr
+
+    def eval(self, state, resolution=None):
+        a = self.left.eval(state, resolution)
+        b = self.right.eval(state, resolution)
+        if not isinstance(a, tuple) or not isinstance(b, tuple):
+            raise EvalError(f"⊑ needs two sequences, got {a!r} and {b!r}")
+        return len(a) <= len(b) and b[: len(a)] == a
+
+    def subst(self, bindings):
+        return IsPrefix(self.left.subst(bindings), self.right.subst(bindings))
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def knowledge_terms(self):
+        return self.left.knowledge_terms() | self.right.knowledge_terms()
+
+    def __repr__(self):
+        return f"({self.left!r} ⊑ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Contains(Expr):
+    """Membership ``elem ∈ seq`` (used by the channel history invariants St-1/St-2)."""
+
+    elem: Expr
+    seq: Expr
+
+    def eval(self, state, resolution=None):
+        element = self.elem.eval(state, resolution)
+        sequence = self.seq.eval(state, resolution)
+        try:
+            return element in sequence
+        except TypeError:
+            raise EvalError(f"cannot test membership in {sequence!r}") from None
+
+    def subst(self, bindings):
+        return Contains(self.elem.subst(bindings), self.seq.subst(bindings))
+
+    def free_vars(self):
+        return self.elem.free_vars() | self.seq.free_vars()
+
+    def knowledge_terms(self):
+        return self.elem.knowledge_terms() | self.seq.knowledge_terms()
+
+    def __repr__(self):
+        return f"({self.elem!r} ∈ {self.seq!r})"
+
+
+@dataclass(frozen=True)
+class Knowledge(Expr):
+    """A knowledge term ``K[process](formula)`` appearing in a guard.
+
+    Semantically this is the predicate transformer of paper eq. (13) applied
+    to the (pure) ``formula``; it cannot be evaluated pointwise without a
+    resolution because it depends on the strongest invariant of the whole
+    program.  Nested knowledge (``K_S K_R p``) is expressed by nesting.
+
+    Evaluation protocol: the state must be an indexable
+    :class:`~repro.statespace.State` and ``resolution`` must map this term
+    (by structural equality) to a concrete predicate.
+    """
+
+    process: str
+    formula: Expr
+
+    def __post_init__(self):
+        if self.formula.knowledge_terms():
+            # Nested knowledge is fine; nothing to validate beyond structure.
+            pass
+
+    def eval(self, state, resolution=None):
+        if resolution is None or self not in resolution:
+            raise UnresolvedKnowledgeError(
+                f"knowledge term {self!r} evaluated without a resolution; "
+                "solve the protocol's SI equation first (repro.core.kbp)"
+            )
+        predicate = resolution[self]
+        index = getattr(state, "index", None)
+        if index is None:
+            raise EvalError(
+                f"knowledge term {self!r} needs an indexed State, got {type(state).__name__}"
+            )
+        return predicate.holds_at(index)
+
+    def subst(self, bindings):
+        touched = bindings.keys() & self.formula.free_vars()
+        if touched:
+            raise EvalError(
+                f"cannot substitute {sorted(touched)} under the knowledge operator "
+                f"{self!r}: K is not syntactic; resolve the term first"
+            )
+        return self
+
+    def free_vars(self):
+        return self.formula.free_vars()
+
+    def knowledge_terms(self):
+        return frozenset((self,)) | self.formula.knowledge_terms()
+
+    def __repr__(self):
+        return f"K[{self.process}]({self.formula!r})"
+
+
+# ----------------------------------------------------------------------
+# builder helpers
+# ----------------------------------------------------------------------
+
+
+def var(name: str) -> Var:
+    """Shorthand for :class:`Var`."""
+    return Var(name)
+
+
+def const(value: Any) -> Const:
+    """Shorthand for :class:`Const`."""
+    return Const(value)
+
+
+def land(*terms: ExprLike) -> Expr:
+    """N-ary conjunction (empty conjunction is ``true``)."""
+    exprs = [as_expr(t) for t in terms]
+    if not exprs:
+        return Const(True)
+    out = exprs[0]
+    for e in exprs[1:]:
+        out = Binary("and", out, e)
+    return out
+
+
+def lor(*terms: ExprLike) -> Expr:
+    """N-ary disjunction (empty disjunction is ``false``)."""
+    exprs = [as_expr(t) for t in terms]
+    if not exprs:
+        return Const(False)
+    out = exprs[0]
+    for e in exprs[1:]:
+        out = Binary("or", out, e)
+    return out
+
+
+def lnot(term: ExprLike) -> Expr:
+    """Negation."""
+    return Unary("not", as_expr(term))
+
+
+def implies(antecedent: ExprLike, consequent: ExprLike) -> Expr:
+    """Pointwise implication ``⇒``."""
+    return Binary("=>", as_expr(antecedent), as_expr(consequent))
+
+
+def iff(left: ExprLike, right: ExprLike) -> Expr:
+    """Pointwise equivalence ``≡``."""
+    return Binary("<=>", as_expr(left), as_expr(right))
+
+
+def ite(cond: ExprLike, then: ExprLike, orelse: ExprLike) -> Expr:
+    """Conditional expression."""
+    return Ite(as_expr(cond), as_expr(then), as_expr(orelse))
+
+
+def knows(process: str, formula: ExprLike) -> Knowledge:
+    """The knowledge guard ``K[process](formula)``."""
+    return Knowledge(process, as_expr(formula))
+
+
+def tup(*items: ExprLike) -> TupleExpr:
+    """Tuple construction with constant coercion, e.g. ``tup(var("i"), var("y"))``."""
+    return TupleExpr(tuple(as_expr(e) for e in items))

@@ -1,0 +1,357 @@
+"""A small text notation for (knowledge-based) UNITY programs.
+
+The paper presents programs as declaration / processes / init / assign
+sections (Figures 1–4).  This module parses a faithful ASCII rendition::
+
+    program fig1
+    var shared, x : bool
+    process P0 reads shared
+    process P1 reads shared, x
+    init !shared && !x
+    assign
+      s0 : shared := true if K[P0](!x)
+      [] s1 : x, shared := true, false if shared
+    end
+
+Grammar (informal)::
+
+    program   ::= "program" IDENT section* "end"?
+    section   ::= vardecl | procdecl | initdecl | assigns
+    vardecl   ::= "var" names ":" type (";" names ":" type)*
+    type      ::= "bool" | INT ".." INT | "enum" "{" IDENT ("," IDENT)* "}"
+    procdecl  ::= "process" IDENT "reads" names
+    initdecl  ::= "init" expr
+    assigns   ::= "assign" stmt ("[]" stmt)*
+    stmt      ::= (IDENT ":")? names ":=" exprs ("if" expr)?
+    expr      ::= precedence-climbing over  <=>  =>  ||  &&  !  (cmp)  + -  * %
+                  with primaries: INT, "true", "false", IDENT,
+                  "K" "[" IDENT "]" "(" expr ")",  "(" expr ")",  IDENT "[" expr "]"
+
+Only Booleans, bounded integers and enums are declarable in the DSL — the
+richer domains (sequences, options, tuples) are available through the
+library API, which the sequence-transmission models use directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..statespace import BoolDomain, Domain, EnumDomain, IntRangeDomain, StateSpace, Variable
+from .expressions import (
+    Binary,
+    Const,
+    Expr,
+    Index,
+    Knowledge,
+    Unary,
+    Var,
+)
+from .program import Program
+from .statements import Statement
+
+
+class ParseError(Exception):
+    """The program text is not well-formed."""
+
+    def __init__(self, message: str, position: Optional[int] = None):
+        self.position = position
+        super().__init__(message if position is None else f"{message} (near token {position})")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'int' | 'sym'
+    text: str
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9']*)
+  | (?P<sym><=>|=>|:=|\.\.|==|!=|<=|>=|&&|\|\||\[\]|[()\[\]{},:;!<>+\-*%=|])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "program",
+    "var",
+    "process",
+    "reads",
+    "init",
+    "assign",
+    "end",
+    "if",
+    "true",
+    "false",
+    "bool",
+    "enum",
+    "K",
+    "not",
+    "and",
+    "or",
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split program text into tokens; comments run from ``#`` to end of line."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup
+        tokens.append(Token(kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent / precedence-climbing parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token primitives ----------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.pos)
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        token = self.advance()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}", self.pos - 1)
+        return token
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    def ident(self) -> str:
+        token = self.advance()
+        if token.kind != "ident" or token.text in _KEYWORDS - {"K"}:
+            raise ParseError(f"expected identifier, found {token.text!r}", self.pos - 1)
+        return token.text
+
+    # -- program structure ----------------------------------------------
+
+    def parse_program(self) -> Tuple[str, List[Variable], Dict[str, List[str]], Optional[Expr], List[Statement]]:
+        self.expect("program")
+        name = self.ident()
+        variables: List[Variable] = []
+        processes: Dict[str, List[str]] = {}
+        init_expr: Optional[Expr] = None
+        statements: List[Statement] = []
+        while self.peek() is not None:
+            token = self.peek()
+            if token.text == "end":
+                self.advance()
+                break
+            if token.text == "var":
+                self.advance()
+                variables.extend(self.parse_var_decls())
+            elif token.text == "process":
+                self.advance()
+                pname = self.ident()
+                self.expect("reads")
+                processes[pname] = self.parse_name_list()
+            elif token.text == "init":
+                self.advance()
+                if init_expr is not None:
+                    raise ParseError("duplicate init section", self.pos)
+                init_expr = self.parse_expr()
+            elif token.text == "assign":
+                self.advance()
+                statements.extend(self.parse_statements())
+            else:
+                raise ParseError(f"unexpected token {token.text!r}", self.pos)
+        return name, variables, processes, init_expr, statements
+
+    def parse_var_decls(self) -> List[Variable]:
+        out: List[Variable] = []
+        while True:
+            names = self.parse_name_list()
+            self.expect(":")
+            domain = self.parse_type()
+            out.extend(Variable(n, domain) for n in names)
+            if not self.accept(";"):
+                break
+            # Allow a trailing semicolon before the next section keyword.
+            nxt = self.peek()
+            if nxt is None or nxt.text in ("var", "process", "init", "assign", "end"):
+                break
+        return out
+
+    def parse_type(self) -> Domain:
+        token = self.advance()
+        if token.text == "bool":
+            return BoolDomain()
+        if token.kind == "int":
+            lo = int(token.text)
+            self.expect("..")
+            hi_token = self.advance()
+            if hi_token.kind != "int":
+                raise ParseError(f"expected integer, found {hi_token.text!r}", self.pos - 1)
+            return IntRangeDomain(lo, int(hi_token.text))
+        if token.text == "enum":
+            self.expect("{")
+            values = [self.ident()]
+            while self.accept(","):
+                values.append(self.ident())
+            self.expect("}")
+            return EnumDomain("enum{" + ",".join(values) + "}", values)
+        raise ParseError(f"expected a type, found {token.text!r}", self.pos - 1)
+
+    def parse_name_list(self) -> List[str]:
+        names = [self.ident()]
+        while self.accept(","):
+            names.append(self.ident())
+        return names
+
+    def parse_statements(self) -> List[Statement]:
+        statements = [self.parse_statement(0)]
+        while self.accept("[]"):
+            statements.append(self.parse_statement(len(statements)))
+        return statements
+
+    def parse_statement(self, ordinal: int) -> Statement:
+        label = f"s{ordinal}"
+        token = self.peek()
+        nxt = self.peek(1)
+        if (
+            token is not None
+            and token.kind == "ident"
+            and nxt is not None
+            and nxt.text == ":"
+        ):
+            label = self.ident()
+            self.expect(":")
+        targets = self.parse_name_list()
+        self.expect(":=")
+        exprs = [self.parse_expr()]
+        while self.accept(","):
+            exprs.append(self.parse_expr())
+        guard: Expr = Const(True)
+        if self.accept("if"):
+            guard = self.parse_expr()
+        return Statement(name=label, targets=tuple(targets), exprs=tuple(exprs), guard=guard)
+
+    # -- expressions ------------------------------------------------------
+
+    # binding powers, loosest first
+    _BINARY_LEVELS = [
+        ("<=>",),
+        ("=>",),
+        ("||", "or"),
+        ("&&", "and"),
+        ("==", "!=", "<", "<=", ">", ">="),
+        ("+", "-"),
+        ("*", "%"),
+    ]
+
+    def parse_expr(self, level: int = 0) -> Expr:
+        if level >= len(self._BINARY_LEVELS):
+            return self.parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        left = self.parse_expr(level + 1)
+        while True:
+            token = self.peek()
+            if token is None or token.text not in ops:
+                return left
+            self.advance()
+            op = {"||": "or", "&&": "and"}.get(token.text, token.text)
+            if op == "=>":
+                # implication associates to the right
+                right = self.parse_expr(level)
+                return Binary("=>", left, right)
+            right = self.parse_expr(level + 1)
+            left = Binary(op, left, right)
+
+    def parse_unary(self) -> Expr:
+        if self.accept("!") or self.accept("not"):
+            return Unary("not", self.parse_unary())
+        if self.accept("-"):
+            return Unary("-", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                expr = Index(expr, index)
+            else:
+                return expr
+
+    def parse_primary(self) -> Expr:
+        token = self.advance()
+        if token.kind == "int":
+            return Const(int(token.text))
+        if token.text == "true":
+            return Const(True)
+        if token.text == "false":
+            return Const(False)
+        if token.text == "K":
+            self.expect("[")
+            process = self.ident()
+            self.expect("]")
+            self.expect("(")
+            formula = self.parse_expr()
+            self.expect(")")
+            return Knowledge(process, formula)
+        if token.text == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.kind == "ident" and token.text not in _KEYWORDS:
+            return Var(token.text)
+        raise ParseError(f"unexpected token {token.text!r} in expression", self.pos - 1)
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression, e.g. ``parse_expression("K[P0](!x)")``."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input after expression: {parser.peek().text!r}", parser.pos)
+    return expr
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full program text into a :class:`~repro.unity.Program`."""
+    parser = _Parser(tokenize(text))
+    name, variables, processes, init_expr, statements = parser.parse_program()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input after program: {parser.peek().text!r}", parser.pos)
+    if not variables:
+        raise ParseError("program declares no variables")
+    if not statements:
+        raise ParseError("program has no assign section")
+    space = StateSpace(variables)
+    init: Any = init_expr if init_expr is not None else Const(True)
+    return Program(
+        space=space,
+        init=init,
+        statements=statements,
+        processes=processes,
+        name=name,
+    )

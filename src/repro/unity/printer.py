@@ -1,0 +1,164 @@
+"""Pretty-printing programs and expressions back to the DSL syntax.
+
+``program_to_text(parse_program(text))`` re-parses to an equivalent
+program — the round-trip property the test suite checks.  Only programs
+whose variables use DSL-expressible domains (bool, integer ranges, enums
+of identifiers) and whose expressions use DSL operators can be printed;
+:class:`UnprintableError` is raised otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..statespace import BoolDomain, Domain, EnumDomain, IntRangeDomain
+from .expressions import (
+    Binary,
+    Const,
+    Expr,
+    Index,
+    Ite,
+    Knowledge,
+    Unary,
+    Var,
+)
+from .program import Program
+from .statements import Statement
+
+
+class UnprintableError(ValueError):
+    """The object uses constructs outside the DSL subset."""
+
+
+#: binding strength per operator — mirrors the parser's precedence table.
+_LEVELS = {
+    "<=>": 1,
+    "=>": 2,
+    "or": 3,
+    "and": 4,
+    "==": 5,
+    "!=": 5,
+    "<": 5,
+    "<=": 5,
+    ">": 5,
+    ">=": 5,
+    "+": 6,
+    "-": 6,
+    "*": 7,
+    "%": 7,
+}
+
+_RENDER = {"or": "||", "and": "&&"}
+
+
+def expr_to_text(expr: Expr, parent_level: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Const):
+        if expr.value is True:
+            return "true"
+        if expr.value is False:
+            return "false"
+        if isinstance(expr.value, int):
+            return str(expr.value)
+        raise UnprintableError(f"constant {expr.value!r} has no DSL syntax")
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Unary):
+        operand = expr_to_text(expr.operand, 8)
+        if expr.op == "not":
+            return f"!{operand}"
+        if expr.op == "-":
+            return f"-{operand}"
+        raise UnprintableError(f"unary {expr.op!r} has no DSL syntax")
+    if isinstance(expr, Binary):
+        level = _LEVELS.get(expr.op)
+        if level is None:
+            raise UnprintableError(f"operator {expr.op!r} has no DSL syntax")
+        symbol = _RENDER.get(expr.op, expr.op)
+        # Right-associative implication; everything else left-associative.
+        if expr.op == "=>":
+            left = expr_to_text(expr.left, level + 1)
+            right = expr_to_text(expr.right, level)
+        else:
+            left = expr_to_text(expr.left, level)
+            right = expr_to_text(expr.right, level + 1)
+        text = f"{left} {symbol} {right}"
+        if level < parent_level:
+            return f"({text})"
+        return text
+    if isinstance(expr, Index):
+        return f"{expr_to_text(expr.seq, 8)}[{expr_to_text(expr.at)}]"
+    if isinstance(expr, Knowledge):
+        return f"K[{expr.process}]({expr_to_text(expr.formula)})"
+    if isinstance(expr, Ite):
+        raise UnprintableError("conditional expressions have no DSL syntax")
+    raise UnprintableError(f"{type(expr).__name__} has no DSL syntax")
+
+
+def _domain_to_text(domain: Domain) -> str:
+    if isinstance(domain, BoolDomain) or domain == BoolDomain():
+        return "bool"
+    if isinstance(domain, IntRangeDomain):
+        return f"{domain.lo}..{domain.hi}"
+    if isinstance(domain, EnumDomain) and all(
+        isinstance(v, str) and v.isidentifier() for v in domain.values
+    ):
+        return "enum { " + ", ".join(domain.values) + " }"
+    raise UnprintableError(f"domain {domain!r} has no DSL syntax")
+
+
+def statement_to_text(stmt: Statement) -> str:
+    """Render one guarded multiple assignment."""
+    lhs = ", ".join(stmt.targets)
+    rhs = ", ".join(expr_to_text(e) for e in stmt.exprs)
+    text = f"{stmt.name} : {lhs} := {rhs}"
+    if not (isinstance(stmt.guard, Const) and stmt.guard.value is True):
+        text += f" if {expr_to_text(stmt.guard)}"
+    return text
+
+
+def program_to_text(program: Program, init_expr: Expr = None) -> str:
+    """Render a whole program in the DSL.
+
+    The initial condition is a semantic predicate; pass ``init_expr`` when
+    you have the syntactic form, otherwise the init is rendered as an
+    explicit disjunction of full-state equalities (exact but verbose).
+    """
+    lines: List[str] = [f"program {program.name.replace('-', '_').replace('@', '_')}"]
+    for variable in program.space.variables:
+        lines.append(f"var {variable.name} : {_domain_to_text(variable.domain)}")
+    for process in program.processes.values():
+        ordered = [n for n in program.space.names if n in process.variables]
+        lines.append(f"process {process.name} reads {', '.join(ordered)}")
+    if init_expr is not None:
+        lines.append(f"init {expr_to_text(init_expr)}")
+    elif not program.init.is_everywhere():
+        lines.append(f"init {_predicate_to_text(program)}")
+    lines.append("assign")
+    rendered = [statement_to_text(s) for s in program.statements]
+    lines.append("  " + "\n  [] ".join(rendered))
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def _predicate_to_text(program: Program) -> str:
+    """The init predicate as a disjunction of complete state descriptions."""
+    disjuncts = []
+    for state in program.init.states():
+        parts = []
+        for name in program.space.names:
+            value = state[name]
+            if value is True:
+                parts.append(name)
+            elif value is False:
+                parts.append(f"!{name}")
+            elif isinstance(value, int):
+                parts.append(f"{name} == {value}")
+            else:
+                raise UnprintableError(
+                    f"init value {value!r} for {name} has no DSL syntax"
+                )
+        disjuncts.append("(" + " && ".join(parts) + ")")
+    if not disjuncts:
+        raise UnprintableError("init is unsatisfiable; no DSL rendering")
+    return " || ".join(disjuncts)

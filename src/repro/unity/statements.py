@@ -1,0 +1,240 @@
+"""Guarded, multiple, deterministic, terminating assignment statements.
+
+A UNITY statement has the shape (paper section 5)::
+
+    x, y := f(x, y), g(x, y, z)   if b
+
+Executed atomically: first ``b`` and every right-hand side are evaluated in
+the current state, then — if ``b`` holds — the computed results are assigned
+simultaneously.  If the guard does not hold, execution has **no effect** (a
+skip), so every statement denotes a *total deterministic* function on states.
+
+Guards may contain :class:`~repro.unity.expressions.Knowledge` terms, making
+the statement knowledge-based; such statements cannot be executed until the
+knowledge terms are resolved against a strongest-invariant candidate
+(:mod:`repro.core.kbp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from .expressions import (
+    Const,
+    Expr,
+    ExprLike,
+    Ite,
+    Knowledge,
+    as_expr,
+)
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A guarded multiple assignment ``targets := exprs if guard``."""
+
+    name: str
+    targets: Tuple[str, ...]
+    exprs: Tuple[Expr, ...]
+    guard: Expr = field(default_factory=lambda: Const(True))
+
+    def __post_init__(self):
+        if len(self.targets) != len(self.exprs):
+            raise ValueError(
+                f"statement {self.name!r}: {len(self.targets)} targets "
+                f"but {len(self.exprs)} expressions"
+            )
+        if len(set(self.targets)) != len(self.targets):
+            raise ValueError(
+                f"statement {self.name!r}: duplicate assignment targets {self.targets}"
+            )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def knowledge_terms(self) -> FrozenSet[Knowledge]:
+        """Knowledge terms in the guard and right-hand sides."""
+        out = self.guard.knowledge_terms()
+        for e in self.exprs:
+            out |= e.knowledge_terms()
+        return out
+
+    def is_knowledge_based(self) -> bool:
+        """Whether any knowledge term occurs in this statement."""
+        return bool(self.knowledge_terms())
+
+    def read_vars(self) -> FrozenSet[str]:
+        """Variables the statement reads (guard + right-hand sides)."""
+        out = self.guard.free_vars()
+        for e in self.exprs:
+            out |= e.free_vars()
+        return out
+
+    def written_vars(self) -> FrozenSet[str]:
+        """Variables the statement may write."""
+        return frozenset(self.targets)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        state: Mapping[str, Any],
+        resolution: Optional[Mapping[Knowledge, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Execute the statement once, returning the successor assignment.
+
+        Evaluates the guard and all right-hand sides *before* assigning
+        (simultaneous assignment).  Guard false ⇒ identical copy.
+        """
+        out = dict(state)
+        if not self.guard.eval(state, resolution):
+            return out
+        values = [e.eval(state, resolution) for e in self.exprs]
+        for target, value in zip(self.targets, values):
+            out[target] = value
+        return out
+
+    def resolve(self, resolution: Mapping[Knowledge, "object"]) -> "Statement":
+        """Replace knowledge terms with concrete predicate tests.
+
+        Produces a *standard* statement whose guard is a
+        :class:`ResolvedKnowledge` wrapper — still an :class:`Expr`, but one
+        that evaluates by predicate lookup instead of raising.
+        """
+        return Statement(
+            name=self.name,
+            targets=self.targets,
+            exprs=tuple(_resolve_expr(e, resolution) for e in self.exprs),
+            guard=_resolve_expr(self.guard, resolution),
+        )
+
+    # ------------------------------------------------------------------
+    # symbolic weakest precondition
+    # ------------------------------------------------------------------
+
+    def wp_expr(self, post: ExprLike) -> Expr:
+        """Textbook symbolic ``wp``: ``(b ∧ q[E/x]) ∨ (¬b ∧ q)``.
+
+        Since UNITY statements always terminate, ``wp = wlp`` here.  Only
+        valid for standard statements (knowledge terms block substitution).
+        """
+        post_expr = as_expr(post)
+        substituted = post_expr.subst(dict(zip(self.targets, self.exprs)))
+        return Ite(self.guard, substituted, post_expr)
+
+    def __repr__(self) -> str:
+        lhs = ", ".join(self.targets)
+        rhs = ", ".join(map(repr, self.exprs))
+        if isinstance(self.guard, Const) and self.guard.value is True:
+            return f"<{self.name}: {lhs} := {rhs}>"
+        return f"<{self.name}: {lhs} := {rhs} if {self.guard!r}>"
+
+
+@dataclass(frozen=True)
+class ResolvedKnowledge(Expr):
+    """A knowledge term bound to a concrete predicate.
+
+    Created by :meth:`Statement.resolve`; evaluates by bitmask lookup on the
+    state index.  Keeps a reference to the original term for provenance.
+    """
+
+    term: Knowledge
+    predicate: Any  # repro.predicates.Predicate; Any avoids a layering cycle
+
+    def eval(self, state, resolution=None):
+        index = getattr(state, "index", None)
+        if index is None:
+            raise ValueError(
+                f"resolved knowledge {self.term!r} needs an indexed State"
+            )
+        return self.predicate.holds_at(index)
+
+    def subst(self, bindings):
+        touched = bindings.keys() & self.term.free_vars()
+        if touched:
+            raise ValueError(
+                f"cannot substitute {sorted(touched)} under resolved knowledge {self.term!r}"
+            )
+        return self
+
+    def free_vars(self):
+        return self.term.free_vars()
+
+    def knowledge_terms(self):
+        return frozenset()
+
+    def __repr__(self):
+        return f"⟦{self.term!r}⟧"
+
+    def __hash__(self):
+        return hash((self.term, self.predicate.mask))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ResolvedKnowledge)
+            and self.term == other.term
+            and self.predicate == other.predicate
+        )
+
+
+def _resolve_expr(expr: Expr, resolution: Mapping[Knowledge, Any]) -> Expr:
+    """Structurally replace each knowledge term with its resolved wrapper."""
+    if isinstance(expr, Knowledge):
+        if expr not in resolution:
+            raise KeyError(f"no resolution for knowledge term {expr!r}")
+        return ResolvedKnowledge(expr, resolution[expr])
+    if not expr.knowledge_terms():
+        return expr
+    # Recurse through composite nodes generically via their dataclass fields.
+    import dataclasses
+
+    replacements = {}
+    for f in dataclasses.fields(expr):
+        value = getattr(expr, f.name)
+        if isinstance(value, Expr):
+            replacements[f.name] = _resolve_expr(value, resolution)
+        elif isinstance(value, tuple) and value and isinstance(value[0], Expr):
+            replacements[f.name] = tuple(_resolve_expr(v, resolution) for v in value)
+    return dataclasses.replace(expr, **replacements)
+
+
+def assign(
+    name: str,
+    updates: Mapping[str, ExprLike],
+    guard: ExprLike = True,
+) -> Statement:
+    """Build a statement from a dict of ``target: expression`` updates."""
+    targets = tuple(updates.keys())
+    exprs = tuple(as_expr(e) for e in updates.values())
+    return Statement(name=name, targets=targets, exprs=exprs, guard=as_expr(guard))
+
+
+def quantified(
+    name_format: str,
+    values: Iterable[Any],
+    maker: Callable[[Any], Statement],
+) -> List[Statement]:
+    """Generate a family of statements ``⟨ ▯ v : v ∈ values : stmt(v) ⟩``.
+
+    Mirrors UNITY's quantified statement notation; ``name_format`` is
+    applied to each value to produce unique statement names.
+    """
+    out: List[Statement] = []
+    for value in values:
+        stmt = maker(value)
+        out.append(
+            Statement(
+                name=name_format.format(value),
+                targets=stmt.targets,
+                exprs=stmt.exprs,
+                guard=stmt.guard,
+            )
+        )
+    names = [s.name for s in out]
+    if len(set(names)) != len(names):
+        raise ValueError(f"quantified statement names collide: {names}")
+    return out

@@ -1,0 +1,155 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+The random-program strategy generates small standard UNITY programs over
+Boolean variables — the workhorse for the algebraic laws (S5 axioms,
+junctivity, sst properties, model-checker cross-validation), which are
+checked exhaustively per generated program.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.predicates import Predicate
+from repro.statespace import BoolDomain, IntRangeDomain, StateSpace, Variable, space_of
+from repro.unity import Const, Program, Statement, Unary, Var, const, lnot, var
+
+
+@pytest.fixture
+def two_bool_space() -> StateSpace:
+    """The 4-state space over Booleans a, b."""
+    return space_of(a=BoolDomain(), b=BoolDomain())
+
+
+@pytest.fixture
+def three_bool_space() -> StateSpace:
+    """The 8-state space over Booleans a, b, c."""
+    return space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+
+
+@pytest.fixture
+def mixed_space() -> StateSpace:
+    """A space mixing Booleans and a small integer range (12 states)."""
+    return space_of(flag=BoolDomain(), count=IntRangeDomain(0, 2), on=BoolDomain())
+
+
+def make_counter_program() -> Program:
+    """A tiny standard program: a counter gated by a flag.
+
+    Variables: ``go : bool``, ``n : 0..3``.  ``n`` increments while ``go``
+    holds; a second statement raises ``go``.  Used across the proof-theory
+    tests because its reachability and progress structure is obvious.
+    """
+    space = space_of(go=BoolDomain(), n=IntRangeDomain(0, 3))
+    statements = [
+        Statement(
+            name="tick",
+            targets=("n",),
+            exprs=(var("n") + const(1),),
+            guard=(var("go")) & (var("n") < const(3)),
+        ),
+        Statement(name="start", targets=("go",), exprs=(const(True),)),
+    ]
+    init = Predicate.from_callable(space, lambda s: not s["go"] and s["n"] == 0)
+    return Program(
+        space=space,
+        init=init,
+        statements=statements,
+        processes={"Clock": ("n",), "Ctl": ("go",)},
+        name="counter",
+    )
+
+
+@pytest.fixture
+def counter_program() -> Program:
+    return make_counter_program()
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+
+BOOL_VARS = ("a", "b", "c")
+
+
+@st.composite
+def bool_spaces(draw, max_vars: int = 3) -> StateSpace:
+    """A space of 2–max_vars Boolean variables."""
+    n = draw(st.integers(min_value=2, max_value=max_vars))
+    return StateSpace([Variable(BOOL_VARS[i], BoolDomain()) for i in range(n)])
+
+
+@st.composite
+def guards_over(draw, names: List[str]):
+    """A small Boolean guard expression over the given variables."""
+    kind = draw(st.integers(min_value=0, max_value=4))
+    name = draw(st.sampled_from(names))
+    other = draw(st.sampled_from(names))
+    if kind == 0:
+        return Const(True)
+    if kind == 1:
+        return Var(name)
+    if kind == 2:
+        return Unary("not", Var(name))
+    if kind == 3:
+        return Var(name) & Var(other)
+    return Var(name) | Unary("not", Var(other))
+
+
+@st.composite
+def random_programs(draw, max_vars: int = 3, max_statements: int = 3) -> Program:
+    """A random small standard program over Boolean variables.
+
+    Statements assign constants or other variables (possibly negated) under
+    random guards; the initial condition is a random non-empty predicate.
+    """
+    space = draw(bool_spaces(max_vars))
+    names = list(space.names)
+    n_statements = draw(st.integers(min_value=1, max_value=max_statements))
+    statements = []
+    for k in range(n_statements):
+        target = draw(st.sampled_from(names))
+        source_kind = draw(st.integers(min_value=0, max_value=3))
+        if source_kind == 0:
+            rhs = Const(True)
+        elif source_kind == 1:
+            rhs = Const(False)
+        elif source_kind == 2:
+            rhs = Var(draw(st.sampled_from(names)))
+        else:
+            rhs = Unary("not", Var(draw(st.sampled_from(names))))
+        guard = draw(guards_over(names))
+        statements.append(
+            Statement(name=f"s{k}", targets=(target,), exprs=(rhs,), guard=guard)
+        )
+    init_mask = draw(st.integers(min_value=1, max_value=space.full_mask))
+    processes = {f"P{i}": (name,) for i, name in enumerate(names)}
+    return Program(
+        space=space,
+        init=Predicate(space, init_mask),
+        statements=statements,
+        processes=processes,
+        name="random",
+    )
+
+
+@st.composite
+def predicates_over(draw, space: StateSpace) -> Predicate:
+    """A uniformly random predicate over a fixed space."""
+    mask = draw(st.integers(min_value=0, max_value=space.full_mask))
+    return Predicate(space, mask)
+
+
+@st.composite
+def program_with_predicates(draw, n_predicates: int = 2):
+    """A random program plus ``n_predicates`` random predicates over its space."""
+    program = draw(random_programs())
+    preds = tuple(
+        Predicate(program.space, draw(st.integers(0, program.space.full_mask)))
+        for _ in range(n_predicates)
+    )
+    return (program,) + preds

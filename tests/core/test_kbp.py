@@ -1,0 +1,157 @@
+"""Knowledge-based protocols and the SI equation (25): Figures 1 and 2."""
+
+import pytest
+
+from repro.core import (
+    compare_inits,
+    is_solution,
+    phi,
+    resolution_at,
+    resolve_at,
+    solve_si,
+    solve_si_iterative,
+    sp_hat,
+)
+from repro.figures import (
+    fig1_program,
+    fig2_program,
+    fig2_strong_init,
+    fig2_weak_init,
+)
+from repro.predicates import Predicate, var_true
+from repro.proofs import check_leads_to_both
+from repro.transformers import check_monotonic, strongest_invariant
+
+from ..conftest import make_counter_program
+
+
+class TestFigure1NoSolution:
+    def test_exhaustive_search_finds_nothing(self):
+        """The paper's claim: no SI solves eq. (25) for Figure 1."""
+        report = solve_si(fig1_program())
+        assert not report.well_posed
+        assert report.solutions == ()
+        # All 2^(4-1) = 8 candidates above init were examined.
+        assert report.candidates_checked == 8
+
+    def test_iterative_solver_cycles(self):
+        report = solve_si_iterative(fig1_program())
+        assert not report.converged
+        assert len(report.cycle) == 2
+
+    def test_sp_hat_not_monotone(self):
+        """The technical culprit the paper identifies (section 4)."""
+        program = fig1_program()
+        counterexample = check_monotonic(sp_hat(program), program.space)
+        assert counterexample is not None
+        p, q = counterexample.witnesses
+        transform = sp_hat(program)
+        assert p.entails(q)
+        assert not transform(p).entails(transform(q))
+
+    def test_strongest_raises_without_solutions(self):
+        report = solve_si(fig1_program())
+        with pytest.raises(ValueError):
+            report.strongest()
+
+    def test_phi_cycle_is_genuine(self):
+        """Φ alternates between two candidates, neither a fixpoint."""
+        program = fig1_program()
+        x0 = program.init
+        x1 = phi(program, x0)
+        x2 = phi(program, x1)
+        x3 = phi(program, x2)
+        assert x1 != x2
+        assert x3 == x1
+
+
+class TestFigure2NonMonotonicity:
+    def test_si_values_match_paper(self):
+        """init = ¬y gives SI = ¬y; init = ¬y ∧ x gives SI = x."""
+        program = fig2_program()
+        space = program.space
+        weak = fig2_weak_init(program)
+        strong = fig2_strong_init(program)
+        report = compare_inits(program, weak, strong)
+        assert report.si_weak == ~var_true(space, "y")
+        assert report.si_strong == var_true(space, "x")
+        assert not report.monotonic
+
+    def test_solutions_unique_for_both_inits(self):
+        program = fig2_program()
+        for init in (fig2_weak_init(program), fig2_strong_init(program)):
+            report = solve_si(program.with_init(init))
+            assert report.unique
+
+    def test_safety_property_lost(self):
+        """invariant ¬y holds under the weak init, fails under the strong one."""
+        program = fig2_program()
+        space = program.space
+        not_y = ~var_true(space, "y")
+        si_weak = solve_si(program.with_init(fig2_weak_init(program))).strongest()
+        si_strong = solve_si(program.with_init(fig2_strong_init(program))).strongest()
+        assert si_weak.entails(not_y)
+        assert not si_strong.entails(not_y)
+
+    def test_liveness_property_lost(self):
+        """true ↦ z holds under the weak init, fails under the strong one."""
+        program = fig2_program()
+        space = program.space
+        z = var_true(space, "z")
+        for init, expected in (
+            (fig2_weak_init(program), True),
+            (fig2_strong_init(program), False),
+        ):
+            variant = program.with_init(init)
+            si = solve_si(variant).strongest()
+            resolved = resolve_at(variant, si)
+            verdict = check_leads_to_both(resolved, Predicate.true(space), z, si)
+            assert verdict == expected
+
+    def test_compare_inits_requires_ordered_inits(self):
+        program = fig2_program()
+        with pytest.raises(ValueError):
+            compare_inits(program, fig2_strong_init(program), fig2_weak_init(program))
+
+
+class TestSolverMechanics:
+    def test_standard_program_degenerates(self):
+        """For a standard program, eq. (25) = eq. (1): the unique SI."""
+        program = make_counter_program()
+        report = solve_si(program)
+        assert report.unique
+        assert report.solutions[0] == strongest_invariant(program)
+
+    def test_is_solution_agrees_with_search(self):
+        program = fig2_program().with_init(fig2_weak_init(fig2_program()))
+        report = solve_si(program)
+        space = program.space
+        found = set(p.mask for p in report.solutions)
+        for mask in range(1 << space.size):
+            candidate = Predicate(space, mask)
+            if is_solution(program, candidate):
+                assert mask in found
+
+    def test_resolution_at_covers_all_terms(self):
+        program = fig1_program()
+        resolution = resolution_at(program, Predicate.true(program.space))
+        assert set(resolution) == set(program.knowledge_terms())
+
+    def test_resolve_at_produces_standard_program(self):
+        program = fig1_program()
+        resolved = resolve_at(program, program.init)
+        assert not resolved.is_knowledge_based()
+        assert resolved.space == program.space
+
+    def test_iterative_on_standard_program_converges(self):
+        program = make_counter_program()
+        report = solve_si_iterative(program)
+        assert report.converged
+        assert report.solution == strongest_invariant(program)
+
+    def test_size_guard(self):
+        from repro.seqtrans import SeqTransParams, RELIABLE, build_kbp_protocol
+
+        big = build_kbp_protocol(SeqTransParams(length=1), RELIABLE)
+        with pytest.raises(ValueError):
+            solve_si(big)

@@ -1,0 +1,176 @@
+"""The knowledge operator — paper eq. (13) and the group extensions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KnowledgeOperator
+from repro.predicates import Predicate, depends_only_on, var_true, wcyl
+from repro.statespace import BoolDomain, space_of
+from repro.transformers import strongest_invariant
+from repro.unity import knows, land, lor, var
+
+from ..conftest import make_counter_program, program_with_predicates
+
+
+@pytest.fixture
+def space():
+    return space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+
+
+def operator_on(space, si_mask=None, views=None):
+    si = Predicate(space, si_mask) if si_mask is not None else Predicate.true(space)
+    views = views or {"P": ["a"], "Q": ["b", "c"]}
+    return KnowledgeOperator(space, si, views)
+
+
+class TestDefinition13:
+    def test_formula_matches_definition(self, space):
+        """K_i p == p ∧ (wcyl.V_i.(SI ⇒ p) ∨ ¬SI), literally."""
+        si = Predicate.from_callable(space, lambda s: s["a"] or s["b"])
+        op = KnowledgeOperator(space, si, {"P": ["a"]})
+        for mask in range(0, 1 << space.size, 3):
+            p = Predicate(space, mask)
+            expected = p & (wcyl(["a"], si.implies(p)) | ~si)
+            assert op.knows("P", p) == expected
+
+    def test_semantic_reading_on_reachable_states(self, space):
+        """On SI: knows p iff p holds at all SI-states with the same view."""
+        si = Predicate.from_callable(space, lambda s: not (s["a"] and s["b"]))
+        op = KnowledgeOperator(space, si, {"P": ["a"]})
+        p = var_true(space, "b")
+        kp = op.knows("P", p)
+        for s in si.states():
+            indistinguishable = [
+                t for t in si.states() if t["a"] == s["a"]
+            ]
+            expected = all(p.holds_at(t) for t in indistinguishable)
+            assert kp.holds_at(s) == expected
+
+    def test_value_is_p_off_si(self, space):
+        """The paper's convention: K_i p ≡ p on unreachable states."""
+        si = var_true(space, "a")
+        op = KnowledgeOperator(space, si, {"P": ["a"]})
+        p = Predicate.from_callable(space, lambda s: s["b"] != s["c"])
+        kp = op.knows("P", p)
+        for s in (~si).states():
+            assert kp.holds_at(s) == p.holds_at(s)
+
+    def test_result_is_locally_determined_on_si(self, space):
+        """Within SI, K_i p cannot distinguish states with equal views."""
+        si = Predicate.from_callable(space, lambda s: s["a"] or not s["c"])
+        op = KnowledgeOperator(space, si, {"P": ["a", "b"]})
+        p = var_true(space, "c")
+        kp = op.knows("P", p) & si
+        for s in si.states():
+            for t in si.states():
+                if (s["a"], s["b"]) == (t["a"], t["b"]):
+                    assert kp.holds_at(s) == kp.holds_at(t)
+
+    def test_knows_simple_agrees_on_si(self, space):
+        si = Predicate.from_callable(space, lambda s: s["b"])
+        op = KnowledgeOperator(space, si, {"P": ["a"]})
+        p = Predicate.from_callable(space, lambda s: s["b"] or s["c"])
+        assert (op.knows("P", p) & si) == (op.knows_simple("P", p) & si)
+
+    def test_unknown_process(self, space):
+        op = operator_on(space)
+        with pytest.raises(KeyError):
+            op.knows("Ghost", Predicate.true(space))
+
+    def test_cross_space_predicate(self, space):
+        op = operator_on(space)
+        other = space_of(x=BoolDomain())
+        with pytest.raises(ValueError):
+            op.knows("P", Predicate.true(other))
+
+    def test_of_program(self):
+        program = make_counter_program()
+        op = KnowledgeOperator.of_program(program)
+        assert op.si == strongest_invariant(program)
+
+
+class TestEpistemicDual:
+    def test_possible_definition(self, space):
+        op = operator_on(space, si_mask=0b10110101)
+        p = var_true(space, "b")
+        assert op.possible("P", p) == ~op.knows("P", ~p)
+
+    def test_knows_implies_possible_on_si(self, space):
+        si = Predicate.from_callable(space, lambda s: s["a"] or s["b"])
+        op = KnowledgeOperator(space, si, {"P": ["a"]})
+        p = var_true(space, "b")
+        assert (op.knows("P", p) & si).entails(op.possible("P", p))
+
+
+class TestGroupKnowledge:
+    def test_everyone_knows_is_conjunction(self, space):
+        op = operator_on(space)
+        p = var_true(space, "c")
+        expected = op.knows("P", p) & op.knows("Q", p)
+        assert op.everyone_knows(["P", "Q"], p) == expected
+
+    def test_common_knowledge_strongest(self, space):
+        """C_G p is a fixpoint of E_G(p ∧ ·) and implies every E_G iterate."""
+        si = Predicate.from_callable(space, lambda s: s["a"] or s["b"] or s["c"])
+        op = KnowledgeOperator(space, si, {"P": ["a"], "Q": ["b"]})
+        p = Predicate.from_callable(space, lambda s: s["a"] or s["b"])
+        ck = op.common_knowledge(["P", "Q"], p)
+        assert ck == op.everyone_knows(["P", "Q"], p & ck)
+        iterate = op.everyone_knows(["P", "Q"], p)
+        for _ in range(4):
+            assert ck.entails(iterate)
+            iterate = op.everyone_knows(["P", "Q"], p & iterate)
+
+    def test_common_knowledge_of_true(self, space):
+        op = operator_on(space)
+        assert op.common_knowledge(["P", "Q"], Predicate.true(space)).is_everywhere()
+
+    def test_distributed_knowledge_pools_views(self, space):
+        si = Predicate.from_callable(space, lambda s: (s["a"] == s["c"]) or s["b"])
+        op = KnowledgeOperator(space, si, {"P": ["a"], "Q": ["b"]})
+        p = var_true(space, "c")
+        dk = op.distributed_knowledge(["P", "Q"], p)
+        # Distributed knowledge is at least individual knowledge.
+        assert (op.knows("P", p) & si).entails(dk)
+        assert (op.knows("Q", p) & si).entails(dk)
+
+    def test_empty_group_rejected(self, space):
+        op = operator_on(space)
+        with pytest.raises(ValueError):
+            op.everyone_knows([], Predicate.true(space))
+
+
+class TestExpressionInterpretation:
+    def test_plain_expression(self, space):
+        op = operator_on(space)
+        p = op.predicate_of(land(var("a"), lor(var("b"), var("c"))))
+        expected = Predicate.from_callable(space, lambda s: s["a"] and (s["b"] or s["c"]))
+        assert p == expected
+
+    def test_single_knowledge_term(self, space):
+        si = Predicate.from_callable(space, lambda s: s["a"] or s["b"])
+        op = KnowledgeOperator(space, si, {"P": ["a"]})
+        expr = knows("P", var("b"))
+        assert op.predicate_of(expr) == op.knows("P", var_true(space, "b"))
+
+    def test_nested_knowledge_resolved_innermost_first(self, space):
+        si = Predicate.from_callable(space, lambda s: s["a"] or s["b"])
+        op = KnowledgeOperator(space, si, {"P": ["a"], "Q": ["b", "c"]})
+        inner = knows("Q", var("a"))
+        outer = knows("P", inner)
+        inner_pred = op.knows("Q", var_true(space, "a"))
+        assert op.predicate_of(outer) == op.knows("P", inner_pred)
+
+    def test_resolution_covers_nested_terms(self, space):
+        op = operator_on(space)
+        inner = knows("Q", var("a"))
+        outer = knows("P", inner)
+        resolution = op.resolve_terms([outer])
+        assert inner in resolution and outer in resolution
+
+    def test_with_si(self, space):
+        op = operator_on(space)
+        stronger = op.with_si(var_true(space, "a"))
+        assert stronger.si == var_true(space, "a")
+        assert stronger.process_vars == op.process_vars

@@ -1,0 +1,98 @@
+"""The knowledge↔kernel bridge rules: eqs. (14), (23), (24) as proof rules."""
+
+import pytest
+
+from repro.core import KnowledgeOperator, k_invariant_intro, k_localization, k_truth
+from repro.predicates import Predicate
+from repro.proofs import Invariant, ProofContext, ProofError
+
+from ..conftest import make_counter_program
+
+
+@pytest.fixture
+def setup():
+    program = make_counter_program()
+    ctx = ProofContext(program)
+    operator = KnowledgeOperator.of_program(program, si=ctx.si)
+    return program, ctx, operator
+
+
+class TestKTruth:
+    def test_produces_invariant(self, setup):
+        program, ctx, operator = setup
+        p = Predicate.from_callable(program.space, lambda s: s["n"] > 0)
+        proof = k_truth(ctx, operator, "Clock", p)
+        assert isinstance(proof.conclusion, Invariant)
+        assert proof.conclusion.p.is_everywhere()  # (14) holds everywhere
+
+    def test_si_mismatch_rejected(self, setup):
+        program, ctx, operator = setup
+        wrong = operator.with_si(Predicate.true(program.space) & ~ctx.si)
+        if wrong.si == ctx.si:
+            pytest.skip("SI happens to be empty-complement")
+        with pytest.raises(ProofError):
+            k_truth(ctx, wrong, "Clock", Predicate.true(program.space))
+
+
+class TestKInvariantIntro:
+    def test_eq23_forward(self, setup):
+        program, ctx, operator = setup
+        bound = Predicate.from_callable(program.space, lambda s: s["n"] <= 3)
+        premise = ctx.invariant_by_si(bound)
+        proof = k_invariant_intro(ctx, operator, "Clock", premise)
+        assert ctx.si.entails(proof.conclusion.p)
+
+    def test_requires_invariant_premise(self, setup):
+        program, ctx, operator = setup
+        not_invariant = ctx.unless_from_text(
+            Predicate.true(program.space), Predicate.true(program.space)
+        )
+        with pytest.raises(ProofError):
+            k_invariant_intro(ctx, operator, "Clock", not_invariant)
+
+
+class TestKLocalization:
+    def test_eq24_promotes_local_facts(self, setup):
+        """From invariant (n ≥ 1 ⇒ go), Clock (who sees n) knows go."""
+        program, ctx, operator = setup
+        q = Predicate.from_callable(program.space, lambda s: s["n"] >= 1)
+        p = Predicate.from_callable(program.space, lambda s: s["go"])
+        premise = ctx.invariant_by_si(q.implies(p))
+        proof = k_localization(ctx, operator, "Clock", q, p, premise)
+        conclusion = proof.conclusion.p
+        # In a reachable state with n ≥ 1, Clock knows go.
+        state = program.space.index_of({"go": True, "n": 2})
+        assert conclusion.holds_at(state)
+        assert operator.knows("Clock", p).holds_at(state)
+
+    def test_nonlocal_q_rejected(self, setup):
+        """q mentioning variables outside the process view is rejected."""
+        program, ctx, operator = setup
+        q = Predicate.from_callable(program.space, lambda s: s["go"])  # not Clock's
+        p = Predicate.true(program.space)
+        premise = ctx.invariant_by_si(q.implies(p))
+        with pytest.raises(ProofError):
+            k_localization(ctx, operator, "Clock", q, p, premise)
+
+    def test_wrong_premise_shape_rejected(self, setup):
+        program, ctx, operator = setup
+        q = Predicate.from_callable(program.space, lambda s: s["n"] >= 1)
+        p = Predicate.from_callable(program.space, lambda s: s["go"])
+        unrelated = ctx.invariant_by_si(Predicate.true(program.space) | p)
+        # `unrelated` is `invariant true`, not `invariant (q ⇒ p)` — but
+        # true is SI-equivalent to (q ⇒ p) here only if the implication is
+        # SI-valid; craft a genuinely different premise instead.
+        bad = ctx.invariant_by_si(ctx.si)
+        if ctx.si == (q.implies(p)) or ctx.si.iff(q.implies(p)).is_everywhere():
+            pytest.skip("premise accidentally matches")
+        with pytest.raises(ProofError):
+            k_localization(ctx, operator, "Clock", q, p, bad)
+
+    def test_assumptions_propagate(self, setup):
+        program, ctx, operator = setup
+        q = Predicate.from_callable(program.space, lambda s: s["n"] >= 1)
+        p = Predicate.from_callable(program.space, lambda s: s["go"])
+        premise = ctx.invariant_by_si(q.implies(p))
+        proof = k_localization(ctx, operator, "Clock", q, p, premise)
+        assert proof.assumptions() == []
+        assert proof.size() == 2

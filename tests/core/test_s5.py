@@ -1,0 +1,132 @@
+"""S5 and the knowledge laws — paper eqs. (14)–(24), checked exhaustively."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    KnowledgeOperator,
+    check_antimonotonicity_in_si,
+    check_distribution,
+    check_invariant_equivalence,
+    check_local_invariant_equivalence,
+    check_monotonicity_in_p,
+    check_necessitation,
+    check_negative_introspection,
+    check_positive_introspection,
+    check_truth_axiom,
+    check_universal_conjunctivity,
+    find_disjunctivity_counterexample,
+    verify_all,
+)
+from repro.predicates import Predicate, var_true
+from repro.statespace import BoolDomain, space_of
+
+from ..conftest import random_programs
+
+
+def small_operator(si_mask: int = None):
+    space = space_of(a=BoolDomain(), b=BoolDomain())
+    si = (
+        Predicate(space, si_mask)
+        if si_mask is not None
+        else Predicate.from_callable(space, lambda s: s["a"] or not s["b"])
+    )
+    return KnowledgeOperator(space, si, {"P": ["a"], "Q": ["b"]})
+
+
+class TestS5AxiomsExhaustive:
+    """Each axiom over *every* predicate of a fixed small operator."""
+
+    def test_eq14_truth(self):
+        assert check_truth_axiom(small_operator(), "P") is None
+
+    def test_eq15_distribution(self):
+        assert check_distribution(small_operator(), "P") is None
+
+    def test_eq16_positive_introspection(self):
+        assert check_positive_introspection(small_operator(), "P") is None
+
+    def test_eq17_negative_introspection(self):
+        assert check_negative_introspection(small_operator(), "P") is None
+
+    def test_eq18_necessitation(self):
+        assert check_necessitation(small_operator(), "P") is None
+
+    def test_eq19_monotone(self):
+        assert check_monotonicity_in_p(small_operator(), "P") is None
+
+    def test_eq21_universally_conjunctive(self):
+        assert check_universal_conjunctivity(small_operator(), "P") is None
+
+    def test_eq23_invariant_equivalence(self):
+        assert check_invariant_equivalence(small_operator(), "P") is None
+
+    def test_eq24_local_invariant_equivalence(self):
+        """The theorem the expert reviewer doubted — exhaustively true."""
+        assert check_local_invariant_equivalence(small_operator(), "P") is None
+
+
+class TestS5OnRandomPrograms:
+    @given(random_programs(max_vars=2, max_statements=2))
+    @settings(max_examples=15, deadline=None)
+    def test_all_laws_on_program_operators(self, program):
+        """Eqs. (14)–(19), (21), (23), (24) for the SI of random programs."""
+        operator = KnowledgeOperator.of_program(program)
+        process = next(iter(program.processes))
+        violations = verify_all(operator, process)
+        assert violations == []
+
+    @given(random_programs(max_vars=3, max_statements=3))
+    @settings(max_examples=10, deadline=None)
+    def test_truth_and_introspection_sampled(self, program):
+        """Sampled checks scale to the 8-state spaces."""
+        operator = KnowledgeOperator.of_program(program)
+        process = next(iter(program.processes))
+        assert check_truth_axiom(operator, process, samples=40) is None
+        assert check_positive_introspection(operator, process, samples=40) is None
+        assert check_negative_introspection(operator, process, samples=40) is None
+
+
+class TestEq20AntiMonotonicity:
+    def test_stronger_si_more_knowledge(self):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        weak_si = Predicate.true(space)
+        strong_si = var_true(space, "a") | var_true(space, "b")
+        weak = KnowledgeOperator(space, weak_si, {"P": ["a"]})
+        strong = KnowledgeOperator(space, strong_si, {"P": ["a"]})
+        assert check_antimonotonicity_in_si(weak, strong, "P") is None
+
+    def test_concrete_gain_of_knowledge(self):
+        """With SI = (a ∨ b), seeing a = False teaches P that b holds."""
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        op_all = KnowledgeOperator(space, Predicate.true(space), {"P": ["a"]})
+        op_si = KnowledgeOperator(
+            space, var_true(space, "a") | var_true(space, "b"), {"P": ["a"]}
+        )
+        b = var_true(space, "b")
+        state = space.index_of({"a": False, "b": True})
+        assert not op_all.knows("P", b).holds_at(state)
+        assert op_si.knows("P", b).holds_at(state)
+
+    def test_misordered_arguments_rejected(self):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        weak = KnowledgeOperator(space, Predicate.true(space), {"P": ["a"]})
+        strong = KnowledgeOperator(space, var_true(space, "a"), {"P": ["a"]})
+        with pytest.raises(ValueError):
+            check_antimonotonicity_in_si(strong, weak, "P")
+
+
+class TestEq22NonDisjunctivity:
+    def test_counterexample_exists_generically(self):
+        """K_i is not disjunctive: a witness pair exists for a non-trivial view."""
+        witness = find_disjunctivity_counterexample(small_operator(), "P")
+        assert witness is not None
+        p, q = witness
+        op = small_operator()
+        assert not (op.knows("P", p) | op.knows("P", q)) == op.knows("P", p | q)
+
+    def test_full_view_is_disjunctive(self):
+        """A process that sees everything has K_i p ≡ p on SI — disjunctive."""
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        op = KnowledgeOperator(space, Predicate.true(space), {"All": ["a", "b"]})
+        assert find_disjunctivity_counterexample(op, "All") is None

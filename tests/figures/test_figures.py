@@ -1,0 +1,78 @@
+"""The paper's Figure 1 and Figure 2 — the headline counterexamples as tests.
+
+These duplicate (at test granularity) what benchmarks E1/E2 regenerate; the
+deeper per-mechanism assertions live in tests/core/test_kbp.py.
+"""
+
+import pytest
+
+from repro.core import resolve_at, solve_si, solve_si_iterative, sp_hat
+from repro.figures import (
+    FIG1_TEXT,
+    FIG2_TEXT,
+    fig1_program,
+    fig2_program,
+    fig2_strong_init,
+    fig2_weak_init,
+)
+from repro.predicates import Predicate, var_true
+from repro.proofs import holds_leads_to
+from repro.transformers import check_monotonic
+
+
+class TestFigure1:
+    def test_program_shape(self):
+        program = fig1_program()
+        assert program.space.size == 4
+        assert program.is_knowledge_based()
+        assert program.init.count() == 1
+
+    def test_no_solution(self):
+        assert not solve_si(fig1_program()).well_posed
+
+    def test_iteration_cycles(self):
+        assert not solve_si_iterative(fig1_program()).converged
+
+    def test_sp_hat_nonmonotone(self):
+        program = fig1_program()
+        assert check_monotonic(sp_hat(program), program.space) is not None
+
+    def test_text_constant_parses_to_same_program(self):
+        from repro.unity import parse_program
+
+        a = fig1_program()
+        b = parse_program(FIG1_TEXT)
+        assert a.space == b.space
+        assert a.knowledge_terms() == b.knowledge_terms()
+
+
+class TestFigure2:
+    def test_si_flip(self):
+        program = fig2_program()
+        space = program.space
+        weak_si = solve_si(program.with_init(fig2_weak_init(program))).strongest()
+        strong_si = solve_si(program.with_init(fig2_strong_init(program))).strongest()
+        assert weak_si == ~var_true(space, "y")
+        assert strong_si == var_true(space, "x")
+        assert not strong_si.entails(weak_si)  # non-monotone
+
+    def test_liveness_flip(self):
+        program = fig2_program()
+        space = program.space
+        z = var_true(space, "z")
+        verdicts = {}
+        for label, init in (
+            ("weak", fig2_weak_init(program)),
+            ("strong", fig2_strong_init(program)),
+        ):
+            variant = program.with_init(init)
+            si = solve_si(variant).strongest()
+            resolved = resolve_at(variant, si)
+            verdicts[label] = holds_leads_to(
+                resolved, Predicate.true(space), z, si
+            )
+        assert verdicts == {"weak": True, "strong": False}
+
+    def test_default_init_is_weak(self):
+        program = fig2_program()
+        assert program.init == fig2_weak_init(program)

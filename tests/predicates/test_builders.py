@@ -1,0 +1,80 @@
+"""Predicate builders over named variables."""
+
+import pytest
+
+from repro.predicates import Predicate, pred, var_cmp, var_eq, var_in, var_true, vars_cmp
+from repro.statespace import BOT, BoolDomain, EnumDomain, IntRangeDomain, OptionDomain, space_of
+
+
+@pytest.fixture
+def space():
+    return space_of(
+        n=IntRangeDomain(0, 3),
+        color=EnumDomain("c", ["red", "green"]),
+        flag=BoolDomain(),
+    )
+
+
+class TestVarEq:
+    def test_matches_from_callable(self, space):
+        """The arithmetic fast path agrees with per-state evaluation."""
+        for name in space.names:
+            for value in space.var(name).domain.values:
+                fast = var_eq(space, name, value)
+                slow = Predicate.from_callable(space, lambda s: s[name] == value)
+                assert fast == slow
+
+    def test_absent_value_rejected(self, space):
+        with pytest.raises(ValueError):
+            var_eq(space, "n", 17)
+
+    def test_option_domain_bot(self):
+        space = space_of(z=OptionDomain(IntRangeDomain(0, 2)))
+        p = var_eq(space, "z", BOT)
+        assert p.count() == 1
+        assert p.holds_at(space.index_of({"z": BOT}))
+
+
+class TestVarComparisons:
+    def test_var_cmp_all_operators(self, space):
+        checks = {
+            "==": lambda v: v == 2,
+            "!=": lambda v: v != 2,
+            "<": lambda v: v < 2,
+            "<=": lambda v: v <= 2,
+            ">": lambda v: v > 2,
+            ">=": lambda v: v >= 2,
+        }
+        for op, fn in checks.items():
+            p = var_cmp(space, "n", op, 2)
+            expected = Predicate.from_callable(space, lambda s: fn(s["n"]))
+            assert p == expected, op
+
+    def test_unknown_operator(self, space):
+        with pytest.raises(ValueError):
+            var_cmp(space, "n", "<>", 1)
+
+    def test_var_in(self, space):
+        p = var_in(space, "n", [0, 3])
+        assert sorted({s["n"] for s in p.states()}) == [0, 3]
+
+    def test_var_true(self, space):
+        assert var_true(space, "flag") == var_eq(space, "flag", True)
+
+    def test_vars_cmp(self):
+        space = space_of(x=IntRangeDomain(0, 2), y=IntRangeDomain(0, 2))
+        p = vars_cmp(space, "x", "<", "y")
+        for s in space.states():
+            assert p.holds_at(s) == (s["x"] < s["y"])
+
+    def test_vars_cmp_unknown_operator(self):
+        space = space_of(x=IntRangeDomain(0, 1), y=IntRangeDomain(0, 1))
+        with pytest.raises(ValueError):
+            vars_cmp(space, "x", "~", "y")
+
+
+class TestPred:
+    def test_pred_is_from_callable(self, space):
+        p = pred(space, lambda s: s["color"] == "red" and s["flag"])
+        q = Predicate.from_callable(space, lambda s: s["color"] == "red" and s["flag"])
+        assert p == q

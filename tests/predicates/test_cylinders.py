@@ -1,0 +1,170 @@
+"""wcyl / scyl — the paper's eq. (6) and properties (7)–(12)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predicates import (
+    Predicate,
+    depends_only_on,
+    independent_of,
+    quantify_exists,
+    quantify_forall,
+    scyl,
+    support,
+    var_cmp,
+    var_true,
+    wcyl,
+)
+from repro.statespace import BoolDomain, IntRangeDomain, space_of
+
+
+@pytest.fixture
+def space():
+    return space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+
+
+def masks(space):
+    return st.integers(min_value=0, max_value=space.full_mask)
+
+
+class TestWcylDefinition:
+    def test_semantic_definition(self, space):
+        """wcyl.V.p holds at s iff p holds at every state agreeing with s on V."""
+        p = Predicate.from_callable(space, lambda s: s["a"] or s["b"])
+        cyl = wcyl(["a"], p)
+        for s in space.states():
+            expected = all(
+                p.holds_at(t)
+                for t in space.states()
+                if t["a"] == s["a"]
+            )
+            assert cyl.holds_at(s) == expected
+
+    def test_eq7_stronger_than_p(self, space):
+        """(7): [wcyl.V.p ⇒ p]."""
+        p = Predicate.from_callable(space, lambda s: s["a"] != s["c"])
+        for names in (["a"], ["a", "b"], ["b", "c"], []):
+            assert wcyl(names, p).entails(p)
+
+    @given(data=st.data())
+    def test_eq8_monotone_in_p(self, data):
+        """(8): monotone in the predicate argument."""
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        q = p | Predicate(space, data.draw(masks(space)))
+        assert wcyl(["a", "b"], p).entails(wcyl(["a", "b"], q))
+
+    @given(data=st.data())
+    def test_eq8_monotone_in_v(self, data):
+        """(8): monotone in the variable-set argument (more vars, weaker cylinder)."""
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        assert wcyl(["a"], p).entails(wcyl(["a", "b"], p))
+
+    def test_eq9_fixpoint_on_local_predicates(self, space):
+        """(9): p over V ⇒ p ≡ wcyl.V.p."""
+        p = Predicate.from_callable(space, lambda s: s["a"] and not s["b"])
+        assert wcyl(["a", "b"], p) == p
+
+    @given(data=st.data())
+    def test_eq10_greatest_local_lower_bound(self, data):
+        """(10): local q stronger than p is stronger than wcyl.V.p."""
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        cyl = wcyl(["a", "b"], p)
+        # Every local predicate q ⇒ p satisfies q ⇒ wcyl.V.p; check over a
+        # sample of local predicates built by projection.
+        q = wcyl(["a", "b"], Predicate(space, data.draw(masks(space)))) & cyl
+        assert q.entails(p)
+        assert q.entails(cyl)
+
+    def test_eq11_universally_conjunctive(self, space):
+        """(11): wcyl.V distributes over arbitrary conjunctions."""
+        from repro.transformers import check_universally_conjunctive
+
+        assert check_universally_conjunctive(lambda p: wcyl(["a", "b"], p), space) is None
+
+    def test_eq12_not_disjunctive_papers_counterexample(self):
+        """(12): the paper's counterexample, two integer variables x and y.
+
+        wcyl.x.(x>0 ∧ y>0) = false and wcyl.x.(x>0 ∧ y≤0) = false while
+        wcyl.x.(x>0) = (x>0).
+        """
+        space = space_of(x=IntRangeDomain(-1, 1), y=IntRangeDomain(-1, 1))
+        x_pos = var_cmp(space, "x", ">", 0)
+        y_pos = var_cmp(space, "y", ">", 0)
+        left = wcyl(["x"], x_pos & y_pos)
+        right = wcyl(["x"], x_pos & ~y_pos)
+        assert left.is_false()
+        assert right.is_false()
+        assert wcyl(["x"], x_pos) == x_pos
+        # Hence wcyl.x.(p ∨ q) ≠ wcyl.x.p ∨ wcyl.x.q:
+        assert wcyl(["x"], (x_pos & y_pos) | (x_pos & ~y_pos)) != (left | right)
+
+    def test_empty_variable_set(self, space):
+        p = Predicate.from_indices(space, [0])
+        assert wcyl([], p).is_false()
+        assert wcyl([], Predicate.true(space)).is_everywhere()
+
+
+class TestScylDuality:
+    @given(data=st.data())
+    def test_scyl_is_dual(self, data):
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        assert scyl(["a", "b"], p) == ~wcyl(["a", "b"], ~p)
+
+    @given(data=st.data())
+    def test_galois_connection(self, data):
+        """scyl.V ⊣ wcyl.V on local predicates: scyl.V.p ⇒ q  ≡  p ⇒ wcyl... """
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        q_local = wcyl(["a"], Predicate(space, data.draw(masks(space))))
+        assert scyl(["a"], p).entails(q_local) == p.entails(q_local)
+
+    def test_weaker_than_p(self, space):
+        p = Predicate.from_callable(space, lambda s: s["b"])
+        assert p.entails(scyl(["a"], p))
+
+
+class TestIndependence:
+    def test_depends_only_on(self, space):
+        p = Predicate.from_callable(space, lambda s: s["a"] == s["b"])
+        assert depends_only_on(p, ["a", "b"])
+        assert depends_only_on(p, ["a", "b", "c"])
+        assert not depends_only_on(p, ["a"])
+
+    def test_constants_depend_on_nothing(self, space):
+        assert depends_only_on(Predicate.true(space), [])
+        assert depends_only_on(Predicate.false(space), [])
+
+    def test_independent_of(self, space):
+        p = var_true(space, "a")
+        assert independent_of(p, "b")
+        assert independent_of(p, "c")
+        assert not independent_of(p, "a")
+
+    def test_support_minimal(self, space):
+        p = Predicate.from_callable(space, lambda s: s["a"] or s["c"])
+        assert support(p) == frozenset({"a", "c"})
+        assert support(Predicate.true(space)) == frozenset()
+
+    def test_support_of_xor(self, space):
+        p = Predicate.from_callable(space, lambda s: s["a"] != s["b"])
+        assert support(p) == frozenset({"a", "b"})
+
+
+class TestQuantifiers:
+    def test_forall_complements_wcyl(self, space):
+        p = Predicate.from_callable(space, lambda s: s["a"] or s["b"])
+        assert quantify_forall(["c"], p) == wcyl(["a", "b"], p)
+
+    def test_exists_complements_scyl(self, space):
+        p = Predicate.from_callable(space, lambda s: s["a"] and s["c"])
+        assert quantify_exists(["c"], p) == scyl(["a", "b"], p)
+
+    def test_quantify_all_vars(self, space):
+        p = Predicate.from_indices(space, [3])
+        assert quantify_exists(space.names, p).is_everywhere()
+        assert quantify_forall(space.names, p).is_false()

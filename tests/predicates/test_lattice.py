@@ -1,0 +1,90 @@
+"""Fixpoint machinery: Kleene iteration, convergence, cycle detection."""
+
+import pytest
+
+from repro.predicates import (
+    FixpointResult,
+    Predicate,
+    gfp,
+    iterate_to_fixpoint,
+    lfp,
+)
+from repro.statespace import BoolDomain, space_of
+
+
+@pytest.fixture
+def space():
+    return space_of(a=BoolDomain(), b=BoolDomain())
+
+
+class TestMonotoneIteration:
+    def test_lfp_of_closure(self, space):
+        """Least fixpoint of x ↦ x ∨ seed, from false, is seed."""
+        seed = Predicate.from_indices(space, [1])
+        result = lfp(lambda x: x | seed, Predicate.false(space))
+        assert result.converged
+        assert result.value == seed
+
+    def test_lfp_grows_one_state_per_step(self, space):
+        """x ↦ x ∨ next(x): converges in at most |space| steps."""
+        def f(x: Predicate) -> Predicate:
+            shifted = Predicate(
+                x.space, (x.mask << 1) & x.space.full_mask
+            )
+            return x | shifted | Predicate.from_indices(x.space, [0])
+
+        result = lfp(f, Predicate.false(space))
+        assert result.converged
+        assert result.value == Predicate.true(space)
+        assert result.iterations <= space.size + 1
+
+    def test_gfp_of_identity(self, space):
+        result = gfp(lambda x: x, Predicate.true(space))
+        assert result.converged
+        assert result.value == Predicate.true(space)
+
+    def test_gfp_of_meet(self, space):
+        cap = Predicate.from_indices(space, [0, 2])
+        result = gfp(lambda x: x & cap, Predicate.true(space))
+        assert result.converged
+        assert result.value == cap
+
+
+class TestNonMonotoneIteration:
+    def test_negation_cycles(self, space):
+        """x ↦ ¬x has no fixpoint; the iteration reports a 2-cycle."""
+        result = iterate_to_fixpoint(lambda x: ~x, Predicate.false(space))
+        assert not result.converged
+        assert result.value is None
+        assert len(result.cycle) == 2
+
+    def test_require_raises_on_cycle(self, space):
+        result = iterate_to_fixpoint(lambda x: ~x, Predicate.false(space))
+        with pytest.raises(ValueError):
+            result.require()
+
+    def test_require_returns_value(self, space):
+        result = lfp(lambda x: x, Predicate.false(space))
+        assert result.require() == Predicate.false(space)
+
+    def test_max_iterations_cap(self, space):
+        """A rotating (aperiodic-looking) function still terminates via history."""
+        def rotate(x: Predicate) -> Predicate:
+            mask = x.mask
+            rotated = ((mask << 1) | (mask >> (space.size - 1))) & space.full_mask
+            return Predicate(space, rotated if rotated else 1)
+
+        result = iterate_to_fixpoint(rotate, Predicate.from_indices(space, [0]))
+        assert not result.converged or result.value is not None
+
+    def test_iteration_counts_reported(self, space):
+        seed = Predicate.from_indices(space, [0, 1, 2])
+        result = lfp(lambda x: x | seed, Predicate.false(space))
+        assert result.iterations == 1
+
+
+class TestFixpointResult:
+    def test_is_frozen(self, space):
+        result = FixpointResult(converged=True, value=Predicate.true(space), iterations=0)
+        with pytest.raises(Exception):
+            result.converged = False

@@ -1,0 +1,35 @@
+"""Bitmask ↔ numpy bridge: exact round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predicates.npbits import array_to_mask, mask_to_array
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=1, max_value=200), st.data())
+    def test_mask_array_mask(self, size, data):
+        mask = data.draw(st.integers(min_value=0, max_value=(1 << size) - 1))
+        array = mask_to_array(mask, size)
+        assert array.dtype == bool
+        assert len(array) == size
+        assert array_to_mask(array) == mask
+
+    def test_bit_positions(self):
+        array = mask_to_array(0b1011, 6)
+        assert array.tolist() == [True, True, False, True, False, False]
+
+    def test_non_byte_aligned_sizes(self):
+        for size in (1, 7, 8, 9, 63, 64, 65):
+            full = (1 << size) - 1
+            assert array_to_mask(mask_to_array(full, size)) == full
+            assert array_to_mask(mask_to_array(0, size)) == 0
+
+    def test_array_to_mask_accepts_int_arrays(self):
+        assert array_to_mask(np.array([1, 0, 1, 1])) == 0b1101
+
+    def test_empty_mask(self):
+        array = mask_to_array(0, 5)
+        assert not array.any()

@@ -1,0 +1,185 @@
+"""The predicate calculus on bitsets: operators, [·], and extension queries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predicates import Predicate, conjunction, disjunction, everywhere
+from repro.statespace import BoolDomain, space_of
+
+
+@pytest.fixture
+def space():
+    return space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+
+
+def masks(space):
+    return st.integers(min_value=0, max_value=space.full_mask)
+
+
+class TestConstruction:
+    def test_true_false(self, space):
+        assert Predicate.true(space).count() == space.size
+        assert Predicate.false(space).count() == 0
+
+    def test_from_callable(self, space):
+        p = Predicate.from_callable(space, lambda s: s["a"] and not s["b"])
+        for state in space.states():
+            assert p.holds_at(state) == (state["a"] and not state["b"])
+
+    def test_from_indices(self, space):
+        p = Predicate.from_indices(space, [0, 3, 5])
+        assert sorted(p.indices()) == [0, 3, 5]
+
+    def test_from_indices_out_of_range(self, space):
+        with pytest.raises(IndexError):
+            Predicate.from_indices(space, [space.size])
+
+    def test_mask_out_of_range_rejected(self, space):
+        with pytest.raises(ValueError):
+            Predicate(space, 1 << space.size)
+
+
+class TestPointwiseOperators:
+    @given(data=st.data())
+    def test_de_morgan(self, data):
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        q = Predicate(space, data.draw(masks(space)))
+        assert ~(p & q) == (~p | ~q)
+        assert ~(p | q) == (~p & ~q)
+
+    @given(data=st.data())
+    def test_implication_definition(self, data):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        q = Predicate(space, data.draw(masks(space)))
+        assert p.implies(q) == (~p | q)
+
+    @given(data=st.data())
+    def test_iff_symmetric(self, data):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        q = Predicate(space, data.draw(masks(space)))
+        assert p.iff(q) == q.iff(p)
+        assert p.iff(q) == ~(p ^ q)
+
+    def test_subtraction(self, space):
+        p = Predicate.from_indices(space, [0, 1, 2])
+        q = Predicate.from_indices(space, [1])
+        assert sorted((p - q).indices()) == [0, 2]
+
+    def test_double_negation(self, space):
+        p = Predicate.from_indices(space, [2, 4])
+        assert ~~p == p
+
+    def test_cross_space_rejected(self, space):
+        other = space_of(x=BoolDomain())
+        with pytest.raises(ValueError):
+            Predicate.true(space) & Predicate.true(other)
+
+    def test_non_predicate_rejected(self, space):
+        with pytest.raises(TypeError):
+            Predicate.true(space) & True
+
+
+class TestEverywhereOperator:
+    def test_pointwise_implication_vs_entails(self, space):
+        p = Predicate.from_indices(space, [0, 1])
+        q = Predicate.from_indices(space, [0, 1, 2])
+        # p ⇒ q is a predicate (true everywhere here), [p ⇒ q] a Boolean.
+        assert p.implies(q).is_everywhere()
+        assert p.entails(q)
+        assert not q.entails(p)
+
+    def test_everywhere_function(self, space):
+        assert everywhere(Predicate.true(space))
+        assert not everywhere(~Predicate.true(space) | Predicate.false(space))
+
+    def test_equality_is_everywhere_iff(self, space):
+        p = Predicate.from_indices(space, [1, 3])
+        q = Predicate.from_indices(space, [1, 3])
+        assert p == q
+        assert p.iff(q).is_everywhere()
+
+    def test_no_implicit_bool(self, space):
+        with pytest.raises(TypeError):
+            bool(Predicate.true(space))
+
+
+class TestExtensionQueries:
+    def test_count_indices_agree(self, space):
+        p = Predicate.from_indices(space, [0, 5, 7])
+        assert p.count() == 3
+        assert list(p.indices()) == [0, 5, 7]
+
+    def test_example_least_index(self, space):
+        p = Predicate.from_indices(space, [4, 6])
+        assert p.example().index == 4
+
+    def test_example_of_false_raises(self, space):
+        with pytest.raises(ValueError):
+            Predicate.false(space).example()
+
+    def test_holds_at_state_and_index(self, space):
+        p = Predicate.from_indices(space, [2])
+        assert p.holds_at(2)
+        assert p.holds_at(space.state_at(2))
+        assert not p.holds_at(3)
+
+    def test_holds_at_out_of_range(self, space):
+        with pytest.raises(IndexError):
+            Predicate.true(space).holds_at(space.size)
+
+
+class TestBigOperators:
+    def test_empty_conjunction_is_true(self, space):
+        assert conjunction(space, []) == Predicate.true(space)
+
+    def test_empty_disjunction_is_false(self, space):
+        assert disjunction(space, []) == Predicate.false(space)
+
+    @given(data=st.data())
+    def test_conjunction_is_intersection(self, data):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        ps = [Predicate(space, data.draw(masks(space))) for _ in range(3)]
+        expected = ps[0] & ps[1] & ps[2]
+        assert conjunction(space, ps) == expected
+
+    @given(data=st.data())
+    def test_disjunction_is_union(self, data):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        ps = [Predicate(space, data.draw(masks(space))) for _ in range(3)]
+        expected = ps[0] | ps[1] | ps[2]
+        assert disjunction(space, ps) == expected
+
+
+class TestLatticeLaws:
+    @given(data=st.data())
+    def test_absorption(self, data):
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        q = Predicate(space, data.draw(masks(space)))
+        assert (p & (p | q)) == p
+        assert (p | (p & q)) == p
+
+    @given(data=st.data())
+    def test_distribution(self, data):
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        q = Predicate(space, data.draw(masks(space)))
+        r = Predicate(space, data.draw(masks(space)))
+        assert (p & (q | r)) == ((p & q) | (p & r))
+        assert (p | (q & r)) == ((p | q) & (p | r))
+
+    @given(data=st.data())
+    def test_entails_is_partial_order(self, data):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        p = Predicate(space, data.draw(masks(space)))
+        q = Predicate(space, data.draw(masks(space)))
+        r = Predicate(space, data.draw(masks(space)))
+        assert p.entails(p)
+        if p.entails(q) and q.entails(p):
+            assert p == q
+        if p.entails(q) and q.entails(r):
+            assert p.entails(r)

@@ -1,0 +1,117 @@
+"""From-text checks of unless / ensures / stable / invariant (eqs. 27–33)."""
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.proofs import (
+    helpful_statements,
+    holds_ensures,
+    holds_invariant,
+    holds_invariant_by_induction,
+    holds_stable,
+    holds_unless,
+)
+
+from ..conftest import make_counter_program
+
+
+@pytest.fixture
+def program():
+    return make_counter_program()
+
+
+def p_of(program, fn):
+    return Predicate.from_callable(program.space, fn)
+
+
+class TestUnless:
+    def test_holds_when_exit_only_via_q(self, program):
+        p = p_of(program, lambda s: s["n"] == 1)
+        q = p_of(program, lambda s: s["n"] == 2)
+        assert holds_unless(program, p, q)
+
+    def test_fails_when_p_escapes_elsewhere(self, program):
+        p = p_of(program, lambda s: s["n"] == 1)
+        q = p_of(program, lambda s: s["n"] == 3)
+        assert not holds_unless(program, p, q)
+
+    def test_vacuous_when_danger_empty(self, program):
+        p = p_of(program, lambda s: False)
+        assert holds_unless(program, p, Predicate.false(program.space))
+
+    def test_si_relativity(self, program):
+        """Sanders' logic: the obligations are relative to SI [San91].
+
+        ``¬go unless (go ∧ n = 0)`` holds on the reachable states (where
+        ``¬go`` forces ``n = 0``) but fails absolutely: from the
+        *unreachable* state (¬go, n = 2), ``start`` reaches (go, 2), which
+        is in neither predicate.
+        """
+        p = p_of(program, lambda s: not s["go"])
+        q = p_of(program, lambda s: s["go"] and s["n"] == 0)
+        assert holds_unless(program, p, q)  # SI-relative (default)
+        assert not holds_unless(program, p, q, si=Predicate.true(program.space))
+
+
+class TestEnsures:
+    def test_ensures_needs_single_helpful_statement(self, program):
+        p = p_of(program, lambda s: s["go"] and s["n"] == 0)
+        q = p_of(program, lambda s: s["n"] >= 1)
+        assert holds_ensures(program, p, q)
+        helpers = helpful_statements(program, p, q)
+        assert [s.name for s in helpers] == ["tick"]
+
+    def test_ensures_fails_without_progress(self, program):
+        p = p_of(program, lambda s: not s["go"] and s["n"] == 0)
+        q = p_of(program, lambda s: s["n"] >= 1)
+        # `start` sets go but not n; `tick` needs go: no single statement
+        # moves p into q (tick skips while ¬go).
+        assert not holds_ensures(program, p, q)
+
+    def test_ensures_fails_without_unless(self, program):
+        p = p_of(program, lambda s: s["n"] <= 1)
+        q = p_of(program, lambda s: s["n"] == 3)
+        assert not holds_ensures(program, p, q)
+
+
+class TestStable:
+    def test_stable_go(self, program):
+        assert holds_stable(program, p_of(program, lambda s: s["go"]))
+
+    def test_unstable_n0(self, program):
+        assert not holds_stable(program, p_of(program, lambda s: s["n"] == 0))
+
+    def test_stable_upward_closed_counter(self, program):
+        assert holds_stable(program, p_of(program, lambda s: s["n"] >= 2))
+
+
+class TestInvariantRules:
+    def test_eq32_direct_induction(self, program):
+        p = p_of(program, lambda s: s["n"] <= 3)
+        assert holds_invariant_by_induction(program, p)
+
+    def test_eq32_requires_init(self, program):
+        p = p_of(program, lambda s: s["go"])
+        # Stable but does not hold initially.
+        assert holds_stable(program, p)
+        assert not holds_invariant_by_induction(program, p)
+
+    def test_eq32_with_auxiliary(self, program):
+        """(¬go ⇒ n = 0) is not inductive alone off SI, but SI-val..."""
+        target = p_of(program, lambda s: s["go"] or s["n"] == 0)
+        assert holds_invariant_by_induction(program, target)
+
+    def test_eq5_by_si(self, program):
+        assert holds_invariant(program, p_of(program, lambda s: s["n"] <= 3))
+        assert not holds_invariant(program, p_of(program, lambda s: s["n"] <= 2))
+
+    def test_induction_sound_wrt_si(self, program):
+        """Anything proved by (32) really is an invariant per (5)."""
+        candidates = [
+            p_of(program, lambda s: s["n"] <= 3),
+            p_of(program, lambda s: s["go"] or s["n"] == 0),
+            p_of(program, lambda s: True),
+        ]
+        for p in candidates:
+            if holds_invariant_by_induction(program, p):
+                assert holds_invariant(program, p)

@@ -1,0 +1,308 @@
+"""The proof kernel: every rule, with valid and invalid applications."""
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.proofs import (
+    Ensures,
+    Invariant,
+    LeadsTo,
+    Proof,
+    ProofContext,
+    ProofError,
+    Stable,
+    Unless,
+)
+
+from ..conftest import make_counter_program
+
+
+@pytest.fixture
+def ctx():
+    return ProofContext(make_counter_program())
+
+
+def p_of(ctx, fn):
+    return Predicate.from_callable(ctx.space, fn)
+
+
+class TestLeaves:
+    def test_unless_from_text(self, ctx):
+        p = p_of(ctx, lambda s: s["n"] == 1)
+        q = p_of(ctx, lambda s: s["n"] == 2)
+        proof = ctx.unless_from_text(p, q)
+        assert proof.conclusion == Unless(p, q)
+        assert proof.rule == "unless-from-text"
+
+    def test_unless_from_text_rejects_false_claims(self, ctx):
+        p = p_of(ctx, lambda s: s["n"] == 1)
+        q = p_of(ctx, lambda s: s["n"] == 3)
+        with pytest.raises(ProofError):
+            ctx.unless_from_text(p, q)
+
+    def test_ensures_from_text(self, ctx):
+        p = p_of(ctx, lambda s: s["go"] and s["n"] == 0)
+        q = p_of(ctx, lambda s: s["n"] >= 1)
+        proof = ctx.ensures_from_text(p, q)
+        assert isinstance(proof.conclusion, Ensures)
+
+    def test_stable_from_text(self, ctx):
+        proof = ctx.stable_from_text(p_of(ctx, lambda s: s["go"]))
+        assert isinstance(proof.conclusion, Stable)
+        with pytest.raises(ProofError):
+            ctx.stable_from_text(p_of(ctx, lambda s: s["n"] == 0))
+
+    def test_invariant_by_induction_and_si(self, ctx):
+        bound = p_of(ctx, lambda s: s["n"] <= 3)
+        assert ctx.invariant_by_induction(bound).conclusion == Invariant(bound)
+        assert ctx.invariant_by_si(bound).conclusion == Invariant(bound)
+        with pytest.raises(ProofError):
+            ctx.invariant_by_si(p_of(ctx, lambda s: s["n"] == 0))
+
+    def test_assumption_must_be_registered(self, ctx):
+        prop = Stable(p_of(ctx, lambda s: s["go"]))
+        with pytest.raises(ProofError):
+            ctx.assume(prop)
+        ctx2 = ProofContext(ctx.program, assumptions=[prop])
+        proof = ctx2.assume(prop)
+        assert proof.rule == "assumption"
+        assert proof.assumptions() == [prop]
+
+    def test_model_checked_leaf(self, ctx):
+        top = p_of(ctx, lambda s: s["n"] == 3)
+        proof = ctx.leads_to_checked(ctx.true(), top)
+        assert isinstance(proof.conclusion, LeadsTo)
+        with pytest.raises(ProofError):
+            ctx.leads_to_checked(ctx.true(), ctx.false())
+
+
+class TestUnlessMetatheorems:
+    def test_consequence_weakening(self, ctx):
+        p = p_of(ctx, lambda s: s["n"] == 1)
+        q = p_of(ctx, lambda s: s["n"] == 2)
+        base = ctx.unless_from_text(p, q)
+        weaker = p_of(ctx, lambda s: s["n"] >= 2)
+        proof = ctx.consequence_weakening_unless(base, weaker)
+        assert proof.conclusion == Unless(p, weaker)
+        with pytest.raises(ProofError):
+            ctx.consequence_weakening_unless(base, p_of(ctx, lambda s: s["n"] == 5 - 5))
+
+    def test_conjunction(self, ctx):
+        u1 = ctx.unless_from_text(
+            p_of(ctx, lambda s: s["n"] == 1), p_of(ctx, lambda s: s["n"] == 2)
+        )
+        u2 = ctx.stable_from_text(p_of(ctx, lambda s: s["go"]))
+        proof = ctx.conjunction_unless(u1, u2)
+        expected_p = p_of(ctx, lambda s: s["n"] == 1 and s["go"])
+        assert proof.conclusion.p == expected_p
+
+    def test_general_conjunction(self, ctx):
+        p1 = p_of(ctx, lambda s: s["n"] == 1)
+        q1 = p_of(ctx, lambda s: s["n"] == 2)
+        u1 = ctx.unless_from_text(p1, q1)
+        p2 = p_of(ctx, lambda s: s["go"])
+        u2 = ctx.stable_from_text(p2)
+        proof = ctx.general_conjunction_unless(u1, u2)
+        # q' = false kills two disjuncts: consequent is p2 ∧ q1.
+        assert proof.conclusion.q == (p2 & q1)
+
+    def test_cancellation(self, ctx):
+        n1 = p_of(ctx, lambda s: s["n"] == 1)
+        n2 = p_of(ctx, lambda s: s["n"] == 2)
+        n3 = p_of(ctx, lambda s: s["n"] == 3)
+        left = ctx.unless_from_text(n1, n2)
+        right = ctx.unless_from_text(n2, n3)
+        proof = ctx.cancellation_unless(left, right)
+        assert proof.conclusion == Unless(n1 | n2, n3)
+
+    def test_cancellation_middle_mismatch(self, ctx):
+        n1 = p_of(ctx, lambda s: s["n"] == 1)
+        n2 = p_of(ctx, lambda s: s["n"] == 2)
+        n3 = p_of(ctx, lambda s: s["n"] == 3)
+        left = ctx.unless_from_text(n1, n2)
+        right = ctx.unless_from_text(n1 | n2, n3)
+        with pytest.raises(ProofError):
+            ctx.cancellation_unless(left, right)
+
+    def test_general_disjunction(self, ctx):
+        proofs = [
+            ctx.unless_from_text(
+                p_of(ctx, lambda s, k=k: s["n"] == k),
+                p_of(ctx, lambda s, k=k: s["n"] == k + 1),
+            )
+            for k in (0, 1, 2)
+        ]
+        combined = ctx.general_disjunction_unless(proofs)
+        assert isinstance(combined.conclusion, Unless)
+        with pytest.raises(ProofError):
+            ctx.general_disjunction_unless([])
+
+    def test_antecedent_strengthening_sound_form(self, ctx):
+        p = p_of(ctx, lambda s: s["n"] <= 2)
+        q = p_of(ctx, lambda s: s["n"] == 3)
+        base = ctx.unless_from_text(p, q)
+        p_new = p_of(ctx, lambda s: s["n"] == 1)
+        proof = ctx.antecedent_strengthening_unless(base, p_new)
+        # Conclusion: p' unless q ∨ (p ∧ ¬p').
+        assert proof.conclusion.p == p_new
+        assert proof.conclusion.q == (q | (p & ~p_new))
+
+    def test_stable_packaging(self, ctx):
+        u = ctx.unless_from_text(p_of(ctx, lambda s: s["go"]), ctx.false())
+        proof = ctx.stable_from_unless(u)
+        assert isinstance(proof.conclusion, Stable)
+
+    def test_stable_conjunction(self, ctx):
+        s1 = ctx.stable_from_text(p_of(ctx, lambda s: s["go"]))
+        s2 = ctx.stable_from_text(p_of(ctx, lambda s: s["n"] >= 1))
+        proof = ctx.stable_conjunction(s1, s2)
+        assert proof.conclusion.p == p_of(ctx, lambda s: s["go"] and s["n"] >= 1)
+
+
+class TestProgressMetatheorems:
+    def test_promotion_29(self, ctx):
+        e = ctx.ensures_from_text(
+            p_of(ctx, lambda s: s["go"] and s["n"] == 0),
+            p_of(ctx, lambda s: s["n"] >= 1),
+        )
+        proof = ctx.promote_ensures(e)
+        assert isinstance(proof.conclusion, LeadsTo)
+
+    def test_transitivity_30(self, ctx):
+        a = ctx.leads_to_checked(
+            p_of(ctx, lambda s: s["n"] == 0), p_of(ctx, lambda s: s["n"] == 1)
+        )
+        b = ctx.leads_to_checked(
+            p_of(ctx, lambda s: s["n"] == 1), p_of(ctx, lambda s: s["n"] == 3)
+        )
+        proof = ctx.transitivity(a, b)
+        assert proof.conclusion == LeadsTo(
+            p_of(ctx, lambda s: s["n"] == 0), p_of(ctx, lambda s: s["n"] == 3)
+        )
+
+    def test_transitivity_requires_link(self, ctx):
+        a = ctx.leads_to_checked(
+            p_of(ctx, lambda s: s["n"] == 0), p_of(ctx, lambda s: s["n"] == 1)
+        )
+        b = ctx.leads_to_checked(
+            p_of(ctx, lambda s: s["n"] == 2), p_of(ctx, lambda s: s["n"] == 3)
+        )
+        with pytest.raises(ProofError):
+            ctx.transitivity(a, b)
+
+    def test_disjunction_31(self, ctx):
+        target = p_of(ctx, lambda s: s["n"] == 3)
+        parts = [
+            ctx.leads_to_checked(p_of(ctx, lambda s, k=k: s["n"] == k), target)
+            for k in (0, 1, 2)
+        ]
+        proof = ctx.disjunction(parts)
+        assert proof.conclusion.p == p_of(ctx, lambda s: s["n"] <= 2)
+
+    def test_disjunction_requires_common_target(self, ctx):
+        a = ctx.leads_to_checked(
+            p_of(ctx, lambda s: s["n"] == 0), p_of(ctx, lambda s: s["n"] >= 1)
+        )
+        b = ctx.leads_to_checked(
+            p_of(ctx, lambda s: s["n"] == 1), p_of(ctx, lambda s: s["n"] >= 2)
+        )
+        with pytest.raises(ProofError):
+            ctx.disjunction([a, b])
+
+    def test_implication(self, ctx):
+        proof = ctx.implication(
+            p_of(ctx, lambda s: s["n"] == 2), p_of(ctx, lambda s: s["n"] >= 1)
+        )
+        assert isinstance(proof.conclusion, LeadsTo)
+        with pytest.raises(ProofError):
+            ctx.implication(
+                p_of(ctx, lambda s: s["n"] >= 1), p_of(ctx, lambda s: s["n"] == 2)
+            )
+
+    def test_psp(self, ctx):
+        progress = ctx.leads_to_checked(
+            p_of(ctx, lambda s: s["n"] == 0), p_of(ctx, lambda s: s["n"] == 1)
+        )
+        safety = ctx.stable_from_text(p_of(ctx, lambda s: s["go"]))
+        proof = ctx.psp(progress, safety)
+        # (p ∧ r) ↦ (q ∧ r) ∨ false
+        assert proof.conclusion.p == p_of(ctx, lambda s: s["n"] == 0 and s["go"])
+        assert proof.conclusion.q == p_of(ctx, lambda s: s["n"] == 1 and s["go"])
+
+    def test_induction(self, ctx):
+        """↦ by well-founded descent on the distance 3 - n."""
+        target = p_of(ctx, lambda s: s["n"] == 3)
+        go = p_of(ctx, lambda s: s["go"])
+
+        def family(m: int) -> Proof:
+            level = p_of(ctx, lambda s, m=m: s["go"] and (3 - s["n"]) == m)
+            if m == 0:
+                return ctx.implication(level, target)
+            below = p_of(ctx, lambda s, m=m: s["go"] and (3 - s["n"]) < m)
+            return ctx.leads_to_checked(level, below | target)
+
+        proof = ctx.induction(
+            metric=lambda i: 3 - ctx.space.value_at(i, "n"),
+            family=family,
+            values=[0, 1, 2, 3],
+            p=go,
+            q=target,
+        )
+        assert proof.conclusion == LeadsTo(go, target)
+
+    def test_induction_requires_coverage(self, ctx):
+        target = p_of(ctx, lambda s: s["n"] == 3)
+        go = p_of(ctx, lambda s: s["go"])
+        with pytest.raises(ProofError):
+            ctx.induction(
+                metric=lambda i: 3 - ctx.space.value_at(i, "n"),
+                family=lambda m: ctx.implication(target, target),
+                values=[0],
+                p=go,
+                q=target,
+            )
+
+
+class TestSubstitution:
+    def test_rewrite_modulo_si(self, ctx):
+        """n ≥ 1 ≡ (n ≥ 1 ∧ go) on SI: properties may swap the forms."""
+        a = p_of(ctx, lambda s: s["n"] >= 1)
+        b = p_of(ctx, lambda s: s["n"] >= 1 and s["go"])
+        base = ctx.stable_from_text(a)
+        proof = ctx.substitution(base, Stable(b))
+        assert proof.conclusion == Stable(b)
+
+    def test_rejects_inequivalent_rewrites(self, ctx):
+        a = p_of(ctx, lambda s: s["n"] >= 1)
+        c = p_of(ctx, lambda s: s["n"] >= 2)
+        base = ctx.stable_from_text(a)
+        with pytest.raises(ProofError):
+            ctx.substitution(base, Stable(c))
+
+    def test_shape_mismatch_rejected(self, ctx):
+        base = ctx.stable_from_text(p_of(ctx, lambda s: s["go"]))
+        with pytest.raises(ProofError):
+            ctx.substitution(base, Invariant(ctx.true()))
+
+
+class TestProofObjects:
+    def test_size_and_pretty(self, ctx):
+        e = ctx.ensures_from_text(
+            p_of(ctx, lambda s: s["go"] and s["n"] == 0),
+            p_of(ctx, lambda s: s["n"] >= 1),
+        )
+        lt = ctx.promote_ensures(e, note="the paper's (29)")
+        assert lt.size() == 2
+        rendered = lt.pretty()
+        assert "leadsto-promotion(29)" in rendered
+        assert "the paper's (29)" in rendered
+
+    def test_assumptions_collected_transitively(self, ctx):
+        prop = Stable(p_of(ctx, lambda s: s["go"]))
+        ctx2 = ProofContext(ctx.program, assumptions=[prop])
+        leaf = ctx2.assume(prop)
+        u = ctx2.unless_from_text(
+            p_of(ctx, lambda s: s["n"] == 1), p_of(ctx, lambda s: s["n"] == 2)
+        )
+        combined = ctx2.conjunction_unless(u, leaf)
+        assert combined.assumptions() == [prop]

@@ -1,0 +1,156 @@
+"""Meta-soundness of the proof kernel.
+
+Whatever the kernel derives must be semantically valid: every property
+concluded by any chain of rule applications must pass the independent
+semantic checkers (from-text for safety, fair model checking for
+progress).  The hypothesis test below builds random derivations and
+verifies their conclusions — a bug in any rule's side conditions would
+surface as a semantically false conclusion.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import Predicate
+from repro.proofs import (
+    Ensures,
+    Invariant,
+    LeadsTo,
+    Proof,
+    ProofContext,
+    ProofError,
+    Stable,
+    Unless,
+    holds_leads_to,
+    holds_unless,
+)
+from repro.transformers import strongest_invariant
+
+from ..conftest import make_counter_program, random_programs
+
+
+def _semantically_valid(ctx: ProofContext, proof: Proof) -> bool:
+    """Check a conclusion against the independent semantics."""
+    conclusion = proof.conclusion
+    program = ctx.program
+    if isinstance(conclusion, Unless):
+        return holds_unless(program, conclusion.p, conclusion.q, ctx.si)
+    if isinstance(conclusion, Stable):
+        return holds_unless(
+            program, conclusion.p, Predicate.false(ctx.space), ctx.si
+        )
+    if isinstance(conclusion, Ensures):
+        from repro.proofs import holds_ensures
+
+        return holds_ensures(program, conclusion.p, conclusion.q, ctx.si)
+    if isinstance(conclusion, Invariant):
+        return ctx.si.entails(conclusion.p)
+    if isinstance(conclusion, LeadsTo):
+        return holds_leads_to(program, conclusion.p, conclusion.q, ctx.si)
+    raise AssertionError(f"unknown property {conclusion}")
+
+
+def _random_leaf(ctx: ProofContext, rng: random.Random):
+    """Try to create a random valid leaf proof; None if the draw is invalid."""
+    space = ctx.space
+    p = Predicate(space, rng.getrandbits(space.size))
+    q = Predicate(space, rng.getrandbits(space.size))
+    kind = rng.randrange(5)
+    try:
+        if kind == 0:
+            return ctx.unless_from_text(p, q)
+        if kind == 1:
+            return ctx.stable_from_text(p)
+        if kind == 2:
+            return ctx.invariant_by_si(p)
+        if kind == 3:
+            return ctx.leads_to_checked(p, q)
+        return ctx.ensures_from_text(p, q)
+    except ProofError:
+        return None
+
+
+def _random_step(ctx: ProofContext, proofs, rng: random.Random):
+    """Try one random rule application over existing proofs."""
+    space = ctx.space
+    r = Predicate(space, rng.getrandbits(space.size))
+    pick = lambda: rng.choice(proofs)
+    rules = [
+        lambda: ctx.consequence_weakening_unless(pick(), r),
+        lambda: ctx.conjunction_unless(pick(), pick()),
+        lambda: ctx.general_conjunction_unless(pick(), pick()),
+        lambda: ctx.cancellation_unless(pick(), pick()),
+        lambda: ctx.general_disjunction_unless([pick(), pick()]),
+        lambda: ctx.antecedent_strengthening_unless(pick(), r),
+        lambda: ctx.promote_ensures(pick()),
+        lambda: ctx.transitivity(pick(), pick()),
+        lambda: ctx.disjunction([pick(), pick()]),
+        lambda: ctx.consequence_weakening_leads_to(pick(), r),
+        lambda: ctx.antecedent_strengthening_leads_to(pick(), r),
+        lambda: ctx.psp(pick(), pick()),
+        lambda: ctx.implication(r, r | Predicate(space, rng.getrandbits(space.size))),
+        lambda: ctx.invariant_weakening(pick(), r),
+        lambda: ctx.invariant_conjunction(pick(), pick()),
+        lambda: ctx.stable_conjunction(pick(), pick()),
+        lambda: ctx.substitution(pick(), rng.choice([
+            Unless(r, r), Stable(r), Invariant(r), LeadsTo(r, r), Ensures(r, r)
+        ])),
+    ]
+    try:
+        return rng.choice(rules)()
+    except (ProofError, IndexError):
+        return None
+
+
+@given(random_programs(max_vars=2, max_statements=2), st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_random_derivations_are_sound(program, seed):
+    """Fuzz the kernel: anything it accepts must be semantically true."""
+    ctx = ProofContext(program)
+    rng = random.Random(seed)
+    proofs = []
+    for _ in range(10):
+        leaf = _random_leaf(ctx, rng)
+        if leaf is not None:
+            proofs.append(leaf)
+    for _ in range(25):
+        if not proofs:
+            break
+        derived = _random_step(ctx, proofs, rng)
+        if derived is not None:
+            proofs.append(derived)
+    for proof in proofs:
+        assert _semantically_valid(ctx, proof), proof.pretty()
+
+
+def test_auto_strengthening_rule():
+    """The new automatic rule (32)+search: proves exactly the invariants."""
+    program = make_counter_program()
+    ctx = ProofContext(program)
+    si = strongest_invariant(program)
+    valid = Predicate.from_callable(program.space, lambda s: s["go"] or s["n"] == 0)
+    invalid = Predicate.from_callable(program.space, lambda s: s["n"] <= 2)
+    proof = ctx.invariant_by_strengthening(valid)
+    assert proof.conclusion == Invariant(valid)
+    assert si.entails(valid)
+    with pytest.raises(ProofError):
+        ctx.invariant_by_strengthening(invalid)
+
+
+@given(random_programs(max_vars=3, max_statements=3), st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_auto_strengthening_complete(program, seed):
+    """invariant_by_strengthening succeeds iff [SI ⇒ p]."""
+    rng = random.Random(seed)
+    ctx = ProofContext(program)
+    p = Predicate(program.space, rng.getrandbits(program.space.size))
+    expected = ctx.si.entails(p)
+    try:
+        ctx.invariant_by_strengthening(p)
+        proved = True
+    except ProofError:
+        proved = False
+    assert proved == expected

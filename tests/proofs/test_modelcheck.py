@@ -1,0 +1,138 @@
+"""Fair model checking of leads-to: wlt fixpoint vs SCC refuter.
+
+The two algorithms are independent implementations of UNITY's progress
+semantics; the hypothesis test cross-validates them on random programs —
+a disagreement would expose a bug in one of them.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import Predicate
+from repro.proofs import (
+    check_leads_to_both,
+    holds_leads_to,
+    refute_leads_to,
+    wlt,
+)
+from repro.statespace import BoolDomain, IntRangeDomain, space_of
+from repro.unity import Program, assign, const, var
+
+from ..conftest import make_counter_program, program_with_predicates
+
+
+@pytest.fixture
+def program():
+    return make_counter_program()
+
+
+def p_of(program, fn):
+    return Predicate.from_callable(program.space, fn)
+
+
+class TestKnownVerdicts:
+    def test_counter_reaches_top(self, program):
+        """true ↦ n = 3: start must fire (fairness), then ticks must fire."""
+        top = p_of(program, lambda s: s["n"] == 3)
+        assert holds_leads_to(program, Predicate.true(program.space), top)
+        assert refute_leads_to(program, Predicate.true(program.space), top) is None
+
+    def test_unreachable_target_fails(self, program):
+        p = p_of(program, lambda s: s["n"] == 0)
+        q = Predicate.false(program.space)
+        refutation = refute_leads_to(program, p, q)
+        assert refutation is not None
+        assert not holds_leads_to(program, p, q)
+
+    def test_vacuous_antecedent(self, program):
+        assert holds_leads_to(
+            program, Predicate.false(program.space), Predicate.false(program.space)
+        )
+
+    def test_immediate_implication(self, program):
+        p = p_of(program, lambda s: s["n"] == 2)
+        q = p_of(program, lambda s: s["n"] >= 1)
+        assert holds_leads_to(program, p, q)
+
+    def test_fairness_is_essential(self):
+        """Without fairness (i.e. one statement may be starved) progress
+        would fail; UNITY's per-statement fairness makes it hold."""
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        program = Program(
+            space,
+            Predicate.from_callable(space, lambda s: not s["a"] and not s["b"]),
+            [
+                assign("set_a", {"a": const(True)}),
+                assign("toggle_b", {"b": ~var("b")}),
+            ],
+            name="race",
+        )
+        a = Predicate.from_callable(space, lambda s: s["a"])
+        # toggle_b alone would loop forever, but set_a must eventually fire.
+        assert holds_leads_to(program, Predicate.true(space), a)
+
+    def test_refutation_witness_is_meaningful(self, program):
+        p = p_of(program, lambda s: True)
+        q = p_of(program, lambda s: False)
+        refutation = refute_leads_to(program, p, q)
+        # The trap must be closed under every statement.
+        trap = set(refutation.trap)
+        for stmt in program.statements:
+            array = program.successor_array(stmt)
+            assert any(array[i] in trap for i in trap)
+
+
+class TestWltProperties:
+    def test_wlt_contains_target(self, program):
+        q = p_of(program, lambda s: s["n"] >= 2)
+        assert q.entails(wlt(program, q))
+
+    def test_wlt_weakest(self, program):
+        """Every state in wlt.q really leads to q (cross-check by refuter)."""
+        q = p_of(program, lambda s: s["n"] == 3)
+        w = wlt(program, q)
+        assert refute_leads_to(program, w, q) is None
+
+    def test_wlt_maximal(self, program):
+        """No reachable state outside wlt.q leads to q."""
+        from repro.transformers import strongest_invariant
+
+        q = p_of(program, lambda s: False)
+        w = wlt(program, q)
+        si = strongest_invariant(program)
+        outside = si & ~w
+        for i in outside.indices():
+            single = Predicate.from_indices(program.space, [i])
+            assert refute_leads_to(program, single, q) is not None
+
+    def test_states_off_si_vacuously_included(self, program):
+        q = Predicate.false(program.space)
+        w = wlt(program, q)
+        from repro.transformers import strongest_invariant
+
+        si = strongest_invariant(program)
+        assert (~si).entails(w)
+
+
+class TestCrossValidation:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_algorithms_agree_on_random_programs(self, data):
+        program, p, q = data.draw(program_with_predicates(2))
+        # check_leads_to_both raises AssertionError on disagreement.
+        check_leads_to_both(program, p, q)
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_leads_to_transitive_semantically(self, data):
+        program, p, q, r = data.draw(program_with_predicates(3))
+        if holds_leads_to(program, p, q) and holds_leads_to(program, q, r):
+            assert holds_leads_to(program, p, r)
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_leads_to_disjunctive_semantically(self, data):
+        program, p, q, r = data.draw(program_with_predicates(3))
+        if holds_leads_to(program, p, r) and holds_leads_to(program, q, r):
+            assert holds_leads_to(program, p | q, r)

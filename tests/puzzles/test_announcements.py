@@ -1,0 +1,67 @@
+"""The public-announcement engine underlying the puzzles."""
+
+import pytest
+
+from repro.predicates import Predicate, var_true
+from repro.puzzles import (
+    AnnouncementSystem,
+    build_muddy_children,
+    nobody_knows_whether,
+    run_rounds,
+)
+from repro.puzzles.muddy_children import child, muddy_var, questions
+from repro.statespace import BoolDomain, space_of
+
+
+@pytest.fixture
+def system():
+    return build_muddy_children(3)
+
+
+class TestAnnouncementSystem:
+    def test_create_validates_views(self):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        with pytest.raises(KeyError):
+            AnnouncementSystem.create(space, {"P": ["ghost"]}, Predicate.true(space))
+
+    def test_initial_worlds(self, system):
+        # 2^3 − 1: "at least one muddy" excludes the all-clean world.
+        assert system.worlds() == 7
+
+    def test_announce_is_conjunction(self, system):
+        fact = var_true(system.space, muddy_var(0))
+        updated = system.announce(fact)
+        assert updated.possible == (system.possible & fact)
+        # Immutability: the original is untouched.
+        assert system.worlds() == 7
+
+    def test_knows_whether_union(self, system):
+        fact = var_true(system.space, muddy_var(0))
+        kw = system.knows_whether(child(1), fact)
+        op = system.operator()
+        assert kw == (op.knows(child(1), fact) | op.knows(child(1), ~fact))
+
+    def test_operator_reflects_current_possibility(self, system):
+        fact = var_true(system.space, muddy_var(1))
+        shrunk = system.announce(fact)
+        assert shrunk.operator().si == shrunk.possible
+
+
+class TestNobodyKnows:
+    def test_silence_semantics(self, system):
+        qs = questions(system.space, 3)
+        silence = nobody_knows_whether(system, qs)
+        for i in range(3):
+            overlap = silence & system.knows_whether(child(i), qs[child(i)])
+            assert overlap.is_false()
+
+    def test_run_rounds_terminates(self, system):
+        qs = questions(system.space, 3)
+        history, final = run_rounds(system, qs, max_rounds=5)
+        assert history  # at least one round recorded
+        assert final.worlds() <= system.worlds()
+
+    def test_run_rounds_monotone_shrinkage(self, system):
+        qs = questions(system.space, 3)
+        _, final = run_rounds(system, qs, max_rounds=2)
+        assert final.possible.entails(system.possible)

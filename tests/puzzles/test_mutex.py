@@ -1,0 +1,85 @@
+"""Knowledge-based mutual exclusion: multiplicity of eq.-(25) solutions."""
+
+import pytest
+
+from repro.core import is_solution, resolve_at, solve_si
+from repro.predicates import Predicate, var_true
+from repro.proofs import holds_leads_to
+from repro.puzzles import (
+    analyze_mutex,
+    mutual_exclusion,
+    naive_mutex,
+    token_mutex,
+)
+
+
+class TestNaiveMutex:
+    def test_two_solutions(self):
+        report = solve_si(naive_mutex())
+        assert len(report.solutions) == 2
+
+    def test_solutions_are_asymmetric_mirror_images(self):
+        program = naive_mutex()
+        report = solve_si(program)
+        space = program.space
+        cs0_ever = [
+            not (solution & var_true(space, "cs0")).is_false()
+            for solution in report.solutions
+        ]
+        cs1_ever = [
+            not (solution & var_true(space, "cs1")).is_false()
+            for solution in report.solutions
+        ]
+        # Exactly one solution lets each process in.
+        assert sorted(cs0_ever) == [False, True]
+        assert sorted(cs1_ever) == [False, True]
+        assert cs0_ever != cs1_ever
+
+    def test_mutex_in_every_solution(self):
+        analysis = analyze_mutex(naive_mutex())
+        assert analysis.mutex_in_all
+
+    def test_liveness_guaranteed_for_nobody(self):
+        """The paper's "valid for any solution" reading: only properties
+        holding in every solution are guaranteed — progress is not."""
+        analysis = analyze_mutex(naive_mutex())
+        assert analysis.liveness == ((False, True), (True, False)) or (
+            analysis.liveness == ((True, False), (False, True))
+        )
+        assert analysis.liveness_guaranteed == (False, False)
+
+    def test_each_solution_solves_25(self):
+        program = naive_mutex()
+        for solution in solve_si(program).solutions:
+            assert is_solution(program, solution)
+
+
+class TestTokenMutex:
+    def test_unique_solution(self):
+        report = solve_si(token_mutex())
+        assert report.unique
+
+    def test_mutex_and_both_liveness(self):
+        analysis = analyze_mutex(token_mutex())
+        assert analysis.mutex_in_all
+        assert analysis.liveness_guaranteed == (True, True)
+
+    def test_alternation(self):
+        """The token alternates: after P0's exit, P1 enters before P0 again."""
+        program = token_mutex()
+        solution = solve_si(program).strongest()
+        resolved = resolve_at(program, solution)
+        space = program.space
+        cs0 = var_true(space, "cs0")
+        cs1 = var_true(space, "cs1")
+        turn = var_true(space, "turn")
+        # With the token handed over (turn ∧ ¬cs1), P1 enters before the
+        # token returns: (turn ∧ ¬cs0 ∧ ¬cs1) ↦ cs1.
+        handover = turn & ~cs0 & ~cs1
+        assert holds_leads_to(resolved, handover, cs1, solution)
+
+    def test_mutual_exclusion_predicate(self):
+        program = token_mutex()
+        both_in = ~mutual_exclusion(program)
+        solution = solve_si(program).strongest()
+        assert (solution & both_in).is_false()

@@ -1,0 +1,105 @@
+"""Muddy children & cheating husbands: announcement dynamics = SI strengthening."""
+
+import itertools
+
+import pytest
+
+from repro.predicates import Predicate, var_true
+from repro.puzzles import (
+    AnnouncementSystem,
+    analyze_cheating_husbands,
+    analyze_muddy_children,
+    build_cheating_husbands,
+    build_muddy_children,
+    cheating_husbands_theorem,
+    muddy_children_theorem,
+    nobody_knows_whether,
+)
+from repro.puzzles.muddy_children import child, muddy_var
+
+
+class TestAnnouncementSystem:
+    def test_announcement_shrinks_worlds(self):
+        system = build_muddy_children(3)
+        before = system.worlds()
+        questions = {
+            child(i): var_true(system.space, muddy_var(i)) for i in range(3)
+        }
+        silence = nobody_knows_whether(system, questions)
+        after = system.announce(silence).worlds()
+        assert after < before
+
+    def test_announcements_only_add_knowledge(self):
+        """Eq. (20) in action: strengthening SI is anti-monotone for K."""
+        system = build_muddy_children(3)
+        fact = var_true(system.space, muddy_var(0))
+        questions = {
+            child(i): var_true(system.space, muddy_var(i)) for i in range(3)
+        }
+        before = system.knows(child(1), fact)
+        announced = system.announce(nobody_knows_whether(system, questions))
+        after = announced.knows(child(1), fact)
+        assert (before & announced.possible).entails(after)
+
+    def test_common_knowledge_of_announced_fact(self):
+        system = build_muddy_children(2)
+        # "At least one muddy" is common knowledge from the start.
+        ck = system.common_knowledge(
+            [child(0), child(1)], system.possible
+        )
+        assert (ck & system.possible) == system.possible
+
+
+class TestMuddyChildren:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_classical_theorem(self, n):
+        assert muddy_children_theorem(n)
+
+    def test_single_muddy_child_knows_immediately(self):
+        result = analyze_muddy_children((True, False, False))
+        assert result.first_round_known(0) == 0
+
+    def test_clean_child_learns_one_round_later(self):
+        """After the muddy children step forward, the clean ones know too."""
+        result = analyze_muddy_children((True, True, False))
+        assert result.first_round_known(0) == 1
+        assert result.first_round_known(1) == 1
+        assert result.first_round_known(2) == 2
+
+    def test_all_muddy(self):
+        result = analyze_muddy_children((True, True, True))
+        assert all(result.first_round_known(i) == 2 for i in range(3))
+
+    def test_father_must_tell_the_truth(self):
+        with pytest.raises(ValueError):
+            analyze_muddy_children((False, False))
+
+
+class TestCheatingHusbands:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_mdh86_theorem(self, n):
+        assert cheating_husbands_theorem(n)
+
+    def test_shootings_on_night_m(self):
+        for bits in itertools.product([False, True], repeat=3):
+            if not any(bits):
+                continue
+            schedule = analyze_cheating_husbands(bits)
+            m = sum(bits)
+            for i, cheats in enumerate(bits):
+                assert schedule.shot_on_night[i] == (m if cheats else -1)
+
+    def test_queen_must_tell_the_truth(self):
+        with pytest.raises(ValueError):
+            analyze_cheating_husbands((False, False, False))
+
+    def test_isomorphic_to_muddy_children_rounds(self):
+        """Nights map to rounds: shot night = first-known round + 1."""
+        for bits in itertools.product([False, True], repeat=3):
+            if not any(bits):
+                continue
+            schedule = analyze_cheating_husbands(bits)
+            muddy = analyze_muddy_children(bits)
+            for i, cheats in enumerate(bits):
+                if cheats:
+                    assert schedule.shot_on_night[i] == muddy.first_round_known(i) + 1

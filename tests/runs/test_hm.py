@@ -1,0 +1,111 @@
+"""Halpern–Moses view-based knowledge vs the predicate transformer (§3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KnowledgeOperator
+from repro.predicates import Predicate, var_true
+from repro.runs import (
+    agreement_with_transformer,
+    bfs_reachable,
+    diameter,
+    history_strictly_stronger,
+    hm_knows,
+    hm_knows_with_history,
+    view_of,
+)
+from repro.statespace import BoolDomain, space_of
+from repro.unity import Program, assign, const, var
+
+from ..conftest import make_counter_program, program_with_predicates
+
+
+@pytest.fixture
+def program():
+    return make_counter_program()
+
+
+class TestStateViewKnowledge:
+    def test_view_is_projection(self, program):
+        state = program.space.index_of({"go": True, "n": 2})
+        assert view_of(program, "Clock", state) == (2,)
+        assert view_of(program, "Ctl", state) == (True,)
+
+    def test_hm_semantics_by_hand(self, program):
+        """Clock (sees n) knows go exactly when its n-value forces go on SI."""
+        go = var_true(program.space, "go")
+        knowledge = hm_knows(program, "Clock", go)
+        reach = bfs_reachable(program)
+        for i in reach.indices():
+            n_value = program.space.value_at(i, "n")
+            same_view = [
+                j for j in reach.indices() if program.space.value_at(j, "n") == n_value
+            ]
+            expected = all(go.holds_at(j) for j in same_view)
+            assert knowledge.holds_at(i) == expected
+
+    def test_agreement_theorem_counter(self, program):
+        for fn in (
+            lambda s: s["go"],
+            lambda s: s["n"] >= 1,
+            lambda s: s["go"] and s["n"] == 0,
+        ):
+            p = Predicate.from_callable(program.space, fn)
+            assert agreement_with_transformer(program, "Clock", p)
+            assert agreement_with_transformer(program, "Ctl", p)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_theorem_random(self, data):
+        """The §3 equivalence, on random programs and random facts."""
+        program, p = data.draw(program_with_predicates(1))
+        for process in program.processes:
+            assert agreement_with_transformer(program, process, p)
+
+    def test_hm_false_off_reachable(self, program):
+        p = Predicate.true(program.space)
+        knowledge = hm_knows(program, "Clock", p)
+        unreachable = ~bfs_reachable(program)
+        assert (knowledge & unreachable).is_false()
+
+
+class TestHistoryViews:
+    def _two_phase_program(self):
+        """b records "a was ever set"; an observer of nothing benefits from
+        history: seeing the *sequence* of views distinguishes time."""
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        return Program(
+            space,
+            Predicate.from_callable(space, lambda s: not s["a"] and not s["b"]),
+            [
+                assign("set_a", {"a": const(True)}),
+                assign("clear_a", {"a": const(False), "b": const(True)}, guard=var("a")),
+            ],
+            processes={"Watcher": ("a",)},
+            name="two-phase",
+        )
+
+    def test_history_at_least_as_strong(self, program):
+        p = var_true(program.space, "go")
+        depth = min(diameter(program), 3)
+        state_k = hm_knows(program, "Clock", p)
+        by_history = hm_knows_with_history(program, "Clock", p, depth)
+        for point, knows in by_history.items():
+            if state_k.holds_at(point.state):
+                assert knows
+
+    def test_history_strictly_stronger_example(self):
+        """Watcher sees a; after observing a=T then a=F it knows b, though
+        the state view a=F alone cannot distinguish b."""
+        program = self._two_phase_program()
+        b = var_true(program.space, "b")
+        gains = history_strictly_stronger(program, "Watcher", b, depth=2)
+        assert gains  # at least one point where history beats the state view
+
+    def test_no_gain_when_state_encodes_history(self, program):
+        """In the counter, Ctl's view (go) already determines everything it
+        could learn about go-facts."""
+        go = var_true(program.space, "go")
+        gains = history_strictly_stronger(program, "Ctl", go, depth=2)
+        assert gains == []

@@ -1,0 +1,118 @@
+"""Knowledge-acquisition profiles ("how processes learn", [CM86])."""
+
+import pytest
+
+from repro.core import KnowledgeOperator
+from repro.predicates import Predicate, disjunction, var_true
+from repro.runs import knowledge_onset_by_depth, time_to_knowledge
+from repro.seqtrans import SeqTransParams, bounded_loss, build_standard_protocol
+from repro.seqtrans.standard import fact_x_k
+from repro.transformers import strongest_invariant
+
+from ..conftest import make_counter_program
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    params = SeqTransParams(length=1)
+    program = build_standard_protocol(params, bounded_loss(1))
+    si = strongest_invariant(program)
+    operator = KnowledgeOperator.of_program(program, si)
+    return program, operator
+
+
+class TestOnsetProfile:
+    def test_counts_cover_reachable_set(self, protocol):
+        program, operator = protocol
+        fact = fact_x_k(program.space, 0, "a")
+        profile = knowledge_onset_by_depth(program, "Receiver", fact, operator)
+        si = strongest_invariant(program)
+        assert sum(profile.new_states) == si.count()
+
+    def test_receiver_does_not_know_initially(self, protocol):
+        """No a priori information: depth 0 carries no knowledge of x_0."""
+        program, operator = protocol
+        fact = fact_x_k(program.space, 0, "a")
+        profile = knowledge_onset_by_depth(program, "Receiver", fact, operator)
+        assert profile.knowing[0] == 0
+        assert profile.earliest_onset() is not None
+        assert profile.earliest_onset() >= 2  # transmit, then receive
+
+    def test_apriori_shifts_onset_to_zero(self):
+        """With x_0 known a priori the Receiver knows from the start."""
+        params = SeqTransParams(length=1, apriori={0: "a"})
+        program = build_standard_protocol(params, bounded_loss(1))
+        fact = fact_x_k(program.space, 0, "a")
+        profile = knowledge_onset_by_depth(program, "Receiver", fact)
+        assert profile.earliest_onset() == 0
+        assert profile.knowing[0] == profile.new_states[0]
+
+    def test_fractions_well_formed(self, protocol):
+        program, operator = protocol
+        fact = fact_x_k(program.space, 0, "a")
+        profile = knowledge_onset_by_depth(program, "Receiver", fact, operator)
+        for fraction in profile.fraction_by_depth():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_counter_program_onset(self):
+        """Ctl (sees go) knows go as soon as it is set — depth 1."""
+        program = make_counter_program()
+        go = var_true(program.space, "go")
+        profile = knowledge_onset_by_depth(program, "Ctl", go)
+        assert profile.knowing[0] == 0
+        assert profile.earliest_onset() == 1
+
+
+class TestTimeToKnowledge:
+    def test_knowing_the_value_always_attained(self, protocol):
+        """K_R x_0 (some value) is eventually attained in every fair run."""
+        program, operator = protocol
+        space = program.space
+        knows_value = disjunction(
+            space,
+            [
+                operator.knows("Receiver", fact_x_k(space, 0, alpha))
+                for alpha in ("a", "b")
+            ],
+        )
+        samples = []
+        from repro.sim import Executor
+
+        for seed in range(10):
+            result = Executor(program, seed=seed).run(knows_value, max_steps=20_000)
+            samples.append(result.reached)
+        assert all(samples)
+
+    def test_never_attained_reported(self):
+        program = make_counter_program()
+        impossible = Predicate.false(program.space)
+        result = time_to_knowledge(
+            program, "Ctl", impossible, runs=3, seed=0, max_steps=50
+        )
+        assert result.attained == 0
+        assert result.quantile(0.5) == -1
+
+
+class TestEpistemicDepth:
+    def test_first_vs_second_order(self, protocol):
+        """Cleaner version: time to (∃α K_R(x₀=α)) < time to K_S(∃α K_R…)."""
+        program, operator = protocol
+        space = program.space
+        knows_value = disjunction(
+            space,
+            [
+                operator.knows("Receiver", fact_x_k(space, 0, alpha))
+                for alpha in ("a", "b")
+            ],
+        )
+        from repro.sim import Executor
+
+        k_s = operator.knows("Sender", knows_value)
+        firsts, seconds = [], []
+        for seed in range(8):
+            run1 = Executor(program, seed=seed).run(knows_value, max_steps=20_000)
+            run2 = Executor(program, seed=seed).run(k_s, max_steps=20_000)
+            assert run1.reached and run2.reached
+            firsts.append(run1.steps)
+            seconds.append(run2.steps)
+        assert sum(seconds) > sum(firsts)

@@ -1,0 +1,87 @@
+"""Runs, points, reachability — the operational side."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.runs import (
+    Point,
+    Run,
+    bfs_reachable,
+    diameter,
+    generate_runs,
+    reachable_points,
+    states_in_runs,
+)
+from repro.transformers import strongest_invariant
+
+from ..conftest import make_counter_program, random_programs
+
+
+@pytest.fixture
+def program():
+    return make_counter_program()
+
+
+class TestRunStructure:
+    def test_run_shape_invariant(self):
+        with pytest.raises(ValueError):
+            Run(states=(0, 1), statements=())
+
+    def test_point_bounds(self):
+        run = Run(states=(0, 1, 2), statements=("a", "b"))
+        assert run.point(0).state == 0
+        assert run.point(2).state == 2
+        with pytest.raises(ValueError):
+            run.point(3)
+
+    def test_history(self):
+        run = Run(states=(0, 1, 2), statements=("a", "b"))
+        assert run.point(1).history() == (0, 1)
+
+
+class TestGeneration:
+    def test_counts(self, program):
+        """|runs| = |init| × |statements|^depth."""
+        n_init = program.init.count()
+        n_statements = len(program.statements)
+        for depth in (0, 1, 2, 3):
+            runs = generate_runs(program, depth)
+            assert len(runs) == n_init * n_statements ** depth
+
+    def test_runs_follow_transitions(self, program):
+        for run in generate_runs(program, 3):
+            for t, name in enumerate(run.statements):
+                stmt = program.statement(name)
+                array = program.successor_array(stmt)
+                assert run.states[t + 1] == array[run.states[t]]
+
+    def test_cap_enforced(self, program):
+        with pytest.raises(ValueError):
+            generate_runs(program, 20, max_runs=100)
+
+    def test_reachable_points_count(self, program):
+        points = reachable_points(program, 2)
+        runs = generate_runs(program, 2)
+        assert len(points) == len(runs) * 3
+
+
+class TestReachability:
+    def test_bfs_equals_si(self, program):
+        assert bfs_reachable(program) == strongest_invariant(program)
+
+    @given(random_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_equals_si_random(self, program):
+        assert bfs_reachable(program) == strongest_invariant(program)
+
+    def test_runs_cover_reachable_at_diameter(self, program):
+        d = diameter(program)
+        covered = states_in_runs(generate_runs(program, d))
+        assert covered == set(bfs_reachable(program).indices())
+
+    def test_shallow_runs_cover_less(self, program):
+        d = diameter(program)
+        assert d > 1
+        shallow = states_in_runs(generate_runs(program, 1))
+        full = set(bfs_reachable(program).indices())
+        assert shallow < full

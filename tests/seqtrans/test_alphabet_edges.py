@@ -1,0 +1,85 @@
+"""Alphabet-size edge cases — the paper's §6.3 "A has at least two elements".
+
+Figure 4 instantiates the knowledge-based protocol "provided that there is
+no a priori information about x other than A, **and A has at least two
+elements**".  A singleton alphabet is implicit a priori information about
+every element, so the instantiation must fail exactly the way §6.4's
+explicit a priori information makes it fail — while a three-symbol
+alphabet behaves like the two-symbol one.
+"""
+
+import pytest
+
+from repro.seqtrans import (
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    build_standard_protocol,
+    check_instantiation,
+    check_spec,
+)
+
+
+class TestSingletonAlphabet:
+    PARAMS = SeqTransParams(alphabet=("a",), length=1)
+
+    def test_protocol_still_correct(self):
+        program = build_standard_protocol(self.PARAMS, bounded_loss(1))
+        assert check_spec(program, self.PARAMS).satisfied
+
+    def test_instantiation_fails(self):
+        """|A| = 1 ⇒ everyone knows every x_k from the start ⇒ the guards
+        (50)/(51) are strictly stronger than real knowledge."""
+        report = check_instantiation(self.PARAMS, RELIABLE)
+        assert report.sufficient
+        assert not report.instantiates
+
+    def test_receiver_knows_everything_initially(self):
+        from repro.core import KnowledgeOperator
+        from repro.seqtrans.standard import fact_x_k
+        from repro.transformers import strongest_invariant
+
+        program = build_standard_protocol(self.PARAMS, RELIABLE)
+        si = strongest_invariant(program)
+        operator = KnowledgeOperator.of_program(program, si)
+        fact = fact_x_k(program.space, 0, "a")
+        assert si.entails(operator.knows("Receiver", fact))
+
+    def test_solved_kbp_sends_no_data(self):
+        from repro.seqtrans import solve_kbp
+        from repro.statespace import BOT
+
+        solution = solve_kbp(self.PARAMS, RELIABLE)
+        assert solution is not None
+        for state in solution.si.states():
+            assert state["cs"] is BOT
+
+
+class TestThreeSymbolAlphabet:
+    PARAMS = SeqTransParams(alphabet=("a", "b", "c"), length=1)
+
+    def test_spec_satisfied(self):
+        program = build_standard_protocol(self.PARAMS, bounded_loss(1))
+        assert check_spec(program, self.PARAMS).satisfied
+
+    def test_instantiation_holds(self):
+        report = check_instantiation(self.PARAMS, RELIABLE)
+        assert report.instantiates
+
+    def test_deliver_family_scales(self):
+        program = build_standard_protocol(self.PARAMS, RELIABLE)
+        deliver_names = {
+            s.name for s in program.statements if s.name.startswith("rcv_deliver")
+        }
+        assert deliver_names == {
+            "rcv_deliver_a",
+            "rcv_deliver_b",
+            "rcv_deliver_c",
+        }
+
+    def test_proofs_replay(self):
+        from repro.seqtrans import prove_all_standard, prove_liveness
+
+        program = build_standard_protocol(self.PARAMS, RELIABLE)
+        assert prove_all_standard(program, self.PARAMS).total_steps() > 0
+        assert prove_liveness(program, self.PARAMS).total_steps() > 0

@@ -1,0 +1,70 @@
+"""§6.4 quantitatively: KBP solutions and the message savings."""
+
+import pytest
+
+from repro.seqtrans import (
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    check_spec,
+    compare_with_apriori,
+    solve_kbp,
+)
+
+
+class TestSolveKbp:
+    def test_converges_without_apriori(self):
+        solution = solve_kbp(SeqTransParams(length=1), RELIABLE)
+        assert solution is not None
+        assert solution.iterations >= 1
+        assert not solution.resolved.is_knowledge_based()
+
+    def test_solution_solves_equation_25(self):
+        from repro.core import is_solution
+        from repro.seqtrans import build_kbp_protocol
+
+        params = SeqTransParams(length=1)
+        kbp = build_kbp_protocol(params, RELIABLE)
+        solution = solve_kbp(params, RELIABLE)
+        assert is_solution(kbp, solution.si)
+
+    def test_resolved_protocol_satisfies_spec(self):
+        params = SeqTransParams(length=1)
+        solution = solve_kbp(params, bounded_loss(1))
+        report = check_spec(solution.resolved, params, si=solution.si)
+        assert report.satisfied
+
+    def test_full_apriori_needs_no_data_communication(self):
+        """All of x known a priori: no data message is ever transmitted and
+        no pre-completion ack is ever sent.
+
+        (The paper's unbounded protocol has "no communication or
+        synchronization at all"; the bounded model keeps one completion
+        ack ``j = L`` by design — see the endgame note in
+        :mod:`repro.seqtrans.kbp_protocol`.)
+        """
+        params = SeqTransParams(length=1, apriori={0: "a"})
+        solution = solve_kbp(params, RELIABLE)
+        from repro.statespace import BOT
+
+        for state in solution.si.states():
+            assert state["cs"] is BOT  # the data channel is never used
+            assert state["cr"] is BOT or state["cr"] == params.length
+
+
+class TestMessageSavings:
+    def test_no_apriori_no_savings(self):
+        params = SeqTransParams(length=1)
+        comparison = compare_with_apriori(params, RELIABLE, runs=10, seed=7)
+        assert comparison.standard_correct and comparison.kbp_correct
+        assert comparison.savings == pytest.approx(0.0, abs=1e-9)
+
+    def test_apriori_saves_every_message(self):
+        """L = 1 with x_0 known: the KBP-consistent protocol sends nothing,
+        the standard protocol still does its send/ack round."""
+        params = SeqTransParams(length=1, apriori={0: "a"})
+        comparison = compare_with_apriori(params, RELIABLE, runs=10, seed=7)
+        assert comparison.standard_correct and comparison.kbp_correct
+        assert comparison.kbp_messages == 0.0
+        assert comparison.standard_messages > 0.0
+        assert comparison.savings > 0.0

@@ -1,0 +1,67 @@
+"""Channel models: variables, statements, budgets."""
+
+import pytest
+
+from repro.seqtrans import LOSSY, RELIABLE, ChannelKind, ChannelSpec, bounded_loss
+from repro.statespace import BOT, BoolDomain, IntRangeDomain, TupleDomain
+
+
+class TestSpecValidation:
+    def test_bounded_needs_budget(self):
+        with pytest.raises(ValueError):
+            ChannelSpec(ChannelKind.BOUNDED_LOSS, budget=0)
+
+    def test_presets(self):
+        assert RELIABLE.kind is ChannelKind.RELIABLE
+        assert LOSSY.kind is ChannelKind.LOSSY
+        assert bounded_loss(2).budget == 2
+
+
+class TestStateContribution:
+    def test_reliable_variables(self):
+        variables = RELIABLE.slot_variables(BoolDomain(), IntRangeDomain(0, 1))
+        assert [v.name for v in variables] == ["cs", "cr"]
+
+    def test_bounded_adds_budgets(self):
+        variables = bounded_loss(3).slot_variables(BoolDomain(), BoolDomain())
+        assert [v.name for v in variables] == ["cs", "cr", "bs", "br"]
+        assert len(variables[2].domain) == 4  # 0..3
+
+    def test_initial_assignment(self):
+        init = bounded_loss(2).initial_assignment()
+        assert init == {"cs": BOT, "cr": BOT, "bs": 2, "br": 2}
+        assert RELIABLE.initial_assignment() == {"cs": BOT, "cr": BOT}
+
+
+class TestStatements:
+    def test_reliable_has_no_environment(self):
+        assert RELIABLE.environment_statements() == []
+
+    def test_lossy_loses_unconditionally(self):
+        statements = LOSSY.environment_statements()
+        assert {s.name for s in statements} == {"lose_data", "lose_ack"}
+        lose = statements[0]
+        out = lose.apply({"cs": (0, "a"), "cr": BOT})
+        assert out["cs"] is BOT
+
+    def test_bounded_loss_meters_budget(self):
+        statements = bounded_loss(1).environment_statements()
+        lose = next(s for s in statements if s.name == "lose_data")
+        charged = lose.apply({"cs": (0, "a"), "bs": 1, "cr": BOT, "br": 1})
+        assert charged["cs"] is BOT and charged["bs"] == 0
+        # Exhausted budget: the guard fails, losing becomes a skip.
+        blocked = lose.apply({"cs": (0, "a"), "bs": 0, "cr": BOT, "br": 1})
+        assert blocked["cs"] == (0, "a")
+
+    def test_receive_refills_budget(self):
+        updates = bounded_loss(2).receive_data_updates()
+        assert set(updates) == {"zp", "bs"}
+        # Successful receive resets bs; empty slot leaves it alone.
+        probe = {"cs": (1, "b"), "bs": 0}
+        assert updates["bs"].eval(probe) == 2
+        probe_empty = {"cs": BOT, "bs": 1}
+        assert updates["bs"].eval(probe_empty) == 1
+
+    def test_receive_target_names(self):
+        assert "za" in bounded_loss(1).receive_ack_updates(target="za")
+        assert "zb" in RELIABLE.receive_data_updates(target="zb")

@@ -1,0 +1,69 @@
+"""The common-knowledge hierarchy on the transmission protocols."""
+
+import pytest
+
+from repro.core import KnowledgeOperator
+from repro.seqtrans import (
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    build_standard_protocol,
+    safety_predicate,
+)
+from repro.seqtrans.common_knowledge import knowledge_hierarchy
+from repro.seqtrans.standard import fact_x_k
+from repro.transformers import strongest_invariant
+
+PARAMS = SeqTransParams(length=1)
+
+
+@pytest.fixture(scope="module")
+def reliable_instance():
+    program = build_standard_protocol(PARAMS, RELIABLE)
+    si = strongest_invariant(program)
+    return program, si, KnowledgeOperator.of_program(program, si)
+
+
+class TestHierarchy:
+    def test_receiver_learns_but_common_never(self, reliable_instance):
+        program, si, operator = reliable_instance
+        hierarchy = knowledge_hierarchy(program, PARAMS)
+        assert hierarchy.individual[1] > 0
+        assert hierarchy.common == 0
+
+    def test_levels_strictly_shrink_before_empty(self, reliable_instance):
+        program, _, _ = reliable_instance
+        hierarchy = knowledge_hierarchy(program, PARAMS)
+        assert hierarchy.e_levels[0] > hierarchy.e_levels[1] >= hierarchy.common
+
+    def test_impossibility_holds_on_all_channels(self):
+        for channel in (RELIABLE, bounded_loss(1)):
+            program = build_standard_protocol(PARAMS, channel)
+            hierarchy = knowledge_hierarchy(program, PARAMS)
+            assert not hierarchy.common_knowledge_attained
+
+    def test_e_level_contains_next(self, reliable_instance):
+        """E^{n+1} ⊆ E^n as predicates, not just counts."""
+        program, si, operator = reliable_instance
+        fact = fact_x_k(program.space, 0, "a")
+        group = ["Sender", "Receiver"]
+        level = operator.everyone_knows(group, fact)
+        for _ in range(3):
+            next_level = operator.everyone_knows(group, fact & level)
+            assert (next_level & si).entails(level & si)
+            level = next_level
+
+
+class TestCommonKnowledgeOfInvariants:
+    def test_invariants_are_common_knowledge(self, reliable_instance):
+        program, si, operator = reliable_instance
+        safety = safety_predicate(program.space)
+        common = operator.common_knowledge(["Sender", "Receiver"], safety)
+        assert si.entails(common)
+
+    def test_common_knowledge_is_fixpoint(self, reliable_instance):
+        program, si, operator = reliable_instance
+        fact = fact_x_k(program.space, 0, "a")
+        group = ["Sender", "Receiver"]
+        common = operator.common_knowledge(group, fact)
+        assert common == operator.everyone_knows(group, fact & common)

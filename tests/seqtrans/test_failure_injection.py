@@ -1,0 +1,179 @@
+"""Failure injection: deliberately broken designs must be caught.
+
+Each test reconstructs a *wrong* variant of a protocol or channel — the
+kind of bug the model checker caught during this reproduction's own
+development — and asserts the verification machinery rejects it.  These
+double as regression tests for the checkers' sensitivity.
+"""
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.proofs import refute_leads_to
+from repro.seqtrans import (
+    SeqTransParams,
+    bounded_loss,
+    build_standard_protocol,
+    check_spec,
+)
+from repro.seqtrans.spec import w_length_eq, w_length_gt
+from repro.statespace import BOT
+from repro.unity import Length, Proj, Statement, const, lnot, var
+
+
+PARAMS = SeqTransParams(length=1)
+
+
+def _replace_statement(program, name, **changes):
+    """A copy of the program with one statement rebuilt."""
+    replaced = []
+    for stmt in program.statements:
+        if stmt.name == name:
+            replaced.append(
+                Statement(
+                    name=stmt.name,
+                    targets=changes.get("targets", stmt.targets),
+                    exprs=changes.get("exprs", stmt.exprs),
+                    guard=changes.get("guard", stmt.guard),
+                )
+            )
+        else:
+            replaced.append(stmt)
+    return program.with_statements(replaced, name_suffix="@injected")
+
+
+class TestChannelDesignNecessity:
+    def test_budget_reset_is_essential(self):
+        """A bounded-loss channel whose budget never replenishes degrades to
+        finitely-many losses total — liveness still holds, but the converse
+        injection (losses never *charged*) breaks it."""
+        program = build_standard_protocol(PARAMS, bounded_loss(1))
+        # Remove the budget charge from lose_data: it becomes a free,
+        # unbounded loss — the fairness assumption is gone.
+        lose = program.statement("lose_data")
+        broken = _replace_statement(
+            program,
+            "lose_data",
+            targets=("cs",),
+            exprs=(const(BOT),),
+            guard=var("cs").ne(const(BOT)),
+        )
+        report = check_spec(broken, PARAMS)
+        assert report.safety_holds
+        assert not report.liveness_all
+
+    def test_budget_charge_on_ack_loss_too(self):
+        """Symmetric injection on the ack channel.
+
+        At L = 1 delivery liveness survives (the sender never needs an ack
+        to keep retransmitting x_0) — what dies is the sender ever
+        *learning* the transmission completed: ``true ↦ z = 1`` fails,
+        i.e. (Kbp-2)'s conclusion ``K_S(j ≥ k)`` is never attained.
+        """
+        program = build_standard_protocol(PARAMS, bounded_loss(1))
+        broken = _replace_statement(
+            program,
+            "lose_ack",
+            targets=("cr",),
+            exprs=(const(BOT),),
+            guard=var("cr").ne(const(BOT)),
+        )
+        report = check_spec(broken, PARAMS)
+        assert report.satisfied  # delivery itself is fine at L = 1 ...
+        space = broken.space
+        acked = Predicate.from_callable(space, lambda s: s["z"] == 1)
+        refutation = refute_leads_to(broken, Predicate.true(space), acked)
+        assert refutation is not None  # ... but the ack never arrives
+
+
+class TestProtocolBugsCaught:
+    def test_stenning_ack_on_receipt_bug(self):
+        """The development bug: acking *received* (not delivered) messages
+        lets the ack overtake delivery; the element is stranded."""
+        from repro.seqtrans.stenning import build_stenning
+
+        correct = build_stenning(PARAMS, bounded_loss(1))
+        # Re-break it: ack whenever the mailbox is non-empty.
+        broken = _replace_statement(
+            correct,
+            "st_rcv_ack",
+            guard=var("zb").ne(const(BOT)),
+        )
+        # ... and let the idle receive also fire under a held message,
+        # restoring the racy overwrite.
+        broken = _replace_statement(
+            broken,
+            "st_rcv_idle",
+            guard=var("zb").ne(const("never")),  # i.e. always enabled
+        )
+        report = check_spec(broken, PARAMS)
+        assert report.safety_holds  # never delivers *wrong* data ...
+        assert not report.liveness_all  # ... but can fail to deliver at all
+
+    def test_receiver_overwrite_race(self):
+        """Figure 4 variant where rcv_ack receives even while holding the
+        deliverable message — the deliverable can be overwritten forever."""
+        program = build_standard_protocol(PARAMS, bounded_loss(1))
+        broken = _replace_statement(
+            program,
+            "rcv_ack",
+            guard=lnot(var("zp").eq(const("never-this-value"))),  # always on
+        )
+        report = check_spec(broken, PARAMS)
+        assert not report.liveness_all
+
+    def test_wrong_delivery_index_breaks_safety(self):
+        """Delivering without matching the expected index corrupts w ⊑ x."""
+        program = build_standard_protocol(SeqTransParams(length=2), bounded_loss(1))
+        deliver = program.statement("rcv_deliver_a")
+        # Drop the zp = (j, α) conjunct: deliver 'a' whenever any message
+        # for any index is held.
+        broken = _replace_statement(
+            program,
+            "rcv_deliver_a",
+            guard=(var("j") < const(2))
+            & (Length(var("w")) < const(2))
+            & (var("zp").ne(const(BOT))),
+        )
+        report = check_spec(broken, SeqTransParams(length=2))
+        assert not report.safety_holds
+
+    def test_premature_advance_strands_element(self):
+        """Sender advancing without the ack races past undelivered data."""
+        program = build_standard_protocol(SeqTransParams(length=2), bounded_loss(1))
+        broken = _replace_statement(
+            program,
+            "snd_next",
+            guard=var("i") < const(1),  # advance whenever possible
+        )
+        report = check_spec(broken, SeqTransParams(length=2))
+        # Safety still holds (delivery remains guarded) but progress dies:
+        # the receiver may wait forever for an element no longer sent.
+        assert report.safety_holds
+        assert not report.liveness_all
+
+
+class TestRefuterWitnessQuality:
+    def test_witness_traces_to_initial_state(self):
+        """The refutation's start state is reachable and satisfies p."""
+        program = build_standard_protocol(PARAMS, bounded_loss(1))
+        broken = _replace_statement(
+            program,
+            "lose_data",
+            targets=("cs",),
+            exprs=(const(BOT),),
+            guard=var("cs").ne(const(BOT)),
+        )
+        space = broken.space
+        refutation = refute_leads_to(
+            broken, w_length_eq(space, 0), w_length_gt(space, 0)
+        )
+        assert refutation is not None
+        from repro.transformers import strongest_invariant
+
+        si = strongest_invariant(broken)
+        assert si.holds_at(refutation.start)
+        assert w_length_eq(space, 0).holds_at(refutation.start)
+        # Every trap state still has the element undelivered.
+        for i in refutation.trap:
+            assert w_length_eq(space, 0).holds_at(i)

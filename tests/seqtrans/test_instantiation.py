@@ -1,0 +1,80 @@
+"""§6.3/§6.4: the standard protocol instantiates the KBP — until a priori info."""
+
+import pytest
+
+from repro.seqtrans import (
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    build_kbp_protocol,
+    check_instantiation,
+    k_r_value,
+    k_s_k_r,
+    proposed_resolution,
+)
+
+
+@pytest.fixture(scope="module")
+def no_apriori():
+    return check_instantiation(SeqTransParams(length=1), bounded_loss(1))
+
+
+@pytest.fixture(scope="module")
+def with_apriori():
+    return check_instantiation(
+        SeqTransParams(length=1, apriori={0: "a"}), bounded_loss(1)
+    )
+
+
+class TestWithoutApriori:
+    def test_instantiates(self, no_apriori):
+        assert no_apriori.sufficient
+        assert no_apriori.instantiates
+        assert no_apriori.transitions_match
+
+    def test_every_term_exact(self, no_apriori):
+        for term in no_apriori.terms:
+            assert term.exact, term.label
+            assert term.sufficient, term.label
+
+
+class TestWithApriori:
+    def test_still_sufficient(self, with_apriori):
+        """§6.4: the protocol stays correct — proposed ⇒ actual knowledge."""
+        assert with_apriori.sufficient
+
+    def test_no_longer_instantiates(self, with_apriori):
+        """§6.4: ... but it is no longer an instantiation of the KBP."""
+        assert not with_apriori.instantiates
+
+    def test_mismatch_is_where_expected(self, with_apriori):
+        """The known element x_0 = 'a' is exactly where exactness fails."""
+        inexact = {t.label for t in with_apriori.terms if not t.exact}
+        assert "K_R(x_0 = 'a')" in inexact
+        # The a priori *false* value stays exact (nobody can know x_0 = 'b').
+        exact = {t.label for t in with_apriori.terms if t.exact}
+        assert "K_R(x_0 = 'b')" in exact
+
+    def test_actual_knowledge_strictly_wider(self, with_apriori):
+        for term in with_apriori.terms:
+            if not term.exact:
+                assert term.actual_states > term.proposed_states
+
+    def test_transitions_differ(self, with_apriori):
+        """The resolved KBP delivers immediately; Figure 4 waits for a message."""
+        assert not with_apriori.transitions_match
+
+
+class TestProposedResolution:
+    def test_covers_all_program_terms(self):
+        params = SeqTransParams(length=1)
+        kbp = build_kbp_protocol(params, RELIABLE)
+        resolution = proposed_resolution(params, kbp)
+        assert set(kbp.knowledge_terms()) <= set(resolution)
+
+    def test_keys_are_structural(self):
+        params = SeqTransParams(length=1)
+        kbp = build_kbp_protocol(params, RELIABLE)
+        resolution = proposed_resolution(params, kbp)
+        assert k_r_value(0, "a") in resolution
+        assert k_s_k_r(params, 0) in resolution

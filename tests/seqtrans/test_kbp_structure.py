@@ -1,0 +1,84 @@
+"""Structure of the Figure-3 knowledge-based protocol builder."""
+
+import pytest
+
+from repro.seqtrans import (
+    RELIABLE,
+    SeqTransParams,
+    build_kbp_protocol,
+    build_standard_protocol,
+    k_r_any,
+    k_r_value,
+    k_s_k_r,
+)
+from repro.unity import Knowledge
+
+PARAMS = SeqTransParams(length=2)
+
+
+@pytest.fixture(scope="module")
+def kbp():
+    return build_kbp_protocol(PARAMS, RELIABLE)
+
+
+class TestKnowledgeTermStructure:
+    def test_is_knowledge_based(self, kbp):
+        assert kbp.is_knowledge_based()
+
+    def test_terms_are_per_index_and_symbol(self, kbp):
+        terms = kbp.knowledge_terms()
+        for k in range(PARAMS.length):
+            for alpha in PARAMS.alphabet:
+                assert k_r_value(k, alpha) in terms
+            assert k_s_k_r(PARAMS, k) in terms
+
+    def test_nested_terms_inside_sender_guard(self, kbp):
+        """K_S K_R nests: the sender's term contains the receiver's."""
+        outer = k_s_k_r(PARAMS, 0)
+        inner_terms = outer.formula.knowledge_terms()
+        assert k_r_value(0, "a") in inner_terms
+        assert all(isinstance(t, Knowledge) for t in inner_terms)
+
+    def test_term_count(self, kbp):
+        # L·|A| receiver terms + L sender terms.
+        expected = PARAMS.length * len(PARAMS.alphabet) + PARAMS.length
+        assert len(kbp.knowledge_terms()) == expected
+
+    def test_k_r_any_is_disjunction_expression(self):
+        expr = k_r_any(PARAMS, 1)
+        assert expr.knowledge_terms() == {
+            k_r_value(1, "a"),
+            k_r_value(1, "b"),
+        }
+
+
+class TestSharedShape:
+    def test_same_space_as_standard(self, kbp):
+        standard = build_standard_protocol(PARAMS, RELIABLE)
+        assert kbp.space == standard.space
+        assert kbp.init == standard.init
+
+    def test_same_statement_names(self, kbp):
+        standard = build_standard_protocol(PARAMS, RELIABLE)
+        assert {s.name for s in kbp.statements} == {
+            s.name for s in standard.statements
+        }
+
+    def test_same_processes(self, kbp):
+        standard = build_standard_protocol(PARAMS, RELIABLE)
+        for name, process in standard.processes.items():
+            assert kbp.process(name).variables == process.variables
+
+    def test_assignments_identical(self, kbp):
+        """Only guards differ between Figure 3 and Figure 4."""
+        standard = build_standard_protocol(PARAMS, RELIABLE)
+        for stmt in standard.statements:
+            counterpart = kbp.statement(stmt.name)
+            assert counterpart.targets == stmt.targets
+            assert counterpart.exprs == stmt.exprs
+
+    def test_executing_kbp_requires_resolution(self, kbp):
+        from repro.unity import EvalError
+
+        with pytest.raises(EvalError):
+            kbp.successor_array(kbp.statement("snd_data"))

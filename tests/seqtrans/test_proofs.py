@@ -1,0 +1,153 @@
+"""Machine-checked replays of the paper's §6 derivations (L = 1 instances)."""
+
+import pytest
+
+from repro.proofs import ProofContext, ProofError
+from repro.seqtrans import (
+    LOSSY,
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    build_standard_protocol,
+    prove_all_standard,
+    prove_liveness,
+)
+from repro.seqtrans.proofs_standard import (
+    prove_36,
+    prove_52,
+    prove_54,
+    prove_55,
+    prove_56,
+    prove_safety,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    params = SeqTransParams(length=1)
+    program = build_standard_protocol(params, bounded_loss(1))
+    return params, program
+
+
+class TestStandardProofs:
+    def test_full_bundle_checks(self, instance):
+        params, program = instance
+        proofs = prove_all_standard(program, params)
+        assert proofs.total_steps() > 30
+        # The derivations are assumption-free: everything was discharged.
+        assert proofs.safety.assumptions() == []
+        assert proofs.inv62[0].assumptions() == []
+
+    def test_safety_tree_shape(self, instance):
+        params, program = instance
+        ctx = ProofContext(program)
+        proof = prove_safety(ctx, params)
+        rendered = proof.pretty()
+        assert "invariant-weakening" in rendered
+        assert "invariant-induction(32)" in rendered
+
+    def test_invariant36(self, instance):
+        params, program = instance
+        ctx = ProofContext(program)
+        proof = prove_36(ctx)
+        assert ctx.si.entails(proof.conclusion.p)
+
+    def test_inv54_all_indices(self, instance):
+        params, program = instance
+        ctx = ProofContext(program)
+        for k in range(params.length + 1):
+            proof = prove_54(ctx, k)
+            assert ctx.si.entails(proof.conclusion.p)
+
+    def test_stability_55_56(self, instance):
+        params, program = instance
+        ctx = ProofContext(program)
+        prove_55(ctx, 0)
+        for alpha in params.alphabet:
+            prove_56(ctx, 0, alpha)
+
+    def test_52_uses_localization(self, instance):
+        params, program = instance
+        from repro.core import KnowledgeOperator
+
+        ctx = ProofContext(program)
+        operator = KnowledgeOperator.of_program(program, si=ctx.si)
+        proof = prove_52(ctx, operator, 1)
+        assert "K-localization(24)" in proof.pretty()
+
+
+class TestLivenessProofs:
+    def test_bounded_loss_proves(self, instance):
+        params, program = instance
+        proofs = prove_liveness(program, params)
+        assert set(proofs.per_index) == {0}
+        assert proofs.total_steps() > 30
+
+    def test_reliable_proves(self):
+        params = SeqTransParams(length=1)
+        program = build_standard_protocol(params, RELIABLE)
+        assert prove_liveness(program, params).per_index[0] is not None
+
+    def test_lossy_channel_refused_at_model_checked_leaf(self):
+        """The (Kbp-1)/(Kbp-2) leaves fail for the unrestricted lossy channel,
+        so the whole derivation correctly refuses to go through."""
+        params = SeqTransParams(length=1)
+        program = build_standard_protocol(params, LOSSY)
+        with pytest.raises(ProofError):
+            prove_liveness(program, params)
+
+    def test_final_property_is_the_spec(self, instance):
+        params, program = instance
+        from repro.seqtrans.spec import w_length_eq, w_length_gt
+
+        proofs = prove_liveness(program, params)
+        conclusion = proofs.per_index[0].conclusion
+        assert conclusion.p == w_length_eq(program.space, 0)
+        assert conclusion.q == w_length_gt(program.space, 0)
+
+    def test_derivation_mirrors_paper_numbering(self, instance):
+        params, program = instance
+        proofs = prove_liveness(program, params)
+        rendered = proofs.per_index[0].pretty()
+        for marker in ("(40)", "(41)", "(43)", "(44)", "(45)", "(49)", "PSP",
+                       "substitute |w| for j"):
+            assert marker in rendered, marker
+
+
+class TestAssumeMode:
+    """channel_mode="assume": the paper's mixed-specification reading."""
+
+    def test_assumptions_carried_by_the_proof(self, instance):
+        params, program = instance
+        proofs = prove_liveness(program, params, channel_mode="assume")
+        assumptions = proofs.per_index[0].assumptions()
+        # One ack-direction leaf plus one data-direction leaf per symbol.
+        assert len(assumptions) == 1 + len(params.alphabet)
+
+    def test_assume_mode_works_even_on_lossy_channel(self):
+        """The derivation is valid *relative to* the assumptions — it no
+        longer cares whether this channel satisfies them."""
+        params = SeqTransParams(length=1)
+        program = build_standard_protocol(params, LOSSY)
+        proofs = prove_liveness(program, params, channel_mode="assume")
+        assert proofs.per_index[0].assumptions()
+
+    def test_assumptions_match_the_registered_properties(self, instance):
+        from repro.seqtrans import channel_liveness_assumptions
+
+        params, program = instance
+        registered = channel_liveness_assumptions(program, params)
+        proofs = prove_liveness(program, params, channel_mode="assume")
+        used = proofs.per_index[0].assumptions()
+        for assumption in used:
+            assert assumption in registered
+
+    def test_check_mode_discharges_everything(self, instance):
+        params, program = instance
+        proofs = prove_liveness(program, params, channel_mode="check")
+        assert proofs.per_index[0].assumptions() == []
+
+    def test_unknown_mode_rejected(self, instance):
+        params, program = instance
+        with pytest.raises(ValueError):
+            prove_liveness(program, params, channel_mode="hope")

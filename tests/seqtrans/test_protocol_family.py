@@ -1,0 +1,80 @@
+"""The classical refinement family: alternating bit and Stenning."""
+
+import pytest
+
+from repro.seqtrans import (
+    LOSSY,
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    build_alternating_bit,
+    build_stenning,
+    check_spec,
+)
+from repro.transformers import strongest_invariant
+
+
+@pytest.fixture(scope="module", params=["ab", "stenning"])
+def builder(request):
+    return {
+        "ab": build_alternating_bit,
+        "stenning": build_stenning,
+    }[request.param]
+
+
+class TestFamilyCorrectness:
+    def test_spec_with_bounded_loss(self, builder):
+        params = SeqTransParams(length=1)
+        program = builder(params, bounded_loss(1))
+        report = check_spec(program, params)
+        assert report.satisfied, program.name
+
+    def test_spec_with_reliable(self, builder):
+        params = SeqTransParams(length=1)
+        program = builder(params, RELIABLE)
+        assert check_spec(program, params).satisfied
+
+    def test_lossy_safety_but_no_liveness(self, builder):
+        params = SeqTransParams(length=1)
+        program = builder(params, LOSSY)
+        report = check_spec(program, params)
+        assert report.safety_holds
+        assert not report.liveness_all
+
+
+class TestAlternatingBitSpecifics:
+    def test_finite_state_is_small(self):
+        """The point of the refinement: AB needs no unbounded counters —
+        its per-message control state is a single bit."""
+        params = SeqTransParams(length=1)
+        program = build_alternating_bit(params, RELIABLE)
+        assert program.space.var("sbit").domain.values == (False, True)
+
+    def test_bit_alternation_invariant(self):
+        """On SI the sender/receiver bits agree exactly when in sync:
+        sbit = rbit iff the current element is not yet delivered."""
+        params = SeqTransParams(length=1)
+        program = build_alternating_bit(params, RELIABLE)
+        si = strongest_invariant(program)
+        for state in si.states():
+            in_sync = state["sbit"] == state["rbit"]
+            assert in_sync == (len(state["w"]) == state["i"])
+
+
+class TestStenningSpecifics:
+    def test_acks_only_after_delivery(self):
+        """The receiver never acks a sequence number it has not delivered."""
+        params = SeqTransParams(length=2)
+        program = build_stenning(params, RELIABLE)
+        si = strongest_invariant(program)
+        for state in si.states():
+            if isinstance(state["cr"], int):
+                assert state["cr"] < len(state["w"])
+
+    def test_window_one_invariant(self):
+        """Sender index never runs ahead of delivery by more than one."""
+        params = SeqTransParams(length=2)
+        program = build_stenning(params, RELIABLE)
+        si = strongest_invariant(program)
+        for state in si.states():
+            assert state["i"] <= len(state["w"]) + 1

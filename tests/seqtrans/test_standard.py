@@ -1,0 +1,179 @@
+"""Figure 4 (bounded): construction, specification, proposed predicates."""
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.seqtrans import (
+    LOSSY,
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    build_standard_protocol,
+    check_spec,
+    proposed_k_r_any,
+    proposed_k_r_value,
+    proposed_k_s_k_r,
+    safety_predicate,
+)
+from repro.statespace import BOT
+from repro.transformers import strongest_invariant
+
+
+@pytest.fixture(scope="module")
+def small():
+    params = SeqTransParams(length=1)
+    program = build_standard_protocol(params, bounded_loss(1))
+    return params, program, strongest_invariant(program)
+
+
+class TestConstruction:
+    def test_statement_roster(self, small):
+        _, program, _ = small
+        names = {s.name for s in program.statements}
+        assert names == {
+            "snd_data",
+            "snd_next",
+            "rcv_deliver_a",
+            "rcv_deliver_b",
+            "rcv_ack",
+            "lose_data",
+            "lose_ack",
+        }
+
+    def test_processes(self, small):
+        _, program, _ = small
+        assert program.process("Sender").variables == {"x", "i", "z"}
+        assert program.process("Receiver").variables == {"w", "j", "zp"}
+
+    def test_init_frees_x(self, small):
+        params, program, _ = small
+        # Every x value is initially possible (no a priori information).
+        assert program.init.count() == len(params.alphabet) ** params.length
+
+    def test_apriori_restricts_init(self):
+        params = SeqTransParams(length=2, apriori={0: "a"})
+        program = build_standard_protocol(params, RELIABLE)
+        for state in program.init.states():
+            assert state["x"][0] == "a"
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SeqTransParams(length=0)
+        with pytest.raises(ValueError):
+            SeqTransParams(alphabet=("a", "a"))
+        with pytest.raises(ValueError):
+            SeqTransParams(length=1, apriori={3: "a"})
+        with pytest.raises(ValueError):
+            SeqTransParams(length=1, apriori={0: "zzz"})
+
+
+class TestSpecification:
+    def test_bounded_loss_satisfies_spec(self, small):
+        params, program, si = small
+        report = check_spec(program, params, si)
+        assert report.satisfied
+        assert report.si_states == si.count()
+
+    def test_reliable_satisfies_spec(self):
+        params = SeqTransParams(length=1)
+        program = build_standard_protocol(params, RELIABLE)
+        assert check_spec(program, params).satisfied
+
+    def test_lossy_fails_liveness_only(self):
+        params = SeqTransParams(length=1)
+        program = build_standard_protocol(params, LOSSY)
+        report = check_spec(program, params)
+        assert report.safety_holds
+        assert not report.liveness_all
+
+    def test_safety_predicate_semantics(self, small):
+        _, program, _ = small
+        p = safety_predicate(program.space)
+        good = program.space.state_of(
+            {
+                "x": ("a",),
+                "i": 0,
+                "z": BOT,
+                "w": ("a",),
+                "j": 1,
+                "zp": BOT,
+                "cs": BOT,
+                "cr": BOT,
+                "bs": 1,
+                "br": 1,
+            }
+        )
+        bad = good.updated(w=("b",))
+        assert p.holds_at(good)
+        assert not p.holds_at(bad)
+
+    def test_transmission_terminates(self, small):
+        """Reachable fixed points have everything delivered and acked."""
+        _, program, si = small
+        from repro.seqtrans import delivered_all
+
+        fixed = program.fixed_point() & si
+        assert not fixed.is_false()
+        done = delivered_all(program.space, SeqTransParams(length=1))
+        assert fixed.entails(done)
+
+
+class TestProposedPredicates:
+    def test_eq50_shape(self, small):
+        _, program, _ = small
+        space = program.space
+        p = proposed_k_r_value(space, 0, "a")
+        received = space.state_of(
+            {
+                "x": ("a",),
+                "i": 0,
+                "z": BOT,
+                "w": (),
+                "j": 0,
+                "zp": (0, "a"),
+                "cs": BOT,
+                "cr": BOT,
+                "bs": 1,
+                "br": 1,
+            }
+        )
+        delivered = received.updated(w=("a",), j=1, zp=BOT)
+        neither = received.updated(zp=BOT)
+        assert p.holds_at(received)
+        assert p.holds_at(delivered)
+        assert not p.holds_at(neither)
+
+    def test_eq51_shape(self, small):
+        _, program, _ = small
+        space = program.space
+        p = proposed_k_s_k_r(space, 0)
+        acked = space.state_of(
+            {
+                "x": ("a",),
+                "i": 0,
+                "z": 1,
+                "w": ("a",),
+                "j": 1,
+                "zp": BOT,
+                "cs": BOT,
+                "cr": BOT,
+                "bs": 1,
+                "br": 1,
+            }
+        )
+        assert p.holds_at(acked)
+        assert not p.holds_at(acked.updated(z=BOT))
+
+    def test_k_r_any_is_disjunction(self, small):
+        params, program, _ = small
+        space = program.space
+        union = proposed_k_r_value(space, 0, "a") | proposed_k_r_value(space, 0, "b")
+        assert proposed_k_r_any(space, params, 0) == union
+
+    def test_truthfulness_on_si(self, small):
+        """(61): on reachable states the proposed K_R implies the fact."""
+        _, program, si = small
+        space = program.space
+        for alpha in ("a", "b"):
+            fact = Predicate.from_callable(space, lambda s, a=alpha: s["x"][0] == a)
+            assert (proposed_k_r_value(space, 0, alpha) & si).entails(fact)

@@ -1,0 +1,90 @@
+"""The randomized fair executor and message counting."""
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.sim import Executor, average_messages
+from repro.statespace import BoolDomain, space_of
+from repro.unity import Program, assign, const, var
+
+from ..conftest import make_counter_program
+
+
+@pytest.fixture
+def program():
+    return make_counter_program()
+
+
+class TestExecutor:
+    def test_reaches_goal_under_fairness(self, program):
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        result = Executor(program, seed=1).run(goal, max_steps=5000)
+        assert result.reached
+        assert result.final_state["n"] == 3
+
+    def test_counts_effective_firings(self, program):
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        result = Executor(program, seed=2).run(goal, max_steps=5000)
+        # Exactly 3 effective ticks move n from 0 to 3.
+        assert result.fired["tick"] == 3
+        assert result.attempted["tick"] >= result.fired["tick"]
+        # `start`'s guard is `true`: every attempt counts as a firing (the
+        # semantics retransmission counting needs — identical resends count).
+        assert result.fired["start"] == result.attempted["start"] >= 1
+
+    def test_deterministic_per_seed(self, program):
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        a = Executor(program, seed=42).run(goal)
+        b = Executor(program, seed=42).run(goal)
+        assert a.steps == b.steps
+        assert a.fired == b.fired
+
+    def test_callable_goal(self, program):
+        result = Executor(program, seed=0).run(lambda s: s["n"] >= 2, max_steps=5000)
+        assert result.reached
+
+    def test_max_steps_respected(self, program):
+        never = Predicate.false(program.space)
+        result = Executor(program, seed=0).run(never, max_steps=50)
+        assert not result.reached
+        assert result.steps == 50
+
+    def test_weights_steer_scheduling(self, program):
+        goal = Predicate.false(program.space)
+        heavy = Executor(program, weights={"tick": 100.0, "start": 1.0}, seed=3)
+        result = heavy.run(goal, max_steps=2000)
+        assert result.attempted["tick"] > result.attempted["start"] * 5
+
+    def test_weight_validation(self, program):
+        with pytest.raises(ValueError):
+            Executor(program, weights={"tick": -1.0})
+        with pytest.raises(ValueError):
+            Executor(program, weights={"tick": 0.0, "start": 0.0})
+
+    def test_knowledge_based_program_rejected(self):
+        from repro.figures import fig1_program
+
+        with pytest.raises(ValueError):
+            Executor(fig1_program())
+
+    def test_messages_helper(self, program):
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        result = Executor(program, seed=5).run(goal, max_steps=5000)
+        assert result.messages(["tick"]) == 3
+        assert result.messages(["tick", "start"]) == 3 + result.fired["start"]
+
+
+class TestAverageMessages:
+    def test_aggregates_over_seeds(self, program):
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        stats = average_messages(
+            program, goal, ["tick"], runs=5, seed=0, max_steps=5000
+        )
+        assert stats["completed"] == 1.0
+        assert stats["messages"] == 3.0
+        assert stats["steps"] > 0
+
+    def test_incomplete_runs_reported(self, program):
+        goal = Predicate.false(program.space)
+        stats = average_messages(program, goal, ["tick"], runs=3, seed=0, max_steps=20)
+        assert stats["completed"] == 0.0

@@ -1,0 +1,137 @@
+"""Domain types: ordering, indexing, membership, and error behaviour."""
+
+import pytest
+
+from repro.statespace import (
+    BOT,
+    BoolDomain,
+    Bottom,
+    Domain,
+    EnumDomain,
+    IntRangeDomain,
+    OptionDomain,
+    SeqDomain,
+    TupleDomain,
+    bool_domain,
+)
+
+
+class TestBoolDomain:
+    def test_order_false_first(self):
+        assert BoolDomain().values == (False, True)
+
+    def test_index(self):
+        domain = BoolDomain()
+        assert domain.index(False) == 0
+        assert domain.index(True) == 1
+
+    def test_shared_instance(self):
+        assert bool_domain() is bool_domain()
+
+
+class TestIntRangeDomain:
+    def test_inclusive_bounds(self):
+        domain = IntRangeDomain(2, 5)
+        assert domain.values == (2, 3, 4, 5)
+        assert len(domain) == 4
+
+    def test_singleton_range(self):
+        assert IntRangeDomain(7, 7).values == (7,)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntRangeDomain(3, 2)
+
+    def test_membership(self):
+        domain = IntRangeDomain(0, 3)
+        assert 0 in domain
+        assert 3 in domain
+        assert 4 not in domain
+        assert "x" not in domain
+
+    def test_index_of_absent_value(self):
+        with pytest.raises(ValueError):
+            IntRangeDomain(0, 3).index(9)
+
+
+class TestEnumDomain:
+    def test_values_preserved_in_order(self):
+        domain = EnumDomain("color", ["red", "green", "blue"])
+        assert domain.values == ("red", "green", "blue")
+        assert domain.index("green") == 1
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            EnumDomain("bad", ["x", "x"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EnumDomain("empty", [])
+
+
+class TestTupleDomain:
+    def test_product_order(self):
+        domain = TupleDomain(BoolDomain(), IntRangeDomain(0, 1))
+        assert domain.values == ((False, 0), (False, 1), (True, 0), (True, 1))
+
+    def test_triple_size(self):
+        domain = TupleDomain(BoolDomain(), BoolDomain(), IntRangeDomain(0, 2))
+        assert len(domain) == 2 * 2 * 3
+
+    def test_no_components_rejected(self):
+        with pytest.raises(ValueError):
+            TupleDomain()
+
+
+class TestSeqDomain:
+    def test_counts_all_lengths(self):
+        domain = SeqDomain(BoolDomain(), 2)
+        # 1 empty + 2 singletons + 4 pairs
+        assert len(domain) == 7
+        assert domain.values[0] == ()
+
+    def test_ordered_by_length(self):
+        domain = SeqDomain(EnumDomain("ab", ["a", "b"]), 2)
+        lengths = [len(v) for v in domain.values]
+        assert lengths == sorted(lengths)
+
+    def test_zero_length(self):
+        assert SeqDomain(BoolDomain(), 0).values == ((),)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SeqDomain(BoolDomain(), -1)
+
+
+class TestOptionDomain:
+    def test_bot_first(self):
+        domain = OptionDomain(IntRangeDomain(0, 1))
+        assert domain.values == (BOT, 0, 1)
+
+    def test_bot_is_singleton(self):
+        assert Bottom() is BOT
+        assert repr(BOT) == "⊥"
+
+    def test_bot_not_equal_to_values(self):
+        domain = OptionDomain(IntRangeDomain(0, 3))
+        assert domain.index(BOT) == 0
+        assert BOT != 0
+
+
+class TestDomainEquality:
+    def test_structural_equality(self):
+        assert IntRangeDomain(0, 2) == IntRangeDomain(0, 2)
+        assert EnumDomain("x", [0, 1, 2]) == IntRangeDomain(0, 2)
+
+    def test_bool_identified_with_01_range(self):
+        # Python's False == 0 / True == 1 makes these domains structurally
+        # equal — a deliberate consequence of value-based domain equality.
+        assert BoolDomain() == IntRangeDomain(0, 1)
+
+    def test_hashable(self):
+        domains = {BoolDomain(), IntRangeDomain(0, 2), BoolDomain()}
+        assert len(domains) == 2
+
+    def test_repr_compact_for_large_domains(self):
+        domain = IntRangeDomain(0, 100)
+        assert "101 values" in repr(domain)

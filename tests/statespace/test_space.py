@@ -1,0 +1,171 @@
+"""State spaces: encoding, decoding, reindexing, projections, partitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.statespace import (
+    BoolDomain,
+    IntRangeDomain,
+    State,
+    StateSpace,
+    Variable,
+    space_of,
+)
+
+
+@pytest.fixture
+def space() -> StateSpace:
+    return space_of(a=BoolDomain(), n=IntRangeDomain(0, 2), b=BoolDomain())
+
+
+class TestConstruction:
+    def test_size_is_product(self, space):
+        assert space.size == 2 * 3 * 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            StateSpace([Variable("x", BoolDomain()), Variable("x", BoolDomain())])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StateSpace([])
+
+    def test_var_lookup(self, space):
+        assert space.var("n").domain == IntRangeDomain(0, 2)
+        with pytest.raises(KeyError):
+            space.var("missing")
+
+    def test_contains(self, space):
+        assert "a" in space
+        assert "z" not in space
+
+
+class TestEncoding:
+    def test_roundtrip_all_states(self, space):
+        for i in range(space.size):
+            assert space.encode(space.decode(i)) == i
+
+    def test_first_variable_varies_slowest(self, space):
+        # index 0 is (False, 0, False); flipping `a` jumps by 6.
+        assert space.decode(0) == (False, 0, False)
+        assert space.decode(6) == (True, 0, False)
+
+    def test_index_of_mapping(self, space):
+        idx = space.index_of({"a": True, "n": 2, "b": False})
+        assert space.decode(idx) == (True, 2, False)
+
+    def test_index_of_requires_all_variables(self, space):
+        with pytest.raises(ValueError):
+            space.index_of({"a": True})
+
+    def test_encode_wrong_arity(self, space):
+        with pytest.raises(ValueError):
+            space.encode((True,))
+
+    def test_value_at_matches_decode(self, space):
+        for i in range(space.size):
+            values = space.decode(i)
+            for k, name in enumerate(space.names):
+                assert space.value_at(i, name) == values[k]
+
+
+class TestReindex:
+    def test_single_change(self, space):
+        i = space.index_of({"a": False, "n": 1, "b": True})
+        j = space.reindex(i, {"n": 2})
+        assert space.decode(j) == (False, 2, True)
+
+    def test_multi_change(self, space):
+        i = space.index_of({"a": False, "n": 0, "b": False})
+        j = space.reindex(i, {"a": True, "b": True, "n": 1})
+        assert space.decode(j) == (True, 1, True)
+
+    def test_identity_change(self, space):
+        i = 5
+        assert space.reindex(i, {}) == i
+
+    @given(st.integers(min_value=0, max_value=11), st.integers(min_value=0, max_value=2))
+    def test_reindex_matches_reencode(self, idx, n_val):
+        space = space_of(a=BoolDomain(), n=IntRangeDomain(0, 2), b=BoolDomain())
+        expected_values = list(space.decode(idx))
+        expected_values[1] = n_val
+        assert space.reindex(idx, {"n": n_val}) == space.encode(expected_values)
+
+
+class TestState:
+    def test_mapping_interface(self, space):
+        state = space.state_of({"a": True, "n": 1, "b": False})
+        assert state["a"] is True
+        assert dict(state) == {"a": True, "n": 1, "b": False}
+        assert len(state) == 3
+
+    def test_updated_returns_new_state(self, space):
+        state = space.state_at(0)
+        changed = state.updated(n=2)
+        assert changed["n"] == 2
+        assert state["n"] == 0
+
+    def test_immutability(self, space):
+        state = space.state_at(0)
+        with pytest.raises(AttributeError):
+            state.index = 3
+
+    def test_equality_and_hash(self, space):
+        assert space.state_at(3) == space.state_at(3)
+        assert space.state_at(3) != space.state_at(4)
+        assert len({space.state_at(1), space.state_at(1)}) == 1
+
+    def test_out_of_range_rejected(self, space):
+        with pytest.raises(IndexError):
+            State(space, space.size)
+
+    def test_states_iterates_everything(self, space):
+        states = list(space.states())
+        assert len(states) == space.size
+        assert [s.index for s in states] == list(range(space.size))
+
+
+class TestCylinderPartition:
+    def test_group_count(self, space):
+        _, n_groups = space.cylinder_partition(["a", "b"])
+        assert n_groups == 4
+
+    def test_groups_agree_on_projection(self, space):
+        group_of, _ = space.cylinder_partition(["n"])
+        for i in range(space.size):
+            for j in range(space.size):
+                same_group = group_of[i] == group_of[j]
+                same_projection = space.value_at(i, "n") == space.value_at(j, "n")
+                assert same_group == same_projection
+
+    def test_empty_subset_single_group(self, space):
+        group_of, n_groups = space.cylinder_partition([])
+        assert n_groups == 1
+        assert set(group_of) == {0}
+
+    def test_full_subset_identifies_states(self, space):
+        group_of, n_groups = space.cylinder_partition(space.names)
+        assert n_groups == space.size
+        assert len(set(group_of)) == space.size
+
+    def test_cached(self, space):
+        first = space.cylinder_partition(["a"])
+        second = space.cylinder_partition(["a"])
+        assert first is second
+
+    def test_unknown_variable_rejected(self, space):
+        with pytest.raises(KeyError):
+            space.cylinder_partition(["nope"])
+
+
+class TestProjection:
+    def test_projection_values(self, space):
+        i = space.index_of({"a": True, "n": 2, "b": False})
+        assert space.projection(i, ["a", "b"]) == (True, False)
+        assert space.projection(i, ["n"]) == (2,)
+
+    def test_projection_ordered_by_declaration(self, space):
+        i = space.index_of({"a": True, "n": 0, "b": False})
+        # Requested order does not matter; declaration order does.
+        assert space.projection(i, ["b", "a"]) == (True, False)

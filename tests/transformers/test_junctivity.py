@@ -1,0 +1,103 @@
+"""Junctivity analyzers, validated on transformers with known profiles."""
+
+import pytest
+
+from repro.predicates import Predicate, scyl, wcyl
+from repro.statespace import BoolDomain, space_of
+from repro.transformers import (
+    all_predicates,
+    analyze,
+    check_finitely_conjunctive,
+    check_finitely_disjunctive,
+    check_monotonic,
+    check_or_continuous,
+    check_universally_conjunctive,
+    check_universally_disjunctive,
+    wp_statement,
+)
+
+from ..conftest import make_counter_program
+
+
+@pytest.fixture
+def space():
+    return space_of(a=BoolDomain(), b=BoolDomain())
+
+
+class TestKnownProfiles:
+    def test_identity_has_every_property(self, space):
+        report = analyze(lambda p: p, space)
+        assert report.monotonic is None
+        assert report.universally_conjunctive is None
+        assert report.universally_disjunctive is None
+        assert report.or_continuous is None
+        assert "NO" not in report.summary()
+
+    def test_negation_is_nothing(self, space):
+        assert check_monotonic(lambda p: ~p, space) is not None
+        assert check_finitely_conjunctive(lambda p: ~p, space) is not None
+        assert check_finitely_disjunctive(lambda p: ~p, space) is not None
+
+    def test_constant_transformer(self, space):
+        fixed = Predicate.from_indices(space, [0, 1])
+        report = analyze(lambda p: fixed, space)
+        assert report.monotonic is None
+        # Constant maps fail the empty-bag cases: f.true ≠ true, f.false ≠ false.
+        assert report.universally_conjunctive is not None
+        assert report.universally_disjunctive is not None
+
+    def test_wcyl_universally_conjunctive_not_disjunctive(self, space):
+        f = lambda p: wcyl(["a"], p)
+        assert check_universally_conjunctive(f, space) is None
+        assert check_finitely_disjunctive(f, space) is not None
+
+    def test_scyl_universally_disjunctive_not_conjunctive(self, space):
+        f = lambda p: scyl(["a"], p)
+        assert check_universally_disjunctive(f, space) is None
+        assert check_finitely_conjunctive(f, space) is not None
+
+    def test_wp_of_statement_fully_junctive(self):
+        program = make_counter_program()
+        stmt = program.statement("tick")
+        f = lambda q: wp_statement(program, stmt, q)
+        space = program.space
+        assert check_monotonic(f, space) is None
+        assert check_universally_conjunctive(f, space) is None
+        assert check_universally_disjunctive(f, space) is None
+
+    def test_monotone_implies_or_continuous_on_finite(self, space):
+        """On finite spaces monotone maps are or-continuous (chains stabilize)."""
+        f = lambda p: wcyl(["b"], p)
+        assert check_monotonic(f, space) is None
+        assert check_or_continuous(f, space) is None
+
+
+class TestCounterexampleReporting:
+    def test_witnesses_actually_refute(self, space):
+        ce = check_finitely_disjunctive(lambda p: wcyl(["a"], p), space)
+        assert ce is not None
+        p, q = ce.witnesses
+        f = lambda r: wcyl(["a"], r)
+        assert not (f(p) | f(q)) == f(p | q)
+
+    def test_monotonic_witnesses(self, space):
+        ce = check_monotonic(lambda p: ~p, space)
+        p, q = ce.witnesses
+        assert p.entails(q)
+        assert not (~p).entails(~q)
+
+
+class TestEnumerationGuards:
+    def test_all_predicates_count(self, space):
+        assert sum(1 for _ in all_predicates(space)) == 2 ** space.size
+
+    def test_size_guard(self):
+        big = space_of(**{f"v{i}": BoolDomain() for i in range(6)})
+        with pytest.raises(ValueError):
+            list(all_predicates(big))
+
+    def test_sampled_monotonicity_check(self):
+        """Sampled mode works on spaces too large for exhaustion."""
+        big = space_of(**{f"v{i}": BoolDomain() for i in range(6)})
+        assert check_monotonic(lambda p: p, big, samples=50) is None
+        assert check_monotonic(lambda p: ~p, big, samples=200) is not None

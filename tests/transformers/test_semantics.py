@@ -1,0 +1,139 @@
+"""sp / wp of statements and the program-level SP (paper eq. 26)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import Predicate
+from repro.transformers import (
+    sp_program,
+    sp_statement,
+    wp_all_statements,
+    wp_statement,
+)
+
+from ..conftest import make_counter_program, program_with_predicates
+
+
+@pytest.fixture
+def program():
+    return make_counter_program()
+
+
+class TestSpStatement:
+    def test_image_semantics(self, program):
+        """sp.s.p holds exactly at successors of p-states."""
+        tick = program.statement("tick")
+        p = Predicate.from_callable(program.space, lambda s: s["go"] and s["n"] == 1)
+        image = sp_statement(program, tick, p)
+        expected = {program.successor_array(tick)[i] for i in p.indices()}
+        assert set(image.indices()) == expected
+
+    def test_skip_when_guard_false(self, program):
+        tick = program.statement("tick")
+        p = Predicate.from_callable(program.space, lambda s: not s["go"])
+        # Guard needs go; all p-states skip, so the image is p itself.
+        assert sp_statement(program, tick, p) == p
+
+    def test_sp_of_false_is_false(self, program):
+        for stmt in program.statements:
+            assert sp_statement(program, stmt, Predicate.false(program.space)).is_false()
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_sp_universally_disjunctive(self, data):
+        """Images distribute over unions (deterministic relations)."""
+        program, p, q = data.draw(program_with_predicates(2))
+        stmt = program.statements[0]
+        assert sp_statement(program, stmt, p | q) == (
+            sp_statement(program, stmt, p) | sp_statement(program, stmt, q)
+        )
+
+
+class TestWpStatement:
+    def test_preimage_semantics(self, program):
+        tick = program.statement("tick")
+        q = Predicate.from_callable(program.space, lambda s: s["n"] == 2)
+        wp = wp_statement(program, tick, q)
+        array = program.successor_array(tick)
+        for i in range(program.space.size):
+            assert wp.holds_at(i) == q.holds_at(array[i])
+
+    def test_wp_of_true_is_true(self, program):
+        for stmt in program.statements:
+            assert wp_statement(program, stmt, Predicate.true(program.space)).is_everywhere()
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_wp_universally_conjunctive_and_disjunctive(self, data):
+        """Total deterministic statements: wp distributes over ∧ and ∨."""
+        program, p, q = data.draw(program_with_predicates(2))
+        stmt = program.statements[0]
+        assert wp_statement(program, stmt, p & q) == (
+            wp_statement(program, stmt, p) & wp_statement(program, stmt, q)
+        )
+        assert wp_statement(program, stmt, p | q) == (
+            wp_statement(program, stmt, p) | wp_statement(program, stmt, q)
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_sp_wp_galois(self, data):
+        """sp.s ⊣ wp.s:  [sp.s.p ⇒ q]  ≡  [p ⇒ wp.s.q]."""
+        program, p, q = data.draw(program_with_predicates(2))
+        stmt = program.statements[0]
+        left = sp_statement(program, stmt, p).entails(q)
+        right = p.entails(wp_statement(program, stmt, q))
+        assert left == right
+
+
+class TestProgramSP:
+    def test_eq26_union_over_statements(self, program):
+        p = Predicate.from_callable(program.space, lambda s: s["n"] == 0)
+        expected = Predicate.false(program.space)
+        for stmt in program.statements:
+            expected = expected | sp_statement(program, stmt, p)
+        assert sp_program(program, p) == expected
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_sp_monotone_and_or_continuous_prereqs(self, data):
+        """The section-2 assumptions: SP total, monotone (or-continuity is
+        automatic for monotone maps on finite lattices)."""
+        program, p, q = data.draw(program_with_predicates(2))
+        big = p | q
+        assert sp_program(program, p).entails(sp_program(program, big))
+
+    def test_wp_all_statements(self, program):
+        q = Predicate.from_callable(program.space, lambda s: s["n"] <= 3)
+        assert wp_all_statements(program, q).is_everywhere()
+
+    def test_cross_space_rejected(self, program):
+        from repro.statespace import BoolDomain, space_of
+
+        other = space_of(x=BoolDomain())
+        with pytest.raises(ValueError):
+            sp_program(program, Predicate.true(other))
+
+
+class TestVectorizedAgreement:
+    def test_small_and_large_paths_agree(self):
+        """The numpy fast path must agree with the bit-loop path."""
+        from repro.transformers.semantics import _VECTORIZE_THRESHOLD
+        import repro.transformers.semantics as semantics
+
+        program = make_counter_program()
+        p = Predicate.from_callable(program.space, lambda s: s["n"] % 2 == 0)
+        stmt = program.statement("tick")
+        original = semantics._VECTORIZE_THRESHOLD
+        try:
+            semantics._VECTORIZE_THRESHOLD = 1  # force numpy
+            fast_sp = sp_statement(program, stmt, p)
+            fast_wp = wp_statement(program, stmt, p)
+            semantics._VECTORIZE_THRESHOLD = 10**9  # force bit loops
+            slow_sp = sp_statement(program, stmt, p)
+            slow_wp = wp_statement(program, stmt, p)
+        finally:
+            semantics._VECTORIZE_THRESHOLD = original
+        assert fast_sp == slow_sp
+        assert fast_wp == slow_wp

@@ -1,0 +1,113 @@
+"""sst and the strongest invariant — paper eqs. (1)–(5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import Predicate
+from repro.runs import bfs_reachable
+from repro.transformers import (
+    is_invariant,
+    is_stable,
+    sp_program,
+    sst,
+    strongest_invariant,
+)
+
+from ..conftest import make_counter_program, program_with_predicates, random_programs
+
+
+@pytest.fixture
+def program():
+    return make_counter_program()
+
+
+class TestSst:
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_eq2_exists_and_is_fixed_point(self, data):
+        """(2): sst.p exists; it is stable and weaker than p."""
+        program, p = data.draw(program_with_predicates(1))
+        result = sst(program, p)
+        value = result.predicate
+        assert p.entails(value)
+        assert sp_program(program, value).entails(value)  # stable
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_eq1_strongest_among_stable_upper_bounds(self, data):
+        """(1): any stable x weaker than p is weaker than sst.p."""
+        program, p, x = data.draw(program_with_predicates(2))
+        candidate = x | p  # ensure p ⇒ candidate
+        if not sp_program(program, candidate).entails(candidate):
+            return  # not stable; not a competitor
+        assert sst(program, p).predicate.entails(candidate)
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_eq4_monotone(self, data):
+        """(4): sst is monotone."""
+        program, p, q = data.draw(program_with_predicates(2))
+        weaker = p | q
+        assert sst(program, p).predicate.entails(sst(program, weaker).predicate)
+
+    def test_eq3_kleene_chain_value(self, program):
+        """(3): sst.p = ∪ f^i(false) with f.x = SP.x ∨ p — computed directly."""
+        p = program.init
+        chain_value = Predicate.false(program.space)
+        for _ in range(program.space.size + 1):
+            chain_value = sp_program(program, chain_value) | p
+        assert sst(program, p).predicate == chain_value
+
+    def test_iterations_bounded_by_diameter(self, program):
+        result = sst(program, program.init)
+        assert 0 < result.iterations <= program.space.size + 1
+
+
+class TestStrongestInvariant:
+    def test_si_equals_bfs_reachability(self, program):
+        assert strongest_invariant(program) == bfs_reachable(program)
+
+    @given(random_programs())
+    @settings(max_examples=40)
+    def test_si_equals_bfs_on_random_programs(self, program):
+        assert strongest_invariant(program) == bfs_reachable(program)
+
+    def test_si_contains_init(self, program):
+        assert program.init.entails(strongest_invariant(program))
+
+    def test_counter_reachability(self, program):
+        """The counter can reach any (go, n) with go or n = 0 initially ..."""
+        si = strongest_invariant(program)
+        # From (go=False, n=0): start may fire first, then ticks; n>0 without
+        # go is unreachable.
+        for state in program.space.states():
+            expected = state["go"] or state["n"] == 0
+            assert si.holds_at(state) == expected
+
+    def test_knowledge_based_program_rejected(self):
+        from repro.figures import fig1_program
+
+        with pytest.raises(ValueError):
+            strongest_invariant(fig1_program())
+
+
+class TestStabilityQueries:
+    def test_is_stable(self, program):
+        go = Predicate.from_callable(program.space, lambda s: s["go"])
+        assert is_stable(program, go)  # nothing ever clears go
+        n_zero = Predicate.from_callable(program.space, lambda s: s["n"] == 0)
+        assert not is_stable(program, n_zero)
+
+    def test_is_invariant(self, program):
+        bound = Predicate.from_callable(program.space, lambda s: s["n"] <= 3)
+        assert is_invariant(program, bound)
+        assert not is_invariant(
+            program, Predicate.from_callable(program.space, lambda s: s["n"] == 0)
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_stable_iff_sst_fixpoint(self, data):
+        program, p = data.draw(program_with_predicates(1))
+        assert is_stable(program, p) == (sst(program, p).predicate == p)

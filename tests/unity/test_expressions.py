@@ -1,0 +1,208 @@
+"""Expression AST: evaluation, substitution, free variables, knowledge terms."""
+
+import pytest
+
+from repro.statespace import BOT
+from repro.unity import (
+    Append,
+    Binary,
+    Const,
+    Contains,
+    EvalError,
+    Index,
+    IsPrefix,
+    Ite,
+    Knowledge,
+    Length,
+    Proj,
+    TupleExpr,
+    Unary,
+    UnresolvedKnowledgeError,
+    Var,
+    as_expr,
+    const,
+    iff,
+    implies,
+    ite,
+    knows,
+    land,
+    lnot,
+    lor,
+    tup,
+    var,
+)
+
+STATE = {"x": 3, "y": 5, "flag": True, "seq": ("a", "b"), "pair": (1, "a"), "z": BOT}
+
+
+class TestBasicEvaluation:
+    def test_const(self):
+        assert Const(42).eval(STATE) == 42
+
+    def test_var(self):
+        assert Var("x").eval(STATE) == 3
+
+    def test_var_missing(self):
+        with pytest.raises(EvalError):
+            Var("nope").eval(STATE)
+
+    def test_arithmetic(self):
+        assert (var("x") + var("y")).eval(STATE) == 8
+        assert (var("y") - const(1)).eval(STATE) == 4
+        assert (var("x") * const(2)).eval(STATE) == 6
+        assert (var("y") % const(3)).eval(STATE) == 2
+        assert Unary("-", var("x")).eval(STATE) == -3
+
+    def test_comparisons(self):
+        assert (var("x") < var("y")).eval(STATE) is True
+        assert (var("x") >= var("y")).eval(STATE) is False
+        assert var("x").eq(const(3)).eval(STATE) is True
+        assert var("x").ne(const(3)).eval(STATE) is False
+
+    def test_reflected_operators(self):
+        assert (1 + var("x")).eval(STATE) == 4
+        assert (10 - var("x")).eval(STATE) == 7
+        assert (2 * var("x")).eval(STATE) == 6
+
+    def test_bot_compares_unequal(self):
+        assert var("z").eq(const(0)).eval(STATE) is False
+        assert var("z").eq(const(BOT)).eval(STATE) is True
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Binary("**", const(2), const(3))
+        with pytest.raises(ValueError):
+            Unary("abs", const(2))
+
+
+class TestBooleanConnectives:
+    def test_short_circuit_and(self):
+        # Right operand would raise (indexing past end) if evaluated.
+        guarded = land(const(False), Index(var("seq"), const(9)).eq(const("a")))
+        assert guarded.eval(STATE) is False
+
+    def test_short_circuit_or(self):
+        guarded = lor(const(True), Index(var("seq"), const(9)).eq(const("a")))
+        assert guarded.eval(STATE) is True
+
+    def test_short_circuit_implies(self):
+        guarded = implies(const(False), Index(var("seq"), const(9)))
+        assert guarded.eval(STATE) is True
+
+    def test_iff(self):
+        assert iff(var("flag"), const(True)).eval(STATE) is True
+        assert iff(var("flag"), const(False)).eval(STATE) is False
+
+    def test_empty_junctions(self):
+        assert land().eval(STATE) is True
+        assert lor().eval(STATE) is False
+
+    def test_lnot(self):
+        assert lnot(var("flag")).eval(STATE) is False
+
+    def test_ite(self):
+        assert ite(var("flag"), var("x"), var("y")).eval(STATE) == 3
+        assert ite(lnot(var("flag")), var("x"), var("y")).eval(STATE) == 5
+
+
+class TestSequencesAndTuples:
+    def test_index(self):
+        assert var("seq")[const(1)].eval(STATE) == "b"
+
+    def test_index_out_of_range(self):
+        with pytest.raises(EvalError):
+            var("seq")[const(5)].eval(STATE)
+
+    def test_length(self):
+        assert Length(var("seq")).eval(STATE) == 2
+
+    def test_append(self):
+        assert Append(var("seq"), const("c")).eval(STATE) == ("a", "b", "c")
+
+    def test_append_non_sequence(self):
+        with pytest.raises(EvalError):
+            Append(var("x"), const(1)).eval(STATE)
+
+    def test_prefix(self):
+        assert IsPrefix(const(("a",)), var("seq")).eval(STATE) is True
+        assert IsPrefix(const(("b",)), var("seq")).eval(STATE) is False
+        assert IsPrefix(var("seq"), var("seq")).eval(STATE) is True
+
+    def test_contains(self):
+        assert Contains(const("a"), var("seq")).eval(STATE) is True
+        assert Contains(const("z"), var("seq")).eval(STATE) is False
+
+    def test_tuple_and_proj(self):
+        pair = tup(var("x"), const("t"))
+        assert pair.eval(STATE) == (3, "t")
+        assert Proj(var("pair"), 0).eval(STATE) == 1
+        assert Proj(var("pair"), 1).eval(STATE) == "a"
+
+    def test_proj_out_of_range(self):
+        with pytest.raises(EvalError):
+            Proj(var("pair"), 5).eval(STATE)
+
+
+class TestSubstitution:
+    def test_simultaneous(self):
+        # (x + y)[x := y, y := x] — classic swap; must not cascade.
+        expr = var("x") + var("y")
+        swapped = expr.subst({"x": var("y"), "y": var("x")})
+        assert swapped.eval({"x": 1, "y": 10}) == 11
+        assert repr(swapped) == "(y + x)"
+
+    def test_subst_through_structures(self):
+        expr = Append(var("seq"), var("x"))
+        replaced = expr.subst({"x": const(9)})
+        assert replaced.eval(STATE) == ("a", "b", 9)
+
+    def test_subst_missing_is_identity(self):
+        expr = var("x") + const(1)
+        assert expr.subst({"q": const(0)}) == expr
+
+    def test_subst_under_knowledge_blocked(self):
+        term = knows("P", var("x").eq(const(1)))
+        with pytest.raises(EvalError):
+            term.subst({"x": const(2)})
+
+    def test_subst_not_touching_knowledge_ok(self):
+        term = knows("P", var("x").eq(const(1)))
+        assert term.subst({"y": const(2)}) == term
+
+
+class TestFreeVarsAndKnowledge:
+    def test_free_vars(self):
+        expr = ite(var("flag"), var("x") + var("y"), Length(var("seq")))
+        assert expr.free_vars() == {"flag", "x", "y", "seq"}
+
+    def test_knowledge_terms_collected(self):
+        inner = knows("R", var("x").eq(const(1)))
+        outer = knows("S", inner | var("flag"))
+        expr = outer & lnot(inner)
+        assert expr.knowledge_terms() == {inner, outer}
+
+    def test_unresolved_knowledge_raises(self):
+        term = knows("P", var("x").eq(const(1)))
+        with pytest.raises(UnresolvedKnowledgeError):
+            term.eval(STATE)
+
+    def test_knowledge_structural_equality(self):
+        a = knows("P", var("x").eq(const(1)))
+        b = knows("P", var("x").eq(const(1)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != knows("Q", var("x").eq(const(1)))
+
+
+class TestCoercion:
+    def test_as_expr_passthrough(self):
+        e = var("x")
+        assert as_expr(e) is e
+
+    def test_as_expr_wraps_constants(self):
+        assert as_expr(5) == Const(5)
+        assert as_expr(True) == Const(True)
+
+    def test_operator_sugar_coerces(self):
+        assert (var("x") + 1).eval(STATE) == 4
+        assert (var("x") < 10).eval(STATE) is True

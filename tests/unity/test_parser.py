@@ -1,0 +1,217 @@
+"""The UNITY text DSL: tokenizer, expressions, programs, errors."""
+
+import pytest
+
+from repro.figures import FIG1_TEXT, FIG2_TEXT
+from repro.unity import (
+    Binary,
+    Const,
+    Knowledge,
+    ParseError,
+    Unary,
+    Var,
+    parse_expression,
+    parse_program,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_symbols(self):
+        texts = [t.text for t in tokenize("x := y + 1 if !z [] a <= b => c")]
+        assert texts == ["x", ":=", "y", "+", "1", "if", "!", "z", "[]",
+                         "a", "<=", "b", "=>", "c"]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("x # a comment\ny")
+        assert [t.text for t in tokens] == ["x", "y"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x @ y")
+
+    def test_range_token(self):
+        assert [t.text for t in tokenize("0..3")] == ["0", "..", "3"]
+
+
+class TestExpressionParsing:
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a || b && c")
+        assert isinstance(expr, Binary) and expr.op == "or"
+        assert isinstance(expr.right, Binary) and expr.right.op == "and"
+
+    def test_precedence_cmp_over_and(self):
+        expr = parse_expression("a == 1 && b == 2")
+        assert expr.op == "and"
+        assert expr.left.op == "=="
+
+    def test_implication_right_associative(self):
+        expr = parse_expression("a => b => c")
+        assert expr.op == "=>"
+        assert isinstance(expr.right, Binary) and expr.right.op == "=>"
+
+    def test_not_binds_tightly(self):
+        expr = parse_expression("!a && b")
+        assert expr.op == "and"
+        assert isinstance(expr.left, Unary)
+
+    def test_arithmetic(self):
+        expr = parse_expression("x + 2 * y")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(x + 2) * y")
+        assert expr.op == "*"
+
+    def test_knowledge_term(self):
+        expr = parse_expression("K[P0](!x && y)")
+        assert isinstance(expr, Knowledge)
+        assert expr.process == "P0"
+
+    def test_nested_knowledge(self):
+        expr = parse_expression("K[S](K[R](x == 1))")
+        assert isinstance(expr, Knowledge)
+        assert isinstance(expr.formula, Knowledge)
+
+    def test_indexing(self):
+        expr = parse_expression("xs[i + 1]")
+        assert repr(expr) == "xs[(i + 1)]"
+
+    def test_booleans_and_negation(self):
+        assert parse_expression("true") == Const(True)
+        assert parse_expression("-3").eval({}) == -3
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("x + 1 )")
+
+    def test_keywords_not_variables(self):
+        with pytest.raises(ParseError):
+            parse_expression("assign + 1")
+
+
+class TestProgramParsing:
+    def test_minimal_program(self):
+        prog = parse_program(
+            """
+            program tiny
+            var x : bool
+            init !x
+            assign flip : x := !x
+            """
+        )
+        assert prog.name == "tiny"
+        assert prog.space.size == 2
+        assert prog.statement("flip").targets == ("x",)
+
+    def test_fig1_structure(self):
+        prog = parse_program(FIG1_TEXT)
+        assert prog.is_knowledge_based()
+        assert set(prog.processes) == {"P0", "P1"}
+        assert prog.process("P1").variables == {"shared", "x"}
+        assert len(prog.statements) == 2
+
+    def test_fig2_structure(self):
+        prog = parse_program(FIG2_TEXT)
+        assert prog.space.size == 8
+        assert {s.name for s in prog.statements} == {"set_y", "set_z"}
+
+    def test_int_range_and_enum_types(self):
+        prog = parse_program(
+            """
+            program typed
+            var n : 0..3 ; m : 0..1
+            var e : enum { red, green }
+            assign s : n := n + 1 if n < 3
+            """
+        )
+        assert prog.space.size == 4 * 2 * 2
+        assert prog.space.var("e").domain.values == ("red", "green")
+
+    def test_default_statement_labels(self):
+        prog = parse_program(
+            """
+            program anon
+            var x, y : bool
+            assign x := true [] y := true
+            """
+        )
+        assert [s.name for s in prog.statements] == ["s0", "s1"]
+
+    def test_multiple_assignment(self):
+        prog = parse_program(
+            """
+            program multi
+            var x, y : bool
+            assign swap : x, y := y, x
+            """
+        )
+        swap = prog.statement("swap")
+        state = prog.space.state_of({"x": True, "y": False})
+        after = prog.step(state, swap)
+        assert after["x"] is False and after["y"] is True
+
+    def test_default_init_is_true(self):
+        prog = parse_program(
+            """
+            program free
+            var x : bool
+            assign s : x := x
+            """
+        )
+        assert prog.init.is_everywhere()
+
+    def test_end_keyword_optional(self):
+        with_end = parse_program("program p\nvar x : bool\nassign s : x := x\nend")
+        without = parse_program("program p\nvar x : bool\nassign s : x := x")
+        assert with_end.space == without.space
+
+
+class TestProgramParsingErrors:
+    def test_no_variables(self):
+        with pytest.raises(ParseError):
+            parse_program("program p\nassign s : x := 1")
+
+    def test_no_assign_section(self):
+        with pytest.raises(ParseError):
+            parse_program("program p\nvar x : bool")
+
+    def test_duplicate_init(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "program p\nvar x : bool\ninit x\ninit !x\nassign s : x := x"
+            )
+
+    def test_bad_type(self):
+        with pytest.raises(ParseError):
+            parse_program("program p\nvar x : float\nassign s : x := x")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_program("program p\nvar x : bool\nassign s : x := x\nend extra")
+
+    def test_unterminated_expression(self):
+        with pytest.raises(ParseError):
+            parse_program("program p\nvar x : bool\ninit (x\nassign s : x := x")
+
+
+class TestRoundTrip:
+    def test_parsed_program_executes(self):
+        prog = parse_program(
+            """
+            program gcd_ish
+            var a : 0..7 ; b : 0..7
+            init a == 6 && b == 4
+            assign
+              reduce_a : a := a - b if a > b
+              [] reduce_b : b := b - a if b > a
+            """
+        )
+        from repro.transformers import strongest_invariant
+
+        si = strongest_invariant(prog)
+        fixed = prog.fixed_point() & si
+        # gcd(6, 4) = 2: the reachable fixed points have a = b = 2.
+        for state in fixed.states():
+            assert state["a"] == state["b"] == 2

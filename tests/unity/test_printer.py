@@ -1,0 +1,100 @@
+"""Pretty-printer: DSL round-trips and the unprintable boundary."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.figures import FIG1_TEXT, FIG2_TEXT
+from repro.unity import (
+    Ite,
+    UnprintableError,
+    const,
+    expr_to_text,
+    ite,
+    parse_expression,
+    parse_program,
+    program_to_text,
+    statement_to_text,
+    var,
+)
+
+from ..conftest import random_programs
+
+
+class TestExpressionRoundTrip:
+    CASES = [
+        "a && b || c",
+        "a || b && c",
+        "!(a || b)",
+        "!a || b",
+        "a => b => c",
+        "(a => b) => c",
+        "x + 2 * y",
+        "(x + 2) * y",
+        "x - 1 - 2",
+        "x % 2 == 0 && y >= 3",
+        "K[P](x == 1 && !done)",
+        "K[S](K[R](v != 0))",
+        "xs[i + 1] == 2",
+        "true && !false",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_print_parse(self, text):
+        first = parse_expression(text)
+        printed = expr_to_text(first)
+        second = parse_expression(printed)
+        assert first == second, printed
+
+    def test_minimal_parentheses(self):
+        expr = parse_expression("a && b || c && d")
+        assert expr_to_text(expr) == "a && b || c && d"
+
+    def test_unprintable_ite(self):
+        with pytest.raises(UnprintableError):
+            expr_to_text(ite(var("a"), const(1), const(2)))
+
+    def test_unprintable_constant(self):
+        with pytest.raises(UnprintableError):
+            expr_to_text(const("a-string"))
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("text", [FIG1_TEXT, FIG2_TEXT])
+    def test_paper_figures_roundtrip(self, text):
+        original = parse_program(text)
+        reparsed = parse_program(program_to_text(original))
+        assert reparsed.space == original.space
+        assert reparsed.init == original.init
+        assert len(reparsed.statements) == len(original.statements)
+        for a, b in zip(original.statements, reparsed.statements):
+            assert a.targets == b.targets
+            assert a.guard == b.guard
+
+    @given(random_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_random_programs_roundtrip_semantically(self, program):
+        """Printing and re-parsing preserves the transition semantics."""
+        reparsed = parse_program(program_to_text(program))
+        assert reparsed.space == program.space
+        assert reparsed.init == program.init
+        for stmt in program.statements:
+            again = reparsed.statement(stmt.name)
+            assert reparsed.successor_array(again) == program.successor_array(stmt)
+
+    def test_statement_rendering(self):
+        program = parse_program(FIG1_TEXT)
+        text = statement_to_text(program.statement("consume"))
+        assert text == "consume : x, shared := true, false if shared"
+
+    def test_integer_domains_roundtrip(self):
+        source = """
+        program counting
+        var n : 0..5 ; m : 2..3
+        init n == 0 && m == 2
+        assign bump : n := n + 1 if n < 5
+        """
+        program = parse_program(source)
+        reparsed = parse_program(program_to_text(program))
+        assert reparsed.space == program.space
+        assert reparsed.init == program.init

@@ -1,0 +1,170 @@
+"""Programs: successor semantics, fixed points, processes, derived programs."""
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.statespace import BoolDomain, IntRangeDomain, space_of
+from repro.unity import (
+    EvalError,
+    GuardDomainError,
+    Program,
+    Statement,
+    assign,
+    const,
+    knows,
+    var,
+)
+
+from ..conftest import make_counter_program
+
+
+@pytest.fixture
+def program():
+    return make_counter_program()
+
+
+class TestConstruction:
+    def test_empty_assign_section_rejected(self):
+        space = space_of(x=BoolDomain())
+        with pytest.raises(ValueError):
+            Program(space, Predicate.true(space), [])
+
+    def test_duplicate_statement_names_rejected(self):
+        space = space_of(x=BoolDomain())
+        s = assign("s", {"x": const(True)})
+        with pytest.raises(ValueError):
+            Program(space, Predicate.true(space), [s, s])
+
+    def test_undeclared_variable_rejected(self):
+        space = space_of(x=BoolDomain())
+        s = assign("s", {"x": var("ghost")})
+        with pytest.raises(ValueError):
+            Program(space, Predicate.true(space), [s])
+
+    def test_unknown_process_variable_rejected(self):
+        space = space_of(x=BoolDomain())
+        s = assign("s", {"x": const(True)})
+        with pytest.raises(KeyError):
+            Program(space, Predicate.true(space), [s], processes={"P": ("y",)})
+
+    def test_init_from_expr_and_callable(self):
+        space = space_of(x=BoolDomain())
+        s = assign("s", {"x": const(True)})
+        by_expr = Program(space, ~var("x"), [s])
+        by_callable = Program(space, lambda st: not st["x"], [s])
+        assert by_expr.init == by_callable.init
+
+
+class TestSuccessors:
+    def test_successor_array_semantics(self, program):
+        tick = program.statement("tick")
+        array = program.successor_array(tick)
+        for i, state in enumerate(program.space.states()):
+            if state["go"] and state["n"] < 3:
+                expected = state.updated(n=state["n"] + 1).index
+            else:
+                expected = i
+            assert array[i] == expected
+
+    def test_array_cached(self, program):
+        tick = program.statement("tick")
+        assert program.successor_array(tick) is program.successor_array(tick)
+
+    def test_step(self, program):
+        state = program.space.state_of({"go": True, "n": 1})
+        after = program.step(state, program.statement("tick"))
+        assert after["n"] == 2
+
+    def test_domain_overflow_detected(self):
+        space = space_of(n=IntRangeDomain(0, 1))
+        runaway = assign("inc", {"n": var("n") + 1})  # no guard!
+        prog = Program(space, Predicate.true(space), [runaway])
+        with pytest.raises(GuardDomainError):
+            prog.successor_array(runaway)
+
+    def test_knowledge_based_statement_refused(self):
+        space = space_of(x=BoolDomain())
+        stmt = Statement(
+            name="kb", targets=("x",), exprs=(const(True),), guard=knows("P", var("x"))
+        )
+        prog = Program(space, Predicate.true(space), [stmt], processes={"P": ("x",)})
+        with pytest.raises(EvalError):
+            prog.successor_array(stmt)
+
+
+class TestFixedPoint:
+    def test_counter_fixed_point(self, program):
+        """FP: go ∧ n = 3 (both statements skip there)."""
+        fp = program.fixed_point()
+        expected = Predicate.from_callable(
+            program.space, lambda s: s["go"] and s["n"] == 3
+        )
+        assert fp == expected
+
+    def test_enabled_predicate(self, program):
+        enabled = program.enabled(program.statement("tick"))
+        assert enabled == Predicate.from_callable(
+            program.space, lambda s: s["go"] and s["n"] < 3
+        )
+
+
+class TestProcesses:
+    def test_lookup(self, program):
+        assert program.process("Clock").variables == frozenset({"n"})
+        with pytest.raises(KeyError):
+            program.process("Nobody")
+
+    def test_shared_memory_allowed(self):
+        space = space_of(x=BoolDomain(), y=BoolDomain())
+        s = assign("s", {"x": var("y")})
+        prog = Program(
+            space,
+            Predicate.true(space),
+            [s],
+            processes={"P": ("x", "y"), "Q": ("y",)},
+        )
+        assert "y" in prog.process("P").variables
+        assert "y" in prog.process("Q").variables
+
+
+class TestDerivedPrograms:
+    def test_with_init(self, program):
+        stronger = program.init & Predicate.from_callable(
+            program.space, lambda s: s["n"] == 0
+        )
+        derived = program.with_init(stronger)
+        assert derived.init == stronger
+        assert derived.statements == program.statements
+
+    def test_resolve_requires_all_terms(self):
+        space = space_of(x=BoolDomain())
+        term = knows("P", var("x"))
+        stmt = Statement(name="kb", targets=("x",), exprs=(const(True),), guard=term)
+        prog = Program(space, Predicate.true(space), [stmt], processes={"P": ("x",)})
+        with pytest.raises(KeyError):
+            prog.resolve({})
+
+    def test_resolve_produces_standard_program(self):
+        space = space_of(x=BoolDomain())
+        term = knows("P", var("x"))
+        stmt = Statement(name="kb", targets=("x",), exprs=(const(True),), guard=term)
+        prog = Program(space, ~var("x"), [stmt], processes={"P": ("x",)})
+        resolved = prog.resolve({term: Predicate.false(space)})
+        assert not resolved.is_knowledge_based()
+        # Guard false everywhere: program is all-skip.
+        assert resolved.fixed_point().is_everywhere()
+
+    def test_knowledge_terms_collected(self):
+        space = space_of(x=BoolDomain(), y=BoolDomain())
+        t1 = knows("P", var("x"))
+        t2 = knows("Q", ~var("y"))
+        s1 = Statement(name="a", targets=("x",), exprs=(const(True),), guard=t1)
+        s2 = Statement(name="b", targets=("y",), exprs=(const(True),), guard=t2)
+        prog = Program(
+            space,
+            Predicate.true(space),
+            [s1, s2],
+            processes={"P": ("x",), "Q": ("y",)},
+        )
+        assert prog.knowledge_terms() == {t1, t2}
+        assert prog.is_knowledge_based()

@@ -1,0 +1,147 @@
+"""Guarded multiple assignments: execution, wp, resolution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import Predicate
+from repro.statespace import State
+from repro.unity import (
+    Const,
+    Statement,
+    assign,
+    const,
+    knows,
+    quantified,
+    var,
+)
+
+from ..conftest import make_counter_program, program_with_predicates
+
+
+class TestConstruction:
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Statement(name="bad", targets=("x", "y"), exprs=(const(1),))
+
+    def test_duplicate_targets(self):
+        with pytest.raises(ValueError):
+            Statement(name="bad", targets=("x", "x"), exprs=(const(1), const(2)))
+
+    def test_assign_helper(self):
+        stmt = assign("inc", {"n": var("n") + 1}, guard=var("go"))
+        assert stmt.targets == ("n",)
+        assert stmt.read_vars() == {"n", "go"}
+        assert stmt.written_vars() == {"n"}
+
+
+class TestExecution:
+    def test_simultaneous_swap(self):
+        stmt = assign("swap", {"x": var("y"), "y": var("x")})
+        out = stmt.apply({"x": 1, "y": 2})
+        assert out == {"x": 2, "y": 1}
+
+    def test_guard_false_is_skip(self):
+        stmt = assign("inc", {"n": var("n") + 1}, guard=Const(False))
+        assert stmt.apply({"n": 5}) == {"n": 5}
+
+    def test_guard_evaluated_before_assignment(self):
+        stmt = assign("move", {"x": const(0)}, guard=var("x").eq(const(1)))
+        assert stmt.apply({"x": 1}) == {"x": 0}
+        assert stmt.apply({"x": 2}) == {"x": 2}
+
+    def test_untouched_variables_preserved(self):
+        stmt = assign("set", {"a": const(True)})
+        out = stmt.apply({"a": False, "b": 7})
+        assert out["b"] == 7
+
+
+class TestSymbolicWp:
+    def test_wp_shape(self):
+        stmt = assign("inc", {"n": var("n") + 1}, guard=var("go"))
+        post = var("n").eq(const(2))
+        wp = stmt.wp_expr(post)
+        # go → n+1 == 2; ¬go → n == 2
+        assert wp.eval({"n": 1, "go": True}) is True
+        assert wp.eval({"n": 2, "go": True}) is False
+        assert wp.eval({"n": 2, "go": False}) is True
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_symbolic_wp_agrees_with_semantic_wp(self, data):
+        """wp by substitution == wp by successor preimage, on every state."""
+        from repro.transformers import wp_statement
+
+        program, q = data.draw(program_with_predicates(1))
+        stmt = program.statements[0]
+        semantic = wp_statement(program, stmt, q)
+        for state in program.space.states():
+            post_holds_here = q.holds_at(state)
+            # Build a postcondition expression equivalent to q via a lookup.
+            symbolic_value = stmt.wp_expr(
+                _as_expr_of_predicate(q, program)
+            ).eval(state)
+            assert bool(symbolic_value) == semantic.holds_at(state)
+
+
+def _as_expr_of_predicate(q: Predicate, program):
+    """An Expr equivalent to q: disjunction of full-state equalities."""
+    from repro.unity import land, lor
+
+    terms = []
+    for state in q.states():
+        eqs = [var(name).eq(const(state[name])) for name in program.space.names]
+        terms.append(land(*eqs))
+    return lor(*terms)
+
+
+class TestResolution:
+    def test_resolve_replaces_knowledge(self, counter_program=None):
+        program = make_counter_program()
+        term = knows("Clock", var("go"))
+        stmt = Statement(
+            name="kb", targets=("n",), exprs=(const(0),), guard=term
+        )
+        concrete = Predicate.from_callable(program.space, lambda s: s["go"])
+        resolved = stmt.resolve({term: concrete})
+        assert not resolved.is_knowledge_based()
+        state = program.space.state_of({"go": True, "n": 2})
+        assert resolved.guard.eval(state) is True
+
+    def test_resolve_missing_term(self):
+        term = knows("P", var("go"))
+        stmt = Statement(name="kb", targets=("n",), exprs=(const(0),), guard=term)
+        with pytest.raises(KeyError):
+            stmt.resolve({})
+
+    def test_resolve_nested_structure(self):
+        program = make_counter_program()
+        term = knows("Clock", var("go"))
+        guard = (var("n") < const(3)) & term
+        stmt = Statement(name="kb", targets=("n",), exprs=(const(0),), guard=guard)
+        concrete = Predicate.true(program.space)
+        resolved = stmt.resolve({term: concrete})
+        assert resolved.knowledge_terms() == frozenset()
+        state = program.space.state_of({"go": False, "n": 1})
+        assert resolved.guard.eval(state) is True
+
+
+class TestQuantified:
+    def test_generates_family(self):
+        family = quantified(
+            "shift_{}",
+            range(3),
+            lambda i: assign(
+                "tmp", {"x": var("x") + i}, guard=var("x").eq(const(i))
+            ),
+        )
+        assert [s.name for s in family] == ["shift_0", "shift_1", "shift_2"]
+        assert family[2].apply({"x": 2}) == {"x": 4}
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(ValueError):
+            quantified(
+                "same",
+                range(2),
+                lambda i: assign("tmp", {"x": const(i)}),
+            )

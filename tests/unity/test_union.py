@@ -1,0 +1,123 @@
+"""Program union ``F ▯ G`` and UNITY's compositionality theorems."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import Predicate
+from repro.proofs import holds_unless
+from repro.statespace import BoolDomain, space_of
+from repro.transformers import strongest_invariant
+from repro.unity import Program, assign, const, union_programs, var
+
+
+def _component(space, name, statements, init):
+    return Program(space, init, statements, name=name)
+
+
+@pytest.fixture
+def pair():
+    space = space_of(a=BoolDomain(), b=BoolDomain())
+    init = Predicate.from_callable(space, lambda s: not s["a"] and not s["b"])
+    f = _component(space, "F", [assign("fa", {"a": const(True)})], init)
+    g = _component(
+        space, "G", [assign("gb", {"b": const(True)}, guard=var("a"))], init
+    )
+    return space, f, g
+
+
+class TestUnionConstruction:
+    def test_statement_concatenation(self, pair):
+        space, f, g = pair
+        union = union_programs(f, g)
+        assert [s.name for s in union.statements] == ["fa", "gb"]
+        assert union.init == f.init & g.init
+
+    def test_name_clash_rejected(self, pair):
+        space, f, _ = pair
+        with pytest.raises(ValueError):
+            union_programs(f, f)
+
+    def test_cross_space_rejected(self, pair):
+        space, f, _ = pair
+        other_space = space_of(x=BoolDomain())
+        other = _component(
+            other_space, "H", [assign("hx", {"x": const(True)})],
+            Predicate.true(other_space),
+        )
+        with pytest.raises(ValueError):
+            union_programs(f, other)
+
+    def test_process_merge(self):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        f = Program(
+            space, Predicate.true(space), [assign("fa", {"a": const(True)})],
+            processes={"P": ("a",)}, name="F",
+        )
+        g = Program(
+            space, Predicate.true(space), [assign("gb", {"b": const(True)})],
+            processes={"P": ("a",), "Q": ("b",)}, name="G",
+        )
+        union = union_programs(f, g)
+        assert set(union.processes) == {"P", "Q"}
+
+    def test_conflicting_process_views_rejected(self):
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        f = Program(
+            space, Predicate.true(space), [assign("fa", {"a": const(True)})],
+            processes={"P": ("a",)}, name="F",
+        )
+        g = Program(
+            space, Predicate.true(space), [assign("gb", {"b": const(True)})],
+            processes={"P": ("b",)}, name="G",
+        )
+        with pytest.raises(ValueError):
+            union_programs(f, g)
+
+
+class TestUnionTheorems:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_unless_composes(self, data):
+        """UNITY's union theorem: relative to a common baseline,
+        ``p unless q`` in F ▯ G ⇔ it holds in F and in G."""
+        space = space_of(a=BoolDomain(), b=BoolDomain())
+        masks = st.integers(min_value=0, max_value=space.full_mask)
+        init = Predicate(space, data.draw(masks) | 1)
+        f = _component(
+            space, "F",
+            [assign("fa", {"a": const(data.draw(st.booleans()))},
+                    guard=var("b") if data.draw(st.booleans()) else const(True))],
+            init,
+        )
+        g = _component(
+            space, "G",
+            [assign("gb", {"b": const(data.draw(st.booleans()))},
+                    guard=var("a") if data.draw(st.booleans()) else const(True))],
+            init,
+        )
+        union = union_programs(f, g)
+        p = Predicate(space, data.draw(masks))
+        q = Predicate(space, data.draw(masks))
+        baseline = Predicate.true(space)  # common invariant baseline
+        in_union = holds_unless(union, p, q, si=baseline)
+        in_parts = holds_unless(f, p, q, si=baseline) and holds_unless(
+            g, p, q, si=baseline
+        )
+        assert in_union == in_parts
+
+    def test_union_si_within_component_si(self, pair):
+        """The union explores at least as much as each component alone
+        (with the same init): SI_F ⊆ SI_{F▯G}."""
+        space, f, g = pair
+        union = union_programs(f, g)
+        assert strongest_invariant(f).entails(strongest_invariant(union))
+
+    def test_interaction_creates_new_reachability(self, pair):
+        """G alone cannot set b (needs a); the union can — composition is
+        genuinely more than the parts."""
+        space, f, g = pair
+        union = union_programs(f, g)
+        b = Predicate.from_callable(space, lambda s: s["b"])
+        assert (strongest_invariant(g) & b).is_false()
+        assert not (strongest_invariant(union) & b).is_false()
