@@ -29,6 +29,7 @@ non-solution — all three outcomes are reported.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -40,38 +41,126 @@ from .knowledge import KnowledgeOperator
 #: Exhaustive SI search enumerates supersets of init; refuse huge spaces.
 MAX_EXHAUSTIVE_STATES = 22
 
+#: Per-resolver LRU budget for memoized resolutions / Φ probes.  Exhaustive
+#: sweeps visit each candidate once (memoization buys nothing there), but
+#: Kleene chains, instantiation checks and Figure-2 comparisons re-probe
+#: the same few candidates repeatedly.
+_RESOLVER_LRU = 128
+
+
+class CandidateResolver:
+    """Shares work across the many candidate SIs a KBP solver probes.
+
+    Three layers of reuse, from always-valid to per-candidate:
+
+    * the knowledge-term *bodies* (per-state expression evaluation, the
+      dominant pure-Python cost) are SI-independent and shared through a
+      single :class:`KnowledgeOperator` term cache;
+    * successor arrays and kernel tables of knowledge-**free** statements
+      are identical in every resolved program ``P_x`` and are adopted from
+      a single donor computation;
+    * full resolutions, resolved programs and ``Φ`` values are memoized
+      per candidate fingerprint in bounded LRUs.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        views = {p.name: p.variables for p in program.processes.values()}
+        self._base_operator = KnowledgeOperator(
+            program.space, program.init, views
+        )
+        self._terms = program.knowledge_terms()
+        self._resolutions: "OrderedDict[bytes, Dict[Knowledge, Predicate]]" = (
+            OrderedDict()
+        )
+        self._programs: "OrderedDict[bytes, Program]" = OrderedDict()
+        self._phi: "OrderedDict[bytes, Predicate]" = OrderedDict()
+        #: knowledge-free statements whose semantics are SI-independent
+        self._static_statements = [
+            s for s in program.statements if not s.is_knowledge_based()
+        ]
+        self._static_donor: Optional[Program] = None
+
+    def share_term_cache_with(self, other: "CandidateResolver") -> None:
+        """Reuse ``other``'s term-body memo (valid across same-space variants,
+        e.g. the two initial conditions of a Figure-2 comparison)."""
+        self._base_operator._term_cache = other._base_operator._term_cache
+
+    @staticmethod
+    def _lookup(store: "OrderedDict", key: bytes):
+        found = store.get(key)
+        if found is not None:
+            store.move_to_end(key)
+        return found
+
+    @staticmethod
+    def _store(store: "OrderedDict", key: bytes, value) -> None:
+        store[key] = value
+        while len(store) > _RESOLVER_LRU:
+            store.popitem(last=False)
+
+    def operator_at(self, candidate_si: Predicate) -> KnowledgeOperator:
+        """A knowledge operator for ``candidate_si`` sharing the body memo."""
+        return self._base_operator.with_si(candidate_si)
+
+    def resolution(self, candidate_si: Predicate) -> Dict[Knowledge, Predicate]:
+        """The knowledge-term resolution induced by ``candidate_si`` (memoized)."""
+        key = candidate_si.fingerprint()
+        found = self._lookup(self._resolutions, key)
+        if found is None:
+            found = self.operator_at(candidate_si).resolve_terms(self._terms)
+            self._store(self._resolutions, key, found)
+        return found
+
+    def resolved_program(self, candidate_si: Predicate) -> Program:
+        """``P_x`` with operational caches of knowledge-free statements shared."""
+        key = candidate_si.fingerprint()
+        found = self._lookup(self._programs, key)
+        if found is None:
+            found = self.program.resolve(self.resolution(candidate_si))
+            donor = self._static_donor
+            if donor is None:
+                # First resolution computes the static statements' caches …
+                self._static_donor = found
+            else:
+                # … every later P_x adopts them instead of recomputing.
+                for stmt in self._static_statements:
+                    found.adopt_operational_caches(donor, stmt)
+            self._store(self._programs, key, found)
+        return found
+
+    def phi(self, candidate_si: Predicate) -> Predicate:
+        """``Φ(x) = sst_{P_x}(init)`` — the induced strongest invariant."""
+        key = candidate_si.fingerprint()
+        found = self._lookup(self._phi, key)
+        if found is None:
+            resolved = self.resolved_program(candidate_si)
+            found = sst(resolved, resolved.init).predicate
+            self._store(self._phi, key, found)
+        return found
+
 
 def resolve_at(program: Program, candidate_si: Predicate) -> Program:
     """The standard program ``P_x``: knowledge terms resolved at ``x``.
 
     Each knowledge term ``K_i φ`` becomes the concrete predicate of
     eq. (13) computed with ``SI = x`` (nested terms innermost-first).
+    One-shot convenience — the solvers share a :class:`CandidateResolver`
+    instead.
     """
-    operator = KnowledgeOperator(
-        program.space,
-        candidate_si,
-        {p.name: p.variables for p in program.processes.values()},
-    )
-    resolution = operator.resolve_terms(program.knowledge_terms())
-    return program.resolve(resolution)
+    return CandidateResolver(program).resolved_program(candidate_si)
 
 
 def resolution_at(
     program: Program, candidate_si: Predicate
 ) -> Dict[Knowledge, Predicate]:
     """The knowledge-term resolution induced by a candidate SI."""
-    operator = KnowledgeOperator(
-        program.space,
-        candidate_si,
-        {p.name: p.variables for p in program.processes.values()},
-    )
-    return operator.resolve_terms(program.knowledge_terms())
+    return CandidateResolver(program).resolution(candidate_si)
 
 
 def phi(program: Program, candidate_si: Predicate) -> Predicate:
     """``Φ(x) = sst_{P_x}(init)`` — the induced strongest invariant."""
-    resolved = resolve_at(program, candidate_si)
-    return sst(resolved, resolved.init).predicate
+    return CandidateResolver(program).phi(candidate_si)
 
 
 def sp_hat(program: Program) -> Callable[[Predicate], Predicate]:
@@ -81,9 +170,10 @@ def sp_hat(program: Program) -> Callable[[Predicate], Predicate]:
     as "the culprit" behind ill-posed knowledge-based protocols; feed it to
     :func:`repro.transformers.check_monotonic` to exhibit that.
     """
+    resolver = CandidateResolver(program)
 
     def transform(x: Predicate) -> Predicate:
-        return sp_program(resolve_at(program, x), x)
+        return sp_program(resolver.resolved_program(x), x)
 
     return transform
 
@@ -142,11 +232,15 @@ def _supersets_of(base_mask: int, full_mask: int) -> Iterator[int]:
         sub = (sub - 1) & free
 
 
-def solve_si(program: Program) -> SolveReport:
+def solve_si(
+    program: Program, resolver: Optional[CandidateResolver] = None
+) -> SolveReport:
     """Exhaustively solve eq. (25): every candidate ``x ⊇ init`` is tested.
 
     Complete (finds *all* solutions) but exponential in the number of
     non-initial states; intended for the paper-scale counterexample models.
+    Pass a :class:`CandidateResolver` to share knowledge-term bodies with
+    related solves (the Figure-2 comparison does).
     """
     space = program.space
     if space.size > MAX_EXHAUSTIVE_STATES:
@@ -158,12 +252,14 @@ def solve_si(program: Program) -> SolveReport:
         # Standard program: eq. (25) degenerates to eq. (1); unique solution.
         solution = sst(program, program.init).predicate
         return SolveReport(solutions=(solution,), candidates_checked=1)
+    if resolver is None:
+        resolver = CandidateResolver(program)
     solutions: List[Predicate] = []
     checked = 0
     for mask in _supersets_of(program.init.mask, space.full_mask):
         checked += 1
         candidate = Predicate(space, mask)
-        if phi(program, candidate) == candidate:
+        if resolver.phi(candidate) == candidate:
             solutions.append(candidate)
     solutions.sort(key=lambda p: (p.count(), p.mask))
     return SolveReport(solutions=tuple(solutions), candidates_checked=checked)
@@ -193,8 +289,12 @@ def solve_si_iterative(
     ``Φ`` cycles, solutions may still exist elsewhere in the lattice —
     the exhaustive solver decides that on small spaces.
     """
+    resolver = CandidateResolver(program)
     result = iterate_to_fixpoint(
-        lambda x: phi(program, x), program.init, max_iterations
+        resolver.phi,
+        program.init,
+        max_iterations,
+        name=f"Φ of {program.name!r} (eq. 25)",
     )
     if result.converged:
         return IterativeReport(
@@ -238,9 +338,16 @@ def compare_inits(
     """
     if not init_strong.entails(init_weak):
         raise ValueError("init_strong must imply init_weak")
+    shared: List[CandidateResolver] = []
 
     def solved_si(init: Predicate) -> Predicate:
-        report = solve_si(program.with_init(init))
+        variant = program.with_init(init)
+        resolver = CandidateResolver(variant)
+        if shared:
+            # Term bodies are init-independent: both variants reuse them.
+            resolver.share_term_cache_with(shared[0])
+        shared.append(resolver)
+        report = solve_si(variant, resolver=resolver)
         if not report.well_posed:
             raise ValueError("protocol variant has no SI solution")
         return report.strongest()

@@ -41,6 +41,13 @@ class KnowledgeOperator:
         *candidate* SIs (eq. 25) through this same class.
     process_vars:
         Mapping from process name to the set of variables it can access.
+    term_cache:
+        Optional shared memo of knowledge-term *bodies* (the formula under
+        the ``K``), keyed by term and the fingerprints of its resolved
+        subterms.  Bodies are SI-independent, so the KBP solver passes one
+        cache across every candidate SI it probes — the expensive
+        per-state expression evaluation then happens once per distinct
+        body, not once per candidate.
     """
 
     def __init__(
@@ -48,6 +55,7 @@ class KnowledgeOperator:
         space: StateSpace,
         si: Predicate,
         process_vars: Mapping[str, Iterable[str]],
+        term_cache: Optional[Dict] = None,
     ):
         if si.space != space:
             raise ValueError("SI predicate over a different state space")
@@ -59,6 +67,7 @@ class KnowledgeOperator:
         }
         if not self.process_vars:
             raise ValueError("at least one process is required")
+        self._term_cache: Dict = term_cache if term_cache is not None else {}
 
     @classmethod
     def of_program(cls, program: Program, si: Optional[Predicate] = None) -> "KnowledgeOperator":
@@ -117,10 +126,11 @@ class KnowledgeOperator:
         processes = list(group)
         if not processes:
             raise ValueError("E_G needs a non-empty group")
-        out = self.space.full_mask
+        out = None
         for process in processes:
-            out &= self.knows(process, p).mask
-        return Predicate(self.space, out)
+            known = self.knows(process, p)
+            out = known if out is None else out & known
+        return out
 
     def common_knowledge(self, group: Iterable[str], p: Predicate) -> Predicate:
         """``C_G p`` — greatest fixed point of ``X ↦ E_G(p ∧ X)``.
@@ -133,7 +143,9 @@ class KnowledgeOperator:
         def step(x: Predicate) -> Predicate:
             return self.everyone_knows(processes, p & x)
 
-        result = iterate_to_fixpoint(step, Predicate.true(self.space))
+        result = iterate_to_fixpoint(
+            step, Predicate.true(self.space), name="common_knowledge E_G-chain"
+        )
         return result.require()
 
     def distributed_knowledge(self, group: Iterable[str], p: Predicate) -> Predicate:
@@ -190,23 +202,32 @@ class KnowledgeOperator:
     ) -> Predicate:
         if term in resolution:
             return resolution[term]
-        for inner in term.formula.knowledge_terms():
+        inner_terms = sorted(term.formula.knowledge_terms(), key=repr)
+        for inner in inner_terms:
             self._resolve_term(inner, resolution)
-        space = self.space
-        from ..statespace import State
+        # The body (the formula under K) depends only on the resolved
+        # subterms, not on SI — memoize it across SIs sharing this cache.
+        key = (term, tuple(resolution[inner].fingerprint() for inner in inner_terms))
+        body = self._term_cache.get(key)
+        if body is None:
+            space = self.space
+            from ..statespace import State
 
-        mask = 0
-        for i in range(space.size):
-            if term.formula.eval(State(space, i), resolution):
-                mask |= 1 << i
-        body = Predicate(space, mask)
+            mask = 0
+            for i in range(space.size):
+                if term.formula.eval(State(space, i), resolution):
+                    mask |= 1 << i
+            body = Predicate(space, mask)
+            self._term_cache[key] = body
         resolved = self.knows(term.process, body)
         resolution[term] = resolved
         return resolved
 
     def with_si(self, si: Predicate) -> "KnowledgeOperator":
         """The same processes with a different (candidate) SI."""
-        return KnowledgeOperator(self.space, si, self.process_vars)
+        return KnowledgeOperator(
+            self.space, si, self.process_vars, term_cache=self._term_cache
+        )
 
     def __repr__(self) -> str:
         return (

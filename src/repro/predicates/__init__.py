@@ -1,6 +1,15 @@
 """Exact semantic predicates over finite state spaces, with cylinders and fixpoints."""
 
+from .backends import (
+    PredicateBackend,
+    available_backends,
+    get_backend,
+    get_default_backend,
+    set_default_backend,
+    using_backend,
+)
 from .builders import pred, var_cmp, var_eq, var_in, var_true, vars_cmp
+from .cache import TransformerCache
 from .cylinders import (
     depends_only_on,
     independent_of,
@@ -10,10 +19,24 @@ from .cylinders import (
     support,
     wcyl,
 )
-from .lattice import FixpointResult, gfp, iterate_to_fixpoint, lfp
+from .lattice import (
+    FixpointResult,
+    default_iteration_limit,
+    gfp,
+    iterate_to_fixpoint,
+    lfp,
+)
 from .predicate import Predicate, conjunction, disjunction, everywhere
 
 __all__ = [
+    "PredicateBackend",
+    "TransformerCache",
+    "available_backends",
+    "default_iteration_limit",
+    "get_backend",
+    "get_default_backend",
+    "set_default_backend",
+    "using_backend",
     "Predicate",
     "conjunction",
     "disjunction",

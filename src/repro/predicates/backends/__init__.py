@@ -1,0 +1,143 @@
+"""Pluggable predicate-kernel backends and their registry.
+
+Selection (first match wins):
+
+1. an explicit :func:`set_default_backend` call;
+2. the ``REPRO_PREDICATE_BACKEND`` environment variable
+   (``"int"``, ``"numpy"`` or ``"auto"``);
+3. the built-in default ``"auto"`` — exact int bitmasks below
+   :data:`AUTO_THRESHOLD` states, packed numpy words at or above it
+   (small spaces lose more to array overhead than they gain from
+   vectorization).
+
+``"auto"`` is a *policy*, not a backend: :func:`backend_for_size` always
+resolves it to a concrete backend, and a ``Predicate`` that already
+carries a handle keeps using the backend that produced it
+(:func:`backend_for`), so mixed chains stay consistent.
+
+The int backend is the exact reference — the differential test suite
+asserts kernel-for-kernel agreement between the two on randomized
+predicates.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from .base import PredicateBackend
+from .intbits import IntBitsBackend
+from .npwords import NumpyWordsBackend
+
+__all__ = [
+    "AUTO_THRESHOLD",
+    "PredicateBackend",
+    "IntBitsBackend",
+    "NumpyWordsBackend",
+    "available_backends",
+    "backend_for",
+    "backend_for_size",
+    "get_backend",
+    "get_default_backend",
+    "set_default_backend",
+    "using_backend",
+]
+
+#: "auto" switches from int bitmasks to packed numpy words at this size.
+AUTO_THRESHOLD = 4096
+
+_INT = IntBitsBackend()
+_NUMPY = NumpyWordsBackend()
+_REGISTRY = {"int": _INT, "numpy": _NUMPY}
+
+_ENV_VAR = "REPRO_PREDICATE_BACKEND"
+
+#: Current selection: "int" | "numpy" | "auto" | a backend instance.
+#: None means "not yet initialized from the environment".
+_default: Union[str, PredicateBackend, None] = None
+
+
+def available_backends() -> tuple:
+    """Registered backend names (``"auto"`` is additionally accepted)."""
+    return tuple(sorted(_REGISTRY)) + ("auto",)
+
+
+def get_backend(name: str) -> PredicateBackend:
+    """The registered backend instance named ``name`` (not ``"auto"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown predicate backend {name!r} (have {available_backends()})"
+        ) from None
+
+
+def get_default_backend() -> Union[str, PredicateBackend]:
+    """The current selection: a name (possibly ``"auto"``) or an instance."""
+    global _default
+    if _default is None:
+        raw = os.environ.get(_ENV_VAR, "auto").strip().lower()
+        if raw not in ("auto",) and raw not in _REGISTRY:
+            raise ValueError(
+                f"{_ENV_VAR}={raw!r} names no predicate backend "
+                f"(have {available_backends()})"
+            )
+        _default = raw
+    return _default
+
+
+def set_default_backend(
+    backend: Union[str, PredicateBackend, None]
+) -> Union[str, PredicateBackend]:
+    """Select the process-wide default backend; returns the previous selection.
+
+    Accepts a registry name (``"int"``, ``"numpy"``, ``"auto"``), a backend
+    instance, or ``None`` to re-read ``REPRO_PREDICATE_BACKEND`` on next use.
+    """
+    global _default
+    previous = _default
+    if isinstance(backend, str):
+        if backend != "auto" and backend not in _REGISTRY:
+            raise KeyError(
+                f"unknown predicate backend {backend!r} (have {available_backends()})"
+            )
+    elif backend is not None and not isinstance(backend, PredicateBackend):
+        raise TypeError(f"expected a backend name or instance, got {backend!r}")
+    _default = backend
+    return previous
+
+
+@contextmanager
+def using_backend(backend: Union[str, PredicateBackend]) -> Iterator[PredicateBackend]:
+    """Temporarily select a backend (used heavily by the differential tests)."""
+    previous = set_default_backend(backend)
+    try:
+        yield backend_for_size(AUTO_THRESHOLD) if backend == "auto" else (
+            get_backend(backend) if isinstance(backend, str) else backend
+        )
+    finally:
+        set_default_backend(previous)
+
+
+def backend_for_size(size: int) -> PredicateBackend:
+    """Resolve the current selection to a concrete backend for ``size`` states."""
+    selection = get_default_backend()
+    if isinstance(selection, PredicateBackend):
+        return selection
+    if selection == "auto":
+        return _NUMPY if size >= AUTO_THRESHOLD else _INT
+    return _REGISTRY[selection]
+
+
+def backend_for(p) -> PredicateBackend:
+    """The backend to run a kernel on predicate ``p`` with.
+
+    A predicate already bound to a backend handle keeps that backend (the
+    chain stays in one representation); otherwise the default policy
+    decides by space size.
+    """
+    bound = p._backend
+    if bound is not None and p._handle is not None:
+        return bound
+    return backend_for_size(p.space.size)

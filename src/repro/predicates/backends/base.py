@@ -1,0 +1,156 @@
+"""The ``PredicateBackend`` protocol: the kernels every representation owns.
+
+A predicate over a finite space is semantically a subset of state indices.
+How that subset is *represented* — an exact Python-int bitmask, a packed
+numpy ``uint64`` word array, in the future a BDD or a shard of a
+distributed bitset — is a backend decision.  Every hot set operation the
+paper's machinery needs bottoms out in the small kernel vocabulary below:
+
+========================  =====================================================
+kernel                    used by
+========================  =====================================================
+``image``                 ``sp`` (eq. 26) — image of a set under a successor map
+``preimage``              ``wp``/``wlp``, the model checker's backward passes
+``quantify_groups``       ``wcyl``/``scyl`` (eq. 6) — ∀/∃ over cylinder groups
+``constant_on_groups``    ``depends_only_on`` (eq. 9)
+``popcount``/``equal``    fixpoint convergence, reporting
+boolean algebra           the predicate calculus itself
+========================  =====================================================
+
+Backends operate on opaque *handles*.  A handle is whatever the backend
+finds fastest (the int backend's handle *is* the mask; the numpy backend's
+is a packed word array); :class:`~repro.predicates.predicate.Predicate`
+caches one handle per instance so a fixpoint chain stays in backend form
+end to end instead of round-tripping through Python ints per call.
+
+All kernels receive ``size`` (the number of states) because handles do not
+necessarily record it.  Backends must keep any bits beyond ``size`` zero so
+that fingerprints are canonical across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+
+class PredicateBackend:
+    """Abstract base for predicate representations (see module docstring).
+
+    Subclasses set ``name`` (the registry key) and ``keeps_handles``
+    (whether results should stay in handle form on the ``Predicate``
+    rather than being materialized to int masks eagerly).
+    """
+
+    name: str = "abstract"
+    #: Whether Predicate results should carry the handle lazily (True for
+    #: array backends, False when the handle *is* the exact mask).
+    keeps_handles: bool = False
+
+    # ------------------------------------------------------------------
+    # handle conversion
+    # ------------------------------------------------------------------
+
+    def from_mask(self, mask: int, size: int) -> Any:
+        raise NotImplementedError
+
+    def to_mask(self, handle: Any, size: int) -> int:
+        raise NotImplementedError
+
+    def fingerprint(self, handle: Any, size: int) -> bytes:
+        """Canonical little-endian bytes of the bitset, ``(size+7)//8`` long.
+
+        Equal predicates must fingerprint identically *across* backends —
+        this is what keys the transformer and solver caches.
+        """
+        raise NotImplementedError
+
+    def wrap(self, space, handle) -> "Any":
+        """A :class:`Predicate` over ``space`` holding ``handle``."""
+        from ..predicate import Predicate
+
+        if self.keeps_handles:
+            return Predicate._from_handle(space, self, handle)
+        return Predicate(space, handle)
+
+    # ------------------------------------------------------------------
+    # boolean algebra on handles
+    # ------------------------------------------------------------------
+
+    def and_(self, a: Any, b: Any, size: int) -> Any:
+        raise NotImplementedError
+
+    def or_(self, a: Any, b: Any, size: int) -> Any:
+        raise NotImplementedError
+
+    def xor(self, a: Any, b: Any, size: int) -> Any:
+        raise NotImplementedError
+
+    def not_(self, a: Any, size: int) -> Any:
+        raise NotImplementedError
+
+    def diff(self, a: Any, b: Any, size: int) -> Any:
+        """``a ∧ ¬b``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def popcount(self, handle: Any, size: int) -> int:
+        raise NotImplementedError
+
+    def equal(self, a: Any, b: Any, size: int) -> bool:
+        raise NotImplementedError
+
+    def is_false(self, handle: Any, size: int) -> bool:
+        raise NotImplementedError
+
+    def is_full(self, handle: Any, size: int) -> bool:
+        raise NotImplementedError
+
+    def test_bit(self, handle: Any, index: int) -> bool:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # relational kernels (successor tables)
+    # ------------------------------------------------------------------
+
+    def build_table(self, program, stmt) -> Any:
+        """The backend's preferred representation of ``stmt``'s successor map.
+
+        Cached per (backend, statement) by ``Program.kernel_table``.
+        """
+        raise NotImplementedError
+
+    def image(self, handle: Any, table: Any, size: int) -> Any:
+        """``{succ[i] : i ∈ handle}`` — the ``sp`` kernel."""
+        raise NotImplementedError
+
+    def preimage(self, handle: Any, table: Any, size: int) -> Any:
+        """``{i : succ[i] ∈ handle}`` — the ``wp`` kernel."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # cylinder kernels (group tables)
+    # ------------------------------------------------------------------
+
+    def group_table(self, space, names) -> Any:
+        """The backend's representation of ``space.cylinder_partition(names)``."""
+        raise NotImplementedError
+
+    def quantify_groups(
+        self, handle: Any, table: Any, size: int, universal: bool
+    ) -> Any:
+        """∀ (``universal``) or ∃ over each cylinder group, broadcast back.
+
+        ``universal=True`` is ``wcyl`` (a state survives iff the predicate
+        holds at *every* group member); ``False`` is ``scyl`` (*some*).
+        """
+        raise NotImplementedError
+
+    def constant_on_groups(self, handle: Any, table: Any, size: int) -> bool:
+        """Whether the predicate is constant on every cylinder group."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

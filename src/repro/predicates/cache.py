@@ -1,0 +1,73 @@
+"""A bounded memo for predicate-transformer applications.
+
+``sp``/``wp`` of a fixed statement are pure functions of the input
+predicate, and the proof machinery applies them to the *same* predicates
+over and over: the model checker's nested fixpoints re-query
+``wp.b.(X ∨ Z)`` for every candidate helper, the KBP solver probes ``Φ``
+at recurring candidates, and ``wp_all_statements`` shares each statement's
+result with per-statement call sites.
+
+Keys are ``(kind, statement name, predicate fingerprint)`` —
+:meth:`Predicate.fingerprint` is canonical across backends, so a cache
+warmed under one backend is still correct (never *wrong*, merely cold)
+under another.  The store is a simple LRU so long solver runs cannot grow
+it without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from .predicate import Predicate
+
+
+class TransformerCache:
+    """LRU memo of ``transformer(predicate) -> predicate`` applications."""
+
+    __slots__ = ("maxsize", "hits", "misses", "_store")
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize <= 0:
+            raise ValueError("TransformerCache needs a positive maxsize")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[Tuple[str, str, bytes], Predicate]" = OrderedDict()
+
+    def lookup(self, kind: str, name: str, p: Predicate) -> Optional[Predicate]:
+        """The cached result of ``kind`` (e.g. ``"sp"``) of ``name`` at ``p``."""
+        key = (kind, name, p.fingerprint())
+        found = self._store.get(key)
+        if found is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return found
+
+    def store(self, kind: str, name: str, p: Predicate, result: Predicate) -> None:
+        """Record ``result`` as ``kind`` of ``name`` applied to ``p``."""
+        key = (kind, name, p.fingerprint())
+        self._store[key] = result
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (surfaced by the benchmarks)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._store)}
+
+    def __repr__(self) -> str:
+        return (
+            f"TransformerCache({len(self._store)}/{self.maxsize} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )

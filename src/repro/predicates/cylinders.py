@@ -15,8 +15,9 @@ the test suite, including the non-disjunctivity counterexample (12).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List
+from typing import FrozenSet, Iterable
 
+from .backends import backend_for
 from .predicate import Predicate
 
 
@@ -24,21 +25,16 @@ def wcyl(names: Iterable[str], p: Predicate) -> Predicate:
     """Weakest cylinder ``wcyl.V.p = (∀ V̄ :: p)`` (paper eq. 6).
 
     Holds at a state iff ``p`` holds at *every* state agreeing with it on
-    the variables in ``names``.
+    the variables in ``names`` — a universal grouped reduction over the
+    cylinder partition, run by the active predicate backend.
     """
     space = p.space
-    group_of, n_groups = space.cylinder_partition(names)
-    # A group survives iff p holds at every member.
-    all_true: List[bool] = [True] * n_groups
-    mask = p.mask
-    for i in range(space.size):
-        if not mask >> i & 1:
-            all_true[group_of[i]] = False
-    out = 0
-    for i in range(space.size):
-        if all_true[group_of[i]]:
-            out |= 1 << i
-    return Predicate(space, out)
+    backend = backend_for(p)
+    table = backend.group_table(space, names)
+    return backend.wrap(
+        space,
+        backend.quantify_groups(p.handle(backend), table, space.size, universal=True),
+    )
 
 
 def scyl(names: Iterable[str], p: Predicate) -> Predicate:
@@ -49,17 +45,12 @@ def scyl(names: Iterable[str], p: Predicate) -> Predicate:
     ``scyl.V.p ≡ ¬ wcyl.V.(¬p)``.
     """
     space = p.space
-    group_of, n_groups = space.cylinder_partition(names)
-    any_true: List[bool] = [False] * n_groups
-    mask = p.mask
-    for i in range(space.size):
-        if mask >> i & 1:
-            any_true[group_of[i]] = True
-    out = 0
-    for i in range(space.size):
-        if any_true[group_of[i]]:
-            out |= 1 << i
-    return Predicate(space, out)
+    backend = backend_for(p)
+    table = backend.group_table(space, names)
+    return backend.wrap(
+        space,
+        backend.quantify_groups(p.handle(backend), table, space.size, universal=False),
+    )
 
 
 def depends_only_on(p: Predicate, names: Iterable[str]) -> bool:
@@ -67,21 +58,13 @@ def depends_only_on(p: Predicate, names: Iterable[str]) -> bool:
 
     This is the paper's notion "p depends only on variables in V": ``p`` has
     the same value in any two states that differ only outside ``V``.
-    Equivalent to ``p ≡ wcyl.V.p`` (paper eq. 9).
+    Equivalent to ``p ≡ wcyl.V.p`` (paper eq. 9) — decided as "constant on
+    every cylinder group" without materializing the cylinder.
     """
     space = p.space
-    group_of, n_groups = space.cylinder_partition(names)
-    # p must be constant on every group.
-    seen: List[int] = [-1] * n_groups  # -1 unseen, else 0/1
-    mask = p.mask
-    for i in range(space.size):
-        bit = mask >> i & 1
-        g = group_of[i]
-        if seen[g] == -1:
-            seen[g] = bit
-        elif seen[g] != bit:
-            return False
-    return True
+    backend = backend_for(p)
+    table = backend.group_table(space, names)
+    return backend.constant_on_groups(p.handle(backend), table, space.size)
 
 
 def independent_of(p: Predicate, name: str) -> bool:

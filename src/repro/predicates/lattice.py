@@ -45,48 +45,84 @@ class FixpointResult:
         return self.value
 
 
+def default_iteration_limit(size: int) -> int:
+    """The default Kleene-step budget for a space of ``size`` states.
+
+    Monotone chains stabilize in at most ``size + 1`` steps and
+    non-monotone chains are caught by the cycle detector, so a small
+    multiple of the space size is generous; anything beyond it indicates a
+    transformer that is not even eventually periodic at this scale (the
+    old default of ``2^size + 1`` was astronomically large and useless as
+    a diagnostic for spaces beyond ~60 states).
+    """
+    return 4 * size + 16
+
+
 def iterate_to_fixpoint(
     f: Callable[[Predicate], Predicate],
     start: Predicate,
     max_iterations: Optional[int] = None,
+    name: Optional[str] = None,
 ) -> FixpointResult:
     """Iterate ``x := f(x)`` from ``start`` until ``f(x) == x`` or a cycle recurs.
 
-    Cycle detection keeps the full history (chains over a space of ``n``
-    states have at most ``2^n`` distinct values but stabilize in ``≤ n+1``
-    steps when monotone, so the history stays short in practice).
+    Cycle detection keys the history by predicate fingerprint (exact, and
+    computable without leaving the active backend's representation), so a
+    chain of backend-handle predicates never round-trips through int
+    masks.  ``max_iterations`` defaults to a size-proportional bound (see
+    :func:`default_iteration_limit`) with the cycle detector as the
+    backstop; exceeding it raises a :class:`RuntimeError` naming the
+    transformer via ``name``.
     """
-    limit = max_iterations if max_iterations is not None else 2 ** start.space.size + 1
-    seen = {start.mask: 0}
+    limit = (
+        max_iterations
+        if max_iterations is not None
+        else default_iteration_limit(start.space.size)
+    )
+    seen = {start.fingerprint(): 0}
     history = [start]
     x = start
     for step in range(1, limit + 1):
         nxt = f(x)
         if nxt == x:
             return FixpointResult(converged=True, value=x, iterations=step - 1)
-        if nxt.mask in seen:
-            cycle = history[seen[nxt.mask]:]
+        fp = nxt.fingerprint()
+        if fp in seen:
+            cycle = history[seen[fp]:]
             return FixpointResult(
                 converged=False, value=None, iterations=step, cycle=cycle
             )
-        seen[nxt.mask] = step
+        seen[fp] = step
         history.append(nxt)
         x = nxt
-    raise RuntimeError(f"fixpoint iteration exceeded {limit} steps without a verdict")
+    label = name or getattr(f, "__name__", None) or repr(f)
+    raise RuntimeError(
+        f"fixpoint iteration of {label} exceeded {limit} steps over a space of "
+        f"{start.space.size} states without converging or cycling; if the chain "
+        f"is genuinely this long, pass max_iterations explicitly"
+    )
 
 
-def lfp(f: Callable[[Predicate], Predicate], space_false: Predicate) -> FixpointResult:
+def lfp(
+    f: Callable[[Predicate], Predicate],
+    space_false: Predicate,
+    name: Optional[str] = None,
+) -> FixpointResult:
     """Least fixed point of a monotone ``f`` by Kleene iteration from ``false``.
 
     ``space_false`` should be ``Predicate.false(space)``; passing a different
     start computes the limit of that chain instead.
     """
-    return iterate_to_fixpoint(f, space_false)
+    return iterate_to_fixpoint(f, space_false, name=name)
 
 
-def gfp(f: Callable[[Predicate], Predicate], space_true: Predicate) -> FixpointResult:
+def gfp(
+    f: Callable[[Predicate], Predicate],
+    space_true: Predicate,
+    name: Optional[str] = None,
+) -> FixpointResult:
     """Greatest fixed point of a monotone ``f`` by iteration from ``true``."""
-    return iterate_to_fixpoint(f, space_true)
+    return iterate_to_fixpoint(f, space_true, name=name)
 
 
 def is_monotone_on_chain(

@@ -12,11 +12,18 @@ Note the paper's (and Dijkstra–Scholten's) convention: ``p ⇒ q`` applied
 pointwise is itself a predicate; universal validity is written ``[p ⇒ q]``.
 We mirror this: :meth:`Predicate.implies` is pointwise, and
 :meth:`Predicate.entails` / :func:`everywhere` close it under ``[·]``.
+
+Representation is pluggable (:mod:`repro.predicates.backends`): alongside
+the exact int mask, a predicate may carry a *backend handle* (e.g. a
+packed numpy word array).  Predicates produced by backend kernels hold
+only the handle and materialize ``.mask`` lazily, so whole fixpoint chains
+stay in array form; the two views are kept interchangeable and all
+operators transparently route through whichever is present.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Union
+from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
 from ..statespace import State, StateSpace
 
@@ -35,7 +42,7 @@ class Predicate:
         p == q         the Boolean [p ≡ q]
     """
 
-    __slots__ = ("space", "mask")
+    __slots__ = ("space", "_mask", "_backend", "_handle", "_fp")
 
     def __init__(self, space: StateSpace, mask: int):
         if mask < 0 or mask > space.full_mask:
@@ -43,7 +50,69 @@ class Predicate:
                 f"mask {mask:#x} out of range for a space of {space.size} states"
             )
         self.space = space
-        self.mask = mask
+        self._mask: Optional[int] = mask
+        self._backend = None
+        self._handle = None
+        self._fp: Optional[bytes] = None
+
+    @classmethod
+    def _from_handle(cls, space: StateSpace, backend, handle) -> "Predicate":
+        """A predicate holding only a backend handle (mask materialized lazily).
+
+        Internal — backends guarantee the handle is in range and keeps
+        out-of-space bits zero, so no validation happens here.
+        """
+        p = cls.__new__(cls)
+        p.space = space
+        p._mask = None
+        p._backend = backend
+        p._handle = handle
+        p._fp = None
+        return p
+
+    @property
+    def mask(self) -> int:
+        """The exact int bitmask (computed from the handle on first access)."""
+        m = self._mask
+        if m is None:
+            m = self._backend.to_mask(self._handle, self.space.size)
+            self._mask = m
+        return m
+
+    def handle(self, backend):
+        """This predicate's handle under ``backend`` (cached on the instance)."""
+        if self._backend is backend and self._handle is not None:
+            return self._handle
+        h = backend.from_mask(self.mask, self.space.size)
+        self._backend = backend
+        self._handle = h
+        return h
+
+    def fingerprint(self) -> bytes:
+        """Canonical little-endian bytes — identical across backends.
+
+        The key the transformer / knowledge-resolution caches use; equal
+        predicates fingerprint equally no matter how they were computed.
+        Memoized per instance — every cache layer hashes it.
+        """
+        fp = self._fp
+        if fp is None:
+            if self._mask is None:
+                fp = self._backend.fingerprint(self._handle, self.space.size)
+            else:
+                fp = self._mask.to_bytes((self.space.size + 7) // 8, "little")
+            self._fp = fp
+        return fp
+
+    def _route(self, other: "Predicate"):
+        """The handle-keeping backend to combine under, or None for int masks."""
+        bk = self._backend
+        if bk is not None and bk.keeps_handles and self._handle is not None:
+            return bk
+        bk = other._backend
+        if bk is not None and bk.keeps_handles and other._handle is not None:
+            return bk
+        return None
 
     # ------------------------------------------------------------------
     # constructors
@@ -92,26 +161,66 @@ class Predicate:
 
     def __and__(self, other: "Predicate") -> "Predicate":
         self._check(other)
+        bk = self._route(other)
+        if bk is not None:
+            size = self.space.size
+            return Predicate._from_handle(
+                self.space, bk, bk.and_(self.handle(bk), other.handle(bk), size)
+            )
         return Predicate(self.space, self.mask & other.mask)
 
     def __or__(self, other: "Predicate") -> "Predicate":
         self._check(other)
+        bk = self._route(other)
+        if bk is not None:
+            size = self.space.size
+            return Predicate._from_handle(
+                self.space, bk, bk.or_(self.handle(bk), other.handle(bk), size)
+            )
         return Predicate(self.space, self.mask | other.mask)
 
     def __xor__(self, other: "Predicate") -> "Predicate":
         self._check(other)
+        bk = self._route(other)
+        if bk is not None:
+            size = self.space.size
+            return Predicate._from_handle(
+                self.space, bk, bk.xor(self.handle(bk), other.handle(bk), size)
+            )
         return Predicate(self.space, self.mask ^ other.mask)
 
     def __invert__(self) -> "Predicate":
+        bk = self._backend
+        if bk is not None and bk.keeps_handles and self._handle is not None:
+            size = self.space.size
+            return Predicate._from_handle(
+                self.space, bk, bk.not_(self._handle, size)
+            )
         return Predicate(self.space, self.space.full_mask & ~self.mask)
 
     def __sub__(self, other: "Predicate") -> "Predicate":
         self._check(other)
+        bk = self._route(other)
+        if bk is not None:
+            size = self.space.size
+            return Predicate._from_handle(
+                self.space, bk, bk.diff(self.handle(bk), other.handle(bk), size)
+            )
         return Predicate(self.space, self.mask & ~other.mask)
 
     def implies(self, other: "Predicate") -> "Predicate":
         """Pointwise ``self ⇒ other`` (a predicate, per the paper's convention)."""
         self._check(other)
+        bk = self._route(other)
+        if bk is not None:
+            size = self.space.size
+            return Predicate._from_handle(
+                self.space,
+                bk,
+                bk.or_(
+                    bk.not_(self.handle(bk), size), other.handle(bk), size
+                ),
+            )
         return Predicate(
             self.space, (self.space.full_mask & ~self.mask) | other.mask
         )
@@ -119,6 +228,16 @@ class Predicate:
     def iff(self, other: "Predicate") -> "Predicate":
         """Pointwise ``self ≡ other``."""
         self._check(other)
+        bk = self._route(other)
+        if bk is not None:
+            size = self.space.size
+            return Predicate._from_handle(
+                self.space,
+                bk,
+                bk.not_(
+                    bk.xor(self.handle(bk), other.handle(bk), size), size
+                ),
+            )
         return Predicate(self.space, self.space.full_mask & ~(self.mask ^ other.mask))
 
     # ------------------------------------------------------------------
@@ -127,20 +246,40 @@ class Predicate:
 
     def is_everywhere(self) -> bool:
         """The Boolean ``[self]`` — true iff the predicate holds in every state."""
-        return self.mask == self.space.full_mask
+        if self._mask is None:
+            return self._backend.is_full(self._handle, self.space.size)
+        return self._mask == self.space.full_mask
 
     def is_false(self) -> bool:
         """True iff the predicate holds in no state."""
-        return self.mask == 0
+        if self._mask is None:
+            return self._backend.is_false(self._handle, self.space.size)
+        return self._mask == 0
 
     def entails(self, other: "Predicate") -> bool:
         """The Boolean ``[self ⇒ other]`` ("self is stronger than other")."""
         self._check(other)
+        bk = self._route(other)
+        if bk is not None and (self._mask is None or other._mask is None):
+            size = self.space.size
+            return bk.is_false(
+                bk.diff(self.handle(bk), other.handle(bk), size), size
+            )
         return self.mask & ~other.mask == 0
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Predicate):
             self._check(other)
+            if self._mask is not None and other._mask is not None:
+                return self._mask == other._mask
+            bk = self._backend
+            if (
+                bk is not None
+                and bk is other._backend
+                and self._handle is not None
+                and other._handle is not None
+            ):
+                return bk.equal(self._handle, other._handle, self.space.size)
             return self.mask == other.mask
         return NotImplemented
 
@@ -156,11 +295,16 @@ class Predicate:
         index = state.index if isinstance(state, State) else state
         if not 0 <= index < self.space.size:
             raise IndexError(f"state index {index} out of range")
+        # Prefer a cached handle: O(1) word probe instead of a big-int shift.
+        if self._handle is not None:
+            return self._backend.test_bit(self._handle, index)
         return bool(self.mask >> index & 1)
 
     def count(self) -> int:
         """Number of states satisfying the predicate."""
-        return self.mask.bit_count()
+        if self._mask is None:
+            return self._backend.popcount(self._handle, self.space.size)
+        return self._mask.bit_count()
 
     def indices(self) -> Iterator[int]:
         """Indices of satisfying states, ascending."""

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ..predicates import Predicate
-from ..transformers import strongest_invariant
+from ..transformers import strongest_invariant, wp_statement
 from ..unity import Program
 
 
@@ -51,51 +51,34 @@ def wlt(program: Program, q: Predicate, si: Optional[Predicate] = None) -> Predi
     States outside ``si`` are included vacuously (no execution visits
     them), so ``p ↦ q`` holds iff ``[p ⇒ wlt.q]``.
 
-    All fixpoint computation is restricted to the reachable set — sound
-    because reachability is closed under every statement, and essential
-    for performance (the reachable set is typically orders of magnitude
-    smaller than the full space).
+    Every per-state pass is a ``wp`` kernel application: the nested
+    fixpoints run through the active predicate backend and the program's
+    transformer cache (``wp.b.(X ∨ Z)`` recurs heavily across candidate
+    helpers), and all sets stay inside the reachable predicate.
     """
-    space = program.space
     reach = _reachable(program, si)
-    nodes = list(reach.indices())
-    arrays = [program.successor_array(s) for s in program.statements]
-    n_statements = len(arrays)
-    z_mask = q.mask & reach.mask
+    z = q & reach
     changed = True
     while changed:
         changed = False
-        for helper_index in range(n_statements):
-            helper = arrays[helper_index]
-            # Greatest fixpoint over the reachable set:
+        for helper in program.statements:
+            # Greatest fixpoint inside the reachable set:
             #   X := wp.helper.Z ∧ ∧_b wp.b.(X ∨ Z),  iterated down.
-            wp_helper = 0
-            for i in nodes:
-                if z_mask >> helper[i] & 1:
-                    wp_helper |= 1 << i
-            x_mask = wp_helper
+            x = wp_statement(program, helper, z) & reach
             while True:
-                x_or_z = x_mask | z_mask
-                new_mask = x_mask
-                for array in arrays:
-                    kept = 0
-                    probe = new_mask
-                    while probe:
-                        low = probe & -probe
-                        i = low.bit_length() - 1
-                        if x_or_z >> array[i] & 1:
-                            kept |= low
-                        probe ^= low
-                    new_mask = kept
-                    if new_mask == 0:
+                x_or_z = x | z
+                new = x
+                for stmt in program.statements:
+                    new = new & wp_statement(program, stmt, x_or_z)
+                    if new.is_false():
                         break
-                if new_mask == x_mask:
+                if new == x:
                     break
-                x_mask = new_mask
-            if x_mask & ~z_mask:
-                z_mask |= x_mask
+                x = new
+            if not (x - z).is_false():
+                z = z | x
                 changed = True
-    return Predicate(space, z_mask | (space.full_mask & ~reach.mask))
+    return z | ~reach
 
 
 def holds_leads_to(

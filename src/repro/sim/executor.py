@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..predicates import Predicate
+from ..predicates.backends import backend_for_size
 from ..statespace import State
 from ..unity import Program
 
@@ -69,6 +70,11 @@ class Executor:
         self._guards: List[Predicate] = [
             program.enabled(s) for s in program.statements
         ]
+        # Prime backend handles so the per-step guard/goal tests hit the
+        # backend's O(1) bit probe instead of shifting a big int each step.
+        self._backend = backend_for_size(program.space.size)
+        for guard in self._guards:
+            guard.handle(self._backend)
 
     def initial_state(self) -> State:
         """A uniformly random initial state."""
@@ -88,6 +94,7 @@ class Executor:
         ``until`` may be a predicate or any state → bool function.
         """
         if isinstance(until, Predicate):
+            until.handle(self._backend)
             goal = until.holds_at
             current = start.index if start is not None else self.initial_state().index
             return self._run_indexed(goal, current, max_steps)

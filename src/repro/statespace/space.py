@@ -107,6 +107,8 @@ class StateSpace:
         self.size: int = strides[0] * self._radix[0]
         self.full_mask: int = (1 << self.size) - 1
         self._cylinder_cache: Dict[frozenset, Tuple[List[int], int]] = {}
+        self._cylinder_np_cache: Dict[frozenset, Tuple[Any, int]] = {}
+        self._cylinder_mask_cache: Dict[frozenset, List[int]] = {}
 
     # ------------------------------------------------------------------
     # variable lookup
@@ -239,6 +241,52 @@ class StateSpace:
         result = (group_of, n_groups)
         self._cylinder_cache[key] = result
         return result
+
+    def cylinder_partition_np(self, names: Iterable[str]) -> Tuple[Any, int]:
+        """:meth:`cylinder_partition` as a numpy int64 array (cached).
+
+        Computed directly with vectorized mixed-radix arithmetic — the
+        grouped-reduction kernels of the numpy predicate backend consume
+        this without ever materializing the Python list.
+        """
+        import numpy as np
+
+        key = self.check_vars(names)
+        cached = self._cylinder_np_cache.get(key)
+        if cached is not None:
+            return cached
+        positions = sorted(self._pos[n] for n in key)
+        indices = np.arange(self.size, dtype=np.int64)
+        group_of = np.zeros(self.size, dtype=np.int64)
+        weight = 1
+        for k in positions:
+            group_of += ((indices // self._strides[k]) % self._radix[k]) * weight
+            weight *= self._radix[k]
+        group_of.setflags(write=False)
+        result = (group_of, weight)
+        self._cylinder_np_cache[key] = result
+        return result
+
+    def cylinder_group_masks(self, names: Iterable[str]) -> List[int]:
+        """Per-group member bitmasks of the cylinder partition (cached).
+
+        ``masks[g]`` has bit ``i`` set iff state ``i`` belongs to group
+        ``g``.  The int predicate backend reduces ``wcyl``/``scyl`` to one
+        big-int test per *group* with these, instead of one Python
+        iteration per state.
+        """
+        key = self.check_vars(names)
+        cached = self._cylinder_mask_cache.get(key)
+        if cached is not None:
+            return cached
+        group_of, n_groups = self.cylinder_partition(names)
+        masks = [0] * n_groups
+        bit = 1
+        for g in group_of:
+            masks[g] |= bit
+            bit <<= 1
+        self._cylinder_mask_cache[key] = masks
+        return masks
 
     def projection(self, index: int, names: Iterable[str]) -> Tuple[Any, ...]:
         """Values of the given variables (sorted by declaration order) at ``index``."""

@@ -14,6 +14,13 @@ At program level, eq. (26) defines
 — the strongest predicate guaranteed after *one* transition from a
 ``p``-state.  ``SP`` for standard programs is total, monotonic and
 or-continuous, the properties section 2 assumes.
+
+The actual image/preimage kernels live in the pluggable predicate
+backends (:mod:`repro.predicates.backends`); this module routes through
+whichever backend a predicate is bound to (or the default policy picks),
+and memoizes every application in the program's
+:class:`~repro.predicates.cache.TransformerCache` keyed by statement name
+and predicate fingerprint.
 """
 
 from __future__ import annotations
@@ -21,35 +28,28 @@ from __future__ import annotations
 from typing import Callable, List
 
 from ..predicates import Predicate
+from ..predicates.backends import backend_for
 from ..unity import Program, Statement
 
-#: Below this many states the pure-int bit loops beat the numpy round-trip.
-_VECTORIZE_THRESHOLD = 4096
+#: Program-level transformers are cached under this pseudo-statement name.
+_PROGRAM_KEY = "@program"
 
 
 def sp_statement(program: Program, stmt: Statement, p: Predicate) -> Predicate:
     """Strongest postcondition of one statement: image of ``p``."""
     _check_space(program, p)
-    size = program.space.size
-    if size >= _VECTORIZE_THRESHOLD:
-        import numpy as np
-
-        from ..predicates.npbits import array_to_mask, mask_to_array
-
-        successors = program.successor_np(stmt)
-        sources = np.flatnonzero(mask_to_array(p.mask, size))
-        out = np.zeros(size, dtype=bool)
-        out[successors[sources]] = True
-        return Predicate(program.space, array_to_mask(out))
-    succ = program.successor_array(stmt)
-    out = 0
-    mask = p.mask
-    while mask:
-        low = mask & -mask
-        i = low.bit_length() - 1
-        out |= 1 << succ[i]
-        mask ^= low
-    return Predicate(program.space, out)
+    cache = program.transformer_cache
+    hit = cache.lookup("sp", stmt.name, p)
+    if hit is not None:
+        return hit
+    backend = backend_for(p)
+    table = program.kernel_table(backend, stmt)
+    out = backend.wrap(
+        program.space,
+        backend.image(p.handle(backend), table, program.space.size),
+    )
+    cache.store("sp", stmt.name, p, out)
+    return out
 
 
 def wp_statement(program: Program, stmt: Statement, q: Predicate) -> Predicate:
@@ -59,20 +59,18 @@ def wp_statement(program: Program, stmt: Statement, q: Predicate) -> Predicate:
     universally disjunctive — both verified in the test suite.
     """
     _check_space(program, q)
-    size = program.space.size
-    if size >= _VECTORIZE_THRESHOLD:
-        from ..predicates.npbits import array_to_mask, mask_to_array
-
-        successors = program.successor_np(stmt)
-        target = mask_to_array(q.mask, size)
-        return Predicate(program.space, array_to_mask(target[successors]))
-    succ = program.successor_array(stmt)
-    out = 0
-    qmask = q.mask
-    for i in range(program.space.size):
-        if qmask >> succ[i] & 1:
-            out |= 1 << i
-    return Predicate(program.space, out)
+    cache = program.transformer_cache
+    hit = cache.lookup("wp", stmt.name, q)
+    if hit is not None:
+        return hit
+    backend = backend_for(q)
+    table = program.kernel_table(backend, stmt)
+    out = backend.wrap(
+        program.space,
+        backend.preimage(q.handle(backend), table, program.space.size),
+    )
+    cache.store("wp", stmt.name, q, out)
+    return out
 
 
 def wlp_statement(program: Program, stmt: Statement, q: Predicate) -> Predicate:
@@ -83,19 +81,31 @@ def wlp_statement(program: Program, stmt: Statement, q: Predicate) -> Predicate:
 def sp_program(program: Program, p: Predicate) -> Predicate:
     """Program-level ``SP.p`` per eq. (26): disjunction of per-statement ``sp``."""
     _check_space(program, p)
-    out = 0
+    cache = program.transformer_cache
+    hit = cache.lookup("SP", _PROGRAM_KEY, p)
+    if hit is not None:
+        return hit
+    out = None
     for stmt in program.statements:
-        out |= sp_statement(program, stmt, p).mask
-    return Predicate(program.space, out)
+        post = sp_statement(program, stmt, p)
+        out = post if out is None else out | post
+    cache.store("SP", _PROGRAM_KEY, p, out)
+    return out
 
 
 def wp_all_statements(program: Program, q: Predicate) -> Predicate:
     """``(∀ s :: wp.s.q)`` — states from which *every* statement reaches ``q``."""
     _check_space(program, q)
-    out = program.space.full_mask
+    cache = program.transformer_cache
+    hit = cache.lookup("WP", _PROGRAM_KEY, q)
+    if hit is not None:
+        return hit
+    out = None
     for stmt in program.statements:
-        out &= wp_statement(program, stmt, q).mask
-    return Predicate(program.space, out)
+        pre = wp_statement(program, stmt, q)
+        out = pre if out is None else out & pre
+    cache.store("WP", _PROGRAM_KEY, q, out)
+    return out
 
 
 def sp_transformer(program: Program) -> Callable[[Predicate], Predicate]:

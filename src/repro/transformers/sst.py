@@ -43,7 +43,9 @@ def sst(program: Program, p: Predicate) -> SstResult:
     def f(x: Predicate) -> Predicate:
         return sp_program(program, x) | p
 
-    result = iterate_to_fixpoint(f, Predicate.false(space))
+    result = iterate_to_fixpoint(
+        f, Predicate.false(space), name=f"sst chain of {program.name!r} (eq. 3)"
+    )
     value = result.require()
     return SstResult(predicate=value, iterations=result.iterations)
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..predicates import Predicate
+from ..predicates.cache import TransformerCache
 from ..statespace import State, StateSpace
 from .expressions import EvalError, Expr, ExprLike, Knowledge, as_expr
 from .statements import Statement
@@ -92,6 +93,10 @@ class Program:
         self._successors: Dict[str, List[int]] = {}
         self._successors_np: Dict[str, Any] = {}
         self._enabled: Dict[str, Predicate] = {}
+        #: backend-specific successor tables, keyed by (backend name, stmt name)
+        self._kernel_tables: Dict[Tuple[str, str], Any] = {}
+        #: memoized sp/wp applications, keyed by predicate fingerprint
+        self.transformer_cache = TransformerCache()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -222,6 +227,41 @@ class Program:
             cached = np.asarray(self.successor_array(stmt), dtype=np.int64)
             self._successors_np[stmt.name] = cached
         return cached
+
+    def kernel_table(self, backend, stmt: Statement) -> Any:
+        """``stmt``'s successor map in ``backend``'s preferred form (cached).
+
+        Each predicate backend asks for a different representation (int
+        predecessor tables, numpy index arrays, …); caching per (backend,
+        statement) keeps kernel calls free of per-invocation conversion.
+        """
+        key = (backend.name, stmt.name)
+        cached = self._kernel_tables.get(key)
+        if cached is None:
+            cached = backend.build_table(self, stmt)
+            self._kernel_tables[key] = cached
+        return cached
+
+    def adopt_operational_caches(self, donor: "Program", stmt: Statement) -> None:
+        """Share ``donor``'s cached semantics for a statement both programs contain.
+
+        Sound only when the statement means the same thing in both — the
+        KBP solver uses this to avoid recomputing successor arrays of
+        knowledge-*free* statements for every candidate-SI resolution.
+        """
+        name = stmt.name
+        cached = donor._successors.get(name)
+        if cached is not None:
+            self._successors.setdefault(name, cached)
+        cached_np = donor._successors_np.get(name)
+        if cached_np is not None:
+            self._successors_np.setdefault(name, cached_np)
+        enabled = donor._enabled.get(name)
+        if enabled is not None:
+            self._enabled.setdefault(name, enabled)
+        for key, table in donor._kernel_tables.items():
+            if key[1] == name:
+                self._kernel_tables.setdefault(key, table)
 
     def step(self, state: State, stmt: Statement) -> State:
         """Execute one statement atomically from ``state``."""

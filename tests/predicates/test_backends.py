@@ -1,0 +1,305 @@
+"""Differential tests: the numpy backend must agree kernel-for-kernel with int.
+
+The int-bitmask backend is the exact reference implementation; the packed
+numpy-word backend is the fast path.  Every kernel the transformers use —
+boolean algebra, popcount, image/preimage, the cylinder quantifiers, and
+whole fixpoint chains — is exercised on seeded random inputs under both
+backends and the results compared bit-for-bit (via the canonical
+fingerprint, which is required to be representation-independent).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import (
+    Predicate,
+    default_iteration_limit,
+    depends_only_on,
+    get_backend,
+    iterate_to_fixpoint,
+    scyl,
+    set_default_backend,
+    using_backend,
+    wcyl,
+)
+from repro.statespace import BoolDomain, IntRangeDomain, space_of
+from repro.transformers import sp_program, sp_statement, wp_statement
+
+from ..conftest import make_counter_program, program_with_predicates
+
+BACKENDS = ("int", "numpy")
+
+
+def _space():
+    # 48 states: byte-unaligned, multi-radix — exercises the tail-word mask.
+    return space_of(a=BoolDomain(), n=IntRangeDomain(0, 5), b=BoolDomain(), c=BoolDomain())
+
+
+def _random_masks(space, count, seed):
+    rng = random.Random(seed)
+    full = (1 << space.size) - 1
+    edge = [0, 1, full, full - 1, 1 << (space.size - 1)]
+    return edge + [rng.randrange(full + 1) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# raw kernels, backend vs backend
+# ----------------------------------------------------------------------
+
+
+class TestBooleanKernels:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_algebra_agrees(self, seed):
+        space = _space()
+        size = space.size
+        bk_int, bk_np = get_backend("int"), get_backend("numpy")
+        masks = _random_masks(space, 8, seed)
+        for m1 in masks[:6]:
+            for m2 in masks[:6]:
+                h1i, h2i = bk_int.from_mask(m1, size), bk_int.from_mask(m2, size)
+                h1n, h2n = bk_np.from_mask(m1, size), bk_np.from_mask(m2, size)
+                for op in ("and_", "or_", "xor", "diff"):
+                    ri = getattr(bk_int, op)(h1i, h2i, size)
+                    rn = getattr(bk_np, op)(h1n, h2n, size)
+                    assert bk_int.fingerprint(ri, size) == bk_np.fingerprint(rn, size), op
+                assert bk_int.fingerprint(bk_int.not_(h1i, size), size) == bk_np.fingerprint(
+                    bk_np.not_(h1n, size), size
+                )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_counting_and_tests_agree(self, seed):
+        space = _space()
+        size = space.size
+        bk_int, bk_np = get_backend("int"), get_backend("numpy")
+        for mask in _random_masks(space, 10, seed):
+            hi, hn = bk_int.from_mask(mask, size), bk_np.from_mask(mask, size)
+            assert bk_int.popcount(hi, size) == bk_np.popcount(hn, size)
+            assert bk_int.is_false(hi, size) == bk_np.is_false(hn, size)
+            assert bk_int.is_full(hi, size) == bk_np.is_full(hn, size)
+            for i in (0, 1, size // 2, size - 1):
+                assert bk_int.test_bit(hi, i) == bk_np.test_bit(hn, i)
+            assert bk_np.to_mask(hn, size) == mask
+
+    def test_fingerprints_are_canonical_across_backends(self):
+        space = _space()
+        size = space.size
+        for mask in _random_masks(space, 12, seed=7):
+            p_int = Predicate(space, mask)
+            assert (
+                get_backend("int").fingerprint(get_backend("int").from_mask(mask, size), size)
+                == get_backend("numpy").fingerprint(
+                    get_backend("numpy").from_mask(mask, size), size
+                )
+                == p_int.fingerprint()
+            )
+            assert len(p_int.fingerprint()) == (size + 7) // 8
+
+
+class TestTransformerKernels:
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_sp_wp_agree(self, data):
+        program, p = data.draw(program_with_predicates(1))
+        results = {}
+        for name in BACKENDS:
+            with using_backend(name):
+                program.transformer_cache.clear()
+                fresh = Predicate(program.space, p.mask)
+                results[name] = [
+                    (
+                        sp_statement(program, stmt, fresh).fingerprint(),
+                        wp_statement(program, stmt, fresh).fingerprint(),
+                    )
+                    for stmt in program.statements
+                ] + [sp_program(program, fresh).fingerprint()]
+        assert results["int"] == results["numpy"]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cylinders_agree(self, seed):
+        space = _space()
+        groups = [("a",), ("n",), ("a", "b"), ("n", "c"), ("a", "n", "b", "c")]
+        for mask in _random_masks(space, 6, seed):
+            for names in groups:
+                results = {}
+                for name in BACKENDS:
+                    with using_backend(name):
+                        fresh = Predicate(space, mask)
+                        results[name] = (
+                            wcyl(names, fresh).fingerprint(),
+                            scyl(names, fresh).fingerprint(),
+                            depends_only_on(fresh, names),
+                        )
+                assert results["int"] == results["numpy"]
+
+    def test_cylinder_semantics_vs_bruteforce(self):
+        """Both backends against the definitional per-state check (eq. 6)."""
+        space = space_of(a=BoolDomain(), n=IntRangeDomain(0, 2))
+        rng = random.Random(11)
+        names = ("a",)
+        outside = [v for v in space.names if v not in names]
+        for _ in range(10):
+            mask = rng.randrange(1 << space.size)
+            for name in BACKENDS:
+                with using_backend(name):
+                    p = Predicate(space, mask)
+                    weak, strong = wcyl(names, p), scyl(names, p)
+                for i in range(space.size):
+                    agreeing = [
+                        j
+                        for j in range(space.size)
+                        if all(
+                            space.value_at(j, v) == space.value_at(i, v) for v in names
+                        )
+                    ]
+                    assert weak.holds_at(i) == all(mask >> j & 1 for j in agreeing)
+                    assert strong.holds_at(i) == any(mask >> j & 1 for j in agreeing)
+            assert outside  # the quantification is over a real complement
+
+
+class TestFixpointsAcrossBackends:
+    @given(data=st.data())
+    @settings(max_examples=15)
+    def test_sst_chain_agrees(self, data):
+        from repro.transformers import sst
+
+        program, p = data.draw(program_with_predicates(1))
+        results = {}
+        for name in BACKENDS:
+            with using_backend(name):
+                program.transformer_cache.clear()
+                result = sst(program, Predicate(program.space, p.mask))
+                results[name] = (result.predicate.fingerprint(), result.iterations)
+        assert results["int"] == results["numpy"]
+
+    def test_iterate_detects_cycles_under_both_backends(self):
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+        p0 = Predicate(space, 0b10101010)
+        p1 = Predicate(space, 0b01010101)
+
+        def flip(x):
+            return p1 if x == p0 else p0
+
+        for name in BACKENDS:
+            with using_backend(name):
+                result = iterate_to_fixpoint(flip, Predicate(space, p0.mask))
+                assert not result.converged
+                assert len(result.cycle) == 2
+
+
+# ----------------------------------------------------------------------
+# end-to-end: the paper's verdicts must not depend on the backend
+# ----------------------------------------------------------------------
+
+
+class TestPaperVerdictsBackendIndependent:
+    def test_fig1_no_solution_under_both_backends(self):
+        from repro.core import solve_si, solve_si_iterative
+        from repro.figures import fig1_program
+
+        for name in BACKENDS:
+            with using_backend(name):
+                report = solve_si(fig1_program())
+                assert not report.well_posed
+                assert report.solutions == ()
+                iterative = solve_si_iterative(fig1_program())
+                assert not iterative.converged
+                assert len(iterative.cycle) == 2
+
+    def test_fig2_sis_bit_identical_across_backends(self):
+        from repro.core import solve_si
+        from repro.figures import fig2_program, fig2_strong_init, fig2_weak_init
+
+        fingerprints = {}
+        for name in BACKENDS:
+            with using_backend(name):
+                program = fig2_program()
+                fingerprints[name] = tuple(
+                    solve_si(program.with_init(init(program))).strongest().fingerprint()
+                    for init in (fig2_weak_init, fig2_strong_init)
+                )
+        assert fingerprints["int"] == fingerprints["numpy"]
+        weak_si, strong_si = fingerprints["int"]
+        # the paper's non-monotonicity exhibit: stronger init, incomparable SI
+        assert weak_si != strong_si
+
+
+# ----------------------------------------------------------------------
+# selection API
+# ----------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PREDICATE_BACKEND", "numpy")
+        previous = set_default_backend(None)  # force a re-read of the env
+        try:
+            from repro.predicates.backends import backend_for_size
+
+            assert backend_for_size(4).name == "numpy"
+        finally:
+            set_default_backend(previous)
+
+    def test_bad_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PREDICATE_BACKEND", "fpga")
+        previous = set_default_backend(None)
+        try:
+            from repro.predicates.backends import backend_for_size
+
+            with pytest.raises(ValueError, match="fpga"):
+                backend_for_size(4)
+        finally:
+            set_default_backend(previous)
+
+    def test_auto_threshold_policy(self):
+        from repro.predicates.backends import AUTO_THRESHOLD, backend_for_size
+
+        with using_backend("auto"):
+            assert backend_for_size(AUTO_THRESHOLD - 1).name == "int"
+            assert backend_for_size(AUTO_THRESHOLD).name == "numpy"
+
+    def test_bound_predicate_keeps_its_backend(self):
+        from repro.predicates.backends import backend_for
+
+        space = _space()
+        with using_backend("numpy"):
+            p = Predicate(space, 0b1011)
+            q = wcyl(("a",), p)  # kernel result carries a numpy handle
+        with using_backend("int"):
+            assert backend_for(q).name == "numpy"
+            assert backend_for(Predicate(space, 5)).name == "int"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            set_default_backend("gpu")
+
+
+# ----------------------------------------------------------------------
+# satellite: the size-proportional iteration limit diagnostic
+# ----------------------------------------------------------------------
+
+
+class TestIterationLimitDiagnostic:
+    def test_default_limit_is_size_proportional(self):
+        assert default_iteration_limit(8) == 4 * 8 + 16
+        assert default_iteration_limit(4096) < 2**4096  # the old default
+
+    def test_runaway_chain_raises_naming_the_transformer(self):
+        # 256 distinct values over an 8-state space: the chain neither
+        # converges nor cycles within 4*8+16 = 48 steps.
+        space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+
+        def successor(x):
+            return Predicate(space, (x.mask + 1) % (1 << space.size))
+
+        with pytest.raises(RuntimeError, match="my-transformer.*48 steps"):
+            iterate_to_fixpoint(
+                successor, Predicate.false(space), name="my-transformer"
+            )
+        # an explicit budget still overrides the default
+        result = iterate_to_fixpoint(
+            successor, Predicate(space, 254), max_iterations=500
+        )
+        assert not result.converged  # wraps around into a 256-cycle

@@ -117,23 +117,20 @@ class TestProgramSP:
 
 
 class TestVectorizedAgreement:
-    def test_small_and_large_paths_agree(self):
-        """The numpy fast path must agree with the bit-loop path."""
-        from repro.transformers.semantics import _VECTORIZE_THRESHOLD
-        import repro.transformers.semantics as semantics
+    def test_backends_agree_on_sp_and_wp(self):
+        """The numpy backend must agree with the exact int reference backend."""
+        from repro.predicates import using_backend
 
         program = make_counter_program()
         p = Predicate.from_callable(program.space, lambda s: s["n"] % 2 == 0)
         stmt = program.statement("tick")
-        original = semantics._VECTORIZE_THRESHOLD
-        try:
-            semantics._VECTORIZE_THRESHOLD = 1  # force numpy
-            fast_sp = sp_statement(program, stmt, p)
-            fast_wp = wp_statement(program, stmt, p)
-            semantics._VECTORIZE_THRESHOLD = 10**9  # force bit loops
-            slow_sp = sp_statement(program, stmt, p)
-            slow_wp = wp_statement(program, stmt, p)
-        finally:
-            semantics._VECTORIZE_THRESHOLD = original
+        with using_backend("numpy"):
+            program.transformer_cache.clear()
+            fast_sp = sp_statement(program, stmt, Predicate(program.space, p.mask))
+            fast_wp = wp_statement(program, stmt, Predicate(program.space, p.mask))
+        with using_backend("int"):
+            program.transformer_cache.clear()
+            slow_sp = sp_statement(program, stmt, Predicate(program.space, p.mask))
+            slow_wp = wp_statement(program, stmt, Predicate(program.space, p.mask))
         assert fast_sp == slow_sp
         assert fast_wp == slow_wp
