@@ -1,0 +1,106 @@
+"""The evidence subsystem: proof certificates and an independent replayer.
+
+Solvers emit serializable *certificates* (``emit_certificate=True``
+plumbing in :mod:`repro.core.kbp`, :mod:`repro.seqtrans.spec`,
+:mod:`repro.proofs.kernel` and the emit drivers here); a minimal,
+solver-independent checker (:mod:`repro.certificates.replay`) re-establishes
+every verdict from the artifact alone, using only primitive predicate
+operations and one-step successor lookups on the exact ``int`` backend.
+
+Round trip::
+
+    python -m repro.certificates.emit artifacts/
+    python -m repro.certificates.replay artifacts/
+
+See DESIGN.md §8 for the certificate taxonomy and the replayer's
+soundness argument.
+"""
+
+from .canonical import (
+    CERT_FORMAT,
+    CertificateError,
+    canonical_dumps,
+    payload_digest,
+    program_digest,
+    space_signature,
+)
+from .certs import (
+    CERTIFICATE_KINDS,
+    CandidateRefutation,
+    FixpointCertificate,
+    InvariantCertificate,
+    KbpSolutionEntry,
+    KbpSolveCertificate,
+    KbpSpecCertificate,
+    LeadsToCertificate,
+    LeadsToRefutationCertificate,
+    NonMonotonicityCertificate,
+    S5Certificate,
+    S5Instance,
+    SafetyRefutationCertificate,
+    SpHatCertificate,
+    SpecCertificate,
+    decode_certificate,
+    resolution_table,
+)
+from .models import MODEL_BUILDERS, Model, build_model
+from .store import Artifact, iter_artifacts, load, loads, save, wrap
+
+# emit/replay are the CLI entry points (python -m repro.certificates.emit);
+# import them lazily so runpy doesn't warn about double-loading them.
+_LAZY = {
+    "EMITTERS": "emit",
+    "emit_all": "emit",
+    "ReplayOutcome": "replay",
+    "replay_artifact": "replay",
+    "replay_path": "replay",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module}", __name__), name)
+
+__all__ = [
+    "CERT_FORMAT",
+    "CERTIFICATE_KINDS",
+    "Artifact",
+    "CandidateRefutation",
+    "CertificateError",
+    "EMITTERS",
+    "FixpointCertificate",
+    "InvariantCertificate",
+    "KbpSolutionEntry",
+    "KbpSolveCertificate",
+    "KbpSpecCertificate",
+    "LeadsToCertificate",
+    "LeadsToRefutationCertificate",
+    "MODEL_BUILDERS",
+    "Model",
+    "NonMonotonicityCertificate",
+    "ReplayOutcome",
+    "S5Certificate",
+    "S5Instance",
+    "SafetyRefutationCertificate",
+    "SpHatCertificate",
+    "SpecCertificate",
+    "build_model",
+    "canonical_dumps",
+    "decode_certificate",
+    "emit_all",
+    "iter_artifacts",
+    "load",
+    "loads",
+    "payload_digest",
+    "program_digest",
+    "replay_artifact",
+    "replay_path",
+    "resolution_table",
+    "save",
+    "space_signature",
+    "wrap",
+]

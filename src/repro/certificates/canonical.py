@@ -1,0 +1,164 @@
+"""Canonical JSON encoding for certificate payloads.
+
+Every certificate serializes to a *canonical* JSON document: sorted keys,
+no whitespace, predicates keyed by their :meth:`Predicate.fingerprint`
+(little-endian mask bytes, identical across backends).  Canonicality makes
+the payload digest well-defined: an artifact envelope stores
+``sha256(canonical_json(payload))``, so any byte of tampering that does not
+also recompute the digest is rejected before replay even starts, and a
+tamperer who *does* fix the digest still has to get past the semantic
+replay checks.
+
+Nothing in this module runs a solver; it is shared by the emitters and the
+replayer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..predicates import Predicate
+from ..statespace import StateSpace
+from ..unity import Program
+
+#: Artifact envelope format tag; bump on incompatible payload changes.
+CERT_FORMAT = "repro-certificate/v1"
+
+
+class CertificateError(Exception):
+    """A certificate failed to parse, verify, or replay."""
+
+
+def canonical_dumps(payload: Any) -> str:
+    """The canonical JSON text of a payload (sorted keys, no whitespace)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def payload_digest(payload: Any) -> str:
+    """``sha256:<hex>`` over the canonical JSON of ``payload``."""
+    text = canonical_dumps(payload).encode("ascii")
+    return "sha256:" + hashlib.sha256(text).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# predicates
+# ----------------------------------------------------------------------
+
+
+def encode_predicate(p: Predicate) -> Dict[str, Any]:
+    """A predicate as ``{"size", "bits"}`` — bits is the fingerprint hex."""
+    return {"size": p.space.size, "bits": p.fingerprint().hex()}
+
+
+def decode_predicate(obj: Any, space: StateSpace) -> Predicate:
+    """Rebuild a predicate, rejecting any mismatch with ``space``."""
+    if not isinstance(obj, dict) or "size" not in obj or "bits" not in obj:
+        raise CertificateError(f"malformed predicate encoding: {obj!r}")
+    if obj["size"] != space.size:
+        raise CertificateError(
+            f"predicate encoded over {obj['size']} states; expected {space.size}"
+        )
+    try:
+        raw = bytes.fromhex(obj["bits"])
+    except (ValueError, TypeError) as exc:
+        raise CertificateError(f"predicate bits are not hex: {exc}") from None
+    try:
+        return Predicate.from_fingerprint(space, raw)
+    except ValueError as exc:
+        raise CertificateError(str(exc)) from None
+
+
+def encode_predicates(ps: Sequence[Predicate]) -> List[Dict[str, Any]]:
+    return [encode_predicate(p) for p in ps]
+
+
+def decode_predicates(objs: Any, space: StateSpace) -> Tuple[Predicate, ...]:
+    if not isinstance(objs, list):
+        raise CertificateError("expected a list of predicate encodings")
+    return tuple(decode_predicate(o, space) for o in objs)
+
+
+# ----------------------------------------------------------------------
+# state spaces and programs
+# ----------------------------------------------------------------------
+
+
+def space_signature(space: StateSpace) -> str:
+    """A stable textual identity: variable names, domains, and state count."""
+    vars_sig = ";".join(f"{v.name}:{v.domain.name}" for v in space.variables)
+    return f"{vars_sig}#{space.size}"
+
+
+def program_digest(program: Program) -> Dict[str, Any]:
+    """What a certificate pins about the program it talks about.
+
+    Name, space signature, statement names (in program order), and the
+    fingerprint of ``init``.  The replayer refuses to check a certificate
+    against a program with a different digest — in particular, swapping the
+    recorded initial condition is caught here.
+    """
+    return {
+        "name": program.name,
+        "space": space_signature(program.space),
+        "statements": [s.name for s in program.statements],
+        "init": encode_predicate(program.init),
+    }
+
+
+def check_program_digest(digest: Any, program: Program) -> None:
+    """Raise :class:`CertificateError` unless ``digest`` matches ``program``."""
+    expected = program_digest(program)
+    if not isinstance(digest, dict):
+        raise CertificateError("malformed program digest")
+    for key in ("name", "space", "statements"):
+        if digest.get(key) != expected[key]:
+            raise CertificateError(
+                f"program digest mismatch on {key!r}: certificate has "
+                f"{digest.get(key)!r}, program has {expected[key]!r}"
+            )
+    recorded_init = decode_predicate(digest.get("init"), program.space)
+    if not recorded_init == program.init:
+        raise CertificateError(
+            "program digest mismatch on init: the certificate was issued for "
+            "a different initial condition"
+        )
+
+
+# ----------------------------------------------------------------------
+# paths and small structures
+# ----------------------------------------------------------------------
+
+
+def encode_path(
+    states: Sequence[int], statements: Sequence[str]
+) -> Dict[str, Any]:
+    return {"states": list(states), "statements": list(statements)}
+
+
+def decode_path(obj: Any, size: int) -> Tuple[Tuple[int, ...], Tuple[str, ...]]:
+    if (
+        not isinstance(obj, dict)
+        or not isinstance(obj.get("states"), list)
+        or not isinstance(obj.get("statements"), list)
+    ):
+        raise CertificateError(f"malformed path encoding: {obj!r}")
+    states = tuple(obj["states"])
+    statements = tuple(obj["statements"])
+    for s in states:
+        if not isinstance(s, int) or not 0 <= s < size:
+            raise CertificateError(f"path state index {s!r} out of range")
+    if states and len(statements) != len(states) - 1:
+        raise CertificateError(
+            f"path has {len(states)} states but {len(statements)} statement labels"
+        )
+    return states, statements
+
+
+def decode_state(obj: Any, size: int) -> int:
+    if not isinstance(obj, int) or not 0 <= obj < size:
+        raise CertificateError(f"state index {obj!r} out of range")
+    return obj

@@ -1,0 +1,819 @@
+"""Certificate dataclasses and their canonical JSON payloads.
+
+Each class captures *evidence* for one solver verdict, in a form a minimal
+independent checker can re-establish with primitive predicate operations
+and one-step successor lookups (see :mod:`repro.certificates.replay`):
+
+=========================  =====================================================
+kind                       evidence
+=========================  =====================================================
+``fixpoint``               full Kleene chain of ``f.x = SP.x ∨ p`` from false
+``invariant``              an SI chain plus ``[SI ⇒ p]``
+``kbp-solve``              per-candidate partition of *all* SI candidates
+                           ``⊇ init`` into solutions (resolution + sst chain)
+                           and refutations (escape path or closed-set witness)
+``leads-to``               ``wlt`` ranking stages ``(helper, X)``
+``leads-to-refutation``    a lasso: init→start prefix, ¬q approach, fair trap
+``safety-refutation``      a concrete labeled path from init to a ¬p state
+``init-nonmonotonic``      two ``kbp-solve`` certificates plus the Figure-2
+                           safety and liveness flips
+``sp-hat-nonmonotone``     a witness pair ``p ⊆ q`` with ``ŜP.p ⊄ ŜP.q``
+``s5``                     per-law witness states / exhaustive re-check
+``kbp-spec``               a solved KBP: resolution + chain + (34)/(35)
+``spec-check``             a standard protocol's (34)/(35) verdict table
+=========================  =====================================================
+
+The classes are dumb containers: emission logic lives in
+:mod:`repro.certificates.emit` (and the ``emit_certificate=True`` plumbing
+of the solvers), checking logic in :mod:`repro.certificates.replay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
+
+from ..predicates import Predicate
+from ..statespace import StateSpace
+from .canonical import (
+    CertificateError,
+    decode_path,
+    decode_predicate,
+    decode_predicates,
+    decode_state,
+    encode_path,
+    encode_predicate,
+    encode_predicates,
+)
+
+#: A knowledge-term resolution as serialized data: ``(repr(term), value)``
+#: pairs sorted by the term's repr — repr is injective on the expression AST.
+ResolutionTable = Tuple[Tuple[str, Predicate], ...]
+
+
+def encode_resolution(table: ResolutionTable) -> List[List[Any]]:
+    return [[key, encode_predicate(value)] for key, value in table]
+
+
+def decode_resolution(obj: Any, space: StateSpace) -> ResolutionTable:
+    if not isinstance(obj, list):
+        raise CertificateError("malformed resolution table")
+    out = []
+    for entry in obj:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise CertificateError(f"malformed resolution entry: {entry!r}")
+        key, value = entry
+        out.append((key, decode_predicate(value, space)))
+    return tuple(out)
+
+
+def resolution_table(resolution: Dict[Any, Predicate]) -> ResolutionTable:
+    """Serialize a ``{Knowledge: Predicate}`` map, sorted by term repr."""
+    return tuple(sorted((repr(term), p) for term, p in resolution.items()))
+
+
+# ----------------------------------------------------------------------
+# (a) fixpoint certificates — sst / SI
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixpointCertificate:
+    """The Kleene chain establishing ``sst.seed`` (and ``SI`` for seed=init).
+
+    ``chain[0]`` must be false, each link must equal
+    ``SP.(previous) ∨ seed``, and the last element must be a fixed point —
+    verifiable with one-step images only, and sufficient: the exact orbit
+    of the monotone ``f.x = SP.x ∨ seed`` from false ends at the *least*
+    fixed point, which is ``sst.seed`` by eq. (3).
+    """
+
+    kind: ClassVar[str] = "fixpoint"
+
+    claim: str  # "sst" or "si"
+    program: Dict[str, Any]
+    seed: Predicate
+    chain: Tuple[Predicate, ...]
+
+    @property
+    def value(self) -> Predicate:
+        return self.chain[-1]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "claim": self.claim,
+            "program": self.program,
+            "seed": encode_predicate(self.seed),
+            "chain": encode_predicates(self.chain),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "FixpointCertificate":
+        chain = decode_predicates(payload.get("chain"), space)
+        if not chain:
+            raise CertificateError("fixpoint certificate has an empty chain")
+        return cls(
+            claim=payload.get("claim", ""),
+            program=payload.get("program", {}),
+            seed=decode_predicate(payload.get("seed"), space),
+            chain=chain,
+        )
+
+
+@dataclass(frozen=True)
+class InvariantCertificate:
+    """``invariant p`` via eq. (5): an SI chain plus the inclusion check."""
+
+    kind: ClassVar[str] = "invariant"
+
+    si: FixpointCertificate
+    predicate: Predicate
+    label: str = ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "si": self.si.to_payload(),
+            "predicate": encode_predicate(self.predicate),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "InvariantCertificate":
+        return cls(
+            si=FixpointCertificate.from_payload(payload.get("si", {}), space),
+            predicate=decode_predicate(payload.get("predicate"), space),
+            label=payload.get("label", ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# (b) eq.-(25) solve certificates — solutions and refutations per candidate
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CandidateRefutation:
+    """Why one candidate ``x ⊇ init`` fails ``Φ(x) = x``.
+
+    Two witness shapes, both relative to the resolved program ``P_x``
+    (whose correctness the replayer re-derives from ``resolution``):
+
+    * ``escape`` — a labeled path from an init state to a state outside
+      ``x``: that state is reachable, so ``Φ(x) ⊄ x``;
+    * ``unreached`` — a set ``closed ⊇ init`` that every statement maps
+      into itself, plus a ``missing`` state in ``x \\ closed``: reachability
+      is confined to ``closed``, so ``missing ∉ Φ(x)`` yet ``missing ∈ x``.
+    """
+
+    candidate: Predicate
+    resolution: ResolutionTable
+    witness_kind: str  # "escape" | "unreached"
+    path_states: Tuple[int, ...] = ()
+    path_statements: Tuple[str, ...] = ()
+    closed: Optional[Predicate] = None
+    missing: Optional[int] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "candidate": encode_predicate(self.candidate),
+            "resolution": encode_resolution(self.resolution),
+            "witness": self.witness_kind,
+        }
+        if self.witness_kind == "escape":
+            out["path"] = encode_path(self.path_states, self.path_statements)
+        else:
+            out["closed"] = encode_predicate(self.closed)
+            out["missing"] = self.missing
+        return out
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "CandidateRefutation":
+        witness = payload.get("witness")
+        common = dict(
+            candidate=decode_predicate(payload.get("candidate"), space),
+            resolution=decode_resolution(payload.get("resolution"), space),
+            witness_kind=witness,
+        )
+        if witness == "escape":
+            states, statements = decode_path(payload.get("path"), space.size)
+            return cls(path_states=states, path_statements=statements, **common)
+        if witness == "unreached":
+            return cls(
+                closed=decode_predicate(payload.get("closed"), space),
+                missing=decode_state(payload.get("missing"), space.size),
+                **common,
+            )
+        raise CertificateError(f"unknown refutation witness kind {witness!r}")
+
+
+@dataclass(frozen=True)
+class KbpSolutionEntry:
+    """One solution of eq. (25): its resolution and the sst chain of ``P_x``."""
+
+    candidate: Predicate
+    resolution: ResolutionTable
+    chain: Tuple[Predicate, ...]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "candidate": encode_predicate(self.candidate),
+            "resolution": encode_resolution(self.resolution),
+            "chain": encode_predicates(self.chain),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "KbpSolutionEntry":
+        return cls(
+            candidate=decode_predicate(payload.get("candidate"), space),
+            resolution=decode_resolution(payload.get("resolution"), space),
+            chain=decode_predicates(payload.get("chain"), space),
+        )
+
+
+@dataclass(frozen=True)
+class KbpSolveCertificate:
+    """The full exhaustive eq.-(25) verdict: every candidate accounted for.
+
+    The replayer enumerates all candidates ``⊇ init`` itself and demands
+    the solutions and refutations partition them exactly — a truncated
+    refutation table (Figure 1's failure mode) is rejected by counting.
+    """
+
+    kind: ClassVar[str] = "kbp-solve"
+
+    program: Dict[str, Any]
+    init: Predicate
+    solutions: Tuple[KbpSolutionEntry, ...]
+    refutations: Tuple[CandidateRefutation, ...]
+
+    @property
+    def well_posed(self) -> bool:
+        return bool(self.solutions)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "init": encode_predicate(self.init),
+            "solutions": [s.to_payload() for s in self.solutions],
+            "refutations": [r.to_payload() for r in self.refutations],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "KbpSolveCertificate":
+        return cls(
+            program=payload.get("program", {}),
+            init=decode_predicate(payload.get("init"), space),
+            solutions=tuple(
+                KbpSolutionEntry.from_payload(s, space)
+                for s in payload.get("solutions", [])
+            ),
+            refutations=tuple(
+                CandidateRefutation.from_payload(r, space)
+                for r in payload.get("refutations", [])
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# (d) liveness certificates and refutations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LeadsToCertificate:
+    """``p ↦ q`` via the ranking stages a :func:`wlt` run adjoined.
+
+    Each stage ``(helper, X)`` is checked against the ``Z`` accumulated so
+    far: the helper's one step carries every ``X`` state into ``Z``, and no
+    statement's step leaves ``X ∨ Z``.  Fairness then gives ``X ↦ Z``, and
+    by induction every staged state leads to ``q``.  ``reach`` bounds the
+    obligation (states off it are never visited); it is certified either by
+    the embedded ``si_chain`` or externally by an enclosing certificate.
+    """
+
+    kind: ClassVar[str] = "leads-to"
+
+    program: Dict[str, Any]
+    p: Predicate
+    q: Predicate
+    reach: Predicate
+    stages: Tuple[Tuple[str, Predicate], ...]
+    si_chain: Optional[Tuple[Predicate, ...]] = None
+    label: str = ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "program": self.program,
+            "p": encode_predicate(self.p),
+            "q": encode_predicate(self.q),
+            "reach": encode_predicate(self.reach),
+            "stages": [
+                [name, encode_predicate(x)] for name, x in self.stages
+            ],
+            "label": self.label,
+        }
+        if self.si_chain is not None:
+            out["si_chain"] = encode_predicates(self.si_chain)
+        return out
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "LeadsToCertificate":
+        raw_stages = payload.get("stages")
+        if not isinstance(raw_stages, list):
+            raise CertificateError("malformed leads-to stages")
+        stages = []
+        for entry in raw_stages:
+            if not isinstance(entry, list) or len(entry) != 2:
+                raise CertificateError(f"malformed stage entry: {entry!r}")
+            stages.append((entry[0], decode_predicate(entry[1], space)))
+        si_chain = payload.get("si_chain")
+        return cls(
+            program=payload.get("program", {}),
+            p=decode_predicate(payload.get("p"), space),
+            q=decode_predicate(payload.get("q"), space),
+            reach=decode_predicate(payload.get("reach"), space),
+            stages=tuple(stages),
+            si_chain=(
+                decode_predicates(si_chain, space) if si_chain is not None else None
+            ),
+            label=payload.get("label", ""),
+        )
+
+
+@dataclass(frozen=True)
+class LeadsToRefutationCertificate:
+    """``p ↦ q`` fails: a concrete lasso under statement fairness.
+
+    ``prefix`` reaches a ``p ∧ ¬q`` state from init; ``approach`` continues
+    inside ``¬q`` to the ``trap`` — a strongly connected ``¬q`` set in
+    which every statement has an edge staying inside (so an infinite fair
+    run can circulate there forever).
+    """
+
+    kind: ClassVar[str] = "leads-to-refutation"
+
+    program: Dict[str, Any]
+    p: Predicate
+    q: Predicate
+    prefix_states: Tuple[int, ...]
+    prefix_statements: Tuple[str, ...]
+    approach_states: Tuple[int, ...]
+    approach_statements: Tuple[str, ...]
+    trap: Tuple[int, ...]
+    label: str = ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "p": encode_predicate(self.p),
+            "q": encode_predicate(self.q),
+            "prefix": encode_path(self.prefix_states, self.prefix_statements),
+            "approach": encode_path(self.approach_states, self.approach_statements),
+            "trap": list(self.trap),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "LeadsToRefutationCertificate":
+        prefix = decode_path(payload.get("prefix"), space.size)
+        approach = decode_path(payload.get("approach"), space.size)
+        trap = payload.get("trap")
+        if not isinstance(trap, list) or not trap:
+            raise CertificateError("refutation trap must be a non-empty list")
+        return cls(
+            program=payload.get("program", {}),
+            p=decode_predicate(payload.get("p"), space),
+            q=decode_predicate(payload.get("q"), space),
+            prefix_states=prefix[0],
+            prefix_statements=prefix[1],
+            approach_states=approach[0],
+            approach_statements=approach[1],
+            trap=tuple(decode_state(t, space.size) for t in trap),
+            label=payload.get("label", ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# (e) safety counterexamples
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SafetyRefutationCertificate:
+    """``invariant p`` fails: a labeled path from init to a ``¬p`` state."""
+
+    kind: ClassVar[str] = "safety-refutation"
+
+    program: Dict[str, Any]
+    predicate: Predicate
+    path_states: Tuple[int, ...]
+    path_statements: Tuple[str, ...]
+    label: str = ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "predicate": encode_predicate(self.predicate),
+            "path": encode_path(self.path_states, self.path_statements),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "SafetyRefutationCertificate":
+        states, statements = decode_path(payload.get("path"), space.size)
+        return cls(
+            program=payload.get("program", {}),
+            predicate=decode_predicate(payload.get("predicate"), space),
+            path_states=states,
+            path_statements=statements,
+            label=payload.get("label", ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# (c) Figure 2 — non-monotonicity of SI in init, with the property flips
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NonMonotonicityCertificate:
+    """Figure 2 in full: ``init_strong ⇒ init_weak`` yet ``si_strong ⇏ si_weak``.
+
+    Both variants carry complete :class:`KbpSolveCertificate` evidence (so
+    each SI really is the unique eq.-(25) solution), and the property flips
+    ride along: the safety invariant and the liveness property hold under
+    the weak init and are concretely refuted under the strong one.
+    """
+
+    kind: ClassVar[str] = "init-nonmonotonic"
+
+    program: Dict[str, Any]  # the base program (statements; init immaterial)
+    weak: KbpSolveCertificate
+    strong: KbpSolveCertificate
+    safety_predicate: Optional[Predicate] = None  # e.g. ¬y
+    safety_refutation: Optional[SafetyRefutationCertificate] = None
+    liveness_target: Optional[Predicate] = None  # e.g. z
+    liveness_weak: Optional[LeadsToCertificate] = None
+    liveness_refutation: Optional[LeadsToRefutationCertificate] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "program": self.program,
+            "weak": self.weak.to_payload(),
+            "strong": self.strong.to_payload(),
+        }
+        if self.safety_predicate is not None:
+            out["safety_predicate"] = encode_predicate(self.safety_predicate)
+        if self.safety_refutation is not None:
+            out["safety_refutation"] = self.safety_refutation.to_payload()
+        if self.liveness_target is not None:
+            out["liveness_target"] = encode_predicate(self.liveness_target)
+        if self.liveness_weak is not None:
+            out["liveness_weak"] = self.liveness_weak.to_payload()
+        if self.liveness_refutation is not None:
+            out["liveness_refutation"] = self.liveness_refutation.to_payload()
+        return out
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "NonMonotonicityCertificate":
+        def opt(key, decoder):
+            raw = payload.get(key)
+            return decoder(raw) if raw is not None else None
+
+        return cls(
+            program=payload.get("program", {}),
+            weak=KbpSolveCertificate.from_payload(payload.get("weak", {}), space),
+            strong=KbpSolveCertificate.from_payload(
+                payload.get("strong", {}), space
+            ),
+            safety_predicate=opt(
+                "safety_predicate", lambda r: decode_predicate(r, space)
+            ),
+            safety_refutation=opt(
+                "safety_refutation",
+                lambda r: SafetyRefutationCertificate.from_payload(r, space),
+            ),
+            liveness_target=opt(
+                "liveness_target", lambda r: decode_predicate(r, space)
+            ),
+            liveness_weak=opt(
+                "liveness_weak", lambda r: LeadsToCertificate.from_payload(r, space)
+            ),
+            liveness_refutation=opt(
+                "liveness_refutation",
+                lambda r: LeadsToRefutationCertificate.from_payload(r, space),
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# (f) junctivity — ŜP non-monotonicity witness (Figure 1's "culprit")
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpHatCertificate:
+    """``ŜP`` is not monotone: ``p ⊆ q`` yet ``ŜP.p ⊄ ŜP.q``.
+
+    Carries both resolutions (so the replayer can rebuild ``P_p``/``P_q``
+    independently), the claimed one-step images, and the witness state in
+    ``ŜP.p \\ ŜP.q``.
+    """
+
+    kind: ClassVar[str] = "sp-hat-nonmonotone"
+
+    program: Dict[str, Any]
+    p: Predicate
+    q: Predicate
+    resolution_p: ResolutionTable
+    resolution_q: ResolutionTable
+    image_p: Predicate
+    image_q: Predicate
+    witness: int
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "p": encode_predicate(self.p),
+            "q": encode_predicate(self.q),
+            "resolution_p": encode_resolution(self.resolution_p),
+            "resolution_q": encode_resolution(self.resolution_q),
+            "image_p": encode_predicate(self.image_p),
+            "image_q": encode_predicate(self.image_q),
+            "witness": self.witness,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "SpHatCertificate":
+        return cls(
+            program=payload.get("program", {}),
+            p=decode_predicate(payload.get("p"), space),
+            q=decode_predicate(payload.get("q"), space),
+            resolution_p=decode_resolution(payload.get("resolution_p"), space),
+            resolution_q=decode_resolution(payload.get("resolution_q"), space),
+            image_p=decode_predicate(payload.get("image_p"), space),
+            image_q=decode_predicate(payload.get("image_q"), space),
+            witness=decode_state(payload.get("witness"), space.size),
+        )
+
+
+# ----------------------------------------------------------------------
+# (f) S5 axiom instances
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class S5Instance:
+    """One axiom instance: law, process, verdict, and its witnesses.
+
+    ``verdict == "holds"`` with ``mode == "exhaustive"`` asks the replayer
+    to re-enumerate every predicate (guarded by space size); a failing
+    instance carries witness predicates plus the state where the law's
+    pointwise implication breaks.
+    """
+
+    law: str
+    process: str
+    verdict: str  # "holds" | "fails"
+    mode: str  # "exhaustive" | "witness"
+    witnesses: Tuple[Predicate, ...] = ()
+    witness_state: Optional[int] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "law": self.law,
+            "process": self.process,
+            "verdict": self.verdict,
+            "mode": self.mode,
+            "witnesses": encode_predicates(self.witnesses),
+        }
+        if self.witness_state is not None:
+            out["witness_state"] = self.witness_state
+        return out
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "S5Instance":
+        ws = payload.get("witness_state")
+        return cls(
+            law=payload.get("law", ""),
+            process=payload.get("process", ""),
+            verdict=payload.get("verdict", ""),
+            mode=payload.get("mode", ""),
+            witnesses=decode_predicates(payload.get("witnesses", []), space),
+            witness_state=(
+                decode_state(ws, space.size) if ws is not None else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class S5Certificate:
+    """S5/knowledge-law instances for one ``(SI, views)`` knowledge operator."""
+
+    kind: ClassVar[str] = "s5"
+
+    space_sig: str
+    views: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    si: Predicate
+    instances: Tuple[S5Instance, ...]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "space": self.space_sig,
+            "views": [[name, list(vars_)] for name, vars_ in self.views],
+            "si": encode_predicate(self.si),
+            "instances": [i.to_payload() for i in self.instances],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "S5Certificate":
+        raw_views = payload.get("views", [])
+        views = tuple((name, tuple(vars_)) for name, vars_ in raw_views)
+        return cls(
+            space_sig=payload.get("space", ""),
+            views=views,
+            si=decode_predicate(payload.get("si"), space),
+            instances=tuple(
+                S5Instance.from_payload(i, space)
+                for i in payload.get("instances", [])
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# composites — the §6 case-study bundles (E8, E13/E15)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KbpSpecCertificate:
+    """A solved KBP with its specification: eq. (25) + (34) + (35).
+
+    The ``solution`` chain certifies the SI of the *resolved* program the
+    replayer derives from the recorded resolution; the safety entries are
+    inclusion checks against that SI, and the liveness entries' ``reach``
+    must equal the solution (they are replayed with the SI as trusted
+    reachable set — no second chain needed).
+    """
+
+    kind: ClassVar[str] = "kbp-spec"
+
+    program: Dict[str, Any]  # the knowledge-based program
+    solution: KbpSolutionEntry
+    safety: Tuple[Tuple[str, Predicate], ...]
+    liveness: Tuple[LeadsToCertificate, ...]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "solution": self.solution.to_payload(),
+            "safety": [
+                [label, encode_predicate(p)] for label, p in self.safety
+            ],
+            "liveness": [c.to_payload() for c in self.liveness],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "KbpSpecCertificate":
+        raw_safety = payload.get("safety", [])
+        return cls(
+            program=payload.get("program", {}),
+            solution=KbpSolutionEntry.from_payload(
+                payload.get("solution", {}), space
+            ),
+            safety=tuple(
+                (label, decode_predicate(p, space)) for label, p in raw_safety
+            ),
+            liveness=tuple(
+                LeadsToCertificate.from_payload(c, space)
+                for c in payload.get("liveness", [])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SpecCertificate:
+    """A standard protocol's (34)/(35) verdict table with full evidence.
+
+    ``liveness`` mixes positive stage certificates and lasso refutations —
+    exactly the E13 channel matrix row for one channel.
+    """
+
+    kind: ClassVar[str] = "spec-check"
+
+    program: Dict[str, Any]
+    si_chain: Tuple[Predicate, ...]
+    safety: Tuple[Tuple[str, Predicate], ...]
+    safety_refutations: Tuple[SafetyRefutationCertificate, ...] = ()
+    liveness: Tuple[Any, ...] = ()  # LeadsTo / LeadsToRefutation certificates
+
+    @property
+    def si(self) -> Predicate:
+        return self.si_chain[-1]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "si_chain": encode_predicates(self.si_chain),
+            "safety": [
+                [label, encode_predicate(p)] for label, p in self.safety
+            ],
+            "safety_refutations": [
+                c.to_payload() for c in self.safety_refutations
+            ],
+            "liveness": [
+                {"kind": c.kind, "payload": c.to_payload()} for c in self.liveness
+            ],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], space: StateSpace
+    ) -> "SpecCertificate":
+        chain = decode_predicates(payload.get("si_chain"), space)
+        if not chain:
+            raise CertificateError("spec certificate has an empty SI chain")
+        liveness: List[Any] = []
+        for entry in payload.get("liveness", []):
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise CertificateError(f"malformed liveness entry: {entry!r}")
+            if entry["kind"] == LeadsToCertificate.kind:
+                liveness.append(
+                    LeadsToCertificate.from_payload(entry.get("payload", {}), space)
+                )
+            elif entry["kind"] == LeadsToRefutationCertificate.kind:
+                liveness.append(
+                    LeadsToRefutationCertificate.from_payload(
+                        entry.get("payload", {}), space
+                    )
+                )
+            else:
+                raise CertificateError(
+                    f"unknown liveness certificate kind {entry['kind']!r}"
+                )
+        return cls(
+            program=payload.get("program", {}),
+            si_chain=chain,
+            safety=tuple(
+                (label, decode_predicate(p, space))
+                for label, p in payload.get("safety", [])
+            ),
+            safety_refutations=tuple(
+                SafetyRefutationCertificate.from_payload(c, space)
+                for c in payload.get("safety_refutations", [])
+            ),
+            liveness=tuple(liveness),
+        )
+
+
+#: kind string → certificate class, for envelope decoding.
+CERTIFICATE_KINDS: Dict[str, Any] = {
+    cls.kind: cls
+    for cls in (
+        FixpointCertificate,
+        InvariantCertificate,
+        KbpSolveCertificate,
+        LeadsToCertificate,
+        LeadsToRefutationCertificate,
+        SafetyRefutationCertificate,
+        NonMonotonicityCertificate,
+        SpHatCertificate,
+        S5Certificate,
+        KbpSpecCertificate,
+        SpecCertificate,
+    )
+}
+
+
+def decode_certificate(kind: str, payload: Dict[str, Any], space: StateSpace):
+    """Dispatch payload decoding on the envelope's ``kind`` tag."""
+    cls = CERTIFICATE_KINDS.get(kind)
+    if cls is None:
+        raise CertificateError(f"unknown certificate kind {kind!r}")
+    return cls.from_payload(payload, space)

@@ -1,0 +1,154 @@
+"""The model registry: certificate ``model`` keys → freshly built programs.
+
+A certificate artifact names its model by a registry *key* rather than
+embedding the transition relation (which would let a tamperer smuggle in a
+friendlier program).  The replayer rebuilds the model from source via this
+registry and then checks the certificate's program digest against it — the
+digest (name, space signature, statement names, init fingerprint) is how
+swapped-init or wrong-model artifacts are rejected.
+
+For specification certificates the registry also pins the *obligations*:
+the (34) safety predicate and the (35) leads-to pairs are recomputed here
+from :mod:`repro.seqtrans.spec`, so an artifact cannot weaken what "the
+spec holds" means by editing the predicates it claims to have checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, Optional, Tuple
+
+from ..figures.fig1 import fig1_program
+from ..figures.fig2 import fig2_program, fig2_strong_init
+from ..predicates import Predicate, var_true
+from ..seqtrans import (
+    LOSSY,
+    RELIABLE,
+    SeqTransParams,
+    bounded_loss,
+    build_kbp_protocol,
+    build_standard_protocol,
+)
+from ..seqtrans.spec import (
+    SAFETY_LABEL,
+    liveness_label,
+    safety_predicate,
+    w_length_eq,
+    w_length_gt,
+)
+from ..unity import Program
+from .canonical import CertificateError
+
+
+@dataclass(frozen=True)
+class Model:
+    """A rebuilt model plus the spec obligations pinned to it."""
+
+    key: str
+    program: Program
+    #: label → predicate that must be invariant ((34)-style obligations).
+    safety_obligations: Tuple[Tuple[str, Predicate], ...] = ()
+    #: label → (p, q) leads-to pairs that must each be certified or refuted.
+    liveness_obligations: Tuple[Tuple[str, Predicate, Predicate], ...] = ()
+    #: named auxiliary predicates (e.g. Figure 2's pinned strong init).
+    extras: Dict[str, Predicate] = field(default_factory=dict)
+
+
+def _seqtrans_obligations(program: Program, params: SeqTransParams):
+    space = program.space
+    safety = ((SAFETY_LABEL, safety_predicate(space)),)
+    liveness = tuple(
+        (liveness_label(k), w_length_eq(space, k), w_length_gt(space, k))
+        for k in range(params.length)
+    )
+    return safety, liveness
+
+
+def _fig1() -> Model:
+    return Model(key="fig1", program=fig1_program())
+
+
+def _fig2() -> Model:
+    program = fig2_program()
+    space = program.space
+    return Model(
+        key="fig2",
+        program=program,
+        extras={
+            # Pin the Figure-2 story: the stronger init, the safety
+            # property it breaks (invariant ¬y), and the liveness target
+            # (true ↦ z) whose verdict flips.
+            "strong_init": fig2_strong_init(program),
+            "safety": ~var_true(space, "y"),
+            "liveness_target": var_true(space, "z"),
+        },
+    )
+
+
+def _fig2_strong() -> Model:
+    program = fig2_program()
+    return Model(
+        key="fig2-strong",
+        program=program.with_init(fig2_strong_init(program)),
+    )
+
+
+def _seqtrans_standard(channel_key: str) -> Callable[[], Model]:
+    channels = {
+        "reliable": RELIABLE,
+        "bounded1": bounded_loss(1),
+        "lossy": LOSSY,
+    }
+
+    def build() -> Model:
+        params = SeqTransParams(length=1)
+        program = build_standard_protocol(params, channels[channel_key])
+        safety, liveness = _seqtrans_obligations(program, params)
+        return Model(
+            key=f"seqtrans-standard-L1-{channel_key}",
+            program=program,
+            safety_obligations=safety,
+            liveness_obligations=liveness,
+        )
+
+    return build
+
+
+def _seqtrans_kbp() -> Model:
+    params = SeqTransParams(length=1)
+    program = build_kbp_protocol(params, bounded_loss(1))
+    safety, liveness = _seqtrans_obligations(program, params)
+    return Model(
+        key="seqtrans-kbp-L1-bounded1",
+        program=program,
+        safety_obligations=safety,
+        liveness_obligations=liveness,
+    )
+
+
+MODEL_BUILDERS: Dict[str, Callable[[], Model]] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "fig2-strong": _fig2_strong,
+    "seqtrans-standard-L1-reliable": _seqtrans_standard("reliable"),
+    "seqtrans-standard-L1-bounded1": _seqtrans_standard("bounded1"),
+    "seqtrans-standard-L1-lossy": _seqtrans_standard("lossy"),
+    "seqtrans-kbp-L1-bounded1": _seqtrans_kbp,
+}
+
+
+@lru_cache(maxsize=None)
+def build_model(key: str) -> Model:
+    """Rebuild a registered model from source (cached; backend-agnostic).
+
+    Predicates materialize their exact int mask lazily regardless of the
+    backend active at build time, so the cache is safe to share between
+    int- and numpy-backend replays.
+    """
+    builder = MODEL_BUILDERS.get(key)
+    if builder is None:
+        raise CertificateError(
+            f"unknown model key {key!r}; known: {sorted(MODEL_BUILDERS)}"
+        )
+    return builder()

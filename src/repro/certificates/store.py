@@ -1,0 +1,114 @@
+"""Artifact envelopes: wrapping, saving, and loading certificates.
+
+An artifact on disk is one JSON document::
+
+    {
+      "format": "repro-certificate/v1",
+      "kind":   "<certificate kind>",
+      "model":  "<model registry key>",
+      "digest": "sha256:<hex of canonical payload JSON>",
+      "payload": { ... }
+    }
+
+Loading re-canonicalizes the payload and recomputes the digest; a mismatch
+(any tampering that did not also forge the digest) is rejected before the
+payload is even decoded.  Decoding then validates every fingerprint, state
+index, and path shape.  Neither step trusts the artifact's claims — the
+semantic checks live in :mod:`repro.certificates.replay`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Union
+
+from .canonical import CERT_FORMAT, CertificateError, canonical_dumps, payload_digest
+from .certs import CERTIFICATE_KINDS
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A certificate envelope, still in wire form (payload undecoded)."""
+
+    kind: str
+    model: str
+    payload: Dict[str, Any]
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "format": CERT_FORMAT,
+            "kind": self.kind,
+            "model": self.model,
+            "digest": payload_digest(self.payload),
+            "payload": self.payload,
+        }
+
+    def dumps(self) -> str:
+        return canonical_dumps(self.to_document())
+
+
+def wrap(certificate: Any, model: str) -> Artifact:
+    """Envelope a certificate object for a registered model key."""
+    kind = getattr(type(certificate), "kind", None)
+    if kind not in CERTIFICATE_KINDS:
+        raise CertificateError(
+            f"{type(certificate).__name__} is not a registered certificate class"
+        )
+    return Artifact(kind=kind, model=model, payload=certificate.to_payload())
+
+
+def parse_document(doc: Any) -> Artifact:
+    """Validate an envelope document and verify its payload digest."""
+    if not isinstance(doc, dict):
+        raise CertificateError("artifact is not a JSON object")
+    if doc.get("format") != CERT_FORMAT:
+        raise CertificateError(
+            f"unsupported artifact format {doc.get('format')!r}; "
+            f"expected {CERT_FORMAT!r}"
+        )
+    kind = doc.get("kind")
+    if kind not in CERTIFICATE_KINDS:
+        raise CertificateError(f"unknown certificate kind {kind!r}")
+    model = doc.get("model")
+    if not isinstance(model, str) or not model:
+        raise CertificateError("artifact is missing its model key")
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        raise CertificateError("artifact payload is not a JSON object")
+    expected = payload_digest(payload)
+    if doc.get("digest") != expected:
+        raise CertificateError(
+            f"payload digest mismatch: artifact says {doc.get('digest')!r}, "
+            f"canonical payload hashes to {expected!r} — artifact was tampered "
+            "with or corrupted"
+        )
+    return Artifact(kind=kind, model=model, payload=payload)
+
+
+def loads(text: str) -> Artifact:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CertificateError(f"artifact is not valid JSON: {exc}") from None
+    return parse_document(doc)
+
+
+def save(artifact: Artifact, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(artifact.dumps() + "\n", encoding="ascii")
+    return path
+
+
+def load(path: Union[str, Path]) -> Artifact:
+    return loads(Path(path).read_text(encoding="ascii"))
+
+
+def iter_artifacts(directory: Union[str, Path]) -> Iterator[Path]:
+    """All ``*.cert.json`` files under a directory, sorted for determinism."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise CertificateError(f"{root} is not a directory")
+    return iter(sorted(root.rglob("*.cert.json")))

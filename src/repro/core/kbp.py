@@ -194,10 +194,16 @@ class SolveReport:
     An empty ``solutions`` list certifies (on these finite spaces) that the
     knowledge-based protocol has **no** consistent standard protocol —
     Figure 1's situation.
+
+    With ``solve_si(..., emit_certificate=True)``, ``certificate`` carries a
+    :class:`repro.certificates.certs.KbpSolveCertificate` — the per-candidate
+    evidence (sst chains for solutions, escape paths or closed-set witnesses
+    for refutations) an independent replayer re-checks without this solver.
     """
 
     solutions: Tuple[Predicate, ...]
     candidates_checked: int
+    certificate: Optional[object] = None
 
     @property
     def well_posed(self) -> bool:
@@ -233,7 +239,9 @@ def _supersets_of(base_mask: int, full_mask: int) -> Iterator[int]:
 
 
 def solve_si(
-    program: Program, resolver: Optional[CandidateResolver] = None
+    program: Program,
+    resolver: Optional[CandidateResolver] = None,
+    emit_certificate: bool = False,
 ) -> SolveReport:
     """Exhaustively solve eq. (25): every candidate ``x ⊇ init`` is tested.
 
@@ -241,6 +249,12 @@ def solve_si(
     non-initial states; intended for the paper-scale counterexample models.
     Pass a :class:`CandidateResolver` to share knowledge-term bodies with
     related solves (the Figure-2 comparison does).
+
+    With ``emit_certificate=True`` the report carries a full eq.-(25)
+    certificate: each candidate's resolution plus either the sst chain
+    (solutions) or a concrete refutation — a labeled escape path when
+    ``Φ(x) ⊄ x``, a closed-set witness when ``Φ(x) ⊊ x``.  Only meaningful
+    for knowledge-based programs.
     """
     space = program.space
     if space.size > MAX_EXHAUSTIVE_STATES:
@@ -249,11 +263,18 @@ def solve_si(
             f"SI search (limit {MAX_EXHAUSTIVE_STATES}); use solve_si_iterative"
         )
     if not program.is_knowledge_based():
+        if emit_certificate:
+            raise ValueError(
+                "kbp-solve certificates are for knowledge-based programs; "
+                "certify a standard program's SI with a fixpoint certificate"
+            )
         # Standard program: eq. (25) degenerates to eq. (1); unique solution.
         solution = sst(program, program.init).predicate
         return SolveReport(solutions=(solution,), candidates_checked=1)
     if resolver is None:
         resolver = CandidateResolver(program)
+    if emit_certificate:
+        return _solve_si_certified(program, resolver)
     solutions: List[Predicate] = []
     checked = 0
     for mask in _supersets_of(program.init.mask, space.full_mask):
@@ -263,6 +284,81 @@ def solve_si(
             solutions.append(candidate)
     solutions.sort(key=lambda p: (p.count(), p.mask))
     return SolveReport(solutions=tuple(solutions), candidates_checked=checked)
+
+
+def _solve_si_certified(
+    program: Program, resolver: CandidateResolver
+) -> SolveReport:
+    """The exhaustive sweep, recording per-candidate evidence as it goes."""
+    # Lazy imports: repro.certificates depends on this module's data types.
+    from ..certificates.canonical import program_digest
+    from ..certificates.certs import (
+        CandidateRefutation,
+        KbpSolutionEntry,
+        KbpSolveCertificate,
+        resolution_table,
+    )
+    from ..proofs.modelcheck import labeled_path
+
+    space = program.space
+    solutions: List[Predicate] = []
+    entries: List[KbpSolutionEntry] = []
+    refutations: List[CandidateRefutation] = []
+    checked = 0
+    for mask in _supersets_of(program.init.mask, space.full_mask):
+        checked += 1
+        candidate = Predicate(space, mask)
+        table = resolution_table(resolver.resolution(candidate))
+        resolved = resolver.resolved_program(candidate)
+        result = sst(resolved, resolved.init)
+        value = result.predicate
+        if value == candidate:
+            solutions.append(candidate)
+            entries.append(
+                KbpSolutionEntry(
+                    candidate=candidate, resolution=table, chain=result.chain
+                )
+            )
+        elif not value.entails(candidate):
+            # Φ(x) ⊄ x: some state outside x is reachable in P_x — show it.
+            path = labeled_path(
+                resolved, resolved.init.mask, (~candidate).mask
+            )
+            assert path is not None  # value ⊄ candidate guarantees one
+            refutations.append(
+                CandidateRefutation(
+                    candidate=candidate,
+                    resolution=table,
+                    witness_kind="escape",
+                    path_states=path[0],
+                    path_statements=path[1],
+                )
+            )
+        else:
+            # Φ(x) ⊊ x: reachability confines itself to Φ(x), leaving a
+            # candidate state unreached.
+            missing = next((candidate & ~value).indices())
+            refutations.append(
+                CandidateRefutation(
+                    candidate=candidate,
+                    resolution=table,
+                    witness_kind="unreached",
+                    closed=value,
+                    missing=missing,
+                )
+            )
+    solutions.sort(key=lambda p: (p.count(), p.mask))
+    certificate = KbpSolveCertificate(
+        program=program_digest(program),
+        init=program.init,
+        solutions=tuple(entries),
+        refutations=tuple(refutations),
+    )
+    return SolveReport(
+        solutions=tuple(solutions),
+        candidates_checked=checked,
+        certificate=certificate,
+    )
 
 
 @dataclass(frozen=True)
@@ -321,6 +417,8 @@ class InitMonotonicityReport:
     init_strong: Predicate
     si_weak: Predicate
     si_strong: Predicate
+    certificate_weak: Optional[object] = None
+    certificate_strong: Optional[object] = None
 
     @property
     def monotonic(self) -> bool:
@@ -329,36 +427,45 @@ class InitMonotonicityReport:
 
 
 def compare_inits(
-    program: Program, init_weak: Predicate, init_strong: Predicate
+    program: Program,
+    init_weak: Predicate,
+    init_strong: Predicate,
+    emit_certificate: bool = False,
 ) -> InitMonotonicityReport:
     """Solve the protocol under both initial conditions and compare SIs.
 
     Requires ``[init_strong ⇒ init_weak]`` and a unique solution for each
-    variant (which holds for Figure 2); raises otherwise.
+    variant (which holds for Figure 2); raises otherwise.  With
+    ``emit_certificate=True`` both solves record full eq.-(25) certificates
+    (one per variant) for the non-monotonicity evidence bundle.
     """
     if not init_strong.entails(init_weak):
         raise ValueError("init_strong must imply init_weak")
     shared: List[CandidateResolver] = []
 
-    def solved_si(init: Predicate) -> Predicate:
+    def solved_report(init: Predicate) -> SolveReport:
         variant = program.with_init(init)
         resolver = CandidateResolver(variant)
         if shared:
             # Term bodies are init-independent: both variants reuse them.
             resolver.share_term_cache_with(shared[0])
         shared.append(resolver)
-        report = solve_si(variant, resolver=resolver)
+        report = solve_si(
+            variant, resolver=resolver, emit_certificate=emit_certificate
+        )
         if not report.well_posed:
             raise ValueError("protocol variant has no SI solution")
-        return report.strongest()
+        return report
 
-    si_weak = solved_si(init_weak)
-    si_strong = solved_si(init_strong)
+    report_weak = solved_report(init_weak)
+    report_strong = solved_report(init_strong)
     return InitMonotonicityReport(
         init_weak=init_weak,
         init_strong=init_strong,
-        si_weak=si_weak,
-        si_strong=si_strong,
+        si_weak=report_weak.strongest(),
+        si_strong=report_strong.strongest(),
+        certificate_weak=report_weak.certificate,
+        certificate_strong=report_strong.certificate,
     )
 
 

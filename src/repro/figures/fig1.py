@@ -43,3 +43,15 @@ end
 def fig1_program() -> Program:
     """The Figure 1 knowledge-based protocol (4 states, 2 statements)."""
     return parse_program(FIG1_TEXT)
+
+
+def fig1_no_solution_report(emit_certificate: bool = False):
+    """Run the exhaustive eq.-(25) solver on Figure 1.
+
+    The returned :class:`~repro.core.kbp.SolveReport` has no solutions;
+    with ``emit_certificate=True`` it also carries the full per-candidate
+    refutation table (the replayable "no solution exists" evidence).
+    """
+    from ..core.kbp import solve_si
+
+    return solve_si(fig1_program(), emit_certificate=emit_certificate)

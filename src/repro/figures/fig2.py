@@ -53,3 +53,21 @@ def fig2_weak_init(program: Program) -> Predicate:
 def fig2_strong_init(program: Program) -> Predicate:
     """``init = ¬y ∧ x`` — stronger, yet with a weaker (larger) SI."""
     return ~var_true(program.space, "y") & var_true(program.space, "x")
+
+
+def fig2_comparison(emit_certificate: bool = False):
+    """Solve Figure 2 under both inits and compare the SIs.
+
+    Returns the :class:`~repro.core.kbp.InitMonotonicityReport` with
+    ``monotonic == False``; with ``emit_certificate=True`` both solves
+    carry their full eq.-(25) certificates for the evidence bundle.
+    """
+    from ..core.kbp import compare_inits
+
+    program = fig2_program()
+    return compare_inits(
+        program,
+        fig2_weak_init(program),
+        fig2_strong_init(program),
+        emit_certificate=emit_certificate,
+    )

@@ -25,7 +25,7 @@ from .predicate import Predicate
 class TransformerCache:
     """LRU memo of ``transformer(predicate) -> predicate`` applications."""
 
-    __slots__ = ("maxsize", "hits", "misses", "_store")
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_store")
 
     def __init__(self, maxsize: int = 4096):
         if maxsize <= 0:
@@ -33,6 +33,7 @@ class TransformerCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._store: "OrderedDict[Tuple[str, str, bytes], Predicate]" = OrderedDict()
 
     def lookup(self, kind: str, name: str, p: Predicate) -> Optional[Predicate]:
@@ -53,21 +54,28 @@ class TransformerCache:
         self._store.move_to_end(key)
         while len(self._store) > self.maxsize:
             self._store.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters (surfaced by the benchmarks)."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._store)}
+        """Hit/miss/eviction/size counters (surfaced by the benchmarks)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._store),
+        }
 
     def __repr__(self) -> str:
         return (
             f"TransformerCache({len(self._store)}/{self.maxsize} entries, "
-            f"{self.hits} hits, {self.misses} misses)"
+            f"{self.hits} hits, {self.misses} misses, {self.evictions} evictions)"
         )

@@ -16,7 +16,7 @@ callers can distinguish them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from .predicate import Predicate
 
@@ -29,12 +29,18 @@ class FixpointResult:
     enters a nontrivial cycle instead (possible only for non-monotone
     functions), ``converged`` is false, ``value`` is None, and ``cycle``
     holds the repeating segment.
+
+    ``name`` labels the iterated transformer and ``chain`` retains the full
+    visited sequence (ending at the fixed point when converged) — the raw
+    material of fixpoint certificates, and the stats the benchmarks report.
     """
 
     converged: bool
     value: Optional[Predicate]
     iterations: int
     cycle: List[Predicate] = field(default_factory=list)
+    name: Optional[str] = None
+    chain: Tuple[Predicate, ...] = ()
 
     def require(self) -> Predicate:
         """The fixed point, raising if the iteration did not converge."""
@@ -43,6 +49,14 @@ class FixpointResult:
                 f"fixpoint iteration did not converge (cycle of length {len(self.cycle)})"
             )
         return self.value
+
+    def stats(self) -> dict:
+        """Iteration count and transformer name, benchmark-report shaped."""
+        return {
+            "name": self.name,
+            "iterations": self.iterations,
+            "converged": self.converged,
+        }
 
 
 def default_iteration_limit(size: int) -> int:
@@ -85,12 +99,23 @@ def iterate_to_fixpoint(
     for step in range(1, limit + 1):
         nxt = f(x)
         if nxt == x:
-            return FixpointResult(converged=True, value=x, iterations=step - 1)
+            return FixpointResult(
+                converged=True,
+                value=x,
+                iterations=step - 1,
+                name=name,
+                chain=tuple(history),
+            )
         fp = nxt.fingerprint()
         if fp in seen:
             cycle = history[seen[fp]:]
             return FixpointResult(
-                converged=False, value=None, iterations=step, cycle=cycle
+                converged=False,
+                value=None,
+                iterations=step,
+                cycle=cycle,
+                name=name,
+                chain=tuple(history),
             )
         seen[fp] = step
         history.append(nxt)

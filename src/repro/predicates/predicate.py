@@ -149,6 +149,29 @@ class Predicate:
             mask |= 1 << i
         return cls(space, mask)
 
+    @classmethod
+    def from_fingerprint(cls, space: StateSpace, fingerprint: bytes) -> "Predicate":
+        """Rebuild a predicate from its canonical :meth:`fingerprint` bytes.
+
+        The inverse of :meth:`fingerprint`, used by certificate
+        deserialization.  Validation is strict: the byte string must have
+        exactly ``ceil(size / 8)`` bytes and may not set bits at positions
+        ``≥ size`` — both indicate an artifact from a different space (or a
+        tampered one), never a representable predicate.
+        """
+        expected = (space.size + 7) // 8
+        if len(fingerprint) != expected:
+            raise ValueError(
+                f"fingerprint has {len(fingerprint)} bytes; a space of "
+                f"{space.size} states needs exactly {expected}"
+            )
+        mask = int.from_bytes(fingerprint, "little")
+        if mask > space.full_mask:
+            raise ValueError(
+                f"fingerprint sets bits at state indices >= {space.size}"
+            )
+        return cls(space, mask)
+
     # ------------------------------------------------------------------
     # the predicate calculus (pointwise operators)
     # ------------------------------------------------------------------

@@ -11,10 +11,13 @@ from .checking import (
 from .kernel import Proof, ProofContext, ProofError
 from .modelcheck import (
     LeadsToRefutation,
+    WltReport,
     check_leads_to_both,
     holds_leads_to,
+    labeled_path,
     refute_leads_to,
     wlt,
+    wlt_stages,
 )
 from .properties import Ensures, Invariant, LeadsTo, Property, Stable, Unless
 
@@ -29,10 +32,13 @@ __all__ = [
     "ProofContext",
     "ProofError",
     "LeadsToRefutation",
+    "WltReport",
     "check_leads_to_both",
     "holds_leads_to",
+    "labeled_path",
     "refute_leads_to",
     "wlt",
+    "wlt_stages",
     "Ensures",
     "Invariant",
     "LeadsTo",

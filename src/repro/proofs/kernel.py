@@ -81,11 +81,16 @@ class ProofContext:
         program: Program,
         si: Optional[Predicate] = None,
         assumptions: Iterable[Property] = (),
+        emit_certificates: bool = False,
     ):
         self.program = program
         self.space = program.space
         self.si = si if si is not None else strongest_invariant(program)
         self.assumptions: Tuple[Property, ...] = tuple(assumptions)
+        #: With ``emit_certificates=True``, every model-checked leads-to
+        #: leaf appends its replayable ranking-stage certificate here.
+        self.emit_certificates = emit_certificates
+        self.certificates: List[object] = []
 
     # ------------------------------------------------------------------
     # small helpers
@@ -407,7 +412,40 @@ class ProofContext:
             refutation is None,
             f"model checker refutes {LeadsTo(p, q)} (from state {getattr(refutation, 'start', '?')})",
         )
+        if self.emit_certificates:
+            self.certificates.append(self._leads_to_certificate(p, q, note))
         return Proof(LeadsTo(p, q), "leadsto-model-checked", (), note)
+
+    def _leads_to_certificate(self, p: Predicate, q: Predicate, note: str):
+        """Replayable evidence for a checked leads-to leaf.
+
+        The certificate embeds the program's own SI chain so it stands
+        alone; the context's ``si`` must therefore *be* the strongest
+        invariant (the default), not an over-approximation.
+        """
+        from ..certificates.canonical import program_digest
+        from ..certificates.certs import LeadsToCertificate
+        from ..transformers import sst
+        from .modelcheck import wlt_stages
+
+        result = sst(self.program, self.program.init)
+        if not result.predicate == self.si:
+            raise ProofError(
+                "cannot certify a leads-to leaf: the context's si is not "
+                "the program's strongest invariant"
+            )
+        report = wlt_stages(self.program, q, self.si)
+        if not p.entails(report.value):  # pragma: no cover — cross-check
+            raise ProofError("wlt disagrees with the fair-cycle refuter")
+        return LeadsToCertificate(
+            program=program_digest(self.program),
+            p=p,
+            q=q,
+            reach=self.si,
+            stages=report.stages,
+            si_chain=result.chain,
+            label=note or "leadsto-model-checked",
+        )
 
     def implication(self, p: Predicate, q: Predicate, note: str = "") -> Proof:
         """Leads-to implication: ``[SI ⇒ (p ⇒ q)] ⊢ p ↦ q``.

@@ -45,17 +45,30 @@ def _reachable(program: Program, si: Optional[Predicate]) -> Predicate:
     return strongest_invariant(program)
 
 
-def wlt(program: Program, q: Predicate, si: Optional[Predicate] = None) -> Predicate:
-    """The weakest predicate ``w`` with ``w ↦ q`` (relative to ``si``).
+@dataclass(frozen=True)
+class WltReport:
+    """The :func:`wlt` fixpoint together with its adjoined ranking stages.
 
-    States outside ``si`` are included vacuously (no execution visits
-    them), so ``p ↦ q`` holds iff ``[p ⇒ wlt.q]``.
-
-    Every per-state pass is a ``wp`` kernel application: the nested
-    fixpoints run through the active predicate backend and the program's
-    transformer cache (``wp.b.(X ∨ Z)`` recurs heavily across candidate
-    helpers), and all sets stay inside the reachable predicate.
+    ``stages`` is the sequence of ``(helper statement name, X)`` pairs in
+    the order the least fixpoint adjoined them — each ``X`` satisfied
+    ``X ⊆ wp.helper.Z`` and ``X ⊆ ∧_b wp.b.(X ∨ Z)`` against the ``Z``
+    accumulated *before* it.  This is exactly the ranking a liveness
+    certificate records, and an independent replayer can re-check each
+    stage with one-step successor lookups only.
     """
+
+    value: Predicate  # z | ~reach — same as wlt()
+    z: Predicate  # the fixpoint inside the reachable set
+    reach: Predicate
+    stages: Tuple[Tuple[str, Predicate], ...]
+
+
+def _wlt(
+    program: Program,
+    q: Predicate,
+    si: Optional[Predicate],
+    record: Optional[List[Tuple[str, Predicate]]],
+) -> WltReport:
     reach = _reachable(program, si)
     z = q & reach
     changed = True
@@ -76,9 +89,34 @@ def wlt(program: Program, q: Predicate, si: Optional[Predicate] = None) -> Predi
                     break
                 x = new
             if not (x - z).is_false():
+                if record is not None:
+                    record.append((helper.name, x))
                 z = z | x
                 changed = True
-    return z | ~reach
+    return WltReport(
+        value=z | ~reach, z=z, reach=reach, stages=tuple(record or ())
+    )
+
+
+def wlt(program: Program, q: Predicate, si: Optional[Predicate] = None) -> Predicate:
+    """The weakest predicate ``w`` with ``w ↦ q`` (relative to ``si``).
+
+    States outside ``si`` are included vacuously (no execution visits
+    them), so ``p ↦ q`` holds iff ``[p ⇒ wlt.q]``.
+
+    Every per-state pass is a ``wp`` kernel application: the nested
+    fixpoints run through the active predicate backend and the program's
+    transformer cache (``wp.b.(X ∨ Z)`` recurs heavily across candidate
+    helpers), and all sets stay inside the reachable predicate.
+    """
+    return _wlt(program, q, si, record=None).value
+
+
+def wlt_stages(
+    program: Program, q: Predicate, si: Optional[Predicate] = None
+) -> WltReport:
+    """:func:`wlt` with the adjoined ``(helper, X)`` stages recorded."""
+    return _wlt(program, q, si, record=[])
 
 
 def holds_leads_to(
@@ -99,10 +137,20 @@ class LeadsToRefutation:
 
     ``start`` is a reachable ``p``-state from which an infinite fair run
     avoids ``q`` forever; ``trap`` is the fair-stayable SCC it ends in.
+
+    When the refuter runs with ``emit_witness=True`` the lasso is made
+    concrete: ``prefix_states``/``prefix_statements`` is a labeled path
+    from an initial state to ``start``, and
+    ``approach_states``/``approach_statements`` continues from ``start``
+    to a trap state while staying inside ``¬q`` throughout.
     """
 
     start: int
     trap: Tuple[int, ...]
+    prefix_states: Tuple[int, ...] = ()
+    prefix_statements: Tuple[str, ...] = ()
+    approach_states: Tuple[int, ...] = ()
+    approach_statements: Tuple[str, ...] = ()
 
 
 def _tarjan_sccs(nodes: Sequence[int], successors) -> List[List[int]]:
@@ -153,12 +201,73 @@ def _tarjan_sccs(nodes: Sequence[int], successors) -> List[List[int]]:
     return sccs
 
 
+def labeled_path(
+    program: Program,
+    source_mask: int,
+    goal_mask: int,
+    allowed_mask: Optional[int] = None,
+) -> Optional[Tuple[Tuple[int, ...], Tuple[str, ...]]]:
+    """A statement-labeled BFS path from ``source_mask`` into ``goal_mask``.
+
+    ``allowed_mask`` restricts the visited states (sources must lie inside
+    it too); ``None`` allows the whole space.  Returns ``(states,
+    statements)`` with ``len(statements) == len(states) - 1``, or ``None``
+    when the goal is unreachable.  Used to make refutation lassos and
+    safety counterexamples concrete.
+    """
+    if allowed_mask is None:
+        allowed_mask = (1 << program.space.size) - 1
+    arrays = [(s.name, program.successor_array(s)) for s in program.statements]
+    frontier: List[int] = []
+    parent: dict = {}
+    m = source_mask & allowed_mask
+    while m:
+        low = m & -m
+        i = low.bit_length() - 1
+        parent[i] = None
+        frontier.append(i)
+        m ^= low
+
+    def unwind(i: int) -> Tuple[Tuple[int, ...], Tuple[str, ...]]:
+        states: List[int] = [i]
+        labels: List[str] = []
+        while parent[states[-1]] is not None:
+            prev, label = parent[states[-1]]
+            states.append(prev)
+            labels.append(label)
+        return tuple(reversed(states)), tuple(reversed(labels))
+
+    for i in list(parent):
+        if goal_mask >> i & 1:
+            return unwind(i)
+    while frontier:
+        nxt_frontier: List[int] = []
+        for i in frontier:
+            for name, array in arrays:
+                j = array[i]
+                if j in parent or not (allowed_mask >> j & 1):
+                    continue
+                parent[j] = (i, name)
+                if goal_mask >> j & 1:
+                    return unwind(j)
+                nxt_frontier.append(j)
+        frontier = nxt_frontier
+    return None
+
+
 def refute_leads_to(
-    program: Program, p: Predicate, q: Predicate, si: Optional[Predicate] = None
+    program: Program,
+    p: Predicate,
+    q: Predicate,
+    si: Optional[Predicate] = None,
+    emit_witness: bool = False,
 ) -> Optional[LeadsToRefutation]:
     """Search for a fair run refuting ``p ↦ q``; ``None`` when the property holds.
 
-    Independent of :func:`wlt` — used to cross-validate it.
+    Independent of :func:`wlt` — used to cross-validate it.  With
+    ``emit_witness=True`` the refutation carries a concrete lasso: a
+    labeled path from ``init`` to the starting ``p``-state and a labeled
+    ``¬q`` path from there into the trap (certificate material).
     """
     space = program.space
     reach = _reachable(program, si)
@@ -181,6 +290,7 @@ def refute_leads_to(
     # (An infinite fair run's infinitely-visited set is strongly connected
     # and must absorb one firing of every statement.)
     trap_mask = 0
+    stayable_components: List[Tuple[int, ...]] = []
     for component in sccs:
         members = set(component)
         if len(component) == 1:
@@ -189,11 +299,13 @@ def refute_leads_to(
             only = component[0]
             if all(array[only] == only for array in arrays):
                 trap_mask |= 1 << only
+                stayable_components.append((only,))
             continue
         stayable = all(
             any(array[i] in members for i in component) for array in arrays
         )
         if stayable:
+            stayable_components.append(tuple(sorted(component)))
             for i in component:
                 trap_mask |= 1 << i
     if trap_mask == 0:
@@ -219,7 +331,34 @@ def refute_leads_to(
     trap_states = tuple(
         i for i in range(space.size) if trap_mask >> i & 1
     )
-    return LeadsToRefutation(start=start, trap=trap_states)
+    if not emit_witness:
+        return LeadsToRefutation(start=start, trap=trap_states)
+    prefix = labeled_path(program, program.init.mask, 1 << start)
+    if prefix is None:
+        raise ValueError(
+            f"refutation start state {start} lies in the supplied si but is "
+            "not reachable from init; cannot emit a concrete lasso witness"
+        )
+    approach = labeled_path(
+        program, 1 << start, trap_mask, allowed_mask=avoid_mask | trap_mask
+    )
+    if approach is None:  # pragma: no cover — contradicts can_trap
+        raise ValueError("no ¬q path from the start state into the trap")
+    # A concrete lasso circulates in ONE component: narrow the witness trap
+    # to the SCC the approach path actually enters, so a replayer can check
+    # strong connectivity of exactly what the run stays in.
+    entered = approach[0][-1]
+    witness_trap = next(
+        c for c in stayable_components if entered in c
+    )
+    return LeadsToRefutation(
+        start=start,
+        trap=witness_trap,
+        prefix_states=prefix[0],
+        prefix_statements=prefix[1],
+        approach_states=approach[0],
+        approach_statements=approach[1],
+    )
 
 
 def check_leads_to_both(

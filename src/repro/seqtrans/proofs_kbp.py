@@ -32,7 +32,7 @@ in the paper's proof of (52).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from ..core import KnowledgeOperator
 from ..predicates import Predicate
@@ -276,9 +276,15 @@ def prove_35(
 
 @dataclass(frozen=True)
 class LivenessProofs:
-    """The checked liveness derivations, per index ``k < L``."""
+    """The checked liveness derivations, per index ``k < L``.
+
+    ``certificates`` (with ``prove_liveness(..., emit_certificates=True)``)
+    holds the replayable evidence for every model-checked leads-to leaf
+    the derivation consumed, in check order.
+    """
 
     per_index: Dict[int, Proof]
+    certificates: Tuple[object, ...] = ()
 
     def total_steps(self) -> int:
         return sum(p.size() for p in self.per_index.values())
@@ -312,7 +318,10 @@ def channel_liveness_assumptions(
 
 
 def prove_liveness(
-    program: Program, params: SeqTransParams, channel_mode: str = "check"
+    program: Program,
+    params: SeqTransParams,
+    channel_mode: str = "check",
+    emit_certificates: bool = False,
 ) -> LivenessProofs:
     """Replay the full §6.2 liveness proof for every ``k < L``.
 
@@ -330,10 +339,14 @@ def prove_liveness(
         raise ValueError(f"unknown channel_mode {channel_mode!r}")
     if channel_mode == "assume":
         assumptions = channel_liveness_assumptions(program, params)
-        ctx = ProofContext(program, assumptions=assumptions)
+        ctx = ProofContext(
+            program,
+            assumptions=assumptions,
+            emit_certificates=emit_certificates,
+        )
         leaf = lambda p, q, note="": ctx.assume(LeadsTo(p, q))
     else:
-        ctx = ProofContext(program)
+        ctx = ProofContext(program, emit_certificates=emit_certificates)
         leaf = None
     operator = KnowledgeOperator.of_program(program, si=ctx.si)
     # (36) underpins the final substitution; prove it once up front.
@@ -342,5 +355,6 @@ def prove_liveness(
         per_index={
             k: prove_35(ctx, operator, params, k, leaf=leaf)
             for k in range(params.length)
-        }
+        },
+        certificates=tuple(ctx.certificates),
     )

@@ -17,6 +17,7 @@ characterizing the reachable states — and invariance of ``p`` is
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from ..predicates import Predicate, iterate_to_fixpoint
 from ..unity import Program
@@ -25,10 +26,12 @@ from .semantics import sp_program
 
 @dataclass(frozen=True)
 class SstResult:
-    """``sst.p`` together with the Kleene iteration count (ablation data)."""
+    """``sst.p`` with the Kleene iteration count and chain (certificate data)."""
 
     predicate: Predicate
     iterations: int
+    chain: Tuple[Predicate, ...] = ()
+    name: str = ""
 
 
 def sst(program: Program, p: Predicate) -> SstResult:
@@ -43,11 +46,15 @@ def sst(program: Program, p: Predicate) -> SstResult:
     def f(x: Predicate) -> Predicate:
         return sp_program(program, x) | p
 
-    result = iterate_to_fixpoint(
-        f, Predicate.false(space), name=f"sst chain of {program.name!r} (eq. 3)"
-    )
+    label = f"sst chain of {program.name!r} (eq. 3)"
+    result = iterate_to_fixpoint(f, Predicate.false(space), name=label)
     value = result.require()
-    return SstResult(predicate=value, iterations=result.iterations)
+    return SstResult(
+        predicate=value,
+        iterations=result.iterations,
+        chain=result.chain,
+        name=label,
+    )
 
 
 def strongest_invariant(program: Program) -> Predicate:

@@ -1,0 +1,116 @@
+"""Every headline experiment verdict is re-established by the replayer.
+
+The acceptance bar from the issue: each of E1 (Figure 1 has no solution),
+E2 (Figure 2 init non-monotonicity), E8 (the KBP sequence-transmission
+spec holds), E13 (the channel matrix), and E15 (wlt/refuter agreement,
+folded into every liveness entry) must be re-derivable *from the
+serialized certificate alone* — no solver reuse — and the artifacts must
+be byte-identical whichever predicate backend emitted them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certificates import loads
+from repro.certificates.replay import replay_artifact
+from repro.predicates import using_backend
+
+BACKENDS = ["int", "numpy"]
+
+#: emitter key → {artifact stem: expected replay verdict}
+EXPECTED = {
+    "fig1": {"fig1-no-solution": "no-solution"},
+    "fig1-sp-hat": {"fig1-sp-hat-nonmonotone": "sp-hat-nonmonotone"},
+    "fig2": {"fig2-init-nonmonotonic": "init-nonmonotonic"},
+    "s5": {"fig2-s5": "s5-verified"},
+    "kbp-spec": {"seqtrans-kbp-L1-bounded1-spec": "spec-holds"},
+    "seqtrans-reliable": {"seqtrans-standard-L1-reliable-spec": "spec-verified"},
+    "seqtrans-bounded1": {"seqtrans-standard-L1-bounded1-spec": "spec-verified"},
+    "seqtrans-lossy": {"seqtrans-standard-L1-lossy-spec": "spec-verified"},
+}
+
+
+@pytest.fixture(scope="module")
+def emitted(tmp_path_factory):
+    """Emit the headline artifacts once per backend; map stem → file."""
+    from repro.certificates.emit import emit_all
+
+    out = {}
+    for backend in BACKENDS:
+        directory = tmp_path_factory.mktemp(f"arts-{backend}")
+        with using_backend(backend):
+            paths = emit_all(directory, only=sorted(EXPECTED))
+        out[backend] = {p.name[: -len(".cert.json")]: p for p in paths}
+    return out
+
+
+def test_emission_is_backend_independent(emitted):
+    int_files, np_files = emitted["int"], emitted["numpy"]
+    assert set(int_files) == set(np_files)
+    for stem in int_files:
+        assert (
+            int_files[stem].read_bytes() == np_files[stem].read_bytes()
+        ), f"{stem} differs between backends"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_headline_verdicts_replay(emitted, backend):
+    expected = {
+        stem: verdict
+        for per_emitter in EXPECTED.values()
+        for stem, verdict in per_emitter.items()
+    }
+    files = emitted["int"]  # byte-identical either way
+    assert set(expected) <= set(files), "an expected artifact was not emitted"
+    with using_backend(backend):
+        for stem, verdict in sorted(expected.items()):
+            artifact = loads(files[stem].read_text())
+            outcome = replay_artifact(artifact)
+            assert outcome.verdict == verdict, stem
+
+
+def test_e2_details_include_both_flips(emitted):
+    artifact = loads(emitted["int"]["fig2-init-nonmonotonic"].read_text())
+    outcome = replay_artifact(artifact)
+    assert outcome.verdict == "init-nonmonotonic"
+    details = outcome.details
+    assert details.get("safety_flips") or details.get("liveness_flips")
+
+
+def test_e13_channel_matrix_rows(emitted):
+    """Reliable and bounded1 satisfy all liveness; lossy is refuted (E13/E15)."""
+    refuted = {}
+    for channel in ("reliable", "bounded1", "lossy"):
+        artifact = loads(
+            emitted["int"][f"seqtrans-standard-L1-{channel}-spec"].read_text()
+        )
+        outcome = replay_artifact(artifact)
+        assert outcome.verdict == "spec-verified"
+        liveness = artifact.payload["liveness"]
+        refuted[channel] = [
+            e for e in liveness if e["kind"] == "leads-to-refutation"
+        ]
+    assert not refuted["reliable"]
+    assert not refuted["bounded1"]
+    assert refuted["lossy"], "the lossy channel must refute some |w|=k ↦ |w|>k"
+
+
+def test_cli_replays_directory(emitted, capsys):
+    from repro.certificates.replay import main
+
+    directory = str(next(iter(emitted["int"].values())).parent)
+    assert main([directory]) == 0
+    out = capsys.readouterr().out
+    assert "all verdicts re-established" in out
+    assert main([directory, "--backend", "numpy"]) == 0
+
+
+def test_cli_rejects_tampered_file(emitted, tmp_path, capsys):
+    source = emitted["int"]["fig1-no-solution"]
+    target = tmp_path / "bad.cert.json"
+    target.write_text(source.read_text().replace('"witness":"escape"', '"witness":"escspe"'))
+    from repro.certificates.replay import main
+
+    assert main([str(tmp_path)]) == 1
+    assert "FAIL" in capsys.readouterr().out

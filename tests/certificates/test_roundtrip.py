@@ -1,0 +1,141 @@
+"""Serialization round-trips for the evidence subsystem.
+
+Certificates must survive ``wrap → dumps → loads → decode`` without loss,
+the canonical encoding must be deterministic (same payload, same bytes,
+same digest), and predicate fingerprints must round-trip exactly on every
+backend.  Hypothesis drives the predicate- and program-level properties;
+the emitted-artifact round trips use the real Figure-1 bundle.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.certificates import (
+    Artifact,
+    CertificateError,
+    FixpointCertificate,
+    canonical_dumps,
+    decode_certificate,
+    load,
+    loads,
+    payload_digest,
+    program_digest,
+    save,
+    wrap,
+)
+from repro.certificates.canonical import decode_predicate, encode_predicate
+from repro.predicates import Predicate, using_backend
+from repro.transformers import sst
+
+from ..conftest import bool_spaces, random_programs
+
+
+@st.composite
+def predicates_over_random_space(draw):
+    space = draw(bool_spaces())
+    mask = draw(st.integers(min_value=0, max_value=(1 << space.size) - 1))
+    return Predicate(space, mask)
+
+
+@given(predicates_over_random_space())
+def test_predicate_encoding_round_trips(p):
+    encoded = encode_predicate(p)
+    decoded = decode_predicate(encoded, p.space)
+    assert decoded == p
+    assert decoded.mask == p.mask
+
+
+@given(predicates_over_random_space(), st.sampled_from(["int", "numpy"]))
+def test_predicate_encoding_is_backend_independent(p, backend):
+    with using_backend(backend):
+        rebuilt = Predicate(p.space, p.mask)
+        assert encode_predicate(rebuilt) == encode_predicate(p)
+
+
+@given(random_programs())
+@settings(max_examples=25, deadline=None)
+def test_fixpoint_certificate_round_trips(program):
+    result = sst(program, program.init)
+    cert = FixpointCertificate(
+        claim="si",
+        program=program_digest(program),
+        seed=program.init,
+        chain=tuple(result.chain),
+    )
+    artifact = wrap(cert, "adhoc-test-model")
+    rebuilt = loads(artifact.dumps())
+    assert rebuilt == artifact
+    decoded = decode_certificate(rebuilt.kind, rebuilt.payload, program.space)
+    assert decoded.claim == cert.claim
+    assert decoded.seed == cert.seed
+    assert decoded.chain == cert.chain
+    assert decoded.value == result.predicate
+
+
+@given(random_programs())
+@settings(max_examples=25, deadline=None)
+def test_canonical_dumps_is_deterministic(program):
+    cert = FixpointCertificate(
+        claim="sst",
+        program=program_digest(program),
+        seed=program.init,
+        chain=tuple(sst(program, program.init).chain),
+    )
+    first = wrap(cert, "adhoc-test-model").dumps()
+    second = wrap(cert, "adhoc-test-model").dumps()
+    assert first == second
+    assert payload_digest(cert.to_payload()) == json.loads(first)["digest"]
+
+
+def test_canonical_dumps_sorts_keys_and_strips_whitespace():
+    text = canonical_dumps({"b": 1, "a": [1, 2], "c": {"y": 0, "x": 1}})
+    assert text == '{"a":[1,2],"b":1,"c":{"x":1,"y":0}}'
+
+
+def test_save_load_round_trip(tmp_path):
+    from repro.certificates.emit import certify_fig1
+
+    ((stem, artifact),) = certify_fig1()
+    path = save(artifact, tmp_path / f"{stem}.cert.json")
+    assert load(path) == artifact
+    # The on-disk document carries the full envelope.
+    doc = json.loads(path.read_text())
+    assert doc["format"] == "repro-certificate/v1"
+    assert doc["kind"] == "kbp-solve"
+    assert doc["model"] == "fig1"
+    assert doc["digest"].startswith("sha256:")
+
+
+def test_artifact_files_are_byte_identical_across_backends(tmp_path):
+    from repro.certificates.emit import emit_all
+
+    with using_backend("int"):
+        int_paths = emit_all(tmp_path / "int", only=["fig1", "fig2"])
+    with using_backend("numpy"):
+        np_paths = emit_all(tmp_path / "numpy", only=["fig1", "fig2"])
+    assert [p.name for p in int_paths] == [p.name for p in np_paths]
+    for a, b in zip(int_paths, np_paths):
+        assert a.read_bytes() == b.read_bytes()
+
+
+def test_loads_rejects_non_json_and_wrong_format():
+    with pytest.raises(CertificateError, match="not valid JSON"):
+        loads("{nope")
+    with pytest.raises(CertificateError, match="unsupported artifact format"):
+        loads('{"format":"repro-certificate/v999"}')
+
+
+def test_wrap_rejects_unregistered_objects():
+    with pytest.raises(CertificateError, match="not a registered certificate"):
+        wrap(object(), "fig1")
+
+
+def test_artifact_is_frozen():
+    artifact = Artifact(kind="fixpoint", model="fig1", payload={})
+    with pytest.raises(Exception):
+        artifact.kind = "other"  # type: ignore[misc]

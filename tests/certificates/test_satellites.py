@@ -1,0 +1,139 @@
+"""Satellite features that ride along with the evidence subsystem.
+
+* :meth:`Predicate.from_fingerprint` — strict inverse of ``fingerprint``;
+* Kleene-chain instrumentation — ``FixpointResult.name/chain/stats`` and
+  the chain surfaced through :func:`repro.transformers.sst`;
+* :class:`TransformerCache` eviction counter (alongside hits/misses).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import Predicate, using_backend
+from repro.predicates.cache import TransformerCache
+from repro.statespace import BoolDomain, space_of
+from repro.transformers import sst
+
+from ..conftest import make_counter_program, random_programs
+
+
+# ----------------------------------------------------------------------
+# Predicate.from_fingerprint
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_fingerprint_round_trips(mask):
+    space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+    p = Predicate(space, mask)
+    assert Predicate.from_fingerprint(space, p.fingerprint()) == p
+
+
+@pytest.mark.parametrize("backend", ["int", "numpy"])
+def test_fingerprint_round_trips_on_backend(backend):
+    space = space_of(a=BoolDomain(), b=BoolDomain())
+    with using_backend(backend):
+        for mask in range(16):
+            p = Predicate(space, mask)
+            q = Predicate.from_fingerprint(space, p.fingerprint())
+            assert q == p and q.mask == mask
+
+
+def test_from_fingerprint_rejects_wrong_length():
+    space = space_of(a=BoolDomain(), b=BoolDomain())  # 4 states → 1 byte
+    with pytest.raises(ValueError, match="needs exactly 1"):
+        Predicate.from_fingerprint(space, b"\x00\x00")
+    with pytest.raises(ValueError, match="needs exactly 1"):
+        Predicate.from_fingerprint(space, b"")
+
+
+def test_from_fingerprint_rejects_out_of_space_bits():
+    space = space_of(a=BoolDomain(), b=BoolDomain())  # 4 states
+    with pytest.raises(ValueError, match="state indices"):
+        Predicate.from_fingerprint(space, b"\x10")  # bit 4 set
+
+
+# ----------------------------------------------------------------------
+# Kleene-chain instrumentation
+# ----------------------------------------------------------------------
+
+
+def test_sst_result_carries_chain_and_name():
+    program = make_counter_program()
+    result = sst(program, program.init)
+    assert result.name == f"sst chain of {program.name!r} (eq. 3)"
+    assert result.chain[0].is_false()
+    assert result.chain[-1] == result.predicate
+    assert len(result.chain) == result.iterations + 1
+    # Strictly ascending: each link adds at least one state.
+    for lo, hi in zip(result.chain, result.chain[1:]):
+        assert lo.entails(hi) and lo != hi
+
+
+@given(random_programs())
+@settings(max_examples=25, deadline=None)
+def test_sst_chain_is_a_kleene_orbit(program):
+    from repro.transformers import sp_program
+
+    result = sst(program, program.init)
+    for prev, nxt in zip(result.chain, result.chain[1:]):
+        assert nxt == sp_program(program, prev) | program.init
+    fixed = result.chain[-1]
+    assert (sp_program(program, fixed) | program.init) == fixed
+
+
+def test_fixpoint_result_stats_shape():
+    program = make_counter_program()
+    result = sst(program, program.init)
+    # sst wraps iterate_to_fixpoint; its stats() shape is what the
+    # benchmarks embed in their JSON rows.
+    from repro.predicates.lattice import iterate_to_fixpoint
+
+    raw = iterate_to_fixpoint(
+        lambda x: x | program.init, Predicate.false(program.space), name="join"
+    )
+    stats = raw.stats()
+    assert stats == {
+        "name": "join",
+        "iterations": raw.iterations,
+        "converged": True,
+    }
+    assert raw.chain[-1] == raw.value
+    assert result.iterations >= 1
+
+
+# ----------------------------------------------------------------------
+# TransformerCache eviction counter
+# ----------------------------------------------------------------------
+
+
+def test_cache_counts_hits_misses_and_evictions():
+    space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+    cache = TransformerCache(maxsize=2)
+    preds = [Predicate(space, m) for m in (1, 2, 3)]
+    for p in preds:
+        assert cache.lookup("sp", "s", p) is None
+        cache.store("sp", "s", p, ~p)
+    assert cache.misses == 3 and cache.hits == 0
+    assert cache.evictions == 1  # third insert evicted the LRU entry
+    # The most recent two are hits; the evicted one is a miss again.
+    assert cache.lookup("sp", "s", preds[2]) == ~preds[2]
+    assert cache.lookup("sp", "s", preds[1]) == ~preds[1]
+    assert cache.hits == 2
+    assert cache.lookup("sp", "s", preds[0]) is None
+    assert cache.misses == 4
+    cache.store("sp", "s", preds[0], ~preds[0])
+    assert cache.evictions == 2
+    stats = cache.stats()
+    assert set(stats) == {"hits", "misses", "evictions", "entries"}
+    assert stats["entries"] == 2
+    cache.clear()
+    assert cache.stats() == {
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "entries": 0,
+    }
