@@ -4,16 +4,38 @@ Exhaustive search (complete) vs Φ-iteration (sound, incomplete): how often
 random KBPs have 0 / 1 / many solutions, and how often the cheap iteration
 finds one.  This quantifies section 4's qualitative message: ill-posedness
 is not an exotic corner case.
+
+The parallel-speedup bench measures the sharded, batched solver
+(repro.core.parallel) against the serial sweep on a 24-state random KBP,
+asserts result identity (report and certificate digests), and appends a
+trajectory entry to ``BENCH_kbp_solver.json``.  Set
+``KBP_SOLVER_BENCH_QUICK=1`` to shrink the candidate count for CI smoke
+runs (the speedup floor is only asserted on the full-size run).
 """
 
+import json
+import os
 import random
+import time
+from pathlib import Path
 
-from repro.core import solve_si, solve_si_iterative
+from repro.core import solve_si, solve_si_iterative, solve_si_parallel
 from repro.predicates import Predicate
-from repro.statespace import BoolDomain, space_of
+from repro.statespace import BoolDomain, IntRangeDomain, space_of
 from repro.unity import Program, Statement, Unary, Var, const, knows, lnot, var
 
 from .conftest import once, record
+
+_TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_kbp_solver.json"
+_RESULTS: dict = {}
+
+_QUICK = os.environ.get("KBP_SOLVER_BENCH_QUICK") == "1"
+#: Free state-bits of the speedup sweep: 2^14 candidates full, 2^10 quick.
+_SPEEDUP_FREE_BITS = 10 if _QUICK else 14
+#: Free state-bits of the certified-digest sweep (evidence is per-candidate
+#: Python either way, so this one stays small).
+_CERT_FREE_BITS = 6 if _QUICK else 8
+_SPEEDUP_FLOOR = 3.0
 
 
 def _random_kbp(rng: random.Random) -> Program:
@@ -82,3 +104,130 @@ def test_exhaustive_solver_cost_vs_free_states(benchmark):
     checked = benchmark(run)
     assert checked == 2 ** (program.space.size - program.init.count())
     record(benchmark, candidates=checked)
+
+
+def _speedup_kbp(rng: random.Random, free_bits: int) -> Program:
+    """A 24-state KBP (3 Booleans × a 0..2 counter) with K-bearing guards.
+
+    ``init`` covers all but ``free_bits`` randomly chosen states, so the
+    exhaustive sweep examines exactly ``2^free_bits`` candidates; every
+    guard shape stays inside the batched solver's postfix vocabulary.
+    """
+    space = space_of(
+        a=BoolDomain(), b=BoolDomain(), c=BoolDomain(), n=IntRangeDomain(0, 2)
+    )
+    assert space.size == 24
+    views = {"P": ["a", "n"], "Q": ["b", "c"]}
+    statements = [
+        Statement(
+            name="s0",
+            targets=("a",),
+            exprs=(const(True),),
+            guard=knows("P", Var("b")),
+        ),
+        Statement(
+            name="s1",
+            targets=("b",),
+            exprs=(const(False),),
+            guard=lnot(knows("Q", Unary("not", Var("c")))),
+        ),
+        Statement(
+            name="s2",
+            targets=("n",),
+            exprs=(var("n") + const(1),),
+            guard=knows("Q", Var("a")) & (var("n") < const(2)),
+        ),
+    ]
+    init_mask = space.full_mask
+    for position in rng.sample(range(space.size), free_bits):
+        init_mask &= ~(1 << position)
+    return Program(
+        space,
+        Predicate(space, init_mask),
+        statements,
+        processes=views,
+        name="kbp-24",
+    )
+
+
+def test_parallel_solver_speedup(benchmark):
+    """The sharded/batched sweep vs serial: identical report, ≥3× faster."""
+    rng = random.Random(2024)
+    program = _speedup_kbp(rng, _SPEEDUP_FREE_BITS)
+
+    def run():
+        start = time.perf_counter()
+        serial = solve_si(program, parallel="never")
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = solve_si_parallel(program, workers=8)
+        parallel_s = time.perf_counter() - start
+        identical = parallel.candidates_checked == serial.candidates_checked and tuple(
+            p.mask for p in parallel.solutions
+        ) == tuple(p.mask for p in serial.solutions)
+        return serial, serial_s, parallel_s, identical
+
+    serial, serial_s, parallel_s, identical = once(benchmark, run)
+    assert identical
+    speedup = serial_s / parallel_s
+    if not _QUICK:
+        # Quick CI boxes sweep too few candidates to amortize pool startup;
+        # the floor is a full-size claim.
+        assert speedup >= _SPEEDUP_FLOOR, (
+            f"parallel solver only {speedup:.1f}x over serial "
+            f"(floor {_SPEEDUP_FLOOR}x on 2^{_SPEEDUP_FREE_BITS} candidates)"
+        )
+    _RESULTS["solve_si_identical"] = identical
+    _RESULTS["parallel_speedup"] = round(speedup, 1)
+    _RESULTS["free_bits"] = _SPEEDUP_FREE_BITS
+    _RESULTS["workers"] = 8
+    _RESULTS["quick"] = _QUICK
+    record(
+        benchmark,
+        candidates=serial.candidates_checked,
+        serial_s=round(serial_s, 3),
+        parallel_s=round(parallel_s, 3),
+        parallel_speedup=round(speedup, 1),
+        solve_si_identical=identical,
+    )
+
+
+def test_parallel_certificates_match_serial(benchmark):
+    """Sharded certified sweeps must reproduce the serial digests exactly."""
+    from repro.certificates.canonical import canonical_dumps, payload_digest
+
+    rng = random.Random(1991)
+    program = _speedup_kbp(rng, _CERT_FREE_BITS)
+
+    def run():
+        serial = solve_si(program, emit_certificate=True, parallel="never")
+        parallel = solve_si_parallel(program, workers=2, emit_certificate=True)
+        serial_payload = serial.certificate.to_payload()
+        parallel_payload = parallel.certificate.to_payload()
+        return (
+            canonical_dumps(serial_payload) == canonical_dumps(parallel_payload),
+            payload_digest(serial_payload),
+        )
+
+    digests_match, digest = once(benchmark, run)
+    assert digests_match
+    _RESULTS["certificate_digests_match"] = digests_match
+    record(benchmark, certificate_digests_match=digests_match, digest=digest[:16])
+    _write_trajectory()
+
+
+def _write_trajectory() -> None:
+    entry = {
+        "bench": "kbp_solver",
+        "timestamp": round(time.time()),
+        "space": 24,
+        **_RESULTS,
+    }
+    try:
+        existing = json.loads(_TRAJECTORY.read_text())
+        if not isinstance(existing, list):
+            existing = [existing]
+    except (FileNotFoundError, json.JSONDecodeError):
+        existing = []
+    existing.append(entry)
+    _TRAJECTORY.write_text(json.dumps(existing, indent=2) + "\n")

@@ -20,6 +20,7 @@ from .kbp import (
     sp_hat,
 )
 from .knowledge import KnowledgeOperator
+from .parallel import compile_phi_plan, solve_si_parallel
 from .knowledge_rules import k_invariant_intro, k_localization, k_truth
 from .s5 import (
     S5Violation,
@@ -64,7 +65,9 @@ __all__ = [
     "phi",
     "resolution_at",
     "resolve_at",
+    "compile_phi_plan",
     "solve_si",
     "solve_si_iterative",
+    "solve_si_parallel",
     "sp_hat",
 ]

@@ -39,7 +39,15 @@ from ..unity import Knowledge, Program
 from .knowledge import KnowledgeOperator
 
 #: Exhaustive SI search enumerates supersets of init; refuse huge spaces.
-MAX_EXHAUSTIVE_STATES = 22
+#: The sharded/batched solver (repro.core.parallel) pushes the practical
+#: ceiling to ~28 states on 8 workers; beyond that, only the incomplete
+#: Kleene iteration remains.
+MAX_EXHAUSTIVE_STATES = 28
+
+#: ``solve_si(parallel="auto")`` switches to the sharded solver when at
+#: least this many state-bits are free (2^12 candidates and up — below
+#: that, process/plan setup costs more than the serial sweep).
+PARALLEL_AUTO_FREE_BITS = 12
 
 #: Per-resolver LRU budget for memoized resolutions / Φ probes.  Exhaustive
 #: sweeps visit each candidate once (memoization buys nothing there), but
@@ -216,15 +224,27 @@ class SolveReport:
         return len(self.solutions) == 1
 
     def strongest(self) -> Predicate:
-        """The strongest solution (smallest state set); raises if none."""
+        """The ⊑-minimum solution; raises if none exists.
+
+        "Strongest" means entailing every other solution — a smallest state
+        *count* is not enough (two solutions can be incomparable).  When no
+        minimum exists the question "the strongest solution" has no answer,
+        and silently picking one would misreport the protocol's SI; the
+        error names an incomparable pair so the caller can see why.
+        """
         if not self.solutions:
             raise ValueError("knowledge-based protocol has no solution")
-        # Prefer an actual ⊑-minimum when one exists; otherwise fall back to
-        # the solution with fewest states (solutions are pre-sorted by count).
-        for candidate in self.solutions:
-            if all(candidate.entails(other) for other in self.solutions):
-                return candidate
-        return self.solutions[0]
+        # Solutions are pre-sorted by (count, mask): only the first can be a
+        # ⊑-minimum (anything it fails to entail is no larger than it).
+        candidate = self.solutions[0]
+        for other in self.solutions[1:]:
+            if not candidate.entails(other):
+                raise ValueError(
+                    "no strongest solution: "
+                    f"{candidate!r} and {other!r} are ⊑-incomparable "
+                    f"({len(self.solutions)} solutions in total)"
+                )
+        return candidate
 
 
 def _supersets_of(base_mask: int, full_mask: int) -> Iterator[int]:
@@ -238,10 +258,23 @@ def _supersets_of(base_mask: int, full_mask: int) -> Iterator[int]:
         sub = (sub - 1) & free
 
 
+def _check_exhaustive_size(space) -> None:
+    """Refuse exhaustive sweeps beyond :data:`MAX_EXHAUSTIVE_STATES`."""
+    if space.size > MAX_EXHAUSTIVE_STATES:
+        raise ValueError(
+            f"state space of {space.size} states is too large for exhaustive "
+            f"SI search (limit {MAX_EXHAUSTIVE_STATES}, even for the sharded "
+            "solver in repro.core.parallel); use solve_si_iterative for an "
+            "incomplete Kleene probe"
+        )
+
+
 def solve_si(
     program: Program,
     resolver: Optional[CandidateResolver] = None,
     emit_certificate: bool = False,
+    parallel: str = "auto",
+    workers: Optional[int] = None,
 ) -> SolveReport:
     """Exhaustively solve eq. (25): every candidate ``x ⊇ init`` is tested.
 
@@ -250,18 +283,35 @@ def solve_si(
     Pass a :class:`CandidateResolver` to share knowledge-term bodies with
     related solves (the Figure-2 comparison does).
 
+    ``parallel`` routes big sweeps through the sharded, batched solver in
+    :mod:`repro.core.parallel` (bit-identical results): ``"auto"`` switches
+    over at :data:`PARALLEL_AUTO_FREE_BITS` free state-bits, ``"force"``
+    always uses it for knowledge-based programs, ``"never"`` keeps the
+    serial sweep.  ``workers`` is forwarded to the parallel solver.
+
     With ``emit_certificate=True`` the report carries a full eq.-(25)
     certificate: each candidate's resolution plus either the sst chain
     (solutions) or a concrete refutation — a labeled escape path when
     ``Φ(x) ⊄ x``, a closed-set witness when ``Φ(x) ⊊ x``.  Only meaningful
     for knowledge-based programs.
     """
-    space = program.space
-    if space.size > MAX_EXHAUSTIVE_STATES:
+    if parallel not in ("auto", "never", "force"):
         raise ValueError(
-            f"state space of {space.size} states is too large for exhaustive "
-            f"SI search (limit {MAX_EXHAUSTIVE_STATES}); use solve_si_iterative"
+            f"parallel={parallel!r} is not one of 'auto', 'never', 'force'"
         )
+    space = program.space
+    _check_exhaustive_size(space)
+    if program.is_knowledge_based() and parallel != "never":
+        free_bits = (space.full_mask & ~program.init.mask).bit_count()
+        if parallel == "force" or free_bits >= PARALLEL_AUTO_FREE_BITS:
+            from .parallel import solve_si_parallel
+
+            return solve_si_parallel(
+                program,
+                workers=workers,
+                emit_certificate=emit_certificate,
+                resolver=resolver,
+            )
     if not program.is_knowledge_based():
         if emit_certificate:
             raise ValueError(
@@ -286,67 +336,75 @@ def solve_si(
     return SolveReport(solutions=tuple(solutions), candidates_checked=checked)
 
 
-def _solve_si_certified(
-    program: Program, resolver: CandidateResolver
-) -> SolveReport:
-    """The exhaustive sweep, recording per-candidate evidence as it goes."""
+def _candidate_evidence(
+    resolver: CandidateResolver, candidate: Predicate
+) -> Tuple[str, object]:
+    """One candidate's certificate evidence: ``("solution", entry)`` or
+    ``("refutation", refutation)``.
+
+    Shared by the serial certified sweep and the sharded solver's per-shard
+    walks — both must produce byte-identical evidence for a candidate.
+    """
     # Lazy imports: repro.certificates depends on this module's data types.
-    from ..certificates.canonical import program_digest
     from ..certificates.certs import (
         CandidateRefutation,
         KbpSolutionEntry,
-        KbpSolveCertificate,
         resolution_table,
     )
     from ..proofs.modelcheck import labeled_path
 
+    table = resolution_table(resolver.resolution(candidate))
+    resolved = resolver.resolved_program(candidate)
+    result = sst(resolved, resolved.init)
+    value = result.predicate
+    if value == candidate:
+        return "solution", KbpSolutionEntry(
+            candidate=candidate, resolution=table, chain=result.chain
+        )
+    if not value.entails(candidate):
+        # Φ(x) ⊄ x: some state outside x is reachable in P_x — show it.
+        path = labeled_path(resolved, resolved.init.mask, (~candidate).mask)
+        assert path is not None  # value ⊄ candidate guarantees one
+        return "refutation", CandidateRefutation(
+            candidate=candidate,
+            resolution=table,
+            witness_kind="escape",
+            path_states=path[0],
+            path_statements=path[1],
+        )
+    # Φ(x) ⊊ x: reachability confines itself to Φ(x), leaving a candidate
+    # state unreached.
+    missing = next((candidate & ~value).indices())
+    return "refutation", CandidateRefutation(
+        candidate=candidate,
+        resolution=table,
+        witness_kind="unreached",
+        closed=value,
+        missing=missing,
+    )
+
+
+def _solve_si_certified(
+    program: Program, resolver: CandidateResolver
+) -> SolveReport:
+    """The exhaustive sweep, recording per-candidate evidence as it goes."""
+    from ..certificates.canonical import program_digest
+    from ..certificates.certs import KbpSolveCertificate
+
     space = program.space
     solutions: List[Predicate] = []
-    entries: List[KbpSolutionEntry] = []
-    refutations: List[CandidateRefutation] = []
+    entries: List[object] = []
+    refutations: List[object] = []
     checked = 0
     for mask in _supersets_of(program.init.mask, space.full_mask):
         checked += 1
         candidate = Predicate(space, mask)
-        table = resolution_table(resolver.resolution(candidate))
-        resolved = resolver.resolved_program(candidate)
-        result = sst(resolved, resolved.init)
-        value = result.predicate
-        if value == candidate:
+        kind, payload = _candidate_evidence(resolver, candidate)
+        if kind == "solution":
             solutions.append(candidate)
-            entries.append(
-                KbpSolutionEntry(
-                    candidate=candidate, resolution=table, chain=result.chain
-                )
-            )
-        elif not value.entails(candidate):
-            # Φ(x) ⊄ x: some state outside x is reachable in P_x — show it.
-            path = labeled_path(
-                resolved, resolved.init.mask, (~candidate).mask
-            )
-            assert path is not None  # value ⊄ candidate guarantees one
-            refutations.append(
-                CandidateRefutation(
-                    candidate=candidate,
-                    resolution=table,
-                    witness_kind="escape",
-                    path_states=path[0],
-                    path_statements=path[1],
-                )
-            )
+            entries.append(payload)
         else:
-            # Φ(x) ⊊ x: reachability confines itself to Φ(x), leaving a
-            # candidate state unreached.
-            missing = next((candidate & ~value).indices())
-            refutations.append(
-                CandidateRefutation(
-                    candidate=candidate,
-                    resolution=table,
-                    witness_kind="unreached",
-                    closed=value,
-                    missing=missing,
-                )
-            )
+            refutations.append(payload)
     solutions.sort(key=lambda p: (p.count(), p.mask))
     certificate = KbpSolveCertificate(
         program=program_digest(program),

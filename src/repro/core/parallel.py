@@ -1,0 +1,562 @@
+"""The sharded, batched exhaustive solver for eq. (25).
+
+The serial sweep in :mod:`repro.core.kbp` probes every candidate
+``x ⊇ init`` one at a time; its cost is ``2^(size - |init|)`` full Φ
+evaluations of pure-Python kernel calls.  This module keeps the *sweep*
+(completeness is non-negotiable — ``ŜP`` is not monotone, so nothing short
+of exhaustion decides well-posedness) and attacks the constant factor on
+two independent axes:
+
+**Sharding.**  The candidate sublattice ``[init, true]`` is partitioned by
+fixing the top ``k`` free state-bits: each of the ``2^k`` assignments names
+one shard, and shards are farmed to a ``ProcessPoolExecutor`` (~4 shards
+per worker, so the executor queue work-steals around uneven shard costs).
+Within a shard the remaining free bits are walked in binary-reflected
+Gray-code order — consecutive candidates differ in exactly one state — so
+the per-worker :class:`~repro.core.kbp.CandidateResolver` term and
+operational caches get maximal reuse on the fallback path.
+
+**Batching.**  When the program is *batchable* — every knowledge term
+non-nested, knowledge only in guards, guards Boolean over terms and
+knowledge-free leaves — :func:`compile_phi_plan` freezes Φ into a
+:class:`~repro.predicates.backends.batch.PhiPlan` of plain masks and
+successor arrays, and whole blocks of candidates go through the backend's
+``batch_phi`` kernel at once.  On the numpy backend that is a fully
+vectorized sweep over a ``(batch, words)`` uint64 matrix; even single-CPU
+hosts see a large win because the per-candidate Python interpreter cost
+collapses into a handful of array ops per batch.
+
+Exactness: the merged report is bit-identical to the serial sweep — the
+same sorted ``solutions``, the same ``candidates_checked``, and (with
+``emit_certificate=True``) the same per-candidate evidence in the same
+order, so PR-2 certificates replay unchanged.  Certified sweeps skip the
+batched kernel and run the per-candidate evidence path inside each shard;
+the merge re-sorts evidence into the serial enumeration order (strictly
+descending free-bit submask).
+
+``any_solution=True`` turns the sweep into a pure well-posedness query:
+workers stop at their shard's first solution, the parent cancels every
+not-yet-started shard, and the (partial) report says only whether a
+solution exists.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..predicates import Predicate
+from ..predicates.backends import batch_backend_for
+from ..predicates.backends.batch import (
+    BatchPoisonError,
+    PhiPlan,
+    StatementPlan,
+    TermPlan,
+)
+from ..statespace import State
+from ..unity import Program
+from ..unity.expressions import Binary, Ite, Knowledge, Unary
+
+#: Default batch size for ``batch_phi`` blocks (candidates per kernel call).
+BATCH_SIZE = 1024
+
+#: Environment knob for the default worker count.
+WORKERS_ENV_VAR = "REPRO_SOLVER_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_SOLVER_WORKERS`` if set, else ``min(8, cpus)``."""
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR}={raw!r} is not an integer worker count"
+            ) from None
+        if value < 1:
+            raise ValueError(f"{WORKERS_ENV_VAR} must be >= 1, got {value}")
+        return value
+    return min(8, os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# Φ-plan compilation
+# ----------------------------------------------------------------------
+
+
+class _Ineligible(Exception):
+    """The program cannot be batched; fall back to the per-candidate path."""
+
+
+def _static_mask(program: Program, expr) -> int:
+    """A knowledge-free guard subtree as an exact mask over all states.
+
+    The serial evaluator short-circuits ``and``/``or``/``=>``, so a leaf it
+    never reaches may be one we cannot evaluate everywhere; any evaluation
+    failure marks the whole program ineligible (conservative — the serial
+    path then decides, with identical semantics).
+    """
+    space = program.space
+    mask = 0
+    for i in range(space.size):
+        try:
+            if expr.eval(State(space, i)):
+                mask |= 1 << i
+        except Exception:
+            raise _Ineligible from None
+    return mask
+
+
+def _guard_ops(
+    program: Program, expr, term_index: Dict[Knowledge, int]
+) -> List[Tuple[Any, ...]]:
+    """Compile a guard into postfix ops over knowledge terms and static leaves."""
+    if isinstance(expr, Knowledge):
+        return [("term", term_index[expr])]
+    if not expr.knowledge_terms():
+        return [("static", _static_mask(program, expr))]
+    if isinstance(expr, Unary) and expr.op == "not":
+        return _guard_ops(program, expr.operand, term_index) + [("not",)]
+    if isinstance(expr, Binary):
+        left = _guard_ops(program, expr.left, term_index)
+        right = _guard_ops(program, expr.right, term_index)
+        if expr.op == "and":
+            return left + right + [("and",)]
+        if expr.op == "or":
+            return left + right + [("or",)]
+        if expr.op == "=>":
+            return left + [("not",)] + right + [("or",)]
+        if expr.op == "<=>":
+            return left + right + [("xor",), ("not",)]
+        raise _Ineligible  # knowledge under arithmetic/comparison
+    if isinstance(expr, Ite):
+        cond = _guard_ops(program, expr.cond, term_index)
+        then = _guard_ops(program, expr.then, term_index)
+        orelse = _guard_ops(program, expr.orelse, term_index)
+        return (
+            cond + then + [("and",)] + cond + [("not",)] + orelse
+            + [("and",), ("or",)]
+        )
+    raise _Ineligible
+
+
+def _unguarded_successors(
+    program: Program, stmt
+) -> Tuple[Tuple[int, ...], int]:
+    """``stmt``'s assignment successor ignoring the guard, plus a poison mask.
+
+    Bit ``i`` of the poison mask is set where some right-hand side cannot be
+    evaluated or leaves its domain — states the *guarded* statement may
+    never execute, so they only matter for candidates whose resolved guard
+    enables them (→ :class:`BatchPoisonError`, then a serial re-run that
+    raises the original error).
+    """
+    space = program.space
+    succ = [0] * space.size
+    poison = 0
+    for i in range(space.size):
+        state = State(space, i)
+        try:
+            changes = {}
+            for target, expr in zip(stmt.targets, stmt.exprs):
+                value = expr.eval(state)
+                if value not in space.var(target).domain:
+                    raise _Ineligible  # poison, not a compile failure
+                changes[target] = value
+            succ[i] = space.reindex(i, changes)
+        except Exception:
+            poison |= 1 << i
+            succ[i] = i
+    return tuple(succ), poison
+
+
+def compile_phi_plan(program: Program) -> Optional[PhiPlan]:
+    """Freeze ``Φ`` into a :class:`PhiPlan`, or ``None`` when not batchable.
+
+    Eligibility: every knowledge term is non-nested and owned by a declared
+    process, knowledge occurs only in guards, and each knowledge-based
+    guard compiles to the postfix Boolean vocabulary with all static leaves
+    evaluable everywhere.  Ineligible programs take the per-candidate
+    resolver path — still sharded, just not vectorized.
+    """
+    terms = sorted(program.knowledge_terms(), key=repr)
+    try:
+        term_plans = []
+        term_index: Dict[Knowledge, int] = {}
+        for position, term in enumerate(terms):
+            if term.formula.knowledge_terms():
+                raise _Ineligible  # nested K: body depends on the candidate
+            process = program.processes.get(term.process)
+            if process is None:
+                raise _Ineligible
+            term_plans.append(
+                TermPlan(
+                    body_mask=_static_mask(program, term.formula),
+                    variables=tuple(sorted(process.variables)),
+                )
+            )
+            term_index[term] = position
+        statement_plans = []
+        for stmt in program.statements:
+            if not stmt.is_knowledge_based():
+                statement_plans.append(
+                    StatementPlan(
+                        name=stmt.name,
+                        succ=tuple(program.successor_array(stmt)),
+                    )
+                )
+                continue
+            if any(e.knowledge_terms() for e in stmt.exprs):
+                raise _Ineligible  # candidate-dependent successor arrays
+            guard = tuple(_guard_ops(program, stmt.guard, term_index))
+            succ, poison = _unguarded_successors(program, stmt)
+            statement_plans.append(
+                StatementPlan(
+                    name=stmt.name, succ=succ, guard=guard, poison_mask=poison
+                )
+            )
+    except _Ineligible:
+        return None
+    except Exception:
+        # Anything the serial sweep would raise (e.g. a GuardDomainError in
+        # a knowledge-free statement) is its to raise — with its own message.
+        return None
+    return PhiPlan(
+        space=program.space,
+        init_mask=program.init.mask,
+        statements=tuple(statement_plans),
+        terms=tuple(term_plans),
+    )
+
+
+# ----------------------------------------------------------------------
+# shard planning and Gray-code enumeration
+# ----------------------------------------------------------------------
+
+
+def _bit_positions(mask: int) -> List[int]:
+    out = []
+    position = 0
+    while mask:
+        if mask & 1:
+            out.append(position)
+        mask >>= 1
+        position += 1
+    return out
+
+
+def plan_shards(
+    free_bits: Sequence[int], workers: int
+) -> Tuple[List[int], List[int]]:
+    """Split free bit positions into (low walk bits, high shard bits).
+
+    The top ``k`` free bits are fixed per shard, sized so that there are at
+    least ~4 shards per worker (the executor queue then load-balances
+    uneven shards); a single worker gets one shard and walks everything.
+    """
+    free_bits = list(free_bits)
+    if workers <= 1:
+        return free_bits, []
+    target = 4 * workers
+    k = 0
+    while (1 << k) < target and k < len(free_bits):
+        k += 1
+    return free_bits[: len(free_bits) - k], free_bits[len(free_bits) - k :]
+
+
+def gray_masks(positions: Sequence[int]) -> Iterator[int]:
+    """All ``2^len(positions)`` masks over ``positions``, Gray-code ordered.
+
+    Consecutive masks differ in exactly one bit (the binary-reflected
+    code: step ``j`` flips the bit indexed by ``ctz(j)``), which is what
+    lets a shard's walk reuse the resolver's per-candidate caches.
+    """
+    mask = 0
+    yield mask
+    for j in range(1, 1 << len(positions)):
+        mask ^= 1 << positions[(j & -j).bit_length() - 1]
+        yield mask
+
+
+def assignment_mask(positions: Sequence[int], assignment: int) -> int:
+    """The mask fixing ``positions`` to the bits of ``assignment``."""
+    mask = 0
+    for offset, position in enumerate(positions):
+        if assignment >> offset & 1:
+            mask |= 1 << position
+    return mask
+
+
+# ----------------------------------------------------------------------
+# per-shard sweep (runs in workers; also in-process when workers == 1)
+# ----------------------------------------------------------------------
+
+#: Per-process solver state, set by :func:`_init_worker` (or directly by the
+#: in-process path).  A plain dict: fork-started workers inherit nothing
+#: stale because the initializer always overwrites every key.
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(
+    program: Program,
+    base_mask: int,
+    low_positions: List[int],
+    emit_certificate: bool,
+    any_solution: bool,
+    batch_size: int,
+) -> None:
+    from .kbp import CandidateResolver
+
+    plan = None if emit_certificate else compile_phi_plan(program)
+    _WORKER.clear()
+    _WORKER.update(
+        program=program,
+        resolver=CandidateResolver(program),
+        plan=plan,
+        backend=batch_backend_for(program.space.size, batch_size)
+        if plan is not None
+        else None,
+        base_mask=base_mask,
+        low_positions=low_positions,
+        emit_certificate=emit_certificate,
+        any_solution=any_solution,
+        batch_size=batch_size,
+    )
+
+
+def _shard_candidates(fixed_mask: int) -> Iterator[int]:
+    base = _WORKER["base_mask"] | fixed_mask
+    for gray in gray_masks(_WORKER["low_positions"]):
+        yield base | gray
+
+
+def _sweep_shard(fixed_mask: int) -> Tuple[List[int], int, List[Tuple[str, Any]]]:
+    """One shard's sweep: ``(solution_masks, candidates_checked, evidence)``.
+
+    Evidence is empty unless the worker was initialized with
+    ``emit_certificate``; with ``any_solution`` the walk stops at the first
+    solution (the returned count is then partial, as documented).
+    """
+    if _WORKER["emit_certificate"]:
+        return _sweep_shard_certified(fixed_mask)
+    if _WORKER["plan"] is not None:
+        return _sweep_shard_batched(fixed_mask)
+    return _sweep_shard_resolver(fixed_mask)
+
+
+def _sweep_shard_batched(fixed_mask: int):
+    plan: PhiPlan = _WORKER["plan"]
+    backend = _WORKER["backend"]
+    any_solution = _WORKER["any_solution"]
+    batch_size = _WORKER["batch_size"]
+    solutions: List[int] = []
+    checked = 0
+    block: List[int] = []
+
+    def flush(block: List[int]) -> bool:
+        try:
+            phis = backend.batch_phi(plan, block)
+        except BatchPoisonError:
+            # Some candidate enables a statement outside its domain; the
+            # serial resolver raises the original error for it.
+            resolver = _WORKER["resolver"]
+            space = _WORKER["program"].space
+            phis = [resolver.phi(Predicate(space, m)).mask for m in block]
+        solutions.extend(m for m, value in zip(block, phis) if value == m)
+        return any_solution and bool(solutions)
+
+    for mask in _shard_candidates(fixed_mask):
+        block.append(mask)
+        checked += 1
+        if len(block) >= batch_size:
+            if flush(block):
+                return solutions, checked, []
+            block = []
+    if block:
+        flush(block)
+    return solutions, checked, []
+
+
+def _sweep_shard_resolver(fixed_mask: int):
+    resolver = _WORKER["resolver"]
+    space = _WORKER["program"].space
+    any_solution = _WORKER["any_solution"]
+    solutions: List[int] = []
+    checked = 0
+    for mask in _shard_candidates(fixed_mask):
+        checked += 1
+        candidate = Predicate(space, mask)
+        if resolver.phi(candidate) == candidate:
+            solutions.append(mask)
+            if any_solution:
+                break
+    return solutions, checked, []
+
+
+def _sweep_shard_certified(fixed_mask: int):
+    from .kbp import _candidate_evidence
+
+    resolver = _WORKER["resolver"]
+    space = _WORKER["program"].space
+    any_solution = _WORKER["any_solution"]
+    solutions: List[int] = []
+    checked = 0
+    evidence: List[Tuple[str, Any]] = []
+    for mask in _shard_candidates(fixed_mask):
+        checked += 1
+        kind, payload = _candidate_evidence(resolver, Predicate(space, mask))
+        evidence.append((kind, payload))
+        if kind == "solution":
+            solutions.append(mask)
+            if any_solution:
+                break
+    return solutions, checked, evidence
+
+
+# ----------------------------------------------------------------------
+# the public solver
+# ----------------------------------------------------------------------
+
+
+def solve_si_parallel(
+    program: Program,
+    workers: Optional[int] = None,
+    emit_certificate: bool = False,
+    any_solution: bool = False,
+    batch_size: int = BATCH_SIZE,
+    resolver: Optional[Any] = None,
+):
+    """Exhaustively solve eq. (25) with sharding and batched Φ.
+
+    Bit-identical to :func:`repro.core.kbp.solve_si` on complete sweeps:
+    the same sorted solutions, the same candidate count, and (under
+    ``emit_certificate``) the same evidence order, hence the same
+    certificate digests.  ``any_solution=True`` answers well-posedness
+    only: the sweep stops at the first solution found, outstanding shards
+    are cancelled, and ``candidates_checked`` reflects the partial walk.
+
+    ``workers`` defaults to ``REPRO_SOLVER_WORKERS`` or ``min(8, cpus)``;
+    ``workers=1`` runs in-process (no executor) but still batches, which
+    is where most of the speedup lives on small hosts.  ``resolver`` is
+    honored on the in-process path only — worker processes build their own
+    (term caches cannot be shared across process boundaries).
+    """
+    from .kbp import (
+        CandidateResolver,
+        SolveReport,
+        _check_exhaustive_size,
+        solve_si,
+    )
+
+    space = program.space
+    _check_exhaustive_size(space)
+    if not program.is_knowledge_based():
+        return solve_si(
+            program, emit_certificate=emit_certificate, parallel="never"
+        )
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+    base_mask = program.init.mask
+    free_bits = _bit_positions(space.full_mask & ~base_mask)
+    low_positions, high_positions = plan_shards(free_bits, workers)
+    shard_masks = [
+        assignment_mask(high_positions, a)
+        for a in range(1 << len(high_positions))
+    ]
+
+    solution_masks: List[int] = []
+    checked = 0
+    evidence: List[Tuple[str, Any]] = []
+
+    if workers == 1:
+        _init_worker(
+            program, base_mask, low_positions,
+            emit_certificate, any_solution, batch_size,
+        )
+        if resolver is not None:
+            _WORKER["resolver"] = resolver
+        try:
+            for fixed in shard_masks:
+                masks, shard_checked, shard_evidence = _sweep_shard(fixed)
+                solution_masks.extend(masks)
+                checked += shard_checked
+                evidence.extend(shard_evidence)
+                if any_solution and masks:
+                    break
+        finally:
+            _WORKER.clear()
+    else:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(shard_masks)),
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(
+                program, base_mask, low_positions,
+                emit_certificate, any_solution, batch_size,
+            ),
+        ) as pool:
+            pending = {pool.submit(_sweep_shard, fixed) for fixed in shard_masks}
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    stop = False
+                    for future in done:
+                        masks, shard_checked, shard_evidence = future.result()
+                        solution_masks.extend(masks)
+                        checked += shard_checked
+                        evidence.extend(shard_evidence)
+                        if any_solution and masks:
+                            stop = True
+                    if stop:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        break
+            finally:
+                for future in pending:
+                    future.cancel()
+
+    solutions = [Predicate(space, mask) for mask in solution_masks]
+    solutions.sort(key=lambda p: (p.count(), p.mask))
+    certificate = None
+    if emit_certificate:
+        certificate = _merged_certificate(
+            program, evidence, space.full_mask & ~base_mask
+        )
+    return SolveReport(
+        solutions=tuple(solutions),
+        candidates_checked=checked,
+        certificate=certificate,
+    )
+
+
+def _merged_certificate(program: Program, evidence, free_mask: int):
+    """Re-assemble shard evidence into the serial sweep's certificate.
+
+    The serial enumeration visits free-bit submasks in strictly decreasing
+    numeric order, so sorting merged evidence by descending
+    ``candidate & free`` reproduces its entry sequence exactly — byte-for-
+    byte equal certificates, digests included.
+    """
+    from ..certificates.canonical import program_digest
+    from ..certificates.certs import KbpSolveCertificate
+
+    ordered = sorted(
+        evidence, key=lambda item: -(item[1].candidate.mask & free_mask)
+    )
+    entries = tuple(p for kind, p in ordered if kind == "solution")
+    refutations = tuple(p for kind, p in ordered if kind == "refutation")
+    return KbpSolveCertificate(
+        program=program_digest(program),
+        init=program.init,
+        solutions=entries,
+        refutations=refutations,
+    )

@@ -38,6 +38,7 @@ __all__ = [
     "available_backends",
     "backend_for",
     "backend_for_size",
+    "batch_backend_for",
     "get_backend",
     "get_default_backend",
     "set_default_backend",
@@ -127,6 +128,23 @@ def backend_for_size(size: int) -> PredicateBackend:
         return selection
     if selection == "auto":
         return _NUMPY if size >= AUTO_THRESHOLD else _INT
+    return _REGISTRY[selection]
+
+
+def batch_backend_for(size: int, batch: int) -> PredicateBackend:
+    """Resolve the selection for a *batched* Φ sweep of ``batch`` candidates.
+
+    Under ``"auto"`` the decision weighs the whole batch — ``size × batch``
+    total bits against :data:`AUTO_THRESHOLD` — so the vectorized numpy
+    ``batch_phi`` kicks in for the exhaustive eq.-(25) sweeps even on
+    spaces far below the per-predicate crossover (a 24-state space is tiny,
+    but 2^20 candidates over it are not).
+    """
+    selection = get_default_backend()
+    if isinstance(selection, PredicateBackend):
+        return selection
+    if selection == "auto":
+        return _NUMPY if size * max(batch, 1) >= AUTO_THRESHOLD else _INT
     return _REGISTRY[selection]
 
 

@@ -122,6 +122,15 @@ class PredicateBackend:
         """
         raise NotImplementedError
 
+    def table_from_array(self, succ, size: int) -> Any:
+        """The backend's successor-map representation from a raw index array.
+
+        Like :meth:`build_table`, but fed a plain sequence instead of a
+        ``(program, statement)`` pair — the batched-Φ plans carry successor
+        arrays as data precisely so worker processes need no programs.
+        """
+        raise NotImplementedError
+
     def image(self, handle: Any, table: Any, size: int) -> Any:
         """``{succ[i] : i ∈ handle}`` — the ``sp`` kernel."""
         raise NotImplementedError
@@ -129,6 +138,72 @@ class PredicateBackend:
     def preimage(self, handle: Any, table: Any, size: int) -> Any:
         """``{i : succ[i] ∈ handle}`` — the ``wp`` kernel."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # batched Φ (the eq.-25 sweep kernel)
+    # ------------------------------------------------------------------
+
+    def batch_phi(self, plan, masks) -> List[int]:
+        """``Φ(x) = sst_{P_x}(init)`` for a batch of candidate masks.
+
+        The base implementation is the exact per-candidate loop over this
+        backend's scalar kernels — the reference the vectorized overrides
+        must match bit for bit.  ``plan`` is a
+        :class:`~repro.predicates.backends.batch.PhiPlan`.
+        """
+        return [self.phi_of_mask(plan, mask) for mask in masks]
+
+    def phi_of_mask(self, plan, mask: int) -> int:
+        """One candidate's Φ via scalar kernels (eq. 13 + the eq.-3 chain)."""
+        from .batch import BatchPoisonError, eval_guard_postfix
+
+        size = plan.space.size
+        x = self.from_mask(mask, size)
+        not_x = self.not_(x, size)
+        terms = []
+        for term in plan.terms:
+            body = plan.static_handle(self, term.body_mask)
+            table = self.group_table(plan.space, term.variables)
+            implication = self.or_(not_x, body, size)  # x ⇒ body, pointwise
+            cylinder = self.quantify_groups(implication, table, size, True)
+            terms.append(
+                self.and_(body, self.or_(cylinder, not_x, size), size)
+            )
+        guards = []
+        for stmt in plan.statements:
+            if stmt.guard is None:
+                guards.append(None)
+                continue
+            g = eval_guard_postfix(self, plan, stmt.guard, terms, size)
+            if stmt.poison_mask and not self.is_false(
+                self.and_(g, plan.static_handle(self, stmt.poison_mask), size),
+                size,
+            ):
+                raise BatchPoisonError(mask, stmt.name)
+            guards.append(g)
+        init = plan.static_handle(self, plan.init_mask)
+        current = self.from_mask(0, size)
+        # f.y = init ∨ SP_{P_x}.y is monotone once the guards are fixed, so
+        # the Kleene chain from false stabilizes within size + 1 steps.
+        for _ in range(size + 2):
+            acc = init
+            for index, (stmt, g) in enumerate(zip(plan.statements, guards)):
+                table = plan.succ_table(self, index)
+                if g is None:
+                    post = self.image(current, table, size)
+                else:
+                    post = self.or_(
+                        self.image(self.and_(current, g, size), table, size),
+                        self.diff(current, g, size),
+                        size,
+                    )
+                acc = self.or_(acc, post, size)
+            if self.equal(acc, current, size):
+                return self.to_mask(current, size)
+            current = acc
+        raise RuntimeError(  # pragma: no cover - monotone chains always stop
+            f"batched Φ chain exceeded {size + 2} steps on {size} states"
+        )
 
     # ------------------------------------------------------------------
     # cylinder kernels (group tables)

@@ -98,6 +98,9 @@ class IntBitsBackend(PredicateBackend):
     def build_table(self, program, stmt) -> IntSuccessorTable:
         return IntSuccessorTable(program.successor_array(stmt))
 
+    def table_from_array(self, succ, size: int) -> IntSuccessorTable:
+        return IntSuccessorTable(list(succ))
+
     def image(self, handle: int, table: IntSuccessorTable, size: int) -> int:
         succ = table.succ
         out = 0

@@ -54,6 +54,20 @@ class TestFigure1NoSolution:
         with pytest.raises(ValueError):
             report.strongest()
 
+    def test_strongest_raises_on_incomparable_solutions(self):
+        """No ⊑-minimum ⇒ no "strongest" — silently returning solutions[0]
+        would misreport the protocol's SI.  naive_mutex is the real case:
+        two solutions, neither entailing the other."""
+        from repro.puzzles.mutex import naive_mutex
+
+        report = solve_si(naive_mutex())
+        assert len(report.solutions) == 2
+        with pytest.raises(ValueError, match="incomparable") as exc_info:
+            report.strongest()
+        # The error names the offending pair.
+        for solution in report.solutions:
+            assert repr(solution) in str(exc_info.value)
+
     def test_phi_cycle_is_genuine(self):
         """Φ alternates between two candidates, neither a fixpoint."""
         program = fig1_program()
