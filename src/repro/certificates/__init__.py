@@ -44,7 +44,15 @@ from .certs import (
     resolution_table,
 )
 from .models import MODEL_BUILDERS, Model, build_model
-from .store import Artifact, iter_artifacts, load, loads, save, wrap
+from .store import (
+    Artifact,
+    TruncatedArtifactError,
+    iter_artifacts,
+    load,
+    loads,
+    save,
+    wrap,
+)
 
 # emit/replay are the CLI entry points (python -m repro.certificates.emit);
 # import them lazily so runpy doesn't warn about double-loading them.
@@ -88,6 +96,7 @@ __all__ = [
     "SafetyRefutationCertificate",
     "SpHatCertificate",
     "SpecCertificate",
+    "TruncatedArtifactError",
     "build_model",
     "canonical_dumps",
     "decode_certificate",

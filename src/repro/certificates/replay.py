@@ -47,6 +47,10 @@ backend replay identically because predicates serialize by fingerprint.
 CLI::
 
     python -m repro.certificates.replay artifacts/
+    python -m repro.certificates.replay artifacts/ --journal solve.journal
+
+Exit codes: 0 all verified, 1 a verdict was rejected, 3 an artifact is
+truncated (partially written — re-emit rather than trusting a prefix).
 """
 
 from __future__ import annotations
@@ -81,12 +85,17 @@ from .certs import (
     decode_certificate,
 )
 from .models import Model, build_model
-from .store import Artifact, iter_artifacts, load
+from .store import Artifact, TruncatedArtifactError, iter_artifacts, load
 
 #: Exhaustive enumerations (candidate sweeps, S5 predicate sweeps) refuse
 #: to run past these sizes — replay is meant for the paper-scale models.
 MAX_CANDIDATE_BITS = 20
 MAX_S5_STATES = 8
+
+#: Exit status for artifacts that end mid-document (partial writes).  Kept
+#: distinct from 1 (semantic rejection) so callers can tell "this evidence
+#: is wrong" from "this evidence never finished being written".
+EXIT_TRUNCATED = 3
 
 
 @dataclass(frozen=True)
@@ -972,22 +981,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="ambient predicate backend while loading and replaying",
     )
+    parser.add_argument(
+        "--journal",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help=(
+            "also verify a shard-checkpoint journal's sha256 chain "
+            "(repeatable); rejected journals fail the run"
+        ),
+    )
     args = parser.parse_args(argv)
     target = Path(args.artifacts)
     if target.is_file():
         paths = [target]
     else:
         paths = list(iter_artifacts(target))
-    if not paths:
+    if not paths and not args.journal:
         print(f"no *.cert.json artifacts under {target}", file=sys.stderr)
         return 1
 
     def run() -> int:
         failures = 0
+        truncated = 0
         for path in paths:
             try:
                 artifact = load(path)
                 outcome = replay_artifact(artifact)
+            except TruncatedArtifactError as exc:
+                truncated += 1
+                print(f"TRUNCATED {path.name}: {exc}")
+                continue
             except CertificateError as exc:
                 failures += 1
                 print(f"FAIL {path.name}: {exc}")
@@ -996,8 +1020,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"OK   {path.name}: {artifact.kind} [{artifact.model}] "
                 f"— {outcome.verdict}"
             )
-        status = "all verdicts re-established" if not failures else "REJECTED"
-        print(f"{len(paths) - failures}/{len(paths)} artifacts verified — {status}")
+        for journal_path in args.journal:
+            from ..robustness import JournalError, verify_journal
+
+            try:
+                summary = verify_journal(journal_path)
+            except JournalError as exc:
+                failures += 1
+                print(f"FAIL {journal_path}: {exc}")
+                continue
+            shape = (
+                "complete"
+                if summary["complete"]
+                else f"{summary['shards_journaled']}/{summary['shard_count']} shards"
+            )
+            print(
+                f"OK   {journal_path}: shard journal [{summary['program']}] "
+                f"— chain verified, {shape}, "
+                f"{summary['candidates_checked']} candidates"
+            )
+        checked = len(paths) + len(args.journal)
+        bad = failures + truncated
+        status = "all verdicts re-established" if not bad else "REJECTED"
+        print(f"{checked - bad}/{checked} artifacts verified — {status}")
+        if truncated:
+            # Truncation dominates: nothing semantic can be said about a
+            # partial file, and the caller's remedy (re-emit) differs.
+            return EXIT_TRUNCATED
         return 1 if failures else 0
 
     if args.backend is not None:

@@ -87,10 +87,37 @@ def parse_document(doc: Any) -> Artifact:
     return Artifact(kind=kind, model=model, payload=payload)
 
 
+class TruncatedArtifactError(CertificateError):
+    """The artifact ends mid-document: a partial write, not mere damage.
+
+    Distinguished from generic corruption because the remedy differs — a
+    truncated artifact usually means its emitter was killed mid-write, so
+    the fix is re-emitting (or resuming the solve that produces it), not
+    investigating tampering.  The replay CLI maps this to its own exit
+    code (:data:`repro.certificates.replay.EXIT_TRUNCATED`).
+    """
+
+
 def loads(text: str) -> Artifact:
     try:
         doc = json.loads(text)
     except json.JSONDecodeError as exc:
+        # A parse error *at the end* of the text means the document simply
+        # stops — the signature of a torn write; errors strictly inside the
+        # text are corruption of some other sort.  An unterminated string
+        # reports the position of its opening quote, so it must be named
+        # explicitly even though the damage is at the end.
+        truncated = (
+            not text.strip()
+            or exc.pos >= len(text.rstrip())
+            or exc.msg.startswith("Unterminated string")
+        )
+        if truncated:
+            raise TruncatedArtifactError(
+                "artifact is truncated (JSON document ends "
+                f"mid-structure at byte {exc.pos}): the file was partially "
+                "written — re-emit it rather than trusting a prefix"
+            ) from None
         raise CertificateError(f"artifact is not valid JSON: {exc}") from None
     return parse_document(doc)
 

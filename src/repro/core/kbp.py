@@ -212,6 +212,9 @@ class SolveReport:
     solutions: Tuple[Predicate, ...]
     candidates_checked: int
     certificate: Optional[object] = None
+    #: :class:`repro.robustness.FaultLog` from supervised parallel sweeps —
+    #: ``None`` for serial solves; ``fault_log.clean`` means no faults fired.
+    fault_log: Optional[object] = None
 
     @property
     def well_posed(self) -> bool:
@@ -275,6 +278,8 @@ def solve_si(
     emit_certificate: bool = False,
     parallel: str = "auto",
     workers: Optional[int] = None,
+    fault_policy: Optional[object] = None,
+    checkpoint: Optional[object] = None,
 ) -> SolveReport:
     """Exhaustively solve eq. (25): every candidate ``x ⊇ init`` is tested.
 
@@ -289,6 +294,12 @@ def solve_si(
     always uses it for knowledge-based programs, ``"never"`` keeps the
     serial sweep.  ``workers`` is forwarded to the parallel solver.
 
+    ``fault_policy`` (a :class:`repro.robustness.FaultPolicy`) and
+    ``checkpoint`` (a journal path or :class:`~repro.robustness.ShardJournal`)
+    are sharded-solver features (DESIGN.md §10): passing either forces the
+    parallel route for knowledge-based programs, and combining them with
+    ``parallel="never"`` is an error.
+
     With ``emit_certificate=True`` the report carries a full eq.-(25)
     certificate: each candidate's resolution plus either the sst chain
     (solutions) or a concrete refutation — a labeled escape path when
@@ -299,11 +310,21 @@ def solve_si(
         raise ValueError(
             f"parallel={parallel!r} is not one of 'auto', 'never', 'force'"
         )
+    wants_robustness = fault_policy is not None or checkpoint is not None
+    if wants_robustness and parallel == "never":
+        raise ValueError(
+            "fault_policy/checkpoint are sharded-solver features; "
+            'they cannot be combined with parallel="never"'
+        )
     space = program.space
     _check_exhaustive_size(space)
     if program.is_knowledge_based() and parallel != "never":
         free_bits = (space.full_mask & ~program.init.mask).bit_count()
-        if parallel == "force" or free_bits >= PARALLEL_AUTO_FREE_BITS:
+        if (
+            parallel == "force"
+            or wants_robustness
+            or free_bits >= PARALLEL_AUTO_FREE_BITS
+        ):
             from .parallel import solve_si_parallel
 
             return solve_si_parallel(
@@ -311,6 +332,8 @@ def solve_si(
                 workers=workers,
                 emit_certificate=emit_certificate,
                 resolver=resolver,
+                fault_policy=fault_policy,
+                checkpoint=checkpoint,
             )
     if not program.is_knowledge_based():
         if emit_certificate:

@@ -45,6 +45,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..predicates import Predicate
@@ -307,6 +308,7 @@ def _init_worker(
     emit_certificate: bool,
     any_solution: bool,
     batch_size: int,
+    fault_plan: Optional[Any] = None,
 ) -> None:
     from .kbp import CandidateResolver
 
@@ -324,6 +326,7 @@ def _init_worker(
         emit_certificate=emit_certificate,
         any_solution=any_solution,
         batch_size=batch_size,
+        fault_plan=fault_plan,
     )
 
 
@@ -333,18 +336,30 @@ def _shard_candidates(fixed_mask: int) -> Iterator[int]:
         yield base | gray
 
 
-def _sweep_shard(fixed_mask: int) -> Tuple[List[int], int, List[Tuple[str, Any]]]:
+def _sweep_shard(
+    shard_index: int, fixed_mask: int
+) -> Tuple[List[int], int, List[Tuple[str, Any]]]:
     """One shard's sweep: ``(solution_masks, candidates_checked, evidence)``.
 
     Evidence is empty unless the worker was initialized with
     ``emit_certificate``; with ``any_solution`` the walk stops at the first
-    solution (the returned count is then partial, as documented).
+    solution (the returned count is then partial, as documented).  When a
+    fault plan was threaded through :func:`_init_worker`, its worker-side
+    clauses fire here — ``crash``/``hang`` before the sweep, ``delay``
+    after it (a valid result arriving late).
     """
+    fault_plan = _WORKER.get("fault_plan")
+    if fault_plan is not None:
+        fault_plan.before_shard(shard_index)
     if _WORKER["emit_certificate"]:
-        return _sweep_shard_certified(fixed_mask)
-    if _WORKER["plan"] is not None:
-        return _sweep_shard_batched(fixed_mask)
-    return _sweep_shard_resolver(fixed_mask)
+        result = _sweep_shard_certified(fixed_mask)
+    elif _WORKER["plan"] is not None:
+        result = _sweep_shard_batched(fixed_mask)
+    else:
+        result = _sweep_shard_resolver(fixed_mask)
+    if fault_plan is not None:
+        fault_plan.after_shard(shard_index)
+    return result
 
 
 def _sweep_shard_batched(fixed_mask: int):
@@ -421,6 +436,50 @@ def _sweep_shard_certified(fixed_mask: int):
 # ----------------------------------------------------------------------
 
 
+def _encode_evidence(evidence: Sequence[Tuple[str, Any]]) -> List[Any]:
+    """Evidence (kind, payload-object) pairs → journalable JSON values."""
+    return [[kind, payload.to_payload()] for kind, payload in evidence]
+
+
+def _decode_evidence(items: Sequence[Any], space) -> List[Tuple[str, Any]]:
+    """Journaled evidence values → the certificate payload objects."""
+    from ..certificates.certs import CandidateRefutation, KbpSolutionEntry
+
+    out: List[Tuple[str, Any]] = []
+    for item in items:
+        kind, payload = item
+        cls = KbpSolutionEntry if kind == "solution" else CandidateRefutation
+        out.append((kind, cls.from_payload(payload, space)))
+    return out
+
+
+def _journal_header(
+    program: Program,
+    base_mask: int,
+    low_positions: List[int],
+    high_positions: List[int],
+    shard_count: int,
+    emit_certificate: bool,
+    batch_size: int,
+) -> Dict[str, Any]:
+    """What a checkpoint journal pins about its solve.
+
+    Any difference — another program or init, a different shard layout, a
+    different certificate mode — makes resume refuse the journal.
+    """
+    from ..certificates.canonical import program_digest
+
+    return {
+        "program": program_digest(program),
+        "base_mask": base_mask,
+        "low_positions": list(low_positions),
+        "high_positions": list(high_positions),
+        "shard_count": shard_count,
+        "emit_certificate": bool(emit_certificate),
+        "batch_size": batch_size,
+    }
+
+
 def solve_si_parallel(
     program: Program,
     workers: Optional[int] = None,
@@ -428,6 +487,9 @@ def solve_si_parallel(
     any_solution: bool = False,
     batch_size: int = BATCH_SIZE,
     resolver: Optional[Any] = None,
+    fault_policy: Optional[Any] = None,
+    checkpoint: Optional[Any] = None,
+    fault_plan: Optional[Any] = None,
 ):
     """Exhaustively solve eq. (25) with sharding and batched Φ.
 
@@ -443,17 +505,33 @@ def solve_si_parallel(
     is where most of the speedup lives on small hosts.  ``resolver`` is
     honored on the in-process path only — worker processes build their own
     (term caches cannot be shared across process boundaries).
+
+    Fault tolerance (DESIGN.md §10): multiprocess sweeps run under a
+    :class:`repro.robustness.ShardSupervisor` — shards lost to worker
+    crashes or deadlines are re-dispatched (re-spawning the pool), and a
+    shard that exhausts its retry budget falls back to the in-process
+    sweep.  ``fault_policy`` tunes this (``FaultPolicy.off()`` restores the
+    bare pool loop, where a broken pool raises
+    :class:`~repro.robustness.SolverWorkerError`); the report's
+    ``fault_log`` records every incident.  ``checkpoint`` names a journal
+    file (or :class:`~repro.robustness.ShardJournal`): completed shards are
+    journaled as they land, and a killed solve re-run with the same
+    checkpoint resumes from disk — the final report and certificate are
+    byte-identical to an uninterrupted run.  ``fault_plan`` (or the
+    ``REPRO_FAULT_PLAN`` environment variable) injects deterministic
+    faults for the chaos suite.
     """
-    from .kbp import (
-        CandidateResolver,
-        SolveReport,
-        _check_exhaustive_size,
-        solve_si,
-    )
+    from ..robustness import FaultPlan, FaultPolicy, ShardJournal, ShardSupervisor
+    from .kbp import SolveReport, _check_exhaustive_size, solve_si
 
     space = program.space
     _check_exhaustive_size(space)
     if not program.is_knowledge_based():
+        if checkpoint is not None:
+            raise ValueError(
+                "checkpoint journals are for knowledge-based sweeps; a "
+                "standard program's SI is a single sst computation"
+            )
         return solve_si(
             program, emit_certificate=emit_certificate, parallel="never"
         )
@@ -463,66 +541,112 @@ def solve_si_parallel(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if fault_policy is None:
+        fault_policy = FaultPolicy()
+    if checkpoint is not None and any_solution:
+        raise ValueError(
+            "checkpoint requires a complete sweep; any_solution stops early"
+        )
+    if checkpoint is not None and not fault_policy.supervised:
+        raise ValueError(
+            "checkpoint journals need a supervised policy; drop "
+            "FaultPolicy.off() or the checkpoint"
+        )
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
 
     base_mask = program.init.mask
     free_bits = _bit_positions(space.full_mask & ~base_mask)
-    low_positions, high_positions = plan_shards(free_bits, workers)
+    # A single worker normally walks one giant shard, but a checkpoint is
+    # only as fine-grained as the shard layout — resuming a one-shard
+    # journal would restart from scratch — so checkpointed in-process
+    # solves shard as if two workers were sweeping.
+    plan_workers = 2 if (workers == 1 and checkpoint is not None) else workers
+    low_positions, high_positions = plan_shards(free_bits, plan_workers)
     shard_masks = [
         assignment_mask(high_positions, a)
         for a in range(1 << len(high_positions))
     ]
+    if fault_plan is not None:
+        fault_plan = fault_plan.bind(len(shard_masks))
 
+    journal = None
+    if checkpoint is not None:
+        journal = (
+            checkpoint
+            if isinstance(checkpoint, ShardJournal)
+            else ShardJournal(checkpoint)
+        )
+    header = _journal_header(
+        program, base_mask, low_positions, high_positions,
+        len(shard_masks), emit_certificate, batch_size,
+    )
+
+    fault_log = None
     solution_masks: List[int] = []
     checked = 0
     evidence: List[Tuple[str, Any]] = []
 
-    if workers == 1:
-        _init_worker(
-            program, base_mask, low_positions,
-            emit_certificate, any_solution, batch_size,
+    if workers == 1 or fault_policy.supervised:
+        in_process = workers == 1
+
+        def pool_factory():
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+            return ProcessPoolExecutor(
+                max_workers=min(workers, len(shard_masks)),
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(
+                    program, base_mask, low_positions,
+                    emit_certificate, any_solution, batch_size, fault_plan,
+                ),
+            )
+
+        parent_ready = [False]
+
+        def serial_runner(index: int, fixed: int):
+            # The in-process sweep: also the supervisor's degradation path.
+            # No fault plan here — a crash clause must not kill the parent.
+            if not parent_ready[0]:
+                _init_worker(
+                    program, base_mask, low_positions,
+                    emit_certificate, any_solution, batch_size,
+                )
+                if resolver is not None:
+                    _WORKER["resolver"] = resolver
+                parent_ready[0] = True
+            return _sweep_shard(index, fixed)
+
+        supervisor = ShardSupervisor(
+            pool_factory=None if in_process else pool_factory,
+            task=_sweep_shard,
+            shard_masks=shard_masks,
+            policy=fault_policy,
+            any_solution=any_solution,
+            journal=journal,
+            journal_header=header,
+            # Parent-side clauses (kill/torn) only; worker clauses travel
+            # through _init_worker and fire in the pool processes.
+            fault_plan=fault_plan,
+            serial_runner=serial_runner,
+            encode_evidence=_encode_evidence,
+            decode_evidence=lambda items: _decode_evidence(items, space),
         )
-        if resolver is not None:
-            _WORKER["resolver"] = resolver
         try:
-            for fixed in shard_masks:
-                masks, shard_checked, shard_evidence = _sweep_shard(fixed)
-                solution_masks.extend(masks)
-                checked += shard_checked
-                evidence.extend(shard_evidence)
-                if any_solution and masks:
-                    break
+            solution_masks, checked, evidence = supervisor.run()
         finally:
-            _WORKER.clear()
+            if parent_ready[0]:
+                _WORKER.clear()
+        fault_log = supervisor.log
     else:
-        methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else methods[0])
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(shard_masks)),
-            mp_context=ctx,
-            initializer=_init_worker,
-            initargs=(
-                program, base_mask, low_positions,
-                emit_certificate, any_solution, batch_size,
-            ),
-        ) as pool:
-            pending = {pool.submit(_sweep_shard, fixed) for fixed in shard_masks}
-            try:
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    stop = False
-                    for future in done:
-                        masks, shard_checked, shard_evidence = future.result()
-                        solution_masks.extend(masks)
-                        checked += shard_checked
-                        evidence.extend(shard_evidence)
-                        if any_solution and masks:
-                            stop = True
-                    if stop:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        break
-            finally:
-                for future in pending:
-                    future.cancel()
+        # FaultPolicy.off(): the bare PR-3 wait loop — no leases, no
+        # retries — except that a broken pool names the lost shard instead
+        # of surfacing a raw BrokenProcessPool traceback.
+        solution_masks, checked, evidence = _unsupervised_sweep(
+            program, base_mask, low_positions, shard_masks,
+            emit_certificate, any_solution, batch_size, workers, fault_plan,
+        )
 
     solutions = [Predicate(space, mask) for mask in solution_masks]
     solutions.sort(key=lambda p: (p.count(), p.mask))
@@ -535,7 +659,78 @@ def solve_si_parallel(
         solutions=tuple(solutions),
         candidates_checked=checked,
         certificate=certificate,
+        fault_log=fault_log,
     )
+
+
+def _unsupervised_sweep(
+    program: Program,
+    base_mask: int,
+    low_positions: List[int],
+    shard_masks: List[int],
+    emit_certificate: bool,
+    any_solution: bool,
+    batch_size: int,
+    workers: int,
+    fault_plan: Optional[Any],
+) -> Tuple[List[int], int, List[Tuple[str, Any]]]:
+    """The PR-3 pool loop, kept for overhead benchmarking and as a floor.
+
+    A dead worker aborts the sweep — but now with a
+    :class:`~repro.robustness.SolverWorkerError` naming the shard's
+    fixed-bit mask and the completed/pending counts instead of a bare
+    ``BrokenProcessPool``.
+    """
+    from ..robustness import SolverWorkerError
+
+    solution_masks: List[int] = []
+    checked = 0
+    evidence: List[Tuple[str, Any]] = []
+    completed = 0
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(shard_masks)),
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(
+            program, base_mask, low_positions,
+            emit_certificate, any_solution, batch_size, fault_plan,
+        ),
+    ) as pool:
+        pending = {
+            pool.submit(_sweep_shard, index, fixed): (index, fixed)
+            for index, fixed in enumerate(shard_masks)
+        }
+        try:
+            while pending:
+                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                stop = False
+                for future in done:
+                    index, fixed = pending.pop(future)
+                    try:
+                        masks, shard_checked, shard_evidence = future.result()
+                    except BrokenProcessPool as exc:
+                        raise SolverWorkerError(
+                            shard_mask=fixed,
+                            attempts=1,
+                            completed=completed,
+                            pending=len(pending) + 1,
+                            cause=str(exc) or "process pool broke",
+                        ) from exc
+                    completed += 1
+                    solution_masks.extend(masks)
+                    checked += shard_checked
+                    evidence.extend(shard_evidence)
+                    if any_solution and masks:
+                        stop = True
+                if stop:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    break
+        finally:
+            for future in pending:
+                future.cancel()
+    return solution_masks, checked, evidence
 
 
 def _merged_certificate(program: Program, evidence, free_mask: int):

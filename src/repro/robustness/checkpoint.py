@@ -1,0 +1,273 @@
+"""The append-only shard-completion journal behind checkpoint/resume.
+
+A journal is a JSONL file: one canonical-JSON record per line, each
+carrying a ``chain`` digest that sha256-links it to everything before it::
+
+    {"chain": c0, ...header: format, program digest, shard layout...}
+    {"chain": c1, "type": "shard", "index": 3, "solutions": [...], ...}
+    {"chain": c2, "type": "shard", "index": 0, ...}
+
+where ``c0 = sha256(canonical(header body))`` and
+``c_{n} = sha256(c_{n-1} + canonical(body_n))`` (the ``chain`` key itself
+is excluded from the hashed body).  The chain gives the same tamper
+evidence as the certificate envelopes (PR 2): editing or reordering any
+journaled shard invalidates every later digest.
+
+Failure semantics on load distinguish the two ways a journal goes bad:
+
+* a **torn tail** — the final line is unparsable or its chain digest does
+  not verify — is what a crash mid-append legitimately leaves behind; the
+  record is discarded and the resume simply re-sweeps that shard;
+* anything wrong **before** the final line (bad JSON, a broken chain link,
+  a malformed record) cannot be produced by a crash and raises
+  :class:`JournalError` — resuming from a tampered journal would forfeit
+  the byte-identical-certificate guarantee.
+
+The header pins the program digest (via ``certificates.canonical``) and
+the exact shard layout; :meth:`ShardJournal.open` refuses to resume a
+solve whose parameters differ in any way from the journaled ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..certificates.canonical import canonical_dumps
+
+#: Journal line format tag; bump on incompatible record changes.
+JOURNAL_FORMAT = "repro-shard-journal/v1"
+
+
+class JournalError(Exception):
+    """A journal failed to parse, verify its chain, or match its solve."""
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One journaled shard completion."""
+
+    index: int
+    fixed_mask: int
+    solutions: Tuple[int, ...]
+    checked: int
+    #: encoded per-candidate evidence ([kind, payload] pairs), certified only
+    evidence: Tuple[Any, ...] = ()
+
+    def body(self) -> Dict[str, Any]:
+        return {
+            "type": "shard",
+            "index": self.index,
+            "fixed_mask": self.fixed_mask,
+            "solutions": list(self.solutions),
+            "checked": self.checked,
+            "evidence": list(self.evidence),
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "ShardRecord":
+        for key in ("index", "fixed_mask", "solutions", "checked"):
+            if key not in body:
+                raise JournalError(f"shard record missing {key!r}")
+        return cls(
+            index=body["index"],
+            fixed_mask=body["fixed_mask"],
+            solutions=tuple(body["solutions"]),
+            checked=body["checked"],
+            evidence=tuple(body.get("evidence", [])),
+        )
+
+
+def _chain_digest(previous: str, body: Dict[str, Any]) -> str:
+    text = previous + canonical_dumps(body)
+    return "sha256:" + hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+def _parse_line(line: str) -> Tuple[Dict[str, Any], str]:
+    """One journal line → (body without chain, recorded chain digest)."""
+    record = json.loads(line)
+    if not isinstance(record, dict) or "chain" not in record:
+        raise ValueError("journal record has no chain digest")
+    chain = record.pop("chain")
+    return record, chain
+
+
+class ShardJournal:
+    """Appendable, resumable journal of one solve's shard completions."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._chain = ""
+        self._header: Optional[Dict[str, Any]] = None
+        self._count = 0
+        #: set by the fault plan to tear the next append mid-write
+        self.tear_next = False
+
+    # ------------------------------------------------------------------
+    # open / resume
+    # ------------------------------------------------------------------
+
+    def open(self, header: Dict[str, Any]) -> Dict[int, ShardRecord]:
+        """Start (or resume) a journal for the solve described by ``header``.
+
+        Returns the already-completed shards, empty for a fresh journal.
+        A journal written for any *different* solve — another program,
+        init, shard layout, batch size, or certificate mode — raises
+        :class:`JournalError` instead of silently mixing results.
+        """
+        header = {"format": JOURNAL_FORMAT, **header}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            recorded, records = _load_records(self.path)
+            if recorded != header:
+                raise JournalError(
+                    f"journal {self.path} was written for a different solve "
+                    "(program, shard layout, or solver options differ); "
+                    "refusing to resume from it"
+                )
+            self._header = recorded
+            self._chain = _chain_digest("", recorded)
+            completed: Dict[int, ShardRecord] = {}
+            for body in records:
+                record = ShardRecord.from_body(body)
+                if record.index in completed:
+                    raise JournalError(
+                        f"journal records shard {record.index} twice"
+                    )
+                completed[record.index] = record
+                self._chain = _chain_digest(self._chain, body)
+                self._count += 1
+            return completed
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._header = header
+        self._chain = _chain_digest("", header)
+        self._write_line(header, self._chain)
+        return {}
+
+    # ------------------------------------------------------------------
+    # append
+    # ------------------------------------------------------------------
+
+    def append(self, record: ShardRecord) -> int:
+        """Journal one completed shard; returns the completion count.
+
+        When the fault plan armed :attr:`tear_next`, only half the line is
+        written (no newline) and :class:`SimulatedKill` is raised — the
+        exact artifact a mid-write crash leaves on disk.
+        """
+        if self._header is None:
+            raise JournalError("journal is not open")
+        body = record.body()
+        self._chain = _chain_digest(self._chain, body)
+        if self.tear_next:
+            from .faults import SimulatedKill
+
+            line = self._encode_line(body, self._chain)
+            with open(self.path, "a", encoding="ascii") as handle:
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise SimulatedKill(
+                f"fault plan tore the journal record for shard {record.index}"
+            )
+        self._write_line(body, self._chain)
+        self._count += 1
+        return self._count
+
+    def _encode_line(self, body: Dict[str, Any], chain: str) -> str:
+        return canonical_dumps({**body, "chain": chain}) + "\n"
+
+    def _write_line(self, body: Dict[str, Any], chain: str) -> None:
+        with open(self.path, "a", encoding="ascii") as handle:
+            handle.write(self._encode_line(body, chain))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def _load_records(
+    path: Path,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Parse and chain-verify a journal; returns (header, shard bodies).
+
+    The final line is allowed to be torn (unparsable or chain-broken) and
+    is then discarded; any earlier damage raises :class:`JournalError`.
+    """
+    text = path.read_text(encoding="ascii", errors="replace")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        raise JournalError(f"journal {path} is empty")
+
+    parsed: List[Tuple[Dict[str, Any], str]] = []
+    for position, line in enumerate(lines):
+        last = position == len(lines) - 1
+        try:
+            parsed.append(_parse_line(line))
+        except ValueError as exc:
+            if last:
+                break  # torn tail: discard the partial record
+            raise JournalError(
+                f"journal {path} is corrupt at line {position + 1}: {exc}"
+            ) from None
+    if not parsed:
+        raise JournalError(f"journal {path} has no intact header line")
+
+    header, header_chain = parsed[0]
+    if header.get("format") != JOURNAL_FORMAT:
+        raise JournalError(
+            f"journal {path} has format {header.get('format')!r}; "
+            f"expected {JOURNAL_FORMAT!r}"
+        )
+    chain = _chain_digest("", header)
+    if chain != header_chain:
+        raise JournalError(f"journal {path}: header chain digest mismatch")
+
+    bodies: List[Dict[str, Any]] = []
+    for position, (body, recorded) in enumerate(parsed[1:], start=1):
+        last = position == len(parsed) - 1
+        chained = _chain_digest(chain, body)
+        if chained != recorded:
+            if last:
+                break  # torn tail: valid JSON but written over a stale chain
+            raise JournalError(
+                f"journal {path}: chain digest broken at record {position} — "
+                "a journaled shard was edited, reordered, or dropped"
+            )
+        chain = chained
+        bodies.append(body)
+    return header, bodies
+
+
+def verify_journal(path: Union[str, Path]) -> Dict[str, Any]:
+    """Independently verify a journal's chain; returns a summary dict.
+
+    Used by ``python -m repro.certificates.replay --journal`` so that the
+    evidence toolchain can vouch for resume artifacts, not just final
+    certificates.  Raises :class:`JournalError` on any non-tail damage.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise JournalError(f"{path} is not a file")
+    header, bodies = _load_records(path)
+    records = [ShardRecord.from_body(b) for b in bodies]
+    indices = [r.index for r in records]
+    if len(set(indices)) != len(indices):
+        raise JournalError(f"journal {path} records a shard twice")
+    shard_count = header.get("shard_count")
+    complete = (
+        isinstance(shard_count, int) and len(records) == shard_count
+    )
+    return {
+        "path": str(path),
+        "program": header.get("program", {}).get("name"),
+        "shards_journaled": len(records),
+        "shard_count": shard_count,
+        "complete": complete,
+        "candidates_checked": sum(r.checked for r in records),
+        "solutions": sorted(m for r in records for m in r.solutions),
+        "emit_certificate": bool(header.get("emit_certificate")),
+    }

@@ -1,0 +1,264 @@
+"""Deterministic, seeded fault injection for the sharded solver.
+
+The chaos suite needs faults that are *reproducible* — the same plan, the
+same program, the same shard layout must produce the same incident
+sequence on every run — and *bounded* — a one-shot fault must not re-fire
+forever once the supervisor re-dispatches the shard it hit.  Both follow
+from two decisions:
+
+* faults target **shard indices** (positions in the shard-mask list), not
+  workers or wall-clock times, so which sweep gets hit does not depend on
+  scheduling; ``chaos`` clauses draw their target indices from a seeded
+  PRNG once the shard count is known (:meth:`FaultPlan.bind`);
+* each clause fires at most ``times`` times, tracked by marker files under
+  a scratch directory (created with ``O_CREAT|O_EXCL``, so the count is
+  exact even across re-spawned worker processes that share nothing but the
+  filesystem).
+
+Plan grammar (the ``REPRO_FAULT_PLAN`` environment variable)::
+
+    plan    :=  clause (';' clause)*
+    clause  :=  kind '@' target (':' key '=' value)*
+
+    crash@2                 worker sweeping shard 2 dies (os._exit) once
+    crash@2:times=3         ... on its first three attempts
+    hang@0:seconds=1.5      shard 0's first attempt stalls before sweeping
+    delay@1:seconds=0.2     shard 1's first result arrives 0.2 s late
+    kill@3                  the parent dies after journaling 3 shards
+    torn@3                  the parent dies halfway through writing the
+                            3rd journal record (a torn tail)
+    chaos@7:crash=2:hang=1:seconds=0.5
+                            seed 7 picks 2 crash shards and 1 hang shard
+
+``crash``/``hang``/``delay`` run inside worker processes; ``kill`` and
+``torn`` are parent-side faults that simulate the whole solve being killed
+(they raise :class:`SimulatedKill`, which callers treat like SIGKILL — the
+checkpoint journal is what survives).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+#: Environment knob holding a fault plan for the next solve.
+FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Worker exit status used by ``crash`` clauses (visible in pool logs).
+CRASH_EXIT_STATUS = 66
+
+_WORKER_KINDS = ("crash", "hang", "delay")
+_PARENT_KINDS = ("kill", "torn")
+_KINDS = _WORKER_KINDS + _PARENT_KINDS + ("chaos",)
+
+
+class SimulatedKill(BaseException):
+    """The fault plan killed the parent process (simulated).
+
+    Derives from ``BaseException`` so no solver-level ``except Exception``
+    can accidentally "recover" from it — a real SIGKILL would not be
+    catchable either.  The chaos tests catch it explicitly and then resume
+    from the checkpoint journal.
+    """
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One injection: a kind, a target shard (or count), and parameters.
+
+    ``crashes``/``hangs`` are only meaningful on ``chaos`` clauses, whose
+    ``target`` is the PRNG seed rather than a shard index.
+    """
+
+    kind: str
+    target: int
+    times: int = 1
+    seconds: float = 0.0
+    crashes: int = 0
+    hangs: int = 0
+
+    def describe(self) -> str:
+        extras = []
+        if self.times != 1:
+            extras.append(f"times={self.times}")
+        if self.seconds:
+            extras.append(f"seconds={self.seconds}")
+        suffix = (":" + ":".join(extras)) if extras else ""
+        return f"{self.kind}@{self.target}{suffix}"
+
+
+def _parse_clause(text: str) -> Tuple[str, int, Dict[str, float]]:
+    head, _, tail = text.partition(":")
+    kind, at, target = head.partition("@")
+    if not at or kind not in _KINDS:
+        raise ValueError(
+            f"fault clause {text!r} is not '<kind>@<target>[:k=v...]' with "
+            f"kind in {_KINDS}"
+        )
+    try:
+        index = int(target)
+    except ValueError:
+        raise ValueError(f"fault clause {text!r} has a non-integer target") from None
+    params: Dict[str, float] = {}
+    if tail:
+        for pair in tail.split(":"):
+            key, eq, value = pair.partition("=")
+            if not eq:
+                raise ValueError(f"fault clause {text!r}: {pair!r} is not k=v")
+            try:
+                params[key] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"fault clause {text!r}: {value!r} is not numeric"
+                ) from None
+    return kind, index, params
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault schedule plus the scratch dir tracking fired clauses."""
+
+    clauses: Tuple[FaultClause, ...]
+    scratch: str = field(default_factory=lambda: tempfile.mkdtemp(prefix="repro-faults-"))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, scratch: Optional[str] = None) -> "FaultPlan":
+        clauses = []
+        for raw in text.split(";"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            kind, target, params = _parse_clause(raw)
+            if kind == "chaos":
+                clauses.append(
+                    FaultClause(
+                        kind="chaos",
+                        target=target,  # the seed
+                        seconds=params.get("seconds", 0.5),
+                        crashes=int(params.get("crash", 1)),
+                        hangs=int(params.get("hang", 0)),
+                    )
+                )
+                continue
+            clauses.append(
+                FaultClause(
+                    kind=kind,
+                    target=target,
+                    times=int(params.get("times", 1)),
+                    seconds=params.get("seconds", 0.0),
+                )
+            )
+        if scratch is None:
+            return cls(clauses=tuple(clauses))
+        return cls(clauses=tuple(clauses), scratch=scratch)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_FAULT_PLAN``, or ``None`` when unset."""
+        raw = os.environ.get(FAULT_PLAN_ENV_VAR)
+        if not raw:
+            return None
+        return cls.parse(raw)
+
+    def bind(self, shard_count: int) -> "FaultPlan":
+        """Resolve seeded ``chaos`` clauses into concrete shard targets.
+
+        Deterministic: the clause's seed and the shard count fully determine
+        which indices are hit, independent of scheduling.
+        """
+        bound = []
+        for clause in self.clauses:
+            if clause.kind != "chaos":
+                bound.append(clause)
+                continue
+            rng = random.Random(clause.target)
+            want = min(clause.crashes + clause.hangs, shard_count)
+            picks = rng.sample(range(shard_count), want)
+            for i, index in enumerate(picks):
+                kind = "crash" if i < clause.crashes else "hang"
+                bound.append(
+                    FaultClause(kind=kind, target=index, seconds=clause.seconds)
+                )
+        return replace(self, clauses=tuple(bound))
+
+    # ------------------------------------------------------------------
+    # one-shot accounting
+    # ------------------------------------------------------------------
+
+    def _fire(self, clause: FaultClause) -> bool:
+        """Atomically claim one of the clause's ``times`` firings.
+
+        Marker files make the count exact across processes: a re-spawned
+        worker sees the markers its crashed predecessor left behind.
+        """
+        os.makedirs(self.scratch, exist_ok=True)
+        stem = f"{clause.kind}-{clause.target}"
+        for attempt in range(clause.times):
+            path = os.path.join(self.scratch, f"{stem}.{attempt}")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # worker-side hooks (threaded through _init_worker)
+    # ------------------------------------------------------------------
+
+    def before_shard(self, shard_index: int) -> None:
+        """Crash or stall the worker about to sweep ``shard_index``."""
+        for clause in self.clauses:
+            if clause.target != shard_index:
+                continue
+            if clause.kind == "crash" and self._fire(clause):
+                os._exit(CRASH_EXIT_STATUS)
+            if clause.kind == "hang" and self._fire(clause):
+                time.sleep(clause.seconds)
+
+    def after_shard(self, shard_index: int) -> None:
+        """Delay the completed result of ``shard_index`` (still valid)."""
+        for clause in self.clauses:
+            if (
+                clause.kind == "delay"
+                and clause.target == shard_index
+                and self._fire(clause)
+            ):
+                time.sleep(clause.seconds)
+
+    # ------------------------------------------------------------------
+    # parent-side hooks (journal writes)
+    # ------------------------------------------------------------------
+
+    def tears_record(self, completion_count: int) -> bool:
+        """Whether the ``completion_count``-th journal append is torn."""
+        for clause in self.clauses:
+            if (
+                clause.kind == "torn"
+                and clause.target == completion_count
+                and self._fire(clause)
+            ):
+                return True
+        return False
+
+    def after_journal_append(self, completion_count: int) -> None:
+        """Kill the parent once ``completion_count`` shards are journaled."""
+        for clause in self.clauses:
+            if (
+                clause.kind == "kill"
+                and clause.target == completion_count
+                and self._fire(clause)
+            ):
+                raise SimulatedKill(
+                    f"fault plan killed the solve after {completion_count} "
+                    "journaled shards"
+                )

@@ -57,14 +57,32 @@ class ChannelKind(enum.Enum):
 
 @dataclass(frozen=True)
 class ChannelSpec:
-    """A channel discipline plus its loss budget (bounded-loss only)."""
+    """A channel discipline plus its loss budget (bounded-loss only).
+
+    A bounded-loss channel with ``budget=0`` is *exactly* a reliable one —
+    zero consecutive losses are permitted, so the ``lose`` statements can
+    never fire and the budget variables would be dead weight in the state
+    space.  :attr:`effective_kind` makes that degeneration explicit: every
+    structural method branches on it, so ``bounded_loss(0)`` builds the
+    same variables, initial values, and statements as ``RELIABLE``.
+    """
 
     kind: ChannelKind = ChannelKind.BOUNDED_LOSS
     budget: int = 1
 
     def __post_init__(self):
-        if self.kind is ChannelKind.BOUNDED_LOSS and self.budget < 1:
-            raise ValueError("bounded-loss channel needs budget >= 1")
+        if self.kind is ChannelKind.BOUNDED_LOSS and self.budget < 0:
+            raise ValueError(
+                "bounded-loss channel needs budget >= 0 "
+                "(budget=0 degenerates to a reliable channel)"
+            )
+
+    @property
+    def effective_kind(self) -> ChannelKind:
+        """The discipline actually realized (``budget=0`` ⇒ reliable)."""
+        if self.kind is ChannelKind.BOUNDED_LOSS and self.budget == 0:
+            return ChannelKind.RELIABLE
+        return self.kind
 
     # ------------------------------------------------------------------
     # state-space contribution
@@ -78,7 +96,7 @@ class ChannelSpec:
             Variable("cs", OptionDomain(data_domain)),  # data slot S→R
             Variable("cr", OptionDomain(ack_domain)),  # ack slot R→S
         ]
-        if self.kind is ChannelKind.BOUNDED_LOSS:
+        if self.effective_kind is ChannelKind.BOUNDED_LOSS:
             budget_domain = IntRangeDomain(0, self.budget)
             variables.append(Variable("bs", budget_domain))
             variables.append(Variable("br", budget_domain))
@@ -87,7 +105,7 @@ class ChannelSpec:
     def initial_assignment(self) -> dict:
         """Initial values of the channel variables (slots empty, budgets full)."""
         init = {"cs": BOT, "cr": BOT}
-        if self.kind is ChannelKind.BOUNDED_LOSS:
+        if self.effective_kind is ChannelKind.BOUNDED_LOSS:
             init["bs"] = self.budget
             init["br"] = self.budget
         return init
@@ -103,23 +121,23 @@ class ChannelSpec:
         (non-⊥) receive also replenishes that slot's loss budget.
         """
         updates = {target: var("cs")}
-        if self.kind is ChannelKind.BOUNDED_LOSS:
+        if self.effective_kind is ChannelKind.BOUNDED_LOSS:
             updates["bs"] = ite(var("cs").ne(const(BOT)), const(self.budget), var("bs"))
         return updates
 
     def receive_ack_updates(self, target: str = "z") -> dict:
         """Assignments a Sender statement adds to perform ``receive(z)``."""
         updates = {target: var("cr")}
-        if self.kind is ChannelKind.BOUNDED_LOSS:
+        if self.effective_kind is ChannelKind.BOUNDED_LOSS:
             updates["br"] = ite(var("cr").ne(const(BOT)), const(self.budget), var("br"))
         return updates
 
     def environment_statements(self) -> List[Statement]:
         """The channel's own (environment) statements — the ``lose`` family."""
         statements: List[Statement] = []
-        if self.kind is ChannelKind.RELIABLE:
+        if self.effective_kind is ChannelKind.RELIABLE:
             return statements
-        if self.kind is ChannelKind.LOSSY:
+        if self.effective_kind is ChannelKind.LOSSY:
             statements.append(
                 Statement(
                     name="lose_data",

@@ -1,5 +1,17 @@
 """Randomized fair execution and message-count measurement harnesses."""
 
-from .executor import Executor, RunResult, average_messages
+from .executor import (
+    Executor,
+    RunResult,
+    average_messages,
+    replay_run,
+    weights_fingerprint,
+)
 
-__all__ = ["Executor", "RunResult", "average_messages"]
+__all__ = [
+    "Executor",
+    "RunResult",
+    "average_messages",
+    "replay_run",
+    "weights_fingerprint",
+]

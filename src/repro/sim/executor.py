@@ -15,10 +15,11 @@ the next receive.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..predicates import Predicate
 from ..predicates.backends import backend_for_size
@@ -26,9 +27,24 @@ from ..statespace import State
 from ..unity import Program
 
 
+def weights_fingerprint(
+    names: Sequence[str], weights: Sequence[float]
+) -> str:
+    """A stable sha256 digest of the effective per-statement weight table."""
+    text = ";".join(f"{name}={weight!r}" for name, weight in zip(names, weights))
+    return "sha256:" + hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class RunResult:
-    """Outcome of one randomized execution."""
+    """Outcome of one randomized execution.
+
+    Carries everything needed to replay itself: the scheduler ``seed``, the
+    effective ``weights`` table (and its ``weights_fingerprint``, for cheap
+    comparison across result sets), the ``start_index``, the exact RNG state
+    at the first scheduling decision, and the step budget.  Given the same
+    program, :func:`replay_run` reproduces the execution exactly.
+    """
 
     reached: bool
     steps: int
@@ -37,6 +53,18 @@ class RunResult:
     fired: Counter = field(default_factory=Counter)
     #: per-statement count of attempts (chosen by the scheduler at all)
     attempted: Counter = field(default_factory=Counter)
+    #: the scheduler seed the executor was built with
+    seed: Optional[int] = None
+    #: sha256 of the effective per-statement weight table
+    weights_fingerprint: Optional[str] = None
+    #: the effective weight table itself ({statement name: weight})
+    weights: Optional[Dict[str, float]] = field(default=None, repr=False)
+    #: state index the run started from
+    start_index: Optional[int] = None
+    #: RNG state at the run's first scheduling decision
+    rng_state: Optional[Any] = field(default=None, repr=False, compare=False)
+    #: the run's step budget
+    max_steps: Optional[int] = None
 
     def messages(self, transmit_statements: Sequence[str]) -> int:
         """Total effective firings of the named transmit statements."""
@@ -57,11 +85,15 @@ class Executor:
                 f"program {program.name!r} is knowledge-based; resolve it before executing"
             )
         self.program = program
+        self.seed = seed
         self.rng = random.Random(seed)
         self._names: List[str] = [s.name for s in program.statements]
         self._weights: List[float] = [
             float((weights or {}).get(name, 1.0)) for name in self._names
         ]
+        self.weights_fingerprint = weights_fingerprint(
+            self._names, self._weights
+        )
         if min(self._weights) < 0:
             raise ValueError("statement weights must be non-negative")
         if max(self._weights) == 0:
@@ -113,27 +145,65 @@ class Executor:
         arrays = self._arrays
         guards = self._guards
         rng = self.rng
+        start_index = current
+        # getstate(), not just the seed: a reused executor's RNG has already
+        # advanced (initial_state draws, earlier runs), and a replayable
+        # result must capture the stream exactly where this run picked it up.
+        rng_state = rng.getstate()
+
+        def result(reached: bool, steps: int) -> RunResult:
+            return RunResult(
+                reached=reached,
+                steps=steps,
+                final_state=State(self.program.space, current),
+                fired=fired,
+                attempted=attempted,
+                seed=self.seed,
+                weights_fingerprint=self.weights_fingerprint,
+                weights=dict(zip(names, weights)),
+                start_index=start_index,
+                rng_state=rng_state,
+                max_steps=max_steps,
+            )
+
         for step in range(max_steps):
             if goal(current):
-                return RunResult(
-                    reached=True,
-                    steps=step,
-                    final_state=State(self.program.space, current),
-                    fired=fired,
-                    attempted=attempted,
-                )
+                return result(True, step)
             k = rng.choices(range(len(names)), weights=weights)[0]
             attempted[names[k]] += 1
             if guards[k].holds_at(current):
                 fired[names[k]] += 1
                 current = arrays[k][current]
-        return RunResult(
-            reached=goal(current),
-            steps=max_steps,
-            final_state=State(self.program.space, current),
-            fired=fired,
-            attempted=attempted,
+        return result(goal(current), max_steps)
+
+
+def replay_run(
+    program: Program,
+    result: RunResult,
+    until: Union[Predicate, Callable[[State], bool]],
+) -> RunResult:
+    """Re-execute the run a :class:`RunResult` describes, exactly.
+
+    Rebuilds the executor from the result's recorded seed and weight table,
+    restores the RNG to the state it held at the run's first scheduling
+    decision, and re-runs from the recorded start state with the same step
+    budget.  The replayed result matches the original decision-for-decision
+    (same ``fired``/``attempted`` counters, same final state).
+    """
+    if result.seed is None or result.rng_state is None:
+        raise ValueError("RunResult predates replay support; re-run it first")
+    executor = Executor(program, weights=result.weights, seed=result.seed)
+    if executor.weights_fingerprint != result.weights_fingerprint:
+        raise ValueError(
+            "program's statement list no longer matches the recorded "
+            "weight table; the result is not replayable against it"
         )
+    executor.rng.setstate(result.rng_state)
+    return executor.run(
+        until,
+        start=State(program.space, result.start_index),
+        max_steps=result.max_steps,
+    )
 
 
 def average_messages(

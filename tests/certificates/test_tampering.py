@@ -221,3 +221,54 @@ def test_replay_rejects_unregistered_model(fig1_artifact):
         kind=fig1_artifact.kind, model="no-such-model", payload=fig1_artifact.payload
     )
     expect_rejection(unknown)
+
+
+# ----------------------------------------------------------------------
+# truncation tier: a partial file is neither valid nor "tampered" — it
+# gets its own diagnosis and its own exit code
+# ----------------------------------------------------------------------
+
+
+def _truncate(path, fraction=0.6):
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * fraction)])
+
+
+def test_load_rejects_midfile_truncation(fig1_artifact, tmp_path):
+    from repro.certificates import TruncatedArtifactError
+    from repro.certificates.store import load, save
+
+    path = save(fig1_artifact, tmp_path / "fig1.cert.json")
+    _truncate(path)
+    with pytest.raises(TruncatedArtifactError, match="truncated"):
+        load(path)
+
+
+def test_cli_reports_truncation_with_distinct_exit_code(
+    fig1_artifact, tmp_path, capsys
+):
+    from repro.certificates.replay import EXIT_TRUNCATED, main
+    from repro.certificates.store import save
+
+    path = save(fig1_artifact, tmp_path / "fig1.cert.json")
+    _truncate(path)
+    assert main([str(tmp_path)]) == EXIT_TRUNCATED == 3
+    out = capsys.readouterr().out
+    assert "TRUNCATED fig1.cert.json" in out
+    assert "REJECTED" in out
+
+
+def test_cli_corrupt_but_complete_artifact_is_a_plain_failure(
+    fig1_artifact, tmp_path, capsys
+):
+    """A digest mismatch on a *complete* file must stay exit code 1 —
+    truncation's re-emit remedy does not apply."""
+    from repro.certificates.replay import main
+    from repro.certificates.store import save
+
+    path = save(fig1_artifact, tmp_path / "fig1.cert.json")
+    doc = json.loads(path.read_text())
+    doc["digest"] = "sha256:" + "0" * 64
+    path.write_text(json.dumps(doc))
+    assert main([str(tmp_path)]) == 1
+    assert "FAIL fig1.cert.json" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Shared fixture: the knowledge-based program the chaos suite solves.
+
+Small enough that a full sweep is cheap (8 states, 128 candidates) yet
+sharded exactly like a production solve — ``plan_shards`` still splits the
+free bits into 8 shards at 2 workers, so every supervisor code path
+(dispatch, crash, respawn, deadline, fallback, journal) is exercised for
+real, in real worker processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.statespace import BoolDomain, space_of
+from repro.unity import Const, Program, Statement, Unary, Var, knows, lnot
+
+
+def make_chaos_kbp() -> Program:
+    space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+    statements = [
+        Statement(
+            name="s0",
+            targets=("a",),
+            exprs=(Const(True),),
+            guard=knows("P", Var("b")),
+        ),
+        Statement(
+            name="s1",
+            targets=("b",),
+            exprs=(Const(False),),
+            guard=lnot(knows("Q", Var("c"))),
+        ),
+        Statement(
+            name="s2",
+            targets=("c",),
+            exprs=(Const(True),),
+            guard=knows("Q", Unary("not", Var("a"))) & Var("a"),
+        ),
+    ]
+    return Program(
+        space,
+        Predicate(space, 1),
+        statements,
+        processes={"P": ("a", "b"), "Q": ("c",)},
+        name="chaos-kbp",
+    )
+
+
+@pytest.fixture(scope="module")
+def kbp() -> Program:
+    return make_chaos_kbp()
+
+
+@pytest.fixture(scope="module")
+def serial_report(kbp):
+    from repro.core.kbp import solve_si
+
+    return solve_si(kbp, parallel="never")

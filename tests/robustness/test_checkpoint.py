@@ -1,0 +1,159 @@
+"""The shard journal: chaining, resume, torn tails, tamper evidence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.robustness import (
+    JOURNAL_FORMAT,
+    JournalError,
+    ShardJournal,
+    ShardRecord,
+    SimulatedKill,
+    verify_journal,
+)
+
+HEADER = {
+    "program": {"name": "toy", "digest": "sha256:00"},
+    "base_mask": 1,
+    "low_positions": [1, 2],
+    "high_positions": [3],
+    "shard_count": 2,
+    "emit_certificate": False,
+    "batch_size": 64,
+}
+
+
+def record(index: int, fixed: int = 0) -> ShardRecord:
+    return ShardRecord(
+        index=index, fixed_mask=fixed, solutions=(1, 3), checked=4
+    )
+
+
+class TestAppendAndResume:
+    def test_fresh_journal_then_resume(self, tmp_path):
+        path = tmp_path / "solve.journal"
+        journal = ShardJournal(path)
+        assert journal.open(HEADER) == {}
+        assert journal.append(record(0)) == 1
+        assert journal.append(record(1, fixed=8)) == 2
+
+        resumed = ShardJournal(path).open(HEADER)
+        assert sorted(resumed) == [0, 1]
+        assert resumed[1].fixed_mask == 8
+        assert resumed[0].solutions == (1, 3)
+        assert resumed[0].checked == 4
+
+    def test_resume_continues_the_chain(self, tmp_path):
+        path = tmp_path / "solve.journal"
+        first = ShardJournal(path)
+        first.open(HEADER)
+        first.append(record(0))
+        second = ShardJournal(path)
+        second.open(HEADER)
+        second.append(record(1))
+        # The chain appended across two sessions must verify as one.
+        summary = verify_journal(path)
+        assert summary["shards_journaled"] == 2
+        assert summary["complete"] is True
+        assert summary["candidates_checked"] == 8
+
+    def test_header_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "solve.journal"
+        ShardJournal(path).open(HEADER)
+        other = dict(HEADER, batch_size=128)
+        with pytest.raises(JournalError, match="different solve"):
+            ShardJournal(path).open(other)
+
+    def test_duplicate_shard_rejected(self, tmp_path):
+        path = tmp_path / "solve.journal"
+        journal = ShardJournal(path)
+        journal.open(HEADER)
+        journal.append(record(0))
+        journal.append(record(0))
+        with pytest.raises(JournalError, match="twice"):
+            ShardJournal(path).open(HEADER)
+
+
+class TestDamage:
+    def _journal_with_two_records(self, tmp_path):
+        path = tmp_path / "solve.journal"
+        journal = ShardJournal(path)
+        journal.open(HEADER)
+        journal.append(record(0))
+        journal.append(record(1))
+        return path
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        path = self._journal_with_two_records(tmp_path)
+        text = path.read_text()
+        lines = text.rstrip("\n").split("\n")
+        torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        path.write_text(torn)
+        resumed = ShardJournal(path).open(HEADER)
+        assert sorted(resumed) == [0]  # the torn record is simply re-swept
+
+    def test_tear_next_writes_half_a_line_and_kills(self, tmp_path):
+        path = tmp_path / "solve.journal"
+        journal = ShardJournal(path)
+        journal.open(HEADER)
+        journal.append(record(0))
+        journal.tear_next = True
+        with pytest.raises(SimulatedKill):
+            journal.append(record(1))
+        resumed = ShardJournal(path).open(HEADER)
+        assert sorted(resumed) == [0]
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = self._journal_with_two_records(tmp_path)
+        lines = path.read_text().rstrip("\n").split("\n")
+        lines[1] = lines[1][: len(lines[1]) // 2]  # damage a NON-final line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt at line 2"):
+            ShardJournal(path).open(HEADER)
+
+    def test_edited_record_breaks_the_chain(self, tmp_path):
+        path = self._journal_with_two_records(tmp_path)
+        lines = path.read_text().rstrip("\n").split("\n")
+        doc = json.loads(lines[1])
+        doc["checked"] = 9999  # forge a count, keep the old chain digest
+        lines[1] = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="chain digest broken"):
+            verify_journal(path)
+
+    def test_reordered_records_break_the_chain(self, tmp_path):
+        path = self._journal_with_two_records(tmp_path)
+        lines = path.read_text().rstrip("\n").split("\n")
+        lines[1], lines[2] = lines[2], lines[1]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            verify_journal(path)
+
+    def test_wrong_format_tag_rejected(self, tmp_path):
+        path = tmp_path / "solve.journal"
+        ShardJournal(path).open(HEADER)
+        text = path.read_text().replace(JOURNAL_FORMAT, "other-format/v9")
+        path.write_text(text)
+        with pytest.raises(JournalError):
+            ShardJournal(path).open(HEADER)
+
+
+class TestVerifyJournal:
+    def test_summary_shape(self, tmp_path):
+        path = tmp_path / "solve.journal"
+        journal = ShardJournal(path)
+        journal.open(HEADER)
+        journal.append(record(0))
+        summary = verify_journal(path)
+        assert summary["program"] == "toy"
+        assert summary["shards_journaled"] == 1
+        assert summary["shard_count"] == 2
+        assert summary["complete"] is False
+        assert summary["solutions"] == [1, 3]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(JournalError, match="not a file"):
+            verify_journal(tmp_path / "absent.journal")

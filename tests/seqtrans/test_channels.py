@@ -7,14 +7,29 @@ from repro.statespace import BOT, BoolDomain, IntRangeDomain, TupleDomain
 
 
 class TestSpecValidation:
-    def test_bounded_needs_budget(self):
+    def test_bounded_rejects_negative_budget(self):
         with pytest.raises(ValueError):
-            ChannelSpec(ChannelKind.BOUNDED_LOSS, budget=0)
+            ChannelSpec(ChannelKind.BOUNDED_LOSS, budget=-1)
 
     def test_presets(self):
         assert RELIABLE.kind is ChannelKind.RELIABLE
         assert LOSSY.kind is ChannelKind.LOSSY
         assert bounded_loss(2).budget == 2
+
+    def test_zero_budget_degenerates_to_reliable(self):
+        """budget=0 permits zero losses: structurally a reliable channel."""
+        zero = bounded_loss(0)
+        assert zero.effective_kind is ChannelKind.RELIABLE
+        assert zero.environment_statements() == []
+        assert zero.initial_assignment() == RELIABLE.initial_assignment()
+        variables = zero.slot_variables(BoolDomain(), BoolDomain())
+        assert [v.name for v in variables] == ["cs", "cr"]
+        # Receive fragments must not touch budget variables that don't exist.
+        assert set(zero.receive_data_updates()) == {"zp"}
+        assert set(zero.receive_ack_updates()) == {"z"}
+
+    def test_positive_budget_still_bounded(self):
+        assert bounded_loss(1).effective_kind is ChannelKind.BOUNDED_LOSS
 
 
 class TestStateContribution:
@@ -61,6 +76,35 @@ class TestStatements:
         assert updates["bs"].eval(probe) == 2
         probe_empty = {"cs": BOT, "bs": 1}
         assert updates["bs"].eval(probe_empty) == 1
+
+    def test_budget_replenish_cycle(self):
+        """Lose to exhaustion, receive successfully, budget returns to full.
+
+        Exercises the replenish rule through the actual statement/update
+        machinery rather than by inspecting expressions: the bounded-loss
+        invariant is "at most ``budget`` consecutive losses between
+        successful receives", and this walks one full cycle of it.
+        """
+        spec = bounded_loss(2)
+        lose = next(
+            s for s in spec.environment_statements() if s.name == "lose_data"
+        )
+        state = {"cs": (0, "a"), "bs": 2, "cr": BOT, "br": 2}
+        state = lose.apply(state)  # 1st loss
+        assert state["bs"] == 1 and state["cs"] is BOT
+        state["cs"] = (0, "a")  # sender retransmits
+        state = lose.apply(state)  # 2nd loss — budget now exhausted
+        assert state["bs"] == 0
+        state["cs"] = (0, "a")
+        blocked = lose.apply(state)  # 3rd loss is a skip
+        assert blocked["cs"] == (0, "a") and blocked["bs"] == 0
+        # A successful (non-⊥) receive replenishes the budget in full.
+        updates = spec.receive_data_updates()
+        assert updates["bs"].eval(blocked) == 2
+        # An empty-slot receive must NOT replenish: only a delivered
+        # message resets the consecutive-loss counter.
+        empty = dict(blocked, cs=BOT)
+        assert updates["bs"].eval(empty) == 0
 
     def test_receive_target_names(self):
         assert "za" in bounded_loss(1).receive_ack_updates(target="za")

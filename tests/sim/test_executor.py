@@ -3,7 +3,7 @@
 import pytest
 
 from repro.predicates import Predicate
-from repro.sim import Executor, average_messages
+from repro.sim import Executor, average_messages, replay_run, weights_fingerprint
 from repro.statespace import BoolDomain, space_of
 from repro.unity import Program, assign, const, var
 
@@ -72,6 +72,67 @@ class TestExecutor:
         result = Executor(program, seed=5).run(goal, max_steps=5000)
         assert result.messages(["tick"]) == 3
         assert result.messages(["tick", "start"]) == 3 + result.fired["start"]
+
+
+class TestReplayableResults:
+    def test_result_records_scheduler_provenance(self, program):
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        executor = Executor(program, weights={"tick": 2.0}, seed=9)
+        result = executor.run(goal, max_steps=5000)
+        assert result.seed == 9
+        assert result.weights == {"tick": 2.0, "start": 1.0}
+        assert result.weights_fingerprint == executor.weights_fingerprint
+        assert result.start_index is not None
+        assert result.max_steps == 5000
+
+    def test_fingerprint_distinguishes_weight_tables(self, program):
+        plain = Executor(program, seed=0).weights_fingerprint
+        heavy = Executor(program, weights={"tick": 3.0}, seed=0)
+        assert heavy.weights_fingerprint != plain
+        assert weights_fingerprint(["a"], [1.0]) != weights_fingerprint(
+            ["a"], [2.0]
+        )
+
+    def test_replay_reproduces_run_exactly(self, program):
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        original = Executor(program, seed=7).run(goal, max_steps=5000)
+        replayed = replay_run(program, original, goal)
+        assert replayed.reached == original.reached
+        assert replayed.steps == original.steps
+        assert replayed.fired == original.fired
+        assert replayed.attempted == original.attempted
+        assert replayed.final_state.index == original.final_state.index
+
+    def test_replay_of_reused_executor_run(self, program):
+        """A second run's RNG stream starts mid-seed; replay must capture it."""
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        executor = Executor(program, seed=11)
+        first = executor.run(goal, max_steps=5000)
+        second = executor.run(goal, max_steps=5000)
+        replayed = replay_run(program, second, goal)
+        assert replayed.fired == second.fired
+        assert replayed.steps == second.steps
+        # Sanity: the two original runs were genuinely different draws.
+        assert (first.steps, first.start_index) != (
+            second.steps,
+            second.start_index,
+        ) or first.rng_state != second.rng_state
+
+    def test_replay_rejects_mismatched_program(self, program):
+        from dataclasses import replace
+
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        result = Executor(program, seed=3).run(goal, max_steps=5000)
+        renamed = Program(
+            space=program.space,
+            init=program.init,
+            statements=[
+                replace(s, name=f"other_{s.name}") for s in program.statements
+            ],
+            name="renamed",
+        )
+        with pytest.raises(ValueError, match="no longer matches"):
+            replay_run(renamed, result, goal)
 
 
 class TestAverageMessages:
