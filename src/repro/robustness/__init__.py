@@ -23,7 +23,13 @@ from .checkpoint import (
     ShardRecord,
     verify_journal,
 )
-from .faults import FAULT_PLAN_ENV_VAR, FaultClause, FaultPlan, SimulatedKill
+from .faults import (
+    FAULT_PLAN_ENV_VAR,
+    FaultClause,
+    FaultPlan,
+    FaultPlanError,
+    SimulatedKill,
+)
 from .supervisor import (
     FaultIncident,
     FaultLog,
@@ -38,6 +44,7 @@ __all__ = [
     "FaultIncident",
     "FaultLog",
     "FaultPlan",
+    "FaultPlanError",
     "FaultPolicy",
     "JOURNAL_FORMAT",
     "JournalError",

@@ -97,10 +97,17 @@ def _parse_line(line: str) -> Tuple[Dict[str, Any], str]:
 
 
 class ShardJournal:
-    """Appendable, resumable journal of one solve's shard completions."""
+    """Appendable, resumable journal of one solve's shard completions.
 
-    def __init__(self, path: Union[str, Path]):
+    ``record_cls`` makes the journal reusable beyond solver shards (the
+    soak harness journals its cells through the same chain format): any
+    class with ``index``, ``body()`` and ``from_body()`` in
+    :class:`ShardRecord`'s shape plugs in.
+    """
+
+    def __init__(self, path: Union[str, Path], record_cls: type = ShardRecord):
         self.path = Path(path)
+        self.record_cls = record_cls
         self._chain = ""
         self._header: Optional[Dict[str, Any]] = None
         self._count = 0
@@ -111,7 +118,7 @@ class ShardJournal:
     # open / resume
     # ------------------------------------------------------------------
 
-    def open(self, header: Dict[str, Any]) -> Dict[int, ShardRecord]:
+    def open(self, header: Dict[str, Any]) -> Dict[int, Any]:
         """Start (or resume) a journal for the solve described by ``header``.
 
         Returns the already-completed shards, empty for a fresh journal.
@@ -130,9 +137,9 @@ class ShardJournal:
                 )
             self._header = recorded
             self._chain = _chain_digest("", recorded)
-            completed: Dict[int, ShardRecord] = {}
+            completed: Dict[int, Any] = {}
             for body in records:
-                record = ShardRecord.from_body(body)
+                record = self.record_cls.from_body(body)
                 if record.index in completed:
                     raise JournalError(
                         f"journal records shard {record.index} twice"
@@ -151,7 +158,7 @@ class ShardJournal:
     # append
     # ------------------------------------------------------------------
 
-    def append(self, record: ShardRecord) -> int:
+    def append(self, record: Any) -> int:
         """Journal one completed shard; returns the completion count.
 
         When the fault plan armed :attr:`tear_next`, only half the line is

@@ -56,6 +56,15 @@ _PARENT_KINDS = ("kill", "torn")
 _KINDS = _WORKER_KINDS + _PARENT_KINDS + ("chaos",)
 
 
+class FaultPlanError(ValueError):
+    """A fault plan failed to parse.
+
+    Subclasses :class:`ValueError` for backward compatibility; the message
+    always names the offending clause and the valid fault kinds, so a typo
+    in ``REPRO_FAULT_PLAN`` is diagnosable from the error alone.
+    """
+
+
 class SimulatedKill(BaseException):
     """The fault plan killed the parent process (simulated).
 
@@ -94,25 +103,34 @@ class FaultClause:
 def _parse_clause(text: str) -> Tuple[str, int, Dict[str, float]]:
     head, _, tail = text.partition(":")
     kind, at, target = head.partition("@")
-    if not at or kind not in _KINDS:
-        raise ValueError(
-            f"fault clause {text!r} is not '<kind>@<target>[:k=v...]' with "
-            f"kind in {_KINDS}"
+    if not at:
+        raise FaultPlanError(
+            f"fault clause {text!r} has no '@': expected "
+            f"'<kind>@<target>[:k=v...]' with kind one of {', '.join(_KINDS)}"
+        )
+    if kind not in _KINDS:
+        raise FaultPlanError(
+            f"fault clause {text!r} names unknown fault kind {kind!r}; "
+            f"valid kinds are {', '.join(_KINDS)}"
         )
     try:
         index = int(target)
     except ValueError:
-        raise ValueError(f"fault clause {text!r} has a non-integer target") from None
+        raise FaultPlanError(
+            f"fault clause {text!r} has a non-integer target {target!r}"
+        ) from None
     params: Dict[str, float] = {}
     if tail:
         for pair in tail.split(":"):
             key, eq, value = pair.partition("=")
             if not eq:
-                raise ValueError(f"fault clause {text!r}: {pair!r} is not k=v")
+                raise FaultPlanError(
+                    f"fault clause {text!r}: {pair!r} is not k=v"
+                )
             try:
                 params[key] = float(value)
             except ValueError:
-                raise ValueError(
+                raise FaultPlanError(
                     f"fault clause {text!r}: {value!r} is not numeric"
                 ) from None
     return kind, index, params

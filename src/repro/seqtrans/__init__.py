@@ -14,7 +14,18 @@ from .apriori import (
     compare_with_apriori,
     solve_kbp,
 )
-from .channels import LOSSY, RELIABLE, ChannelKind, ChannelSpec, bounded_loss
+from .channels import (
+    DUPLICATING_REORDER,
+    LOSSY,
+    RELIABLE,
+    ChannelKind,
+    ChannelSpec,
+    bounded_loss,
+    channel_from_spec,
+    corrupting,
+    corruption_successors,
+)
+from .crash import SEQTRANS_RESETS, CrashSpec
 from .instantiation import (
     InstantiationReport,
     TermComparison,
@@ -43,11 +54,17 @@ __all__ = [
     "KbpSolution",
     "compare_with_apriori",
     "solve_kbp",
+    "DUPLICATING_REORDER",
     "LOSSY",
     "RELIABLE",
     "ChannelKind",
     "ChannelSpec",
     "bounded_loss",
+    "channel_from_spec",
+    "corrupting",
+    "corruption_successors",
+    "SEQTRANS_RESETS",
+    "CrashSpec",
     "InstantiationReport",
     "TermComparison",
     "check_instantiation",

@@ -69,7 +69,9 @@ def build_alternating_bit(
     statements: List[Statement] = []
 
     # Sender: retransmit (sbit, x_i) until the ack echoes sbit.
-    send_updates: Dict[str, Any] = {"cs": tup(var("sbit"), var("x")[var("i")])}
+    send_updates: Dict[str, Any] = dict(
+        channel.transmit_data_updates(tup(var("sbit"), var("x")[var("i")]))
+    )
     send_updates.update(receive_ack)
     statements.append(
         Statement(
@@ -113,7 +115,9 @@ def build_alternating_bit(
     matching = lor(
         *[var("zb").eq(tup(var("rbit"), const(alpha))) for alpha in params.alphabet]
     )
-    ack_updates: Dict[str, Any] = {"cr": lnot(var("rbit"))}
+    ack_updates: Dict[str, Any] = dict(
+        channel.transmit_ack_updates(lnot(var("rbit")))
+    )
     ack_updates.update(receive_data)
     statements.append(
         Statement(
@@ -124,7 +128,9 @@ def build_alternating_bit(
         )
     )
 
-    statements.extend(channel.environment_statements())
+    bit = BoolDomain()
+    message_domain = TupleDomain(bit, EnumDomain("A", params.alphabet))
+    statements.extend(channel.environment_statements(message_domain, bit))
     init = _initial(params, channel, space)
     return Program(
         space=space,

@@ -18,9 +18,9 @@ variables (data: Sender→Receiver, acks: Receiver→Sender):
   *loss* and *detectable corruption*, which are indistinguishable to the
   receiver since corrupted messages read as ``⊥``).
 
-Three disciplines for the ``lose`` statements:
+Five disciplines for the environment statements:
 
-* ``RELIABLE``      — no ``lose`` statements at all;
+* ``RELIABLE``      — no environment statements at all;
 * ``LOSSY``         — unrestricted ``lose``: statement fairness alone does
   **not** give (St-3)/(St-4) (the adversary can lose every message while
   still scheduling fairly), so the protocol's liveness *fails* — this is
@@ -29,22 +29,36 @@ Three disciplines for the ``lose`` statements:
   loss and replenished whenever the destination process performs a
   successful (non-⊥) receive; at most ``budget`` consecutive losses can
   separate successful receives, which realizes the paper's channel
-  assumption and makes (St-3)/(St-4) theorems of the model.
+  assumption and makes (St-3)/(St-4) theorems of the model;
+* ``DUPLICATING_REORDER`` — a two-slot data channel: transmitting pushes
+  the previous message into a second slot, and an environment ``swap``
+  statement exchanges the slots — so two outstanding messages can arrive
+  in either order, each any number of times.  Sequence numbers keep
+  *safety* intact (stale or duplicated messages are recognized), but
+  liveness is refutable: a demonic swap schedule parks the fresh message
+  in the hidden slot just before every retransmission overwrites it;
+* ``CORRUPTING``    — budgeted **undetectable** corruption: an
+  environment statement rewrites a slot to a different *legal* value
+  (the value part of a data message, the counter of an ack), at most
+  ``budget`` times.  Unlike loss-as-⊥ the receiver cannot tell — this is
+  the attack the paper's channel assumption quietly excludes, and it
+  breaks the *safety* side (a received legal value was NOT sent).
 
 Because received values are only ever copies of transmitted slot values,
-the history-variable invariants (St-1)/(St-2) hold *by construction* here;
-the history variables ``ch_S``/``ch_R`` of Figure 4 are therefore not part
-of the state (DESIGN.md §2).
+the history-variable invariants (St-1)/(St-2) hold *by construction* for
+the first four disciplines (CORRUPTING is the documented exception); the
+history variables ``ch_S``/``ch_R`` of Figure 4 are therefore not part of
+the state (DESIGN.md §2).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..statespace import BOT, Domain, IntRangeDomain, OptionDomain, Variable
-from ..unity import Statement, const, ite, var
+from ..unity import Expr, Statement, const, ite, var
 
 
 class ChannelKind(enum.Enum):
@@ -53,34 +67,52 @@ class ChannelKind(enum.Enum):
     RELIABLE = "reliable"
     LOSSY = "lossy"
     BOUNDED_LOSS = "bounded_loss"
+    DUPLICATING_REORDER = "dup_reorder"
+    CORRUPTING = "corrupting"
 
 
 @dataclass(frozen=True)
 class ChannelSpec:
-    """A channel discipline plus its loss budget (bounded-loss only).
+    """A channel discipline plus its fault budget.
 
-    A bounded-loss channel with ``budget=0`` is *exactly* a reliable one —
-    zero consecutive losses are permitted, so the ``lose`` statements can
-    never fire and the budget variables would be dead weight in the state
-    space.  :attr:`effective_kind` makes that degeneration explicit: every
-    structural method branches on it, so ``bounded_loss(0)`` builds the
-    same variables, initial values, and statements as ``RELIABLE``.
+    ``budget`` meters the discipline's faults: consecutive losses for
+    ``BOUNDED_LOSS``, total corruptions for ``CORRUPTING`` (unused
+    otherwise).  A metered channel with ``budget=0`` is *exactly* a
+    reliable one — no fault statement can ever fire and the budget
+    variables would be dead weight in the state space.
+    :attr:`effective_kind` makes that degeneration explicit: every
+    structural method branches on it, so ``bounded_loss(0)`` and
+    ``corrupting(0)`` build the same variables, initial values, and
+    statements as ``RELIABLE``.
     """
 
     kind: ChannelKind = ChannelKind.BOUNDED_LOSS
     budget: int = 1
 
     def __post_init__(self):
-        if self.kind is ChannelKind.BOUNDED_LOSS and self.budget < 0:
+        if (
+            self.kind in (ChannelKind.BOUNDED_LOSS, ChannelKind.CORRUPTING)
+            and self.budget < 0
+        ):
             raise ValueError(
-                "bounded-loss channel needs budget >= 0 "
+                f"{self.kind.value} channel needs budget >= 0 "
                 "(budget=0 degenerates to a reliable channel)"
             )
 
     @property
+    def spec(self) -> str:
+        """Canonical spec string (round-trips through :func:`channel_from_spec`)."""
+        if self.kind in (ChannelKind.BOUNDED_LOSS, ChannelKind.CORRUPTING):
+            return f"{self.kind.value}:{self.budget}"
+        return self.kind.value
+
+    @property
     def effective_kind(self) -> ChannelKind:
         """The discipline actually realized (``budget=0`` ⇒ reliable)."""
-        if self.kind is ChannelKind.BOUNDED_LOSS and self.budget == 0:
+        if (
+            self.kind in (ChannelKind.BOUNDED_LOSS, ChannelKind.CORRUPTING)
+            and self.budget == 0
+        ):
             return ChannelKind.RELIABLE
         return self.kind
 
@@ -91,28 +123,53 @@ class ChannelSpec:
     def slot_variables(
         self, data_domain: Domain, ack_domain: Domain
     ) -> List[Variable]:
-        """The channel's variables: two slots, plus budgets when bounded."""
+        """The channel's variables: slots, plus budgets/extra slots per kind."""
         variables = [
             Variable("cs", OptionDomain(data_domain)),  # data slot S→R
             Variable("cr", OptionDomain(ack_domain)),  # ack slot R→S
         ]
-        if self.effective_kind is ChannelKind.BOUNDED_LOSS:
+        kind = self.effective_kind
+        if kind is ChannelKind.BOUNDED_LOSS:
             budget_domain = IntRangeDomain(0, self.budget)
             variables.append(Variable("bs", budget_domain))
             variables.append(Variable("br", budget_domain))
+        elif kind is ChannelKind.DUPLICATING_REORDER:
+            variables.append(Variable("cs2", OptionDomain(data_domain)))
+        elif kind is ChannelKind.CORRUPTING:
+            variables.append(Variable("kc", IntRangeDomain(0, self.budget)))
         return variables
 
     def initial_assignment(self) -> dict:
         """Initial values of the channel variables (slots empty, budgets full)."""
-        init = {"cs": BOT, "cr": BOT}
-        if self.effective_kind is ChannelKind.BOUNDED_LOSS:
+        init: Dict[str, Any] = {"cs": BOT, "cr": BOT}
+        kind = self.effective_kind
+        if kind is ChannelKind.BOUNDED_LOSS:
             init["bs"] = self.budget
             init["br"] = self.budget
+        elif kind is ChannelKind.DUPLICATING_REORDER:
+            init["cs2"] = BOT
+        elif kind is ChannelKind.CORRUPTING:
+            init["kc"] = self.budget
         return init
 
     # ------------------------------------------------------------------
     # statement fragments used by the protocol builders
     # ------------------------------------------------------------------
+
+    def transmit_data_updates(self, message: Expr) -> dict:
+        """Assignments performing ``transmit(message)`` on the data slot.
+
+        On the two-slot reordering channel the previous message is pushed
+        into the second slot instead of being overwritten, so up to two
+        transmissions are concurrently in flight.
+        """
+        if self.effective_kind is ChannelKind.DUPLICATING_REORDER:
+            return {"cs": message, "cs2": var("cs")}
+        return {"cs": message}
+
+    def transmit_ack_updates(self, ack: Expr) -> dict:
+        """Assignments performing ``transmit(ack)`` on the ack slot."""
+        return {"cr": ack}
 
     def receive_data_updates(self, target: str = "zp") -> dict:
         """Assignments a Receiver statement adds to perform ``receive(z')``.
@@ -132,12 +189,22 @@ class ChannelSpec:
             updates["br"] = ite(var("cr").ne(const(BOT)), const(self.budget), var("br"))
         return updates
 
-    def environment_statements(self) -> List[Statement]:
-        """The channel's own (environment) statements — the ``lose`` family."""
+    def environment_statements(
+        self,
+        data_domain: Optional[Domain] = None,
+        ack_domain: Optional[Domain] = None,
+    ) -> List[Statement]:
+        """The channel's own (environment) statements per discipline.
+
+        The corrupting discipline needs the message/ack domains to
+        enumerate the legal wrong values; the builders pass the same
+        domains they handed to :meth:`slot_variables`.
+        """
         statements: List[Statement] = []
-        if self.effective_kind is ChannelKind.RELIABLE:
+        kind = self.effective_kind
+        if kind is ChannelKind.RELIABLE:
             return statements
-        if self.effective_kind is ChannelKind.LOSSY:
+        if kind is ChannelKind.LOSSY:
             statements.append(
                 Statement(
                     name="lose_data",
@@ -154,6 +221,44 @@ class ChannelSpec:
                     guard=var("cr").ne(const(BOT)),
                 )
             )
+            return statements
+        if kind is ChannelKind.DUPLICATING_REORDER:
+            statements.append(
+                Statement(
+                    name="swap_data",
+                    targets=("cs", "cs2"),
+                    exprs=(var("cs2"), var("cs")),
+                    guard=var("cs").ne(var("cs2")),
+                )
+            )
+            return statements
+        if kind is ChannelKind.CORRUPTING:
+            if data_domain is None or ack_domain is None:
+                raise ValueError(
+                    "a corrupting channel needs the data/ack domains to "
+                    "enumerate legal wrong values; pass them to "
+                    "environment_statements"
+                )
+            corrupt_data = _corruption_expr("cs", data_domain)
+            corrupt_ack = _corruption_expr("cr", ack_domain)
+            if corrupt_data is not None:
+                statements.append(
+                    Statement(
+                        name="corrupt_data",
+                        targets=("cs", "kc"),
+                        exprs=(corrupt_data, var("kc") - const(1)),
+                        guard=(var("cs").ne(const(BOT))) & (var("kc") > const(0)),
+                    )
+                )
+            if corrupt_ack is not None:
+                statements.append(
+                    Statement(
+                        name="corrupt_ack",
+                        targets=("cr", "kc"),
+                        exprs=(corrupt_ack, var("kc") - const(1)),
+                        guard=(var("cr").ne(const(BOT))) & (var("kc") > const(0)),
+                    )
+                )
             return statements
         # BOUNDED_LOSS: losses gated and metered by the budgets.
         statements.append(
@@ -175,10 +280,76 @@ class ChannelSpec:
         return statements
 
 
+def corruption_successors(values: Sequence[Any]) -> Dict[Any, Any]:
+    """The deterministic wrong-value map over a domain's values.
+
+    Tuple values (messages like ``(index, α)``) are corrupted in their
+    *last* component only, cycling among the domain values that agree on
+    everything else — so a corrupted data message keeps its sequence
+    number but carries a different symbol, the undetectable case.
+    Non-tuple values (ack counters) cycle among all values.  Values with
+    no distinct sibling (singleton groups) are dropped: there is no wrong
+    value to inject.
+    """
+    groups: Dict[Any, List[Any]] = {}
+    for value in values:
+        key = value[:-1] if isinstance(value, tuple) and len(value) >= 2 else ()
+        groups.setdefault(key, []).append(value)
+    successors: Dict[Any, Any] = {}
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        for a, b in zip(group, group[1:] + group[:1]):
+            successors[a] = b
+    return successors
+
+
+def _corruption_expr(slot: str, domain: Domain) -> Optional[Expr]:
+    """``ite`` chain rewriting ``slot`` to its wrong-value successor."""
+    successors = corruption_successors(tuple(domain))
+    if not successors:
+        return None
+    expr: Expr = var(slot)
+    for value, wrong in successors.items():
+        expr = ite(var(slot).eq(const(value)), const(wrong), expr)
+    return expr
+
+
 RELIABLE = ChannelSpec(ChannelKind.RELIABLE)
 LOSSY = ChannelSpec(ChannelKind.LOSSY)
+DUPLICATING_REORDER = ChannelSpec(ChannelKind.DUPLICATING_REORDER)
 
 
 def bounded_loss(budget: int = 1) -> ChannelSpec:
     """A bounded-consecutive-loss channel (satisfies the paper's assumption)."""
     return ChannelSpec(ChannelKind.BOUNDED_LOSS, budget)
+
+
+def corrupting(budget: int = 1) -> ChannelSpec:
+    """A budgeted undetectable-corruption channel (violates (St-1)/(St-2))."""
+    return ChannelSpec(ChannelKind.CORRUPTING, budget)
+
+
+def channel_from_spec(spec: str) -> ChannelSpec:
+    """Rebuild a channel from its canonical spec string.
+
+    Specs (the inverse of :attr:`ChannelSpec.spec`, used as soak-matrix
+    cell coordinates)::
+
+        reliable | lossy | dup_reorder | bounded_loss:<budget> | corrupting:<budget>
+    """
+    head, _, arg = spec.partition(":")
+    if head == ChannelKind.RELIABLE.value and not arg:
+        return RELIABLE
+    if head == ChannelKind.LOSSY.value and not arg:
+        return LOSSY
+    if head == ChannelKind.DUPLICATING_REORDER.value and not arg:
+        return DUPLICATING_REORDER
+    if head == ChannelKind.BOUNDED_LOSS.value:
+        return bounded_loss(int(arg) if arg else 1)
+    if head == ChannelKind.CORRUPTING.value:
+        return corrupting(int(arg) if arg else 1)
+    raise ValueError(
+        f"unknown channel spec {spec!r} (know reliable, lossy, dup_reorder, "
+        "bounded_loss:<budget>, corrupting:<budget>)"
+    )

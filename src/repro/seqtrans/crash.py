@@ -1,0 +1,114 @@
+"""Process crash/restart faults for the sequence transmission protocols.
+
+A *crash* resets a process's local variables to their initial values while
+the shared channel slots persist — the standard crash-restart fault model,
+and a direct probe of the paper's eqs. (23)/(24): knowledge, defined
+through the strongest invariant, is itself *invariant*, so a process can
+only know what survives every statement of the program.  Once crash
+statements are part of the program, ``K_R φ`` can only hold at states from
+which **no** future crash erases the evidence — equivalently, a crashed
+process wakes up knowing nothing beyond ``init``'s a priori information,
+and the protocol must *re-establish* its knowledge through the channel.
+
+Whether it can depends on what persists: on a reliable channel the data
+slot ``cs`` survives a receiver crash, so the receiver re-reads it and
+relearns ``x_0`` (the protocol heals); on a lossy/bounded-loss channel the
+adversary can drop the slot *and* the sender may already have consumed its
+retransmission budget or disabled itself on a stale ack — recovery is no
+longer guaranteed.  The soak matrix (:mod:`repro.sim.soak`) exercises both
+cells against model-checked ground truth.
+
+Crashes are *budgeted* by a shared fuel variable ``cb`` (crashes are
+environment faults, not process steps): with ``budget = b`` at most ``b``
+crashes occur in any run, so liveness questions stay decidable — after the
+fuel runs out the program is the original one, restarted from whatever
+state the crashes left behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..statespace import BOT, IntRangeDomain, Variable
+from ..unity import Statement, const, var
+
+#: Local-variable reset values for the Figure-3/Figure-4 protocols:
+#: counters to zero, mailboxes to ``⊥``, the delivered prefix to empty.
+#: The Sender's input ``x`` is *not* reset — it is the datum being
+#: transmitted, fixed (nondeterministically) by ``init`` itself.
+SEQTRANS_RESETS: Dict[str, Dict[str, Any]] = {
+    "Sender": {"i": 0, "z": BOT},
+    "Receiver": {"w": (), "j": 0, "zp": BOT},
+}
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Which processes may crash, and how many times in total.
+
+    ``budget = 0`` is the degenerate no-crash case: no fuel variable, no
+    statements — the program is unchanged (mirroring
+    :attr:`~repro.seqtrans.channels.ChannelSpec.effective_kind`).
+    """
+
+    processes: Tuple[str, ...] = ("Receiver",)
+    budget: int = 1
+
+    def __post_init__(self):
+        if self.budget < 0:
+            raise ValueError("crash budget must be >= 0")
+        if not self.processes:
+            raise ValueError("CrashSpec needs at least one process")
+
+    @property
+    def label(self) -> str:
+        """Short tag for program names and soak-cell keys."""
+        if self.budget == 0:
+            return "nocrash"
+        return "crash-" + "+".join(p.lower() for p in self.processes)
+
+    def crash_variables(self) -> List[Variable]:
+        """The shared crash-fuel variable (empty when ``budget = 0``)."""
+        if self.budget == 0:
+            return []
+        return [Variable("cb", IntRangeDomain(0, self.budget))]
+
+    def initial_assignment(self) -> Dict[str, Any]:
+        """Initial values of the crash variables (fuel full)."""
+        if self.budget == 0:
+            return {}
+        return {"cb": self.budget}
+
+    def crash_statements(
+        self, resets: Mapping[str, Mapping[str, Any]] = SEQTRANS_RESETS
+    ) -> List[Statement]:
+        """One ``crash_<process>`` statement per crashable process.
+
+        Each statement assigns the process's reset values and burns one
+        unit of fuel; its guard is just ``cb > 0`` (a crash can strike at
+        any time).  Shared slots are untouched: whatever was in flight
+        stays in flight.
+        """
+        if self.budget == 0:
+            return []
+        statements = []
+        for process in self.processes:
+            if process not in resets:
+                raise ValueError(
+                    f"no reset values for process {process!r} "
+                    f"(have {sorted(resets)})"
+                )
+            updates: Dict[str, Any] = {
+                name: const(value) for name, value in resets[process].items()
+            }
+            updates["cb"] = var("cb") - const(1)
+            statements.append(
+                Statement(
+                    name=f"crash_{process.lower()}",
+                    targets=tuple(updates),
+                    exprs=tuple(updates.values()),
+                    guard=var("cb") > const(0),
+                )
+            )
+        return statements

@@ -24,7 +24,7 @@ the paper they are separate properties, checked on each instantiation
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..unity import (
     Append,
@@ -41,8 +41,15 @@ from ..unity import (
     var,
 )
 from .channels import ChannelSpec, bounded_loss
+from .crash import CrashSpec
 from .params import SeqTransParams
-from .standard import RECEIVER, SENDER, build_space, initial_predicate
+from .standard import (
+    RECEIVER,
+    SENDER,
+    build_space,
+    channel_domains,
+    initial_predicate,
+)
 
 
 def k_r_value(k: int, alpha: Any) -> Knowledge:
@@ -73,9 +80,10 @@ def _at_current(index_var: str, params: SeqTransParams, body) -> Expr:
 def build_kbp_protocol(
     params: SeqTransParams = SeqTransParams(),
     channel: ChannelSpec = bounded_loss(1),
+    crash: Optional[CrashSpec] = None,
 ) -> Program:
     """The bounded Figure-3 knowledge-based protocol over the given channel."""
-    space = build_space(params, channel)
+    space = build_space(params, channel, crash=crash)
     length = params.length
     receive_ack = channel.receive_ack_updates()
     receive_data = channel.receive_data_updates()
@@ -83,7 +91,9 @@ def build_kbp_protocol(
     statements: List[Statement] = []
 
     # Sender: transmit (i, x_i) while ¬(K_S K_R x_k)@k=i.
-    transmit_updates: Dict[str, Any] = {"cs": tup(var("i"), var("x")[var("i")])}
+    transmit_updates: Dict[str, Any] = dict(
+        channel.transmit_data_updates(tup(var("i"), var("x")[var("i")]))
+    )
     transmit_updates.update(receive_ack)
     statements.append(
         Statement(
@@ -128,7 +138,7 @@ def build_kbp_protocol(
 
     # Receiver: request j while ¬K_R x_j (and keep acking at j = L so the
     # Sender can learn the transmission is complete — the bounded endgame).
-    ack_updates: Dict[str, Any] = {"cr": var("j")}
+    ack_updates: Dict[str, Any] = dict(channel.transmit_ack_updates(var("j")))
     ack_updates.update(receive_data)
     statements.append(
         Statement(
@@ -140,14 +150,19 @@ def build_kbp_protocol(
         )
     )
 
-    statements.extend(channel.environment_statements())
+    message_domain, counter_domain = channel_domains(params)
+    statements.extend(channel.environment_statements(message_domain, counter_domain))
+    tag = f"L={params.length},|A|={len(params.alphabet)},{channel.kind.value}"
+    if crash is not None and crash.budget > 0:
+        statements.extend(crash.crash_statements())
+        tag += f",{crash.label}"
     return Program(
         space=space,
-        init=initial_predicate(params, channel, space),
+        init=initial_predicate(params, channel, space, crash=crash),
         statements=statements,
         processes={
             SENDER: ("x", "i", "z"),
             RECEIVER: ("w", "j", "zp"),
         },
-        name=f"seqtrans-kbp[L={params.length},|A|={len(params.alphabet)},{channel.kind.value}]",
+        name=f"seqtrans-kbp[{tag}]",
     )

@@ -23,7 +23,7 @@ Deviations from the figure, documented in DESIGN.md §2:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..predicates import Predicate
 from ..statespace import (
@@ -38,20 +38,32 @@ from ..statespace import (
 )
 from ..unity import Length, Program, Statement, const, lnot, lor, tup, var
 from .channels import ChannelSpec, bounded_loss
+from .crash import CrashSpec
 from .params import SeqTransParams
 
 SENDER = "Sender"
 RECEIVER = "Receiver"
 
 
-def build_space(params: SeqTransParams, channel: ChannelSpec) -> StateSpace:
+def channel_domains(params: SeqTransParams) -> Tuple[TupleDomain, IntRangeDomain]:
+    """The (data-message, ack) domains the Figure-3/4 channels carry."""
+    alpha_domain = EnumDomain("A", params.alphabet)
+    index_domain = IntRangeDomain(0, params.length - 1)
+    counter_domain = IntRangeDomain(0, params.length)
+    return TupleDomain(index_domain, alpha_domain), counter_domain
+
+
+def build_space(
+    params: SeqTransParams,
+    channel: ChannelSpec,
+    crash: Optional[CrashSpec] = None,
+) -> StateSpace:
     """The state space shared by the standard and knowledge-based protocols."""
     alpha_domain = EnumDomain("A", params.alphabet)
     length = params.length
     x_domain = TupleDomain(*([alpha_domain] * length))
     index_domain = IntRangeDomain(0, length - 1)
-    counter_domain = IntRangeDomain(0, length)
-    message_domain = TupleDomain(index_domain, alpha_domain)
+    message_domain, counter_domain = channel_domains(params)
     variables = [
         Variable("x", x_domain),
         Variable("i", index_domain),
@@ -61,11 +73,16 @@ def build_space(params: SeqTransParams, channel: ChannelSpec) -> StateSpace:
         Variable("zp", OptionDomain(message_domain)),
     ]
     variables.extend(channel.slot_variables(message_domain, counter_domain))
+    if crash is not None:
+        variables.extend(crash.crash_variables())
     return StateSpace(variables)
 
 
 def initial_predicate(
-    params: SeqTransParams, channel: ChannelSpec, space: StateSpace
+    params: SeqTransParams,
+    channel: ChannelSpec,
+    space: StateSpace,
+    crash: Optional[CrashSpec] = None,
 ) -> Predicate:
     """``init``: counters at zero, buffers empty, ``x`` free modulo a priori info.
 
@@ -73,7 +90,9 @@ def initial_predicate(
     "no a priori information" assumption under which Figure 4 instantiates
     the knowledge-based protocol (§6.3).
     """
-    channel_init = channel.initial_assignment()
+    channel_init = dict(channel.initial_assignment())
+    if crash is not None:
+        channel_init.update(crash.initial_assignment())
     fixed = params.apriori or {}
 
     def is_initial(state) -> bool:
@@ -96,7 +115,9 @@ def sender_statements(params: SeqTransParams, channel: ChannelSpec) -> List[Stat
     """The Sender's statements (transmit-current / advance)."""
     receive = channel.receive_ack_updates()
     length = params.length
-    transmit_updates: Dict[str, Any] = {"cs": tup(var("i"), var("x")[var("i")])}
+    transmit_updates: Dict[str, Any] = dict(
+        channel.transmit_data_updates(tup(var("i"), var("x")[var("i")]))
+    )
     transmit_updates.update(receive)
     statements = [
         Statement(
@@ -150,7 +171,7 @@ def receiver_statements(
     has_current = lor(
         *[var("zp").eq(tup(var("j"), const(alpha))) for alpha in params.alphabet]
     )
-    ack_updates: Dict[str, Any] = {"cr": var("j")}
+    ack_updates: Dict[str, Any] = dict(channel.transmit_ack_updates(var("j")))
     ack_updates.update(receive)
     statements.append(
         Statement(
@@ -166,23 +187,34 @@ def receiver_statements(
 def build_standard_protocol(
     params: SeqTransParams = SeqTransParams(),
     channel: ChannelSpec = bounded_loss(1),
+    crash: Optional[CrashSpec] = None,
 ) -> Program:
-    """The bounded Figure-4 protocol over the given channel."""
-    space = build_space(params, channel)
+    """The bounded Figure-4 protocol over the given channel.
+
+    With a :class:`~repro.seqtrans.crash.CrashSpec`, the named processes
+    additionally get budgeted crash/restart statements (local variables
+    reset, channel slots persist).
+    """
+    space = build_space(params, channel, crash=crash)
+    message_domain, counter_domain = channel_domains(params)
     statements = (
         sender_statements(params, channel)
         + receiver_statements(params, channel)
-        + channel.environment_statements()
+        + channel.environment_statements(message_domain, counter_domain)
     )
+    tag = f"L={params.length},|A|={len(params.alphabet)},{channel.kind.value}"
+    if crash is not None and crash.budget > 0:
+        statements = statements + crash.crash_statements()
+        tag += f",{crash.label}"
     return Program(
         space=space,
-        init=initial_predicate(params, channel, space),
+        init=initial_predicate(params, channel, space, crash=crash),
         statements=statements,
         processes={
             SENDER: ("x", "i", "z"),
             RECEIVER: ("w", "j", "zp"),
         },
-        name=f"seqtrans-standard[L={params.length},|A|={len(params.alphabet)},{channel.kind.value}]",
+        name=f"seqtrans-standard[{tag}]",
     )
 
 

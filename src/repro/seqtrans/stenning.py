@@ -66,7 +66,9 @@ def build_stenning(
     statements: List[Statement] = []
 
     # Sender: retransmit (i, x_i) until acked, then advance.
-    send_updates: Dict[str, Any] = {"cs": tup(var("i"), var("x")[var("i")])}
+    send_updates: Dict[str, Any] = dict(
+        channel.transmit_data_updates(tup(var("i"), var("x")[var("i")]))
+    )
     send_updates.update(receive_ack)
     statements.append(
         Statement(
@@ -104,7 +106,9 @@ def build_stenning(
     # is written to w, the sender would advance, and the element would be
     # stranded — a genuine protocol bug the model checker catches.
     delivered = Proj(var("zb"), 0) < Length(var("w"))
-    ack_updates: Dict[str, Any] = {"cr": Proj(var("zb"), 0)}
+    ack_updates: Dict[str, Any] = dict(
+        channel.transmit_ack_updates(Proj(var("zb"), 0))
+    )
     ack_updates.update(receive_data)
     statements.append(
         Statement(
@@ -128,7 +132,9 @@ def build_stenning(
         )
     )
 
-    statements.extend(channel.environment_statements())
+    index_domain = IntRangeDomain(0, length - 1)
+    message_domain = TupleDomain(index_domain, EnumDomain("A", params.alphabet))
+    statements.extend(channel.environment_statements(message_domain, index_domain))
     return Program(
         space=space,
         init=_initial(params, channel, space),

@@ -1,17 +1,81 @@
-"""Randomized fair execution and message-count measurement harnesses."""
+"""Scheduled execution, adversarial scheduling, watchdogs, and soak sweeps."""
 
 from .executor import (
     Executor,
     RunResult,
     average_messages,
+    goal_fingerprint,
     replay_run,
     weights_fingerprint,
 )
+from .schedulers import (
+    HOSTILE_PREFIXES,
+    FairnessMonitor,
+    FairnessReport,
+    GreedyHostileScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    StarvationScheduler,
+    WeightedRandomScheduler,
+    scheduler_from_spec,
+)
+from .watchdog import (
+    FIXED_POINT,
+    LIVELOCK,
+    REACHED,
+    SLOW_PROGRESS,
+    RunDiagnosis,
+    Watchdog,
+    supervise_run,
+)
+
+# soak imports seqtrans lazily, but keep it last regardless: seqtrans.apriori
+# imports repro.sim, so anything here that pulled seqtrans in eagerly would
+# close the cycle.
+from .soak import (
+    DELIVERED,
+    UNDECIDED,
+    UNSAFE,
+    SoakCell,
+    SoakCellRecord,
+    SoakConfig,
+    SoakReport,
+    enumerate_cells,
+    quick_config,
+    run_soak,
+)
 
 __all__ = [
+    "DELIVERED",
+    "UNDECIDED",
+    "UNSAFE",
     "Executor",
+    "FIXED_POINT",
+    "LIVELOCK",
+    "REACHED",
+    "SLOW_PROGRESS",
+    "FairnessMonitor",
+    "FairnessReport",
+    "GreedyHostileScheduler",
+    "HOSTILE_PREFIXES",
+    "RoundRobinScheduler",
+    "RunDiagnosis",
     "RunResult",
+    "Scheduler",
+    "SoakCell",
+    "SoakCellRecord",
+    "SoakConfig",
+    "SoakReport",
+    "StarvationScheduler",
+    "Watchdog",
+    "WeightedRandomScheduler",
     "average_messages",
+    "enumerate_cells",
+    "goal_fingerprint",
+    "quick_config",
     "replay_run",
+    "run_soak",
+    "scheduler_from_spec",
+    "supervise_run",
     "weights_fingerprint",
 ]

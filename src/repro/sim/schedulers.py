@@ -1,0 +1,369 @@
+"""Scheduler strategies for the randomized executor.
+
+UNITY's execution model only demands *fairness*: every statement is
+attempted infinitely often.  That leaves the adversary — the scheduler —
+enormous freedom, and the paper's liveness results are claims about what
+survives **every** fair adversary, not about what a benign random walk
+happens to do.  This module therefore factors the scheduling decision out
+of :class:`~repro.sim.executor.Executor` into a :class:`Scheduler`
+interface with four strategies:
+
+* :class:`WeightedRandomScheduler` — the original behavior: fair with
+  probability one, the measurement workhorse;
+* :class:`RoundRobinScheduler` — the canonical deterministic fair
+  schedule, useful as a reproducible baseline;
+* :class:`StarvationScheduler` — *demonic but fair*: delays a target
+  statement as long as the declared fairness window allows, scheduling it
+  only once every ``window`` steps.  Liveness theorems must survive it;
+* :class:`GreedyHostileScheduler` — the E13 adversary: fires a hostile
+  (``lose_*``/``corrupt_*``/``crash_*``) statement whenever one is
+  enabled, round-robin otherwise.  Still *fair* in UNITY's
+  attempted-infinitely-often sense (hostile statements disable themselves),
+  yet it realizes the fair runs that refute liveness on the unrestricted
+  LOSSY channel — fairness alone does not deliver the channel assumption.
+
+Every scheduler is reconstructible from a canonical *spec string* (see
+:func:`scheduler_from_spec`), which is what :class:`RunResult` records and
+what the soak matrix uses as a cell key.  Deterministic schedulers expose
+their internal state via :meth:`Scheduler.state_key`, enabling the
+watchdog's exact lasso detection: if the pair (scheduler state, program
+state) repeats, the run is provably periodic.
+
+The :class:`FairnessMonitor` closes the loop: it certifies, post-hoc, that
+every statement was attempted within a sliding window — the executable
+counterpart of the fairness hypothesis the model checker assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..predicates import Predicate
+
+#: Statement-name prefixes regarded as environment attacks by the greedy
+#: hostile scheduler (channel loss/corruption/reordering, process crashes).
+HOSTILE_PREFIXES = ("lose_", "corrupt_", "swap_", "crash_")
+
+
+class Scheduler:
+    """Strategy choosing which statement the executor attempts next.
+
+    A scheduler is *bound* to one executor (statement names, weight table,
+    guard predicates, and the executor's RNG) before use.  ``fair``
+    declares whether the strategy attempts every statement infinitely
+    often — all built-in strategies do, which is exactly what makes the
+    hostile ones interesting: they refute liveness *without* cheating on
+    fairness.  ``demonic`` marks the strategies built to attack.
+    """
+
+    #: canonical spec string (round-trips through scheduler_from_spec)
+    spec: str = "?"
+    fair: bool = True
+    demonic: bool = False
+
+    def bind(
+        self,
+        names: Sequence[str],
+        weights: Sequence[float],
+        guards: Sequence[Predicate],
+        rng: random.Random,
+    ) -> None:
+        self._names = list(names)
+        self._weights = list(weights)
+        self._guards = list(guards)
+        self._rng = rng
+        self._indices = list(range(len(names)))
+        self._bound()
+
+    def _bound(self) -> None:
+        """Hook for subclasses to finish binding (resolve names, etc.)."""
+
+    def choose(self, step: int, current: int) -> int:
+        """Index of the statement to attempt at ``current`` (pure decision)."""
+        raise NotImplementedError
+
+    def state_key(self) -> Optional[Hashable]:
+        """Internal state of a deterministic scheduler, or ``None``.
+
+        When non-``None``, (state_key, program state) repeating implies the
+        run is exactly periodic — the watchdog's livelock certificate.
+        """
+        return None
+
+    def get_state(self):
+        """Resumable internal state (mirrors ``random.Random.getstate``)."""
+        return None
+
+    def set_state(self, state) -> None:
+        if state is not None:
+            raise ValueError(f"{type(self).__name__} carries no state")
+
+
+class WeightedRandomScheduler(Scheduler):
+    """The original weighted-random fair scheduler (fair w.p. 1)."""
+
+    spec = "weighted-random"
+
+    def choose(self, step: int, current: int) -> int:
+        return self._rng.choices(self._indices, weights=self._weights)[0]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through the statements in declaration order."""
+
+    spec = "round-robin"
+
+    def _bound(self) -> None:
+        self._pos = 0
+
+    def choose(self, step: int, current: int) -> int:
+        k = self._pos
+        self._pos = (k + 1) % len(self._indices)
+        return k
+
+    def state_key(self) -> Hashable:
+        return self._pos
+
+    def get_state(self):
+        return self._pos
+
+    def set_state(self, state) -> None:
+        self._pos = int(state or 0)
+
+
+class StarvationScheduler(Scheduler):
+    """Starve one statement as hard as the fairness window allows.
+
+    The target is attempted exactly once every ``window`` steps; all other
+    steps round-robin through the remaining statements.  This is the
+    *weakest* schedule the fairness hypothesis admits for the target, so
+    any liveness property that leans on the target's firing is stressed
+    maximally while remaining a legitimate fair execution.
+    """
+
+    demonic = True
+
+    def __init__(self, target: str, window: int = 64):
+        if window < 2:
+            raise ValueError("starvation window must be >= 2")
+        self.target = target
+        self.window = window
+        self.spec = f"demonic-starve:{target}:window={window}"
+
+    def _bound(self) -> None:
+        try:
+            self._target_index = self._names.index(self.target)
+        except ValueError:
+            raise ValueError(
+                f"starvation target {self.target!r} is not a statement "
+                f"(have {self._names})"
+            ) from None
+        self._others = [i for i in self._indices if i != self._target_index]
+        self._pos = 0
+        self._countdown = self.window - 1
+
+    def choose(self, step: int, current: int) -> int:
+        if self._countdown == 0:
+            self._countdown = self.window - 1
+            return self._target_index
+        self._countdown -= 1
+        if not self._others:
+            return self._target_index
+        k = self._others[self._pos]
+        self._pos = (self._pos + 1) % len(self._others)
+        return k
+
+    def state_key(self) -> Hashable:
+        return (self._pos, self._countdown)
+
+    def get_state(self):
+        return (self._pos, self._countdown)
+
+    def set_state(self, state) -> None:
+        if state is None:
+            return
+        self._pos, self._countdown = int(state[0]), int(state[1])
+
+
+class GreedyHostileScheduler(Scheduler):
+    """Fire a hostile statement whenever one is enabled.
+
+    Hostile statements are matched by name prefix (``lose_``,
+    ``corrupt_``, ``swap_``, ``crash_`` by default).  When several are
+    enabled they are taken round-robin; when none is, the benign
+    statements are taken round-robin — so every statement is still
+    attempted infinitely often (hostile statements disable themselves:
+    losing empties the slot, budgets run out), and the schedule is fair.
+
+    On the LOSSY channel this adversary loses every message and realizes
+    the fair runs behind E13's negative arm; on the bounded-loss channel
+    its budget runs dry and liveness survives — the paper's channel
+    assumption, attacked and vindicated.
+    """
+
+    demonic = True
+
+    def __init__(self, prefixes: Sequence[str] = HOSTILE_PREFIXES):
+        self.prefixes = tuple(prefixes)
+        if self.prefixes == HOSTILE_PREFIXES:
+            self.spec = "greedy-loss"
+        else:
+            self.spec = "greedy-loss:prefixes=" + ",".join(self.prefixes)
+
+    def _bound(self) -> None:
+        self._hostile = [
+            i
+            for i, name in enumerate(self._names)
+            if name.startswith(self.prefixes)
+        ]
+        self._benign = [i for i in self._indices if i not in set(self._hostile)]
+        self._hpos = 0
+        self._bpos = 0
+
+    def choose(self, step: int, current: int) -> int:
+        hostile = self._hostile
+        if hostile:
+            for offset in range(len(hostile)):
+                k = hostile[(self._hpos + offset) % len(hostile)]
+                if self._guards[k].holds_at(current):
+                    self._hpos = (self._hpos + offset + 1) % len(hostile)
+                    return k
+        if not self._benign:
+            k = hostile[self._hpos]
+            self._hpos = (self._hpos + 1) % len(hostile)
+            return k
+        k = self._benign[self._bpos]
+        self._bpos = (self._bpos + 1) % len(self._benign)
+        return k
+
+    def state_key(self) -> Hashable:
+        return (self._hpos, self._bpos)
+
+    def get_state(self):
+        return (self._hpos, self._bpos)
+
+    def set_state(self, state) -> None:
+        if state is None:
+            return
+        self._hpos, self._bpos = int(state[0]), int(state[1])
+
+
+def scheduler_from_spec(spec: str) -> Scheduler:
+    """Rebuild a scheduler from its canonical spec string.
+
+    Specs (the inverse of each scheduler's ``spec`` attribute)::
+
+        weighted-random
+        round-robin
+        demonic-starve:<statement>[:window=W]
+        greedy-loss[:prefixes=p1,p2,...]
+    """
+    head, _, tail = spec.partition(":")
+    if head == "weighted-random" and not tail:
+        return WeightedRandomScheduler()
+    if head == "round-robin" and not tail:
+        return RoundRobinScheduler()
+    if head == "demonic-starve":
+        target, _, rest = tail.partition(":")
+        if not target:
+            raise ValueError(
+                f"scheduler spec {spec!r}: demonic-starve needs a target "
+                "statement ('demonic-starve:<statement>[:window=W]')"
+            )
+        window = 64
+        if rest:
+            key, eq, value = rest.partition("=")
+            if key != "window" or not eq:
+                raise ValueError(
+                    f"scheduler spec {spec!r}: unknown option {rest!r}"
+                )
+            window = int(value)
+        return StarvationScheduler(target, window=window)
+    if head == "greedy-loss":
+        if not tail:
+            return GreedyHostileScheduler()
+        key, eq, value = tail.partition("=")
+        if key != "prefixes" or not eq or not value:
+            raise ValueError(f"scheduler spec {spec!r}: unknown option {tail!r}")
+        return GreedyHostileScheduler(prefixes=tuple(value.split(",")))
+    raise ValueError(
+        f"unknown scheduler spec {spec!r} (know weighted-random, round-robin, "
+        "demonic-starve:<target>[:window=W], greedy-loss[:prefixes=...])"
+    )
+
+
+# ----------------------------------------------------------------------
+# fairness certification
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Post-hoc certificate that a run's schedule was (window-)fair.
+
+    ``max_gaps`` maps each statement to the longest stretch of steps in
+    which it was never attempted (including the leading stretch before its
+    first attempt and the trailing one after its last).  The run is
+    ``certified`` when every gap fits inside ``window`` — the executable
+    counterpart of "every statement is attempted infinitely often",
+    quantified over the finite run we actually observed.
+    """
+
+    window: int
+    steps: int
+    max_gaps: Dict[str, int]
+    certified: bool
+    violations: Tuple[str, ...]
+
+
+class FairnessMonitor:
+    """Tracks per-statement attempt gaps over a run (sliding-window fairness).
+
+    Fed by the executor (via the watchdog) with each step's chosen
+    statement; :meth:`report` certifies the schedule against ``window``.
+    A ``window`` of ``None`` picks ``max(64, 16 * n_statements)`` — loose
+    enough for the weighted-random scheduler at default weights, tight
+    enough to flag a genuinely starved statement.
+    """
+
+    def __init__(self, window: Optional[int] = None):
+        self.window = window
+        self._last_attempt: List[int] = []
+        self._max_gap: List[int] = []
+        self._names: List[str] = []
+        self._steps = 0
+
+    def begin(self, names: Sequence[str]) -> None:
+        if not self._names:
+            self._names = list(names)
+            self._last_attempt = [-1] * len(names)
+            self._max_gap = [0] * len(names)
+
+    def note(self, step: int, chosen: int) -> None:
+        gap = step - self._last_attempt[chosen] - 1
+        if gap > self._max_gap[chosen]:
+            self._max_gap[chosen] = gap
+        self._last_attempt[chosen] = step
+        self._steps = step + 1
+
+    def report(self) -> FairnessReport:
+        window = self.window
+        if window is None:
+            window = max(64, 16 * max(1, len(self._names)))
+        gaps: Dict[str, int] = {}
+        violations: List[str] = []
+        for i, name in enumerate(self._names):
+            tail = self._steps - self._last_attempt[i] - 1
+            gap = max(self._max_gap[i], tail)
+            gaps[name] = gap
+            if gap > window:
+                violations.append(name)
+        return FairnessReport(
+            window=window,
+            steps=self._steps,
+            max_gaps=gaps,
+            certified=not violations,
+            violations=tuple(violations),
+        )

@@ -1,0 +1,499 @@
+"""Seeded, resumable soak sweeps over the adversarial execution matrix.
+
+The soak harness is where the runtime's attack surface gets exercised
+systematically: every cell of a {protocol × channel × scheduler × budget ×
+crash plan} matrix is executed under watchdog supervision, the observed
+verdict is classified (``delivered`` / ``unsafe`` / ``livelock`` /
+``undecided``), and — the part that makes a soak more than a fuzzer —
+every verdict is **cross-checked against model-checked ground truth**:
+
+* an observed safety violation is only consistent when the model checker
+  refutes eq. (34) on that (protocol, channel, crash) configuration;
+* a *proven* livelock (deterministic lasso or closed trap, see
+  :mod:`repro.sim.watchdog`) is only consistent when the fair leads-to
+  checker refutes eq. (35): both certificates quantify over fair
+  schedules, so simulation and model checking must agree;
+* every non-demonic schedule must post-hoc certify as fair
+  (:class:`~repro.sim.schedulers.FairnessMonitor`), otherwise the
+  executor itself — not the protocol — is broken.
+
+Any disagreement is an *inconsistency*: a bug in the executor, the
+watchdog, the channel models, or the model checker.  A clean soak is
+therefore a differential test of the whole stack against itself, with the
+paper's E13 narrative as its centerpiece: the greedy-loss adversary must
+refute liveness on the unrestricted ``LOSSY`` channel and must fail to on
+``bounded_loss`` — and crash cells must show knowledge lost at the crash
+being re-established by delivery (eqs. 23/24).
+
+Determinism and resumability reuse the robustness layer's journal
+(:class:`~repro.robustness.checkpoint.ShardJournal`, PR 4): each finished
+cell is appended to a sha256-chained journal keyed by the exact matrix, so
+the same config and seed produce byte-identical journals, and a soak
+killed mid-sweep (even via the fault plan's ``kill@N``) resumes without
+re-running finished cells — ending with the same bytes an uninterrupted
+run writes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .executor import Executor
+from .schedulers import scheduler_from_spec
+from .watchdog import Watchdog, supervise_run
+
+#: Observed cell verdicts.
+DELIVERED = "delivered"
+UNSAFE = "unsafe"
+LIVELOCK_VERDICT = "livelock"
+UNDECIDED = "undecided"
+UNSOLVED = "kbp-unsolved"
+
+
+# ----------------------------------------------------------------------
+# matrix configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """The soak matrix: every combination of the listed axes is one cell.
+
+    ``channels``/``schedulers`` use the canonical spec strings of
+    :func:`repro.seqtrans.channel_from_spec` and
+    :func:`repro.sim.schedulers.scheduler_from_spec`; ``crashes`` entries
+    are ``"none"`` or ``"+"``-joined process names (``"receiver"``,
+    ``"sender"``, ``"receiver+sender"``).  ``seeds`` multiplies the matrix
+    by per-cell RNG seeds (relevant to randomized schedulers only, but
+    kept uniform so cell keys stay scheduler-agnostic).
+    """
+
+    length: int = 1
+    alphabet: Tuple[str, ...] = ("a", "b")
+    protocols: Tuple[str, ...] = ("standard",)
+    channels: Tuple[str, ...] = ("bounded_loss:1", "lossy")
+    schedulers: Tuple[str, ...] = ("weighted-random", "greedy-loss")
+    crashes: Tuple[str, ...] = ("none",)
+    budgets: Tuple[int, ...] = (2_000,)
+    seeds: Tuple[int, ...] = (0,)
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON shape of the matrix (pins the journal header)."""
+        return {
+            "length": self.length,
+            "alphabet": list(self.alphabet),
+            "protocols": list(self.protocols),
+            "channels": list(self.channels),
+            "schedulers": list(self.schedulers),
+            "crashes": list(self.crashes),
+            "budgets": list(self.budgets),
+            "seeds": list(self.seeds),
+        }
+
+    def digest(self) -> str:
+        from ..certificates.canonical import canonical_dumps
+
+        text = canonical_dumps(self.describe())
+        return "sha256:" + hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SoakCell:
+    """One coordinate of the matrix."""
+
+    index: int
+    protocol: str
+    channel: str
+    scheduler: str
+    crash: str
+    budget: int
+    seed: int
+
+    @property
+    def key(self) -> str:
+        return (
+            f"{self.protocol}|{self.channel}|{self.scheduler}"
+            f"|{self.crash}|b{self.budget}|s{self.seed}"
+        )
+
+    @property
+    def config_key(self) -> Tuple[str, str, str]:
+        """The (protocol, channel, crash) triple sharing one ground truth."""
+        return (self.protocol, self.channel, self.crash)
+
+
+def enumerate_cells(config: SoakConfig) -> List[SoakCell]:
+    """The matrix in a fixed, documented order (protocol-major)."""
+    cells: List[SoakCell] = []
+    for protocol in config.protocols:
+        for channel in config.channels:
+            for crash in config.crashes:
+                for scheduler in config.schedulers:
+                    for budget in config.budgets:
+                        for seed in config.seeds:
+                            cells.append(
+                                SoakCell(
+                                    index=len(cells),
+                                    protocol=protocol,
+                                    channel=channel,
+                                    scheduler=scheduler,
+                                    crash=crash,
+                                    budget=budget,
+                                    seed=seed,
+                                )
+                            )
+    return cells
+
+
+def _cell_seed(config_seed: int, cell: SoakCell) -> int:
+    """Deterministic per-cell executor seed, stable across resumes."""
+    text = f"{config_seed}:{cell.key}"
+    return int.from_bytes(
+        hashlib.sha256(text.encode("ascii")).digest()[:4], "big"
+    )
+
+
+# ----------------------------------------------------------------------
+# ground truth (model checked once per (protocol, channel, crash))
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SoakGroundTruth:
+    """Model-checked expectations for one program configuration.
+
+    ``knowledge_reestablished`` is only computed for crash configurations:
+    it asserts that post-crash delivered states exist in the strongest
+    invariant and that at every one of them the Receiver again knows
+    ``x_0`` — the executable reading of eqs. (23)/(24): the crash erased
+    the knowledge, the protocol re-derived it.
+    """
+
+    safety_holds: bool
+    liveness_holds: Tuple[bool, ...]
+    solved: bool = True
+    knowledge_reestablished: Optional[bool] = None
+
+    @property
+    def liveness_all(self) -> bool:
+        return all(self.liveness_holds)
+
+
+def _crash_spec(crash: str):
+    from ..seqtrans import CrashSpec
+
+    if crash == "none":
+        return None
+    processes = tuple(part.capitalize() for part in crash.split("+"))
+    return CrashSpec(processes=processes, budget=1)
+
+
+def _build_program(cell_config: Tuple[str, str, str], config: SoakConfig):
+    """(protocol, channel, crash) → an executable standard program, or None.
+
+    The ``kbp`` protocol is solved via Φ-iteration (eq. 25) and resolved
+    at its solution; when the iteration does not converge the
+    configuration is reported ``kbp-unsolved`` rather than executed.
+    """
+    from ..seqtrans import (
+        SeqTransParams,
+        build_kbp_protocol,
+        build_standard_protocol,
+        channel_from_spec,
+    )
+
+    protocol, channel_spec, crash = cell_config
+    params = SeqTransParams(length=config.length, alphabet=config.alphabet)
+    channel = channel_from_spec(channel_spec)
+    crash_obj = _crash_spec(crash)
+    if protocol == "standard":
+        return build_standard_protocol(params, channel, crash=crash_obj), params
+    if protocol == "kbp":
+        from ..core import resolve_at, solve_si_iterative
+
+        kbp = build_kbp_protocol(params, channel, crash=crash_obj)
+        report = solve_si_iterative(kbp, max_iterations=60)
+        if not report.converged or report.solution is None:
+            return None, params
+        return resolve_at(kbp, report.solution), params
+    raise ValueError(
+        f"unknown protocol {protocol!r} (know 'standard' and 'kbp')"
+    )
+
+
+def _ground_truth(
+    program, params, crash: str
+) -> SoakGroundTruth:
+    from ..core import KnowledgeOperator
+    from ..predicates import Predicate
+    from ..seqtrans import check_spec, delivered_all
+    from ..transformers import strongest_invariant
+
+    si = strongest_invariant(program)
+    report = check_spec(program, params, si=si)
+    knowledge: Optional[bool] = None
+    if crash != "none" and "Receiver" in program.processes:
+        space = program.space
+        operator = KnowledgeOperator.of_program(program, si)
+        delivered = delivered_all(space, params)
+        crash_budget = _crash_spec(crash).budget
+        post_crash = Predicate.from_callable(
+            space, lambda s: s["cb"] < crash_budget
+        )
+        relearned = Predicate.false(space)
+        for alpha in params.alphabet:
+            fact = Predicate.from_callable(
+                space, lambda s, a=alpha: s["x"][0] == a
+            )
+            relearned = relearned | (
+                fact & operator.knows("Receiver", fact)
+            )
+        recovered = si & delivered & post_crash
+        knowledge = (not recovered.is_false()) and recovered.entails(relearned)
+    return SoakGroundTruth(
+        safety_holds=report.safety_holds,
+        liveness_holds=tuple(report.liveness_holds),
+        knowledge_reestablished=knowledge,
+    )
+
+
+# ----------------------------------------------------------------------
+# journal records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SoakCellRecord:
+    """One journaled cell result (plugs into :class:`ShardJournal`)."""
+
+    index: int
+    key: str
+    verdict: str
+    steps: int
+    expected_safety: bool
+    expected_liveness: Tuple[bool, ...]
+    consistent: bool
+    fairness_certified: Optional[bool] = None
+    knowledge_reestablished: Optional[bool] = None
+    detail: str = ""
+
+    def body(self) -> Dict[str, Any]:
+        return {
+            "type": "soak-cell",
+            "index": self.index,
+            "key": self.key,
+            "verdict": self.verdict,
+            "steps": self.steps,
+            "expected_safety": self.expected_safety,
+            "expected_liveness": list(self.expected_liveness),
+            "consistent": self.consistent,
+            "fairness_certified": self.fairness_certified,
+            "knowledge_reestablished": self.knowledge_reestablished,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_body(cls, body: Dict[str, Any]) -> "SoakCellRecord":
+        # Lazy: repro.robustness transitively imports repro.sim (via the
+        # certificate model registry → seqtrans → apriori), so a module-level
+        # import here would close the cycle.
+        from ..robustness.checkpoint import JournalError
+
+        for required in ("index", "key", "verdict", "steps", "consistent"):
+            if required not in body:
+                raise JournalError(f"soak record missing {required!r}")
+        return cls(
+            index=body["index"],
+            key=body["key"],
+            verdict=body["verdict"],
+            steps=body["steps"],
+            expected_safety=bool(body.get("expected_safety", True)),
+            expected_liveness=tuple(body.get("expected_liveness", ())),
+            consistent=body["consistent"],
+            fairness_certified=body.get("fairness_certified"),
+            knowledge_reestablished=body.get("knowledge_reestablished"),
+            detail=body.get("detail", ""),
+        )
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """Outcome of one :func:`run_soak` invocation (fresh or resumed)."""
+
+    config_digest: str
+    total: int
+    executed: Tuple[str, ...]
+    resumed: int
+    verdicts: Dict[str, str]
+    inconsistencies: Tuple[str, ...]
+    records: Dict[int, SoakCellRecord] = field(repr=False, default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.inconsistencies
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+
+
+def _run_cell(cell: SoakCell, config: SoakConfig, program, params, truth):
+    """Execute one cell under supervision; classify and cross-check."""
+    from ..seqtrans import delivered_all, safety_predicate
+
+    space = program.space
+    safety = safety_predicate(space)
+    delivered = delivered_all(space, params)
+    goal = delivered | ~safety  # stop at delivery or the first violation
+    scheduler = scheduler_from_spec(cell.scheduler)
+    executor = Executor(
+        program,
+        seed=_cell_seed(cell.seed, cell),
+        scheduler=scheduler,
+    )
+    watchdog = Watchdog()
+    result = supervise_run(
+        executor,
+        goal,
+        budgets=(cell.budget, 4 * cell.budget),
+        watchdog=watchdog,
+    )
+
+    if not safety.holds_at(result.final_state.index):
+        verdict = UNSAFE
+    elif result.reached:
+        verdict = DELIVERED
+    elif result.diagnosis is not None and result.diagnosis.provably_stuck:
+        verdict = LIVELOCK_VERDICT
+    else:
+        verdict = UNDECIDED
+
+    fairness = result.diagnosis.fairness if result.diagnosis else None
+    certified = fairness.certified if fairness is not None else None
+
+    problems: List[str] = []
+    if verdict == UNSAFE and truth.safety_holds:
+        problems.append(
+            "observed a safety violation the model checker proves impossible"
+        )
+    if verdict == LIVELOCK_VERDICT and truth.liveness_all:
+        problems.append(
+            "proved a livelock though the fair leads-to checker proves liveness"
+        )
+    if not scheduler.demonic and certified is False:
+        problems.append("non-demonic schedule failed fairness certification")
+
+    detail = "; ".join(problems)
+    if not problems and result.diagnosis is not None and result.diagnosis.lasso_kind:
+        detail = result.diagnosis.lasso_kind
+    return SoakCellRecord(
+        index=cell.index,
+        key=cell.key,
+        verdict=verdict,
+        steps=result.steps,
+        expected_safety=truth.safety_holds,
+        expected_liveness=truth.liveness_holds,
+        consistent=not problems,
+        fairness_certified=certified,
+        knowledge_reestablished=truth.knowledge_reestablished,
+        detail=detail,
+    )
+
+
+def run_soak(
+    config: SoakConfig,
+    journal_path: Union[str, Path],
+    fault_plan=None,
+) -> SoakReport:
+    """Sweep the soak matrix, journaling each finished cell.
+
+    Resumable: cells already journaled (same config digest) are loaded,
+    not re-run, and the journal an interrupted-then-resumed soak ends with
+    is byte-identical to an uninterrupted one.  ``fault_plan`` hooks the
+    same parent-side faults the sharded solver supports (``kill@N`` after
+    N journaled cells), which is how the resume path is tested.
+    """
+    from ..robustness.checkpoint import ShardJournal
+
+    cells = enumerate_cells(config)
+    journal = ShardJournal(journal_path, record_cls=SoakCellRecord)
+    header = {
+        "soak": config.describe(),
+        "digest": config.digest(),
+        "cell_count": len(cells),
+    }
+    completed: Dict[int, SoakCellRecord] = journal.open(header)
+
+    truths: Dict[Tuple[str, str, str], SoakGroundTruth] = {}
+    programs: Dict[Tuple[str, str, str], Any] = {}
+    executed: List[str] = []
+    for cell in cells:
+        if cell.index in completed:
+            continue
+        cfg = cell.config_key
+        if cfg not in programs:
+            programs[cfg] = _build_program(cfg, config)
+        program, params = programs[cfg]
+        if program is None:
+            record = SoakCellRecord(
+                index=cell.index,
+                key=cell.key,
+                verdict=UNSOLVED,
+                steps=0,
+                expected_safety=True,
+                expected_liveness=(),
+                consistent=True,
+                detail="eq.-(25) iteration did not converge",
+            )
+        else:
+            if cfg not in truths:
+                truths[cfg] = _ground_truth(program, params, cell.crash)
+            record = _run_cell(cell, config, program, params, truths[cfg])
+        completed[cell.index] = record
+        executed.append(cell.key)
+        count = journal.append(record)
+        if fault_plan is not None:
+            fault_plan.after_journal_append(count)
+
+    verdicts = {
+        record.key: record.verdict
+        for record in sorted(completed.values(), key=lambda r: r.index)
+    }
+    inconsistencies = tuple(
+        f"{record.key}: {record.detail}"
+        for record in sorted(completed.values(), key=lambda r: r.index)
+        if not record.consistent
+    )
+    return SoakReport(
+        config_digest=config.digest(),
+        total=len(cells),
+        executed=tuple(executed),
+        resumed=len(cells) - len(executed),
+        verdicts=verdicts,
+        inconsistencies=inconsistencies,
+        records=dict(completed),
+    )
+
+
+def quick_config(seeds: Tuple[int, ...] = (0,)) -> SoakConfig:
+    """The CI ``soak-quick`` matrix: small, fast, and pointed.
+
+    Covers the E13 pair (greedy-loss refutes ``lossy``, fails to refute
+    ``bounded_loss``), a benign random baseline, and one crash/recovery
+    pair (receiver crash on ``reliable`` heals; on ``bounded_loss`` it can
+    deadlock).
+    """
+    return SoakConfig(
+        length=1,
+        alphabet=("a", "b"),
+        protocols=("standard",),
+        channels=("bounded_loss:1", "lossy", "reliable"),
+        schedulers=("weighted-random", "greedy-loss"),
+        crashes=("none", "receiver"),
+        budgets=(2_000,),
+        seeds=seeds,
+    )

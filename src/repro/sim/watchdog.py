@@ -1,0 +1,272 @@
+"""Run supervision: livelock, starvation, and budget diagnosis.
+
+A randomized run that misses its goal is ambiguous: was the budget too
+small (slow progress), or can *no* extension of this run ever reach the
+goal (livelock)?  The watchdog separates the two with evidence rather
+than thresholds:
+
+* **Deterministic lasso** — when the scheduler is deterministic (it
+  exposes a :meth:`~repro.sim.schedulers.Scheduler.state_key`), the pair
+  (scheduler state, program state) repeating proves the run is exactly
+  periodic from the first visit on.  The goal was tested at every state
+  of the cycle, so the run *provably never* reaches it: livelock, with
+  the revisited cycle as the certificate.
+* **Closed trap** — scheduler-independent: if every state visited in the
+  recent window has *all* of its statement successors inside the visited
+  set and the goal holds nowhere in it, the set is an invariant trap
+  disjoint from the goal.  No scheduler, fair or not, escapes it —
+  livelock regardless of future choices (a fixed point of all statements
+  is the one-state special case).
+* **Starvation** — a statement continuously enabled for a whole window
+  without once firing.  Not terminal (the run may still finish), but it
+  is exactly the symptom the demonic starvation scheduler induces and
+  the signal a fairness bug in a custom scheduler would show.
+
+Everything lands in a structured :class:`RunDiagnosis` attached to the
+:class:`~repro.sim.executor.RunResult`, alongside the fairness monitor's
+certificate.  :func:`supervise_run` adds *step-budget escalation*: run
+with a small budget, and only escalate when the diagnosis says "slow
+progress" rather than "provably stuck" — the soak harness's way of
+spending steps only where they can still change the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..predicates import Predicate
+from ..statespace import State
+from .schedulers import FairnessMonitor, FairnessReport
+
+#: Diagnosis verdicts, from best to worst.
+REACHED = "reached"
+SLOW_PROGRESS = "budget-exhausted"
+LIVELOCK = "livelock"
+FIXED_POINT = "fixed-point"
+
+
+@dataclass(frozen=True)
+class RunDiagnosis:
+    """Structured post-mortem of one (possibly escalated) execution.
+
+    ``verdict`` is one of ``reached``, ``budget-exhausted``, ``livelock``
+    or ``fixed-point``.  For livelocks, ``lasso`` holds the revisited
+    cycle (deterministic) or the closed trap's states, and ``lasso_kind``
+    says which certificate backs it (``deterministic-cycle`` /
+    ``closed-trap``).  ``starved`` lists statements that sat enabled for a
+    full starvation window without firing; ``fairness`` is the schedule's
+    sliding-window fairness certificate.
+    """
+
+    verdict: str
+    steps: int
+    budget_escalations: Tuple[int, ...] = ()
+    lasso: Tuple[int, ...] = ()
+    lasso_kind: str = ""
+    starved: Tuple[str, ...] = ()
+    fairness: Optional[FairnessReport] = None
+
+    @property
+    def provably_stuck(self) -> bool:
+        """Whether more budget provably cannot change the outcome."""
+        return self.verdict in (LIVELOCK, FIXED_POINT)
+
+
+class Watchdog:
+    """Per-run observer feeding livelock/starvation/fairness detection.
+
+    One watchdog instance follows one logical execution — possibly across
+    several escalated budget slices of the same executor — and keeps its
+    revisit and fairness history across slices.  Pass a fresh instance per
+    logical run.
+    """
+
+    def __init__(
+        self,
+        novelty_window: int = 256,
+        starvation_window: int = 256,
+        trap_check_interval: int = 64,
+        fairness_window: Optional[int] = None,
+    ):
+        self.novelty_window = novelty_window
+        self.starvation_window = starvation_window
+        self.trap_check_interval = trap_check_interval
+        self.monitor = FairnessMonitor(window=fairness_window)
+        self._arrays: Optional[List[Sequence[int]]] = None
+        self._names: List[str] = []
+        self._goal: Optional[Callable[[int], bool]] = None
+        self._seen_pairs: dict = {}
+        self._trajectory: List[int] = []
+        self._recent: List[int] = []
+        self._enabled_streak: List[int] = []
+        self._starved: set = set()
+        self._verdict: Optional[str] = None
+        self._lasso: Tuple[int, ...] = ()
+        self._lasso_kind: str = ""
+        self._step = 0  # global step counter across budget slices
+
+    # ------------------------------------------------------------------
+    # executor-facing hooks
+    # ------------------------------------------------------------------
+
+    def attach(self, executor, goal: Callable[[int], bool]) -> None:
+        """Bind program structure (idempotent across budget slices)."""
+        if self._arrays is None:
+            self._arrays = list(executor._arrays)
+            self._guards = list(executor._guards)
+            self._names = list(executor._names)
+            self._enabled_streak = [0] * len(self._names)
+            self.monitor.begin(self._names)
+        self._goal = goal
+
+    def observe(
+        self,
+        state_before: int,
+        chosen: int,
+        fired: bool,
+        state_after: int,
+        sched_key,
+    ) -> Optional[str]:
+        """Digest one step; returns a terminal verdict or ``None``.
+
+        Called after the chosen statement was applied.  ``state_before``
+        was already goal-tested (false) by the executor.
+        """
+        step = self._step
+        self._step = step + 1
+        self.monitor.note(step, chosen)
+
+        # Deterministic lasso: (scheduler state, program state) revisited.
+        if sched_key is not None:
+            pair = (sched_key, state_after)
+            first = self._seen_pairs.get(pair)
+            if first is not None:
+                cycle = self._trajectory[first:]
+                self._verdict = LIVELOCK
+                self._lasso = tuple(dict.fromkeys(cycle + [state_after]))
+                self._lasso_kind = "deterministic-cycle"
+                return self._verdict
+            self._seen_pairs[pair] = len(self._trajectory)
+        self._trajectory.append(state_after)
+
+        # Starvation: enabled all window long, never fired.
+        for i, guard in enumerate(self._guards):
+            if guard.holds_at(state_after):
+                if fired and i == chosen:
+                    self._enabled_streak[i] = 0
+                else:
+                    self._enabled_streak[i] += 1
+                    if self._enabled_streak[i] >= self.starvation_window:
+                        self._starved.add(self._names[i])
+            else:
+                self._enabled_streak[i] = 0
+
+        # Closed trap: the recent window is statement-closed and goal-free.
+        self._recent.append(state_after)
+        if len(self._recent) > self.novelty_window:
+            del self._recent[: len(self._recent) - self.novelty_window]
+        if (
+            step > 0
+            and step % self.trap_check_interval == 0
+            and len(self._recent) >= min(self.novelty_window, 2)
+        ):
+            trap = self._closed_trap()
+            if trap is not None:
+                self._verdict = FIXED_POINT if len(trap) == 1 else LIVELOCK
+                self._lasso = trap
+                self._lasso_kind = "closed-trap"
+                return self._verdict
+        return None
+
+    def _closed_trap(self) -> Optional[Tuple[int, ...]]:
+        """The recent states, iff they form a goal-free invariant set."""
+        states = set(self._recent)
+        goal = self._goal
+        assert self._arrays is not None and goal is not None
+        for s in states:
+            if goal(s):
+                return None
+            for array in self._arrays:
+                if array[s] not in states:
+                    return None
+        return tuple(sorted(states))
+
+    # ------------------------------------------------------------------
+    # diagnosis
+    # ------------------------------------------------------------------
+
+    def snapshot(
+        self,
+        reached: bool,
+        steps: int,
+        budget_escalations: Tuple[int, ...] = (),
+    ) -> RunDiagnosis:
+        """The diagnosis for the execution observed so far (pure)."""
+        if reached:
+            verdict = REACHED
+        elif self._verdict is not None:
+            verdict = self._verdict
+        else:
+            verdict = SLOW_PROGRESS
+        return RunDiagnosis(
+            verdict=verdict,
+            steps=steps,
+            budget_escalations=budget_escalations,
+            lasso=self._lasso,
+            lasso_kind=self._lasso_kind,
+            starved=tuple(sorted(self._starved)),
+            fairness=self.monitor.report(),
+        )
+
+
+def supervise_run(
+    executor,
+    until: Union[Predicate, Callable[[State], bool]],
+    budgets: Sequence[int] = (1_000, 4_000, 16_000),
+    watchdog: Optional[Watchdog] = None,
+    start: Optional[State] = None,
+):
+    """Run under escalating step budgets with watchdog supervision.
+
+    Runs ``executor`` toward ``until`` with the first budget; if the goal
+    is missed and the watchdog has *not* proven the run stuck, continues
+    from the final state with the next budget, and so on.  A proven
+    livelock (or fixed point) stops the escalation immediately — extra
+    steps cannot change that verdict.
+
+    Returns a single :class:`~repro.sim.executor.RunResult` whose
+    ``steps``/``fired``/``attempted`` aggregate all slices and whose
+    ``diagnosis`` records the budgets actually spent.
+    """
+    if not budgets:
+        raise ValueError("supervise_run needs at least one budget")
+    wd = watchdog if watchdog is not None else Watchdog()
+    spent: List[int] = []
+    result = None
+    state = start
+    total_steps = 0
+    fired: Optional[dict] = None
+    attempted: Optional[dict] = None
+    for budget in budgets:
+        result = executor.run(until, start=state, max_steps=budget, watchdog=wd)
+        spent.append(budget)
+        total_steps += result.steps
+        if fired is None:
+            fired, attempted = result.fired, result.attempted
+        else:
+            fired.update(result.fired)
+            attempted.update(result.attempted)
+        if result.reached:
+            break
+        if result.diagnosis is not None and result.diagnosis.provably_stuck:
+            break
+        state = result.final_state
+    assert result is not None
+    return replace(
+        result,
+        steps=total_steps,
+        fired=fired,
+        attempted=attempted,
+        diagnosis=wd.snapshot(result.reached, total_steps, tuple(spent)),
+    )

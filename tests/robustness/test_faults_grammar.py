@@ -1,0 +1,42 @@
+"""The fault-plan grammar rejects malformed plans with a named error."""
+
+import pytest
+
+from repro.robustness import FaultPlan, FaultPlanError
+
+
+class TestFaultPlanGrammar:
+    def test_valid_plans_parse(self):
+        plan = FaultPlan.parse("crash@2:times=3;kill@1;torn@0", scratch="/tmp/x")
+        assert [c.kind for c in plan.clauses] == ["crash", "kill", "torn"]
+        assert plan.clauses[0].times == 3
+
+    def test_unknown_kind_names_valid_kinds(self):
+        with pytest.raises(FaultPlanError) as exc:
+            FaultPlan.parse("explode@2")
+        message = str(exc.value)
+        assert "explode" in message
+        # The error lists every valid action, so the fix is in the message.
+        for kind in ("crash", "hang", "delay", "kill", "torn", "chaos"):
+            assert kind in message
+
+    def test_missing_at_is_rejected(self):
+        with pytest.raises(FaultPlanError, match="no '@'"):
+            FaultPlan.parse("crash2")
+
+    def test_non_integer_target(self):
+        with pytest.raises(FaultPlanError, match="non-integer"):
+            FaultPlan.parse("crash@two")
+
+    def test_malformed_parameter(self):
+        with pytest.raises(FaultPlanError, match="not k=v"):
+            FaultPlan.parse("crash@2:times")
+
+    def test_non_numeric_parameter(self):
+        with pytest.raises(FaultPlanError, match="not numeric"):
+            FaultPlan.parse("hang@0:seconds=lots")
+
+    def test_is_a_value_error(self):
+        # Backward compatibility: older callers catch ValueError.
+        with pytest.raises(ValueError):
+            FaultPlan.parse("explode@2")

@@ -1,0 +1,190 @@
+"""Hostile channel disciplines and process crash/restart faults."""
+
+import pytest
+
+from repro.core import KnowledgeOperator
+from repro.seqtrans import (
+    DUPLICATING_REORDER,
+    RELIABLE,
+    ChannelKind,
+    CrashSpec,
+    SeqTransParams,
+    bounded_loss,
+    build_kbp_protocol,
+    build_standard_protocol,
+    check_spec,
+    corrupting,
+    corruption_successors,
+)
+from repro.statespace import BOT, EnumDomain, IntRangeDomain, TupleDomain
+from repro.transformers import strongest_invariant
+
+PARAMS = SeqTransParams(length=1, alphabet=("a", "b"))
+
+
+class TestCorruptionSuccessors:
+    def test_tuples_cycle_within_prefix_groups(self):
+        succ = corruption_successors([(0, "a"), (0, "b"), (1, "a"), (1, "b")])
+        # Corruption keeps the sequence number, changes the symbol.
+        assert succ[(0, "a")] == (0, "b") and succ[(0, "b")] == (0, "a")
+        assert succ[(1, "a")] == (1, "b") and succ[(1, "b")] == (1, "a")
+
+    def test_scalars_cycle_over_all_values(self):
+        succ = corruption_successors([0, 1, 2])
+        assert succ == {0: 1, 1: 2, 2: 0}
+
+    def test_singleton_groups_have_no_wrong_value(self):
+        assert corruption_successors([(0, "a"), (1, "a")]) == {}
+        assert corruption_successors([7]) == {}
+
+
+class TestCorruptingChannel:
+    def test_budget_zero_degenerates_to_reliable(self):
+        spec = corrupting(0)
+        assert spec.effective_kind is ChannelKind.RELIABLE
+        assert spec.slot_variables(
+            TupleDomain(IntRangeDomain(0, 0), EnumDomain("A", "ab")),
+            IntRangeDomain(0, 1),
+        ) == RELIABLE.slot_variables(
+            TupleDomain(IntRangeDomain(0, 0), EnumDomain("A", "ab")),
+            IntRangeDomain(0, 1),
+        )
+        assert spec.environment_statements() == []
+
+    def test_statements_are_budgeted(self):
+        data = TupleDomain(IntRangeDomain(0, 0), EnumDomain("A", "ab"))
+        ack = IntRangeDomain(0, 1)
+        names = [s.name for s in corrupting(2).environment_statements(data, ack)]
+        assert names == ["corrupt_data", "corrupt_ack"]
+
+    def test_corruption_needs_domains(self):
+        with pytest.raises(ValueError, match="domains"):
+            corrupting(1).environment_statements()
+
+    def test_undetectable_corruption_breaks_safety(self):
+        # The one attack the paper's channel assumption quietly excludes:
+        # a *legal* wrong value defeats (St-1)/(St-2)-style safety.
+        program = build_standard_protocol(PARAMS, corrupting(1))
+        report = check_spec(program, PARAMS)
+        assert not report.safety_holds
+
+    def test_reliable_and_bounded_loss_keep_safety(self):
+        for channel in (RELIABLE, bounded_loss(1)):
+            report = check_spec(build_standard_protocol(PARAMS, channel), PARAMS)
+            assert report.safety_holds
+
+
+class TestDuplicatingReorderChannel:
+    def test_two_data_slots(self):
+        data = TupleDomain(IntRangeDomain(0, 0), EnumDomain("A", "ab"))
+        names = [
+            v.name for v in DUPLICATING_REORDER.slot_variables(data, IntRangeDomain(0, 1))
+        ]
+        assert names == ["cs", "cr", "cs2"]
+        assert DUPLICATING_REORDER.initial_assignment()["cs2"] is BOT
+
+    def test_transmit_pushes_previous_message(self):
+        updates = DUPLICATING_REORDER.transmit_data_updates(object())
+        assert set(updates) == {"cs", "cs2"}
+
+    def test_swap_statement_only(self):
+        names = [s.name for s in DUPLICATING_REORDER.environment_statements()]
+        assert names == ["swap_data"]
+
+    def test_safety_survives_liveness_refutable(self):
+        # Sequence numbers absorb duplication/reordering (safety), but a
+        # demonic swap schedule hides the fresh message forever (liveness).
+        program = build_standard_protocol(PARAMS, DUPLICATING_REORDER)
+        report = check_spec(program, PARAMS)
+        assert report.safety_holds
+        assert not all(report.liveness_holds)
+
+
+class TestCrashSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashSpec(budget=-1)
+        with pytest.raises(ValueError):
+            CrashSpec(processes=())
+        with pytest.raises(ValueError, match="reset values"):
+            CrashSpec(processes=("Oracle",)).crash_statements()
+
+    def test_budget_zero_is_inert(self):
+        inert = CrashSpec(budget=0)
+        assert inert.crash_variables() == []
+        assert inert.initial_assignment() == {}
+        assert inert.crash_statements() == []
+        with_crash = build_standard_protocol(PARAMS, RELIABLE, crash=inert)
+        without = build_standard_protocol(PARAMS, RELIABLE)
+        assert [s.name for s in with_crash.statements] == [
+            s.name for s in without.statements
+        ]
+
+    def test_crash_statement_resets_locals_and_burns_fuel(self):
+        program = build_standard_protocol(
+            PARAMS, RELIABLE, crash=CrashSpec(processes=("Receiver",), budget=1)
+        )
+        names = [s.name for s in program.statements]
+        assert "crash_receiver" in names
+        crash = program.statements[names.index("crash_receiver")]
+        assert set(crash.targets) == {"w", "j", "zp", "cb"}
+
+    def test_receiver_crash_reliable_recovers(self):
+        # The data slot persists across the crash, so the receiver re-reads
+        # it and relearns x_0: both safety and liveness survive.
+        program = build_standard_protocol(
+            PARAMS, RELIABLE, crash=CrashSpec(processes=("Receiver",), budget=1)
+        )
+        report = check_spec(program, PARAMS)
+        assert report.safety_holds and all(report.liveness_holds)
+
+    def test_receiver_crash_bounded_loss_can_deadlock(self):
+        # Loss can erase the in-flight copy *and* the sender can be left
+        # disabled on a stale ack: recovery is no longer guaranteed.
+        program = build_standard_protocol(
+            PARAMS, bounded_loss(1), crash=CrashSpec(processes=("Receiver",), budget=1)
+        )
+        report = check_spec(program, PARAMS)
+        assert report.safety_holds
+        assert not all(report.liveness_holds)
+
+    def test_sender_crash_bounded_loss_recovers(self):
+        program = build_standard_protocol(
+            PARAMS, bounded_loss(1), crash=CrashSpec(processes=("Sender",), budget=1)
+        )
+        report = check_spec(program, PARAMS)
+        assert report.safety_holds and all(report.liveness_holds)
+
+    def test_crashed_receiver_loses_knowledge(self):
+        # Eqs. (23)/(24): knowledge is invariant, so with a crash statement
+        # in the program K_R(x_0 = α) cannot hold at any state a crash can
+        # still erase — the freshly-crashed receiver knows nothing about x.
+        program = build_standard_protocol(
+            PARAMS, RELIABLE, crash=CrashSpec(processes=("Receiver",), budget=1)
+        )
+        si = strongest_invariant(program)
+        operator = KnowledgeOperator.of_program(program, si)
+        space = program.space
+        from repro.predicates import Predicate
+
+        for alpha in PARAMS.alphabet:
+            fact = Predicate.from_callable(space, lambda s, a=alpha: s["x"][0] == a)
+            knows_fact = operator.knows("Receiver", fact)
+            crashed = Predicate.from_callable(
+                space,
+                lambda s: s["w"] == () and s["j"] == 0 and s["zp"] is BOT,
+            )
+            # No crashed-receiver state in SI satisfies K_R(x_0 = α)
+            # unless the evidence sits in the persistent channel slot.
+            stale = (si & crashed & knows_fact) & Predicate.from_callable(
+                space, lambda s: s["cs"] is BOT
+            )
+            assert stale.is_false()
+
+    def test_kbp_protocol_accepts_crash(self):
+        program = build_kbp_protocol(
+            PARAMS, RELIABLE, crash=CrashSpec(processes=("Receiver",), budget=1)
+        )
+        assert "crash_receiver" in [s.name for s in program.statements]
+        assert "cb" in [v.name for v in program.space.variables]
+        assert program.name.endswith("crash-receiver]")

@@ -118,6 +118,13 @@ class TestReplayableResults:
             second.start_index,
         ) or first.rng_state != second.rng_state
 
+    def test_replay_rejects_mismatched_goal(self, program):
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        other = Predicate.from_callable(program.space, lambda s: s["n"] == 2)
+        result = Executor(program, seed=3).run(goal, max_steps=5000)
+        with pytest.raises(ValueError, match="goal mismatch"):
+            replay_run(program, result, other)
+
     def test_replay_rejects_mismatched_program(self, program):
         from dataclasses import replace
 
@@ -149,3 +156,30 @@ class TestAverageMessages:
         goal = Predicate.false(program.space)
         stats = average_messages(program, goal, ["tick"], runs=3, seed=0, max_steps=20)
         assert stats["completed"] == 0.0
+
+    def test_no_completed_runs_yield_nan_means(self, program):
+        import math
+
+        # A mean of 0 messages over 0 completed runs would dress total
+        # failure up as a perfect protocol; NaN is unmistakable.
+        goal = Predicate.false(program.space)
+        stats = average_messages(program, goal, ["tick"], runs=3, seed=0, max_steps=20)
+        assert math.isnan(stats["messages"])
+        assert math.isnan(stats["steps"])
+
+
+class TestInitialStateCache:
+    def test_init_indices_materialized_once(self, program):
+        executor = Executor(program, seed=0)
+        assert executor._init_indices is None
+        executor.initial_state()
+        cached = executor._init_indices
+        assert cached is not None
+        executor.initial_state()
+        assert executor._init_indices is cached
+
+    def test_cached_draws_match_init(self, program):
+        executor = Executor(program, seed=0)
+        for _ in range(10):
+            state = executor.initial_state()
+            assert program.init.holds_at(state.index)

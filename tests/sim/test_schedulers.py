@@ -1,0 +1,174 @@
+"""Scheduler strategies, spec round-trips, and fairness certification."""
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.seqtrans import (
+    LOSSY,
+    SeqTransParams,
+    bounded_loss,
+    build_standard_protocol,
+    delivered_all,
+)
+from repro.sim import (
+    Executor,
+    FairnessMonitor,
+    GreedyHostileScheduler,
+    RoundRobinScheduler,
+    StarvationScheduler,
+    WeightedRandomScheduler,
+    replay_run,
+    scheduler_from_spec,
+)
+
+from ..conftest import make_counter_program
+
+PARAMS = SeqTransParams(length=1, alphabet=("a", "b"))
+
+
+def counter_goal(program):
+    return Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "weighted-random",
+            "round-robin",
+            "demonic-starve:tick:window=8",
+            "greedy-loss",
+            "greedy-loss:prefixes=lose_,drop_",
+        ],
+    )
+    def test_round_trip(self, spec):
+        assert scheduler_from_spec(spec).spec == spec
+
+    def test_default_starve_window(self):
+        sched = scheduler_from_spec("demonic-starve:tick")
+        assert isinstance(sched, StarvationScheduler)
+        assert sched.window == 64
+
+    def test_bad_specs(self):
+        for bad in ("demonic-starve", "greedy-loss:budget=3", "chaotic", ""):
+            with pytest.raises(ValueError):
+                scheduler_from_spec(bad)
+
+    def test_unknown_starvation_target_rejected_at_bind(self):
+        program = make_counter_program()
+        with pytest.raises(ValueError, match="starvation target"):
+            Executor(program, scheduler=StarvationScheduler("nope"))
+
+
+class TestStrategies:
+    def test_weighted_random_is_default_and_stream_compatible(self):
+        program = make_counter_program()
+        default = Executor(program, seed=7).run(counter_goal(program))
+        explicit = Executor(
+            program, seed=7, scheduler=WeightedRandomScheduler()
+        ).run(counter_goal(program))
+        assert default.steps == explicit.steps
+        assert default.scheduler == "weighted-random"
+
+    def test_round_robin_is_deterministic(self):
+        program = make_counter_program()
+        runs = [
+            Executor(program, seed=s, scheduler=RoundRobinScheduler()).run(
+                counter_goal(program)
+            )
+            for s in (0, 1)
+        ]
+        # Seed-independent: the schedule never consults the RNG.
+        assert runs[0].steps == runs[1].steps
+        assert runs[0].fired == runs[1].fired
+
+    def test_starvation_delays_target(self):
+        program = make_counter_program()
+        sched = StarvationScheduler("tick", window=16)
+        result = Executor(program, scheduler=sched).run(
+            counter_goal(program), max_steps=500
+        )
+        assert result.reached
+        # tick is attempted only once per window.
+        assert result.attempted["tick"] * 8 <= result.attempted["start"]
+
+    def test_greedy_loss_refutes_lossy_liveness(self):
+        # E13 with the adversary made executable: on the unrestricted LOSSY
+        # channel the greedy scheduler loses every message and the protocol
+        # never delivers, despite the schedule being fair.
+        program = build_standard_protocol(PARAMS, LOSSY)
+        goal = delivered_all(program.space, PARAMS)
+        result = Executor(program, scheduler=GreedyHostileScheduler()).run(
+            goal, max_steps=4000
+        )
+        assert not result.reached
+        assert result.fired["lose_data"] > 0
+
+    def test_greedy_loss_cannot_beat_bounded_loss(self):
+        # Same adversary, bounded-loss channel: the budget dries up between
+        # successful receives and delivery goes through.
+        program = build_standard_protocol(PARAMS, bounded_loss(1))
+        goal = delivered_all(program.space, PARAMS)
+        result = Executor(program, scheduler=GreedyHostileScheduler()).run(
+            goal, max_steps=20000
+        )
+        assert result.reached
+
+
+class TestReplayWithSchedulers:
+    @pytest.mark.parametrize(
+        "scheduler",
+        ["round-robin", "demonic-starve:tick:window=8", "greedy-loss"],
+    )
+    def test_replay_reproduces_run(self, scheduler):
+        program = make_counter_program()
+        goal = counter_goal(program)
+        executor = Executor(program, scheduler=scheduler)
+        result = executor.run(goal, max_steps=200)
+        again = replay_run(program, result, goal)
+        assert again.steps == result.steps
+        assert again.fired == result.fired
+        assert again.scheduler == scheduler
+
+
+class TestFairnessMonitor:
+    def test_certifies_uniform_schedule(self):
+        monitor = FairnessMonitor(window=4)
+        monitor.begin(["a", "b"])
+        for step in range(20):
+            monitor.note(step, step % 2)
+        report = monitor.report()
+        assert report.certified
+        assert report.max_gaps == {"a": 1, "b": 1}
+
+    def test_flags_starved_statement(self):
+        monitor = FairnessMonitor(window=4)
+        monitor.begin(["a", "b"])
+        for step in range(20):
+            monitor.note(step, 0)  # never attempts b
+        report = monitor.report()
+        assert not report.certified
+        assert report.violations == ("b",)
+        assert report.max_gaps["b"] == 20
+
+    def test_counts_trailing_gap(self):
+        monitor = FairnessMonitor(window=2)
+        monitor.begin(["a", "b"])
+        monitor.note(0, 1)
+        for step in range(1, 8):
+            monitor.note(step, 0)
+        assert not monitor.report().certified
+
+    def test_executor_runs_carry_certificates(self):
+        # Every non-demonic scheduler's run certifies as fair.
+        program = make_counter_program()
+        goal = Predicate.false(program.space)
+        for spec in ("weighted-random", "round-robin"):
+            from repro.sim import Watchdog
+
+            wd = Watchdog()
+            Executor(program, seed=3, scheduler=spec).run(
+                goal, max_steps=500, watchdog=wd
+            )
+            report = wd.monitor.report()
+            assert report.certified, (spec, report)

@@ -1,0 +1,200 @@
+"""The seeded soak harness: determinism, resume, and cross-checked verdicts."""
+
+import pytest
+
+from repro.robustness import FaultPlan, JournalError, SimulatedKill
+from repro.sim import (
+    DELIVERED,
+    UNSAFE,
+    SoakCellRecord,
+    SoakConfig,
+    enumerate_cells,
+    quick_config,
+    run_soak,
+)
+from repro.sim.soak import LIVELOCK_VERDICT
+
+#: The E13 pair plus a benign baseline — the smallest matrix with a story.
+E13_CONFIG = SoakConfig(
+    channels=("bounded_loss:1", "lossy"),
+    schedulers=("weighted-random", "greedy-loss"),
+    budgets=(2_000,),
+)
+
+CRASH_CONFIG = SoakConfig(
+    channels=("reliable",),
+    schedulers=("weighted-random",),
+    crashes=("none", "receiver"),
+    budgets=(2_000,),
+)
+
+
+class TestMatrix:
+    def test_enumeration_is_protocol_major_and_indexed(self):
+        cells = enumerate_cells(E13_CONFIG)
+        assert [c.index for c in cells] == list(range(len(cells)))
+        assert len(cells) == 4
+        # Cell keys are unique, human-readable coordinates.
+        keys = {c.key for c in cells}
+        assert len(keys) == 4
+        assert "standard|lossy|greedy-loss|none|b2000|s0" in keys
+
+    def test_quick_config_covers_the_e13_pair(self):
+        cfg = quick_config()
+        assert "lossy" in cfg.channels and "bounded_loss:1" in cfg.channels
+        assert "greedy-loss" in cfg.schedulers
+        assert "receiver" in cfg.crashes
+
+    def test_digest_pins_every_axis(self):
+        base = E13_CONFIG.digest()
+        assert E13_CONFIG.digest() == base
+        assert SoakConfig(channels=("lossy",)).digest() != base
+        assert (
+            SoakConfig(
+                channels=E13_CONFIG.channels,
+                schedulers=E13_CONFIG.schedulers,
+                budgets=(3_000,),
+            ).digest()
+            != base
+        )
+
+
+class TestDeterminism:
+    def test_same_config_yields_byte_identical_journals(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_soak(E13_CONFIG, a)
+        run_soak(E13_CONFIG, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_journal_for_a_different_matrix_is_refused(self, tmp_path):
+        path = tmp_path / "soak.jsonl"
+        run_soak(E13_CONFIG, path)
+        with pytest.raises(JournalError, match="different solve"):
+            run_soak(CRASH_CONFIG, path)
+
+
+class TestResume:
+    def test_killed_soak_resumes_without_rerunning(self, tmp_path):
+        reference = tmp_path / "ref.jsonl"
+        interrupted = tmp_path / "int.jsonl"
+        run_soak(E13_CONFIG, reference)
+
+        plan = FaultPlan.parse("kill@2", scratch=str(tmp_path / "faults"))
+        with pytest.raises(SimulatedKill):
+            run_soak(E13_CONFIG, interrupted, fault_plan=plan)
+
+        report = run_soak(E13_CONFIG, interrupted)
+        # The two journaled cells were loaded, not re-executed.
+        assert report.resumed == 2
+        assert len(report.executed) == 2
+        # ... and the resumed journal is byte-identical to an uninterrupted
+        # run: resume costs nothing in reproducibility.
+        assert interrupted.read_bytes() == reference.read_bytes()
+
+    def test_completed_soak_reruns_nothing(self, tmp_path):
+        path = tmp_path / "soak.jsonl"
+        first = run_soak(E13_CONFIG, path)
+        again = run_soak(E13_CONFIG, path)
+        assert again.executed == ()
+        assert again.resumed == first.total
+        assert again.verdicts == first.verdicts
+
+
+class TestVerdicts:
+    @pytest.fixture(scope="class")
+    def e13_report(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("soak") / "e13.jsonl"
+        return run_soak(E13_CONFIG, path)
+
+    def test_demonic_scheduler_refutes_lossy_liveness(self, e13_report):
+        record = next(
+            r
+            for r in e13_report.records.values()
+            if "lossy" in r.key and "greedy-loss" in r.key
+        )
+        # Not a timeout: the watchdog *proved* the livelock, and the model
+        # checker agrees liveness is refutable on the unrestricted channel.
+        assert record.verdict == LIVELOCK_VERDICT
+        assert not all(record.expected_liveness)
+        assert record.consistent
+
+    def test_bounded_loss_survives_the_same_adversary(self, e13_report):
+        record = next(
+            r
+            for r in e13_report.records.values()
+            if "bounded_loss:1" in r.key and "greedy-loss" in r.key
+        )
+        assert record.verdict == DELIVERED
+        assert all(record.expected_liveness)
+        assert record.consistent
+
+    def test_benign_scheduler_delivers_everywhere(self, e13_report):
+        for record in e13_report.records.values():
+            if "weighted-random" in record.key:
+                assert record.verdict == DELIVERED
+                assert record.fairness_certified
+
+    def test_report_is_inconsistency_free(self, e13_report):
+        assert e13_report.consistent
+        assert e13_report.inconsistencies == ()
+
+    def test_crash_cells_reestablish_knowledge(self, tmp_path):
+        report = run_soak(CRASH_CONFIG, tmp_path / "crash.jsonl")
+        crash = next(
+            r for r in report.records.values() if "|receiver|" in r.key
+        )
+        nocrash = next(r for r in report.records.values() if "|none|" in r.key)
+        # Eqs. (23)/(24): a crash erases the receiver's knowledge of x_0,
+        # yet at every reachable delivered post-crash state it holds again.
+        assert crash.verdict == DELIVERED
+        assert crash.knowledge_reestablished is True
+        assert nocrash.knowledge_reestablished is None
+        assert report.consistent
+
+    def test_unsafe_verdict_requires_model_checked_refutation(self, tmp_path):
+        # The corrupting channel breaks eq. (34); the soak must observe it
+        # AND find the model checker agreeing — a consistent "unsafe" cell.
+        config = SoakConfig(
+            channels=("corrupting:1",),
+            schedulers=("greedy-loss", "weighted-random"),
+            budgets=(4_000,),
+        )
+        report = run_soak(config, tmp_path / "corrupt.jsonl")
+        greedy = next(
+            r for r in report.records.values() if "greedy-loss" in r.key
+        )
+        assert not greedy.expected_safety
+        assert greedy.verdict == UNSAFE
+        assert greedy.consistent
+
+    def test_records_round_trip_through_bodies(self):
+        record = SoakCellRecord(
+            index=3,
+            key="standard|lossy|greedy-loss|none|b2000|s0",
+            verdict=LIVELOCK_VERDICT,
+            steps=412,
+            expected_safety=True,
+            expected_liveness=(True, False),
+            consistent=True,
+            fairness_certified=True,
+            detail="deterministic-cycle",
+        )
+        assert SoakCellRecord.from_body(record.body()) == record
+
+    def test_truncated_body_is_rejected(self):
+        with pytest.raises(JournalError, match="verdict"):
+            SoakCellRecord.from_body({"index": 0, "key": "x"})
+
+
+class TestKbpCells:
+    def test_solved_kbp_protocol_delivers(self, tmp_path):
+        config = SoakConfig(
+            protocols=("kbp",),
+            channels=("reliable",),
+            schedulers=("round-robin",),
+            budgets=(2_000,),
+        )
+        report = run_soak(config, tmp_path / "kbp.jsonl")
+        (record,) = report.records.values()
+        assert record.verdict == DELIVERED
+        assert report.consistent

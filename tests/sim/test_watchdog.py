@@ -1,0 +1,156 @@
+"""Livelock vs. slow progress: the watchdog's evidence-based verdicts."""
+
+import pytest
+
+from repro.predicates import Predicate
+from repro.sim import (
+    FIXED_POINT,
+    LIVELOCK,
+    REACHED,
+    SLOW_PROGRESS,
+    Executor,
+    StarvationScheduler,
+    Watchdog,
+    supervise_run,
+)
+from repro.statespace import IntRangeDomain, space_of
+from repro.unity import Program, Statement, const, var
+
+from ..conftest import make_counter_program
+
+
+def make_livelock_program() -> Program:
+    """Injected livelock: once started, ``phase`` cycles 1 → 2 → 0 → 1 forever.
+
+    Every reachable state is part of (or leads into) a goal-free cycle that
+    is closed under *all* statements — the canonical livelock, detectable
+    by certificate rather than by timeout.
+    """
+    space = space_of(phase=IntRangeDomain(0, 2))
+    statements = [
+        Statement(
+            name="spin",
+            targets=("phase",),
+            exprs=((var("phase") + const(1)) % const(3),),
+        ),
+    ]
+    init = Predicate.from_callable(space, lambda s: s["phase"] == 0)
+    return Program(
+        space=space,
+        init=init,
+        statements=statements,
+        processes={"P": ("phase",)},
+        name="livelock-fixture",
+    )
+
+
+def never(program):
+    return Predicate.false(program.space)
+
+
+class TestVerdicts:
+    def test_reached(self):
+        program = make_counter_program()
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        wd = Watchdog()
+        result = Executor(program, seed=1).run(goal, max_steps=5000, watchdog=wd)
+        assert result.reached
+        assert result.diagnosis.verdict == REACHED
+        assert not result.diagnosis.provably_stuck
+
+    def test_slow_progress_is_not_livelock(self):
+        # The counter genuinely progresses toward n == 3; a tiny budget is
+        # just a tiny budget, and the watchdog must say so.
+        program = make_counter_program()
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        wd = Watchdog()
+        result = Executor(program, seed=1).run(goal, max_steps=2, watchdog=wd)
+        assert not result.reached
+        assert result.diagnosis.verdict == SLOW_PROGRESS
+        assert not result.diagnosis.provably_stuck
+
+    def test_deterministic_lasso_certifies_livelock(self):
+        program = make_livelock_program()
+        wd = Watchdog()
+        result = Executor(program, scheduler="round-robin").run(
+            never(program), max_steps=10_000, watchdog=wd
+        )
+        assert result.diagnosis.verdict == LIVELOCK
+        assert result.diagnosis.lasso_kind == "deterministic-cycle"
+        assert result.diagnosis.provably_stuck
+        # Caught at the first revisit, orders of magnitude before the budget.
+        assert result.steps < 20
+        assert len(result.diagnosis.lasso) == 3
+
+    def test_closed_trap_certifies_livelock_under_random_scheduler(self):
+        # The weighted-random scheduler exposes no state, so the lasso
+        # argument is unavailable — the scheduler-independent closed-trap
+        # certificate catches the livelock instead.
+        program = make_livelock_program()
+        wd = Watchdog(novelty_window=16, trap_check_interval=8)
+        result = Executor(program, seed=5).run(
+            never(program), max_steps=10_000, watchdog=wd
+        )
+        assert result.diagnosis.verdict == LIVELOCK
+        assert result.diagnosis.lasso_kind == "closed-trap"
+        assert result.steps < 10_000
+
+    def test_fixed_point(self):
+        # Once the counter saturates (go, n=3), every statement maps the
+        # state to itself: a one-state closed trap.
+        program = make_counter_program()
+        # Window of 1: only the saturated state itself can certify.
+        wd = Watchdog(novelty_window=1, trap_check_interval=4)
+        result = Executor(program, seed=1).run(
+            never(program), max_steps=10_000, watchdog=wd
+        )
+        assert result.diagnosis.verdict == FIXED_POINT
+        assert len(result.diagnosis.lasso) == 1
+        assert result.diagnosis.provably_stuck
+
+    def test_starvation_detection(self):
+        program = make_counter_program()
+        wd = Watchdog(starvation_window=50, novelty_window=4, trap_check_interval=1000)
+        sched = StarvationScheduler("tick", window=300)
+        result = Executor(program, scheduler=sched).run(
+            never(program), max_steps=250, watchdog=wd
+        )
+        assert "tick" in result.diagnosis.starved
+
+
+class TestSupervision:
+    def test_escalates_until_reached(self):
+        program = make_counter_program()
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        result = supervise_run(
+            Executor(program, seed=1), goal, budgets=(2, 2, 5000)
+        )
+        assert result.reached
+        assert result.diagnosis.verdict == REACHED
+        assert result.diagnosis.budget_escalations == (2, 2, 5000)
+        assert result.steps > 4
+
+    def test_livelock_stops_escalation_early(self):
+        program = make_livelock_program()
+        result = supervise_run(
+            Executor(program, scheduler="round-robin"),
+            never(program),
+            budgets=(100, 1_000_000),
+        )
+        assert result.diagnosis.verdict == LIVELOCK
+        # The second (huge) budget was never spent: the verdict is final.
+        assert result.diagnosis.budget_escalations == (100,)
+        assert result.steps < 100
+
+    def test_exhausted_budgets_report_slow_progress(self):
+        program = make_counter_program()
+        goal = Predicate.from_callable(program.space, lambda s: s["n"] == 3)
+        result = supervise_run(Executor(program, seed=1), goal, budgets=(1, 1))
+        assert not result.reached
+        assert result.diagnosis.verdict == SLOW_PROGRESS
+        assert result.diagnosis.budget_escalations == (1, 1)
+
+    def test_needs_a_budget(self):
+        program = make_counter_program()
+        with pytest.raises(ValueError):
+            supervise_run(Executor(program), never(program), budgets=())
