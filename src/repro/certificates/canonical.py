@@ -19,7 +19,7 @@ import hashlib
 import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..predicates import Predicate
+from ..predicates import Predicate, limits
 from ..statespace import StateSpace
 from ..unity import Program
 
@@ -50,17 +50,50 @@ def payload_digest(payload: Any) -> str:
 
 
 def encode_predicate(p: Predicate) -> Dict[str, Any]:
-    """A predicate as ``{"size", "bits"}`` — bits is the fingerprint hex."""
-    return {"size": p.space.size, "bits": p.fingerprint().hex()}
+    """A predicate as ``{"size", "bits"}`` — bits is the fingerprint hex.
+
+    Past the explicit-state limit a bitmask is unrepresentable; the
+    predicate is encoded structurally instead as ``{"size", "robdd"}`` —
+    the canonical reduced-node list of its ROBDD (dense postorder
+    renumbering, so equal predicates encode identically).  Below the limit
+    the encoding is byte-identical to what explicit backends always
+    produced.
+    """
+    size = p.space.size
+    if size > limits.get_limit("explicit"):
+        from ..predicates.backends import get_backend
+
+        bk = get_backend("robdd")
+        return {"size": size, "robdd": bk.serialize(p.handle(bk))}
+    return {"size": size, "bits": p.fingerprint().hex()}
 
 
 def decode_predicate(obj: Any, space: StateSpace) -> Predicate:
     """Rebuild a predicate, rejecting any mismatch with ``space``."""
-    if not isinstance(obj, dict) or "size" not in obj or "bits" not in obj:
+    if not isinstance(obj, dict) or "size" not in obj:
         raise CertificateError(f"malformed predicate encoding: {obj!r}")
     if obj["size"] != space.size:
         raise CertificateError(
             f"predicate encoded over {obj['size']} states; expected {space.size}"
+        )
+    if "robdd" in obj:
+        from ..predicates.backends import get_backend
+
+        bk = get_backend("robdd")
+        try:
+            handle = bk.deserialize(space, obj["robdd"])
+        except ValueError as exc:
+            raise CertificateError(
+                f"malformed robdd predicate encoding: {exc}"
+            ) from None
+        return bk.wrap(space, handle)
+    if "bits" not in obj:
+        raise CertificateError(f"malformed predicate encoding: {obj!r}")
+    if space.size > limits.get_limit("explicit"):
+        raise CertificateError(
+            f"predicate over {space.size} states encoded as an explicit "
+            "bitmask; symbolic-scale certificates must use the 'robdd' "
+            "encoding"
         )
     try:
         raw = bytes.fromhex(obj["bits"])

@@ -19,6 +19,9 @@ evidence in an artifact envelope:
 * :func:`certify_kbp_spec` — E8: the solved KBP meets its specification;
 * :func:`certify_fixpoint_invariant` — a bare SI chain + invariant
   inclusion for the reliable-channel protocol;
+* :func:`certify_symbolic_fixpoint` — the factored 2^40-state model's SI
+  chain and slot-safety invariant, solved and replayed entirely on ROBDD
+  handles (DESIGN.md §12);
 * :func:`certify_proof_leaves` — the model-checked leads-to leaves
   consumed by the §6.2 proof scripts.
 
@@ -309,6 +312,40 @@ def certify_fixpoint_invariant() -> Emitted:
     ]
 
 
+def certify_symbolic_fixpoint() -> Emitted:
+    """The 2^40-state factored model's SI chain + slot-safety invariant.
+
+    Runs under the ``"auto"`` policy regardless of the ambient backend:
+    past the explicit-state limit only the ROBDD backend can represent
+    the predicates at all, so forcing ``int``/``numpy`` here could only
+    ever fail with the size guard — the artifact is what demonstrates
+    the symbolic escape hatch.
+    """
+    key = "seqtrans-symbolic-L10-reliable"
+    with using_backend("auto"):
+        model = build_model(key)
+        program = model.program
+        result = sst(program, program.init)
+        fixpoint = FixpointCertificate(
+            claim="si",
+            program=program_digest(program),
+            seed=program.init,
+            chain=result.chain,
+        )
+        label, safety = model.safety_obligations[0]
+        if not result.predicate.entails(safety):  # pragma: no cover
+            raise CertificateError(
+                "slot safety fails on the factored model's fixpoint"
+            )
+        invariant = InvariantCertificate(
+            si=fixpoint, predicate=safety, label=label
+        )
+        return [
+            (f"{key}-si", wrap(fixpoint, key)),
+            (f"{key}-safety-invariant", wrap(invariant, key)),
+        ]
+
+
 def certify_proof_leaves() -> Emitted:
     """The model-checked leads-to leaves of the §6.2 liveness derivation."""
     key = "seqtrans-standard-L1-bounded1"
@@ -334,6 +371,7 @@ EMITTERS: Dict[str, Callable[[], Emitted]] = {
     "seqtrans-lossy": lambda: certify_seqtrans_standard("lossy"),
     "kbp-spec": certify_kbp_spec,
     "fixpoint-invariant": certify_fixpoint_invariant,
+    "symbolic-fixpoint": certify_symbolic_fixpoint,
     "proof-leaves": certify_proof_leaves,
 }
 
@@ -367,7 +405,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("artifacts", help="output directory for *.cert.json files")
     parser.add_argument(
         "--backend",
-        choices=["int", "numpy", "auto"],
+        choices=["int", "numpy", "robdd", "auto"],
         default=None,
         help="predicate backend the solvers run under (artifacts are "
         "backend-independent: predicates serialize by fingerprint)",

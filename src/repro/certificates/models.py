@@ -127,6 +127,26 @@ def _seqtrans_kbp() -> Model:
     )
 
 
+def _seqtrans_symbolic(length: int) -> Callable[[], Model]:
+    def build() -> Model:
+        from ..seqtrans.symbolic import (
+            build_symbolic_protocol,
+            symbolic_safety_predicate,
+        )
+
+        params = SeqTransParams(length=length)
+        program = build_symbolic_protocol(params)
+        return Model(
+            key=f"seqtrans-symbolic-L{length}-reliable",
+            program=program,
+            safety_obligations=(
+                (SAFETY_LABEL, symbolic_safety_predicate(program, params)),
+            ),
+        )
+
+    return build
+
+
 MODEL_BUILDERS: Dict[str, Callable[[], Model]] = {
     "fig1": _fig1,
     "fig2": _fig2,
@@ -135,6 +155,11 @@ MODEL_BUILDERS: Dict[str, Callable[[], Model]] = {
     "seqtrans-standard-L1-bounded1": _seqtrans_standard("bounded1"),
     "seqtrans-standard-L1-lossy": _seqtrans_standard("lossy"),
     "seqtrans-kbp-L1-bounded1": _seqtrans_kbp,
+    # Factored reliable-channel models (repro.seqtrans.symbolic): L=2 is
+    # explicit-comparable, L=10 lives past 2^40 states and replays on the
+    # pinned ROBDD backend.
+    "seqtrans-symbolic-L2-reliable": _seqtrans_symbolic(2),
+    "seqtrans-symbolic-L10-reliable": _seqtrans_symbolic(10),
 }
 
 

@@ -6,7 +6,8 @@ trusted base is
 
 * primitive :class:`Predicate` operations (``&``, ``|``, ``~``, ``entails``,
   ``holds_at``) and the ``wcyl`` cylinder — pinned to the exact ``int``
-  backend for the duration of every replay;
+  backend for the duration of every replay (models past the explicit-state
+  limit pin the ROBDD backend instead — see :func:`replay_artifact`);
 * one-step successor lookup (``Program.successor_array``) — the program
   *text*, not a transformer;
 * the model registry, which rebuilds the named program from source and
@@ -61,7 +62,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..predicates import Predicate, using_backend, wcyl
+from ..predicates import Predicate, limits, using_backend, wcyl
 from ..unity import Program
 from .canonical import (
     CertificateError,
@@ -125,7 +126,25 @@ def _arrays(program: Program) -> List[Tuple[str, List[int]]]:
 
 
 def _image(program: Program, p: Predicate) -> Predicate:
-    """One-step strongest postcondition from successor lookups only."""
+    """One-step strongest postcondition from successor lookups only.
+
+    Past the explicit-state limit the per-state loop is unrepresentable;
+    the image is taken through the ROBDD backend's statement relations
+    instead (relational product + quantify).  This grows the symbolic
+    replay's trusted base to the BDD kernels — unavoidable, since explicit
+    arithmetic cannot even hold one predicate of such a space.
+    """
+    space = program.space
+    if space.size > limits.get_limit("explicit"):
+        from ..predicates.backends import get_backend
+
+        bk = get_backend("robdd")
+        handle = p.handle(bk)
+        acc = bk.constant(space, False)
+        for stmt in program.statements:
+            table = program.kernel_table(bk, stmt)
+            acc = bk.or_(acc, bk.image(handle, table, space.size), space.size)
+        return bk.wrap(space, acc)
     out = 0
     pm = p.mask
     for _, array in _arrays(program):
@@ -142,20 +161,39 @@ def _check_chain(
     The endpoint is then *provably* ``sst.seed``: the chain is the exact
     orbit of ``f`` from false, and an orbit that reaches a fixed point
     reaches the least one.
+
+    Links are verified *incrementally*: since ``SP`` distributes over
+    ``∨``, ``SP.xₖ = SP.xₖ₋₁ ∨ SP.(xₖ ∖ xₖ₋₁)`` — each step images only
+    the frontier.  That is sound only for ascending chains, so ascension
+    is checked first; every genuine orbit of ``f.x = SP.x ∨ seed``
+    ascends (by induction from ``false``), so nothing valid is rejected.
     """
     if not chain:
         raise CertificateError(f"{what}: empty chain")
     if not chain[0].is_false():
         raise CertificateError(f"{what}: chain must start at false")
     for k in range(len(chain) - 1):
-        expected = _image(program, chain[k]) | seed
+        if not chain[k].entails(chain[k + 1]):
+            raise CertificateError(
+                f"{what}: link {k + 1} is not a superset of link {k} — "
+                "a genuine Kleene orbit ascends"
+            )
+    prev = chain[0]
+    prev_sp = _image(program, prev)
+    for k in range(len(chain) - 1):
+        if k > 0:
+            prev_sp = prev_sp | _image(program, chain[k] - prev)
+            prev = chain[k]
+        expected = prev_sp | seed
         if not expected == chain[k + 1]:
             raise CertificateError(
                 f"{what}: link {k + 1} is not SP∨seed of link {k} — "
                 "chain step dropped or edited"
             )
     last = chain[-1]
-    if not (_image(program, last) | seed) == last:
+    if len(chain) > 1:
+        prev_sp = prev_sp | _image(program, last - prev)
+    if not (prev_sp | seed) == last:
         raise CertificateError(f"{what}: chain endpoint is not a fixed point")
     return last
 
@@ -401,6 +439,14 @@ def _replay_solve(
     if not program.is_knowledge_based():
         raise CertificateError("kbp-solve certificate for a standard program")
     space = program.space
+    free_states = space.size - program.init.count()
+    if free_states > MAX_CANDIDATE_BITS:
+        # Checked before any mask arithmetic: past the explicit limit even
+        # one full_mask would be a 2^size-bit constant.
+        raise CertificateError(
+            f"kbp-solve replay: {free_states} free states is too large for "
+            f"exhaustive replay (limit {MAX_CANDIDATE_BITS})"
+        )
     seen: Dict[int, str] = {}
     solutions: List[Tuple[Predicate, Program]] = []
     for entry in cert.solutions:
@@ -942,10 +988,17 @@ def replay_artifact(artifact: Artifact) -> ReplayOutcome:
 
     All predicate arithmetic runs on the exact ``int`` backend regardless
     of the ambient selection — the replayer's trusted base stays minimal.
+    Models past the explicit-state limit pin the ROBDD backend instead
+    (int arithmetic cannot represent even one of their predicates); the
+    trusted base then includes the hash-consed BDD kernels.
     """
-    with using_backend("int"):
+    with using_backend("auto"):
+        # Model construction must see the size-aware policy: symbolic-scale
+        # models compile their init expressions to handles during build.
         model = build_model(artifact.model)
-        space = model.program.space
+    space = model.program.space
+    pinned = "robdd" if space.size > limits.get_limit("explicit") else "int"
+    with using_backend(pinned):
         cert = decode_certificate(artifact.kind, artifact.payload, space)
         handler = _HANDLERS.get(artifact.kind)
         if handler is None:
@@ -977,7 +1030,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=["int", "numpy", "auto"],
+        choices=["int", "numpy", "robdd", "auto"],
         default=None,
         help="ambient predicate backend while loading and replaying",
     )

@@ -22,9 +22,12 @@ A candidate ``x`` is a **solution** when the standard program ``P_x``
     Φ(x) = sst_{P_x}(init)      —  x solves (25)  iff  Φ(x) = x.
 
 Solvers: :func:`solve_si` enumerates all candidates ``⊇ init`` exhaustively
-(complete on small spaces), and :func:`solve_si_iterative` runs the Kleene
-chain ``init, Φ(init), Φ²(init), …``, which may converge, cycle, or reach a
-non-solution — all three outcomes are reported.
+(complete on small spaces), :func:`solve_si_cubes` prunes whole sub-cubes
+of the candidate lattice at once (complete for non-nested knowledge, and
+the only complete route on symbolic-scale spaces), and
+:func:`solve_si_iterative` runs the Kleene chain ``init, Φ(init), Φ²(init),
+…``, which may converge, cycle, or reach a non-solution — all three
+outcomes are reported.
 """
 
 from __future__ import annotations
@@ -33,16 +36,16 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from ..predicates import Predicate, iterate_to_fixpoint
+from ..predicates import Predicate, iterate_to_fixpoint, limits
+from ..predicates.backends import backend_for_size
 from ..transformers import sp_program, sst
 from ..unity import Knowledge, Program
 from .knowledge import KnowledgeOperator
 
-#: Exhaustive SI search enumerates supersets of init; refuse huge spaces.
-#: The sharded/batched solver (repro.core.parallel) pushes the practical
-#: ceiling to ~28 states on 8 workers; beyond that, only the incomplete
-#: Kleene iteration remains.
-MAX_EXHAUSTIVE_STATES = 28
+#: Backward-compatible alias of the unified ``solver`` limit's *default*
+#: (``repro.predicates.limits``; override with ``REPRO_MAX_SOLVER_STATES``
+#: or ``set_limit('solver', ...)`` — the guards consult the live value).
+MAX_EXHAUSTIVE_STATES = limits.get_limit("solver")
 
 #: ``solve_si(parallel="auto")`` switches to the sharded solver when at
 #: least this many state-bits are free (2^12 candidates and up — below
@@ -262,14 +265,8 @@ def _supersets_of(base_mask: int, full_mask: int) -> Iterator[int]:
 
 
 def _check_exhaustive_size(space) -> None:
-    """Refuse exhaustive sweeps beyond :data:`MAX_EXHAUSTIVE_STATES`."""
-    if space.size > MAX_EXHAUSTIVE_STATES:
-        raise ValueError(
-            f"state space of {space.size} states is too large for exhaustive "
-            f"SI search (limit {MAX_EXHAUSTIVE_STATES}, even for the sharded "
-            "solver in repro.core.parallel); use solve_si_iterative for an "
-            "incomplete Kleene probe"
-        )
+    """Refuse exhaustive sweeps beyond the unified ``solver`` limit."""
+    limits.check_solver_size(space.size, symbolic_ok=True)
 
 
 def solve_si(
@@ -280,19 +277,33 @@ def solve_si(
     workers: Optional[int] = None,
     fault_policy: Optional[object] = None,
     checkpoint: Optional[object] = None,
+    method: str = "auto",
 ) -> SolveReport:
-    """Exhaustively solve eq. (25): every candidate ``x ⊇ init`` is tested.
+    """Completely solve eq. (25) over all candidates ``x ⊇ init``.
 
-    Complete (finds *all* solutions) but exponential in the number of
-    non-initial states; intended for the paper-scale counterexample models.
+    ``method`` selects the complete solver for knowledge-based programs:
+
+    * ``"exhaustive"`` — test every candidate individually.  Exponential in
+      the number of non-initial states and guarded by the unified
+      ``solver`` limit (:mod:`repro.predicates.limits`).
+    * ``"cubes"`` — :func:`solve_si_cubes`: evaluate Φ once per sub-cube of
+      the ``[init, true]`` lattice and split only undecided cubes.  Not
+      size-guarded (it never enumerates candidates one by one), complete
+      for programs whose knowledge terms are non-nested.
+    * ``"auto"`` — exhaustive within the ``solver`` limit, cubes beyond it.
+
+    Standard (knowledge-free) programs short-circuit to a single ``sst``
+    (eq. 25 degenerates to eq. 1) with **no** size guard — on symbolic
+    spaces the whole chain runs on ROBDD handles.
     Pass a :class:`CandidateResolver` to share knowledge-term bodies with
     related solves (the Figure-2 comparison does).
 
-    ``parallel`` routes big sweeps through the sharded, batched solver in
-    :mod:`repro.core.parallel` (bit-identical results): ``"auto"`` switches
-    over at :data:`PARALLEL_AUTO_FREE_BITS` free state-bits, ``"force"``
-    always uses it for knowledge-based programs, ``"never"`` keeps the
-    serial sweep.  ``workers`` is forwarded to the parallel solver.
+    ``parallel`` routes big exhaustive sweeps through the sharded, batched
+    solver in :mod:`repro.core.parallel` (bit-identical results): ``"auto"``
+    switches over at :data:`PARALLEL_AUTO_FREE_BITS` free state-bits,
+    ``"force"`` always uses it for knowledge-based programs, ``"never"``
+    keeps the serial sweep.  ``workers`` is forwarded to the parallel
+    solver.
 
     ``fault_policy`` (a :class:`repro.robustness.FaultPolicy`) and
     ``checkpoint`` (a journal path or :class:`~repro.robustness.ShardJournal`)
@@ -304,11 +315,16 @@ def solve_si(
     certificate: each candidate's resolution plus either the sst chain
     (solutions) or a concrete refutation — a labeled escape path when
     ``Φ(x) ⊄ x``, a closed-set witness when ``Φ(x) ⊊ x``.  Only meaningful
-    for knowledge-based programs.
+    for knowledge-based programs, and only on the exhaustive route (the
+    cube solver never visits refuted candidates individually).
     """
     if parallel not in ("auto", "never", "force"):
         raise ValueError(
             f"parallel={parallel!r} is not one of 'auto', 'never', 'force'"
+        )
+    if method not in ("auto", "exhaustive", "cubes"):
+        raise ValueError(
+            f"method={method!r} is not one of 'auto', 'exhaustive', 'cubes'"
         )
     wants_robustness = fault_policy is not None or checkpoint is not None
     if wants_robustness and parallel == "never":
@@ -317,9 +333,44 @@ def solve_si(
             'they cannot be combined with parallel="never"'
         )
     space = program.space
+    if not program.is_knowledge_based():
+        if emit_certificate:
+            raise ValueError(
+                "kbp-solve certificates are for knowledge-based programs; "
+                "certify a standard program's SI with a fixpoint certificate"
+            )
+        # Standard program: eq. (25) degenerates to eq. (1); unique solution.
+        solution = sst(program, program.init).predicate
+        return SolveReport(solutions=(solution,), candidates_checked=1)
+    if method == "auto":
+        # Cubes only help (and are only sound) for non-nested knowledge;
+        # otherwise stay exhaustive so the size guard can name the
+        # remaining escape hatches.
+        cubes_apply = not any(
+            t.formula.knowledge_terms() for t in program.knowledge_terms()
+        )
+        method = (
+            "cubes"
+            if cubes_apply and space.size > limits.get_limit("solver")
+            else "exhaustive"
+        )
+    if method == "cubes":
+        if emit_certificate:
+            raise ValueError(
+                "the cube-pruning solver prunes refuted candidates in bulk "
+                "and cannot emit per-candidate evidence; use "
+                "method='exhaustive' (within the solver limit) for a "
+                "certified sweep"
+            )
+        if wants_robustness:
+            raise ValueError(
+                "fault_policy/checkpoint are sharded exhaustive-solver "
+                "features; they cannot be combined with method='cubes'"
+            )
+        return solve_si_cubes(program, resolver=resolver)
     _check_exhaustive_size(space)
-    if program.is_knowledge_based() and parallel != "never":
-        free_bits = (space.full_mask & ~program.init.mask).bit_count()
+    if parallel != "never":
+        free_bits = space.size - program.init.count()
         if (
             parallel == "force"
             or wants_robustness
@@ -335,15 +386,6 @@ def solve_si(
                 fault_policy=fault_policy,
                 checkpoint=checkpoint,
             )
-    if not program.is_knowledge_based():
-        if emit_certificate:
-            raise ValueError(
-                "kbp-solve certificates are for knowledge-based programs; "
-                "certify a standard program's SI with a fixpoint certificate"
-            )
-        # Standard program: eq. (25) degenerates to eq. (1); unique solution.
-        solution = sst(program, program.init).predicate
-        return SolveReport(solutions=(solution,), candidates_checked=1)
     if resolver is None:
         resolver = CandidateResolver(program)
     if emit_certificate:
@@ -357,6 +399,103 @@ def solve_si(
             solutions.append(candidate)
     solutions.sort(key=lambda p: (p.count(), p.mask))
     return SolveReport(solutions=tuple(solutions), candidates_checked=checked)
+
+
+def _some_free_index(p: Predicate) -> Optional[int]:
+    """A satisfying state index of ``p``, or None — mask- and handle-safe."""
+    if p._mask is not None:
+        m = p._mask
+        return (m & -m).bit_length() - 1 if m else None
+    return p._backend.some_index(p._handle, p.space.size)
+
+
+def _single_state(space, index: int) -> Predicate:
+    """The singleton predicate ``{index}`` without a 2^index-bit mask."""
+    if space.size <= limits.get_limit("explicit"):
+        return Predicate(space, 1 << index)
+    backend = backend_for_size(space.size)
+    return backend.wrap(space, backend.single(space, index))
+
+
+def solve_si_cubes(
+    program: Program, resolver: Optional[CandidateResolver] = None
+) -> SolveReport:
+    """Solve eq. (25) by pruning sub-cubes of the ``[init, true]`` lattice.
+
+    A *cube* ``[L, U]`` is the set of candidates ``x`` with ``L ⊆ x ⊆ U``.
+    For non-nested knowledge terms, eq. (13)'s resolution is **antitone**
+    in the candidate SI (a larger ``x`` strengthens ``x ⇒ p`` under the
+    ``wcyl`` and shrinks ``¬x``), so if the resolutions at the endpoints
+    agree term-for-term they agree on the *whole* cube.  Then ``Φ`` is
+    constant ``= c`` on the cube, and the cube's solutions are exactly
+    ``{c}`` if ``L ⊆ c ⊆ U`` and ``∅`` otherwise — one ``Φ`` evaluation
+    decides ``2^|U∖L|`` candidates.  Undecided cubes split on a single
+    free state (preferring one where the endpoint resolutions differ).
+
+    Complete: every candidate lies in exactly one decided cube.  Nested
+    knowledge terms are refused — composing antitone resolutions is not
+    antitone, so endpoint agreement would not imply constancy.
+
+    Never size-guarded; on symbolic spaces every lattice operation stays
+    on ROBDD handles (singleton split predicates included).
+
+    The returned report's ``candidates_checked`` counts *decided cubes*
+    (equivalently Φ evaluations plus refuted-cube probes), not individual
+    candidates — the latter can exceed 2^(2^40).
+    """
+    if not program.is_knowledge_based():
+        solution = sst(program, program.init).predicate
+        return SolveReport(solutions=(solution,), candidates_checked=1)
+    nested = sorted(
+        (t for t in program.knowledge_terms() if t.formula.knowledge_terms()),
+        key=repr,
+    )
+    if nested:
+        raise ValueError(
+            f"cube-pruning SI solver requires non-nested knowledge terms "
+            f"(resolution is antitone in the candidate SI only then), but "
+            f"{nested[0]!r} nests knowledge; use method='exhaustive' within "
+            "the solver limit"
+        )
+    if resolver is None:
+        resolver = CandidateResolver(program)
+    space = program.space
+    terms = sorted(program.knowledge_terms(), key=repr)
+    solutions: List[Predicate] = []
+    probes = 0
+    stack: List[Tuple[Predicate, Predicate]] = [
+        (program.init, Predicate.true(space))
+    ]
+    while stack:
+        low, high = stack.pop()
+        probes += 1
+        res_low = resolver.resolution(low)
+        res_high = resolver.resolution(high)
+        if all(res_low[t] == res_high[t] for t in terms):
+            # Resolution (hence Φ) is constant on [low, high]; the single
+            # possible fixed point is its value c, provided c lies inside.
+            value = resolver.phi(low)
+            if low.entails(value) and value.entails(high):
+                solutions.append(value)
+            continue
+        # Split on a free state, preferring one where the endpoint
+        # resolutions disagree (deciding its membership tends to collapse
+        # the disagreement fastest).
+        free = high - low
+        disagree = None
+        for t in terms:
+            d = (res_low[t] ^ res_high[t]) & free
+            if not d.is_false():
+                disagree = d
+                break
+        pick = disagree if disagree is not None else free
+        index = _some_free_index(pick)
+        assert index is not None  # endpoints differ, so the cube is proper
+        single = _single_state(space, index)
+        stack.append((low, high - single))
+        stack.append((low | single, high))
+    solutions.sort(key=lambda p: (p.count(), p.fingerprint()))
+    return SolveReport(solutions=tuple(solutions), candidates_checked=probes)
 
 
 def _candidate_evidence(

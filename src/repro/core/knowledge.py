@@ -22,10 +22,35 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
-from ..predicates import Predicate, iterate_to_fixpoint, wcyl
+from ..predicates import Predicate, iterate_to_fixpoint, limits, wcyl
+from ..predicates.backends import backend_for_size
 from ..statespace import StateSpace
 from ..unity import Expr, Knowledge, Program
 from ..transformers import strongest_invariant
+
+
+def _expr_predicate(space: StateSpace, expr: Expr, resolution) -> Predicate:
+    """The predicate of a knowledge-free (or fully resolved) expression.
+
+    Small spaces evaluate per state; past the ``explicit`` limit the
+    expression is substituted (``Knowledge`` → ``ResolvedKnowledge``) and
+    compiled directly to a backend handle — no state sweep.
+    """
+    if space.size > limits.get_limit("explicit"):
+        backend = backend_for_size(space.size)
+        if getattr(backend, "symbolic", False):
+            from ..unity.statements import _resolve_expr
+
+            resolved = _resolve_expr(expr, resolution) if resolution else expr
+            return backend.wrap(space, backend.expr_handle(space, resolved))
+        limits.check_explicit_size(space.size, f"evaluating {expr!r} per state")
+    from ..statespace import State
+
+    mask = 0
+    for i in range(space.size):
+        if expr.eval(State(space, i), resolution):
+            mask |= 1 << i
+    return Predicate(space, mask)
 
 
 class KnowledgeOperator:
@@ -175,14 +200,7 @@ class KnowledgeOperator:
         pointwise.
         """
         resolution = self.resolve_terms(expr.knowledge_terms())
-        space = self.space
-        mask = 0
-        from ..statespace import State
-
-        for i in range(space.size):
-            if expr.eval(State(space, i), resolution):
-                mask |= 1 << i
-        return Predicate(space, mask)
+        return _expr_predicate(self.space, expr, resolution)
 
     def resolve_terms(
         self, terms: Iterable[Knowledge]
@@ -210,14 +228,7 @@ class KnowledgeOperator:
         key = (term, tuple(resolution[inner].fingerprint() for inner in inner_terms))
         body = self._term_cache.get(key)
         if body is None:
-            space = self.space
-            from ..statespace import State
-
-            mask = 0
-            for i in range(space.size):
-                if term.formula.eval(State(space, i), resolution):
-                    mask |= 1 << i
-            body = Predicate(space, mask)
+            body = _expr_predicate(self.space, term.formula, resolution)
             self._term_cache[key] = body
         resolved = self.knows(term.process, body)
         resolution[term] = resolved

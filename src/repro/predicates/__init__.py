@@ -1,5 +1,6 @@
 """Exact semantic predicates over finite state spaces, with cylinders and fixpoints."""
 
+from . import limits
 from .backends import (
     PredicateBackend,
     available_backends,
@@ -26,10 +27,22 @@ from .lattice import (
     iterate_to_fixpoint,
     lfp,
 )
-from .predicate import Predicate, conjunction, disjunction, everywhere
+from .limits import ExplicitStateLimitError, get_limit, set_limit
+from .predicate import (
+    BackendMismatchError,
+    Predicate,
+    conjunction,
+    disjunction,
+    everywhere,
+)
 
 __all__ = [
+    "BackendMismatchError",
+    "ExplicitStateLimitError",
     "PredicateBackend",
+    "get_limit",
+    "set_limit",
+    "limits",
     "TransformerCache",
     "available_backends",
     "default_iteration_limit",

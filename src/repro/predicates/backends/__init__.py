@@ -4,11 +4,13 @@ Selection (first match wins):
 
 1. an explicit :func:`set_default_backend` call;
 2. the ``REPRO_PREDICATE_BACKEND`` environment variable
-   (``"int"``, ``"numpy"`` or ``"auto"``);
+   (``"int"``, ``"numpy"``, ``"robdd"`` or ``"auto"``);
 3. the built-in default ``"auto"`` — exact int bitmasks below
    :data:`AUTO_THRESHOLD` states, packed numpy words at or above it
    (small spaces lose more to array overhead than they gain from
-   vectorization).
+   vectorization), and the symbolic ROBDD backend past the explicit-state
+   limit (``repro.predicates.limits``), where neither explicit
+   representation can even be constructed.
 
 ``"auto"`` is a *policy*, not a backend: :func:`backend_for_size` always
 resolves it to a concrete backend, and a ``Predicate`` that already
@@ -26,15 +28,18 @@ import os
 from contextlib import contextmanager
 from typing import Iterator, Union
 
+from .. import limits
 from .base import PredicateBackend
 from .intbits import IntBitsBackend
 from .npwords import NumpyWordsBackend
+from .robdd import RobddBackend
 
 __all__ = [
     "AUTO_THRESHOLD",
     "PredicateBackend",
     "IntBitsBackend",
     "NumpyWordsBackend",
+    "RobddBackend",
     "available_backends",
     "backend_for",
     "backend_for_size",
@@ -50,7 +55,8 @@ AUTO_THRESHOLD = 4096
 
 _INT = IntBitsBackend()
 _NUMPY = NumpyWordsBackend()
-_REGISTRY = {"int": _INT, "numpy": _NUMPY}
+_ROBDD = RobddBackend()
+_REGISTRY = {"int": _INT, "numpy": _NUMPY, "robdd": _ROBDD}
 
 _ENV_VAR = "REPRO_PREDICATE_BACKEND"
 
@@ -127,6 +133,8 @@ def backend_for_size(size: int) -> PredicateBackend:
     if isinstance(selection, PredicateBackend):
         return selection
     if selection == "auto":
+        if size > limits.get_limit("explicit"):
+            return _ROBDD  # explicit representations cannot even be built
         return _NUMPY if size >= AUTO_THRESHOLD else _INT
     return _REGISTRY[selection]
 
@@ -144,6 +152,8 @@ def batch_backend_for(size: int, batch: int) -> PredicateBackend:
     if isinstance(selection, PredicateBackend):
         return selection
     if selection == "auto":
+        if size > limits.get_limit("explicit"):
+            return _ROBDD
         return _NUMPY if size * max(batch, 1) >= AUTO_THRESHOLD else _INT
     return _REGISTRY[selection]
 

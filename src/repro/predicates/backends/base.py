@@ -45,6 +45,12 @@ class PredicateBackend:
     #: Whether Predicate results should carry the handle lazily (True for
     #: array backends, False when the handle *is* the exact mask).
     keeps_handles: bool = False
+    #: Capability flags.  ``symbolic`` backends represent sets by structure
+    #: (BDD nodes) and never enumerate states — guards that refuse huge
+    #: explicit spaces must not fire for them.  ``enumerable`` backends can
+    #: materialize exact int masks / iterate member indices in O(#states).
+    symbolic: bool = False
+    enumerable: bool = True
 
     # ------------------------------------------------------------------
     # handle conversion
@@ -52,6 +58,15 @@ class PredicateBackend:
 
     def from_mask(self, mask: int, size: int) -> Any:
         raise NotImplementedError
+
+    def from_mask_in(self, space, mask: int) -> Any:
+        """Handle for ``mask`` over ``space``.
+
+        Explicit backends only need ``size`` and delegate to
+        :meth:`from_mask`; symbolic backends override — their encoding is
+        derived from the space's variable structure, not a flat index range.
+        """
+        return self.from_mask(mask, space.size)
 
     def to_mask(self, handle: Any, size: int) -> int:
         raise NotImplementedError
@@ -71,6 +86,26 @@ class PredicateBackend:
         if self.keeps_handles:
             return Predicate._from_handle(space, self, handle)
         return Predicate(space, handle)
+
+    def constant(self, space, value: bool) -> Any:
+        """The ``true``/``false`` handle over ``space``."""
+        mask = (1 << space.size) - 1 if value else 0
+        return self.from_mask_in(space, mask)
+
+    def single(self, space, index: int) -> Any:
+        """The handle holding exactly at state ``index``."""
+        return self.from_mask_in(space, 1 << index)
+
+    def some_index(self, handle: Any, size: int):
+        """Index of some satisfying state (the least one), or ``None``.
+
+        Symbolic backends override with a minimal-satisfying-path walk;
+        the default round-trips through the mask.
+        """
+        m = self.to_mask(handle, size)
+        if m == 0:
+            return None
+        return (m & -m).bit_length() - 1
 
     # ------------------------------------------------------------------
     # boolean algebra on handles
@@ -131,6 +166,28 @@ class PredicateBackend:
         """
         raise NotImplementedError
 
+    def table_from_array_in(self, space, succ) -> Any:
+        """:meth:`table_from_array` with the space available.
+
+        Symbolic backends override: they turn the array into a relation
+        over the space's encoded bit levels.
+        """
+        return self.table_from_array(succ, space.size)
+
+    def stmt_relation(self, program, stmt) -> Any:
+        """A *relational* transition representation of ``stmt``.
+
+        Built from the statement's update expressions over state-variable
+        bit vectors (current and primed levels), so ``image``/``preimage``
+        lower to relational product + quantification.  Only symbolic
+        backends represent transitions this way; explicit backends keep
+        successor arrays.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} has no relational transition "
+            "representation; use build_table (successor arrays)"
+        )
+
     def image(self, handle: Any, table: Any, size: int) -> Any:
         """``{succ[i] : i ∈ handle}`` — the ``sp`` kernel."""
         raise NotImplementedError
@@ -158,7 +215,7 @@ class PredicateBackend:
         from .batch import BatchPoisonError, eval_guard_postfix
 
         size = plan.space.size
-        x = self.from_mask(mask, size)
+        x = self.from_mask_in(plan.space, mask)
         not_x = self.not_(x, size)
         terms = []
         for term in plan.terms:
@@ -182,7 +239,7 @@ class PredicateBackend:
                 raise BatchPoisonError(mask, stmt.name)
             guards.append(g)
         init = plan.static_handle(self, plan.init_mask)
-        current = self.from_mask(0, size)
+        current = self.constant(plan.space, False)
         # f.y = init ∨ SP_{P_x}.y is monotone once the guards are fixed, so
         # the Kleene chain from false stabilizes within size + 1 steps.
         for _ in range(size + 2):

@@ -117,8 +117,8 @@ class PhiPlan:
         key = (backend.name, index)
         table = self._tables.get(key)
         if table is None:
-            table = backend.table_from_array(
-                self.statements[index].succ, self.space.size
+            table = backend.table_from_array_in(
+                self.space, self.statements[index].succ
             )
             self._tables[key] = table
         return table
@@ -128,7 +128,7 @@ class PhiPlan:
         key = (backend.name, mask)
         handle = self._statics.get(key)
         if handle is None:
-            handle = backend.from_mask(mask, self.space.size)
+            handle = backend.from_mask_in(self.space, mask)
             self._statics[key] = handle
         return handle
 

@@ -11,6 +11,12 @@ weaker than ``p`` depending only on ``V``; it is the existential projection.
 
 Properties (7)–(12) of the paper hold by construction and are exercised in
 the test suite, including the non-disjunctivity counterexample (12).
+
+Eq. (6) is exactly *variable forgetting* (Su et al., PAPERS.md): ``scyl.V.p``
+is ∃-forgetting of the variables outside ``V`` and ``wcyl.V.p`` the dual
+∀-forgetting.  Explicit backends realize it as a grouped reduction over the
+cylinder partition; the symbolic backend quantifies the non-observable bit
+groups of the BDD directly, with no per-group sweep.
 """
 
 from __future__ import annotations

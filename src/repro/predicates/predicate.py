@@ -26,6 +26,27 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
 from ..statespace import State, StateSpace
+from . import limits
+
+
+class BackendMismatchError(TypeError):
+    """Two predicates bound to *different* handle-keeping backends met.
+
+    Combining them would silently round-trip one side through an int mask
+    (defeating the backend's representation, and impossible for symbolic
+    spaces).  The fix is to keep a chain on one backend — convert
+    explicitly with ``p.handle(backend)`` / ``backend.wrap`` if mixing is
+    really intended.
+    """
+
+    def __init__(self, left, right):
+        super().__init__(
+            f"cannot combine predicates from different backends: "
+            f"{left.name!r} vs {right.name!r}; keep the chain on one backend "
+            "or convert explicitly via Predicate.handle(backend)"
+        )
+        self.left = left
+        self.right = right
 
 
 class Predicate:
@@ -45,7 +66,9 @@ class Predicate:
     __slots__ = ("space", "_mask", "_backend", "_handle", "_fp")
 
     def __init__(self, space: StateSpace, mask: int):
-        if mask < 0 or mask > space.full_mask:
+        # Shift test instead of comparing against full_mask: huge (symbolic)
+        # spaces must never materialize a 2^size-bit constant.
+        if mask < 0 or mask >> space.size:
             raise ValueError(
                 f"mask {mask:#x} out of range for a space of {space.size} states"
             )
@@ -83,7 +106,7 @@ class Predicate:
         """This predicate's handle under ``backend`` (cached on the instance)."""
         if self._backend is backend and self._handle is not None:
             return self._handle
-        h = backend.from_mask(self.mask, self.space.size)
+        h = backend.from_mask_in(self.space, self.mask)
         self._backend = backend
         self._handle = h
         return h
@@ -99,20 +122,45 @@ class Predicate:
         if fp is None:
             if self._mask is None:
                 fp = self._backend.fingerprint(self._handle, self.space.size)
+            elif self.space.size > limits.get_limit("explicit"):
+                # Mask-born predicate over a symbolic-scale space (e.g. a
+                # sparse from_indices): fingerprint structurally via the
+                # symbolic backend rather than a 2^size-bit byte string.
+                bk = _symbolic_backend()
+                fp = bk.fingerprint(self.handle(bk), self.space.size)
             else:
                 fp = self._mask.to_bytes((self.space.size + 7) // 8, "little")
             self._fp = fp
         return fp
 
     def _route(self, other: "Predicate"):
-        """The handle-keeping backend to combine under, or None for int masks."""
-        bk = self._backend
-        if bk is not None and bk.keeps_handles and self._handle is not None:
-            return bk
-        bk = other._backend
-        if bk is not None and bk.keeps_handles and other._handle is not None:
-            return bk
-        return None
+        """The handle-keeping backend to combine under, or None for int masks.
+
+        Raises :class:`BackendMismatchError` when both operands are bound
+        to *different* handle-keeping backends — never silently falls back
+        to an int-mask round-trip.  "Bound" means handle-*only*: a
+        predicate whose mask is materialized merely caches a handle (a
+        long-lived predicate may accumulate handles from several backend
+        scopes over its lifetime) and re-routes freely, no round-trip
+        involved.
+        """
+        mine = self._backend
+        if not (mine is not None and mine.keeps_handles and self._handle is not None):
+            mine = None
+        theirs = other._backend
+        if not (
+            theirs is not None
+            and theirs.keeps_handles
+            and other._handle is not None
+        ):
+            theirs = None
+        if mine is not None and theirs is not None and mine is not theirs:
+            if self._mask is None and other._mask is None:
+                raise BackendMismatchError(mine, theirs)
+            # At least one side still has its mask: keep the side that
+            # exists only as a handle (both masked: keep the left).
+            return mine if other._mask is not None else theirs
+        return mine if mine is not None else theirs
 
     # ------------------------------------------------------------------
     # constructors
@@ -120,12 +168,22 @@ class Predicate:
 
     @classmethod
     def true(cls, space: StateSpace) -> "Predicate":
-        """The predicate holding everywhere."""
+        """The predicate holding everywhere.
+
+        On spaces past the explicit-state limit this is a symbolic handle
+        (the full mask would be a 2^size-bit integer).
+        """
+        if space.size > limits.get_limit("explicit"):
+            bk = _symbolic_backend()
+            return cls._from_handle(space, bk, bk.constant(space, True))
         return cls(space, space.full_mask)
 
     @classmethod
     def false(cls, space: StateSpace) -> "Predicate":
         """The predicate holding nowhere."""
+        if space.size > limits.get_limit("explicit"):
+            bk = _symbolic_backend()
+            return cls._from_handle(space, bk, bk.constant(space, False))
         return cls(space, 0)
 
     @classmethod
@@ -133,6 +191,7 @@ class Predicate:
         cls, space: StateSpace, fn: Callable[[State], Any]
     ) -> "Predicate":
         """Lift a Python function on states to a predicate (evaluated once per state)."""
+        limits.check_explicit_size(space.size, "Predicate.from_callable")
         mask = 0
         for i in range(space.size):
             if fn(State(space, i)):
@@ -307,7 +366,7 @@ class Predicate:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash((id(self.space), self.mask))
+        return hash((id(self.space), self.fingerprint()))
 
     # ------------------------------------------------------------------
     # extension queries
@@ -346,6 +405,11 @@ class Predicate:
 
         Raises :class:`ValueError` when the predicate is everywhere false.
         """
+        if self._mask is None:
+            idx = self._backend.some_index(self._handle, self.space.size)
+            if idx is None:
+                raise ValueError("predicate is everywhere false; no example state")
+            return State(self.space, idx)
         if self.mask == 0:
             raise ValueError("predicate is everywhere false; no example state")
         return State(self.space, (self.mask & -self.mask).bit_length() - 1)
@@ -357,15 +421,26 @@ class Predicate:
         )
 
     def __repr__(self) -> str:
+        tag = ""
+        bk = self._backend
+        if bk is not None and self._handle is not None:
+            tag = f"; backend={bk.name}, handle={type(self._handle).__name__}"
         n = self.count()
         if n == 0:
-            return "Predicate(false)"
+            return f"Predicate(false{tag})"
         if n == self.space.size:
-            return "Predicate(true)"
-        if n <= 4:
+            return f"Predicate(true{tag})"
+        if n <= 4 and self.space.size <= limits.get_limit("explicit"):
             shown = ", ".join(repr(s.as_dict()) for s in self.states())
-            return f"Predicate({{{shown}}})"
-        return f"Predicate({n}/{self.space.size} states)"
+            return f"Predicate({{{shown}}}{tag})"
+        return f"Predicate({n}/{self.space.size} states{tag})"
+
+
+def _symbolic_backend():
+    """The registered symbolic (ROBDD) backend — lazy to avoid an import cycle."""
+    from .backends import get_backend
+
+    return get_backend("robdd")
 
 
 def everywhere(p: Predicate) -> bool:
@@ -377,24 +452,26 @@ def conjunction(space: StateSpace, predicates: Iterable[Predicate]) -> Predicate
     """``(∀ v : v ∈ W : v)`` — conjunction over a (possibly empty) bag.
 
     The empty conjunction is ``true``, matching universal quantification
-    over an empty range.
+    over an empty range.  Folds with the ``&`` operator so handle-backed
+    (e.g. symbolic) operands stay on their backend.
     """
-    mask = space.full_mask
+    acc = Predicate.true(space)
     for p in predicates:
         if p.space is not space and p.space != space:
             raise ValueError("predicates over different state spaces")
-        mask &= p.mask
-    return Predicate(space, mask)
+        acc = acc & p
+    return acc
 
 
 def disjunction(space: StateSpace, predicates: Iterable[Predicate]) -> Predicate:
     """``(∃ v : v ∈ W : v)`` — disjunction over a (possibly empty) bag.
 
-    The empty disjunction is ``false``.
+    The empty disjunction is ``false``.  Folds with ``|`` so handle-backed
+    operands stay on their backend.
     """
-    mask = 0
+    acc = Predicate.false(space)
     for p in predicates:
         if p.space is not space and p.space != space:
             raise ValueError("predicates over different state spaces")
-        mask |= p.mask
-    return Predicate(space, mask)
+        acc = acc | p
+    return acc

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
-from ..predicates import Predicate
+from ..predicates import Predicate, limits
 from ..transformers import strongest_invariant, wp_statement
 from ..unity import Program
 
@@ -214,7 +214,13 @@ def labeled_path(
     statements)`` with ``len(statements) == len(states) - 1``, or ``None``
     when the goal is unreachable.  Used to make refutation lassos and
     safety counterexamples concrete.
+
+    Explicit-only (per-state BFS over successor arrays); the symbolic
+    fixpoint checkers (:func:`wlt`) run unguarded instead.
     """
+    limits.check_explicit_size(
+        program.space.size, "materializing a labeled counterexample path"
+    )
     if allowed_mask is None:
         allowed_mask = (1 << program.space.size) - 1
     arrays = [(s.name, program.successor_array(s)) for s in program.statements]
@@ -268,8 +274,12 @@ def refute_leads_to(
     ``emit_witness=True`` the refutation carries a concrete lasso: a
     labeled path from ``init`` to the starting ``p``-state and a labeled
     ``¬q`` path from there into the trap (certificate material).
+
+    Explicit-only (per-state Tarjan over successor arrays); cross-validate
+    huge spaces against :func:`wlt` on sliced-down model instances instead.
     """
     space = program.space
+    limits.check_explicit_size(space.size, "the explicit fair-cycle refuter")
     reach = _reachable(program, si)
     arrays = [program.successor_array(s) for s in program.statements]
     avoid_mask = reach.mask & ~q.mask  # candidate states: reachable, ¬q

@@ -46,6 +46,15 @@ from .standard import (
     proposed_k_s_k_r,
 )
 from .stenning import build_stenning
+from .symbolic import (
+    build_symbolic_protocol,
+    build_symbolic_space,
+    delivered_all_predicate,
+    slot_safety_expr,
+    symbolic_init_expr,
+    symbolic_model_key,
+    symbolic_safety_predicate,
+)
 
 __all__ = [
     "build_alternating_bit",
@@ -90,4 +99,11 @@ __all__ = [
     "proposed_k_r_value",
     "proposed_k_s_k_r",
     "build_stenning",
+    "build_symbolic_protocol",
+    "build_symbolic_space",
+    "delivered_all_predicate",
+    "slot_safety_expr",
+    "symbolic_init_expr",
+    "symbolic_model_key",
+    "symbolic_safety_predicate",
 ]

@@ -14,7 +14,7 @@ which makes single-variable updates and projections O(1) integer arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .domains import Domain
 
@@ -105,10 +105,24 @@ class StateSpace:
             strides[k] = strides[k + 1] * self._radix[k + 1]
         self._strides: Tuple[int, ...] = tuple(strides)
         self.size: int = strides[0] * self._radix[0]
-        self.full_mask: int = (1 << self.size) - 1
+        self._full_mask: Optional[int] = None
         self._cylinder_cache: Dict[frozenset, Tuple[List[int], int]] = {}
         self._cylinder_np_cache: Dict[frozenset, Tuple[Any, int]] = {}
         self._cylinder_mask_cache: Dict[frozenset, List[int]] = {}
+
+    @property
+    def full_mask(self) -> int:
+        """``(1 << size) - 1`` — computed lazily and cached.
+
+        Laziness matters beyond toy sizes: a symbolic (ROBDD) space of
+        2^40+ states must never materialize a 2^40-bit integer, and nothing
+        on the symbolic path reads this property.
+        """
+        m = self._full_mask
+        if m is None:
+            m = (1 << self.size) - 1
+            self._full_mask = m
+        return m
 
     # ------------------------------------------------------------------
     # variable lookup
@@ -226,6 +240,9 @@ class StateSpace:
         cached = self._cylinder_cache.get(key)
         if cached is not None:
             return cached
+        from ..predicates import limits  # lazy: guards only, no cycle at import
+
+        limits.check_explicit_size(self.size, "materializing a cylinder partition")
         positions = sorted(self._pos[n] for n in key)
         n_groups = 1
         weights: List[int] = []

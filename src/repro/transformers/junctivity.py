@@ -25,13 +25,19 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Tuple
 
-from ..predicates import Predicate
+from ..predicates import Predicate, limits
 from ..statespace import StateSpace
 
 Transformer = Callable[[Predicate], Predicate]
 
-#: Exhaustive enumeration is O(2^n) predicates; refuse beyond this many states.
-MAX_EXHAUSTIVE_STATES = 16
+
+def _max_exhaustive_states() -> int:
+    """The ``enumeration`` limit (``repro.predicates.limits``), kept current."""
+    return limits.get_limit("enumeration")
+
+
+#: Backward-compatible alias of the unified ``enumeration`` limit's default.
+MAX_EXHAUSTIVE_STATES = _max_exhaustive_states()
 
 
 @dataclass(frozen=True)
@@ -47,11 +53,7 @@ class Counterexample:
 
 def all_predicates(space: StateSpace) -> Iterator[Predicate]:
     """Every predicate over ``space`` — 2^size of them; guard the size."""
-    if space.size > MAX_EXHAUSTIVE_STATES:
-        raise ValueError(
-            f"refusing exhaustive enumeration of 2^{space.size} predicates; "
-            f"use sampled checks beyond {MAX_EXHAUSTIVE_STATES} states"
-        )
+    limits.check_enumeration_size(space.size)
     for mask in range(1 << space.size):
         yield Predicate(space, mask)
 

@@ -40,11 +40,24 @@ def sst(program: Program, p: Predicate) -> SstResult:
     Runs the chain ``false, f.false, f².false, …`` with ``f.x = SP.x ∨ p``.
     For a standard program ``f`` is monotone, so convergence is guaranteed
     in at most ``space.size`` steps.
+
+    ``SP`` distributes over ``∨`` (each statement's SP is an image), so
+    along the ascending chain ``SP.x_n = SP.x_{n-1} ∨ SP.(x_n ∖ x_{n-1})``
+    — each step images only the *frontier* instead of the whole
+    accumulated set.  The iterates are set-identical to the naive chain
+    (same fingerprints, same certificates); on the symbolic backend this
+    is what keeps 2^40-state chains tractable, and the whole chain runs
+    on backend handles end to end.
     """
     space = program.space
+    prev: Predicate = Predicate.false(space)
+    prev_sp: Predicate = prev
 
     def f(x: Predicate) -> Predicate:
-        return sp_program(program, x) | p
+        nonlocal prev, prev_sp
+        sp_x = prev_sp | sp_program(program, x - prev)
+        prev, prev_sp = x, sp_x
+        return sp_x | p
 
     label = f"sst chain of {program.name!r} (eq. 3)"
     result = iterate_to_fixpoint(f, Predicate.false(space), name=label)

@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..predicates import Predicate
+from ..predicates import Predicate, limits
+from ..predicates.backends import backend_for_size
 from ..predicates.cache import TransformerCache
 from ..statespace import State, StateSpace
 from .expressions import EvalError, Expr, ExprLike, Knowledge, as_expr
@@ -159,7 +160,12 @@ class Program:
     # ------------------------------------------------------------------
 
     def expr_predicate(self, expr: ExprLike) -> Predicate:
-        """The predicate denoted by a (knowledge-free) Boolean expression."""
+        """The predicate denoted by a (knowledge-free) Boolean expression.
+
+        Explicit backends evaluate once per state; past the explicit-state
+        limit the expression is compiled symbolically by the ROBDD backend
+        (support enumeration only, never a state sweep).
+        """
         e = as_expr(expr)
         if e.knowledge_terms():
             raise EvalError(
@@ -167,6 +173,11 @@ class Program:
                 "(repro.core.kbp) or use KnowledgeOperator"
             )
         space = self.space
+        if space.size > limits.get_limit("explicit"):
+            backend = backend_for_size(space.size)
+            if getattr(backend, "symbolic", False):
+                return backend.wrap(space, backend.expr_handle(space, e))
+            limits.check_explicit_size(space.size, f"evaluating {e!r} per state")
         mask = 0
         for i in range(space.size):
             if e.eval(State(space, i)):
@@ -194,6 +205,11 @@ class Program:
         if cached is not None:
             return cached
         space = self.space
+        limits.check_explicit_size(
+            space.size,
+            f"building the successor array of statement {stmt.name!r} "
+            "(the symbolic backend compiles statements to relations instead)",
+        )
         array: List[int] = [0] * space.size
         for i in range(space.size):
             state = State(space, i)
@@ -282,6 +298,7 @@ class Program:
         point when every statement is a skip.
         """
         space = self.space
+        limits.check_explicit_size(space.size, "computing the FP predicate")
         mask = space.full_mask
         for stmt in self.statements:
             array = self.successor_array(stmt)

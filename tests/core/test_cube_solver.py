@@ -1,0 +1,101 @@
+"""The cube-pruning eq.-(25) solver vs the exhaustive reference.
+
+``solve_si_cubes`` decides whole sub-cubes ``[L, U]`` of the candidate
+lattice with one Φ evaluation, exploiting that eq. (13)'s resolution is
+antitone in the candidate SI for non-nested knowledge terms.  On every
+space where the exhaustive sweep runs, the two must return *identical*
+solution sets; where the sweep is refused by the solver limit, the cube
+solver is the complete route ``solve_si(method="auto")`` switches to.
+"""
+
+import pytest
+
+from repro.core import solve_si, solve_si_cubes
+from repro.figures import fig1_program, fig2_program, fig2_strong_init, fig2_weak_init
+from repro.predicates import limits
+from repro.predicates.limits import ExplicitStateLimitError
+
+
+@pytest.fixture
+def restore_limits():
+    yield
+    for name in limits.DEFAULT_LIMITS:
+        limits.set_limit(name, None)
+
+
+def _solutions(report):
+    return tuple(p.fingerprint() for p in report.solutions)
+
+
+class TestDifferentialAgainstExhaustive:
+    def test_fig1_no_solution_both_ways(self):
+        exhaustive = solve_si(fig1_program(), method="exhaustive")
+        cubes = solve_si_cubes(fig1_program())
+        assert not exhaustive.well_posed and not cubes.well_posed
+        assert cubes.solutions == ()
+
+    def test_fig2_solutions_bit_identical(self):
+        program = fig2_program()
+        for init in (fig2_weak_init, fig2_strong_init):
+            variant = program.with_init(init(program))
+            exhaustive = solve_si(variant, method="exhaustive")
+            cubes = solve_si(variant, method="cubes")
+            assert _solutions(exhaustive) == _solutions(cubes)
+            assert exhaustive.well_posed
+
+    def test_cube_probes_do_not_exceed_the_sweep(self):
+        # 2^free candidates for the sweep; the cube solver's probe count
+        # (decided cubes) can at worst match it, never exceed it.
+        program = fig2_program()
+        free = program.space.size - program.init.count()
+        report = solve_si_cubes(program)
+        assert report.candidates_checked <= 2 ** (free + 1) - 1
+
+    def test_standard_program_degenerates_to_one_sst(self, counter_program):
+        report = solve_si_cubes(counter_program)
+        assert report.candidates_checked == 1
+        assert _solutions(report) == _solutions(
+            solve_si(counter_program)
+        )
+
+
+class TestRouting:
+    def test_auto_routes_past_the_solver_limit(self, restore_limits):
+        # Shrink the limit below Figure 2's 8 states: "auto" must switch
+        # to cubes (its knowledge terms are non-nested) and still solve.
+        program = fig2_program()
+        limits.set_limit("solver", program.space.size - 1)
+        with pytest.raises(ExplicitStateLimitError):
+            solve_si(program, method="exhaustive")
+        auto = solve_si(program)
+        assert _solutions(auto) == _solutions(solve_si_cubes(fig2_program()))
+
+    def test_nested_knowledge_is_refused_by_cubes(self):
+        from repro.seqtrans import RELIABLE, SeqTransParams, build_kbp_protocol
+
+        program = build_kbp_protocol(SeqTransParams(length=1), RELIABLE)
+        nested = [
+            t for t in program.knowledge_terms() if t.formula.knowledge_terms()
+        ]
+        assert nested  # K_S K_R x_k: the premise of this test
+        with pytest.raises(ValueError, match="non-nested"):
+            solve_si_cubes(program)
+
+    def test_nested_knowledge_auto_stays_exhaustive(self, restore_limits):
+        # Past the limit with nested knowledge there is no complete route:
+        # auto must fall through to the exhaustive guard, whose message
+        # names the remaining escape hatches.
+        from repro.seqtrans import RELIABLE, SeqTransParams, build_kbp_protocol
+
+        program = build_kbp_protocol(SeqTransParams(length=1), RELIABLE)
+        with pytest.raises(ExplicitStateLimitError, match="solve_si_iterative"):
+            solve_si(program)
+
+    def test_cubes_reject_certificates_and_robustness(self):
+        program = fig2_program()
+        with pytest.raises(ValueError, match="cube-pruning"):
+            solve_si(program, method="cubes", emit_certificate=True)
+        with pytest.raises(ValueError, match="cubes"):
+            solve_si(program, method="cubes", fault_policy=object())
+        with pytest.raises(ValueError, match="method"):
+            solve_si(program, method="telepathy")

@@ -1,0 +1,104 @@
+"""Predicate identity diagnostics: ``__repr__`` tags and mixing errors.
+
+A predicate bound to a backend handle advertises it in ``repr`` (so a
+debugging session can see which representation a chain is running on),
+and combining predicates bound to *different* handle-keeping backends
+raises :class:`BackendMismatchError` instead of silently round-tripping
+one side through an int mask.
+"""
+
+import pytest
+
+from repro.predicates import (
+    BackendMismatchError,
+    Predicate,
+    get_backend,
+    using_backend,
+    wcyl,
+)
+from repro.statespace import BoolDomain, space_of
+
+
+def _space():
+    return space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+
+
+class TestRepr:
+    def test_mask_predicate_has_no_backend_tag(self):
+        p = Predicate(_space(), 0b1010)
+        assert "backend=" not in repr(p)
+
+    @pytest.mark.parametrize(
+        "backend,handle_type",
+        [("numpy", "ndarray"), ("robdd", "RobddHandle")],
+    )
+    def test_bound_predicate_names_backend_and_handle_kind(
+        self, backend, handle_type
+    ):
+        space = _space()
+        with using_backend(backend):
+            # A kernel result carries the producing backend's handle.
+            p = wcyl(("a",), Predicate(space, 0b10101010))
+        text = repr(p)
+        assert f"backend={backend}" in text
+        assert f"handle={handle_type}" in text
+
+    def test_true_false_and_tiny_predicates_still_render(self):
+        space = _space()
+        with using_backend("robdd"):
+            top = wcyl(("a",), Predicate.true(space))
+            bot = wcyl(("a",), Predicate.false(space))
+        assert repr(top).startswith("Predicate(true")
+        assert repr(bot).startswith("Predicate(false")
+
+
+class TestBackendMismatch:
+    def _bound(self, backend_name, mask=0b1100):
+        space = _space()
+        bk = get_backend(backend_name)
+        if backend_name == "robdd":
+            return bk.wrap(space, bk.from_mask_in(space, mask))
+        return bk.wrap(space, bk.from_mask(mask, space.size))
+
+    @pytest.mark.parametrize("op", ["__and__", "__or__", "__xor__", "__sub__"])
+    def test_mixing_bound_backends_raises(self, op):
+        p = self._bound("numpy")
+        q = self._bound("robdd")
+        with pytest.raises(BackendMismatchError) as exc_info:
+            getattr(p, op)(q)
+        message = str(exc_info.value)
+        assert "numpy" in message and "robdd" in message
+
+    def test_mismatch_is_a_type_error(self):
+        assert issubclass(BackendMismatchError, TypeError)
+
+    def test_mask_predicates_mix_with_anything(self):
+        # Only *two bound handles* conflict; a plain mask predicate adopts
+        # the bound side's backend.
+        space = _space()
+        plain = Predicate(space, 0b1010)
+        bound = self._bound("robdd")  # mask 0b1100
+        expected = Predicate(space, 0b1000).fingerprint()
+        assert (plain & bound).fingerprint() == expected
+        assert (bound & plain).fingerprint() == expected
+
+    def test_cached_handle_on_a_mask_predicate_is_not_a_binding(self):
+        # A long-lived mask predicate (e.g. in the lru-cached model
+        # registry) may cache a handle from an earlier backend scope;
+        # meeting a handle from another backend later must re-route, not
+        # raise — its mask is materialized, there is no round-trip.
+        space = _space()
+        p = Predicate(space, 0b1010)
+        p.handle(get_backend("numpy"))  # attaches a numpy handle in place
+        bound = self._bound("robdd")  # mask 0b1100, handle-only
+        expected = Predicate(space, 0b1000).fingerprint()
+        assert (p & bound).fingerprint() == expected
+        assert (bound & p).fingerprint() == expected
+
+    def test_explicit_conversion_unlocks_mixing(self):
+        space = _space()
+        bk = get_backend("robdd")
+        p = self._bound("numpy")
+        q = self._bound("robdd", mask=0b1010)
+        converted = bk.wrap(space, p.handle(bk))
+        assert (converted & q).fingerprint() == Predicate(space, 0b1000).fingerprint()

@@ -1,0 +1,120 @@
+"""Edge cases of the eq.-(6) cylinder quantifiers, across all backends.
+
+``wcyl``/``scyl`` route through each backend's ``quantify_groups`` kernel
+(grouped reductions for the explicit backends, BDD quantification of the
+non-observable variable groups for the symbolic one).  The degenerate
+observation sets — no variables, every variable, one variable — are where
+off-by-one partition bugs live, so each is pinned semantically and then
+cross-checked differentially on random predicates.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import (
+    Predicate,
+    depends_only_on,
+    scyl,
+    using_backend,
+    wcyl,
+)
+from repro.statespace import BoolDomain, IntRangeDomain, space_of
+
+BACKENDS = ("int", "numpy", "robdd")
+
+
+def _space():
+    return space_of(a=BoolDomain(), n=IntRangeDomain(0, 2), b=BoolDomain())
+
+
+def _predicates(space, count=8, seed=3):
+    rng = random.Random(seed)
+    full = (1 << space.size) - 1
+    masks = [0, 1, full] + [rng.randrange(full + 1) for _ in range(count)]
+    return [Predicate(space, m) for m in masks]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDegenerateGroups:
+    def test_empty_observation_set_is_global_quantification(self, backend):
+        # wcyl.∅.p = (∀ everything :: p): true exactly when p is everywhere;
+        # scyl.∅.p = (∃ everything :: p): true exactly when p is somewhere.
+        space = _space()
+        with using_backend(backend):
+            for p in _predicates(space):
+                weak, strong = wcyl((), p), scyl((), p)
+                if p.is_everywhere():
+                    assert weak.is_everywhere()
+                else:
+                    assert weak.is_false()
+                if p.is_false():
+                    assert strong.is_false()
+                else:
+                    assert strong.is_everywhere()
+
+    def test_full_observation_set_is_identity(self, backend):
+        # Observing every variable leaves nothing to quantify: eq. (9)'s
+        # fixed-point case, wcyl.V.p = scyl.V.p = p.
+        space = _space()
+        names = tuple(space.names)
+        with using_backend(backend):
+            for p in _predicates(space):
+                assert wcyl(names, p) == p
+                assert scyl(names, p) == p
+                assert depends_only_on(p, names)
+
+    def test_singleton_groups_match_bruteforce(self, backend):
+        space = _space()
+        with using_backend(backend):
+            for name in space.names:
+                for p in _predicates(space, count=4, seed=11):
+                    weak, strong = wcyl((name,), p), scyl((name,), p)
+                    for i in range(space.size):
+                        group = [
+                            j
+                            for j in range(space.size)
+                            if space.value_at(j, name) == space.value_at(i, name)
+                        ]
+                        assert weak.holds_at(i) == all(p.holds_at(j) for j in group)
+                        assert strong.holds_at(i) == any(
+                            p.holds_at(j) for j in group
+                        )
+
+    def test_duality_and_idempotence(self, backend):
+        # (7)/(8)-style algebra: scyl.V.p = ¬wcyl.V.¬p, and both are
+        # idempotent projections onto the V-cylinder sublattice.
+        space = _space()
+        groups = [(), ("a",), ("n",), ("a", "b"), tuple(space.names)]
+        with using_backend(backend):
+            for p in _predicates(space, count=5, seed=17):
+                for names in groups:
+                    weak, strong = wcyl(names, p), scyl(names, p)
+                    assert strong == ~wcyl(names, ~p)
+                    assert wcyl(names, weak) == weak
+                    assert scyl(names, strong) == strong
+                    assert weak.entails(p) and p.entails(strong)
+
+
+class TestDifferentialAgainstInt:
+    @given(
+        mask=st.integers(min_value=0, max_value=(1 << 12) - 1),
+        group=st.sets(st.sampled_from(["a", "n", "b"])),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_backends_agree_on_random_inputs(self, mask, group):
+        space = _space()
+        names = tuple(sorted(group))
+        results = {}
+        for backend in BACKENDS:
+            with using_backend(backend):
+                p = Predicate(space, mask)
+                results[backend] = (
+                    wcyl(names, p).fingerprint(),
+                    scyl(names, p).fingerprint(),
+                    depends_only_on(p, names),
+                )
+        assert results["numpy"] == results["int"]
+        assert results["robdd"] == results["int"]

@@ -1,0 +1,169 @@
+"""The factored sequence-transmission model at symbolic (2^40-state) scale.
+
+Ground truth for the symbolic backend: the factored Figure-4 model at
+``L = 10`` spans more than 2^40 states — every explicit route refuses it
+with the size-guard escape hatches — yet ``solve_si`` completes the
+standard-program ``sst`` route on ROBDD handles and the resulting
+certificate replays.  At small ``L`` the same model runs on both the int
+and robdd backends and the entire chain must be bit-identical.
+"""
+
+import math
+
+import pytest
+
+from repro.core import solve_si
+from repro.predicates import Predicate, limits, using_backend
+from repro.predicates.limits import ExplicitStateLimitError
+from repro.seqtrans import (
+    SeqTransParams,
+    build_symbolic_protocol,
+    delivered_all_predicate,
+    symbolic_model_key,
+    symbolic_safety_predicate,
+)
+from repro.transformers import sst
+
+
+@pytest.fixture(scope="module")
+def big_params():
+    return SeqTransParams(length=10)
+
+
+class TestSmallInstancesDifferential:
+    """Where both backends run, the factored model must agree exactly."""
+
+    @pytest.mark.parametrize("length", [1, 2])
+    def test_sst_chain_bit_identical_across_backends(self, length):
+        params = SeqTransParams(length=length)
+        results = {}
+        for backend in ("int", "robdd"):
+            with using_backend(backend):
+                program = build_symbolic_protocol(params)
+                result = sst(program, program.init)
+                results[backend] = (
+                    result.predicate.fingerprint(),
+                    result.iterations,
+                    tuple(q.fingerprint() for q in result.chain),
+                )
+        assert results["int"] == results["robdd"]
+
+    def test_protocol_delivers_and_stays_safe(self):
+        params = SeqTransParams(length=2)
+        program = build_symbolic_protocol(params)
+        reach = sst(program, program.init).predicate
+        assert reach.entails(symbolic_safety_predicate(program, params))
+        done = delivered_all_predicate(program, params)
+        assert not (reach & done).is_false()
+        # Per initial sequence x there is exactly one completed
+        # configuration (w = x, counters pinned), modulo the final ack
+        # still being in flight (z ∈ {⊥, L-1, L}) — delivery is exact,
+        # never a guess.
+        completed = reach & done
+        per_x = completed.count() / len(list(params.x_values()))
+        assert per_x == int(per_x)  # symmetric across sequences
+
+    def test_apriori_information_restricts_init(self):
+        params = SeqTransParams(length=2, apriori={0: "a"})
+        program = build_symbolic_protocol(params)
+        free = build_symbolic_protocol(SeqTransParams(length=2))
+        assert program.init.count() * 2 == free.init.count()
+
+    def test_solve_si_takes_the_standard_route(self):
+        params = SeqTransParams(length=1)
+        program = build_symbolic_protocol(params)
+        report = solve_si(program)
+        assert report.candidates_checked == 1
+        assert report.unique
+        assert report.strongest() == sst(program, program.init).predicate
+
+
+class TestSymbolicScale:
+    """L = 10: past 2^40 states, far beyond every explicit limit."""
+
+    @pytest.fixture(autouse=True)
+    def _auto_backend(self):
+        # The CI matrix forces REPRO_PREDICATE_BACKEND=int/numpy; "auto"
+        # restores the size-aware policy so the 2^40-state build routes
+        # to robdd (the explicit-refusal test pins "int" explicitly).
+        with using_backend("auto"):
+            yield
+
+    def test_space_exceeds_forty_bits(self, big_params):
+        program = build_symbolic_protocol(big_params)
+        bits = math.log2(program.space.size)
+        assert bits >= 40
+        assert program.space.size > limits.get_limit("explicit")
+
+    def test_explicit_backend_is_refused_with_escape_hatches(self, big_params):
+        with using_backend("int"):
+            with pytest.raises(ExplicitStateLimitError) as exc_info:
+                build_symbolic_protocol(big_params)
+        message = str(exc_info.value)
+        assert "robdd" in message
+        assert "REPRO_MAX_EXPLICIT_STATES" in message
+
+    def test_solve_completes_on_handles(self, big_params):
+        program = build_symbolic_protocol(big_params)
+        report = solve_si(program)
+        assert report.unique
+        si = report.strongest()
+        assert si.entails(symbolic_safety_predicate(program, big_params))
+        assert not (si & delivered_all_predicate(program, big_params)).is_false()
+        # The chain ran without ever materializing a mask: the predicate
+        # is handle-bound to the symbolic backend.
+        assert "backend=robdd" in repr(si)
+
+    def test_certificate_emits_and_replays(self, tmp_path, big_params):
+        from repro.certificates.emit import emit_all
+        from repro.certificates.replay import replay_path
+
+        paths = emit_all(tmp_path, only=["symbolic-fixpoint"])
+        assert len(paths) == 2
+        verdicts = {}
+        for path in paths:
+            outcome = replay_path(path)
+            assert outcome.model == symbolic_model_key(big_params)
+            verdicts[outcome.kind] = outcome.verdict
+        assert verdicts["fixpoint"] == "si-fixpoint-verified"
+        assert verdicts["invariant"] == "invariant-holds"
+
+    def test_symbolic_predicates_encode_structurally(self, big_params):
+        from repro.certificates.canonical import (
+            CertificateError,
+            decode_predicate,
+            encode_predicate,
+        )
+
+        program = build_symbolic_protocol(big_params)
+        encoded = encode_predicate(program.init)
+        assert "robdd" in encoded and "bits" not in encoded
+        decoded = decode_predicate(encoded, program.space)
+        assert decoded == program.init
+        # An explicit bitmask encoding is structurally impossible at this
+        # scale and must be rejected, not silently reinterpreted.
+        with pytest.raises(CertificateError, match="robdd"):
+            decode_predicate(
+                {"size": program.space.size, "bits": "ff"}, program.space
+            )
+
+    def test_replay_rejects_a_tampered_symbolic_chain(self, tmp_path, big_params):
+        import json
+
+        from repro.certificates.canonical import CertificateError, payload_digest
+        from repro.certificates.replay import replay_path
+
+        from repro.certificates.emit import emit_all
+
+        paths = emit_all(tmp_path, only=["symbolic-fixpoint"])
+        si_path = next(p for p in paths if p.name.endswith("-si.cert.json"))
+        doc = json.loads(si_path.read_text())
+        # Drop an interior chain link and re-sign the envelope: the digest
+        # check passes, the semantic replay must still refuse.
+        doc["payload"]["chain"] = (
+            doc["payload"]["chain"][:3] + doc["payload"]["chain"][4:]
+        )
+        doc["digest"] = payload_digest(doc["payload"])
+        si_path.write_text(json.dumps(doc))
+        with pytest.raises(CertificateError):
+            replay_path(si_path)
