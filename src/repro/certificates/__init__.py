@@ -46,11 +46,13 @@ from .certs import (
 from .models import MODEL_BUILDERS, Model, build_model
 from .store import (
     Artifact,
+    ForeignArtifactWarning,
     TruncatedArtifactError,
     iter_artifacts,
     load,
     loads,
     save,
+    scan_artifacts,
     wrap,
 )
 
@@ -81,6 +83,7 @@ __all__ = [
     "CertificateError",
     "EMITTERS",
     "FixpointCertificate",
+    "ForeignArtifactWarning",
     "InvariantCertificate",
     "KbpSolutionEntry",
     "KbpSolveCertificate",
@@ -110,6 +113,7 @@ __all__ = [
     "replay_path",
     "resolution_table",
     "save",
+    "scan_artifacts",
     "space_signature",
     "wrap",
 ]

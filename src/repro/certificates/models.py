@@ -15,6 +15,8 @@ spec holds" means by editing the predicates it claims to have checked.
 
 from __future__ import annotations
 
+import random
+import re
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Dict, Optional, Tuple
@@ -23,12 +25,10 @@ from ..figures.fig1 import fig1_program
 from ..figures.fig2 import fig2_program, fig2_strong_init
 from ..predicates import Predicate, var_true
 from ..seqtrans import (
-    LOSSY,
-    RELIABLE,
     SeqTransParams,
-    bounded_loss,
     build_kbp_protocol,
     build_standard_protocol,
+    channel_from_key,
 )
 from ..seqtrans.spec import (
     SAFETY_LABEL,
@@ -94,37 +94,22 @@ def _fig2_strong() -> Model:
     )
 
 
-def _seqtrans_standard(channel_key: str) -> Callable[[], Model]:
-    channels = {
-        "reliable": RELIABLE,
-        "bounded1": bounded_loss(1),
-        "lossy": LOSSY,
-    }
+def _seqtrans(protocol: str, length: int, channel_token: str) -> Callable[[], Model]:
+    builders = {"standard": build_standard_protocol, "kbp": build_kbp_protocol}
 
     def build() -> Model:
-        params = SeqTransParams(length=1)
-        program = build_standard_protocol(params, channels[channel_key])
+        channel = channel_from_key(channel_token)
+        params = SeqTransParams(length=length)
+        program = builders[protocol](params, channel)
         safety, liveness = _seqtrans_obligations(program, params)
         return Model(
-            key=f"seqtrans-standard-L1-{channel_key}",
+            key=f"seqtrans-{protocol}-L{length}-{channel_token}",
             program=program,
             safety_obligations=safety,
             liveness_obligations=liveness,
         )
 
     return build
-
-
-def _seqtrans_kbp() -> Model:
-    params = SeqTransParams(length=1)
-    program = build_kbp_protocol(params, bounded_loss(1))
-    safety, liveness = _seqtrans_obligations(program, params)
-    return Model(
-        key="seqtrans-kbp-L1-bounded1",
-        program=program,
-        safety_obligations=safety,
-        liveness_obligations=liveness,
-    )
 
 
 def _seqtrans_symbolic(length: int) -> Callable[[], Model]:
@@ -147,20 +132,130 @@ def _seqtrans_symbolic(length: int) -> Callable[[], Model]:
     return build
 
 
+def _kbp24(free_bits: int) -> Callable[[], Model]:
+    """The benchmark KBP family: 24 states, ``2^free_bits`` candidates.
+
+    The same shape as the solver bench's speedup program — three Booleans
+    plus a 0..2 counter, two process views, three knowledge-guarded
+    statements — with the init predicate covering all but ``free_bits``
+    deterministically chosen states (seeded PRNG, so every build of
+    ``kbp24-f<k>`` is byte-identical and client replays re-derive the same
+    program digest).  This is the service's scalable cold-solve workload:
+    the candidate count, hence the solve cost, is dialed by the key alone.
+    """
+
+    def build() -> Model:
+        from ..statespace import BoolDomain, IntRangeDomain, space_of
+        from ..unity import Statement, Unary, Var, const, knows, lnot, var
+
+        space = space_of(
+            a=BoolDomain(), b=BoolDomain(), c=BoolDomain(), n=IntRangeDomain(0, 2)
+        )
+        statements = [
+            Statement(
+                name="s0",
+                targets=("a",),
+                exprs=(const(True),),
+                guard=knows("P", Var("b")),
+            ),
+            Statement(
+                name="s1",
+                targets=("b",),
+                exprs=(const(False),),
+                guard=lnot(knows("Q", Unary("not", Var("c")))),
+            ),
+            Statement(
+                name="s2",
+                targets=("n",),
+                exprs=(var("n") + const(1),),
+                guard=knows("Q", Var("a")) & (var("n") < const(2)),
+            ),
+        ]
+        rng = random.Random(2024)
+        init_mask = space.full_mask
+        for position in rng.sample(range(space.size), free_bits):
+            init_mask &= ~(1 << position)
+        program = Program(
+            space,
+            Predicate(space, init_mask),
+            statements,
+            processes={"P": ["a", "n"], "Q": ["b", "c"]},
+            name=f"kbp24-f{free_bits}",
+        )
+        return Model(key=f"kbp24-f{free_bits}", program=program)
+
+    return build
+
+
 MODEL_BUILDERS: Dict[str, Callable[[], Model]] = {
     "fig1": _fig1,
     "fig2": _fig2,
     "fig2-strong": _fig2_strong,
-    "seqtrans-standard-L1-reliable": _seqtrans_standard("reliable"),
-    "seqtrans-standard-L1-bounded1": _seqtrans_standard("bounded1"),
-    "seqtrans-standard-L1-lossy": _seqtrans_standard("lossy"),
-    "seqtrans-kbp-L1-bounded1": _seqtrans_kbp,
+    "seqtrans-standard-L1-reliable": _seqtrans("standard", 1, "reliable"),
+    "seqtrans-standard-L1-bounded1": _seqtrans("standard", 1, "bounded1"),
+    "seqtrans-standard-L1-lossy": _seqtrans("standard", 1, "lossy"),
+    "seqtrans-kbp-L1-bounded1": _seqtrans("kbp", 1, "bounded1"),
     # Factored reliable-channel models (repro.seqtrans.symbolic): L=2 is
     # explicit-comparable, L=10 lives past 2^40 states and replays on the
     # pinned ROBDD backend.
     "seqtrans-symbolic-L2-reliable": _seqtrans_symbolic(2),
     "seqtrans-symbolic-L10-reliable": _seqtrans_symbolic(10),
 }
+
+
+# ----------------------------------------------------------------------
+# spec-addressable keys: families parsed from the key itself
+# ----------------------------------------------------------------------
+
+#: ``seqtrans-<protocol>-L<length>-<channel token>`` — any length, any
+#: channel :func:`~repro.seqtrans.channel_from_key` understands.
+_SEQTRANS_KEY = re.compile(
+    r"^seqtrans-(?P<protocol>standard|kbp)-L(?P<length>[1-9]\d*)"
+    r"-(?P<channel>[a-z_]+\d*)$"
+)
+_SYMBOLIC_KEY = re.compile(r"^seqtrans-symbolic-L(?P<length>[1-9]\d*)-reliable$")
+_KBP24_KEY = re.compile(r"^kbp24-f(?P<free>\d+)$")
+
+#: kbp24 candidate-count ceiling: past 20 free bits even the *replayer*
+#: refuses the exhaustive partition (``MAX_CANDIDATE_BITS``), so larger
+#: keys could only mint unreplayable certificates.
+KBP24_MAX_FREE_BITS = 20
+
+
+def _dynamic_builder(key: str) -> Optional[Callable[[], Model]]:
+    """Resolve a spec-addressable key to a builder, or ``None``.
+
+    The fixed :data:`MODEL_BUILDERS` table wins for its pinned keys;
+    everything here is parsed from the key text, so clients can address
+    parameterized families — other sequence-transmission lengths and
+    channels, deeper factored models, benchmark KBPs — without a registry
+    edit.  Malformed parameters raise :class:`CertificateError` naming
+    the family's grammar (an unknown key shape returns ``None`` so the
+    caller's unknown-key error lists the registry).
+    """
+    match = _SEQTRANS_KEY.match(key)
+    if match is not None:
+        try:
+            channel_from_key(match["channel"])
+        except ValueError as exc:
+            raise CertificateError(f"model key {key!r}: {exc}") from None
+        return _seqtrans(
+            match["protocol"], int(match["length"]), match["channel"]
+        )
+    match = _SYMBOLIC_KEY.match(key)
+    if match is not None:
+        return _seqtrans_symbolic(int(match["length"]))
+    match = _KBP24_KEY.match(key)
+    if match is not None:
+        free_bits = int(match["free"])
+        if not 1 <= free_bits <= KBP24_MAX_FREE_BITS:
+            raise CertificateError(
+                f"model key {key!r}: kbp24 free bits must be in "
+                f"1..{KBP24_MAX_FREE_BITS} (the space has 24 states and "
+                "replay sweeps all 2^free candidates)"
+            )
+        return _kbp24(free_bits)
+    return None
 
 
 @lru_cache(maxsize=None)
@@ -170,10 +265,21 @@ def build_model(key: str) -> Model:
     Predicates materialize their exact int mask lazily regardless of the
     backend active at build time, so the cache is safe to share between
     int- and numpy-backend replays.
+
+    Keys resolve in two tiers: the pinned :data:`MODEL_BUILDERS` table
+    first, then the spec-addressable families (``seqtrans-standard-L<k>-
+    <channel>``, ``seqtrans-kbp-L<k>-<channel>``,
+    ``seqtrans-symbolic-L<k>-reliable``, ``kbp24-f<k>``) parsed from the
+    key itself — same key, same bytes, wherever it is built.
     """
     builder = MODEL_BUILDERS.get(key)
     if builder is None:
+        builder = _dynamic_builder(key)
+    if builder is None:
         raise CertificateError(
-            f"unknown model key {key!r}; known: {sorted(MODEL_BUILDERS)}"
+            f"unknown model key {key!r}; known: {sorted(MODEL_BUILDERS)} "
+            "plus the parameterized families seqtrans-standard-L<k>-<channel>, "
+            "seqtrans-kbp-L<k>-<channel>, seqtrans-symbolic-L<k>-reliable, "
+            "kbp24-f<k>"
         )
     return builder()

@@ -49,14 +49,35 @@ CLI::
 
     python -m repro.certificates.replay artifacts/
     python -m repro.certificates.replay artifacts/ --journal solve.journal
+    python -m repro.certificates.replay artifacts/ --json
 
-Exit codes: 0 all verified, 1 a verdict was rejected, 3 an artifact is
-truncated (partially written — re-emit rather than trusting a prefix).
+Exit codes (machine contract, stable across releases):
+
+* ``0`` — every artifact (and journal) verified; all verdicts
+  re-established.
+* ``1`` — at least one artifact or journal was **rejected** (semantic
+  failure, tampering, digest mismatch) or no artifacts were found.
+* ``2`` — usage error (argparse's convention: bad flags/arguments).
+* ``3`` — at least one artifact is **truncated** (partially written);
+  truncation dominates rejection because the remedy differs — re-emit,
+  don't investigate.  (:data:`EXIT_TRUNCATED`)
+
+``--json`` replaces the human-readable lines with one JSON document on
+stdout — ``{"artifacts": [...], "journals": [...], "summary": {...}}`` —
+so callers (the service client's untrusting-verify loop among them) can
+consume outcomes programmatically.  The exit code is unchanged and also
+recorded in ``summary.exit_code``.
+
+Directory scans tolerate strays: a ``*.cert.json`` file that parses as
+JSON but is not a certificate envelope is skipped with a warning
+(:func:`repro.certificates.store.scan_artifacts`) instead of failing the
+whole batch; damaged or tampered envelopes still fail loudly.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -86,7 +107,7 @@ from .certs import (
     decode_certificate,
 )
 from .models import Model, build_model
-from .store import Artifact, TruncatedArtifactError, iter_artifacts, load
+from .store import Artifact, TruncatedArtifactError, load, scan_artifacts
 
 #: Exhaustive enumerations (candidate sweeps, S5 predicate sweeps) refuse
 #: to run past these sizes — replay is meant for the paper-scale models.
@@ -1044,17 +1065,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "(repeatable); rejected journals fail the run"
         ),
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help=(
+            "emit one JSON document on stdout instead of human-readable "
+            "lines; exit codes are unchanged (0 verified, 1 rejected, "
+            "2 usage, 3 truncated)"
+        ),
+    )
     args = parser.parse_args(argv)
     target = Path(args.artifacts)
     if target.is_file():
         paths = [target]
     else:
-        paths = list(iter_artifacts(target))
+        # Foreign JSON strays are skipped with a warning; damaged or
+        # tampered envelopes still reach the loader and fail loudly.
+        paths = list(scan_artifacts(target))
     if not paths and not args.journal:
         print(f"no *.cert.json artifacts under {target}", file=sys.stderr)
         return 1
 
+    def tell(line: str) -> None:
+        if not args.as_json:
+            print(line)
+
     def run() -> int:
+        artifact_records: List[Dict[str, Any]] = []
+        journal_records: List[Dict[str, Any]] = []
         failures = 0
         truncated = 0
         for path in paths:
@@ -1063,13 +1102,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 outcome = replay_artifact(artifact)
             except TruncatedArtifactError as exc:
                 truncated += 1
-                print(f"TRUNCATED {path.name}: {exc}")
+                artifact_records.append(
+                    {"path": str(path), "status": "truncated", "error": str(exc)}
+                )
+                tell(f"TRUNCATED {path.name}: {exc}")
                 continue
             except CertificateError as exc:
                 failures += 1
-                print(f"FAIL {path.name}: {exc}")
+                artifact_records.append(
+                    {"path": str(path), "status": "rejected", "error": str(exc)}
+                )
+                tell(f"FAIL {path.name}: {exc}")
                 continue
-            print(
+            artifact_records.append(
+                {
+                    "path": str(path),
+                    "status": "verified",
+                    "kind": artifact.kind,
+                    "model": artifact.model,
+                    "verdict": outcome.verdict,
+                    "details": outcome.details,
+                }
+            )
+            tell(
                 f"OK   {path.name}: {artifact.kind} [{artifact.model}] "
                 f"— {outcome.verdict}"
             )
@@ -1080,14 +1135,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 summary = verify_journal(journal_path)
             except JournalError as exc:
                 failures += 1
-                print(f"FAIL {journal_path}: {exc}")
+                journal_records.append(
+                    {
+                        "path": str(journal_path),
+                        "status": "rejected",
+                        "error": str(exc),
+                    }
+                )
+                tell(f"FAIL {journal_path}: {exc}")
                 continue
+            journal_records.append(
+                {
+                    "path": str(journal_path),
+                    "status": "verified",
+                    "program": summary["program"],
+                    "complete": summary["complete"],
+                    "shards_journaled": summary["shards_journaled"],
+                    "shard_count": summary["shard_count"],
+                    "candidates_checked": summary["candidates_checked"],
+                }
+            )
             shape = (
                 "complete"
                 if summary["complete"]
                 else f"{summary['shards_journaled']}/{summary['shard_count']} shards"
             )
-            print(
+            tell(
                 f"OK   {journal_path}: shard journal [{summary['program']}] "
                 f"— chain verified, {shape}, "
                 f"{summary['candidates_checked']} candidates"
@@ -1095,12 +1168,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         checked = len(paths) + len(args.journal)
         bad = failures + truncated
         status = "all verdicts re-established" if not bad else "REJECTED"
-        print(f"{checked - bad}/{checked} artifacts verified — {status}")
+        tell(f"{checked - bad}/{checked} artifacts verified — {status}")
         if truncated:
             # Truncation dominates: nothing semantic can be said about a
             # partial file, and the caller's remedy (re-emit) differs.
-            return EXIT_TRUNCATED
-        return 1 if failures else 0
+            code = EXIT_TRUNCATED
+        else:
+            code = 1 if failures else 0
+        if args.as_json:
+            print(
+                json.dumps(
+                    {
+                        "artifacts": artifact_records,
+                        "journals": journal_records,
+                        "summary": {
+                            "checked": checked,
+                            "verified": checked - bad,
+                            "rejected": failures,
+                            "truncated": truncated,
+                            "exit_code": code,
+                        },
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        return code
 
     if args.backend is not None:
         with using_backend(args.backend):

@@ -20,6 +20,7 @@ semantic checks live in :mod:`repro.certificates.replay`.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Union
@@ -123,9 +124,23 @@ def loads(text: str) -> Artifact:
 
 
 def save(artifact: Artifact, path: Union[str, Path]) -> Path:
+    """Write an artifact, deduplicating by content.
+
+    If the destination already holds byte-identical text the write is
+    skipped entirely — artifacts are canonical JSON, so equal text is
+    equal digest, and re-emitting an unchanged certificate must not
+    churn mtimes (the service cache and rsync-style syncs key on them).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(artifact.dumps() + "\n", encoding="ascii")
+    text = artifact.dumps() + "\n"
+    if path.exists():
+        try:
+            if path.read_text(encoding="ascii") == text:
+                return path
+        except (OSError, UnicodeDecodeError):
+            pass  # unreadable or non-ascii: overwrite with the good bytes
+    path.write_text(text, encoding="ascii")
     return path
 
 
@@ -139,3 +154,38 @@ def iter_artifacts(directory: Union[str, Path]) -> Iterator[Path]:
     if not root.is_dir():
         raise CertificateError(f"{root} is not a directory")
     return iter(sorted(root.rglob("*.cert.json")))
+
+
+class ForeignArtifactWarning(UserWarning):
+    """A ``*.cert.json`` file that is well-formed JSON but no certificate."""
+
+
+def scan_artifacts(directory: Union[str, Path]) -> Iterator[Path]:
+    """Like :func:`iter_artifacts`, but skip foreign JSON files with a warning.
+
+    Directories accumulate strays — editor scratch files, tool output,
+    metadata — and a batch replay should not hard-fail on a parseable JSON
+    document that never claimed to be a certificate.  A file is *foreign*
+    when it parses as JSON but is not an envelope (not an object, or its
+    ``format`` is not :data:`~repro.certificates.canonical.CERT_FORMAT`);
+    those are skipped with a :class:`ForeignArtifactWarning`.  Anything
+    that does claim the format — including tampered or truncated files,
+    and files that are not JSON at all — is yielded so the loader can
+    reject it loudly: damage must never be silently ignored.
+    """
+    for path in iter_artifacts(directory):
+        try:
+            doc = json.loads(path.read_text(encoding="ascii"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            yield path  # unreadable/damaged: the loader classifies it
+            continue
+        if not isinstance(doc, dict) or doc.get("format") != CERT_FORMAT:
+            claimed = doc.get("format") if isinstance(doc, dict) else None
+            warnings.warn(
+                f"{path} is JSON but not a certificate envelope "
+                f"(format={claimed!r}); skipping",
+                ForeignArtifactWarning,
+                stacklevel=2,
+            )
+            continue
+        yield path

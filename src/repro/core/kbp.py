@@ -278,6 +278,7 @@ def solve_si(
     fault_policy: Optional[object] = None,
     checkpoint: Optional[object] = None,
     method: str = "auto",
+    progress: Optional[object] = None,
 ) -> SolveReport:
     """Completely solve eq. (25) over all candidates ``x ⊇ init``.
 
@@ -309,7 +310,10 @@ def solve_si(
     ``checkpoint`` (a journal path or :class:`~repro.robustness.ShardJournal`)
     are sharded-solver features (DESIGN.md §10): passing either forces the
     parallel route for knowledge-based programs, and combining them with
-    ``parallel="never"`` is an error.
+    ``parallel="never"`` is an error.  So is ``progress`` — a callback
+    receiving :class:`~repro.robustness.SolveProgress` ticks (one per
+    resumed batch, one per completed shard, in journal order) from the
+    supervised sharded sweep.
 
     With ``emit_certificate=True`` the report carries a full eq.-(25)
     certificate: each candidate's resolution plus either the sst chain
@@ -326,10 +330,14 @@ def solve_si(
         raise ValueError(
             f"method={method!r} is not one of 'auto', 'exhaustive', 'cubes'"
         )
-    wants_robustness = fault_policy is not None or checkpoint is not None
+    wants_robustness = (
+        fault_policy is not None
+        or checkpoint is not None
+        or progress is not None
+    )
     if wants_robustness and parallel == "never":
         raise ValueError(
-            "fault_policy/checkpoint are sharded-solver features; "
+            "fault_policy/checkpoint/progress are sharded-solver features; "
             'they cannot be combined with parallel="never"'
         )
     space = program.space
@@ -364,8 +372,9 @@ def solve_si(
             )
         if wants_robustness:
             raise ValueError(
-                "fault_policy/checkpoint are sharded exhaustive-solver "
-                "features; they cannot be combined with method='cubes'"
+                "fault_policy/checkpoint/progress are sharded "
+                "exhaustive-solver features; they cannot be combined with "
+                "method='cubes'"
             )
         return solve_si_cubes(program, resolver=resolver)
     _check_exhaustive_size(space)
@@ -385,6 +394,7 @@ def solve_si(
                 resolver=resolver,
                 fault_policy=fault_policy,
                 checkpoint=checkpoint,
+                progress=progress,
             )
     if resolver is None:
         resolver = CandidateResolver(program)

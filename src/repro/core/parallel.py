@@ -490,6 +490,7 @@ def solve_si_parallel(
     fault_policy: Optional[Any] = None,
     checkpoint: Optional[Any] = None,
     fault_plan: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ):
     """Exhaustively solve eq. (25) with sharding and batched Φ.
 
@@ -520,6 +521,11 @@ def solve_si_parallel(
     byte-identical to an uninterrupted run.  ``fault_plan`` (or the
     ``REPRO_FAULT_PLAN`` environment variable) injects deterministic
     faults for the chaos suite.
+
+    ``progress`` is an optional callback receiving
+    :class:`~repro.robustness.SolveProgress` ticks — one per resumed
+    batch and one per completed shard, in journal order.  It is honored
+    on supervised sweeps only (``FaultPolicy.off()`` ignores it).
     """
     from ..robustness import FaultPlan, FaultPolicy, ShardJournal, ShardSupervisor
     from .kbp import SolveReport, _check_exhaustive_size, solve_si
@@ -632,6 +638,7 @@ def solve_si_parallel(
             serial_runner=serial_runner,
             encode_evidence=_encode_evidence,
             decode_evidence=lambda items: _decode_evidence(items, space),
+            progress=progress,
         )
         try:
             solution_masks, checked, evidence = supervisor.run()

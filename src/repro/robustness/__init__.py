@@ -35,6 +35,7 @@ from .supervisor import (
     FaultLog,
     FaultPolicy,
     ShardSupervisor,
+    SolveProgress,
     SolverWorkerError,
 )
 
@@ -52,6 +53,7 @@ __all__ = [
     "ShardRecord",
     "ShardSupervisor",
     "SimulatedKill",
+    "SolveProgress",
     "SolverWorkerError",
     "verify_journal",
 ]

@@ -102,6 +102,28 @@ class FaultPolicy:
 
 
 @dataclass(frozen=True)
+class SolveProgress:
+    """One progress tick of a supervised sharded solve.
+
+    Emitted through the supervisor's ``progress`` callback — once per
+    journal-resumed batch (``kind="resume"``) and once per completed shard
+    (``kind="shard-completed"``), in exactly the order shard completions
+    reach the journal.  Counts are cumulative, so a consumer can render
+    ``shards_completed/shards_total`` without any state of its own.
+    """
+
+    kind: str  # "resume" | "shard-completed"
+    #: the shard that just completed; ``None`` for resume batches
+    shard_index: Optional[int]
+    shards_completed: int
+    shards_total: int
+    #: cumulative candidates examined (journal-resumed ones included)
+    candidates_checked: int
+    #: candidates loaded from a checkpoint journal instead of re-swept
+    candidates_resumed: int
+
+
+@dataclass(frozen=True)
 class FaultIncident:
     """One supervised event: what happened, to which shard, which attempt."""
 
@@ -176,6 +198,7 @@ class ShardSupervisor:
         serial_runner: Optional[Callable[[int, int], ShardResult]] = None,
         encode_evidence: Callable[[List[Any]], List[Any]] = lambda e: [],
         decode_evidence: Callable[[Sequence[Any]], List[Any]] = lambda e: [],
+        progress: Optional[Callable[[SolveProgress], None]] = None,
     ):
         self.pool_factory = pool_factory
         self.task = task
@@ -188,6 +211,7 @@ class ShardSupervisor:
         self.serial_runner = serial_runner
         self.encode_evidence = encode_evidence
         self.decode_evidence = decode_evidence
+        self.progress = progress
         self.log = FaultLog()
         self._pool: Any = None
 
@@ -272,6 +296,7 @@ class ShardSupervisor:
                     f"{self.journal.path}"
                 ),
             )
+            self._emit_progress("resume", None, results)
         return results
 
     def _pool_phase(
@@ -465,3 +490,29 @@ class ShardSupervisor:
             )
             if self.fault_plan is not None:
                 self.fault_plan.after_journal_append(count)
+        self._emit_progress("shard-completed", index, results)
+
+    def _emit_progress(
+        self,
+        kind: str,
+        index: Optional[int],
+        results: Dict[int, ShardResult],
+    ) -> None:
+        """Tick the progress callback with cumulative counts.
+
+        For ``shard-completed`` this runs *after* the journal append, so a
+        consumer that replays the journal sees the same completion order the
+        callback reported (torn appends raise before reaching here).
+        """
+        if self.progress is None:
+            return
+        self.progress(
+            SolveProgress(
+                kind=kind,
+                shard_index=index,
+                shards_completed=len(results),
+                shards_total=len(self.shard_masks),
+                candidates_checked=sum(r[1] for r in results.values()),
+                candidates_resumed=self.log.candidates_resumed,
+            )
+        )

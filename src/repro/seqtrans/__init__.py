@@ -21,7 +21,9 @@ from .channels import (
     ChannelKind,
     ChannelSpec,
     bounded_loss,
+    channel_from_key,
     channel_from_spec,
+    channel_key,
     corrupting,
     corruption_successors,
 )
@@ -69,7 +71,9 @@ __all__ = [
     "ChannelKind",
     "ChannelSpec",
     "bounded_loss",
+    "channel_from_key",
     "channel_from_spec",
+    "channel_key",
     "corrupting",
     "corruption_successors",
     "SEQTRANS_RESETS",

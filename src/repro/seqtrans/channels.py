@@ -330,6 +330,43 @@ def corrupting(budget: int = 1) -> ChannelSpec:
     return ChannelSpec(ChannelKind.CORRUPTING, budget)
 
 
+def channel_key(spec: ChannelSpec) -> str:
+    """A registry-safe token for a channel (no punctuation).
+
+    Used inside certificate model keys (``seqtrans-kbp-L1-bounded1``) and
+    service program specs, where ``:`` would collide with other field
+    separators.  Budgeted kinds append their budget digit-for-digit;
+    round-trips through :func:`channel_from_key`.
+    """
+    if spec.kind is ChannelKind.BOUNDED_LOSS:
+        return f"bounded{spec.budget}"
+    if spec.kind is ChannelKind.CORRUPTING:
+        return f"corrupting{spec.budget}"
+    return spec.kind.value
+
+
+def channel_from_key(key: str) -> ChannelSpec:
+    """Rebuild a channel from its registry token (inverse of :func:`channel_key`).
+
+    Tokens::
+
+        reliable | lossy | dup_reorder | bounded<budget> | corrupting<budget>
+    """
+    if key == ChannelKind.RELIABLE.value:
+        return RELIABLE
+    if key == ChannelKind.LOSSY.value:
+        return LOSSY
+    if key == ChannelKind.DUPLICATING_REORDER.value:
+        return DUPLICATING_REORDER
+    for prefix, factory in (("bounded", bounded_loss), ("corrupting", corrupting)):
+        if key.startswith(prefix) and key[len(prefix):].isdigit():
+            return factory(int(key[len(prefix):]))
+    raise ValueError(
+        f"unknown channel key {key!r} (know reliable, lossy, dup_reorder, "
+        "bounded<budget>, corrupting<budget>)"
+    )
+
+
 def channel_from_spec(spec: str) -> ChannelSpec:
     """Rebuild a channel from its canonical spec string.
 

@@ -1,0 +1,43 @@
+"""Knowledge as a service: a long-running solve/replay front-end.
+
+The batch pipeline (solve → emit → replay) becomes a server (DESIGN.md
+§13).  Clients address programs by *model registry key* — the same keys
+certificate artifacts pin — plus an obligation id, and receive certificate
+artifacts back; because every artifact is independently replayable, an
+untrusting client verifies locally and never has to take the server's
+word for a verdict.
+
+Five cooperating pieces:
+
+* :mod:`specs`  — :class:`QuerySpec` (model key + obligation + semantic
+  flags), the content-addressed :func:`cache_key` derivation, and
+  :func:`solve_query`, which produces exactly the bytes a direct
+  ``emit_certificate`` run would;
+* :mod:`cache`  — :class:`CertificateCache`: a content-addressed artifact
+  store (query key → object digest → raw bytes), hot hits verified by
+  sha256 over the file bytes in O(bytes), tampered entries evicted and
+  re-solved, writes deduplicated by digest;
+* :mod:`queue`  — :class:`SolveQueue`: single-flight coalescing of
+  concurrent identical queries onto one solver run, with progress fan-out
+  to every waiter;
+* :mod:`server` — the asyncio JSONL front-end
+  (``python -m repro.service.server``), streaming shard-level progress
+  from the supervisor's journal hook and serving artifacts;
+* :mod:`client` — a blocking client + CLI
+  (``python -m repro.service.client``) that submits, watches progress,
+  fetches, and locally replays.
+"""
+
+from .cache import CacheStats, CertificateCache
+from .queue import SolveQueue
+from .specs import ServiceError, QuerySpec, cache_key, solve_query
+
+__all__ = [
+    "CacheStats",
+    "CertificateCache",
+    "QuerySpec",
+    "ServiceError",
+    "SolveQueue",
+    "cache_key",
+    "solve_query",
+]

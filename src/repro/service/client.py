@@ -1,0 +1,300 @@
+"""The untrusting service client: ``python -m repro.service.client``.
+
+A blocking socket client for the JSONL protocol in
+:mod:`repro.service.server`.  Two layers of distrust are built in:
+
+* every received artifact is hashed (sha256 over the exact bytes read)
+  against the digest the server advertised — a corrupted or truncated
+  transfer fails before any JSON is parsed;
+* ``--replay`` closes the loop: the artifact is replayed *locally*
+  through :func:`repro.certificates.replay.replay_artifact`, so the
+  verdict printed is the client's own, not the server's word.  The
+  server is then just a solve scheduler with a cache — it never joins
+  the trusted base.
+
+CLI::
+
+    python -m repro.service.client solve MODEL [--obligation si-solve]
+        [--port N | --port-file PATH] [--out cert.json] [--replay]
+    python -m repro.service.client status | ping | shutdown [--port ...]
+
+``solve`` streams progress to stderr as shards complete and writes the
+artifact to ``--out`` (or reports its size).  Exit codes: 0 served (and,
+with ``--replay``, locally verified), 1 service/replay rejection,
+2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import socket
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from .specs import ServiceError
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """A served artifact, digest-checked against the advertised hash."""
+
+    key: str
+    cache: str  # "hit" | "cold" | "coalesced"
+    digest: str
+    data: bytes
+    progress_events: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        return self.data.decode("ascii")
+
+
+class ServiceClient:
+    """A blocking JSONL-protocol client; one socket, sequential ops."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 600.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        # Buffered file wrappers: readline for event lines, exact-count
+        # read for the raw artifact body (StreamReader's 64 KiB line limit
+        # never applies — artifacts travel outside lines).
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+
+    def close(self) -> None:
+        for stream in (self.rfile, self.wfile, self.sock):
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _send(self, doc: Dict[str, Any]) -> None:
+        self.wfile.write((json.dumps(doc) + "\n").encode("ascii"))
+        self.wfile.flush()
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self.rfile.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        event = json.loads(line)
+        if not isinstance(event, dict):
+            raise ServiceError(f"malformed event: {line!r}")
+        return event
+
+    def _read_exact(self, count: int) -> bytes:
+        data = self.rfile.read(count)
+        if data is None or len(data) != count:
+            got = 0 if data is None else len(data)
+            raise ServiceError(
+                f"artifact truncated on the wire: expected {count} bytes, "
+                f"got {got}"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        model: str,
+        obligation: str = "si-solve",
+        flags: Optional[Dict[str, Any]] = None,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> SolveResult:
+        """Submit a query, stream progress, return the verified artifact.
+
+        Raises :class:`ServiceError` on a service-side error event, a
+        truncated transfer, or a digest mismatch.
+        """
+        self._send(
+            {
+                "op": "solve",
+                "model": model,
+                "obligation": obligation,
+                "flags": flags or {},
+            }
+        )
+        key = ""
+        ticks = 0
+        while True:
+            event = self._recv()
+            kind = event.get("event")
+            if kind == "accepted":
+                key = event.get("key", "")
+            elif kind == "progress":
+                ticks += 1
+                if on_progress is not None:
+                    on_progress(event)
+            elif kind == "artifact":
+                data = self._read_exact(int(event["bytes"]))
+                digest = hashlib.sha256(data).hexdigest()
+                if digest != event.get("digest"):
+                    raise ServiceError(
+                        "artifact digest mismatch: server advertised "
+                        f"{event.get('digest')}, received bytes hash to {digest}"
+                    )
+                return SolveResult(
+                    key=key,
+                    cache=event.get("cache", ""),
+                    digest=digest,
+                    data=data,
+                    progress_events=ticks,
+                )
+            elif kind == "error":
+                raise ServiceError(event.get("error", "unspecified server error"))
+            else:
+                raise ServiceError(f"unexpected event {kind!r} during solve")
+
+    def status(self) -> Dict[str, Any]:
+        self._send({"op": "status"})
+        event = self._recv()
+        if event.get("event") != "status":
+            raise ServiceError(f"expected status, got {event!r}")
+        return event
+
+    def ping(self) -> Dict[str, Any]:
+        self._send({"op": "ping"})
+        event = self._recv()
+        if event.get("event") != "pong":
+            raise ServiceError(f"expected pong, got {event!r}")
+        return event
+
+    def shutdown(self) -> None:
+        self._send({"op": "shutdown"})
+        event = self._recv()
+        if event.get("event") != "bye":
+            raise ServiceError(f"expected bye, got {event!r}")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def _resolve_port(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.port is not None:
+        return args.port
+    if args.port_file:
+        try:
+            return int(Path(args.port_file).read_text(encoding="ascii").strip())
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read port from {args.port_file}: {exc}")
+    parser.error("one of --port or --port-file is required")
+    raise AssertionError  # parser.error exits
+
+
+def _progress_printer(event: Dict[str, Any]) -> None:
+    print(
+        "progress: {kind} {done}/{total} shards, {checked} candidates".format(
+            kind=event.get("kind"),
+            done=event.get("shards_completed"),
+            total=event.get("shards_total"),
+            checked=event.get("candidates_checked"),
+        ),
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _cmd_solve(client: ServiceClient, args: argparse.Namespace) -> int:
+    on_progress = None if args.quiet else _progress_printer
+    try:
+        result = client.solve(
+            args.model, obligation=args.obligation, on_progress=on_progress
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        Path(args.out).write_bytes(result.data)
+    line = {
+        "model": args.model,
+        "obligation": args.obligation,
+        "cache": result.cache,
+        "digest": result.digest,
+        "bytes": len(result.data),
+        "progress_events": result.progress_events,
+    }
+    if args.out:
+        line["out"] = args.out
+    if args.replay:
+        from ..certificates.canonical import CertificateError
+        from ..certificates.replay import replay_artifact
+        from ..certificates.store import loads
+
+        try:
+            outcome = replay_artifact(loads(result.text))
+        except CertificateError as exc:
+            line["replay"] = "rejected"
+            line["error"] = str(exc)
+            print(json.dumps(line, sort_keys=True))
+            return 1
+        line["replay"] = "verified"
+        line["verdict"] = outcome.verdict
+    print(json.dumps(line, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.client",
+        description="Query the certificate service; trust only local replays.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument(
+        "--port-file", default=None, help="read the port the server wrote here"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="submit a query and fetch the artifact")
+    solve.add_argument("model", help="model registry key (e.g. kbp24-f8)")
+    solve.add_argument("--obligation", default="si-solve")
+    solve.add_argument("--out", default=None, help="write the artifact here")
+    solve.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the artifact locally; the verdict is then this "
+        "machine's, not the server's",
+    )
+    solve.add_argument(
+        "--quiet", action="store_true", help="suppress progress on stderr"
+    )
+
+    sub.add_parser("status", help="print cache and queue counters")
+    sub.add_parser("ping", help="round-trip a pong")
+    sub.add_parser("shutdown", help="ask the server to exit")
+
+    args = parser.parse_args(argv)
+    port = _resolve_port(args, parser)
+    try:
+        with ServiceClient(host=args.host, port=port) as client:
+            if args.command == "solve":
+                return _cmd_solve(client, args)
+            if args.command == "status":
+                print(json.dumps(client.status(), indent=2, sort_keys=True))
+                return 0
+            if args.command == "ping":
+                print(json.dumps(client.ping(), sort_keys=True))
+                return 0
+            client.shutdown()
+            print("server shutting down")
+            return 0
+    except (ConnectionError, socket.timeout) as exc:
+        print(f"error: cannot reach the server: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Single-flight solve scheduling.
+
+Concurrent identical queries are the expensive failure mode of a
+certificate service: two clients asking for the same cold key must not
+run the eq.-(25) sweep twice.  :class:`SolveQueue` coalesces by cache
+key — the first submitter becomes the *leader* and its job runs on the
+worker pool; everyone else who arrives while the flight is open becomes
+a *follower*, sharing the leader's future and its progress stream.
+
+Progress fan-out is push-based: the solver's journal-ordered callback
+(:class:`repro.robustness.SolveProgress`) is relayed to every
+subscriber registered on the flight, including ones that joined
+mid-solve (late joiners immediately receive the latest event so their
+first tick is never stale).  Subscribers are plain callables invoked on
+the worker thread; the asyncio server bridges them onto its loop with
+``call_soon_threadsafe``.
+
+The flight is removed from the table *before* its future resolves
+(in the worker's ``finally``), so a query that arrives after a failure
+starts a fresh flight instead of inheriting a cached exception forever.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Subscriber = Callable[[Any], None]
+
+
+@dataclass
+class Flight:
+    """One in-progress solve, shared by every coalesced waiter."""
+
+    key: str
+    future: Future = field(default_factory=Future)
+    subscribers: List[Subscriber] = field(default_factory=list)
+    #: most recent progress event, replayed to late joiners.
+    last_event: Optional[Any] = None
+    waiters: int = 1
+
+
+class SolveQueue:
+    """Coalesce concurrent identical queries onto one solver run."""
+
+    def __init__(self, workers: int = 1):
+        self.pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-solve"
+        )
+        self.lock = threading.Lock()
+        self.inflight: Dict[str, Flight] = {}
+        self.coalesced = 0
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        key: str,
+        job: Callable[[Callable[[Any], None]], Any],
+        subscriber: Optional[Subscriber] = None,
+    ) -> Tuple[Flight, bool]:
+        """Join (or open) the flight for ``key``.
+
+        ``job`` runs only if this call opens the flight; it receives a
+        ``publish`` callable to feed progress events through.  Returns
+        ``(flight, leader)`` — followers just await ``flight.future``.
+        """
+        with self.lock:
+            flight = self.inflight.get(key)
+            if flight is not None:
+                flight.waiters += 1
+                self.coalesced += 1
+                last = flight.last_event
+                if subscriber is not None:
+                    flight.subscribers.append(subscriber)
+                leader = False
+            else:
+                flight = Flight(key=key)
+                if subscriber is not None:
+                    flight.subscribers.append(subscriber)
+                self.inflight[key] = flight
+                last = None
+                leader = True
+        if subscriber is not None and last is not None:
+            subscriber(last)
+        if leader:
+            self.pool.submit(self._run, flight, job)
+        return flight, leader
+
+    def _run(self, flight: Flight, job: Callable[[Callable[[Any], None]], Any]) -> None:
+        try:
+            result = job(lambda event: self._publish(flight, event))
+        except BaseException as exc:  # noqa: BLE001 — relayed to every waiter
+            self._close(flight)
+            flight.future.set_exception(exc)
+        else:
+            self._close(flight)
+            flight.future.set_result(result)
+
+    def _close(self, flight: Flight) -> None:
+        # Remove before resolving the future: a submit racing with the
+        # resolution must open a fresh flight, not adopt a finished one.
+        with self.lock:
+            if self.inflight.get(flight.key) is flight:
+                del self.inflight[flight.key]
+
+    def _publish(self, flight: Flight, event: Any) -> None:
+        with self.lock:
+            flight.last_event = event
+            subscribers = list(flight.subscribers)
+        for subscriber in subscribers:
+            subscriber(event)
+
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        with self.lock:
+            return {
+                "in_flight": len(self.inflight),
+                "keys": sorted(self.inflight),
+                "coalesced": self.coalesced,
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.pool.shutdown(wait=wait)

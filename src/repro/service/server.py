@@ -1,0 +1,345 @@
+"""The asyncio certificate server: ``python -m repro.service.server``.
+
+A line-oriented JSON protocol over a plain TCP socket (stdlib only — raw
+:func:`asyncio.start_server`, no framework).  Requests are one JSON
+object per line::
+
+    {"op": "solve", "model": "kbp24-f8", "obligation": "si-solve"}
+    {"op": "ping"} | {"op": "status"} | {"op": "shutdown"}
+
+Responses are JSON event lines; a ``solve`` streams::
+
+    {"event": "accepted", "key": "<sha256>", "query": {...}}
+    {"event": "progress", "kind": "shard-completed", ...}   (zero or more)
+    {"event": "artifact", "cache": "hit"|"cold"|"coalesced",
+     "digest": "<sha256>", "bytes": N}
+    <N raw artifact bytes>
+
+The artifact rides *outside* JSON — after its header line come exactly
+``bytes`` raw bytes — so multi-megabyte certificates are never escaped,
+re-encoded, or split across lines, and the client can hash exactly what
+it received against the advertised digest before parsing anything.
+
+Solve flow: resolve the spec off-loop (model rebuild + digest), consult
+the :class:`~repro.service.cache.CertificateCache` (hits are verified
+raw-bytes sha256 — no solver, no JSON), and on a miss join the
+:class:`~repro.service.queue.SolveQueue` flight for the key.  The flight
+leader runs the cold solve with ``checkpoint=`` pointed at the cache's
+journal slot for the key, so a server killed mid-solve resumes completed
+shards from disk on the next request for the same query — the final
+artifact is byte-identical to an uninterrupted run (PR-4 invariant).
+Shard-level progress ticks come straight from the supervisor's
+journal-ordered callback and fan out to every coalesced waiter.
+
+The server computes; clients *verify*.  Nothing here extends the trusted
+base — an untrusting client replays the artifact locally
+(``python -m repro.service.client solve ... --replay``) and accepts the
+verdict only from its own replayer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..certificates.canonical import CertificateError
+from .cache import CertificateCache
+from .queue import SolveQueue
+from .specs import QuerySpec, cache_key, resolve_model, solve_query
+
+#: Protocol tag announced in ``listening``/``pong``/``status`` events.
+PROTOCOL = "repro-service/1"
+
+
+def _encode(doc: Dict[str, Any]) -> bytes:
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("ascii")
+
+
+class CertificateServer:
+    """One cache, one solve queue, any number of connections."""
+
+    def __init__(
+        self,
+        cache: CertificateCache,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        solver_workers: int = 1,
+        queue_workers: int = 1,
+    ):
+        self.cache = cache
+        self.host = host
+        self.port = port
+        self.solver_workers = solver_workers
+        self.queue = SolveQueue(workers=queue_workers)
+        self.started = time.monotonic()
+        self.stopping = asyncio.Event()
+        self.server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> int:
+        self.server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self.server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_until_stopped(self) -> None:
+        assert self.server is not None
+        async with self.server:
+            await self.stopping.wait()
+        self.queue.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self.stopping.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    doc = json.loads(line)
+                    if not isinstance(doc, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    await self._send(writer, {"event": "error", "error": str(exc)})
+                    continue
+                op = doc.get("op")
+                if op == "solve":
+                    await self._handle_solve(doc, writer)
+                elif op == "ping":
+                    await self._send(
+                        writer, {"event": "pong", "protocol": PROTOCOL}
+                    )
+                elif op == "status":
+                    await self._send(writer, self._status_event())
+                elif op == "shutdown":
+                    await self._send(writer, {"event": "bye"})
+                    self.stopping.set()
+                    break
+                else:
+                    await self._send(
+                        writer,
+                        {
+                            "event": "error",
+                            "error": f"unknown op {op!r}; know solve, ping, "
+                            "status, shutdown",
+                        },
+                    )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _status_event(self) -> Dict[str, Any]:
+        return {
+            "event": "status",
+            "protocol": PROTOCOL,
+            "uptime": round(time.monotonic() - self.started, 3),
+            "cache": self.cache.stats.snapshot(),
+            "queue": self.queue.status(),
+        }
+
+    # ------------------------------------------------------------------
+    # the solve op
+    # ------------------------------------------------------------------
+
+    async def _handle_solve(
+        self, doc: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            spec = QuerySpec.from_request(doc)
+            # Model rebuild and digest are CPU work — off the loop.
+            model = await loop.run_in_executor(None, resolve_model, spec)
+            key = cache_key(spec, model=model)
+        except CertificateError as exc:  # includes ServiceError
+            await self._send(writer, {"event": "error", "error": str(exc)})
+            return
+        await self._send(
+            writer,
+            {"event": "accepted", "key": key, "query": spec.describe()},
+        )
+
+        data = await loop.run_in_executor(None, self.cache.get, key)
+        if data is not None:
+            await self._send_artifact(writer, data, "hit")
+            return
+
+        events: asyncio.Queue = asyncio.Queue()
+
+        def subscriber(event: Any) -> None:
+            # Runs on the solver thread; hop onto the loop.
+            loop.call_soon_threadsafe(events.put_nowait, event)
+
+        def job(publish: Any) -> bytes:
+            text = solve_query(
+                spec,
+                model=model,
+                workers=self.solver_workers,
+                checkpoint=self.cache.journal_path(key),
+                progress=publish,
+            )
+            payload = text.encode("ascii")
+            self.cache.put(
+                key,
+                payload,
+                meta={"model": spec.model, "obligation": spec.obligation},
+            )
+            # Only after the artifact is durably cached: the journal is the
+            # resume story for exactly as long as there is nothing to serve.
+            self.cache.clear_journal(key)
+            return payload
+
+        flight, leader = self.queue.submit(key, job, subscriber)
+        source = "cold" if leader else "coalesced"
+        done = asyncio.ensure_future(asyncio.wrap_future(flight.future))
+        while True:
+            getter = asyncio.ensure_future(events.get())
+            await asyncio.wait({getter, done}, return_when=asyncio.FIRST_COMPLETED)
+            if getter.done():
+                await self._send_progress(writer, getter.result())
+                continue
+            getter.cancel()
+            # Progress lands on the loop before the future's done-callback
+            # (both hop via call_soon_threadsafe, in publish order), but
+            # flush anything still queued for good measure.
+            while not events.empty():
+                await self._send_progress(writer, events.get_nowait())
+            break
+        try:
+            data = done.result()
+        except CertificateError as exc:
+            await self._send(writer, {"event": "error", "error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — relay, keep serving
+            await self._send(
+                writer,
+                {"event": "error", "error": f"solve failed: {type(exc).__name__}: {exc}"},
+            )
+        else:
+            await self._send_artifact(writer, data, source)
+
+    # ------------------------------------------------------------------
+    # wire helpers
+    # ------------------------------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter, doc: Dict[str, Any]) -> None:
+        writer.write(_encode(doc))
+        await writer.drain()
+
+    async def _send_progress(self, writer: asyncio.StreamWriter, tick: Any) -> None:
+        event = {"event": "progress"}
+        event.update(dataclasses.asdict(tick))
+        await self._send(writer, event)
+
+    async def _send_artifact(
+        self, writer: asyncio.StreamWriter, data: bytes, source: str
+    ) -> None:
+        import hashlib
+
+        writer.write(
+            _encode(
+                {
+                    "event": "artifact",
+                    "cache": source,
+                    "digest": hashlib.sha256(data).hexdigest(),
+                    "bytes": len(data),
+                }
+            )
+        )
+        writer.write(data)
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    cache = CertificateCache(args.cache_dir)
+    server = CertificateServer(
+        cache,
+        host=args.host,
+        port=args.port,
+        solver_workers=args.workers,
+        queue_workers=args.queue_workers,
+    )
+    port = await server.start()
+    if args.port_file:
+        # Written atomically-enough for a watcher: the content is tiny.
+        Path(args.port_file).write_text(f"{port}\n", encoding="ascii")
+    print(
+        json.dumps(
+            {
+                "event": "listening",
+                "protocol": PROTOCOL,
+                "host": args.host,
+                "port": port,
+                "cache_dir": str(cache.root),
+            },
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+    await server.serve_until_stopped()
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.server",
+        description="Serve certified verdicts over a JSONL TCP protocol.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port (default)"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        required=True,
+        help="root of the content-addressed certificate cache",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="solver workers per cold solve (1 = in-process supervised)",
+    )
+    parser.add_argument(
+        "--queue-workers",
+        type=int,
+        default=1,
+        help="concurrent cold solves (distinct keys; same-key queries coalesce)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening (for test harnesses)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Program specs, cache keys, and the cold-path solve.
+
+A query names **what** is to be certified — a model registry key, an
+obligation id, and any semantic solver flags — never **how**: execution
+knobs (worker count, predicate backend, checkpoint path) are excluded
+from the spec because the repo's solvers are bit-identical across them
+(PR 3/4/6 invariants), so the same query must hit the same cache entry no
+matter which machine or pool shape computed it.
+
+The cache key is a sha256 over the canonical JSON of the resolved spec —
+including the *program digest* the registry derives by rebuilding the
+model from source, so two releases whose builders drift produce distinct
+keys instead of serving each other's certificates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..certificates.canonical import (
+    CertificateError,
+    canonical_dumps,
+    program_digest,
+)
+from ..certificates.certs import FixpointCertificate, InvariantCertificate
+from ..certificates.models import Model, build_model
+from ..certificates.store import wrap
+from ..predicates import using_backend
+
+#: Format tag folded into every cache key; bump to invalidate the world.
+QUERY_FORMAT = "repro-service-query/v1"
+
+
+class ServiceError(CertificateError):
+    """A query that cannot be served: bad spec, unknown obligation."""
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """What a client asks to be certified.
+
+    ``obligation`` ids:
+
+    * ``"si-solve"`` — the full eq.-(25) sweep with per-candidate evidence
+      (knowledge-based models only): a ``kbp-solve`` certificate.
+    * ``"si"`` — the strongest-invariant Kleene chain: a ``fixpoint``
+      certificate (claim ``si``).
+    * ``"invariant"`` / ``"invariant:<label>"`` — the SI chain plus the
+      inclusion check for one of the model's pinned safety obligations
+      (the bare form takes the model's first); an ``invariant``
+      certificate.
+
+    ``flags`` is reserved for *semantic* solver options (ones that change
+    the artifact); execution knobs do not belong here.
+    """
+
+    model: str
+    obligation: str = "si"
+    flags: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def from_request(cls, doc: Dict[str, Any]) -> "QuerySpec":
+        """Build a spec from a wire request, rejecting unknown shapes."""
+        model = doc.get("model")
+        if not isinstance(model, str) or not model:
+            raise ServiceError("request needs a 'model' registry key")
+        obligation = doc.get("obligation", "si")
+        if not isinstance(obligation, str):
+            raise ServiceError("'obligation' must be a string id")
+        flags = doc.get("flags") or {}
+        if not isinstance(flags, dict):
+            raise ServiceError("'flags' must be an object")
+        return cls(
+            model=model,
+            obligation=obligation,
+            flags=tuple(sorted(flags.items())),
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "obligation": self.obligation,
+            "flags": dict(self.flags),
+        }
+
+
+def resolve_model(spec: QuerySpec) -> Model:
+    """Rebuild the spec's model (size-aware backend policy active)."""
+    with using_backend("auto"):
+        return build_model(spec.model)
+
+
+def cache_key(spec: QuerySpec, model: Optional[Model] = None) -> str:
+    """The content address of a query's certified answer.
+
+    sha256 over the canonical JSON of ``(format, model key, program
+    digest, obligation, flags)``.  The program digest pins the *rebuilt*
+    program — name, space signature, statement names, init fingerprint —
+    so a drifted builder can never alias an old entry.  Execution knobs
+    are deliberately absent: artifacts are byte-identical across worker
+    counts, backends, and checkpoint layouts, so including them would
+    only shatter the cache.
+    """
+    if model is None:
+        model = resolve_model(spec)
+    digest = hashlib.sha256(
+        canonical_dumps(
+            {
+                "format": QUERY_FORMAT,
+                "model": spec.model,
+                "program": program_digest(model.program),
+                "obligation": spec.obligation,
+                "flags": dict(spec.flags),
+            }
+        ).encode("ascii")
+    ).hexdigest()
+    return digest
+
+
+def _invariant_obligation(spec: QuerySpec, model: Model):
+    _, _, label = spec.obligation.partition(":")
+    if not model.safety_obligations:
+        raise ServiceError(
+            f"model {spec.model!r} pins no safety obligations to certify"
+        )
+    if not label:
+        return model.safety_obligations[0]
+    for pinned_label, predicate in model.safety_obligations:
+        if pinned_label == label:
+            return pinned_label, predicate
+    known = [l for l, _ in model.safety_obligations]
+    raise ServiceError(
+        f"model {spec.model!r} has no safety obligation {label!r}; "
+        f"pinned: {known}"
+    )
+
+
+def solve_query(
+    spec: QuerySpec,
+    *,
+    model: Optional[Model] = None,
+    workers: Optional[int] = None,
+    checkpoint: Optional[Any] = None,
+    progress: Optional[Callable[[Any], None]] = None,
+) -> str:
+    """The cold path: solve, certify, and return the artifact text.
+
+    Returns exactly what a direct emit would put on disk —
+    ``artifact.dumps() + "\\n"`` — so cache hits are byte-identical to
+    fresh solves by construction.  ``workers``/``checkpoint``/``progress``
+    are execution-only: they steer the sweep (and let a killed server
+    resume from its shard journal) without ever reaching the artifact
+    bytes.
+
+    Unknown flags are rejected rather than ignored — a flag that does not
+    change the solve must not mint a distinct cache entry.
+    """
+    if spec.flags:
+        raise ServiceError(
+            f"unknown semantic flags {dict(spec.flags)!r}; none are "
+            "defined in this release"
+        )
+    if model is None:
+        model = resolve_model(spec)
+    program = model.program
+    with using_backend("auto"):
+        if spec.obligation == "si-solve":
+            if not program.is_knowledge_based():
+                raise ServiceError(
+                    f"'si-solve' needs a knowledge-based model; "
+                    f"{spec.model!r} is standard — ask for 'si' instead"
+                )
+            from ..core.kbp import solve_si
+
+            report = solve_si(
+                program,
+                emit_certificate=True,
+                workers=workers,
+                checkpoint=checkpoint,
+                progress=progress,
+            )
+            certificate = report.certificate
+        elif spec.obligation == "si" or spec.obligation.startswith("invariant"):
+            if program.is_knowledge_based():
+                raise ServiceError(
+                    f"{spec.obligation!r} runs the plain SST chain, which "
+                    f"needs a standard program; {spec.model!r} is "
+                    "knowledge-based — ask for 'si-solve' instead"
+                )
+            from ..transformers import sst
+
+            result = sst(program, program.init)
+            fixpoint = FixpointCertificate(
+                claim="si",
+                program=program_digest(program),
+                seed=program.init,
+                chain=result.chain,
+            )
+            if spec.obligation == "si":
+                certificate = fixpoint
+            else:
+                label, predicate = _invariant_obligation(spec, model)
+                if not result.predicate.entails(predicate):
+                    raise ServiceError(
+                        f"obligation {label!r} does not hold on "
+                        f"{spec.model!r}: SI escapes the predicate — there "
+                        "is no invariant certificate to serve"
+                    )
+                certificate = InvariantCertificate(
+                    si=fixpoint, predicate=predicate, label=label
+                )
+        else:
+            raise ServiceError(
+                f"unknown obligation {spec.obligation!r}; know 'si-solve', "
+                "'si', 'invariant', 'invariant:<label>'"
+            )
+    return wrap(certificate, spec.model).dumps() + "\n"

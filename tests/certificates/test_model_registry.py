@@ -1,0 +1,103 @@
+"""Spec-addressable model keys: parsed families, determinism, round-trips.
+
+The service addresses programs by registry key alone, so a key must build
+the same program — byte-identical digest — wherever and whenever it is
+parsed, and malformed keys must fail with the family's grammar in the
+message rather than a bare KeyError.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certificates import CertificateError, wrap
+from repro.certificates.canonical import program_digest
+from repro.certificates.models import KBP24_MAX_FREE_BITS, build_model
+from repro.seqtrans import (
+    DUPLICATING_REORDER,
+    LOSSY,
+    RELIABLE,
+    bounded_loss,
+    channel_from_key,
+    channel_key,
+    corrupting,
+)
+
+
+class TestChannelKeys:
+    @pytest.mark.parametrize(
+        "spec",
+        [RELIABLE, LOSSY, DUPLICATING_REORDER, bounded_loss(1), bounded_loss(3), corrupting(2)],
+        ids=lambda s: s.spec,
+    )
+    def test_round_trip(self, spec):
+        assert channel_from_key(channel_key(spec)) == spec
+
+    def test_tokens_are_registry_safe(self):
+        assert channel_key(bounded_loss(1)) == "bounded1"
+        assert channel_key(corrupting(2)) == "corrupting2"
+        assert ":" not in channel_key(bounded_loss(4))
+
+    def test_unknown_token_names_the_grammar(self):
+        with pytest.raises(ValueError, match="bounded<budget>"):
+            channel_from_key("bounded_loss:1")  # the spec syntax, not the key
+
+
+class TestDynamicSeqtransKeys:
+    def test_parsed_key_matches_pinned_builder(self):
+        pinned = build_model("seqtrans-standard-L1-bounded1")
+        # Bypass the lru_cache so the dynamic path genuinely re-parses.
+        dynamic = build_model.__wrapped__("seqtrans-standard-L1-bounded1")
+        assert program_digest(pinned.program) == program_digest(dynamic.program)
+        assert pinned.safety_obligations == dynamic.safety_obligations
+
+    def test_unpinned_length_and_channel(self):
+        model = build_model("seqtrans-standard-L2-lossy")
+        assert model.key == "seqtrans-standard-L2-lossy"
+        # L=2 pins two liveness obligations (one per prefix length).
+        assert len(model.liveness_obligations) == 2
+
+    def test_unpinned_budget(self):
+        model = build_model("seqtrans-standard-L1-bounded2")
+        assert "bs" in model.program.space.names
+
+    def test_bad_channel_token_is_a_certificate_error(self):
+        with pytest.raises(CertificateError, match="unknown channel key"):
+            build_model("seqtrans-standard-L1-warp")
+
+    def test_unknown_key_lists_the_families(self):
+        with pytest.raises(CertificateError, match="kbp24-f<k>"):
+            build_model("no-such-model")
+
+
+class TestKbp24Family:
+    def test_deterministic_rebuild(self):
+        one = build_model.__wrapped__("kbp24-f8")
+        two = build_model.__wrapped__("kbp24-f8")
+        assert program_digest(one.program) == program_digest(two.program)
+
+    def test_free_bits_dial_the_candidate_count(self):
+        for free in (4, 8, 12):
+            model = build_model(f"kbp24-f{free}")
+            space = model.program.space
+            assert space.size == 24
+            assert space.size - model.program.init.count() == free
+
+    def test_out_of_range_free_bits_rejected(self):
+        for bad in (0, KBP24_MAX_FREE_BITS + 1):
+            with pytest.raises(CertificateError, match="free bits"):
+                build_model(f"kbp24-f{bad}")
+
+    def test_certified_solve_replays(self):
+        """The service loop end to end at small scale: solve a kbp24 model
+        with evidence, wrap it under its key, independently replay it."""
+        from repro.certificates.replay import replay_artifact
+        from repro.core.kbp import solve_si
+
+        model = build_model("kbp24-f6")
+        report = solve_si(model.program, emit_certificate=True, parallel="never")
+        assert report.candidates_checked == 64
+        artifact = wrap(report.certificate, "kbp24-f6")
+        outcome = replay_artifact(artifact)
+        assert outcome.verdict in ("well-posed", "no-solution")
+        assert outcome.details["candidates"] == 64

@@ -1,0 +1,197 @@
+"""Store hygiene and the machine-readable replay CLI.
+
+Directory scans must tolerate foreign JSON strays (skip + warn) without
+ever silencing real damage, saves must dedupe by content, and ``--json``
+must give callers the whole outcome as one parseable document with the
+documented exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.certificates import loads, save
+from repro.certificates.store import ForeignArtifactWarning, scan_artifacts
+
+
+@pytest.fixture(scope="module")
+def fig1_artifact():
+    from repro.certificates.emit import certify_fig1
+
+    ((_, artifact),) = certify_fig1()
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# scan_artifacts: skip foreign strays, keep damage loud
+# ----------------------------------------------------------------------
+
+
+class TestScanArtifacts:
+    def test_foreign_json_is_skipped_with_a_warning(
+        self, fig1_artifact, tmp_path
+    ):
+        good = save(fig1_artifact, tmp_path / "fig1.cert.json")
+        (tmp_path / "notes.cert.json").write_text('{"hello": "world"}\n')
+        (tmp_path / "list.cert.json").write_text('[1, 2, 3]\n')
+        with pytest.warns(ForeignArtifactWarning) as caught:
+            found = list(scan_artifacts(tmp_path))
+        assert found == [good]
+        assert len(caught) == 2
+        assert "not a certificate envelope" in str(caught[0].message)
+
+    def test_wrong_format_field_is_foreign(self, tmp_path):
+        (tmp_path / "other.cert.json").write_text(
+            '{"format": "somebody-elses/v9", "payload": {}}\n'
+        )
+        with pytest.warns(ForeignArtifactWarning):
+            assert list(scan_artifacts(tmp_path)) == []
+
+    def test_damaged_envelopes_are_still_yielded(
+        self, fig1_artifact, tmp_path
+    ):
+        """Tampered and truncated files claim the format — they must reach
+        the loader and fail there, never be silently skipped."""
+        good = save(fig1_artifact, tmp_path / "fig1.cert.json")
+        tampered = tmp_path / "bad.cert.json"
+        doc = json.loads(good.read_text())
+        doc["digest"] = "sha256:" + "0" * 64
+        tampered.write_text(json.dumps(doc))
+        torn = tmp_path / "torn.cert.json"
+        torn.write_text(good.read_text()[: len(good.read_text()) // 2])
+        not_json = tmp_path / "garbage.cert.json"
+        not_json.write_text("%%% not json at all")
+        found = list(scan_artifacts(tmp_path))
+        assert found == sorted([good, tampered, torn, not_json])
+
+    def test_directory_without_strays_warns_nothing(
+        self, fig1_artifact, tmp_path, recwarn
+    ):
+        good = save(fig1_artifact, tmp_path / "fig1.cert.json")
+        assert list(scan_artifacts(tmp_path)) == [good]
+        assert not [
+            w for w in recwarn if w.category is ForeignArtifactWarning
+        ]
+
+
+# ----------------------------------------------------------------------
+# save: dedupe by content
+# ----------------------------------------------------------------------
+
+
+class TestSaveDedupe:
+    def test_identical_resave_does_not_rewrite(self, fig1_artifact, tmp_path):
+        path = save(fig1_artifact, tmp_path / "fig1.cert.json")
+        before = path.stat().st_mtime_ns
+        text = path.read_text()
+        assert save(fig1_artifact, path) == path
+        assert path.stat().st_mtime_ns == before
+        assert path.read_text() == text
+
+    def test_changed_content_is_rewritten(self, fig1_artifact, tmp_path):
+        path = tmp_path / "fig1.cert.json"
+        path.write_text('{"format": "stale"}\n')
+        save(fig1_artifact, path)
+        assert loads(path.read_text()).kind == fig1_artifact.kind
+
+    def test_unreadable_existing_file_is_overwritten(
+        self, fig1_artifact, tmp_path
+    ):
+        path = tmp_path / "fig1.cert.json"
+        path.write_bytes(b"\xff\xfe garbage bytes")
+        save(fig1_artifact, path)
+        assert loads(path.read_text()).kind == fig1_artifact.kind
+
+
+# ----------------------------------------------------------------------
+# the replay CLI: stray tolerance + --json
+# ----------------------------------------------------------------------
+
+
+class TestReplayCli:
+    def test_directory_with_stray_still_verifies(
+        self, fig1_artifact, tmp_path, capsys
+    ):
+        from repro.certificates.replay import main
+
+        save(fig1_artifact, tmp_path / "fig1.cert.json")
+        (tmp_path / "stray.cert.json").write_text('{"tool": "other"}\n')
+        with pytest.warns(ForeignArtifactWarning):
+            assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 artifacts verified" in out
+
+    def test_json_mode_verified(self, fig1_artifact, tmp_path, capsys):
+        from repro.certificates.replay import main
+
+        save(fig1_artifact, tmp_path / "fig1.cert.json")
+        assert main([str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"] == {
+            "checked": 1,
+            "verified": 1,
+            "rejected": 0,
+            "truncated": 0,
+            "exit_code": 0,
+        }
+        (record,) = doc["artifacts"]
+        assert record["status"] == "verified"
+        assert record["kind"] == fig1_artifact.kind
+        assert record["model"] == fig1_artifact.model
+        assert record["verdict"]
+
+    def test_json_mode_rejection(self, fig1_artifact, tmp_path, capsys):
+        from repro.certificates.replay import main
+
+        path = save(fig1_artifact, tmp_path / "fig1.cert.json")
+        doc = json.loads(path.read_text())
+        doc["digest"] = "sha256:" + "0" * 64
+        path.write_text(json.dumps(doc))
+        assert main([str(tmp_path), "--json"]) == 1
+        out = json.loads(capsys.readouterr().out)
+        assert out["summary"]["rejected"] == 1
+        assert out["summary"]["exit_code"] == 1
+        assert out["artifacts"][0]["status"] == "rejected"
+        assert "digest mismatch" in out["artifacts"][0]["error"]
+
+    def test_json_mode_truncation(self, fig1_artifact, tmp_path, capsys):
+        from repro.certificates.replay import EXIT_TRUNCATED, main
+
+        path = save(fig1_artifact, tmp_path / "fig1.cert.json")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert main([str(tmp_path), "--json"]) == EXIT_TRUNCATED
+        out = json.loads(capsys.readouterr().out)
+        assert out["summary"]["truncated"] == 1
+        assert out["summary"]["exit_code"] == EXIT_TRUNCATED
+        assert out["artifacts"][0]["status"] == "truncated"
+
+    def test_json_mode_includes_journals(
+        self, fig1_artifact, tmp_path, capsys
+    ):
+        from repro.certificates.replay import main
+        from repro.core.kbp import solve_si
+
+        from tests.robustness.conftest import make_chaos_kbp
+
+        save(fig1_artifact, tmp_path / "fig1.cert.json")
+        journal_path = tmp_path / "solve.journal"
+        solve_si(make_chaos_kbp(), workers=1, checkpoint=journal_path)
+        assert (
+            main([str(tmp_path), "--json", "--journal", str(journal_path)])
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        (journal,) = out["journals"]
+        assert journal["status"] == "verified"
+        assert journal["complete"] is True
+        assert out["summary"]["checked"] == 2
+
+    def test_usage_error_exits_2(self, tmp_path):
+        from repro.certificates.replay import main
+
+        with pytest.raises(SystemExit) as exc:
+            main([str(tmp_path), "--backend", "quantum"])
+        assert exc.value.code == 2

@@ -1,0 +1,1 @@
+"""Tests for the certificate service (repro.service)."""

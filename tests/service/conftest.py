@@ -1,0 +1,81 @@
+"""A real server subprocess for the service end-to-end tests.
+
+The fixture hands tests a :class:`ServerHandle` that can kill (SIGKILL —
+the crash the journal resume story is about) and restart the server on
+the *same* cache directory, which is exactly the kill-and-resume
+acceptance scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+
+class ServerHandle:
+    """One certificate server subprocess, restartable on its cache dir."""
+
+    def __init__(self, cache_dir: Path, port_file: Path):
+        self.cache_dir = cache_dir
+        self.port_file = port_file
+        self.proc: subprocess.Popen = None
+        self.port: int = None
+
+    def start(self, timeout: float = 30.0) -> "ServerHandle":
+        if self.port_file.exists():
+            self.port_file.unlink()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.server",
+             "--cache-dir", str(self.cache_dir),
+             "--port-file", str(self.port_file)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.port_file.exists():
+                text = self.port_file.read_text(encoding="ascii").strip()
+                if text:
+                    self.port = int(text)
+                    return self
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited with {self.proc.returncode} before listening"
+                )
+            time.sleep(0.02)
+        raise RuntimeError("server did not write its port file in time")
+
+    def kill(self) -> None:
+        """SIGKILL — no cleanup handlers run, exactly like a crash."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=10)
+
+    def stop(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.kill()
+
+
+@pytest.fixture
+def server(tmp_path):
+    handle = ServerHandle(tmp_path / "cache", tmp_path / "port")
+    handle.start()
+    yield handle
+    handle.stop()

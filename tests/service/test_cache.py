@@ -1,0 +1,155 @@
+"""Cache correctness: byte-identity, tamper eviction, dedup, single-flight."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import CertificateCache, SolveQueue
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CertificateCache(tmp_path / "cache")
+
+
+KEY = "a" * 64
+OTHER = "b" * 64
+DATA = b'{"format": "x"}\n'
+
+
+class TestCacheRoundTrip:
+    def test_put_get_byte_identical(self, cache):
+        digest = cache.put(KEY, DATA)
+        assert cache.get(KEY) == DATA
+        assert cache.object_path(digest).read_bytes() == DATA
+        assert cache.stats.snapshot()["hits"] == 1
+
+    def test_unknown_key_is_a_miss(self, cache):
+        assert cache.get(KEY) is None
+        assert cache.stats.snapshot() == {
+            "hits": 0, "misses": 1, "puts": 0, "deduped_puts": 0, "evictions": 0,
+        }
+
+    def test_journal_paths_are_per_key(self, cache):
+        assert cache.journal_path(KEY) != cache.journal_path(OTHER)
+        assert cache.journal_path(KEY).parent == cache.journals_dir
+
+
+class TestTamperEviction:
+    def test_flipped_byte_evicts_and_misses(self, cache):
+        digest = cache.put(KEY, DATA)
+        path = cache.object_path(digest)
+        path.write_bytes(DATA.replace(b"x", b"y"))
+        assert cache.get(KEY) is None
+        # Both the object and the reference are gone; the next get is a
+        # plain miss, never the tampered bytes.
+        assert not path.exists()
+        assert not cache.key_path(KEY).exists()
+        assert cache.stats.snapshot()["evictions"] == 1
+
+    def test_truncated_object_evicts(self, cache):
+        digest = cache.put(KEY, DATA)
+        cache.object_path(digest).write_bytes(DATA[:4])
+        assert cache.get(KEY) is None
+        assert cache.stats.snapshot()["evictions"] == 1
+
+    def test_missing_object_evicts_the_reference(self, cache):
+        digest = cache.put(KEY, DATA)
+        cache.object_path(digest).unlink()
+        assert cache.get(KEY) is None
+        assert not cache.key_path(KEY).exists()
+
+    def test_resolve_after_eviction_serves_fresh_bytes(self, cache):
+        digest = cache.put(KEY, DATA)
+        cache.object_path(digest).write_bytes(b"garbage")
+        assert cache.get(KEY) is None
+        cache.put(KEY, DATA)  # the re-solve
+        assert cache.get(KEY) == DATA
+
+
+class TestDedup:
+    def test_identical_bytes_share_one_object(self, cache):
+        first = cache.put(KEY, DATA)
+        second = cache.put(OTHER, DATA)
+        assert first == second
+        objects = list(cache.objects_dir.glob("*.cert.json"))
+        assert len(objects) == 1
+        assert cache.stats.snapshot()["deduped_puts"] == 1
+        assert cache.get(KEY) == cache.get(OTHER) == DATA
+
+
+class TestSingleFlight:
+    def test_concurrent_submits_run_the_job_once(self):
+        queue = SolveQueue(workers=2)
+        release = threading.Event()
+        runs = []
+
+        def job(publish):
+            runs.append(True)
+            publish("tick")
+            release.wait(timeout=10)
+            return b"result"
+
+        seen_a, seen_b = [], []
+        flight_a, leader_a = queue.submit(KEY, job, seen_a.append)
+        # The leader's job is now blocked on `release`; a second submit
+        # must coalesce instead of starting another run.
+        flight_b, leader_b = queue.submit(KEY, job, seen_b.append)
+        assert leader_a and not leader_b
+        assert flight_a is flight_b
+        release.set()
+        assert flight_a.future.result(timeout=10) == b"result"
+        assert runs == [True]
+        assert queue.status()["coalesced"] == 1
+        queue.shutdown()
+
+    def test_late_joiner_receives_the_latest_progress(self):
+        queue = SolveQueue(workers=1)
+        published = threading.Event()
+        release = threading.Event()
+
+        def job(publish):
+            publish("first")
+            publish("second")
+            published.set()
+            release.wait(timeout=10)
+            return b"ok"
+
+        queue.submit(KEY, job)
+        assert published.wait(timeout=10)
+        late = []
+        _, leader = queue.submit(KEY, job, late.append)
+        assert not leader
+        assert late == ["second"]  # stale ticks are not replayed, only the last
+        release.set()
+        queue.shutdown()
+
+    def test_flight_closes_before_the_future_resolves(self):
+        queue = SolveQueue(workers=1)
+        flight, _ = queue.submit(KEY, lambda publish: b"one")
+        flight.future.result(timeout=10)
+        # A fresh submit after completion opens a fresh flight: the queue
+        # caches nothing (that is the CertificateCache's job).
+        flight2, leader2 = queue.submit(KEY, lambda publish: b"two")
+        assert leader2 and flight2 is not flight
+        assert flight2.future.result(timeout=10) == b"two"
+        queue.shutdown()
+
+    def test_job_failure_reaches_every_waiter_and_clears(self):
+        queue = SolveQueue(workers=1)
+        release = threading.Event()
+
+        def bad(publish):
+            release.wait(timeout=10)
+            raise RuntimeError("solver exploded")
+
+        flight_a, _ = queue.submit(KEY, bad)
+        flight_b, leader_b = queue.submit(KEY, bad)
+        assert not leader_b and flight_b is flight_a
+        release.set()
+        with pytest.raises(RuntimeError, match="solver exploded"):
+            flight_a.future.result(timeout=10)
+        assert queue.status()["in_flight"] == 0
+        queue.shutdown()

@@ -1,0 +1,116 @@
+"""Query specs: cache-key derivation and the cold-path solve."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certificates.emit import certify_fig1
+from repro.certificates.replay import replay_artifact
+from repro.certificates.store import loads
+from repro.service import QuerySpec, ServiceError, cache_key, solve_query
+
+
+class TestQuerySpec:
+    def test_from_request_normalizes_flags(self):
+        spec = QuerySpec.from_request(
+            {"model": "fig1", "obligation": "si-solve", "flags": {"b": 1, "a": 2}}
+        )
+        assert spec.flags == (("a", 2), ("b", 1))
+
+    def test_obligation_defaults_to_si(self):
+        assert QuerySpec.from_request({"model": "fig1"}).obligation == "si"
+
+    @pytest.mark.parametrize(
+        "doc",
+        [{}, {"model": 7}, {"model": "fig1", "obligation": 3},
+         {"model": "fig1", "flags": "verbose"}],
+        ids=["no-model", "non-string-model", "non-string-obligation", "non-dict-flags"],
+    )
+    def test_malformed_requests_rejected(self, doc):
+        with pytest.raises(ServiceError):
+            QuerySpec.from_request(doc)
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        spec = QuerySpec(model="fig1", obligation="si-solve")
+        assert cache_key(spec) == cache_key(spec)
+
+    def test_every_spec_field_feeds_the_key(self):
+        base = QuerySpec(model="kbp24-f4", obligation="si-solve")
+        keys = {
+            cache_key(base),
+            cache_key(QuerySpec(model="kbp24-f5", obligation="si-solve")),
+            cache_key(QuerySpec(model="kbp24-f4", obligation="si")),
+            cache_key(QuerySpec(model="kbp24-f4", obligation="si-solve",
+                                flags=(("deep", True),))),
+        }
+        assert len(keys) == 4
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key(QuerySpec(model="fig1"))
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestSolveQuery:
+    def test_si_solve_matches_the_direct_emitter_bytes(self):
+        """The service promise: cold misses return exactly the bytes a
+        direct ``emit_certificate`` run would write to disk."""
+        text = solve_query(QuerySpec(model="fig1", obligation="si-solve"))
+        _, direct = certify_fig1()[0]
+        assert text == direct.dumps() + "\n"
+
+    def test_si_solve_artifact_replays(self):
+        text = solve_query(QuerySpec(model="kbp24-f4", obligation="si-solve"))
+        outcome = replay_artifact(loads(text))
+        assert outcome.verdict == "well-posed"
+        assert outcome.details["candidates"] == 16
+
+    def test_invariant_artifact_replays(self):
+        text = solve_query(
+            QuerySpec(model="seqtrans-standard-L1-reliable", obligation="invariant")
+        )
+        assert replay_artifact(loads(text)).verdict == "invariant-holds"
+
+    def test_si_chain_artifact_replays(self):
+        text = solve_query(
+            QuerySpec(model="seqtrans-standard-L1-reliable", obligation="si")
+        )
+        assert replay_artifact(loads(text)).verdict == "si-fixpoint-verified"
+
+    def test_execution_knobs_do_not_change_the_bytes(self, tmp_path):
+        spec = QuerySpec(model="kbp24-f6", obligation="si-solve")
+        plain = solve_query(spec)
+        checkpointed = solve_query(
+            spec, workers=1, checkpoint=tmp_path / "solve.journal"
+        )
+        assert plain == checkpointed
+
+    def test_unknown_obligation_rejected(self):
+        with pytest.raises(ServiceError, match="unknown obligation"):
+            solve_query(QuerySpec(model="fig1", obligation="liveness"))
+
+    def test_unknown_flags_rejected_not_ignored(self):
+        spec = QuerySpec(model="fig1", obligation="si-solve", flags=(("deep", True),))
+        with pytest.raises(ServiceError, match="unknown semantic flags"):
+            solve_query(spec)
+
+    def test_si_solve_needs_a_knowledge_based_model(self):
+        with pytest.raises(ServiceError, match="knowledge-based"):
+            solve_query(
+                QuerySpec(model="seqtrans-standard-L1-reliable", obligation="si-solve")
+            )
+
+    def test_sst_obligations_need_a_standard_model(self):
+        with pytest.raises(ServiceError, match="si-solve"):
+            solve_query(QuerySpec(model="fig1", obligation="si"))
+
+    def test_unknown_invariant_label_lists_the_pinned_ones(self):
+        with pytest.raises(ServiceError, match="no safety obligation"):
+            solve_query(
+                QuerySpec(
+                    model="seqtrans-standard-L1-reliable",
+                    obligation="invariant:nope",
+                )
+            )
