@@ -218,6 +218,10 @@ class SolveReport:
     #: :class:`repro.robustness.FaultLog` from supervised parallel sweeps —
     #: ``None`` for serial solves; ``fault_log.clean`` means no faults fired.
     fault_log: Optional[object] = None
+    #: :class:`repro.core.transport.DispatchStats` from multiprocess sweeps —
+    #: bytes shipped per shard, arena size, worker peak RSS; ``None`` for
+    #: serial and in-process solves.
+    dispatch: Optional[object] = None
 
     @property
     def well_posed(self) -> bool:

@@ -44,12 +44,18 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..predicates import Predicate
-from ..predicates.backends import batch_backend_for
+from ..predicates.arena import SolveArena
+from ..predicates.backends import (
+    PredicateBackend,
+    batch_backend_for,
+    get_default_backend,
+    set_default_backend,
+)
 from ..predicates.backends.batch import (
     BatchPoisonError,
     PhiPlan,
@@ -59,12 +65,47 @@ from ..predicates.backends.batch import (
 from ..statespace import State
 from ..unity import Program
 from ..unity.expressions import Binary, Ite, Knowledge, Unary
+from .transport import DispatchStats, LocalPoolTransport
 
 #: Default batch size for ``batch_phi`` blocks (candidates per kernel call).
 BATCH_SIZE = 1024
 
 #: Environment knob for the default worker count.
 WORKERS_ENV_VAR = "REPRO_SOLVER_WORKERS"
+
+#: Environment knob for the pool start method ("fork", "spawn", ...).
+START_METHOD_ENV_VAR = "REPRO_SOLVER_START_METHOD"
+
+#: Environment knob for arena dispatch: "auto" (default) or "never".
+ARENA_ENV_VAR = "REPRO_SOLVER_ARENA"
+
+
+def _resolve_start_method(start_method: Optional[str]) -> str:
+    """The pool start method: explicit arg, then env, then fork-if-available.
+
+    The arena makes workers spawn-clean (nothing is inherited that cannot
+    be re-attached by name), so any method the platform offers is valid;
+    fork stays the default for its startup cost.
+    """
+    if start_method is None:
+        start_method = os.environ.get(START_METHOD_ENV_VAR) or None
+    methods = mp.get_all_start_methods()
+    if start_method is None:
+        return "fork" if "fork" in methods else methods[0]
+    if start_method not in methods:
+        raise ValueError(
+            f"start_method {start_method!r} is not available here "
+            f"(have {methods})"
+        )
+    return start_method
+
+
+def _resolve_arena_mode(arena: Optional[str]) -> str:
+    if arena is None:
+        arena = os.environ.get(ARENA_ENV_VAR, "").strip().lower() or "auto"
+    if arena not in ("auto", "never"):
+        raise ValueError(f"arena={arena!r} is not one of 'auto', 'never'")
+    return arena
 
 
 def default_workers() -> int:
@@ -309,14 +350,35 @@ def _init_worker(
     any_solution: bool,
     batch_size: int,
     fault_plan: Optional[Any] = None,
+    backend_selection: Optional[str] = None,
+    arena_spec: Optional[Any] = None,
+    has_plan: bool = True,
 ) -> None:
-    from .kbp import CandidateResolver
+    """Per-process solver setup, spawn-start-method clean.
 
-    plan = None if emit_certificate else compile_phi_plan(program)
+    Everything arrives by value through initargs except the Φ plan's bulk
+    data: with ``arena_spec`` set the worker *re-attaches by segment name*
+    and evaluates through zero-copy views (no plan recompilation, no
+    pickled successor arrays).  Without one — arena disabled, or the
+    program not batchable — the worker compiles its own plan as before.
+    ``backend_selection`` replays the parent's backend choice, which a
+    spawned child would otherwise lose (the selection is process-global
+    state, not environment).  The resolver is built lazily: batched arena
+    sweeps never need one unless a poisoned candidate forces the exact
+    serial re-run.
+    """
+    if backend_selection is not None:
+        set_default_backend(backend_selection)
+    if emit_certificate or not has_plan:
+        plan = None
+    elif arena_spec is not None:
+        plan = arena_spec.attach(program.space)
+    else:
+        plan = compile_phi_plan(program)
     _WORKER.clear()
     _WORKER.update(
         program=program,
-        resolver=CandidateResolver(program),
+        resolver=None,
         plan=plan,
         backend=batch_backend_for(program.space.size, batch_size)
         if plan is not None
@@ -328,6 +390,17 @@ def _init_worker(
         batch_size=batch_size,
         fault_plan=fault_plan,
     )
+
+
+def _worker_resolver():
+    """The process's :class:`CandidateResolver`, built on first use."""
+    resolver = _WORKER.get("resolver")
+    if resolver is None:
+        from .kbp import CandidateResolver
+
+        resolver = CandidateResolver(_WORKER["program"])
+        _WORKER["resolver"] = resolver
+    return resolver
 
 
 def _shard_candidates(fixed_mask: int) -> Iterator[int]:
@@ -377,7 +450,7 @@ def _sweep_shard_batched(fixed_mask: int):
         except BatchPoisonError:
             # Some candidate enables a statement outside its domain; the
             # serial resolver raises the original error for it.
-            resolver = _WORKER["resolver"]
+            resolver = _worker_resolver()
             space = _WORKER["program"].space
             phis = [resolver.phi(Predicate(space, m)).mask for m in block]
         solutions.extend(m for m, value in zip(block, phis) if value == m)
@@ -396,7 +469,7 @@ def _sweep_shard_batched(fixed_mask: int):
 
 
 def _sweep_shard_resolver(fixed_mask: int):
-    resolver = _WORKER["resolver"]
+    resolver = _worker_resolver()
     space = _WORKER["program"].space
     any_solution = _WORKER["any_solution"]
     solutions: List[int] = []
@@ -414,7 +487,7 @@ def _sweep_shard_resolver(fixed_mask: int):
 def _sweep_shard_certified(fixed_mask: int):
     from .kbp import _candidate_evidence
 
-    resolver = _WORKER["resolver"]
+    resolver = _worker_resolver()
     space = _WORKER["program"].space
     any_solution = _WORKER["any_solution"]
     solutions: List[int] = []
@@ -491,6 +564,9 @@ def solve_si_parallel(
     checkpoint: Optional[Any] = None,
     fault_plan: Optional[Any] = None,
     progress: Optional[Any] = None,
+    start_method: Optional[str] = None,
+    arena: Optional[str] = None,
+    collect_stats: bool = False,
 ):
     """Exhaustively solve eq. (25) with sharding and batched Φ.
 
@@ -527,6 +603,7 @@ def solve_si_parallel(
     batch and one per completed shard, in journal order.  It is honored
     on supervised sweeps only (``FaultPolicy.off()`` ignores it).
     """
+    from ..certificates.canonical import payload_digest
     from ..robustness import FaultPlan, FaultPolicy, ShardJournal, ShardSupervisor
     from .kbp import SolveReport, _check_exhaustive_size, solve_si
 
@@ -588,72 +665,123 @@ def solve_si_parallel(
         len(shard_masks), emit_certificate, batch_size,
     )
 
+    resolved_method = _resolve_start_method(start_method)
+    arena_mode = _resolve_arena_mode(arena)
+    # The plan is compiled exactly once, parent-side.  The in-process sweep
+    # uses it directly; pool workers either attach the arena built from it
+    # (zero-copy) or, with arenas off, recompile their own — `has_plan`
+    # spares them the attempt when the program is not batchable at all.
+    plan = None if emit_certificate else compile_phi_plan(program)
+    backend_selection = get_default_backend()
+    if isinstance(backend_selection, PredicateBackend):
+        backend_selection = backend_selection.name
+    stats = DispatchStats(start_method=resolved_method) if workers > 1 else None
+    arena_holder: List[Optional[SolveArena]] = [None]
+
+    def pool_factory():
+        # Lazy on both axes: no pool → no arena (a fully journaled resume
+        # never pays for either), and one arena serves every pool respawn
+        # (workers re-attach by segment name).
+        arena_spec = None
+        if arena_mode == "auto" and plan is not None:
+            if arena_holder[0] is None:
+                digest = payload_digest(header["program"]).split(":", 1)[-1]
+                arena_holder[0] = SolveArena.build(plan, digest)
+                if stats is not None:
+                    stats.arena_bytes = arena_holder[0].nbytes
+                    stats.arena_segments = 1
+            arena_spec = arena_holder[0].spec
+        return LocalPoolTransport(
+            workers=min(workers, len(shard_masks)),
+            mp_context=mp.get_context(resolved_method),
+            initializer=_init_worker,
+            initargs=(
+                program, base_mask, low_positions,
+                emit_certificate, any_solution, batch_size, fault_plan,
+                backend_selection, arena_spec, plan is not None,
+            ),
+            stats=stats,
+        )
+
     fault_log = None
     solution_masks: List[int] = []
     checked = 0
     evidence: List[Tuple[str, Any]] = []
 
-    if workers == 1 or fault_policy.supervised:
-        in_process = workers == 1
+    try:
+        if workers == 1 or fault_policy.supervised:
+            in_process = workers == 1
 
-        def pool_factory():
-            methods = mp.get_all_start_methods()
-            ctx = mp.get_context("fork" if "fork" in methods else methods[0])
-            return ProcessPoolExecutor(
-                max_workers=min(workers, len(shard_masks)),
-                mp_context=ctx,
-                initializer=_init_worker,
-                initargs=(
-                    program, base_mask, low_positions,
-                    emit_certificate, any_solution, batch_size, fault_plan,
-                ),
+            parent_ready = [False]
+
+            def serial_runner(index: int, fixed: int):
+                # The in-process sweep: also the supervisor's degradation
+                # path.  Reuses the parent-compiled plan (no arena — the
+                # whole point of shared memory is crossing a process
+                # boundary) and honors a caller-supplied resolver.  No
+                # fault plan — a crash clause must not kill the parent.
+                if not parent_ready[0]:
+                    _WORKER.clear()
+                    _WORKER.update(
+                        program=program,
+                        resolver=resolver,
+                        plan=plan,
+                        backend=batch_backend_for(space.size, batch_size)
+                        if plan is not None
+                        else None,
+                        base_mask=base_mask,
+                        low_positions=low_positions,
+                        emit_certificate=emit_certificate,
+                        any_solution=any_solution,
+                        batch_size=batch_size,
+                        fault_plan=None,
+                    )
+                    parent_ready[0] = True
+                return _sweep_shard(index, fixed)
+
+            drain_hook = None
+            if collect_stats and not in_process:
+
+                def drain_hook(pool):
+                    stats.worker_peak_rss_kb = max(
+                        stats.worker_peak_rss_kb, pool.sample_worker_rss()
+                    )
+
+            supervisor = ShardSupervisor(
+                pool_factory=None if in_process else pool_factory,
+                task=_sweep_shard,
+                shard_masks=shard_masks,
+                policy=fault_policy,
+                any_solution=any_solution,
+                journal=journal,
+                journal_header=header,
+                # Parent-side clauses (kill/torn) only; worker clauses
+                # travel through _init_worker and fire in pool processes.
+                fault_plan=fault_plan,
+                serial_runner=serial_runner,
+                encode_evidence=_encode_evidence,
+                decode_evidence=lambda items: _decode_evidence(items, space),
+                progress=progress,
+                drain_hook=drain_hook,
             )
-
-        parent_ready = [False]
-
-        def serial_runner(index: int, fixed: int):
-            # The in-process sweep: also the supervisor's degradation path.
-            # No fault plan here — a crash clause must not kill the parent.
-            if not parent_ready[0]:
-                _init_worker(
-                    program, base_mask, low_positions,
-                    emit_certificate, any_solution, batch_size,
-                )
-                if resolver is not None:
-                    _WORKER["resolver"] = resolver
-                parent_ready[0] = True
-            return _sweep_shard(index, fixed)
-
-        supervisor = ShardSupervisor(
-            pool_factory=None if in_process else pool_factory,
-            task=_sweep_shard,
-            shard_masks=shard_masks,
-            policy=fault_policy,
-            any_solution=any_solution,
-            journal=journal,
-            journal_header=header,
-            # Parent-side clauses (kill/torn) only; worker clauses travel
-            # through _init_worker and fire in the pool processes.
-            fault_plan=fault_plan,
-            serial_runner=serial_runner,
-            encode_evidence=_encode_evidence,
-            decode_evidence=lambda items: _decode_evidence(items, space),
-            progress=progress,
-        )
-        try:
-            solution_masks, checked, evidence = supervisor.run()
-        finally:
-            if parent_ready[0]:
-                _WORKER.clear()
-        fault_log = supervisor.log
-    else:
-        # FaultPolicy.off(): the bare PR-3 wait loop — no leases, no
-        # retries — except that a broken pool names the lost shard instead
-        # of surfacing a raw BrokenProcessPool traceback.
-        solution_masks, checked, evidence = _unsupervised_sweep(
-            program, base_mask, low_positions, shard_masks,
-            emit_certificate, any_solution, batch_size, workers, fault_plan,
-        )
+            try:
+                solution_masks, checked, evidence = supervisor.run()
+            finally:
+                if parent_ready[0]:
+                    _WORKER.clear()
+            fault_log = supervisor.log
+        else:
+            # FaultPolicy.off(): the bare PR-3 wait loop — no leases, no
+            # retries — except that a broken pool names the lost shard
+            # instead of surfacing a raw BrokenProcessPool traceback.
+            solution_masks, checked, evidence = _unsupervised_sweep(
+                pool_factory, shard_masks, any_solution, collect_stats
+            )
+    finally:
+        # Covers SimulatedKill (a BaseException) from parent-side fault
+        # clauses: the segment must never outlive the solve.
+        if arena_holder[0] is not None:
+            arena_holder[0].close(unlink=True)
 
     solutions = [Predicate(space, mask) for mask in solution_masks]
     solutions.sort(key=lambda p: (p.count(), p.mask))
@@ -667,26 +795,23 @@ def solve_si_parallel(
         candidates_checked=checked,
         certificate=certificate,
         fault_log=fault_log,
+        dispatch=stats,
     )
 
 
 def _unsupervised_sweep(
-    program: Program,
-    base_mask: int,
-    low_positions: List[int],
+    pool_factory,
     shard_masks: List[int],
-    emit_certificate: bool,
     any_solution: bool,
-    batch_size: int,
-    workers: int,
-    fault_plan: Optional[Any],
+    collect_stats: bool = False,
 ) -> Tuple[List[int], int, List[Tuple[str, Any]]]:
     """The PR-3 pool loop, kept for overhead benchmarking and as a floor.
 
-    A dead worker aborts the sweep — but now with a
-    :class:`~repro.robustness.SolverWorkerError` naming the shard's
-    fixed-bit mask and the completed/pending counts instead of a bare
-    ``BrokenProcessPool``.
+    Dispatches through the same transport as the supervised path (so
+    arenas and byte accounting apply here too).  A dead worker aborts the
+    sweep — but now with a :class:`~repro.robustness.SolverWorkerError`
+    naming the shard's fixed-bit mask and the completed/pending counts
+    instead of a bare ``BrokenProcessPool``.
     """
     from ..robustness import SolverWorkerError
 
@@ -694,17 +819,8 @@ def _unsupervised_sweep(
     checked = 0
     evidence: List[Tuple[str, Any]] = []
     completed = 0
-    methods = mp.get_all_start_methods()
-    ctx = mp.get_context("fork" if "fork" in methods else methods[0])
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(shard_masks)),
-        mp_context=ctx,
-        initializer=_init_worker,
-        initargs=(
-            program, base_mask, low_positions,
-            emit_certificate, any_solution, batch_size, fault_plan,
-        ),
-    ) as pool:
+    pool = pool_factory()
+    try:
         pending = {
             pool.submit(_sweep_shard, index, fixed): (index, fixed)
             for index, fixed in enumerate(shard_masks)
@@ -733,10 +849,16 @@ def _unsupervised_sweep(
                         stop = True
                 if stop:
                     pool.shutdown(wait=False, cancel_futures=True)
-                    break
+                    return solution_masks, checked, evidence
         finally:
             for future in pending:
                 future.cancel()
+        if collect_stats and pool.stats is not None:
+            pool.stats.worker_peak_rss_kb = max(
+                pool.stats.worker_peak_rss_kb, pool.sample_worker_rss()
+            )
+    finally:
+        pool.shutdown(wait=True)
     return solution_masks, checked, evidence
 
 

@@ -1,0 +1,168 @@
+"""The shard-dispatch transport seam (ROADMAP item 4).
+
+The supervisor treats shards as leased, journaled, retryable units; what
+actually *carries* a shard to a worker is a transport.  Today that is
+:class:`LocalPoolTransport` — a ``ProcessPoolExecutor`` behind a small
+interface — but the interface is the point: a TCP worker protocol slots
+in as a second implementation without touching the supervisor or the
+solver, because everything they need is ``submit``/``shutdown``/
+``terminate`` plus futures.
+
+The transport is also where dispatch *accounting* lives.  With the
+shared-memory arena (DESIGN.md §14) a shard submission pickles exactly
+``(shard_index, fixed_mask)`` — two small ints — and
+:class:`DispatchStats` measures that, so the bench can report
+bytes-shipped-per-shard instead of inferring it.  Worker peak RSS is
+sampled through the same pool (one probe task per worker slot) right
+before teardown.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+@dataclass
+class DispatchStats:
+    """What one solve shipped across its dispatch boundary.
+
+    Attached to ``SolveReport.dispatch`` by the parallel solver.  Byte
+    counts are parent-side pickle sizes of submitted task arguments —
+    the per-shard payload the transport actually serializes; the
+    one-time worker-initialization payload (program + arena spec) is
+    recorded separately in ``init_bytes`` so the two costs cannot be
+    conflated.
+    """
+
+    start_method: str = ""
+    shards_dispatched: int = 0
+    bytes_dispatched: int = 0
+    #: pickled size of the worker initializer's arguments (once per worker)
+    init_bytes: int = 0
+    #: size of the shared-memory arena, 0 when no arena was built
+    arena_bytes: int = 0
+    arena_segments: int = 0
+    #: max ``ru_maxrss`` (KiB on Linux) sampled across pool workers
+    worker_peak_rss_kb: int = 0
+
+    @property
+    def bytes_per_shard(self) -> float:
+        if not self.shards_dispatched:
+            return 0.0
+        return self.bytes_dispatched / self.shards_dispatched
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "start_method": self.start_method,
+            "shards_dispatched": self.shards_dispatched,
+            "bytes_dispatched": self.bytes_dispatched,
+            "bytes_per_shard": round(self.bytes_per_shard, 2),
+            "init_bytes": self.init_bytes,
+            "arena_bytes": self.arena_bytes,
+            "arena_segments": self.arena_segments,
+            "worker_peak_rss_kb": self.worker_peak_rss_kb,
+        }
+
+
+def _probe_worker_rss(pause: float) -> Tuple[int, int]:
+    """Runs in a worker: (pid, peak RSS in KiB-ish ru_maxrss units).
+
+    The pause spreads probes across pool slots so one idle worker does
+    not answer for all of them.
+    """
+    import resource
+
+    if pause:
+        time.sleep(pause)
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return os.getpid(), int(usage.ru_maxrss)
+
+
+class ShardTransport:
+    """What the supervisor requires of a dispatch mechanism.
+
+    ``submit`` returns a future; ``shutdown`` mirrors the executor
+    protocol; ``terminate`` is the hard teardown the lease machinery
+    needs for hung workers (the executor API alone cannot preempt one).
+    """
+
+    def submit(self, fn: Callable[..., Any], *args: Any):
+        raise NotImplementedError
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        raise NotImplementedError
+
+    def terminate(self) -> None:
+        """Kill workers outright; safe on an already-stopped transport."""
+        raise NotImplementedError
+
+
+class LocalPoolTransport(ShardTransport):
+    """A process pool behind the transport interface, with accounting."""
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        mp_context,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+        stats: Optional[DispatchStats] = None,
+    ):
+        self.workers = workers
+        self.stats = stats
+        if stats is not None:
+            stats.init_bytes = len(
+                pickle.dumps(initargs, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def submit(self, fn, *args):
+        if self.stats is not None:
+            self.stats.shards_dispatched += 1
+            self.stats.bytes_dispatched += len(
+                pickle.dumps(args, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+    def terminate(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # racing a worker's own exit is fine
+                pass
+
+    def sample_worker_rss(self, timeout: float = 10.0) -> int:
+        """Max peak RSS across pool workers (0 if none answer in time).
+
+        Dispatches one probe per worker slot; probes do not count as
+        shard dispatches.  Call while the pool is healthy, before
+        teardown.
+        """
+        futures = [
+            self._pool.submit(_probe_worker_rss, 0.02)
+            for _ in range(self.workers)
+        ]
+        peak: Dict[int, int] = {}
+        for future in futures:
+            try:
+                pid, rss = future.result(timeout=timeout)
+            except Exception:  # a dying pool just yields no sample
+                continue
+            peak[pid] = max(peak.get(pid, 0), rss)
+        return max(peak.values(), default=0)

@@ -132,6 +132,42 @@ class PhiPlan:
             self._statics[key] = handle
         return handle
 
+    # ------------------------------------------------------------------
+    # the plan interface ``batch_phi`` evaluates against
+    #
+    # ``phi_of_mask``/``batch_phi`` never touch the raw mask fields below
+    # this line — they go through these accessors, so a plan whose statics
+    # live in a shared-memory arena (repro.predicates.arena.ArenaPlan) can
+    # serve zero-copy handles through the identical surface.  Guard postfix
+    # programs reference statics by an opaque key (``("static", key)``):
+    # for a PhiPlan the key *is* the mask, for an ArenaPlan it is a slot.
+    # ------------------------------------------------------------------
+
+    def init_handle(self, backend) -> Any:
+        """The initial condition as a backend handle."""
+        return self.static_handle(backend, self.init_mask)
+
+    def term_body(self, backend, index: int) -> Any:
+        """Knowledge term ``index``'s body predicate as a backend handle."""
+        return self.static_handle(backend, self.terms[index].body_mask)
+
+    def group_table(self, backend, index: int) -> Any:
+        """Term ``index``'s cylinder partition in ``backend``'s form."""
+        variables = self.terms[index].variables
+        key = (backend.name, variables)
+        table = self._tables.get(key)
+        if table is None:
+            table = backend.group_table(self.space, variables)
+            self._tables[key] = table
+        return table
+
+    def poison_handle(self, backend, index: int) -> Optional[Any]:
+        """Statement ``index``'s poison set, or ``None`` when empty."""
+        mask = self.statements[index].poison_mask
+        if not mask:
+            return None
+        return self.static_handle(backend, mask)
+
 
 def eval_guard_postfix(backend, plan: PhiPlan, ops, term_handles, size: int):
     """Run a compiled guard program over one backend's kernel vocabulary.

@@ -87,6 +87,29 @@ class NumpyWordsBackend(PredicateBackend):
     def fingerprint(self, handle: "np.ndarray", size: int) -> bytes:
         return handle.tobytes()[: (size + 7) // 8]
 
+    def words_view(self, handle: "np.ndarray", size: int) -> memoryview:
+        # The handle already *is* little-endian uint64 words; export its
+        # buffer read-only without copying (handles are non-writeable, but
+        # a defensive toreadonly covers any writable stragglers).
+        view = memoryview(handle).cast("B")
+        return view if view.readonly else view.toreadonly()
+
+    def from_buffer(self, buf, size: int) -> "np.ndarray":
+        # Zero-copy: the words array aliases the caller's buffer (e.g. a
+        # shared-memory arena slot).  Read-only both ways — np.frombuffer
+        # over a read-only memoryview yields a non-writeable array, which
+        # is exactly the invariant arena-backed predicates need.
+        view = memoryview(buf)
+        if not view.readonly:
+            view = view.toreadonly()
+        words = np.frombuffer(view, dtype="<u8")
+        if words.size != _n_words(size):
+            raise ValueError(
+                f"words buffer holds {words.size} words; a {size}-state "
+                f"predicate packs to {_n_words(size)}"
+            )
+        return words
+
     # -- boolean algebra --------------------------------------------------
 
     def and_(self, a, b, size: int):
@@ -148,6 +171,12 @@ class NumpyWordsBackend(PredicateBackend):
 
     def group_table(self, space, names) -> Tuple["np.ndarray", int]:
         return space.cylinder_partition_np(names)
+
+    def group_table_from_array(self, group_of, n_groups: int, size: int):
+        arr = np.asarray(group_of, dtype=np.int64)  # no copy for int64 input
+        if arr.flags.writeable:
+            arr.setflags(write=False)
+        return arr, int(n_groups)
 
     def quantify_groups(self, handle, table, size: int, universal: bool):
         group_of, n_groups = table
@@ -219,11 +248,13 @@ class NumpyWordsBackend(PredicateBackend):
         not_x = np.bitwise_and(np.bitwise_not(x), self._full(size))
 
         # eq. (13): K_V(body) resolves to body ∧ (wcyl.V.(x ⇒ body) ∨ ¬x),
-        # one (B, W) matrix per knowledge term.
+        # one (B, W) matrix per knowledge term.  All plan data arrives
+        # through the plan interface, so arena-attached plans feed these
+        # kernels read-only views straight out of shared memory.
         terms = []
-        for term in plan.terms:
-            body = plan.static_handle(self, term.body_mask)
-            group_of, n_groups = self.group_table(plan.space, term.variables)
+        for position in range(len(plan.terms)):
+            body = plan.term_body(self, position)
+            group_of, n_groups = plan.group_table(self, position)
             cylinder = self._quantify2d_universal(
                 np.bitwise_or(not_x, body), group_of, n_groups, size
             )
@@ -232,22 +263,22 @@ class NumpyWordsBackend(PredicateBackend):
             )
 
         guards = []
-        for stmt in plan.statements:
+        for index, stmt in enumerate(plan.statements):
             if stmt.guard is None:
                 guards.append(None)
                 continue
             g = eval_guard_postfix(self, plan, stmt.guard, terms, size)
             if g.ndim == 1:  # knowledge-free guard program: same row everywhere
                 g = np.broadcast_to(g, (batch, words))
-            if stmt.poison_mask:
-                poison = plan.static_handle(self, stmt.poison_mask)
+            poison = plan.poison_handle(self, index)
+            if poison is not None:
                 bad = np.bitwise_and(g, poison).any(axis=1)
                 if bad.any():
                     row = int(np.flatnonzero(bad)[0])
                     raise BatchPoisonError(masks[row], stmt.name)
             guards.append(g)
 
-        init = plan.static_handle(self, plan.init_mask)
+        init = plan.init_handle(self)
         init_rows = np.broadcast_to(init, (batch, words))
         current = np.zeros((batch, words), dtype="<u8")
         # Row-wise f.y = init ∨ SP.y is monotone; fixpoint rows stay fixed,

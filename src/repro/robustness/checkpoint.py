@@ -152,7 +152,22 @@ class ShardJournal:
         self._header = header
         self._chain = _chain_digest("", header)
         self._write_line(header, self._chain)
+        # The header line is fsynced, but the *directory entry* for a fresh
+        # journal file is not until its parent is — a crash right here could
+        # otherwise lose the whole file while the solve believes it is
+        # journaling.
+        self._fsync_parent()
         return {}
+
+    def _fsync_parent(self) -> None:
+        try:
+            fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     # ------------------------------------------------------------------
     # append

@@ -167,7 +167,15 @@ class FaultLog:
 
 
 def _kill_pool(pool) -> None:
-    """Tear a pool down hard: hung workers would pin their slots forever."""
+    """Tear a pool down hard: hung workers would pin their slots forever.
+
+    Transports (:class:`repro.core.transport.ShardTransport`) expose this
+    as ``terminate()``; bare executors are dismantled by hand.
+    """
+    terminate = getattr(pool, "terminate", None)
+    if callable(terminate):
+        terminate()
+        return
     pool.shutdown(wait=False, cancel_futures=True)
     processes = getattr(pool, "_processes", None) or {}
     for process in list(processes.values()):
@@ -199,6 +207,7 @@ class ShardSupervisor:
         encode_evidence: Callable[[List[Any]], List[Any]] = lambda e: [],
         decode_evidence: Callable[[Sequence[Any]], List[Any]] = lambda e: [],
         progress: Optional[Callable[[SolveProgress], None]] = None,
+        drain_hook: Optional[Callable[[Any], None]] = None,
     ):
         self.pool_factory = pool_factory
         self.task = task
@@ -212,6 +221,10 @@ class ShardSupervisor:
         self.encode_evidence = encode_evidence
         self.decode_evidence = decode_evidence
         self.progress = progress
+        #: called with the live pool after a clean pool phase, before
+        #: teardown — the solver's hook for worker RSS sampling; failures
+        #: are swallowed (metrics must never fail a solve).
+        self.drain_hook = drain_hook
         self.log = FaultLog()
         self._pool: Any = None
 
@@ -242,6 +255,11 @@ class ShardSupervisor:
             self._pool = self.pool_factory()
             try:
                 stopped = self._pool_phase(todo, attempts, results, fallback)
+                if not stopped and self.drain_hook is not None:
+                    try:
+                        self.drain_hook(self._pool)
+                    except Exception:  # pragma: no cover - metrics only
+                        pass
             finally:
                 _kill_pool(self._pool)
 

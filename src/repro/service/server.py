@@ -178,6 +178,22 @@ class CertificateServer:
             {"event": "accepted", "key": key, "query": spec.describe()},
         )
 
+        # Pinned for the whole request: a bounded cache must not retire
+        # this key between the leader's put and the last follower's read.
+        self.cache.pin(key)
+        try:
+            await self._solve_flight(writer, loop, spec, model, key)
+        finally:
+            self.cache.unpin(key)
+
+    async def _solve_flight(
+        self,
+        writer: asyncio.StreamWriter,
+        loop: asyncio.AbstractEventLoop,
+        spec: QuerySpec,
+        model: Any,
+        key: str,
+    ) -> None:
         data = await loop.run_in_executor(None, self.cache.get, key)
         if data is not None:
             await self._send_artifact(writer, data, "hit")
@@ -274,7 +290,7 @@ class CertificateServer:
 
 
 async def _amain(args: argparse.Namespace) -> int:
-    cache = CertificateCache(args.cache_dir)
+    cache = CertificateCache(args.cache_dir, max_bytes=args.cache_max_bytes)
     server = CertificateServer(
         cache,
         host=args.host,
@@ -316,6 +332,13 @@ def main(argv: Optional[list] = None) -> int:
         "--cache-dir",
         required=True,
         help="root of the content-addressed certificate cache",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="object-storage budget; least-recently-used entries are "
+        "retired past it (default: REPRO_CACHE_MAX_BYTES or unbounded)",
     )
     parser.add_argument(
         "--workers",

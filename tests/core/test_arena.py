@@ -1,0 +1,304 @@
+"""Shared-memory arena dispatch: identity, lifecycle, and leak hygiene.
+
+The arena promises three things and this file holds it to all of them:
+worker evaluation through zero-copy views is *bit-identical* to the
+compiled :class:`PhiPlan`; shard dispatch ships O(shard-descriptor)
+bytes — two small ints — regardless of state-space size; and no named
+segment survives a solve, whatever killed it (clean exit, pool respawn,
+``SimulatedKill`` mid-journal, serial degradation).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.core import compile_phi_plan, solve_si, solve_si_parallel
+from repro.predicates import Predicate, using_backend
+from repro.predicates.arena import (
+    SEGMENT_PREFIX,
+    SolveArena,
+    list_segments,
+    sweep_stale_segments,
+)
+from repro.statespace import BoolDomain, space_of
+from repro.unity import Const, Program, Statement, Unary, Var, knows, lnot
+
+
+def make_kbp() -> Program:
+    space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+    statements = [
+        Statement(
+            name="s0",
+            targets=("a",),
+            exprs=(Const(True),),
+            guard=knows("P", Var("b")),
+        ),
+        Statement(
+            name="s1",
+            targets=("b",),
+            exprs=(Const(False),),
+            guard=lnot(knows("Q", Var("c"))),
+        ),
+        Statement(
+            name="s2",
+            targets=("c",),
+            exprs=(Const(True),),
+            guard=knows("Q", Unary("not", Var("a"))) & Var("a"),
+        ),
+    ]
+    return Program(
+        space,
+        Predicate(space, 1),
+        statements,
+        processes={"P": ("a", "b"), "Q": ("c",)},
+        name="arena-kbp",
+    )
+
+
+@pytest.fixture(scope="module")
+def kbp() -> Program:
+    return make_kbp()
+
+
+@pytest.fixture(scope="module")
+def serial_report(kbp):
+    return solve_si(kbp, parallel="never")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test starts and must end with a clean segment namespace."""
+    before = list_segments()
+    yield
+    leaked = [name for name in list_segments() if name not in before]
+    assert not leaked, f"leaked arena segments: {leaked}"
+
+
+def assert_same_report(reference, report):
+    assert [p.mask for p in report.solutions] == [
+        p.mask for p in reference.solutions
+    ]
+    assert report.candidates_checked == reference.candidates_checked
+
+
+# ----------------------------------------------------------------------
+# attach identity
+# ----------------------------------------------------------------------
+
+
+class TestAttachIdentity:
+    @pytest.mark.parametrize("backend_name", ["int", "numpy"])
+    def test_arena_plan_matches_compiled_plan(self, kbp, backend_name):
+        from repro.predicates.backends import batch_backend_for
+
+        plan = compile_phi_plan(kbp)
+        assert plan is not None
+        arena = SolveArena.build(plan, "f" * 64)
+        try:
+            attached = arena.plan(kbp.space)
+            candidates = sorted(
+                {kbp.init.mask | mask for mask in range(1 << kbp.space.size)}
+            )
+            with using_backend(backend_name):
+                backend = batch_backend_for(kbp.space.size, len(candidates))
+                assert backend.batch_phi(attached, candidates) == (
+                    backend.batch_phi(plan, candidates)
+                )
+            attached.close()
+        finally:
+            arena.close(unlink=True)
+
+    def test_spec_is_a_compact_descriptor(self, kbp):
+        import pickle
+
+        plan = compile_phi_plan(kbp)
+        arena = SolveArena.build(plan, "e" * 64)
+        try:
+            spec_bytes = len(pickle.dumps(arena.spec))
+            plan_bytes = len(pickle.dumps(plan))
+            # The point of the arena: what crosses the pickle boundary is
+            # the name-and-offsets descriptor, not the bulk arrays.
+            assert spec_bytes < plan_bytes
+        finally:
+            arena.close(unlink=True)
+
+
+# ----------------------------------------------------------------------
+# end-to-end dispatch
+# ----------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_arena_solve_matches_serial(self, kbp, serial_report):
+        report = solve_si_parallel(kbp, workers=2, collect_stats=True)
+        assert_same_report(serial_report, report)
+        stats = report.dispatch.as_dict()
+        assert stats["arena_segments"] == 1
+        assert stats["arena_bytes"] > 0
+
+    def test_arena_never_matches_serial(self, kbp, serial_report):
+        report = solve_si_parallel(
+            kbp, workers=2, arena="never", collect_stats=True
+        )
+        assert_same_report(serial_report, report)
+        assert report.dispatch.as_dict()["arena_segments"] == 0
+
+    def test_arena_env_knob(self, kbp, serial_report, monkeypatch):
+        from repro.core.parallel import ARENA_ENV_VAR
+
+        monkeypatch.setenv(ARENA_ENV_VAR, "never")
+        report = solve_si_parallel(kbp, workers=2, collect_stats=True)
+        assert_same_report(serial_report, report)
+        assert report.dispatch.as_dict()["arena_segments"] == 0
+        monkeypatch.setenv(ARENA_ENV_VAR, "sometimes")
+        with pytest.raises(ValueError):
+            solve_si_parallel(kbp, workers=2)
+
+    def test_shard_payload_is_descriptor_sized(self, kbp):
+        report = solve_si_parallel(kbp, workers=2, collect_stats=True)
+        stats = report.dispatch
+        assert stats.shards_dispatched >= 2
+        # (shard_index, fixed_mask) pickles to a few dozen bytes; the
+        # successor arrays and masks never ride along.
+        assert stats.bytes_per_shard < 100
+        assert stats.init_bytes > 0  # program + arena spec, once per pool
+
+    def test_certificates_identical_with_arenas(self, kbp):
+        from repro.certificates.canonical import canonical_dumps
+
+        serial = solve_si(kbp, parallel="never", emit_certificate=True)
+        parallel = solve_si_parallel(kbp, workers=2, emit_certificate=True)
+        assert canonical_dumps(serial.certificate.to_payload()) == (
+            canonical_dumps(parallel.certificate.to_payload())
+        )
+
+    def test_in_process_solve_has_no_dispatch_stats(self, kbp, serial_report):
+        report = solve_si_parallel(kbp, workers=1)
+        assert_same_report(serial_report, report)
+        assert report.dispatch is None
+
+
+# ----------------------------------------------------------------------
+# spawn start method
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    "spawn" not in mp.get_all_start_methods(), reason="no spawn here"
+)
+class TestSpawn:
+    def test_spawn_pool_matches_serial(self, kbp, serial_report):
+        report = solve_si_parallel(
+            kbp, workers=2, start_method="spawn", collect_stats=True
+        )
+        assert_same_report(serial_report, report)
+        assert report.dispatch.start_method == "spawn"
+        assert report.dispatch.as_dict()["arena_segments"] == 1
+
+    def test_spawn_replays_backend_selection(self, kbp, serial_report):
+        with using_backend("numpy"):
+            report = solve_si_parallel(kbp, workers=2, start_method="spawn")
+        assert_same_report(serial_report, report)
+
+    def test_spawn_env_knob(self, kbp, serial_report, monkeypatch):
+        from repro.core.parallel import START_METHOD_ENV_VAR
+
+        monkeypatch.setenv(START_METHOD_ENV_VAR, "spawn")
+        report = solve_si_parallel(kbp, workers=2, collect_stats=True)
+        assert_same_report(serial_report, report)
+        assert report.dispatch.start_method == "spawn"
+
+    def test_unknown_start_method_is_rejected(self, kbp):
+        with pytest.raises(ValueError):
+            solve_si_parallel(kbp, workers=2, start_method="teleport")
+
+
+# ----------------------------------------------------------------------
+# lifecycle under faults
+# ----------------------------------------------------------------------
+
+
+class TestFaultLifecycle:
+    def test_pool_respawn_reuses_one_arena(self, kbp, serial_report):
+        from repro.robustness import FaultPlan
+
+        report = solve_si_parallel(
+            kbp,
+            workers=2,
+            fault_plan=FaultPlan.parse("crash@1"),
+            collect_stats=True,
+        )
+        assert_same_report(serial_report, report)
+        assert not report.fault_log.clean
+        # One segment served both the original pool and its respawn.
+        assert report.dispatch.as_dict()["arena_segments"] == 1
+
+    def test_kill_and_resume_leaves_no_segment(self, kbp, serial_report, tmp_path):
+        from repro.robustness import FaultPlan, SimulatedKill
+
+        journal = tmp_path / "solve.journal"
+        with pytest.raises(SimulatedKill):
+            solve_si_parallel(
+                kbp,
+                workers=2,
+                checkpoint=journal,
+                fault_plan=FaultPlan.parse("kill@2"),
+            )
+        # The kill unwound through the solve's finally: nothing leaked
+        # even though the journal says the sweep is incomplete.
+        assert not [n for n in list_segments() if str(os.getpid()) in n]
+        resumed = solve_si_parallel(kbp, workers=2, checkpoint=journal)
+        assert_same_report(serial_report, resumed)
+
+    def test_serial_degradation_leaves_no_segment(self, kbp, serial_report):
+        from repro.robustness import FaultPlan
+
+        report = solve_si_parallel(
+            kbp,
+            workers=2,
+            fault_plan=FaultPlan.parse("crash@0:times=50"),
+            collect_stats=True,
+        )
+        assert_same_report(serial_report, report)
+
+
+# ----------------------------------------------------------------------
+# stale-segment sweep
+# ----------------------------------------------------------------------
+
+
+class TestStaleSweep:
+    def test_dead_creator_segment_is_reaped(self):
+        from multiprocessing import shared_memory
+
+        # A PID that cannot be alive: fork one, let it exit, use its PID.
+        child = mp.get_context("fork").Process(target=lambda: None)
+        child.start()
+        dead_pid = child.pid
+        child.join()
+        name = f"{SEGMENT_PREFIX}{'d' * 12}-{dead_pid}-1"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+        segment.close()
+        try:
+            assert name in list_segments()
+            removed = sweep_stale_segments()
+            assert name in removed
+            assert name not in list_segments()
+        finally:
+            if name in list_segments():  # sweep failed; don't leak
+                shared_memory.SharedMemory(name=name).unlink()
+
+    def test_live_creator_segment_is_spared(self):
+        from multiprocessing import shared_memory
+
+        name = f"{SEGMENT_PREFIX}{'e' * 12}-{os.getpid()}-999"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+        try:
+            assert name not in sweep_stale_segments()
+            assert name in list_segments()
+        finally:
+            segment.close()
+            segment.unlink()

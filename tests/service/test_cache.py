@@ -29,7 +29,8 @@ class TestCacheRoundTrip:
     def test_unknown_key_is_a_miss(self, cache):
         assert cache.get(KEY) is None
         assert cache.stats.snapshot() == {
-            "hits": 0, "misses": 1, "puts": 0, "deduped_puts": 0, "evictions": 0,
+            "hits": 0, "misses": 1, "puts": 0, "deduped_puts": 0,
+            "evictions": 0, "lru_evictions": 0,
         }
 
     def test_journal_paths_are_per_key(self, cache):
@@ -78,6 +79,133 @@ class TestDedup:
         assert len(objects) == 1
         assert cache.stats.snapshot()["deduped_puts"] == 1
         assert cache.get(KEY) == cache.get(OTHER) == DATA
+
+
+def _payload(tag: str, size: int = 100) -> bytes:
+    return (tag * size)[:size].encode("ascii")
+
+
+def _age(cache, key, seconds_ago):
+    """Pin a key file's recency record to a deterministic past instant."""
+    import os
+    import time
+
+    stamp = time.time() - seconds_ago
+    os.utime(cache.key_path(key), (stamp, stamp))
+
+
+class TestBoundedCache:
+    K1, K2, K3 = "1" * 64, "2" * 64, "3" * 64
+
+    def test_unbounded_by_default(self, cache):
+        assert cache.max_bytes is None
+        for i in range(20):
+            cache.put(f"{i:064d}", _payload(str(i)))
+        assert cache.stats.snapshot()["lru_evictions"] == 0
+
+    def test_env_var_sets_the_budget(self, tmp_path, monkeypatch):
+        from repro.service.cache import CACHE_MAX_BYTES_ENV_VAR
+
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV_VAR, "1234")
+        assert CertificateCache(tmp_path / "c").max_bytes == 1234
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV_VAR, "lots")
+        with pytest.raises(ValueError):
+            CertificateCache(tmp_path / "c2")
+
+    def test_least_recently_used_reference_goes_first(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c", max_bytes=250)
+        cache.put(self.K1, _payload("a"))
+        _age(cache, self.K1, 30)
+        cache.put(self.K2, _payload("b"))
+        _age(cache, self.K2, 20)
+        cache.put(self.K3, _payload("c"))  # 300 bytes total > 250
+        assert cache.get(self.K1) is None  # oldest retired
+        assert cache.get(self.K2) == _payload("b")
+        assert cache.get(self.K3) == _payload("c")
+        assert cache.stats.snapshot()["lru_evictions"] == 1
+        assert cache.object_bytes() <= 250
+
+    def test_a_hit_refreshes_recency(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c", max_bytes=250)
+        cache.put(self.K1, _payload("a"))
+        _age(cache, self.K1, 30)
+        cache.put(self.K2, _payload("b"))
+        _age(cache, self.K2, 20)
+        assert cache.get(self.K1) == _payload("a")  # bumps K1 past K2
+        cache.put(self.K3, _payload("c"))
+        assert cache.get(self.K1) == _payload("a")
+        assert cache.get(self.K2) is None
+
+    def test_the_fresh_put_is_never_its_own_victim(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c", max_bytes=50)
+        cache.put(self.K1, _payload("a"))  # alone over budget
+        assert cache.get(self.K1) == _payload("a")
+        assert cache.stats.snapshot()["lru_evictions"] == 0
+
+    def test_pinned_keys_are_never_retired(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c", max_bytes=250)
+        cache.put(self.K1, _payload("a"))
+        _age(cache, self.K1, 30)
+        cache.pin(self.K1)
+        cache.put(self.K2, _payload("b"))
+        _age(cache, self.K2, 20)
+        cache.put(self.K3, _payload("c"))
+        assert cache.get(self.K1) == _payload("a")  # pinned oldest survives
+        assert cache.get(self.K2) is None  # next-oldest paid instead
+        cache.unpin(self.K1)
+        assert self.K1 not in cache._pinned()
+
+    def test_pins_are_refcounted(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c", max_bytes=250)
+        cache.pin(self.K1)
+        cache.pin(self.K1)
+        cache.unpin(self.K1)
+        assert self.K1 in cache._pinned()
+        cache.unpin(self.K1)
+        assert self.K1 not in cache._pinned()
+
+    def test_shared_object_survives_a_living_reference(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c", max_bytes=150)
+        shared = _payload("s")
+        digest = cache.put(self.K1, shared)
+        _age(cache, self.K1, 30)
+        assert cache.put(self.K2, shared) == digest  # dedup: one object
+        _age(cache, self.K2, 20)
+        cache.pin(self.K2)
+        cache.put(self.K3, _payload("c"))  # 200 bytes of objects > 150
+        # K1's reference went (freeing nothing — the object is shared),
+        # K2 is pinned, K3 is the fresh put: everything evictable is gone
+        # and the cache runs over budget rather than touch a pinned key
+        # or unlink an object a living reference still needs.
+        assert cache.get(self.K1) is None
+        assert cache.get(self.K2) == shared
+        assert cache.object_path(digest).exists()
+
+    def test_evicting_a_shared_reference_frees_no_bytes_so_lru_continues(
+        self, tmp_path
+    ):
+        cache = CertificateCache(tmp_path / "c", max_bytes=150)
+        shared = _payload("s")
+        cache.put(self.K1, shared)
+        _age(cache, self.K1, 30)
+        cache.put(self.K2, shared)
+        _age(cache, self.K2, 20)
+        cache.put(self.K3, _payload("c"))
+        # Retiring K1 alone frees nothing (K2 still holds the object), so
+        # the budget walk continues through K2; only then do the shared
+        # bytes actually leave disk.
+        assert cache.get(self.K1) is None
+        assert cache.get(self.K2) is None
+        assert cache.get(self.K3) == _payload("c")
+        assert cache.object_bytes() <= 150
+
+    def test_tamper_eviction_semantics_survive_the_budget(self, tmp_path):
+        cache = CertificateCache(tmp_path / "c", max_bytes=10_000)
+        digest = cache.put(self.K1, _payload("a"))
+        cache.object_path(digest).write_bytes(b"garbage")
+        assert cache.get(self.K1) is None
+        snap = cache.stats.snapshot()
+        assert snap["evictions"] == 1 and snap["lru_evictions"] == 0
 
 
 class TestSingleFlight:
