@@ -256,6 +256,81 @@ def test_zero_copy_dispatch_scaling(benchmark):
     )
 
 
+def _spawn_worker_daemons(count, scratch: Path):
+    """Launch ``count`` localhost worker daemons; returns (procs, addrs)."""
+    import subprocess
+    import sys
+
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    procs, addrs = [], []
+    for i in range(count):
+        port_file = scratch / f"bench-worker-{i}.port"
+        if port_file.exists():
+            port_file.unlink()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.worker", "--port-file", str(port_file)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        procs.append(proc)
+        deadline = time.monotonic() + 30.0
+        while not port_file.exists():
+            if time.monotonic() > deadline:
+                raise RuntimeError("worker daemon never announced a port")
+            time.sleep(0.02)
+        addrs.append(f"127.0.0.1:{port_file.read_text().strip()}")
+    return procs, addrs
+
+
+def test_socket_transport_scaling(benchmark, tmp_path):
+    """The TCP transport vs the local pool on the same sweep (DESIGN.md §15).
+
+    Two localhost worker daemons against a two-worker local pool: identical
+    reports, and the wire accounting (frames, bytes, per-shard payload)
+    lands in the trajectory so transport overhead is tracked over time.
+    """
+    rng = random.Random(2025)
+    program = _speedup_kbp(rng, _SPEEDUP_FREE_BITS)
+
+    def run():
+        start = time.perf_counter()
+        local = solve_si_parallel(program, workers=2, collect_stats=True)
+        local_s = time.perf_counter() - start
+        procs, addrs = _spawn_worker_daemons(2, tmp_path)
+        try:
+            start = time.perf_counter()
+            remote = solve_si_parallel(program, remote_workers=addrs)
+            socket_s = time.perf_counter() - start
+        finally:
+            for proc in procs:
+                proc.kill()
+        return local, local_s, remote, socket_s
+
+    local, local_s, remote, socket_s = once(benchmark, run)
+    assert tuple(p.mask for p in remote.solutions) == tuple(
+        p.mask for p in local.solutions
+    )
+    assert remote.candidates_checked == local.candidates_checked
+    stats = remote.dispatch.as_dict()
+    assert stats["transports"] == ["socket"]
+    _RESULTS["socket_seconds"] = round(socket_s, 3)
+    _RESULTS["socket_vs_local_pool"] = round(socket_s / local_s, 2)
+    _RESULTS["socket_frames_sent"] = stats["frames_sent"]
+    _RESULTS["socket_net_bytes_sent"] = stats["net_bytes_sent"]
+    _RESULTS["socket_net_bytes_received"] = stats["net_bytes_received"]
+    record(
+        benchmark,
+        local_pool_s=round(local_s, 3),
+        socket_s=round(socket_s, 3),
+        socket_frames_sent=stats["frames_sent"],
+        socket_net_bytes_received=stats["net_bytes_received"],
+        socket_identical=True,
+    )
+
+
 def test_parallel_certificates_match_serial(benchmark):
     """Sharded certified sweeps must reproduce the serial digests exactly."""
     from repro.certificates.canonical import canonical_dumps, payload_digest

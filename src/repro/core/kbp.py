@@ -283,6 +283,7 @@ def solve_si(
     checkpoint: Optional[object] = None,
     method: str = "auto",
     progress: Optional[object] = None,
+    remote_workers: Optional[object] = None,
 ) -> SolveReport:
     """Completely solve eq. (25) over all candidates ``x ⊇ init``.
 
@@ -338,11 +339,13 @@ def solve_si(
         fault_policy is not None
         or checkpoint is not None
         or progress is not None
+        or remote_workers is not None
     )
     if wants_robustness and parallel == "never":
         raise ValueError(
-            "fault_policy/checkpoint/progress are sharded-solver features; "
-            'they cannot be combined with parallel="never"'
+            "fault_policy/checkpoint/progress/remote_workers are "
+            'sharded-solver features; they cannot be combined with '
+            'parallel="never"'
         )
     space = program.space
     if not program.is_knowledge_based():
@@ -376,7 +379,7 @@ def solve_si(
             )
         if wants_robustness:
             raise ValueError(
-                "fault_policy/checkpoint/progress are sharded "
+                "fault_policy/checkpoint/progress/remote_workers are sharded "
                 "exhaustive-solver features; they cannot be combined with "
                 "method='cubes'"
             )
@@ -399,6 +402,7 @@ def solve_si(
                 fault_policy=fault_policy,
                 checkpoint=checkpoint,
                 progress=progress,
+                remote_workers=remote_workers,
             )
     if resolver is None:
         resolver = CandidateResolver(program)

@@ -65,7 +65,14 @@ from ..predicates.backends.batch import (
 from ..statespace import State
 from ..unity import Program
 from ..unity.expressions import Binary, Ite, Knowledge, Unary
-from .transport import DispatchStats, LocalPoolTransport
+from .transport import (
+    DispatchStats,
+    LocalPoolTransport,
+    ShardLeaseRevoked,
+    SocketTransport,
+    SocketTransportError,
+    parse_address,
+)
 
 #: Default batch size for ``batch_phi`` blocks (candidates per kernel call).
 BATCH_SIZE = 1024
@@ -78,6 +85,27 @@ START_METHOD_ENV_VAR = "REPRO_SOLVER_START_METHOD"
 
 #: Environment knob for arena dispatch: "auto" (default) or "never".
 ARENA_ENV_VAR = "REPRO_SOLVER_ARENA"
+
+#: Environment knob: comma-separated ``host:port`` list of
+#: ``python -m repro.worker`` daemons to dispatch shards to over TCP.
+REMOTE_WORKERS_ENV_VAR = "REPRO_SOLVER_REMOTE_WORKERS"
+
+
+def _resolve_remote_workers(
+    remote_workers: Optional[Sequence[str]],
+) -> Optional[List[str]]:
+    """The socket worker address list: explicit arg, then the env knob."""
+    if remote_workers is None:
+        raw = os.environ.get(REMOTE_WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return None
+        remote_workers = [part for part in raw.split(",") if part.strip()]
+    addresses = [str(a).strip() for a in remote_workers if str(a).strip()]
+    if not addresses:
+        return None
+    for address in addresses:
+        parse_address(address)
+    return addresses
 
 
 def _resolve_start_method(start_method: Optional[str]) -> str:
@@ -353,6 +381,7 @@ def _init_worker(
     backend_selection: Optional[str] = None,
     arena_spec: Optional[Any] = None,
     has_plan: bool = True,
+    plan: Optional[PhiPlan] = None,
 ) -> None:
     """Per-process solver setup, spawn-start-method clean.
 
@@ -369,7 +398,11 @@ def _init_worker(
     """
     if backend_selection is not None:
         set_default_backend(backend_selection)
-    if emit_certificate or not has_plan:
+    if plan is not None:
+        # A shipped plan (the socket worker's payload-fallback path) wins:
+        # nothing to attach, nothing to recompile.
+        pass
+    elif emit_certificate or not has_plan:
         plan = None
     elif arena_spec is not None:
         plan = arena_spec.attach(program.space)
@@ -567,6 +600,7 @@ def solve_si_parallel(
     start_method: Optional[str] = None,
     arena: Optional[str] = None,
     collect_stats: bool = False,
+    remote_workers: Optional[Sequence[str]] = None,
 ):
     """Exhaustively solve eq. (25) with sharding and batched Φ.
 
@@ -602,9 +636,26 @@ def solve_si_parallel(
     :class:`~repro.robustness.SolveProgress` ticks — one per resumed
     batch and one per completed shard, in journal order.  It is honored
     on supervised sweeps only (``FaultPolicy.off()`` ignores it).
+
+    ``remote_workers`` (or ``REPRO_SOLVER_REMOTE_WORKERS``) names
+    ``host:port`` addresses of ``python -m repro.worker`` daemons; shards
+    then dispatch over the TCP transport (DESIGN.md §15) instead of a
+    local pool.  Degradation is graceful and logged: unreachable workers
+    at attach fall back to the local pool (``degraded-to-local``
+    incident), a worker lost mid-shard surrenders only its own lease
+    (``worker-lost``), and losing *every* worker respawns through the
+    factory — socket again if anything answers, local pool otherwise,
+    with the per-shard serial fallback as the last resort.  Reports and
+    certificates stay byte-identical to serial throughout.
     """
     from ..certificates.canonical import payload_digest
-    from ..robustness import FaultPlan, FaultPolicy, ShardJournal, ShardSupervisor
+    from ..robustness import (
+        FaultLog,
+        FaultPlan,
+        FaultPolicy,
+        ShardJournal,
+        ShardSupervisor,
+    )
     from .kbp import SolveReport, _check_exhaustive_size, solve_si
 
     space = program.space
@@ -618,8 +669,13 @@ def solve_si_parallel(
         return solve_si(
             program, emit_certificate=emit_certificate, parallel="never"
         )
+    addresses = _resolve_remote_workers(remote_workers)
     if workers is None:
-        workers = default_workers()
+        workers = max(2, len(addresses)) if addresses else default_workers()
+    elif addresses:
+        # Socket dispatch needs shard granularity (workers==1 would take
+        # the in-process path and never touch the network).
+        workers = max(workers, 2)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if batch_size < 1:
@@ -651,7 +707,9 @@ def solve_si_parallel(
         for a in range(1 << len(high_positions))
     ]
     if fault_plan is not None:
-        fault_plan = fault_plan.bind(len(shard_masks))
+        fault_plan = fault_plan.bind(
+            len(shard_masks), len(addresses) if addresses else 1
+        )
 
     journal = None
     if checkpoint is not None:
@@ -677,6 +735,10 @@ def solve_si_parallel(
         backend_selection = backend_selection.name
     stats = DispatchStats(start_method=resolved_method) if workers > 1 else None
     arena_holder: List[Optional[SolveArena]] = [None]
+    # One log serves the supervisor *and* the pool factory, so transport
+    # degradation (socket → local) is an incident on the report, not a
+    # silent change of dispatch mechanism.
+    shared_log = FaultLog()
 
     def pool_factory():
         # Lazy on both axes: no pool → no arena (a fully journaled resume
@@ -691,6 +753,37 @@ def solve_si_parallel(
                     stats.arena_bytes = arena_holder[0].nbytes
                     stats.arena_segments = 1
             arena_spec = arena_holder[0].spec
+        if addresses:
+            try:
+                return SocketTransport(
+                    addresses,
+                    program_digest=header["program"],
+                    attach_args=dict(
+                        program=program,
+                        base_mask=base_mask,
+                        low_positions=low_positions,
+                        emit_certificate=emit_certificate,
+                        any_solution=any_solution,
+                        batch_size=batch_size,
+                        fault_plan=fault_plan,
+                        backend_selection=backend_selection,
+                        arena_spec=arena_spec,
+                        has_plan=plan is not None,
+                    ),
+                    plan=plan,
+                    policy=fault_policy,
+                    stats=stats,
+                    log=shared_log,
+                    net_plan=fault_plan
+                    if hasattr(fault_plan, "refuses_connect")
+                    else None,
+                )
+            except SocketTransportError as exc:
+                shared_log.record(
+                    "degraded-to-local",
+                    detail=f"socket transport unavailable ({exc}); "
+                    "dispatching through a local pool instead",
+                )
         return LocalPoolTransport(
             workers=min(workers, len(shard_masks)),
             mp_context=mp.get_context(resolved_method),
@@ -763,6 +856,7 @@ def solve_si_parallel(
                 decode_evidence=lambda items: _decode_evidence(items, space),
                 progress=progress,
                 drain_hook=drain_hook,
+                log=shared_log,
             )
             try:
                 solution_masks, checked, evidence = supervisor.run()
@@ -833,7 +927,7 @@ def _unsupervised_sweep(
                     index, fixed = pending.pop(future)
                     try:
                         masks, shard_checked, shard_evidence = future.result()
-                    except BrokenProcessPool as exc:
+                    except (BrokenProcessPool, ShardLeaseRevoked) as exc:
                         raise SolverWorkerError(
                             shard_mask=fixed,
                             attempts=1,

@@ -232,6 +232,19 @@ class ArenaSpec:
         """Map the segment and wrap it as a plan (worker side)."""
         return ArenaPlan(self, space, attach_segment(self.segment))
 
+    def try_attach(self, space) -> Optional["ArenaPlan"]:
+        """:meth:`attach`, or ``None`` when the segment does not resolve.
+
+        The remote-worker fallback path: a socket worker on another host
+        (or one that outlived the creating solve) cannot map the parent's
+        segment by name — it answers ``None`` here and asks the
+        coordinator to ship the full plan payload instead.
+        """
+        try:
+            return self.attach(space)
+        except FileNotFoundError:
+            return None
+
 
 # ----------------------------------------------------------------------
 # the attached plan

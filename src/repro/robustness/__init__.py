@@ -28,6 +28,7 @@ from .faults import (
     FaultClause,
     FaultPlan,
     FaultPlanError,
+    NetworkFaultPlan,
     SimulatedKill,
 )
 from .supervisor import (
@@ -49,6 +50,7 @@ __all__ = [
     "FaultPolicy",
     "JOURNAL_FORMAT",
     "JournalError",
+    "NetworkFaultPlan",
     "ShardJournal",
     "ShardRecord",
     "ShardSupervisor",

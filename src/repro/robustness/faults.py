@@ -55,6 +55,14 @@ _WORKER_KINDS = ("crash", "hang", "delay")
 _PARENT_KINDS = ("kill", "torn")
 _KINDS = _WORKER_KINDS + _PARENT_KINDS + ("chaos",)
 
+#: Network fault kinds (NetworkFaultPlan): ``connrefused`` fires client-side
+#: in ``SocketTransport`` (targets a *worker index*); the rest fire inside
+#: the worker daemon around result delivery (targeting shard indices), and
+#: ``netchaos`` is the seeded picker over all of them.
+_NET_CLIENT_KINDS = ("connrefused",)
+_NET_WORKER_KINDS = ("disconnect", "stall", "dupresult", "corruptframe")
+_NET_KINDS = _NET_CLIENT_KINDS + _NET_WORKER_KINDS + ("netchaos",)
+
 
 class FaultPlanError(ValueError):
     """A fault plan failed to parse.
@@ -89,6 +97,12 @@ class FaultClause:
     seconds: float = 0.0
     crashes: int = 0
     hangs: int = 0
+    #: netchaos-only counts (how many of each network fault the seed picks)
+    refused: int = 0
+    disconnects: int = 0
+    stalls: int = 0
+    dups: int = 0
+    corrupts: int = 0
 
     def describe(self) -> str:
         extras = []
@@ -100,18 +114,20 @@ class FaultClause:
         return f"{self.kind}@{self.target}{suffix}"
 
 
-def _parse_clause(text: str) -> Tuple[str, int, Dict[str, float]]:
+def _parse_clause(
+    text: str, kinds: Tuple[str, ...] = _KINDS
+) -> Tuple[str, int, Dict[str, float]]:
     head, _, tail = text.partition(":")
     kind, at, target = head.partition("@")
     if not at:
         raise FaultPlanError(
             f"fault clause {text!r} has no '@': expected "
-            f"'<kind>@<target>[:k=v...]' with kind one of {', '.join(_KINDS)}"
+            f"'<kind>@<target>[:k=v...]' with kind one of {', '.join(kinds)}"
         )
-    if kind not in _KINDS:
+    if kind not in kinds:
         raise FaultPlanError(
             f"fault clause {text!r} names unknown fault kind {kind!r}; "
-            f"valid kinds are {', '.join(_KINDS)}"
+            f"valid kinds are {', '.join(kinds)}"
         )
     try:
         index = int(target)
@@ -143,9 +159,31 @@ class FaultPlan:
     clauses: Tuple[FaultClause, ...]
     scratch: str = field(default_factory=lambda: tempfile.mkdtemp(prefix="repro-faults-"))
 
+    #: valid clause kinds for this plan class (subclasses extend)
+    KINDS = _KINDS
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+
+    @classmethod
+    def _build_clause(
+        cls, kind: str, target: int, params: Dict[str, float]
+    ) -> FaultClause:
+        if kind == "chaos":
+            return FaultClause(
+                kind="chaos",
+                target=target,  # the seed
+                seconds=params.get("seconds", 0.5),
+                crashes=int(params.get("crash", 1)),
+                hangs=int(params.get("hang", 0)),
+            )
+        return FaultClause(
+            kind=kind,
+            target=target,
+            times=int(params.get("times", 1)),
+            seconds=params.get("seconds", 0.0),
+        )
 
     @classmethod
     def parse(cls, text: str, scratch: Optional[str] = None) -> "FaultPlan":
@@ -154,43 +192,37 @@ class FaultPlan:
             raw = raw.strip()
             if not raw:
                 continue
-            kind, target, params = _parse_clause(raw)
-            if kind == "chaos":
-                clauses.append(
-                    FaultClause(
-                        kind="chaos",
-                        target=target,  # the seed
-                        seconds=params.get("seconds", 0.5),
-                        crashes=int(params.get("crash", 1)),
-                        hangs=int(params.get("hang", 0)),
-                    )
-                )
-                continue
-            clauses.append(
-                FaultClause(
-                    kind=kind,
-                    target=target,
-                    times=int(params.get("times", 1)),
-                    seconds=params.get("seconds", 0.0),
-                )
-            )
+            kind, target, params = _parse_clause(raw, cls.KINDS)
+            clauses.append(cls._build_clause(kind, target, params))
         if scratch is None:
             return cls(clauses=tuple(clauses))
         return cls(clauses=tuple(clauses), scratch=scratch)
 
     @classmethod
     def from_env(cls) -> Optional["FaultPlan"]:
-        """The plan named by ``REPRO_FAULT_PLAN``, or ``None`` when unset."""
+        """The plan named by ``REPRO_FAULT_PLAN``, or ``None`` when unset.
+
+        A plan that uses any network fault kind parses as
+        :class:`NetworkFaultPlan` so socket solves can inject network
+        faults straight from the environment.
+        """
         raw = os.environ.get(FAULT_PLAN_ENV_VAR)
         if not raw:
             return None
+        if cls is FaultPlan and any(
+            clause.strip().partition("@")[0] in _NET_KINDS
+            for clause in raw.split(";")
+        ):
+            return NetworkFaultPlan.parse(raw)
         return cls.parse(raw)
 
-    def bind(self, shard_count: int) -> "FaultPlan":
+    def bind(self, shard_count: int, worker_count: int = 1) -> "FaultPlan":
         """Resolve seeded ``chaos`` clauses into concrete shard targets.
 
         Deterministic: the clause's seed and the shard count fully determine
-        which indices are hit, independent of scheduling.
+        which indices are hit, independent of scheduling.  ``worker_count``
+        is unused here; :class:`NetworkFaultPlan` draws connection-level
+        targets from it.
         """
         bound = []
         for clause in self.clauses:
@@ -280,3 +312,131 @@ class FaultPlan:
                     f"fault plan killed the solve after {completion_count} "
                     "journaled shards"
                 )
+
+
+@dataclass(frozen=True)
+class NetworkFaultPlan(FaultPlan):
+    """The PR-4 fault grammar extended with network failure modes.
+
+    All base kinds keep working (a worker daemon runs ``crash``/``hang``/
+    ``delay`` clauses inside its sweep exactly like a pool worker, so
+    ``crash@k`` kills the whole daemon mid-shard).  The new kinds::
+
+        connrefused@0            SocketTransport's connect to worker 0 is
+                                 refused once (client-side; retries/backoff
+                                 then reach the real daemon)
+        disconnect@2             the daemon drops the connection halfway
+                                 through writing shard 2's result frame
+        stall@1:seconds=30       the daemon goes silent (no heartbeats, no
+                                 result) for 30 s before delivering shard 1
+        dupresult@3              shard 3's result frame is sent twice
+        corruptframe@2           shard 2's result body is sent with one bit
+                                 flipped (the frame digest then fails)
+        netchaos@7:refused=1:disconnect=1:stall=1:dup=1:corrupt=1:seconds=20
+                                 seed 7 deterministically picks targets for
+                                 each count once shard/worker counts are
+                                 known (:meth:`bind`)
+
+    Like every clause, each fires at most ``times`` times via the marker
+    files in ``scratch`` — the scratch path travels inside the pickled
+    plan, so a localhost daemon shares the same one-shot accounting as the
+    coordinator.  (Cross-host chaos would need a shared scratch mount; the
+    chaos suite runs on localhost.)
+    """
+
+    KINDS = _KINDS + _NET_KINDS
+
+    @classmethod
+    def _build_clause(
+        cls, kind: str, target: int, params: Dict[str, float]
+    ) -> FaultClause:
+        if kind == "netchaos":
+            return FaultClause(
+                kind="netchaos",
+                target=target,  # the seed
+                seconds=params.get("seconds", 20.0),
+                refused=int(params.get("refused", 0)),
+                disconnects=int(params.get("disconnect", 0)),
+                stalls=int(params.get("stall", 0)),
+                dups=int(params.get("dup", 0)),
+                corrupts=int(params.get("corrupt", 0)),
+            )
+        if kind == "stall":
+            clause = super()._build_clause(kind, target, params)
+            if not clause.seconds:
+                clause = replace(clause, seconds=20.0)
+            return clause
+        return super()._build_clause(kind, target, params)
+
+    def bind(self, shard_count: int, worker_count: int = 1) -> "FaultPlan":
+        """Resolve ``chaos``/``netchaos`` seeds into concrete targets.
+
+        Shard-level kinds draw distinct shard indices, connection-level
+        ``connrefused`` draws worker indices — both from the clause's own
+        seeded PRNG, so the incident set is a pure function of
+        (seed, shard_count, worker_count).
+        """
+        base = super().bind(shard_count, worker_count)
+        bound = []
+        for clause in base.clauses:
+            if clause.kind != "netchaos":
+                bound.append(clause)
+                continue
+            rng = random.Random(clause.target)
+            shard_kinds = (
+                ["disconnect"] * clause.disconnects
+                + ["stall"] * clause.stalls
+                + ["dupresult"] * clause.dups
+                + ["corruptframe"] * clause.corrupts
+            )
+            want = min(len(shard_kinds), shard_count)
+            picks = rng.sample(range(shard_count), want)
+            for kind, index in zip(shard_kinds, picks):
+                bound.append(
+                    FaultClause(kind=kind, target=index, seconds=clause.seconds)
+                )
+            for _ in range(min(clause.refused, worker_count)):
+                bound.append(
+                    FaultClause(
+                        kind="connrefused",
+                        target=rng.randrange(worker_count),
+                    )
+                )
+        return replace(base, clauses=tuple(bound))
+
+    # ------------------------------------------------------------------
+    # client-side hook (SocketTransport)
+    # ------------------------------------------------------------------
+
+    def refuses_connect(self, worker_index: int) -> bool:
+        """Whether this connect attempt to ``worker_index`` is refused."""
+        for clause in self.clauses:
+            if (
+                clause.kind == "connrefused"
+                and clause.target == worker_index
+                and self._fire(clause)
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # daemon-side hook (repro.worker result delivery)
+    # ------------------------------------------------------------------
+
+    def before_result(self, shard_index: int) -> Tuple[FaultClause, ...]:
+        """Fired network clauses to apply to ``shard_index``'s result.
+
+        The daemon interprets each returned clause: ``disconnect`` truncates
+        the result frame and closes the connection, ``stall`` suppresses
+        heartbeats and sleeps, ``dupresult`` sends the frame twice,
+        ``corruptframe`` flips a body bit under an honest length header.
+        """
+        fired = []
+        for clause in self.clauses:
+            if (
+                clause.kind in _NET_WORKER_KINDS
+                and clause.target == shard_index
+                and self._fire(clause)
+            ):
+                fired.append(clause)
+        return tuple(fired)

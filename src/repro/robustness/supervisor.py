@@ -128,7 +128,8 @@ class FaultIncident:
     """One supervised event: what happened, to which shard, which attempt."""
 
     kind: str  # worker-crash | shard-timeout | pool-respawn | retry |
-    #            serial-fallback | duplicate-result | resume
+    #            serial-fallback | duplicate-result | resume | worker-lost |
+    #            worker-unreachable | degraded-to-local | link-retry
     shard_index: Optional[int]
     attempt: int
     detail: str
@@ -208,6 +209,7 @@ class ShardSupervisor:
         decode_evidence: Callable[[Sequence[Any]], List[Any]] = lambda e: [],
         progress: Optional[Callable[[SolveProgress], None]] = None,
         drain_hook: Optional[Callable[[Any], None]] = None,
+        log: Optional[FaultLog] = None,
     ):
         self.pool_factory = pool_factory
         self.task = task
@@ -225,7 +227,10 @@ class ShardSupervisor:
         #: teardown — the solver's hook for worker RSS sampling; failures
         #: are swallowed (metrics must never fail a solve).
         self.drain_hook = drain_hook
-        self.log = FaultLog()
+        #: callers may pass a shared log so transport-level incidents (e.g.
+        #: socket-to-local degradation inside the pool factory) land in the
+        #: same history the report carries.
+        self.log = log if log is not None else FaultLog()
         self._pool: Any = None
 
     # ------------------------------------------------------------------
@@ -325,6 +330,8 @@ class ShardSupervisor:
         fallback: List[int],
     ) -> bool:
         """Dispatch ``todo`` through the pool; returns True on early exit."""
+        from ..core.transport import ShardLeaseRevoked
+
         policy = self.policy
         inflight: Dict[Any, Tuple[int, float]] = {}
         for index in todo:
@@ -355,6 +362,17 @@ class ShardSupervisor:
                         shard_index=index,
                         attempt=attempts[index],
                         detail="process pool broke under this shard's lease",
+                    )
+                except ShardLeaseRevoked as exc:
+                    # One socket worker vanished; the pool (and every other
+                    # lease) is still healthy, so only this shard re-enters
+                    # the retry machinery — no respawn.
+                    lost.append(index)
+                    self.log.record(
+                        "worker-lost",
+                        shard_index=index,
+                        attempt=attempts[index],
+                        detail=str(exc),
                     )
                 else:
                     if index in results:

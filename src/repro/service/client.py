@@ -31,11 +31,28 @@ import hashlib
 import json
 import socket
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
 from .specs import ServiceError
+
+#: Default connect/request retry budget (attempts beyond the first).
+DEFAULT_RETRIES = 3
+#: First retry delay; doubles per attempt, capped at :data:`BACKOFF_CAP`.
+DEFAULT_RETRY_BACKOFF = 0.1
+BACKOFF_CAP = 2.0
+
+#: Transient transport failures worth a fresh connection.  ``socket.timeout``
+#: is deliberately absent: a server that accepted the request but is slow is
+#: not one to hammer with duplicates.
+_RETRYABLE = (ConnectionRefusedError, ConnectionResetError, BrokenPipeError)
+
+
+def _backoff(attempt: int, base: float) -> float:
+    """Capped exponential delay before retry ``attempt`` (1-based)."""
+    return min(base * (2.0 ** (attempt - 1)), BACKOFF_CAP)
 
 
 @dataclass(frozen=True)
@@ -57,13 +74,39 @@ class SolveResult:
 class ServiceClient:
     """A blocking JSONL-protocol client; one socket, sequential ops."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 600.0):
-        self.sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 600.0,
+        retries: int = DEFAULT_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    ):
+        self.retries = max(int(retries), 0)
+        self.retry_backoff = max(float(retry_backoff), 0.0)
+        self.sock = self._connect(host, port, timeout)
         # Buffered file wrappers: readline for event lines, exact-count
         # read for the raw artifact body (StreamReader's 64 KiB line limit
         # never applies — artifacts travel outside lines).
         self.rfile = self.sock.makefile("rb")
         self.wfile = self.sock.makefile("wb")
+
+    def _connect(self, host: str, port: int, timeout: float) -> socket.socket:
+        """Connect with capped exponential backoff on refusal/reset.
+
+        A refused connect usually means the server is restarting or not
+        yet listening; retrying a few times with growing delays rides out
+        the window without masking a genuinely absent server for long.
+        """
+        attempt = 0
+        while True:
+            try:
+                return socket.create_connection((host, port), timeout=timeout)
+            except _RETRYABLE:
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                time.sleep(_backoff(attempt, self.retry_backoff))
 
     def close(self) -> None:
         for stream in (self.rfile, self.wfile, self.sock):
@@ -256,6 +299,20 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--port-file", default=None, help="read the port the server wrote here"
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=DEFAULT_RETRIES,
+        help="connect/request retries on refused or reset connections "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=DEFAULT_RETRY_BACKOFF,
+        help="first retry delay in seconds; doubles per attempt, capped "
+        f"at {BACKOFF_CAP}s (default %(default)s)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     solve = sub.add_parser("solve", help="submit a query and fetch the artifact")
@@ -278,22 +335,44 @@ def main(argv: Optional[list] = None) -> int:
 
     args = parser.parse_args(argv)
     port = _resolve_port(args, parser)
-    try:
-        with ServiceClient(host=args.host, port=port) as client:
-            if args.command == "solve":
-                return _cmd_solve(client, args)
-            if args.command == "status":
-                print(json.dumps(client.status(), indent=2, sort_keys=True))
+    # Request-level retry: a connection reset mid-request gets a fresh
+    # socket and a re-issued command.  Every op is idempotent server-side
+    # (solve is content-addressed; status/ping are reads), so a duplicate
+    # submission can only hit the cache, never double-solve.
+    attempt = 0
+    while True:
+        try:
+            with ServiceClient(
+                host=args.host,
+                port=port,
+                retries=args.retries,
+                retry_backoff=args.retry_backoff,
+            ) as client:
+                if args.command == "solve":
+                    return _cmd_solve(client, args)
+                if args.command == "status":
+                    print(json.dumps(client.status(), indent=2, sort_keys=True))
+                    return 0
+                if args.command == "ping":
+                    print(json.dumps(client.ping(), sort_keys=True))
+                    return 0
+                client.shutdown()
+                print("server shutting down")
                 return 0
-            if args.command == "ping":
-                print(json.dumps(client.ping(), sort_keys=True))
-                return 0
-            client.shutdown()
-            print("server shutting down")
-            return 0
-    except (ConnectionError, socket.timeout) as exc:
-        print(f"error: cannot reach the server: {exc}", file=sys.stderr)
-        return 1
+        except _RETRYABLE as exc:
+            attempt += 1
+            if attempt > args.retries or args.command == "shutdown":
+                print(f"error: cannot reach the server: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"retry {attempt}/{args.retries}: {exc}",
+                file=sys.stderr,
+                flush=True,
+            )
+            time.sleep(_backoff(attempt, args.retry_backoff))
+        except (ConnectionError, socket.timeout) as exc:
+            print(f"error: cannot reach the server: {exc}", file=sys.stderr)
+            return 1
 
 
 if __name__ == "__main__":

@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ..certificates.canonical import CertificateError
+from ..core.netproto import MAX_LINE_BYTES, READ_DEADLINE
 from .cache import CertificateCache
 from .queue import SolveQueue
 from .specs import QuerySpec, cache_key, resolve_model, solve_query
@@ -71,11 +72,17 @@ class CertificateServer:
         port: int = 0,
         solver_workers: int = 1,
         queue_workers: int = 1,
+        read_deadline: float = READ_DEADLINE,
+        remote_workers: Optional[list] = None,
     ):
         self.cache = cache
         self.host = host
         self.port = port
         self.solver_workers = solver_workers
+        #: seconds a connection may sit idle mid-session before it is cut
+        self.read_deadline = read_deadline
+        #: optional ``host:port`` shard-worker daemons for cold solves
+        self.remote_workers = list(remote_workers) if remote_workers else None
         self.queue = SolveQueue(workers=queue_workers)
         self.started = time.monotonic()
         self.stopping = asyncio.Event()
@@ -86,8 +93,12 @@ class CertificateServer:
     # ------------------------------------------------------------------
 
     async def start(self) -> int:
+        # The stream limit is the request-line cap: readline() on a peer
+        # that never sends a newline fails at MAX_LINE_BYTES instead of
+        # buffering without bound (the worker protocol enforces the same
+        # constant on its frame headers).
         self.server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
         self.port = self.server.sockets[0].getsockname()[1]
         return self.port
@@ -107,7 +118,33 @@ class CertificateServer:
     ) -> None:
         try:
             while not self.stopping.is_set():
-                line = await reader.readline()
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=self.read_deadline
+                    )
+                except asyncio.TimeoutError:
+                    # A silent peer must not hold a connection task forever.
+                    await self._send(
+                        writer,
+                        {
+                            "event": "error",
+                            "error": f"no request within {self.read_deadline}s; "
+                            "closing",
+                        },
+                    )
+                    break
+                except ValueError:
+                    # The line outgrew MAX_LINE_BYTES; the stream cannot be
+                    # resynchronized mid-line, so the connection ends here.
+                    await self._send(
+                        writer,
+                        {
+                            "event": "error",
+                            "error": f"request line exceeds {MAX_LINE_BYTES} "
+                            "bytes; closing",
+                        },
+                    )
+                    break
                 if not line:
                     break
                 try:
@@ -212,6 +249,7 @@ class CertificateServer:
                 workers=self.solver_workers,
                 checkpoint=self.cache.journal_path(key),
                 progress=publish,
+                remote_workers=self.remote_workers,
             )
             payload = text.encode("ascii")
             self.cache.put(
@@ -289,14 +327,42 @@ class CertificateServer:
 # ----------------------------------------------------------------------
 
 
+def _parse_workers(value: str):
+    """``--workers``: an int (local pool size) or ``host:port,...`` daemons.
+
+    Returns ``(solver_workers, remote_workers)``.
+    """
+    value = value.strip()
+    if ":" not in value:
+        try:
+            return max(1, int(value)), None
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--workers {value!r} is neither an integer nor a "
+                "host:port,... list"
+            ) from None
+    from ..core.transport import parse_address
+
+    addresses = [part.strip() for part in value.split(",") if part.strip()]
+    try:
+        for address in addresses:
+            parse_address(address)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return max(2, len(addresses)), addresses
+
+
 async def _amain(args: argparse.Namespace) -> int:
     cache = CertificateCache(args.cache_dir, max_bytes=args.cache_max_bytes)
+    solver_workers, remote_workers = args.workers
     server = CertificateServer(
         cache,
         host=args.host,
         port=args.port,
-        solver_workers=args.workers,
+        solver_workers=solver_workers,
         queue_workers=args.queue_workers,
+        read_deadline=args.read_deadline,
+        remote_workers=remote_workers,
     )
     port = await server.start()
     if args.port_file:
@@ -342,9 +408,18 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--workers",
-        type=int,
-        default=1,
-        help="solver workers per cold solve (1 = in-process supervised)",
+        type=_parse_workers,
+        default=(1, None),
+        help="solver workers per cold solve: an integer (1 = in-process "
+        "supervised), or a host:port,... list of python -m repro.worker "
+        "daemons to fan shards out to over TCP",
+    )
+    parser.add_argument(
+        "--read-deadline",
+        type=float,
+        default=READ_DEADLINE,
+        help="seconds an idle connection may wait between requests before "
+        f"it is closed (default {READ_DEADLINE})",
     )
     parser.add_argument(
         "--queue-workers",

@@ -144,14 +144,16 @@ def solve_query(
     workers: Optional[int] = None,
     checkpoint: Optional[Any] = None,
     progress: Optional[Callable[[Any], None]] = None,
+    remote_workers: Optional[Any] = None,
 ) -> str:
     """The cold path: solve, certify, and return the artifact text.
 
     Returns exactly what a direct emit would put on disk —
     ``artifact.dumps() + "\\n"`` — so cache hits are byte-identical to
-    fresh solves by construction.  ``workers``/``checkpoint``/``progress``
-    are execution-only: they steer the sweep (and let a killed server
-    resume from its shard journal) without ever reaching the artifact
+    fresh solves by construction.  ``workers``/``checkpoint``/
+    ``progress``/``remote_workers`` are execution-only: they steer the
+    sweep (and let a killed server resume from its shard journal, or fan
+    it out to socket worker daemons) without ever reaching the artifact
     bytes.
 
     Unknown flags are rejected rather than ignored — a flag that does not
@@ -180,6 +182,7 @@ def solve_query(
                 workers=workers,
                 checkpoint=checkpoint,
                 progress=progress,
+                remote_workers=remote_workers,
             )
             certificate = report.certificate
         elif spec.obligation == "si" or spec.obligation.startswith("invariant"):

@@ -1,0 +1,386 @@
+"""``python -m repro.worker`` — a remote shard worker daemon.
+
+One daemon serves shard sweeps over TCP to any number of coordinating
+solves, one at a time (the sweep state is process-global, so concurrent
+sessions serialize on a lock).  The protocol (DESIGN.md §15) is the
+length-prefixed, digest-checked frame format of :mod:`repro.core.netproto`:
+
+1. the coordinator sends ``attach`` — the solve's program digest in the
+   header, the pickled init arguments (program, shard layout, solver
+   flags, arena spec) in the body.  The daemon re-derives the program
+   digest from what it unpickled and refuses a mismatch: a worker never
+   computes against a program other than the one it claims to serve;
+2. the daemon maps the shared-memory arena by name when it can (same
+   host), and otherwise answers ``need-plan`` — the coordinator ships the
+   full Φ-plan payload, which is exactly the remote-host fallback;
+3. each ``shard`` frame names ``(index, fixed_mask, attempt)``; the
+   daemon sweeps it with the *same* ``_sweep_shard`` a pool worker runs
+   and answers a ``result`` frame keyed by that mask and attempt, sending
+   ``heartbeat`` frames from a side thread while the sweep computes;
+4. ``rss`` answers peak memory, ``bye`` ends the session.
+
+Fault injection: the attach payload carries the solve's fault plan, so
+``crash``/``hang``/``delay`` clauses fire inside the sweep exactly as
+they do in a pool worker (``crash`` kills the whole daemon — the real
+"worker machine died" case), and
+:class:`~repro.robustness.faults.NetworkFaultPlan` clauses fire around
+result delivery: ``stall`` silences heartbeats past the client deadline,
+``disconnect`` tears the result frame mid-transfer, ``dupresult`` sends
+it twice, ``corruptframe`` flips a body bit under an honest digest.
+One-shot accounting rides the plan's marker-file scratch directory, which
+localhost daemons share with the coordinator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import signal
+import socket
+import sys
+import threading
+from typing import Any, Optional
+
+from .core import parallel
+from .core.netproto import (
+    FrameError,
+    WORKER_PROTOCOL,
+    recv_frame,
+    send_frame,
+)
+
+#: Only one session may own the process-global sweep state at a time.
+_SESSION_LOCK = threading.Lock()
+
+
+class _SessionEnd(Exception):
+    """Internal: the session is over (bye, EOF, or a dead connection)."""
+
+
+def _program_digest(program) -> str:
+    from .certificates.canonical import program_digest
+
+    return program_digest(program)
+
+
+def _peak_rss_kb() -> int:
+    import resource
+
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class _Heartbeat:
+    """Sends ``heartbeat`` frames every ``interval`` s until stopped."""
+
+    def __init__(self, wfile, write_lock: threading.Lock, interval: float):
+        self.wfile = wfile
+        self.write_lock = write_lock
+        self.interval = max(float(interval), 0.05)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                with self.write_lock:
+                    send_frame(self.wfile, "heartbeat")
+            except (OSError, FrameError):
+                return  # the session reader will notice the dead socket
+
+
+class Session:
+    """One coordinator connection: attach, then serve shards until bye."""
+
+    def __init__(self, conn: socket.socket, peer: str, verbose: bool = False):
+        self.conn = conn
+        self.peer = peer
+        self.verbose = verbose
+        self.rfile = conn.makefile("rb")
+        self.wfile = conn.makefile("wb")
+        self.write_lock = threading.Lock()
+        self.heartbeat_interval = 0.5
+        self.net_plan: Optional[Any] = None
+
+    def log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[worker {os.getpid()}] {self.peer}: {message}", flush=True)
+
+    def send(self, frame_type: str, meta=None, body: bytes = b"") -> None:
+        with self.write_lock:
+            send_frame(self.wfile, frame_type, meta, body)
+
+    def fail(self, message: str) -> None:
+        try:
+            self.send("error", {"message": message})
+        except (OSError, FrameError):
+            pass
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            self._attach()
+            while True:
+                try:
+                    header, body, _n = recv_frame(self.rfile)
+                except FrameError:
+                    raise _SessionEnd from None
+                kind = header.get("type")
+                if kind == "shard":
+                    self._serve_shard(header)
+                elif kind == "rss":
+                    self.send("rss", {"kb": _peak_rss_kb()})
+                elif kind == "bye":
+                    raise _SessionEnd
+                else:
+                    self.fail(f"unexpected frame {kind!r} in session")
+                    raise _SessionEnd
+        except _SessionEnd:
+            pass
+        except (OSError, FrameError):
+            pass
+        finally:
+            plan = parallel._WORKER.get("plan")
+            if plan is not None and hasattr(plan, "close"):
+                plan.close()  # unmap an attached arena before gc sees it
+            parallel._WORKER.clear()
+            for stream in (self.rfile, self.wfile, self.conn):
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+            self.log("session closed")
+
+    # ------------------------------------------------------------------
+
+    def _attach(self) -> None:
+        try:
+            header, body, _n = recv_frame(self.rfile)
+        except FrameError:
+            raise _SessionEnd from None
+        if header.get("type") != "attach":
+            self.fail(f"expected 'attach', got {header.get('type')!r}")
+            raise _SessionEnd
+        if header.get("protocol") != WORKER_PROTOCOL:
+            self.fail(
+                f"protocol mismatch: daemon speaks {WORKER_PROTOCOL}, "
+                f"coordinator sent {header.get('protocol')!r}"
+            )
+            raise _SessionEnd
+        self.heartbeat_interval = float(
+            header.get("heartbeat") or self.heartbeat_interval
+        )
+        try:
+            args = pickle.loads(body)
+        except Exception as exc:
+            self.fail(f"undecodable attach payload: {exc}")
+            raise _SessionEnd from None
+
+        program = args["program"]
+        claimed = header.get("program")
+        actual = _program_digest(program)
+        if claimed != actual:
+            self.fail(
+                f"program digest mismatch: attach claims {claimed!r}, "
+                f"payload hashes to {actual!r}"
+            )
+            raise _SessionEnd
+
+        # Plan acquisition: arena by name when the segment resolves on this
+        # host, the shipped payload otherwise — never a local recompile,
+        # so the worker computes over exactly the coordinator's plan.
+        plan = None
+        mode = "resolver"
+        has_plan = bool(args.get("has_plan"))
+        arena_spec = args.get("arena_spec")
+        if not args.get("emit_certificate") and has_plan:
+            if arena_spec is not None:
+                plan = arena_spec.try_attach(program.space)
+            if plan is not None:
+                mode = "arena"
+            else:
+                self.send("need-plan", {"program": actual})
+                try:
+                    plan_header, plan_body, _n = recv_frame(self.rfile)
+                except FrameError:
+                    raise _SessionEnd from None
+                if plan_header.get("type") != "plan":
+                    self.fail(
+                        f"expected 'plan', got {plan_header.get('type')!r}"
+                    )
+                    raise _SessionEnd
+                try:
+                    plan = pickle.loads(plan_body)
+                except Exception as exc:
+                    self.fail(f"undecodable plan payload: {exc}")
+                    raise _SessionEnd from None
+                mode = "payload"
+
+        fault_plan = args.get("fault_plan")
+        if fault_plan is not None and hasattr(fault_plan, "before_result"):
+            self.net_plan = fault_plan
+
+        parallel._init_worker(
+            program,
+            args["base_mask"],
+            list(args["low_positions"]),
+            bool(args.get("emit_certificate")),
+            bool(args.get("any_solution")),
+            int(args.get("batch_size") or parallel.BATCH_SIZE),
+            fault_plan=fault_plan,
+            backend_selection=args.get("backend_selection"),
+            arena_spec=None,
+            has_plan=has_plan,
+            plan=plan,
+        )
+        self.send(
+            "attached",
+            {"program": actual, "mode": mode, "protocol": WORKER_PROTOCOL},
+        )
+        self.log(f"attached to {actual} (mode={mode})")
+
+    # ------------------------------------------------------------------
+
+    def _serve_shard(self, header) -> None:
+        index = int(header["index"])
+        fixed_mask = int(header["fixed_mask"])
+        attempt = int(header.get("attempt", 1))
+        with _Heartbeat(self.wfile, self.write_lock, self.heartbeat_interval):
+            try:
+                result = parallel._sweep_shard(index, fixed_mask)
+            except Exception as exc:
+                self.fail(f"shard {index} failed: {exc!r}")
+                return
+            body = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        # Heartbeats are stopped here: an injected stall below is genuine
+        # silence, exactly what the client-side deadline is probing.
+        self._deliver(index, fixed_mask, attempt, body)
+
+    def _deliver(
+        self, index: int, fixed_mask: int, attempt: int, body: bytes
+    ) -> None:
+        fired = (
+            self.net_plan.before_result(index)
+            if self.net_plan is not None
+            else ()
+        )
+        kinds = {clause.kind for clause in fired}
+        for clause in fired:
+            if clause.kind == "stall":
+                self.log(f"fault: stalling {clause.seconds}s before shard {index}")
+                import time
+
+                time.sleep(clause.seconds)
+
+        from .core.netproto import encode_frame
+
+        data = encode_frame(
+            "result",
+            {"index": index, "fixed_mask": fixed_mask, "attempt": attempt},
+            body,
+        )
+        if "corruptframe" in kinds:
+            # Flip the last body byte under the honest header digest: the
+            # receiver's sha256 check must catch it before pickle does.
+            self.log(f"fault: corrupting shard {index}'s result frame")
+            data = data[:-1] + bytes([data[-1] ^ 0xFF])
+        with self.write_lock:
+            if "disconnect" in kinds:
+                self.log(f"fault: disconnect mid-frame on shard {index}")
+                try:
+                    self.wfile.write(data[: max(1, len(data) // 2)])
+                    self.wfile.flush()
+                finally:
+                    try:
+                        self.conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                raise _SessionEnd
+            self.wfile.write(data)
+            if "dupresult" in kinds:
+                self.log(f"fault: duplicating shard {index}'s result frame")
+                self.wfile.write(data)
+            self.wfile.flush()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    port_file: Optional[str] = None,
+    verbose: bool = False,
+) -> None:
+    """Bind, announce, and serve coordinator sessions until killed."""
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind((host, port))
+    server.listen(8)
+    bound = server.getsockname()[1]
+    if port_file:
+        tmp = f"{port_file}.tmp"
+        with open(tmp, "w", encoding="ascii") as handle:
+            handle.write(str(bound))
+        os.replace(tmp, port_file)
+    print(f"repro-worker listening on {host}:{bound}", flush=True)
+
+    def _sessions() -> None:
+        while True:
+            try:
+                conn, addr = server.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            peer = f"{addr[0]}:{addr[1]}"
+
+            def _run(conn=conn, peer=peer):
+                # Sessions share the process-global sweep state; a second
+                # coordinator waits its turn rather than corrupting the
+                # first one's plan.
+                with _SESSION_LOCK:
+                    Session(conn, peer, verbose=verbose).run()
+
+            threading.Thread(target=_run, daemon=True).start()
+
+    try:
+        _sessions()
+    finally:
+        server.close()
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.worker",
+        description="Remote shard worker daemon for the sharded eq.-(25) "
+        "solver (DESIGN.md §15).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here (for tests racing ephemeral binds)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    try:
+        serve(args.host, args.port, args.port_file, args.verbose)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

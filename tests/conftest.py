@@ -8,7 +8,12 @@ checked exhaustively per generated program.
 
 from __future__ import annotations
 
+import os
 import random
+import subprocess
+import sys
+import time
+from pathlib import Path
 from typing import List
 
 import pytest
@@ -17,6 +22,47 @@ from hypothesis import strategies as st
 from repro.predicates import Predicate
 from repro.statespace import BoolDomain, IntRangeDomain, StateSpace, Variable, space_of
 from repro.unity import Const, Program, Statement, Unary, Var, const, lnot, var
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture
+def spawn_worker(tmp_path):
+    """Factory: launch ``python -m repro.worker`` daemons, kill them after.
+
+    Returns a callable ``spawn(name) -> (Popen, "host:port")``; the daemon
+    binds an ephemeral port and announces it through a port file, so tests
+    never race a hardcoded port.
+    """
+    procs = []
+
+    def spawn(name: str = "w"):
+        port_file = tmp_path / f"{name}.port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.worker", "--port-file", str(port_file)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        procs.append(proc)
+        deadline = time.monotonic() + 15.0
+        while not port_file.exists():
+            if proc.poll() is not None:
+                raise RuntimeError(f"worker daemon {name} died on startup")
+            if time.monotonic() > deadline:
+                proc.kill()
+                raise RuntimeError(f"worker daemon {name} never announced a port")
+            time.sleep(0.02)
+        port = port_file.read_text(encoding="ascii").strip()
+        return proc, f"127.0.0.1:{port}"
+
+    yield spawn
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
 
 
 @pytest.fixture

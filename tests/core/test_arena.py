@@ -302,3 +302,60 @@ class TestStaleSweep:
         finally:
             segment.close()
             segment.unlink()
+
+    def test_sweep_racing_a_live_creator_never_reaps_it(self):
+        """Concurrent sweeps against a live creator in another process.
+
+        The sweep's safety claim is per-PID: as long as the creating
+        process is alive, its segments survive *any* number of sweeps from
+        anywhere — and the moment it dies they are fair game.  Run many
+        sweeps in parallel threads while the creator holds its segment,
+        then let the creator exit (without unlinking, modelling a hard
+        kill) and check one more sweep reaps what the racing ones spared.
+        """
+        import threading
+        from multiprocessing import resource_tracker, shared_memory
+
+        ctx = mp.get_context("fork")
+        ready = ctx.Event()
+        release = ctx.Event()
+
+        def creator(ready, release):
+            name = f"{SEGMENT_PREFIX}{'f' * 12}-{os.getpid()}-1"
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=64
+            )
+            # Dying without unlinking is the point; keep the tracker from
+            # "helpfully" cleaning up at exit so the parent can observe
+            # the leaked segment.
+            resource_tracker.unregister(segment._name, "shared_memory")
+            ready.set()
+            release.wait(timeout=30)
+            segment.close()
+            os._exit(0)
+
+        child = ctx.Process(target=creator, args=(ready, release))
+        child.start()
+        assert ready.wait(timeout=30)
+        name = f"{SEGMENT_PREFIX}{'f' * 12}-{child.pid}-1"
+        try:
+            assert name in list_segments()
+            reaped: list = []
+            threads = [
+                threading.Thread(
+                    target=lambda: reaped.extend(sweep_stale_segments())
+                )
+                for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert name not in reaped
+            assert name in list_segments()
+        finally:
+            release.set()
+            child.join(timeout=30)
+        # The creator is dead now; the same sweep must reap its segment.
+        assert name in sweep_stale_segments()
+        assert name not in list_segments()

@@ -1,0 +1,208 @@
+"""SocketTransport against live worker daemons: attach modes, degradation.
+
+Every test here runs real ``python -m repro.worker`` subprocesses (the
+``spawn_worker`` factory in the top-level conftest) — the protocol is
+exercised over actual TCP sockets, not mocks, so framing, heartbeats and
+attach handshakes are tested as deployed.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.core import solve_si, solve_si_parallel
+from repro.core.transport import (
+    DEFAULT_HEARTBEAT,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    heartbeat_interval,
+    heartbeat_timeout,
+    parse_address,
+)
+from repro.predicates import Predicate
+from repro.statespace import BoolDomain, space_of
+from repro.unity import Const, Program, Statement, Unary, Var, knows, lnot
+
+
+def make_kbp() -> Program:
+    space = space_of(a=BoolDomain(), b=BoolDomain(), c=BoolDomain())
+    statements = [
+        Statement(
+            name="s0",
+            targets=("a",),
+            exprs=(Const(True),),
+            guard=knows("P", Var("b")),
+        ),
+        Statement(
+            name="s1",
+            targets=("b",),
+            exprs=(Const(False),),
+            guard=lnot(knows("Q", Var("c"))),
+        ),
+        Statement(
+            name="s2",
+            targets=("c",),
+            exprs=(Const(True),),
+            guard=knows("Q", Unary("not", Var("a"))) & Var("a"),
+        ),
+    ]
+    return Program(
+        space,
+        Predicate(space, 1),
+        statements,
+        processes={"P": ("a", "b"), "Q": ("c",)},
+        name="socket-kbp",
+    )
+
+
+@pytest.fixture(scope="module")
+def kbp() -> Program:
+    return make_kbp()
+
+
+@pytest.fixture(scope="module")
+def serial_report(kbp):
+    return solve_si(kbp, parallel="never")
+
+
+def assert_same_report(reference, report):
+    assert [p.mask for p in report.solutions] == [
+        p.mask for p in reference.solutions
+    ]
+    assert report.candidates_checked == reference.candidates_checked
+
+
+def dead_address() -> str:
+    """A localhost address that refuses connections right now."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"127.0.0.1:{port}"
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.1:9000") == ("10.0.0.1", 9000)
+
+    def test_whitespace_stripped(self):
+        assert parse_address(" localhost:1234 ") == ("localhost", 1234)
+
+    @pytest.mark.parametrize("bad", ["", "hostonly", ":123", "host:", "host:x"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestHeartbeatKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOCKET_HEARTBEAT", raising=False)
+        monkeypatch.delenv("REPRO_SOCKET_HEARTBEAT_TIMEOUT", raising=False)
+        assert heartbeat_interval() == DEFAULT_HEARTBEAT
+        assert heartbeat_timeout() == DEFAULT_HEARTBEAT_TIMEOUT
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOCKET_HEARTBEAT", "0.25")
+        monkeypatch.setenv("REPRO_SOCKET_HEARTBEAT_TIMEOUT", "3.5")
+        assert heartbeat_interval() == 0.25
+        assert heartbeat_timeout() == 3.5
+
+
+class TestSocketSolve:
+    def test_matches_serial_with_two_daemons(
+        self, kbp, serial_report, spawn_worker
+    ):
+        addrs = [spawn_worker(f"w{i}")[1] for i in range(2)]
+        report = solve_si_parallel(kbp, remote_workers=addrs)
+        assert_same_report(serial_report, report)
+        stats = report.dispatch
+        assert stats.transports == ["socket"]
+        assert stats.frames_sent > 0 and stats.frames_received > 0
+        assert stats.net_bytes_sent > 0 and stats.net_bytes_received > 0
+        assert report.fault_log.clean
+
+    def test_solve_si_routes_remote_workers(self, kbp, serial_report, spawn_worker):
+        _, addr = spawn_worker()
+        report = solve_si(kbp, remote_workers=[addr])
+        assert_same_report(serial_report, report)
+        assert report.dispatch.transports == ["socket"]
+
+    def test_env_var_names_the_fleet(
+        self, kbp, serial_report, spawn_worker, monkeypatch
+    ):
+        _, addr = spawn_worker()
+        monkeypatch.setenv("REPRO_SOLVER_REMOTE_WORKERS", f" {addr} ,")
+        report = solve_si_parallel(kbp)
+        assert_same_report(serial_report, report)
+        assert report.dispatch.transports == ["socket"]
+
+    def test_arena_mode_ships_no_plan_payload(self, kbp, spawn_worker):
+        """Localhost daemons map the arena by name: zero payload bytes."""
+        _, addr = spawn_worker()
+        report = solve_si_parallel(kbp, remote_workers=[addr])
+        assert report.dispatch.plan_payload_bytes == 0
+        assert report.dispatch.arena_bytes > 0
+
+    def test_payload_fallback_when_arena_unreachable(
+        self, kbp, serial_report, spawn_worker, monkeypatch
+    ):
+        """No arena segment to map — the full Φ plan travels by value."""
+        monkeypatch.setenv("REPRO_SOLVER_ARENA", "never")
+        _, addr = spawn_worker()
+        report = solve_si_parallel(kbp, remote_workers=[addr])
+        assert_same_report(serial_report, report)
+        assert report.dispatch.plan_payload_bytes > 0
+
+    def test_certificates_byte_identical_over_sockets(self, kbp, spawn_worker):
+        from repro.certificates.canonical import canonical_dumps
+
+        reference = solve_si(kbp, parallel="never", emit_certificate=True)
+        addrs = [spawn_worker(f"w{i}")[1] for i in range(2)]
+        report = solve_si_parallel(
+            kbp, remote_workers=addrs, emit_certificate=True
+        )
+        assert canonical_dumps(report.certificate.to_payload()) == (
+            canonical_dumps(reference.certificate.to_payload())
+        )
+
+
+class TestDegradation:
+    def test_unreachable_worker_is_skipped(
+        self, kbp, serial_report, spawn_worker
+    ):
+        _, live = spawn_worker()
+        report = solve_si_parallel(kbp, remote_workers=[dead_address(), live])
+        assert_same_report(serial_report, report)
+        assert report.dispatch.transports == ["socket"]
+        assert report.fault_log.count("worker-unreachable") == 1
+
+    def test_all_unreachable_degrades_to_local_pool(self, kbp, serial_report):
+        report = solve_si_parallel(
+            kbp, remote_workers=[dead_address(), dead_address()]
+        )
+        assert_same_report(serial_report, report)
+        assert report.dispatch.transports == ["local"]
+        assert report.fault_log.count("degraded-to-local") == 1
+
+    def test_bogus_address_rejected_before_any_connect(self, kbp):
+        with pytest.raises(ValueError):
+            solve_si_parallel(kbp, remote_workers=["no-port-here"])
+
+
+class TestTryAttach:
+    def test_missing_segment_answers_none(self, kbp):
+        from dataclasses import replace
+
+        from repro.core import compile_phi_plan
+        from repro.predicates.arena import SolveArena
+
+        plan = compile_phi_plan(kbp)
+        arena = SolveArena.build(plan, "test-digest")
+        try:
+            spec = arena.spec
+            assert spec.try_attach(kbp.space) is not None
+            ghost = replace(spec, segment="repro-arena-feedbeef-1-404")
+            assert ghost.try_attach(kbp.space) is None
+        finally:
+            arena.close()

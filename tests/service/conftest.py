@@ -31,7 +31,7 @@ class ServerHandle:
         self.proc: subprocess.Popen = None
         self.port: int = None
 
-    def start(self, timeout: float = 30.0) -> "ServerHandle":
+    def start(self, timeout: float = 30.0, extra_args=()) -> "ServerHandle":
         if self.port_file.exists():
             self.port_file.unlink()
         env = dict(os.environ)
@@ -39,7 +39,8 @@ class ServerHandle:
         self.proc = subprocess.Popen(
             [sys.executable, "-m", "repro.service.server",
              "--cache-dir", str(self.cache_dir),
-             "--port-file", str(self.port_file)],
+             "--port-file", str(self.port_file),
+             *extra_args],
             env=env,
             stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,

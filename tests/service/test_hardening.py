@@ -1,0 +1,196 @@
+"""Connection hardening and client retry: deadlines, line caps, backoff."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.netproto import MAX_LINE_BYTES
+from repro.service import client as client_mod
+from repro.service.client import ServiceClient, _backoff
+
+from .conftest import ServerHandle
+
+
+def recv_line(sock: socket.socket, timeout: float = 30.0) -> dict:
+    sock.settimeout(timeout)
+    chunks = b""
+    while not chunks.endswith(b"\n"):
+        chunk = sock.recv(4096)
+        if not chunk:
+            break
+        chunks += chunk
+    return json.loads(chunks)
+
+
+# ----------------------------------------------------------------------
+# server-side limits
+# ----------------------------------------------------------------------
+
+
+class TestReadDeadline:
+    def test_silent_connection_is_cut(self, tmp_path):
+        handle = ServerHandle(tmp_path / "cache", tmp_path / "port")
+        handle.start(extra_args=["--read-deadline", "1"])
+        try:
+            with socket.create_connection(("127.0.0.1", handle.port)) as sock:
+                start = time.monotonic()
+                event = recv_line(sock)  # no request sent at all
+                elapsed = time.monotonic() - start
+                assert event["event"] == "error"
+                assert "no request within" in event["error"]
+                assert elapsed < 20
+                assert sock.recv(4096) == b""  # and the server hangs up
+        finally:
+            handle.stop()
+
+    def test_deadline_applies_between_requests(self, tmp_path):
+        handle = ServerHandle(tmp_path / "cache", tmp_path / "port")
+        handle.start(extra_args=["--read-deadline", "1"])
+        try:
+            with socket.create_connection(("127.0.0.1", handle.port)) as sock:
+                sock.sendall(b'{"op": "ping"}\n')
+                assert recv_line(sock)["event"] == "pong"
+                event = recv_line(sock)  # then fall silent
+                assert event["event"] == "error"
+                assert "no request within" in event["error"]
+        finally:
+            handle.stop()
+
+
+class TestLineLimit:
+    def test_overlong_request_line_is_rejected(self, server):
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            sock.sendall(b"x" * (MAX_LINE_BYTES + 4096))
+            event = recv_line(sock)
+            assert event["event"] == "error"
+            assert f"exceeds {MAX_LINE_BYTES}" in event["error"]
+            assert sock.recv(4096) == b""
+
+    def test_normal_sized_requests_unaffected(self, server):
+        with ServiceClient(port=server.port) as client:
+            assert client.ping()["event"] == "pong"
+
+
+# ----------------------------------------------------------------------
+# client retry
+# ----------------------------------------------------------------------
+
+
+def free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class TestClientRetry:
+    def test_backoff_doubles_and_caps(self):
+        delays = [_backoff(n, 0.1) for n in range(1, 8)]
+        assert delays[:5] == [0.1, 0.2, 0.4, 0.8, 1.6]
+        assert all(d == 2.0 for d in delays[5:])
+
+    def test_connect_retries_until_the_server_appears(self):
+        port = free_port()
+        listener = socket.socket()
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+
+        def bind_late():
+            time.sleep(0.4)
+            listener.bind(("127.0.0.1", port))
+            listener.listen(1)
+
+        thread = threading.Thread(target=bind_late)
+        thread.start()
+        try:
+            client = ServiceClient(port=port, retries=10, retry_backoff=0.1)
+            client.close()
+        finally:
+            thread.join()
+            listener.close()
+
+    def test_retries_exhaust_to_the_original_error(self):
+        with pytest.raises(ConnectionRefusedError):
+            ServiceClient(port=free_port(), retries=2, retry_backoff=0.01)
+
+    def test_zero_retries_fails_immediately(self):
+        start = time.monotonic()
+        with pytest.raises(ConnectionRefusedError):
+            ServiceClient(port=free_port(), retries=0, retry_backoff=5.0)
+        assert time.monotonic() - start < 2.0
+
+    def test_cli_reissues_after_a_reset(self, capsys):
+        """First connection gets an RST mid-request; the CLI reconnects
+        and the re-issued ping is served."""
+        listener = socket.socket()
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        port = listener.getsockname()[1]
+
+        def serve():
+            first, _ = listener.accept()
+            # SO_LINGER 0 + close = RST: the client sees a hard reset,
+            # not a clean EOF.
+            first.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            first.recv(1024)
+            first.close()
+            second, _ = listener.accept()
+            second.recv(1024)
+            second.sendall(b'{"event": "pong", "protocol": "x"}\n')
+            second.close()
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            code = client_mod.main(
+                [
+                    "--port", str(port),
+                    "--retries", "3",
+                    "--retry-backoff", "0.05",
+                    "ping",
+                ]
+            )
+        finally:
+            thread.join()
+            listener.close()
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["event"] == "pong"
+
+    def test_retry_flags_have_defaults(self, server, capsys):
+        assert client_mod.main(["--port", str(server.port), "ping"]) == 0
+        assert json.loads(capsys.readouterr().out)["event"] == "pong"
+
+
+# ----------------------------------------------------------------------
+# server --workers host:port,... (the full distributed chain)
+# ----------------------------------------------------------------------
+
+
+class TestServerRemoteWorkers:
+    def test_solve_fans_out_to_daemons_byte_identically(
+        self, tmp_path, spawn_worker
+    ):
+        from repro.service import QuerySpec, solve_query
+
+        reference = solve_query(
+            QuerySpec(model="kbp24-f4", obligation="si-solve")
+        )
+        addrs = [spawn_worker(f"w{i}")[1] for i in range(2)]
+        handle = ServerHandle(tmp_path / "cache", tmp_path / "port")
+        handle.start(extra_args=["--workers", ",".join(addrs)])
+        try:
+            with ServiceClient(port=handle.port) as client:
+                result = client.solve("kbp24-f4")
+            assert result.text == reference
+            assert result.cache == "cold"
+        finally:
+            handle.stop()
