@@ -23,12 +23,29 @@ The functions below work on blocking file-like objects (``socket
 .makefile``); deadlines are the caller's business via ``settimeout`` —
 :data:`READ_DEADLINE` is the shared default for "how long may a peer go
 silent before the connection is presumed dead".
+
+Trust model: the digest protects *integrity*, never *authenticity* — a
+frame's sha256 says the bytes survived the wire, not that the peer is
+allowed to send them.  Because the worker protocol carries pickles in
+both directions (attach/plan payloads to the daemon, result bodies back
+to the coordinator), accepting a frame from an unauthenticated peer is
+arbitrary code execution on the receiver.  The HMAC helpers below
+implement the mutual challenge–response both sides run *before any
+pickle.loads* (the same construction as
+``multiprocessing.connection``): each side proves knowledge of the
+shared :data:`AUTH_KEY_ENV_VAR` secret over the other's fresh nonce.
+Keyless operation is refused outright on non-loopback addresses, on
+both the bind side and the connect side.
 """
 
 from __future__ import annotations
 
 import hashlib
+import hmac
+import ipaddress
 import json
+import os
+import secrets
 import struct
 from typing import Any, Dict, Optional, Tuple
 
@@ -45,14 +62,78 @@ MAX_FRAME_BYTES = 256 * 1024 * 1024
 #: effective gap on a healthy worker connection a fraction of this.
 READ_DEADLINE = 600.0
 
-#: Worker protocol tag, echoed in attach handshakes.
-WORKER_PROTOCOL = "repro-worker/1"
+#: Worker protocol tag, echoed in attach handshakes.  /2 added the
+#: mandatory hello/auth handshake ahead of ``attach``.
+WORKER_PROTOCOL = "repro-worker/2"
+
+#: Shared-secret knob for the worker protocol: both the daemon and the
+#: coordinator read it (the daemon also takes ``--key-file``).  Any
+#: non-empty string works; generate one with
+#: ``python -c "import secrets; print(secrets.token_hex(32))"``.
+AUTH_KEY_ENV_VAR = "REPRO_WORKER_KEY"
+
+#: Domain separation for the worker-protocol HMAC, so a digest produced
+#: here can never double as anything else keyed by the same secret.
+_AUTH_CONTEXT = b"repro-worker-hmac-v1:"
 
 _LEN = struct.Struct("!I")
 
 
 class FrameError(Exception):
     """A frame failed to parse, verify its digest, or respect the limits."""
+
+
+class AuthError(FrameError):
+    """The peer failed (or refused) the HMAC handshake."""
+
+
+def load_auth_key(value: Optional[str] = None) -> Optional[bytes]:
+    """The shared worker-protocol secret as bytes, or ``None`` if unset.
+
+    ``value`` overrides the :data:`AUTH_KEY_ENV_VAR` environment lookup;
+    surrounding whitespace is stripped so key files may end in a newline.
+    An empty (post-strip) value counts as "no key".
+    """
+    if value is None:
+        value = os.environ.get(AUTH_KEY_ENV_VAR)
+    if value is None:
+        return None
+    stripped = value.strip()
+    return stripped.encode("utf-8") if stripped else None
+
+
+def new_nonce() -> str:
+    """A fresh 256-bit challenge nonce, hex-encoded for frame headers."""
+    return secrets.token_hex(32)
+
+
+def auth_digest(key: bytes, nonce: str) -> str:
+    """HMAC-SHA256 proof of ``key`` over a peer's challenge ``nonce``."""
+    return hmac.new(
+        key, _AUTH_CONTEXT + nonce.encode("ascii"), hashlib.sha256
+    ).hexdigest()
+
+
+def check_auth_digest(key: bytes, nonce: str, claimed: Any) -> bool:
+    """Constant-time check of a peer's answer to our challenge."""
+    if not isinstance(claimed, str):
+        return False
+    return hmac.compare_digest(auth_digest(key, nonce), claimed)
+
+
+def is_loopback_host(host: str) -> bool:
+    """True when ``host`` can only name this machine's loopback.
+
+    Hostnames other than ``localhost`` answer False even if they happen
+    to resolve to 127.0.0.1 — the keyless worker protocol is allowed
+    only where the name alone proves the traffic never leaves the host.
+    """
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
 
 
 def _read_exact(rfile, count: int) -> bytes:

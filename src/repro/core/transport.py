@@ -25,6 +25,7 @@ degradation is observable on the report instead of silent.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import queue
@@ -37,8 +38,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .netproto import (
+    AUTH_KEY_ENV_VAR,
+    AuthError,
     FrameError,
     WORKER_PROTOCOL,
+    auth_digest,
+    check_auth_digest,
+    is_loopback_host,
+    load_auth_key,
+    new_nonce,
     recv_frame,
     send_frame,
 )
@@ -425,6 +433,7 @@ class SocketTransport(ShardTransport):
         heartbeat: Optional[float] = None,
         timeout: Optional[float] = None,
         connect_timeout: float = 5.0,
+        auth_key: Optional[bytes] = None,
     ):
         if not addresses:
             raise SocketTransportError("no worker addresses given")
@@ -439,6 +448,10 @@ class SocketTransport(ShardTransport):
         self.heartbeat = heartbeat if heartbeat is not None else heartbeat_interval()
         self.timeout = timeout if timeout is not None else heartbeat_timeout()
         self.connect_timeout = connect_timeout
+        #: shared secret for the mutual HMAC handshake (AUTH_KEY_ENV_VAR
+        #: when not given); both directions of this protocol carry
+        #: pickles, so keyless links are accepted for loopback only.
+        self.auth_key = auth_key if auth_key is not None else load_auth_key()
         self._attach_payload = pickle.dumps(
             attach_args, protocol=pickle.HIGHEST_PROTOCOL
         )
@@ -449,8 +462,11 @@ class SocketTransport(ShardTransport):
         self._stopping = threading.Event()
         self._broken = False
         self._attempts: Dict[int, int] = {}
-        #: (fixed_mask, attempt) → result body bytes, for idempotency checks
-        self._seen: Dict[Tuple[int, int], bytes] = {}
+        #: (fixed_mask, attempt) → result body sha256, for idempotency
+        #: checks; the digest (already computed and verified by the frame
+        #: layer) establishes byte identity without retaining a second
+        #: copy of every result body for the lifetime of the solve.
+        self._seen: Dict[Tuple[int, int], str] = {}
         self._threads: List[threading.Thread] = []
         self.links: List[_WorkerLink] = []
 
@@ -540,10 +556,89 @@ class SocketTransport(ShardTransport):
                 f"worker {link.address} failed the attach handshake: {exc}"
             ) from exc
 
+    def _handshake(self, link: _WorkerLink, rfile, wfile) -> None:
+        """The daemon's ``hello`` plus the mutual HMAC proof, if keyed.
+
+        Runs before any payload crosses the link in either direction:
+        results coming back are pickles, so the worker must prove it
+        holds the shared key (``welcome`` over our counter-nonce) just
+        as we prove ourselves to it.  Keyless operation is a loopback
+        privilege — an unauthenticated non-loopback worker is refused,
+        and a keyless worker is refused whenever we hold a key (no
+        silent downgrade).
+        """
+        header, _body, nbytes = recv_frame(rfile)
+        self._count_received(nbytes)
+        if header.get("type") != "hello":
+            raise FrameError(f"expected 'hello', got {header.get('type')!r}")
+        if header.get("protocol") != WORKER_PROTOCOL:
+            raise FrameError(
+                f"protocol mismatch: worker {link.address} speaks "
+                f"{header.get('protocol')!r}, this coordinator "
+                f"{WORKER_PROTOCOL}"
+            )
+        mode = header.get("auth")
+        if mode == "none":
+            if self.auth_key is not None:
+                raise AuthError(
+                    f"worker {link.address} is unauthenticated but this "
+                    "coordinator holds a key; refusing the keyless "
+                    "downgrade"
+                )
+            if not is_loopback_host(parse_address(link.address)[0]):
+                raise AuthError(
+                    f"refusing keyless non-loopback worker {link.address}: "
+                    "shard results are pickled payloads, so both sides "
+                    f"must share {AUTH_KEY_ENV_VAR}"
+                )
+            return
+        if mode != "hmac":
+            raise AuthError(
+                f"worker {link.address} offers unknown auth mode {mode!r}"
+            )
+        if self.auth_key is None:
+            raise AuthError(
+                f"worker {link.address} requires authentication; set "
+                f"{AUTH_KEY_ENV_VAR} to its shared secret"
+            )
+        nonce = header.get("nonce")
+        if not isinstance(nonce, str) or not nonce:
+            raise AuthError(
+                f"worker {link.address} sent no challenge nonce"
+            )
+        counter = new_nonce()
+        self._count_sent(
+            send_frame(
+                wfile,
+                "auth",
+                {
+                    "digest": auth_digest(self.auth_key, nonce),
+                    "nonce": counter,
+                },
+            )
+        )
+        header, _body, nbytes = recv_frame(rfile)
+        self._count_received(nbytes)
+        if header.get("type") == "error":
+            raise AuthError(
+                f"worker {link.address} refused the handshake: "
+                f"{header.get('message')}"
+            )
+        if header.get("type") != "welcome":
+            raise FrameError(
+                f"expected 'welcome', got {header.get('type')!r}"
+            )
+        if not check_auth_digest(self.auth_key, counter, header.get("digest")):
+            raise AuthError(
+                f"worker {link.address} failed the counter-challenge — "
+                "wrong key or impostor; refusing to exchange payloads"
+            )
+
     def _attach(self, link: _WorkerLink, sock: socket.socket) -> None:
         sock.settimeout(max(self.timeout, 30.0))
         rfile = sock.makefile("rb")
         wfile = sock.makefile("wb")
+        self._handshake(link, rfile, wfile)
         self._count_sent(
             send_frame(
                 wfile,
@@ -638,7 +733,11 @@ class SocketTransport(ShardTransport):
                 return future
             attempt = self._attempts.get(fixed_mask, 0) + 1
             self._attempts[fixed_mask] = attempt
-        self._queue.put(_SocketTask(index, fixed_mask, attempt, future))
+            # The put must stay under the lock: _lose_link marks the
+            # transport broken and then fails the backlog, so a task
+            # enqueued after its liveness check but outside the lock
+            # could land in a queue no thread will ever serve again.
+            self._queue.put(_SocketTask(index, fixed_mask, attempt, future))
         return future
 
     def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
@@ -797,12 +896,16 @@ class SocketTransport(ShardTransport):
             if kind != "result":
                 raise _LinkBroken(f"unexpected frame {kind!r} awaiting result")
             key = (int(header.get("fixed_mask", -1)), int(header.get("attempt", -1)))
+            # The frame layer has already verified body against this
+            # digest, so digest equality *is* byte equality — without
+            # keeping a second copy of every result body around.
+            digest = header.get("sha256") or hashlib.sha256(body).hexdigest()
             with self._lock:
                 seen = self._seen.get(key)
                 if seen is None:
-                    self._seen[key] = body
+                    self._seen[key] = digest
             if seen is not None:
-                if seen != body:
+                if seen != digest:
                     raise _LinkBroken(
                         f"worker re-sent shard {header.get('index')} attempt "
                         f"{key[1]} with different bytes — refusing the "
@@ -829,6 +932,21 @@ class SocketTransport(ShardTransport):
     def _lose_link(self, link: _WorkerLink, task: _SocketTask, cause: str) -> None:
         link.close()
         if self._stopping.is_set():
+            # Mid-teardown the link is not "lost" — but the in-flight
+            # future must still complete, or a caller that shuts the
+            # transport down and then waits on its futures blocks
+            # forever (only *queued* tasks pass through the cancelling
+            # drain).
+            if not task.future.cancel():
+                try:
+                    task.future.set_exception(
+                        ShardLeaseRevoked(
+                            task.index, task.fixed_mask, link.address,
+                            f"transport shutdown: {cause}",
+                        )
+                    )
+                except Exception:  # pragma: no cover - already completed
+                    pass
             return
         with self._lock:
             survivors = any(l.alive for l in self.links)

@@ -5,19 +5,27 @@ solves, one at a time (the sweep state is process-global, so concurrent
 sessions serialize on a lock).  The protocol (DESIGN.md §15) is the
 length-prefixed, digest-checked frame format of :mod:`repro.core.netproto`:
 
-1. the coordinator sends ``attach`` — the solve's program digest in the
+1. the daemon opens with ``hello``, and — when it holds the shared
+   secret (``REPRO_WORKER_KEY`` / ``--key-file``) — a challenge nonce.
+   Both sides prove key knowledge by mutual HMAC challenge–response
+   *before anything is unpickled*: the attach payload is a pickle, so an
+   unauthenticated peer would mean arbitrary code execution (and a rogue
+   worker the same on the coordinator, whose result bodies are pickles
+   too).  Keyless daemons exist for loopback only — binding a
+   non-loopback interface without a key is refused at startup;
+2. the coordinator sends ``attach`` — the solve's program digest in the
    header, the pickled init arguments (program, shard layout, solver
    flags, arena spec) in the body.  The daemon re-derives the program
    digest from what it unpickled and refuses a mismatch: a worker never
    computes against a program other than the one it claims to serve;
-2. the daemon maps the shared-memory arena by name when it can (same
+3. the daemon maps the shared-memory arena by name when it can (same
    host), and otherwise answers ``need-plan`` — the coordinator ships the
    full Φ-plan payload, which is exactly the remote-host fallback;
-3. each ``shard`` frame names ``(index, fixed_mask, attempt)``; the
+4. each ``shard`` frame names ``(index, fixed_mask, attempt)``; the
    daemon sweeps it with the *same* ``_sweep_shard`` a pool worker runs
    and answers a ``result`` frame keyed by that mask and attempt, sending
    ``heartbeat`` frames from a side thread while the sweep computes;
-4. ``rss`` answers peak memory, ``bye`` ends the session.
+5. ``rss`` answers peak memory, ``bye`` ends the session.
 
 Fault injection: the attach payload carries the solve's fault plan, so
 ``crash``/``hang``/``delay`` clauses fire inside the sweep exactly as
@@ -44,8 +52,15 @@ from typing import Any, Optional
 
 from .core import parallel
 from .core.netproto import (
+    AUTH_KEY_ENV_VAR,
     FrameError,
+    READ_DEADLINE,
     WORKER_PROTOCOL,
+    auth_digest,
+    check_auth_digest,
+    is_loopback_host,
+    load_auth_key,
+    new_nonce,
     recv_frame,
     send_frame,
 )
@@ -102,10 +117,20 @@ class _Heartbeat:
 class Session:
     """One coordinator connection: attach, then serve shards until bye."""
 
-    def __init__(self, conn: socket.socket, peer: str, verbose: bool = False):
+    def __init__(
+        self,
+        conn: socket.socket,
+        peer: str,
+        verbose: bool = False,
+        key: Optional[bytes] = None,
+    ):
         self.conn = conn
         self.peer = peer
         self.verbose = verbose
+        self.key = key
+        # A peer that connects and goes silent must not hold the session
+        # (and the process-global session lock) forever.
+        conn.settimeout(READ_DEADLINE)
         self.rfile = conn.makefile("rb")
         self.wfile = conn.makefile("wb")
         self.write_lock = threading.Lock()
@@ -130,6 +155,7 @@ class Session:
 
     def run(self) -> None:
         try:
+            self._hello()
             self._attach()
             while True:
                 try:
@@ -150,6 +176,10 @@ class Session:
             pass
         except (OSError, FrameError):
             pass
+        except Exception as exc:
+            # Any unanticipated bug: answer before dying, so the
+            # coordinator fails fast instead of waiting out its deadline.
+            self.fail(f"worker internal error: {exc!r}")
         finally:
             plan = parallel._WORKER.get("plan")
             if plan is not None and hasattr(plan, "close"):
@@ -163,6 +193,39 @@ class Session:
             self.log("session closed")
 
     # ------------------------------------------------------------------
+
+    def _hello(self) -> None:
+        """Announce the protocol; run the mutual HMAC handshake if keyed.
+
+        Nothing is unpickled before this returns: a coordinator that
+        cannot answer the challenge never gets to deliver an ``attach``
+        payload, and the ``welcome`` digest proves *this* daemon holds
+        the key before the coordinator ships anything either.
+        """
+        if self.key is None:
+            self.send("hello", {"protocol": WORKER_PROTOCOL, "auth": "none"})
+            return
+        nonce = new_nonce()
+        self.send(
+            "hello",
+            {"protocol": WORKER_PROTOCOL, "auth": "hmac", "nonce": nonce},
+        )
+        try:
+            header, _body, _n = recv_frame(self.rfile)
+        except FrameError:
+            raise _SessionEnd from None
+        if header.get("type") != "auth":
+            self.fail(f"expected 'auth', got {header.get('type')!r}")
+            raise _SessionEnd
+        if not check_auth_digest(self.key, nonce, header.get("digest")):
+            self.log("rejected peer: bad auth digest")
+            self.fail("authentication failed")
+            raise _SessionEnd
+        peer_nonce = header.get("nonce")
+        if not isinstance(peer_nonce, str) or not peer_nonce:
+            self.fail("authentication failed: missing counter-challenge")
+            raise _SessionEnd
+        self.send("welcome", {"digest": auth_digest(self.key, peer_nonce)})
 
     def _attach(self) -> None:
         try:
@@ -181,15 +244,25 @@ class Session:
         self.heartbeat_interval = float(
             header.get("heartbeat") or self.heartbeat_interval
         )
+        # One guarded block from unpickle through field extraction and
+        # digest derivation: a payload that decodes but has the wrong
+        # shape must earn an 'error' frame just like one that does not
+        # decode at all, never a silently dead session thread.
         try:
             args = pickle.loads(body)
+            if not isinstance(args, dict):
+                raise TypeError(
+                    f"attach payload is {type(args).__name__}, expected dict"
+                )
+            program = args["program"]
+            base_mask = int(args["base_mask"])
+            low_positions = list(args["low_positions"])
+            actual = _program_digest(program)
         except Exception as exc:
-            self.fail(f"undecodable attach payload: {exc}")
+            self.fail(f"bad attach payload: {exc!r}")
             raise _SessionEnd from None
 
-        program = args["program"]
         claimed = header.get("program")
-        actual = _program_digest(program)
         if claimed != actual:
             self.fail(
                 f"program digest mismatch: attach claims {claimed!r}, "
@@ -233,8 +306,8 @@ class Session:
 
         parallel._init_worker(
             program,
-            args["base_mask"],
-            list(args["low_positions"]),
+            base_mask,
+            low_positions,
             bool(args.get("emit_certificate")),
             bool(args.get("any_solution")),
             int(args.get("batch_size") or parallel.BATCH_SIZE),
@@ -319,8 +392,25 @@ def serve(
     port: int = 0,
     port_file: Optional[str] = None,
     verbose: bool = False,
+    key: Optional[bytes] = None,
 ) -> None:
-    """Bind, announce, and serve coordinator sessions until killed."""
+    """Bind, announce, and serve coordinator sessions until killed.
+
+    ``key`` (default: :data:`AUTH_KEY_ENV_VAR`) arms the mutual HMAC
+    handshake.  A non-loopback bind without a key is refused: the
+    protocol carries pickles, so an open unauthenticated port is
+    arbitrary code execution for anyone who can reach it.
+    """
+    if key is None:
+        key = load_auth_key()
+    if key is None and not is_loopback_host(host):
+        raise SystemExit(
+            f"refusing to bind {host!r} without an authentication key: the "
+            "worker protocol executes pickled payloads, so an open "
+            f"unauthenticated port is remote code execution.  Set "
+            f"{AUTH_KEY_ENV_VAR} (or pass --key-file) on the worker and "
+            "the coordinator; only loopback binds may stay keyless."
+        )
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     server.bind((host, port))
@@ -347,7 +437,7 @@ def serve(
                 # coordinator waits its turn rather than corrupting the
                 # first one's plan.
                 with _SESSION_LOCK:
-                    Session(conn, peer, verbose=verbose).run()
+                    Session(conn, peer, verbose=verbose, key=key).run()
 
             threading.Thread(target=_run, daemon=True).start()
 
@@ -372,11 +462,26 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="write the bound port here (for tests racing ephemeral binds)",
     )
+    parser.add_argument(
+        "--key-file",
+        default=None,
+        help="file holding the shared authentication secret (overrides "
+        f"{AUTH_KEY_ENV_VAR}); required for non-loopback --host",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
+    key = None
+    if args.key_file:
+        try:
+            with open(args.key_file, "r", encoding="utf-8") as handle:
+                key = load_auth_key(handle.read())
+        except OSError as exc:
+            parser.error(f"cannot read --key-file {args.key_file}: {exc}")
+        if key is None:
+            parser.error(f"--key-file {args.key_file} is empty")
     signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
     try:
-        serve(args.host, args.port, args.port_file, args.verbose)
+        serve(args.host, args.port, args.port_file, args.verbose, key=key)
     except KeyboardInterrupt:
         pass
     return 0

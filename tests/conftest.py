@@ -30,18 +30,32 @@ _SRC = str(Path(__file__).resolve().parents[1] / "src")
 def spawn_worker(tmp_path):
     """Factory: launch ``python -m repro.worker`` daemons, kill them after.
 
-    Returns a callable ``spawn(name) -> (Popen, "host:port")``; the daemon
-    binds an ephemeral port and announces it through a port file, so tests
-    never race a hardcoded port.
+    Returns a callable ``spawn(name, key=None, key_file=False) ->
+    (Popen, "host:port")``; the daemon binds an ephemeral port and
+    announces it through a port file, so tests never race a hardcoded
+    port.  ``key`` arms the daemon's HMAC handshake — via its
+    environment by default, via ``--key-file`` when ``key_file`` is
+    true; the inherited coordinator-side key env var is always stripped
+    so spawns are deterministic regardless of the test session's env.
     """
     procs = []
 
-    def spawn(name: str = "w"):
+    def spawn(name: str = "w", key=None, key_file: bool = False):
         port_file = tmp_path / f"{name}.port"
         env = dict(os.environ)
         env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_WORKER_KEY", None)
+        command = [
+            sys.executable, "-m", "repro.worker", "--port-file", str(port_file)
+        ]
+        if key is not None and key_file:
+            path = tmp_path / f"{name}.key"
+            path.write_text(key + "\n", encoding="utf-8")
+            command += ["--key-file", str(path)]
+        elif key is not None:
+            env["REPRO_WORKER_KEY"] = key
         proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.worker", "--port-file", str(port_file)],
+            command,
             env=env,
             stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,

@@ -111,3 +111,62 @@ class TestRejection:
     def test_encode_refuses_oversized_header(self):
         with pytest.raises(FrameError, match="header is"):
             encode_frame("x", {"pad": "y" * (MAX_LINE_BYTES + 1)})
+
+
+class TestAuthHelpers:
+    """The HMAC handshake primitives gating every pickled payload."""
+
+    def test_load_auth_key_strips_and_encodes(self, monkeypatch):
+        from repro.core.netproto import AUTH_KEY_ENV_VAR, load_auth_key
+
+        assert load_auth_key("sesame\n") == b"sesame"
+        assert load_auth_key("   ") is None
+        monkeypatch.setenv(AUTH_KEY_ENV_VAR, "from-env")
+        assert load_auth_key() == b"from-env"
+        monkeypatch.delenv(AUTH_KEY_ENV_VAR)
+        assert load_auth_key() is None
+
+    def test_digest_depends_on_key_and_nonce(self):
+        from repro.core.netproto import auth_digest, new_nonce
+
+        nonce = new_nonce()
+        assert auth_digest(b"k1", nonce) == auth_digest(b"k1", nonce)
+        assert auth_digest(b"k1", nonce) != auth_digest(b"k2", nonce)
+        assert auth_digest(b"k1", nonce) != auth_digest(b"k1", new_nonce())
+
+    def test_check_rejects_wrong_or_non_string_answers(self):
+        from repro.core.netproto import (
+            auth_digest,
+            check_auth_digest,
+            new_nonce,
+        )
+
+        nonce = new_nonce()
+        good = auth_digest(b"key", nonce)
+        assert check_auth_digest(b"key", nonce, good)
+        assert not check_auth_digest(b"key", nonce, good[:-1] + "0")
+        assert not check_auth_digest(b"key", nonce, None)
+        assert not check_auth_digest(b"key", nonce, 12345)
+
+    def test_nonces_are_fresh(self):
+        from repro.core.netproto import new_nonce
+
+        assert len({new_nonce() for _ in range(32)}) == 32
+
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("127.0.0.1", True),
+            ("127.8.8.8", True),
+            ("::1", True),
+            ("localhost", True),
+            ("0.0.0.0", False),
+            ("10.0.0.7", False),
+            ("example.com", False),
+            ("", False),
+        ],
+    )
+    def test_is_loopback_host(self, host, expected):
+        from repro.core.netproto import is_loopback_host
+
+        assert is_loopback_host(host) is expected

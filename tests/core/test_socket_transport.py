@@ -8,14 +8,28 @@ attach handshakes are tested as deployed.
 
 from __future__ import annotations
 
+import pickle
+import queue
 import socket
+import threading
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
 from repro.core import solve_si, solve_si_parallel
+from repro.core.netproto import (
+    WORKER_PROTOCOL,
+    recv_frame,
+    send_frame,
+)
 from repro.core.transport import (
     DEFAULT_HEARTBEAT,
     DEFAULT_HEARTBEAT_TIMEOUT,
+    ShardLeaseRevoked,
+    SocketTransport,
+    _SocketTask,
+    _WorkerLink,
     heartbeat_interval,
     heartbeat_timeout,
     parse_address,
@@ -188,6 +202,159 @@ class TestDegradation:
     def test_bogus_address_rejected_before_any_connect(self, kbp):
         with pytest.raises(ValueError):
             solve_si_parallel(kbp, remote_workers=["no-port-here"])
+
+
+class TestAuth:
+    """The mutual HMAC handshake gating every pickled payload."""
+
+    def test_keyed_solve_matches_serial(
+        self, kbp, serial_report, spawn_worker, monkeypatch
+    ):
+        _, a = spawn_worker("wa", key="sesame")
+        _, b = spawn_worker("wb", key="sesame", key_file=True)
+        monkeypatch.setenv("REPRO_WORKER_KEY", "sesame")
+        report = solve_si_parallel(kbp, remote_workers=[a, b])
+        assert_same_report(serial_report, report)
+        assert report.dispatch.transports == ["socket"]
+        assert report.fault_log.clean
+
+    def test_wrong_key_degrades_to_local(
+        self, kbp, serial_report, spawn_worker, monkeypatch
+    ):
+        _, addr = spawn_worker(key="sesame")
+        monkeypatch.setenv("REPRO_WORKER_KEY", "open says me")
+        report = solve_si_parallel(kbp, remote_workers=[addr])
+        assert_same_report(serial_report, report)
+        assert report.dispatch.transports == ["local"]
+        assert report.fault_log.count("degraded-to-local") == 1
+
+    def test_keyless_coordinator_refused_by_keyed_worker(
+        self, kbp, serial_report, spawn_worker, monkeypatch
+    ):
+        _, addr = spawn_worker(key="sesame")
+        monkeypatch.delenv("REPRO_WORKER_KEY", raising=False)
+        report = solve_si_parallel(kbp, remote_workers=[addr])
+        assert_same_report(serial_report, report)
+        assert report.dispatch.transports == ["local"]
+
+    def test_keyed_coordinator_refuses_keyless_worker(
+        self, kbp, serial_report, spawn_worker, monkeypatch
+    ):
+        """No silent downgrade: holding a key means requiring one."""
+        _, addr = spawn_worker()  # keyless daemon
+        monkeypatch.setenv("REPRO_WORKER_KEY", "sesame")
+        report = solve_si_parallel(kbp, remote_workers=[addr])
+        assert_same_report(serial_report, report)
+        assert report.dispatch.transports == ["local"]
+
+    def test_nonloopback_bind_refused_without_key(self, monkeypatch):
+        from repro.worker import serve
+
+        monkeypatch.delenv("REPRO_WORKER_KEY", raising=False)
+        with pytest.raises(SystemExit, match="authentication key"):
+            serve(host="0.0.0.0")
+
+
+class TestSessionHygiene:
+    """Raw-socket probes of the daemon's failure answers."""
+
+    def _connect(self, address):
+        sock = socket.create_connection(parse_address(address), timeout=10.0)
+        sock.settimeout(10.0)
+        return sock, sock.makefile("rb"), sock.makefile("wb")
+
+    def test_hello_announces_protocol_and_auth_mode(self, spawn_worker):
+        _, addr = spawn_worker()
+        sock, rfile, _wfile = self._connect(addr)
+        try:
+            header, _body, _n = recv_frame(rfile)
+            assert header["type"] == "hello"
+            assert header["protocol"] == WORKER_PROTOCOL
+            assert header["auth"] == "none"
+        finally:
+            sock.close()
+
+    def test_malformed_attach_payload_earns_error_frame(self, spawn_worker):
+        """A payload of the wrong shape fails fast with an 'error' frame,
+        not a silently dead session the coordinator times out on."""
+        _, addr = spawn_worker()
+        sock, rfile, wfile = self._connect(addr)
+        try:
+            recv_frame(rfile)  # hello (keyless: no handshake to answer)
+            send_frame(
+                wfile,
+                "attach",
+                {"program": "sha256:feedbeef", "protocol": WORKER_PROTOCOL},
+                pickle.dumps(["not", "a", "dict"]),
+            )
+            header, _body, _n = recv_frame(rfile)
+            assert header["type"] == "error"
+            assert "bad attach payload" in header["message"]
+        finally:
+            sock.close()
+
+
+class TestTransportInternals:
+    """White-box checks of the lease/queue bookkeeping invariants."""
+
+    def _bare_transport(self) -> SocketTransport:
+        transport = SocketTransport.__new__(SocketTransport)
+        transport._lock = threading.Lock()
+        transport._stopping = threading.Event()
+        transport._broken = False
+        transport._attempts = {}
+        transport._seen = {}
+        transport._queue = queue.Queue()
+        transport.links = []
+        transport.stats = None
+        transport.log = None
+        return transport
+
+    def test_lose_link_completes_inflight_future_during_shutdown(self):
+        """shutdown() mid-shard must not leave the in-flight future
+        pending forever — only queued tasks pass the cancelling drain."""
+        transport = self._bare_transport()
+        transport._stopping.set()
+        task = _SocketTask(0, 0b11, 1, Future())
+        transport._lose_link(_WorkerLink(0, "127.0.0.1:1"), task, "teardown")
+        assert task.future.done()
+
+    def test_broken_transport_fails_submissions_without_queueing(self):
+        transport = self._bare_transport()
+        transport._broken = True
+        future = transport.submit(None, 0, 0b1)
+        with pytest.raises(BrokenProcessPool):
+            future.result(timeout=1)
+        assert transport._queue.empty()
+
+    def test_losing_last_link_fails_the_backlog(self):
+        """The drain after _broken is set must reach tasks already
+        queued, so nothing sits in a queue no thread serves."""
+        transport = self._bare_transport()
+        link = _WorkerLink(0, "127.0.0.1:1")
+        link.alive = True
+        transport.links = [link]
+        queued = transport.submit(None, 1, 0b01)
+        inflight = _SocketTask(0, 0b10, 1, Future())
+        transport._lose_link(link, inflight, "connection reset")
+        assert transport._broken
+        with pytest.raises(BrokenProcessPool):
+            inflight.future.result(timeout=1)
+        with pytest.raises(BrokenProcessPool):
+            queued.result(timeout=1)
+
+    def test_revoked_lease_names_the_shard(self):
+        transport = self._bare_transport()
+        lost = _WorkerLink(0, "127.0.0.1:1")
+        survivor = _WorkerLink(1, "127.0.0.1:2")
+        survivor.alive = True
+        transport.links = [lost, survivor]
+        task = _SocketTask(3, 0b101, 2, Future())
+        transport._lose_link(lost, task, "no heartbeat")
+        with pytest.raises(ShardLeaseRevoked) as excinfo:
+            task.future.result(timeout=1)
+        assert excinfo.value.shard_index == 3
+        assert excinfo.value.fixed_mask == 0b101
 
 
 class TestTryAttach:
